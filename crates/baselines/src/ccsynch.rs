@@ -1,0 +1,431 @@
+//! The CC-Synch stack (**CC**) — Fatourou & Kallimanis, PPoPP '12
+//! ("Revisiting the combining synchronization technique").
+//!
+//! CC-Synch replaces flat combining's lock + publication list with a
+//! SWAP-based queue of request nodes: a thread announces by swapping its
+//! pre-allocated node onto the queue's tail, writes its request into the
+//! node it received, and spins on that node's `wait` flag. The thread
+//! whose `wait` clears with `completed == false` is the **combiner**: it
+//! walks the queue serving up to [`MAX_COMBINE`] requests (including its
+//! own), then hands the combiner role to the next waiting node. Node
+//! recycling is built in: the node a thread receives from the swap
+//! becomes its announcement node for the *next* operation, so steady
+//! state allocates nothing.
+//!
+//! Like FC, CC applies the operations to a sequential stack, one
+//! combiner at a time — SEC's evaluation shows both saturating at high
+//! thread counts for the same reason (a single serving thread).
+
+use crate::seq::SeqStack;
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::ptr;
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use sec_core::{ConcurrentStack, StackHandle};
+use sec_sync::{Backoff, CachePadded};
+
+/// Upper bound on requests served per combiner stint (the paper's `h`);
+/// bounds combiner latency so the role rotates under sustained load.
+const MAX_COMBINE: usize = 512;
+
+/// Request kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Op {
+    None,
+    Push,
+    Pop,
+    Peek,
+}
+
+type PeekShim<T> = fn(&SeqStack<T>, &mut Option<T>);
+
+/// A combining-queue node. Protocol ownership: the *announcer* writes
+/// `op`/`cell`/`shim` and then publishes via `next` (Release); the
+/// *combiner* reads them after loading `next` (Acquire) and writes the
+/// response before clearing `wait` (Release).
+struct CcNode<T> {
+    op: UnsafeCell<Op>,
+    cell: UnsafeCell<Option<T>>,
+    shim: UnsafeCell<Option<PeekShim<T>>>,
+    /// Spin flag: true while the request is neither served nor elected.
+    wait: AtomicBool,
+    /// Written by the combiner before clearing `wait`: `true` = served,
+    /// `false` = "you are the next combiner".
+    completed: UnsafeCell<bool>,
+    next: AtomicPtr<CcNode<T>>,
+}
+
+impl<T> CcNode<T> {
+    fn alloc() -> *mut CcNode<T> {
+        Box::into_raw(Box::new(CcNode {
+            op: UnsafeCell::new(Op::None),
+            cell: UnsafeCell::new(None),
+            shim: UnsafeCell::new(None),
+            wait: AtomicBool::new(false),
+            completed: UnsafeCell::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// The CC-Synch stack.
+///
+/// # Examples
+///
+/// ```
+/// use sec_baselines::CcStack;
+/// use sec_core::{ConcurrentStack, StackHandle};
+///
+/// let s: CcStack<u32> = CcStack::new(2);
+/// let mut h = s.register();
+/// h.push(5);
+/// assert_eq!(h.pop(), Some(5));
+/// ```
+pub struct CcStack<T: Send + 'static> {
+    /// Queue tail; SWAP target. Initially a fresh "empty" node whose
+    /// `wait` is false — the first announcer becomes combiner at once.
+    tail: CachePadded<AtomicPtr<CcNode<T>>>,
+    /// The sequential stack. Only ever touched by the unique combiner
+    /// (the queue *is* the lock), hence `UnsafeCell` without a `Mutex`.
+    stack: UnsafeCell<SeqStack<T>>,
+    /// Registration bookkeeping (capacity check only).
+    slots: Box<[AtomicBool]>,
+}
+
+// Safety: the combining queue serializes all access to `stack`; nodes
+// transfer `T: Send` payloads between threads under the wait/next
+// protocol documented on `CcNode`.
+unsafe impl<T: Send> Send for CcStack<T> {}
+unsafe impl<T: Send> Sync for CcStack<T> {}
+
+impl<T: Send + 'static> CcStack<T> {
+    /// Creates a stack for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self {
+            tail: CachePadded::new(AtomicPtr::new(CcNode::alloc())),
+            stack: UnsafeCell::new(SeqStack::new()),
+            slots: (0..max_threads.max(1)).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> CcHandle<'_, T> {
+        for (i, s) in self.slots.iter().enumerate() {
+            if !s.load(Ordering::Relaxed)
+                && s.compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return CcHandle {
+                    stack: self,
+                    slot: i,
+                    spare: CcNode::alloc(),
+                };
+            }
+        }
+        panic!("CcStack: more threads registered than max_threads");
+    }
+
+    /// Serves one request against the sequential stack.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the unique combiner and `node`'s request must be
+    /// published (reached via an Acquire load of a `next` pointer).
+    unsafe fn apply(&self, node: *mut CcNode<T>) {
+        // Safety: combiner exclusivity per the caller contract.
+        unsafe {
+            let stack = &mut *self.stack.get();
+            match *(*node).op.get() {
+                Op::Push => {
+                    let v = (*(*node).cell.get()).take().expect("push without value");
+                    stack.push(v);
+                }
+                Op::Pop => {
+                    *(*node).cell.get() = stack.pop();
+                }
+                Op::Peek => {
+                    let shim = (*(*node).shim.get()).take().expect("peek without shim");
+                    shim(stack, &mut *(*node).cell.get());
+                }
+                Op::None => unreachable!("combiner reached an unpublished node"),
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for CcStack<T> {
+    fn drop(&mut self) {
+        // At rest the queue is exactly one (empty) node: every served
+        // node was recycled into its announcer's spare.
+        let tail = self.tail.load(Ordering::Relaxed);
+        if !tail.is_null() {
+            drop(unsafe { Box::from_raw(tail) });
+        }
+        // `self.stack` drops its remaining values itself.
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for CcStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CcStack")
+            .field("max_threads", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> ConcurrentStack<T> for CcStack<T> {
+    type Handle<'a>
+        = CcHandle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> CcHandle<'_, T> {
+        CcStack::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "CC"
+    }
+}
+
+/// Per-thread handle to a [`CcStack`]; owns the thread's spare node.
+pub struct CcHandle<'a, T: Send + 'static> {
+    stack: &'a CcStack<T>,
+    slot: usize,
+    /// The node this thread will announce with next (recycled from the
+    /// node received at its previous announcement).
+    spare: *mut CcNode<T>,
+}
+
+// Safety: the handle owns its spare node exclusively.
+unsafe impl<T: Send> Send for CcHandle<'_, T> {}
+
+impl<T: Send + 'static> CcHandle<'_, T> {
+    /// The CC-Synch protocol: announce, wait, maybe combine.
+    fn run(&mut self, op: Op, arg: Option<T>, shim: Option<PeekShim<T>>) -> Option<T> {
+        let next = self.spare;
+        // Prepare the node we are installing as the new tail.
+        unsafe {
+            (*next).wait.store(true, Ordering::Relaxed);
+            *(*next).completed.get() = false;
+            (*next).next.store(ptr::null_mut(), Ordering::Relaxed);
+        }
+
+        // Announce: SWAP hands us the previous tail — *our* request node.
+        let cur = self.stack.tail.swap(next, Ordering::AcqRel);
+
+        // Fill in the request, then publish it by linking `next`
+        // (Release: the combiner's Acquire load of `next` sees op/cell).
+        unsafe {
+            *(*cur).op.get() = op;
+            *(*cur).cell.get() = arg;
+            *(*cur).shim.get() = shim;
+            (*cur).next.store(next, Ordering::Release);
+        }
+        // Recycle: `cur` is ours once our request completes.
+        self.spare = cur;
+
+        // Wait for service or election.
+        let mut backoff = Backoff::new();
+        while unsafe { (*cur).wait.load(Ordering::Acquire) } {
+            backoff.snooze();
+        }
+
+        if unsafe { *(*cur).completed.get() } {
+            // Served by another combiner.
+            return unsafe { (*(*cur).cell.get()).take() };
+        }
+
+        // We are the combiner: serve from our own node onwards.
+        let mut tmp = cur;
+        let mut served = 0;
+        loop {
+            let nextp = unsafe { (*tmp).next.load(Ordering::Acquire) };
+            if nextp.is_null() || served >= MAX_COMBINE {
+                break;
+            }
+            // Safety: we are the unique combiner; `tmp`'s request is
+            // published (non-null next).
+            unsafe {
+                self.stack.apply(tmp);
+                *(*tmp).completed.get() = true;
+                (*tmp).wait.store(false, Ordering::Release);
+            }
+            served += 1;
+            tmp = nextp;
+        }
+        // Hand over: `tmp` is either an empty tail node (its future
+        // announcer finds wait == false, completed == false and combines
+        // immediately) or a pending request at the MAX_COMBINE bound
+        // (its announcer becomes the next combiner and serves itself
+        // first).
+        unsafe { (*tmp).wait.store(false, Ordering::Release) };
+
+        unsafe { (*(*cur).cell.get()).take() }
+    }
+}
+
+impl<T: Send + 'static> StackHandle<T> for CcHandle<'_, T> {
+    fn push(&mut self, value: T) {
+        let _ = self.run(Op::Push, Some(value), None);
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.run(Op::Pop, None, None)
+    }
+
+    fn peek(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.run(Op::Peek, None, Some(|s, out| *out = s.peek().cloned()))
+    }
+}
+
+impl<T: Send + 'static> Drop for CcHandle<'_, T> {
+    fn drop(&mut self) {
+        // The spare is the node we received at our last announcement
+        // (or a fresh one): fully released, referenced by nobody.
+        drop(unsafe { Box::from_raw(self.spare) });
+        self.stack.slots[self.slot].store(false, Ordering::Release);
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for CcHandle<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CcHandle").field("slot", &self.slot).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_lifo() {
+        let s: CcStack<u32> = CcStack::new(1);
+        let mut h = s.register();
+        for i in 0..50 {
+            h.push(i);
+        }
+        for i in (0..50).rev() {
+            assert_eq!(h.pop(), Some(i));
+        }
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn peek_is_non_destructive() {
+        let s: CcStack<u32> = CcStack::new(1);
+        let mut h = s.register();
+        assert_eq!(h.peek(), None);
+        h.push(9);
+        assert_eq!(h.peek(), Some(9));
+        assert_eq!(h.peek(), Some(9));
+        assert_eq!(h.pop(), Some(9));
+    }
+
+    #[test]
+    fn handle_drop_and_reregister() {
+        let s: CcStack<u32> = CcStack::new(2);
+        for round in 0..4 {
+            let mut h = s.register();
+            h.push(round);
+            assert_eq!(h.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: usize = 8;
+        const PER: usize = 1_500;
+        let s: CcStack<usize> = CcStack::new(THREADS);
+        let got: Vec<Vec<usize>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let mut h = s.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            h.push(t * PER + i);
+                            if i % 2 == 1 {
+                                if let Some(v) = h.pop() {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut seen = HashSet::new();
+        for v in got.into_iter().flatten() {
+            assert!(seen.insert(v));
+        }
+        let mut h = s.register();
+        while let Some(v) = h.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), THREADS * PER);
+    }
+
+    #[test]
+    fn values_dropped_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+        use std::sync::Arc;
+        struct P(Arc<AtomicUsize>);
+        impl Drop for P {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AOrd::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let s: CcStack<P> = CcStack::new(4);
+            thread::scope(|scope| {
+                for _ in 0..4 {
+                    let s = &s;
+                    let drops = &drops;
+                    scope.spawn(move || {
+                        let mut h = s.register();
+                        for i in 0..500 {
+                            h.push(P(Arc::clone(drops)));
+                            if i % 3 == 0 {
+                                drop(h.pop());
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(drops.load(AOrd::Relaxed), 4 * 500);
+    }
+
+    #[test]
+    fn combiner_handoff_under_oversubscription() {
+        const THREADS: usize = 12;
+        let s: CcStack<usize> = CcStack::new(THREADS);
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut h = s.register();
+                    for i in 0..800 {
+                        if (t + i) % 2 == 0 {
+                            h.push(i);
+                        } else {
+                            h.pop();
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,497 @@
+//! The elimination-backoff stack (**EB**) — Hendler, Shavit, Yerushalmi,
+//! SPAA '04 ("A scalable lock-free stack algorithm").
+//!
+//! The fast path is a Treiber stack. A thread whose CAS on `top` fails
+//! *backs off into an elimination array*: it parks an exchange record in
+//! a random slot and waits a bounded time for a thread of the opposite
+//! type; a push/pop pair that meets there cancels out without ever
+//! touching `top`. The slot range adapts to the observed contention
+//! (shrink on timeout, grow on collision), as in the original.
+//!
+//! The cost SEC's related-work section calls out is visible in the code:
+//! a successful elimination takes **three CASes** (park, claim, and the
+//! loser's failed withdraw — or park/withdraw-failure/claim), and pairs
+//! can miss each other entirely by picking different slots, capping the
+//! elimination degree. SEC replaces all of this with two
+//! fetch&increments on batch counters.
+
+use crate::treiber::Node;
+use core::fmt;
+use core::mem::ManuallyDrop;
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use sec_core::{ConcurrentStack, StackHandle};
+use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
+use sec_sync::{Backoff, CachePadded};
+
+/// Exchange-record states.
+const WAITING: u32 = 0;
+const TAKEN: u32 = 1;
+
+/// Operation tag of an exchange record.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Push,
+    Pop,
+}
+
+/// A parked request in the elimination array.
+struct Exchange<T> {
+    kind: Kind,
+    /// Push: the parked node (set at creation). Pop: the response slot a
+    /// claiming push deposits its node into.
+    node: AtomicPtr<Node<T>>,
+    /// WAITING → TAKEN, set by the claiming partner.
+    state: AtomicU32,
+}
+
+impl<T> Exchange<T> {
+    fn alloc(kind: Kind, node: *mut Node<T>) -> *mut Exchange<T> {
+        Box::into_raw(Box::new(Exchange {
+            kind,
+            node: AtomicPtr::new(node),
+            state: AtomicU32::new(WAITING),
+        }))
+    }
+}
+
+/// Outcome of one elimination attempt.
+enum Elim<T> {
+    /// Pair found: for a push, the node was handed over; for a pop, the
+    /// value is here.
+    Done(Option<T>),
+    /// No partner; go back to the CAS loop.
+    Miss,
+}
+
+/// The elimination-backoff stack.
+///
+/// # Examples
+///
+/// ```
+/// use sec_baselines::EbStack;
+/// use sec_core::{ConcurrentStack, StackHandle};
+///
+/// let s: EbStack<u32> = EbStack::new(2);
+/// let mut h = s.register();
+/// h.push(3);
+/// assert_eq!(h.pop(), Some(3));
+/// ```
+pub struct EbStack<T: Send + 'static> {
+    top: CachePadded<AtomicPtr<Node<T>>>,
+    /// The elimination array: each slot holds at most one parked
+    /// exchange record.
+    slots: Box<[CachePadded<AtomicPtr<Exchange<T>>>]>,
+    collector: Collector,
+}
+
+unsafe impl<T: Send> Send for EbStack<T> {}
+unsafe impl<T: Send> Sync for EbStack<T> {}
+
+impl<T: Send + 'static> EbStack<T> {
+    /// Creates a stack for up to `max_threads` threads, with an
+    /// elimination array of `max_threads.min(32)` slots (HSY size the
+    /// array to the machine; contention adapts the *used* range).
+    pub fn new(max_threads: usize) -> Self {
+        let n = max_threads.max(1);
+        Self {
+            top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            slots: (0..n.min(32))
+                .map(|_| CachePadded::new(AtomicPtr::new(ptr::null_mut())))
+                .collect(),
+            collector: Collector::new(n),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> EbHandle<'_, T> {
+        let reclaim = self
+            .collector
+            .register()
+            .expect("EbStack: more threads than max_threads");
+        let seed = 0x9E37_79B9_u32 ^ (reclaim.slot() as u32).wrapping_mul(0x85EB_CA6B);
+        EbHandle {
+            stack: self,
+            reclaim,
+            state: ElimState { range: 1, rng: seed | 1 },
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for EbStack<T> {
+    fn drop(&mut self) {
+        let mut cur = self.top.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            let mut boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next;
+            unsafe { ManuallyDrop::drop(&mut boxed.value) };
+        }
+        // No exchange record can be parked at rest: every operation
+        // unparks (or hands off) its record before returning.
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for EbStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EbStack")
+            .field("elimination_slots", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> ConcurrentStack<T> for EbStack<T> {
+    type Handle<'a>
+        = EbHandle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> EbHandle<'_, T> {
+        EbStack::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "EB"
+    }
+}
+
+/// Per-thread adaptive elimination state (kept apart from the handle so
+/// the borrow of the reclamation guard and the mutable state don't
+/// alias).
+struct ElimState {
+    /// Adaptive elimination range: random slots are drawn from
+    /// `0..range` (≤ array size). Timeouts shrink it, collisions grow it.
+    range: usize,
+    /// xorshift state for slot selection.
+    rng: u32,
+}
+
+impl ElimState {
+    fn next_slot(&mut self) -> usize {
+        // xorshift32: fast, no external RNG on the hot path.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.rng = x;
+        (x as usize) % self.range
+    }
+
+    fn grow(&mut self, max: usize) {
+        self.range = (self.range + 1).min(max);
+    }
+
+    fn shrink(&mut self) {
+        self.range = (self.range / 2).max(1);
+    }
+}
+
+/// Per-thread handle to an [`EbStack`].
+pub struct EbHandle<'a, T: Send + 'static> {
+    stack: &'a EbStack<T>,
+    reclaim: ReclaimHandle<'a>,
+    state: ElimState,
+}
+
+impl<T: Send + 'static> EbStack<T> {
+    /// One elimination attempt: claim an opposite-kind record if one is
+    /// parked in a random slot, otherwise park our own record and wait a
+    /// bounded time for a partner.
+    ///
+    /// `my_node` is the node being pushed (null for pops). `Done(None)`
+    /// for a push means the node was handed over; `Done(Some(v))` for a
+    /// pop carries the exchanged value.
+    ///
+    /// CAS accounting (the "three CASes" of the paper's comparison):
+    /// park (1), partner's claim (2), and our withdraw — which *fails*
+    /// if a partner arrived (3).
+    fn attempt_eliminate(
+        &self,
+        state: &mut ElimState,
+        my_kind: Kind,
+        my_node: *mut Node<T>,
+        guard: &Guard<'_, '_>,
+    ) -> Elim<T> {
+        let max_range = self.slots.len();
+        let slot = &self.slots[state.next_slot()];
+        let cur = slot.load(Ordering::Acquire);
+
+        if !cur.is_null() {
+            // Occupied: claim it if the kinds are opposite (no
+            // allocation on this path).
+            if unsafe { (*cur).kind } == my_kind {
+                state.grow(max_range); // crowded with same-kind traffic
+                return Elim::Miss;
+            }
+            if slot
+                .compare_exchange(cur, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                state.grow(max_range);
+                return Elim::Miss;
+            }
+            state.grow(max_range); // successful collision: the array pays off
+            return match my_kind {
+                Kind::Push => {
+                    // Hand our node to the waiting pop, then signal.
+                    unsafe {
+                        (*cur).node.store(my_node, Ordering::Release);
+                        (*cur).state.store(TAKEN, Ordering::Release);
+                    }
+                    Elim::Done(None)
+                }
+                Kind::Pop => {
+                    // Take the waiting push's node, then signal.
+                    let theirs = unsafe { (*cur).node.load(Ordering::Acquire) };
+                    unsafe { (*cur).state.store(TAKEN, Ordering::Release) };
+                    // Safety: the claim CAS made us the unique consumer.
+                    let value = ManuallyDrop::into_inner(unsafe { ptr::read(&(*theirs).value) });
+                    unsafe { guard.retire(theirs) };
+                    Elim::Done(Some(value))
+                }
+            };
+        }
+
+        // Empty slot: park our own record.
+        let ex = Exchange::alloc(my_kind, my_node);
+        if slot
+            .compare_exchange(ptr::null_mut(), ex, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            state.grow(max_range); // someone beat us to the slot: crowded
+            // Nobody ever saw `ex`: free it directly.
+            drop(unsafe { Box::from_raw(ex) });
+            return Elim::Miss;
+        }
+        // Bounded wait for a partner.
+        let mut backoff = Backoff::new();
+        for _ in 0..32 {
+            if unsafe { (*ex).state.load(Ordering::Acquire) } == TAKEN {
+                return self.finish_taken(ex, guard);
+            }
+            backoff.snooze();
+        }
+        // Timeout: withdraw.
+        if slot
+            .compare_exchange(ex, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            state.shrink(); // lonely slot: tighten the range
+            // Concurrent claimers may have loaded the pointer before our
+            // withdraw, so free through the collector.
+            unsafe { guard.retire(ex) };
+            return Elim::Miss;
+        }
+        // Withdraw failed: a partner claimed us between the last state
+        // check and the CAS — wait for it to finish.
+        let mut backoff = Backoff::new();
+        while unsafe { (*ex).state.load(Ordering::Acquire) } != TAKEN {
+            backoff.snooze();
+        }
+        self.finish_taken(ex, guard)
+    }
+
+    /// Our parked record was claimed: extract the outcome.
+    fn finish_taken(&self, ex: *mut Exchange<T>, guard: &Guard<'_, '_>) -> Elim<T> {
+        let kind = unsafe { (*ex).kind };
+        let result = match kind {
+            // Push: our node now belongs to the claiming pop.
+            Kind::Push => Elim::Done(None),
+            Kind::Pop => {
+                let node = unsafe { (*ex).node.load(Ordering::Acquire) };
+                debug_assert!(!node.is_null(), "claimed pop without a deposited node");
+                // Safety: the depositing push relinquished the node.
+                let value = ManuallyDrop::into_inner(unsafe { ptr::read(&(*node).value) });
+                unsafe { guard.retire(node) };
+                Elim::Done(Some(value))
+            }
+        };
+        unsafe { guard.retire(ex) };
+        result
+    }
+}
+
+impl<T: Send + 'static> StackHandle<T> for EbHandle<'_, T> {
+    fn push(&mut self, value: T) {
+        let node = Node::alloc(value);
+        let Self { stack, reclaim, state } = self;
+        let guard = reclaim.pin();
+        loop {
+            // Fast path: Treiber CAS.
+            let cur = stack.top.load(Ordering::Acquire);
+            unsafe { (*node).next = cur };
+            if stack
+                .top
+                .compare_exchange(cur, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            // Contention: eliminate instead of retrying immediately.
+            match stack.attempt_eliminate(state, Kind::Push, node, &guard) {
+                Elim::Done(_) => return,
+                Elim::Miss => {}
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let Self { stack, reclaim, state } = self;
+        let guard = reclaim.pin();
+        loop {
+            let cur = stack.top.load(Ordering::Acquire);
+            if cur.is_null() {
+                return None;
+            }
+            let next = unsafe { (*cur).next };
+            if stack
+                .top
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let value = ManuallyDrop::into_inner(unsafe { ptr::read(&(*cur).value) });
+                unsafe { guard.retire(cur) };
+                return Some(value);
+            }
+            match stack.attempt_eliminate(state, Kind::Pop, ptr::null_mut(), &guard) {
+                Elim::Done(v) => return v,
+                Elim::Miss => {}
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let _guard = self.reclaim.pin();
+        let cur = self.stack.top.load(Ordering::Acquire);
+        if cur.is_null() {
+            None
+        } else {
+            Some(ManuallyDrop::into_inner(unsafe { (*cur).value.clone() }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_lifo() {
+        let s: EbStack<u32> = EbStack::new(1);
+        let mut h = s.register();
+        for i in 0..50 {
+            h.push(i);
+        }
+        for i in (0..50).rev() {
+            assert_eq!(h.pop(), Some(i));
+        }
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_top() {
+        let s: EbStack<u32> = EbStack::new(1);
+        let mut h = s.register();
+        assert_eq!(h.peek(), None);
+        h.push(1);
+        h.push(2);
+        assert_eq!(h.peek(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: usize = 8;
+        const PER: usize = 1_500;
+        let s: EbStack<usize> = EbStack::new(THREADS);
+        let got: Vec<Vec<usize>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let mut h = s.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            h.push(t * PER + i);
+                            if i % 2 == 1 {
+                                if let Some(v) = h.pop() {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut seen = HashSet::new();
+        for v in got.into_iter().flatten() {
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+        let mut h = s.register();
+        while let Some(v) = h.pop() {
+            assert!(seen.insert(v), "duplicate {v} in drain");
+        }
+        assert_eq!(seen.len(), THREADS * PER, "lost values");
+    }
+
+    #[test]
+    fn values_dropped_exactly_once_with_elimination_traffic() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+        use std::sync::Arc;
+        struct P(Arc<AtomicUsize>);
+        impl Drop for P {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AOrd::Relaxed);
+            }
+        }
+        const THREADS: usize = 8;
+        const PER: usize = 800;
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let s: EbStack<P> = EbStack::new(THREADS);
+            thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let s = &s;
+                    let drops = &drops;
+                    scope.spawn(move || {
+                        let mut h = s.register();
+                        for i in 0..PER {
+                            if (t + i) % 2 == 0 {
+                                h.push(P(Arc::clone(drops)));
+                            } else {
+                                drop(h.pop());
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(drops.load(AOrd::Relaxed), THREADS * PER / 2);
+    }
+
+    #[test]
+    fn adaptive_range_stays_in_bounds() {
+        let s: EbStack<u32> = EbStack::new(4);
+        let mut h = s.register();
+        for _ in 0..100 {
+            h.state.shrink();
+            assert!(h.state.range >= 1);
+        }
+        for _ in 0..100 {
+            h.state.grow(s.slots.len());
+            assert!(h.state.range <= s.slots.len());
+        }
+        // Slot draws stay inside the current range.
+        h.state.range = 3;
+        for _ in 0..100 {
+            assert!(h.state.next_slot() < 3);
+        }
+    }
+}

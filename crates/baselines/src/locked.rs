@@ -1,0 +1,190 @@
+//! A mutex-protected sequential stack (**LCK**): the sanity floor.
+//!
+//! Every concurrent-stack paper's implicit zeroth baseline is "just put
+//! a lock around `Vec::push`/`Vec::pop`". The SEC paper does not plot
+//! it (its curves would sit below CC/FC, which *are* smarter global
+//! locks), but having it in the lineup lets the test suite and the
+//! `lock_ablation` benchmark anchor two claims from the paper's
+//! narrative:
+//!
+//! * combining (FC/CC) beats a plain lock because the combiner executes
+//!   many operations per lock handoff instead of one, and
+//! * even the best single-lock discipline flattens out, which is the
+//!   bottleneck SEC's sharding removes.
+//!
+//! Uses `std::sync::Mutex` (the obvious thing a downstream user would
+//! write). The queue-lock variants of the same shape live in the
+//! `lock_ablation` benchmark, built on `sec_sync::{McsLock, ClhLock,
+//! TtasLock}`.
+
+use core::fmt;
+use sec_core::{ConcurrentStack, StackHandle};
+use std::sync::Mutex;
+
+/// A `Mutex<Vec<T>>` stack.
+///
+/// # Examples
+///
+/// ```
+/// use sec_baselines::LockedStack;
+/// use sec_core::{ConcurrentStack, StackHandle};
+///
+/// let s: LockedStack<u32> = LockedStack::new(2);
+/// let mut h = s.register();
+/// h.push(7);
+/// assert_eq!(h.peek(), Some(7));
+/// assert_eq!(h.pop(), Some(7));
+/// ```
+pub struct LockedStack<T> {
+    items: Mutex<Vec<T>>,
+}
+
+impl<T> LockedStack<T> {
+    /// Creates a stack. `max_threads` is accepted for interface symmetry
+    /// with the other stacks; a lock needs no per-thread state.
+    pub fn new(max_threads: usize) -> Self {
+        let _ = max_threads;
+        Self {
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> LockedHandle<'_, T> {
+        LockedHandle { stack: self }
+    }
+
+    /// Current number of elements (takes the lock).
+    pub fn len(&self) -> usize {
+        self.items.lock().unwrap().len()
+    }
+
+    /// `true` when the stack holds no elements (takes the lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for LockedStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedStack")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Default for LockedStack<T> {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl<T: Send + 'static> ConcurrentStack<T> for LockedStack<T> {
+    type Handle<'a>
+        = LockedHandle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> LockedHandle<'_, T> {
+        LockedStack::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "LCK"
+    }
+}
+
+/// Per-thread handle to a [`LockedStack`] (stateless; exists to satisfy
+/// the shared interface).
+pub struct LockedHandle<'a, T> {
+    stack: &'a LockedStack<T>,
+}
+
+impl<T> StackHandle<T> for LockedHandle<'_, T> {
+    fn push(&mut self, value: T) {
+        self.stack.items.lock().unwrap().push(value);
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.stack.items.lock().unwrap().pop()
+    }
+
+    fn peek(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.stack.items.lock().unwrap().last().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_lifo() {
+        let s: LockedStack<u32> = LockedStack::new(1);
+        let mut h = s.register();
+        for i in 0..50 {
+            h.push(i);
+        }
+        assert_eq!(s.len(), 50);
+        for i in (0..50).rev() {
+            assert_eq!(h.pop(), Some(i));
+        }
+        assert_eq!(h.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn peek_is_non_destructive() {
+        let s: LockedStack<u32> = LockedStack::new(1);
+        let mut h = s.register();
+        assert_eq!(h.peek(), None);
+        h.push(9);
+        assert_eq!(h.peek(), Some(9));
+        assert_eq!(h.peek(), Some(9));
+        assert_eq!(h.pop(), Some(9));
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: usize = 8;
+        const PER: usize = 2_000;
+        let s: LockedStack<usize> = LockedStack::new(THREADS);
+        let got: Vec<Vec<usize>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let mut h = s.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            h.push(t * PER + i);
+                            if i % 2 == 1 {
+                                if let Some(v) = h.pop() {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut seen = HashSet::new();
+        for v in got.into_iter().flatten() {
+            assert!(seen.insert(v));
+        }
+        let mut h = s.register();
+        while let Some(v) = h.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), THREADS * PER);
+    }
+}

@@ -1,0 +1,79 @@
+//! The sequential stack applied by the FC and CC combiners.
+//!
+//! Flat combining and CC-Synch turn a *sequential* data structure into a
+//! concurrent one; the structure itself is a plain vector. Kept as its
+//! own type so the combiner code reads like the papers ("apply the
+//! announced operation to the sequential object") and so tests can use
+//! it as the reference model.
+
+/// A sequential LIFO stack (the combiners' underlying object, and the
+/// reference model for the test suite).
+#[derive(Debug, Clone, Default)]
+pub struct SeqStack<T> {
+    items: Vec<T>,
+}
+
+impl<T> SeqStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    /// Creates an empty stack with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Pushes `value`.
+    pub fn push(&mut self, value: T) {
+        self.items.push(value);
+    }
+
+    /// Pops the most recent element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop()
+    }
+
+    /// Reads the top element.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.last()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_semantics() {
+        let mut s = SeqStack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.peek(), Some(&2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let s: SeqStack<u8> = SeqStack::with_capacity(16);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The Treiber stack (**TRB**): the classic lock-free CAS-loop stack
+//! (Treiber '86), every other algorithm's point of reference.
+//!
+//! All contention lands on the single `top` pointer; under load the CAS
+//! loop produces the cache-invalidation storm the SEC paper's
+//! introduction describes. We add bounded exponential backoff on CAS
+//! failure (standard practice, also how the paper's benchmark suite
+//! configures TRB) — without it the curve collapses even earlier.
+
+use core::fmt;
+use core::mem::ManuallyDrop;
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, Ordering};
+use sec_core::{ConcurrentStack, StackHandle};
+use sec_reclaim::{Collector, Handle as ReclaimHandle};
+use sec_sync::{Backoff, CachePadded};
+
+/// A Treiber-style node; also reused by the EB stack (whose fast path
+/// *is* a Treiber stack).
+pub(crate) struct Node<T> {
+    pub(crate) value: ManuallyDrop<T>,
+    pub(crate) next: *mut Node<T>,
+}
+
+// Safety: a node is a `T` plus a pointer the algorithms manage; sending
+// one between threads is sending its `T` (required for retire-on-pop,
+// where the freeing thread may differ from the allocating one).
+unsafe impl<T: Send> Send for Node<T> {}
+
+impl<T> Node<T> {
+    /// Heap-allocates a detached node.
+    pub(crate) fn alloc(value: T) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            value: ManuallyDrop::new(value),
+            next: ptr::null_mut(),
+        }))
+    }
+}
+
+/// The Treiber stack.
+///
+/// # Examples
+///
+/// ```
+/// use sec_baselines::TreiberStack;
+/// use sec_core::{ConcurrentStack, StackHandle};
+///
+/// let s: TreiberStack<u32> = TreiberStack::new(2);
+/// let mut h = s.register();
+/// h.push(7);
+/// assert_eq!(h.pop(), Some(7));
+/// ```
+pub struct TreiberStack<T: Send + 'static> {
+    top: CachePadded<AtomicPtr<Node<T>>>,
+    collector: Collector,
+}
+
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+
+impl<T: Send + 'static> TreiberStack<T> {
+    /// Creates a stack for up to `max_threads` concurrent threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self {
+            top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            collector: Collector::new(max_threads),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> TreiberHandle<'_, T> {
+        TreiberHandle {
+            stack: self,
+            reclaim: self
+                .collector
+                .register()
+                .expect("TreiberStack: more threads than max_threads"),
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        let mut cur = self.top.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            let mut boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next;
+            unsafe { ManuallyDrop::drop(&mut boxed.value) };
+        }
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreiberStack").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> ConcurrentStack<T> for TreiberStack<T> {
+    type Handle<'a>
+        = TreiberHandle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> TreiberHandle<'_, T> {
+        TreiberStack::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "TRB"
+    }
+}
+
+/// Per-thread handle to a [`TreiberStack`].
+pub struct TreiberHandle<'a, T: Send + 'static> {
+    stack: &'a TreiberStack<T>,
+    reclaim: ReclaimHandle<'a>,
+}
+
+impl<T: Send + 'static> StackHandle<T> for TreiberHandle<'_, T> {
+    fn push(&mut self, value: T) {
+        let node = Node::alloc(value);
+        let _guard = self.reclaim.pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let cur = self.stack.top.load(Ordering::Acquire);
+            // Exclusive access until the CAS succeeds: plain write.
+            unsafe { (*node).next = cur };
+            if self
+                .stack
+                .top
+                .compare_exchange(cur, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let guard = self.reclaim.pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let cur = self.stack.top.load(Ordering::Acquire);
+            if cur.is_null() {
+                return None;
+            }
+            // Safety: pinned, so `cur` cannot have been freed; no ABA
+            // because a node's address cannot be recycled while we are
+            // pinned (epoch reclamation).
+            let next = unsafe { (*cur).next };
+            if self
+                .stack
+                .top
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Safety: the CAS made us the unique owner of `cur`.
+                let value = ManuallyDrop::into_inner(unsafe { ptr::read(&(*cur).value) });
+                unsafe { guard.retire(cur) };
+                return Some(value);
+            }
+            backoff.spin();
+        }
+    }
+
+    fn peek(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let _guard = self.reclaim.pin();
+        let cur = self.stack.top.load(Ordering::Acquire);
+        if cur.is_null() {
+            None
+        } else {
+            // Safety: pinned; value bytes remain valid (consumption by a
+            // concurrent pop is a non-destructive read).
+            Some(ManuallyDrop::into_inner(unsafe { (*cur).value.clone() }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_lifo() {
+        let s: TreiberStack<u32> = TreiberStack::new(1);
+        let mut h = s.register();
+        for i in 0..50 {
+            h.push(i);
+        }
+        for i in (0..50).rev() {
+            assert_eq!(h.pop(), Some(i));
+        }
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_top() {
+        let s: TreiberStack<u32> = TreiberStack::new(1);
+        let mut h = s.register();
+        assert_eq!(h.peek(), None);
+        h.push(3);
+        assert_eq!(h.peek(), Some(3));
+        h.push(4);
+        assert_eq!(h.peek(), Some(4));
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: usize = 8;
+        const PER: usize = 2_000;
+        let s: TreiberStack<usize> = TreiberStack::new(THREADS);
+        let got: Vec<Vec<usize>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let mut h = s.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            h.push(t * PER + i);
+                            if i % 2 == 1 {
+                                if let Some(v) = h.pop() {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut seen = HashSet::new();
+        for v in got.into_iter().flatten() {
+            assert!(seen.insert(v));
+        }
+        let mut h = s.register();
+        while let Some(v) = h.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), THREADS * PER);
+    }
+
+    #[test]
+    fn drops_remaining_values_on_teardown() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+        use std::sync::Arc;
+        struct P(Arc<AtomicUsize>);
+        impl Drop for P {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AOrd::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let s: TreiberStack<P> = TreiberStack::new(1);
+            let mut h = s.register();
+            for _ in 0..10 {
+                h.push(P(Arc::clone(&drops)));
+            }
+            drop(h.pop());
+        }
+        assert_eq!(drops.load(AOrd::Relaxed), 10);
+    }
+}

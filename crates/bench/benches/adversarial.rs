@@ -1,0 +1,70 @@
+//! Criterion: adversarial fixed-work traces across all algorithms.
+//!
+//! The figure benches sample operations randomly; these benches replay
+//! the two structured traces from `sec_workload::trace` that bound
+//! SEC's mechanism space:
+//!
+//! * `ping_pong` — strict push/pop alternation per thread; inside any
+//!   frozen batch pushes and pops are near-balanced, so elimination
+//!   does nearly all the work (SEC's best case, also EB's);
+//! * `flood_drain` — each thread pushes its whole quota then pops it
+//!   back; batches are one-sided, elimination never fires and the
+//!   combiners carry everything (Figure 3's regime as fixed work).
+//!
+//! Comparing one algorithm's two rows shows how much that algorithm
+//! depends on elimination; comparing algorithms within a row is the
+//! usual shoot-out, with the draw held fixed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_baselines::{CcStack, EbStack, FcStack, TreiberStack, TsiStack};
+use sec_core::SecStack;
+use sec_workload::{replay, Trace};
+use std::time::Duration;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 2_000;
+
+fn configure(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+}
+
+fn bench_trace(c: &mut Criterion, group: &str, trace: &Trace) {
+    let mut g = c.benchmark_group(group);
+    configure(&mut g);
+    g.throughput(criterion::Throughput::Elements(trace.total_ops() as u64));
+
+    g.bench_with_input(BenchmarkId::from_parameter("SEC"), trace, |b, t| {
+        b.iter(|| replay(&SecStack::<u64>::new(THREADS), t))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("TRB"), trace, |b, t| {
+        b.iter(|| replay(&TreiberStack::<u64>::new(THREADS), t))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("EB"), trace, |b, t| {
+        b.iter(|| replay(&EbStack::<u64>::new(THREADS), t))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("FC"), trace, |b, t| {
+        b.iter(|| replay(&FcStack::<u64>::new(THREADS), t))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("CC"), trace, |b, t| {
+        b.iter(|| replay(&CcStack::<u64>::new(THREADS), t))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("TSI"), trace, |b, t| {
+        b.iter(|| replay(&TsiStack::<u64>::new(THREADS), t))
+    });
+    g.finish();
+}
+
+fn ping_pong(c: &mut Criterion) {
+    let trace = Trace::ping_pong(THREADS, OPS_PER_THREAD / 2);
+    bench_trace(c, "adversarial_ping_pong", &trace);
+}
+
+fn flood_drain(c: &mut Criterion) {
+    let trace = Trace::flood_drain(THREADS, OPS_PER_THREAD / 2);
+    bench_trace(c, "adversarial_flood_drain", &trace);
+}
+
+criterion_group!(benches, ping_pong, flood_drain);
+criterion_main!(benches);

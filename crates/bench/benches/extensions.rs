@@ -1,0 +1,182 @@
+//! Benchmarks for the extension structures (DESIGN.md §7): the sharded
+//! elimination pool and the per-end elimination/combining deque,
+//! against their naive counterparts (a single SEC stack; a plain
+//! lock-protected `VecDeque`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sec_core::deque::SecDeque;
+use sec_core::pool::SecPool;
+use sec_core::{SecConfig, SecStack};
+use sec_sync::TtasLock;
+use std::collections::VecDeque;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+const OPS_PER_THREAD: u64 = 2_000;
+
+fn threads() -> usize {
+    sec_sync::topology::hardware_threads().clamp(2, 8)
+}
+
+/// Fixed-work put/get pairs against the pool.
+fn timed_pool(shards: usize, n_threads: usize) -> Duration {
+    let pool: SecPool<u64> = SecPool::new(shards, n_threads + 1);
+    let barrier = Barrier::new(n_threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let pool = &pool;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = pool.register();
+                    barrier.wait();
+                    for i in 0..OPS_PER_THREAD {
+                        h.put(i);
+                        let _ = h.get();
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        start.elapsed()
+    })
+}
+
+/// Fixed-work push/pop pairs against a single stack (pool baseline).
+fn timed_stack(n_threads: usize) -> Duration {
+    let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(2, n_threads + 1));
+    let barrier = Barrier::new(n_threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let stack = &stack;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    barrier.wait();
+                    for i in 0..OPS_PER_THREAD {
+                        h.push(i);
+                        let _ = h.pop();
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        start.elapsed()
+    })
+}
+
+/// Fixed-work mixed-end ops against the SEC deque.
+fn timed_sec_deque(n_threads: usize) -> Duration {
+    let deque: SecDeque<u64> = SecDeque::new(n_threads + 1);
+    let barrier = Barrier::new(n_threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let deque = &deque;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = deque.register();
+                    barrier.wait();
+                    for i in 0..OPS_PER_THREAD {
+                        match (t as u64 + i) % 4 {
+                            0 => h.push_front(i),
+                            1 => h.push_back(i),
+                            2 => {
+                                let _ = h.pop_front();
+                            }
+                            _ => {
+                                let _ = h.pop_back();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        start.elapsed()
+    })
+}
+
+/// The deque baseline: every op takes the lock directly.
+fn timed_locked_deque(n_threads: usize) -> Duration {
+    let deque: TtasLock<VecDeque<u64>> = TtasLock::new(VecDeque::new());
+    let barrier = Barrier::new(n_threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let deque = &deque;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..OPS_PER_THREAD {
+                        let mut d = deque.lock();
+                        match (t as u64 + i) % 4 {
+                            0 => d.push_front(i),
+                            1 => d.push_back(i),
+                            2 => {
+                                let _ = d.pop_front();
+                            }
+                            _ => {
+                                let _ = d.pop_back();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        start.elapsed()
+    })
+}
+
+fn pool_bench(c: &mut Criterion) {
+    let n = threads();
+    let mut g = c.benchmark_group("ext_pool");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    g.bench_function("sec_stack_baseline", |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| timed_stack(n)).sum())
+    });
+    for shards in [1usize, 2, 4] {
+        g.bench_function(format!("pool_x{shards}"), |b| {
+            b.iter_custom(|iters| (0..iters).map(|_| timed_pool(shards, n)).sum())
+        });
+    }
+    g.finish();
+}
+
+fn deque_bench(c: &mut Criterion) {
+    let n = threads();
+    let mut g = c.benchmark_group("ext_deque");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    g.bench_function("locked_vecdeque", |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| timed_locked_deque(n)).sum())
+    });
+    g.bench_function("sec_deque", |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| timed_sec_deque(n)).sum())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pool_bench, deque_bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion companion to Figure 2: fixed-work completion time for all
+//! six algorithms under the three update mixes at a contended thread
+//! count. Lower is better; 1/time tracks the figure's Mops/s.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sec_bench::timed_algo;
+use sec_workload::{Mix, ALL_COMPETITORS};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 2_000;
+const PREFILL: usize = 1_000;
+
+fn bench_mix(c: &mut Criterion, mix: Mix, group: &str) {
+    let threads = sec_sync::topology::hardware_threads().clamp(2, 8);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for algo in ALL_COMPETITORS {
+        g.bench_function(algo.label(), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| timed_algo(algo, threads, OPS_PER_THREAD, mix, PREFILL))
+                    .sum()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig2(c: &mut Criterion) {
+    bench_mix(c, Mix::UPDATE_100, "fig2_upd100");
+    bench_mix(c, Mix::UPDATE_50, "fig2_upd50");
+    bench_mix(c, Mix::UPDATE_10, "fig2_upd10");
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

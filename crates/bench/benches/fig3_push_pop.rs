@@ -1,0 +1,43 @@
+//! Criterion companion to Figure 3: push-only and pop-only fixed work,
+//! exposing TSI's push/pop asymmetry and the combiners' behaviour with
+//! no elimination available.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sec_bench::timed_algo;
+use sec_workload::{Mix, ALL_COMPETITORS};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 2_000;
+
+fn bench(c: &mut Criterion, mix: Mix, group: &str, prefill: usize) {
+    let threads = sec_sync::topology::hardware_threads().clamp(2, 8);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for algo in ALL_COMPETITORS {
+        g.bench_function(algo.label(), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| timed_algo(algo, threads, OPS_PER_THREAD, mix, prefill))
+                    .sum()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    bench(c, Mix::PUSH_ONLY, "fig3_push_only", 0);
+    // Pop-only: prefill at least threads*ops so pops measure removal.
+    let threads = sec_sync::topology::hardware_threads().clamp(2, 8);
+    bench(
+        c,
+        Mix::POP_ONLY,
+        "fig3_pop_only",
+        (threads as u64 * OPS_PER_THREAD) as usize,
+    );
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion companion to Figure 4: SEC's aggregator-count ablation
+//! (K = 1..=5) under the update-heavy mix and push-only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sec_bench::timed_algo;
+use sec_workload::{Algo, Mix};
+use std::time::Duration;
+
+const OPS_PER_THREAD: u64 = 2_000;
+
+fn bench(c: &mut Criterion, mix: Mix, group: &str, prefill: usize) {
+    let threads = sec_sync::topology::hardware_threads().clamp(2, 8);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for k in 1..=5usize {
+        g.bench_function(format!("SEC_Agg{k}"), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| {
+                        timed_algo(
+                            Algo::Sec { aggregators: k },
+                            threads,
+                            OPS_PER_THREAD,
+                            mix,
+                            prefill,
+                        )
+                    })
+                    .sum()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    bench(c, Mix::UPDATE_100, "fig4_upd100", 1_000);
+    bench(c, Mix::PUSH_ONLY, "fig4_push_only", 0);
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Figure 2** (and its per-machine variants Figure 5 /
+//! Figure 9): throughput vs thread count for all six algorithms under
+//! the three update mixes (100%, 50%, 10%).
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin fig2 -- --duration-ms 5000 --runs 5
+//! ```
+//!
+//! Prints one table per mix (series = algorithms, rows = thread counts,
+//! cells = Mops/s) and writes `results/fig2_upd{100,50,10}.csv`.
+
+use sec_bench::BenchOpts;
+use sec_workload::stats::Summary;
+use sec_workload::table::Figure;
+use sec_workload::{run_algo, Mix, RunConfig, ALL_COMPETITORS};
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("{}", opts.banner("Figure 2: throughput vs #threads, 6 algorithms, 3 mixes"));
+    let sweep = opts.sweep();
+
+    for (mix, stem) in [
+        (Mix::UPDATE_100, "fig2_upd100"),
+        (Mix::UPDATE_50, "fig2_upd50"),
+        (Mix::UPDATE_10, "fig2_upd10"),
+    ] {
+        let mut fig = Figure::new(format!("Figure 2 — {mix}"), sweep.clone());
+        for algo in ALL_COMPETITORS {
+            let mut ys = Vec::with_capacity(sweep.len());
+            for &threads in &sweep {
+                let cfg = RunConfig {
+                    duration: opts.duration,
+                    prefill: opts.prefill,
+                    ..RunConfig::new(threads, mix)
+                };
+                let samples: Vec<f64> = (0..opts.runs)
+                    .map(|r| {
+                        let cfg = RunConfig {
+                            seed: cfg.seed ^ (r as u64) << 32,
+                            ..cfg
+                        };
+                        run_algo(algo, &cfg).result.mops()
+                    })
+                    .collect();
+                let s = Summary::of(&samples);
+                eprintln!(
+                    "  {mix} | {algo:>8} | {threads:>3} threads: {:.3} Mops/s (cv {:.1}%)",
+                    s.mean,
+                    s.cv_pct()
+                );
+                ys.push(s.mean);
+            }
+            fig.add_series(algo.label(), ys);
+        }
+        println!("{}", fig.render_table());
+        println!("{}", fig.render_ascii_plot(12));
+        if let Err(e) = fig.write_csv(&opts.csv_dir, stem) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+    let _ = Duration::ZERO; // keep the import when features change
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Figure 3** (and Figures 6/10): push-only and pop-only
+//! throughput — the workloads where no elimination is possible,
+//! isolating each algorithm's combining/synchronization cost and TSI's
+//! push/pop asymmetry.
+//!
+//! For the pop-only workload the stack is prefilled proportionally to
+//! the expected op volume so pops don't just measure the EMPTY path.
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin fig3
+//! ```
+
+use sec_bench::BenchOpts;
+use sec_workload::stats::Summary;
+use sec_workload::table::Figure;
+use sec_workload::{run_algo, Mix, RunConfig, ALL_COMPETITORS};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("{}", opts.banner("Figure 3: push-only and pop-only throughput"));
+    let sweep = opts.sweep();
+
+    for (mix, stem) in [(Mix::PUSH_ONLY, "fig3_push_only"), (Mix::POP_ONLY, "fig3_pop_only")] {
+        let mut fig = Figure::new(format!("Figure 3 — {mix}"), sweep.clone());
+        for algo in ALL_COMPETITORS {
+            let mut ys = Vec::with_capacity(sweep.len());
+            for &threads in &sweep {
+                // Pop-only: scale the prefill with the measurement
+                // window so pops measure removal, not the EMPTY path
+                // (capped to bound memory on paper-length runs).
+                let prefill = if mix == Mix::POP_ONLY {
+                    (opts.duration.as_millis() as usize * 4_000)
+                        .clamp(100_000, 2_000_000)
+                } else {
+                    opts.prefill
+                };
+                let cfg = RunConfig {
+                    duration: opts.duration,
+                    prefill,
+                    ..RunConfig::new(threads, mix)
+                };
+                let samples: Vec<f64> = (0..opts.runs)
+                    .map(|r| {
+                        let cfg = RunConfig {
+                            seed: cfg.seed ^ (r as u64) << 32,
+                            ..cfg
+                        };
+                        run_algo(algo, &cfg).result.mops()
+                    })
+                    .collect();
+                let s = Summary::of(&samples);
+                eprintln!(
+                    "  {mix} | {algo:>8} | {threads:>3} threads: {:.3} Mops/s",
+                    s.mean
+                );
+                ys.push(s.mean);
+            }
+            fig.add_series(algo.label(), ys);
+        }
+        println!("{}", fig.render_table());
+        println!("{}", fig.render_ascii_plot(12));
+        if let Err(e) = fig.write_csv(&opts.csv_dir, stem) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+}

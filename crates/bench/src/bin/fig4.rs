@@ -1,0 +1,74 @@
+//! Regenerates **Figure 4** (and Figures 7/8/11/12): SEC's
+//! aggregator-count ablation — SEC_Agg1 … SEC_Agg5 across the three
+//! update mixes plus push-only and pop-only.
+//!
+//! The paper's findings this reproduces: push-only favours more
+//! aggregators (pure contention dispersal, no elimination to lose);
+//! 100% updates favours 2–4; read-heavier mixes favour 1–2 (elimination
+//! opportunities concentrate).
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin fig4
+//! ```
+
+use sec_bench::BenchOpts;
+use sec_workload::stats::Summary;
+use sec_workload::table::Figure;
+use sec_workload::{run_algo, Algo, Mix, RunConfig};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("{}", opts.banner("Figure 4: SEC with 1..=5 aggregators"));
+    let sweep = opts.sweep();
+
+    for (mix, stem) in [
+        (Mix::UPDATE_100, "fig4_upd100"),
+        (Mix::UPDATE_50, "fig4_upd50"),
+        (Mix::UPDATE_10, "fig4_upd10"),
+        (Mix::PUSH_ONLY, "fig4_push_only"),
+        (Mix::POP_ONLY, "fig4_pop_only"),
+    ] {
+        let mut fig = Figure::new(format!("Figure 4 — {mix}"), sweep.clone());
+        for k in 1..=5usize {
+            let algo = Algo::Sec { aggregators: k };
+            let mut ys = Vec::with_capacity(sweep.len());
+            for &threads in &sweep {
+                // Pop-only: scale the prefill with the measurement
+                // window so pops measure removal, not the EMPTY path
+                // (capped to bound memory on paper-length runs).
+                let prefill = if mix == Mix::POP_ONLY {
+                    (opts.duration.as_millis() as usize * 4_000)
+                        .clamp(100_000, 2_000_000)
+                } else {
+                    opts.prefill
+                };
+                let cfg = RunConfig {
+                    duration: opts.duration,
+                    prefill,
+                    ..RunConfig::new(threads, mix)
+                };
+                let samples: Vec<f64> = (0..opts.runs)
+                    .map(|r| {
+                        let cfg = RunConfig {
+                            seed: cfg.seed ^ (r as u64) << 32,
+                            ..cfg
+                        };
+                        run_algo(algo, &cfg).result.mops()
+                    })
+                    .collect();
+                let s = Summary::of(&samples);
+                eprintln!(
+                    "  {mix} | SEC_Agg{k} | {threads:>3} threads: {:.3} Mops/s",
+                    s.mean
+                );
+                ys.push(s.mean);
+            }
+            fig.add_series(format!("SEC_Agg{k}"), ys);
+        }
+        println!("{}", fig.render_table());
+        println!("{}", fig.render_ascii_plot(12));
+        if let Err(e) = fig.write_csv(&opts.csv_dir, stem) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+}

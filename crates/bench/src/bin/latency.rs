@@ -1,0 +1,74 @@
+//! Per-operation latency percentiles for all six algorithms — the
+//! distributional view behind the throughput figures (SEC and the
+//! combining stacks are blocking, so their tails carry the
+//! freezer/combiner waits; TSI's tail carries its pop-side scans).
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin latency
+//! ```
+
+use sec_baselines::{
+    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+};
+use sec_bench::BenchOpts;
+use sec_core::{SecConfig, SecStack};
+use sec_workload::{measure_latency, Algo, LatencyReport, Mix, ALL_COMPETITORS};
+
+fn measure(algo: Algo, threads: usize, ops: u64, mix: Mix) -> LatencyReport {
+    let cap = threads + 1;
+    match algo {
+        Algo::Sec { aggregators } => measure_latency(
+            &SecStack::<u64>::with_config(SecConfig::new(aggregators, cap)),
+            threads,
+            ops,
+            mix,
+        ),
+        Algo::Trb => measure_latency(&TreiberStack::<u64>::new(cap), threads, ops, mix),
+        Algo::Eb => measure_latency(&EbStack::<u64>::new(cap), threads, ops, mix),
+        Algo::Fc => measure_latency(&FcStack::<u64>::new(cap), threads, ops, mix),
+        Algo::Cc => measure_latency(&CcStack::<u64>::new(cap), threads, ops, mix),
+        Algo::Tsi => measure_latency(&TsiStack::<u64>::new(cap), threads, ops, mix),
+        Algo::TrbHp => measure_latency(&TreiberHpStack::<u64>::new(cap), threads, ops, mix),
+        Algo::Lck => measure_latency(&LockedStack::<u64>::new(cap), threads, ops, mix),
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("{}", opts.banner("Per-op latency percentiles (ns)"));
+    let threads = *opts.sweep().last().unwrap_or(&2);
+    let ops_per_thread = 5_000u64;
+
+    let mut csv = String::from("mix,algo,p50_ns,p90_ns,p99_ns,max_ns\n");
+    for mix in [Mix::UPDATE_100, Mix::UPDATE_50, Mix::UPDATE_10] {
+        println!("## {mix} @ {threads} threads ({ops_per_thread} timed ops/thread)");
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>12}",
+            "algo", "p50", "p90", "p99", "max"
+        );
+        for algo in ALL_COMPETITORS {
+            let r = measure(algo, threads, ops_per_thread, mix);
+            println!(
+                "{:>8} {:>10} {:>10} {:>10} {:>12}",
+                algo.label(),
+                r.p50,
+                r.p90,
+                r.p99,
+                r.max
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                mix.label(),
+                algo.label(),
+                r.p50,
+                r.p90,
+                r.p99,
+                r.max
+            ));
+        }
+        println!();
+    }
+    if std::fs::create_dir_all(&opts.csv_dir).is_ok() {
+        let _ = std::fs::write(opts.csv_dir.join("latency.csv"), csv);
+    }
+}

@@ -1,0 +1,175 @@
+//! Soak test: hours-long randomized stress with conservation checking.
+//!
+//! `validate` answers "is it correct right now" in seconds; this binary
+//! answers "does it stay correct under sustained random load" — the
+//! test an adopter runs overnight before trusting a concurrent data
+//! structure. Every worker tags its pushes (`tid << 40 | counter`) and
+//! tallies what it pushed and popped; at the end the stack is drained
+//! and three invariants are checked per algorithm:
+//!
+//! 1. **count conservation** — pushes = pops + drained remainder,
+//! 2. **sum conservation** — the tag sums balance the same way (catches
+//!    duplication that count alone can miss),
+//! 3. **no phantoms** — every drained tag decodes to a valid worker.
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin soak -- --duration-ms 60000
+//! ```
+
+use sec_bench::BenchOpts;
+use sec_core::{ConcurrentStack, StackHandle};
+use sec_workload::EXTENDED_LINEUP;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Per-worker tally, combined after the run.
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    pushes: u64,
+    push_sum: u128,
+    pops: u64,
+    pop_sum: u128,
+}
+
+fn soak_one<S: ConcurrentStack<u64>>(stack: &S, threads: usize, opts: &BenchOpts) -> Result<(), String> {
+    let barrier = Barrier::new(threads + 1);
+    let stop = AtomicBool::new(false);
+
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stack = &stack;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut tally = Tally::default();
+                    // Cheap xorshift; value tags encode the worker.
+                    let mut x = (t as u64 + 1) | 1;
+                    let mut counter = 0u64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            if x % 100 < 55 {
+                                // Slight push bias keeps the stack populated.
+                                let v = ((t as u64) << 40) | counter;
+                                counter += 1;
+                                h.push(v);
+                                tally.pushes += 1;
+                                tally.push_sum += v as u128;
+                            } else if let Some(v) = h.pop() {
+                                tally.pops += 1;
+                                tally.pop_sum += v as u128;
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        barrier.wait();
+        let deadline = Instant::now() + opts.duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(opts.duration.min(std::time::Duration::from_millis(200)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak worker panicked"))
+            .collect()
+    });
+
+    let mut total = Tally::default();
+    for t in &tallies {
+        total.pushes += t.pushes;
+        total.push_sum += t.push_sum;
+        total.pops += t.pops;
+        total.pop_sum += t.pop_sum;
+    }
+
+    // Drain and fold the remainder into the pop side.
+    let mut h = stack.register();
+    let mut drained = 0u64;
+    while let Some(v) = h.pop() {
+        drained += 1;
+        total.pops += 1;
+        total.pop_sum += v as u128;
+        let tid = (v >> 40) as usize;
+        if tid >= threads {
+            return Err(format!("phantom value {v:#x}: no worker {tid}"));
+        }
+    }
+
+    if total.pushes != total.pops {
+        return Err(format!(
+            "count conservation violated: {} pushed, {} popped (incl. {} drained)",
+            total.pushes, total.pops, drained
+        ));
+    }
+    if total.push_sum != total.pop_sum {
+        return Err(format!(
+            "sum conservation violated: pushed {} vs popped {}",
+            total.push_sum, total.pop_sum
+        ));
+    }
+    println!(
+        "    {:>9} ops conserved ({} drained at shutdown)",
+        total.pushes + total.pops,
+        drained
+    );
+    Ok(())
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let threads = *opts.sweep().last().unwrap_or(&4);
+    println!("{}", opts.banner("Soak: sustained random load + conservation"));
+    println!("# {threads} threads, {:?} per algorithm\n", opts.duration);
+
+    let mut failures = 0u32;
+    for algo in EXTENDED_LINEUP {
+        println!("  soaking {algo} ...");
+        let result = run(algo, threads, &opts);
+        if let Err(e) = result {
+            println!("    FAIL: {e}");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("\nall algorithms conserved under soak");
+    } else {
+        println!("\n{failures} algorithm(s) FAILED the soak");
+        std::process::exit(1);
+    }
+}
+
+/// Constructs the stack for `algo` and soaks it. (Mirrors
+/// `sec_workload::run_algo`, but the soak needs direct generic access
+/// to drain through the same handle type.)
+fn run(algo: sec_workload::Algo, threads: usize, opts: &BenchOpts) -> Result<(), String> {
+    use sec_baselines::{
+        CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+    };
+    use sec_core::{SecConfig, SecStack};
+    use sec_workload::Algo;
+
+    let cap = threads + 1;
+    match algo {
+        Algo::Sec { aggregators } => soak_one(
+            &SecStack::<u64>::with_config(SecConfig::new(aggregators, cap)),
+            threads,
+            opts,
+        ),
+        Algo::Trb => soak_one(&TreiberStack::<u64>::new(cap), threads, opts),
+        Algo::Eb => soak_one(&EbStack::<u64>::new(cap), threads, opts),
+        Algo::Fc => soak_one(&FcStack::<u64>::new(cap), threads, opts),
+        Algo::Cc => soak_one(&CcStack::<u64>::new(cap), threads, opts),
+        Algo::Tsi => soak_one(&TsiStack::<u64>::new(cap), threads, opts),
+        Algo::TrbHp => soak_one(&TreiberHpStack::<u64>::new(cap), threads, opts),
+        Algo::Lck => soak_one(&LockedStack::<u64>::new(cap), threads, opts),
+    }
+}

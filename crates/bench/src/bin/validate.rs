@@ -1,0 +1,143 @@
+//! Artifact-style validation entry point: quick correctness checks for
+//! every stack implementation, printed as a PASS/FAIL report. Runs in
+//! seconds; the full evidence is `cargo test --workspace`.
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin validate
+//! ```
+
+use sec_baselines::{
+    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+};
+use sec_core::{ConcurrentStack, SecConfig, SecStack, StackHandle};
+use std::collections::HashSet;
+use std::thread;
+
+/// LIFO check, single thread.
+fn check_lifo<S: ConcurrentStack<u64>>(stack: &S) -> Result<(), String> {
+    let mut h = stack.register();
+    for i in 0..1_000 {
+        h.push(i);
+    }
+    for i in (0..1_000).rev() {
+        let got = h.pop();
+        if got != Some(i) {
+            return Err(format!("expected Some({i}), got {got:?}"));
+        }
+    }
+    if h.pop().is_some() {
+        return Err("stack not empty after drain".into());
+    }
+    Ok(())
+}
+
+/// Conservation check, concurrent.
+fn check_conservation<S: ConcurrentStack<u64>>(stack: &S, threads: usize) -> Result<(), String> {
+    const PER: usize = 2_000;
+    let popped: Vec<Vec<u64>> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let stack = &stack;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut got = Vec::new();
+                    for i in 0..PER {
+                        h.push((t * PER + i) as u64);
+                        if i % 2 == 0 {
+                            if let Some(v) = h.pop() {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+    let mut seen = HashSet::new();
+    for v in popped.into_iter().flatten() {
+        if !seen.insert(v) {
+            return Err(format!("value {v} popped twice"));
+        }
+    }
+    let mut h = stack.register();
+    while let Some(v) = h.pop() {
+        if !seen.insert(v) {
+            return Err(format!("value {v} popped twice in drain"));
+        }
+    }
+    if seen.len() != threads * PER {
+        return Err(format!(
+            "lost values: {} of {} accounted",
+            seen.len(),
+            threads * PER
+        ));
+    }
+    Ok(())
+}
+
+fn report(name: &str, what: &str, r: Result<(), String>, failures: &mut u32) {
+    match r {
+        Ok(()) => println!("  PASS  {name:<6} {what}"),
+        Err(e) => {
+            println!("  FAIL  {name:<6} {what}: {e}");
+            *failures += 1;
+        }
+    }
+}
+
+fn main() {
+    const THREADS: usize = 8;
+    let mut failures = 0u32;
+    println!("validating all stack implementations ({THREADS} threads)...");
+
+    macro_rules! validate {
+        ($name:expr, $make:expr) => {{
+            let s = $make;
+            report($name, "sequential LIFO", check_lifo(&s), &mut failures);
+            let s = $make;
+            report(
+                $name,
+                "concurrent conservation",
+                check_conservation(&s, THREADS),
+                &mut failures,
+            );
+        }};
+    }
+
+    validate!("SEC", SecStack::<u64>::with_config(SecConfig::new(2, THREADS + 1)));
+    validate!("TRB", TreiberStack::<u64>::new(THREADS + 1));
+    validate!("EB", EbStack::<u64>::new(THREADS + 1));
+    validate!("FC", FcStack::<u64>::new(THREADS + 1));
+    validate!("CC", CcStack::<u64>::new(THREADS + 1));
+    validate!("TSI", TsiStack::<u64>::new(THREADS + 1));
+    validate!("TRB-HP", TreiberHpStack::<u64>::new(THREADS + 1));
+    validate!("LCK", LockedStack::<u64>::new(THREADS + 1));
+
+    // SEC accounting identity under load.
+    {
+        let s: SecStack<u64> = SecStack::with_config(SecConfig::new(2, THREADS + 1));
+        let _ = check_conservation(&s, THREADS);
+        let r = s.stats().report();
+        report(
+            "SEC",
+            "batch accounting identity",
+            if r.eliminated + r.combined == r.ops {
+                Ok(())
+            } else {
+                Err(format!("{r:?}"))
+            },
+            &mut failures,
+        );
+    }
+
+    if failures == 0 {
+        println!("all validations passed");
+    } else {
+        println!("{failures} validation(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,264 @@
+//! # `sec-bench` — the paper's evaluation, regenerated
+//!
+//! Two kinds of benchmarks live here:
+//!
+//! * **Figure/table binaries** (`src/bin/`): each regenerates one
+//!   figure or table of the paper as text tables + ASCII plots + CSV —
+//!   `fig2` (throughput vs threads × 3 mixes × 6 algorithms),
+//!   `fig3` (push-only / pop-only), `fig4` (aggregator ablation),
+//!   `table1` (batching/elimination/combining degrees, with the
+//!   binomial-model companion rows), the extension ablations
+//!   `faa_ablation` (aggregating funnel vs hardware F&A vs lock),
+//!   `freezer_backoff` (the §3.1 backoff tunable), `recl_ablation`
+//!   (EBR vs hazard pointers vs leak floor), `lock_ablation`
+//!   (Mutex/TTAS/MCS/CLH), `shard_policy` (Block vs RoundRobin), and
+//!   `latency` (per-op percentiles), plus the artifact checks
+//!   `validate` (seconds-scale PASS/FAIL) and `soak` (sustained-load
+//!   conservation). Run e.g.:
+//!
+//!   ```text
+//!   cargo run -p sec-bench --release --bin fig2 -- --duration-ms 5000 --runs 5
+//!   ```
+//!
+//! * **Criterion benches** (`benches/`): statistically disciplined
+//!   latency/throughput microbenchmarks backing the same experiments at
+//!   fixed thread counts (`cargo bench --workspace`).
+//!
+//! This module provides the shared command-line parsing and the
+//! fixed-work contended-run helper the Criterion benches use.
+
+#![warn(missing_docs)]
+
+use sec_baselines::{CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack};
+use sec_core::{ConcurrentStack, SecConfig, SecStack, StackHandle};
+use sec_workload::{Algo, Mix};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by every figure binary.
+///
+/// Defaults are laptop-scale; the paper's settings are
+/// `--duration-ms 5000 --runs 5`.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Measurement duration per (algorithm, thread-count) cell.
+    pub duration: Duration,
+    /// Repetitions averaged per cell (paper: 5).
+    pub runs: usize,
+    /// Cap on the thread sweep.
+    pub max_threads: usize,
+    /// Explicit sweep points (overrides the host-derived sweep). Lets
+    /// the binaries reproduce the paper's exact x-axes, e.g.
+    /// `--threads 24,48,72,96,120,144,168,192,216,240` for the
+    /// IceLake/Sapphire figures.
+    pub threads_list: Option<Vec<usize>>,
+    /// Prefill size (paper: 1000).
+    pub prefill: usize,
+    /// Directory for CSV output (`results/` by default).
+    pub csv_dir: std::path::PathBuf,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            duration: Duration::from_millis(250),
+            runs: 3,
+            max_threads: 64,
+            threads_list: None,
+            prefill: 1000,
+            csv_dir: "results".into(),
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `--duration-ms N --runs N --max-threads N --prefill N
+    /// --csv DIR` from the process arguments; unknown flags abort with
+    /// a usage message.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--duration-ms" => {
+                    opts.duration = Duration::from_millis(
+                        value("--duration-ms").parse().expect("invalid duration"),
+                    )
+                }
+                "--runs" => opts.runs = value("--runs").parse().expect("invalid runs"),
+                "--max-threads" => {
+                    opts.max_threads = value("--max-threads").parse().expect("invalid threads")
+                }
+                "--threads" => {
+                    let list: Vec<usize> = value("--threads")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("invalid --threads list"))
+                        .collect();
+                    assert!(!list.is_empty(), "--threads list must not be empty");
+                    opts.threads_list = Some(list);
+                }
+                "--prefill" => opts.prefill = value("--prefill").parse().expect("invalid prefill"),
+                "--csv" => opts.csv_dir = value("--csv").into(),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --duration-ms N  --runs N  --max-threads N  --threads A,B,C  --prefill N  --csv DIR\n\
+                         paper settings: --duration-ms 5000 --runs 5 --threads 8,16,24,32,40,48,56 (Emerald x-axis)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        opts
+    }
+
+    /// The thread sweep for this host, capped by `--max-threads`, or
+    /// the exact `--threads` list when one was given.
+    ///
+    /// The derived sweep always reaches at least 16 threads (subject to
+    /// the cap): the paper's interesting regime is *high* thread
+    /// counts, and on small hosts that regime only exists via
+    /// oversubscription (the paper itself runs past its machines'
+    /// hardware threads — the "oversubscribed after N" marks in
+    /// Figures 2/5/9).
+    pub fn sweep(&self) -> Vec<usize> {
+        if let Some(list) = &self.threads_list {
+            return list.clone();
+        }
+        let hw = sec_sync::topology::hardware_threads();
+        let factor = 2usize.max(16usize.div_ceil(hw));
+        sec_sync::topology::thread_sweep(hw, factor, self.max_threads)
+    }
+
+    /// Host/configuration banner printed at the top of every figure.
+    pub fn banner(&self, what: &str) -> String {
+        format!(
+            "# {what}\n# host: {} hardware threads; duration {:?} x {} runs; prefill {}\n\
+             # (paper: Intel Emerald 56 hw threads / IceLake 96 / Sapphire 192, 5s x 5 runs)",
+            sec_sync::topology::hardware_threads(),
+            self.duration,
+            self.runs,
+            self.prefill
+        )
+    }
+}
+
+/// Runs `ops_per_thread` operations of `mix` on each of `threads`
+/// workers against `stack` and returns the wall-clock duration from the
+/// moment all workers are released to the moment the last one finishes
+/// (fixed-work measurement for Criterion's `iter_custom`).
+pub fn timed_fixed_work<S: ConcurrentStack<u64>>(
+    stack: &S,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+) -> Duration {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sec_workload::OpKind;
+
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stack = &stack;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut rng = SmallRng::seed_from_u64(0xFEED ^ (t as u64) << 7);
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        match mix.classify(rng.gen_range(0..100)) {
+                            OpKind::Push => h.push(rng.gen_range(0..100_000)),
+                            OpKind::Pop => {
+                                let _ = h.pop();
+                            }
+                            OpKind::Peek => {
+                                let _ = h.peek();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Clock before the release barrier: see sec_workload::trace —
+        // starting it after can miss the entire run on an oversubscribed
+        // host (the workers finish while this thread is descheduled).
+        let start = Instant::now();
+        barrier.wait();
+        for h in handles {
+            h.join().expect("bench worker panicked");
+        }
+        start.elapsed()
+    })
+}
+
+/// Prefills `stack` with `prefill` pseudo-random values.
+fn prefill_stack<S: ConcurrentStack<u64>>(stack: &S, prefill: usize) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut h = stack.register();
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..prefill {
+        h.push(rng.gen_range(0..100_000));
+    }
+}
+
+/// Constructs a fresh instance of `algo`, prefills it, and measures the
+/// fixed-work duration (Criterion `iter_custom` building block; one
+/// stack per call so iterations are independent).
+pub fn timed_algo(
+    algo: Algo,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+    prefill: usize,
+) -> Duration {
+    let cap = threads + 1;
+    match algo {
+        Algo::Sec { aggregators } => {
+            let s: SecStack<u64> = SecStack::with_config(SecConfig::new(aggregators, cap));
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::Trb => {
+            let s: TreiberStack<u64> = TreiberStack::new(cap);
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::Eb => {
+            let s: EbStack<u64> = EbStack::new(cap);
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::Fc => {
+            let s: FcStack<u64> = FcStack::new(cap);
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::Cc => {
+            let s: CcStack<u64> = CcStack::new(cap);
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::Tsi => {
+            let s: TsiStack<u64> = TsiStack::new(cap);
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::TrbHp => {
+            let s: TreiberHpStack<u64> = TreiberHpStack::new(cap);
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::Lck => {
+            let s: LockedStack<u64> = LockedStack::new(cap);
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Construction-time tunables of the SEC stack.
+
+/// How thread ids map to aggregators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Contiguous blocks: with `K` aggregators and `N` threads, thread
+    /// `t` goes to aggregator `t * K / N`. This is the paper's default
+    /// ("with two aggregators and ten threads, the first aggregator
+    /// serves the first five threads") and keeps neighbouring thread
+    /// ids — often neighbouring cores — on the same aggregator.
+    Block,
+    /// Striped: thread `t` goes to aggregator `t mod K`.
+    RoundRobin,
+}
+
+/// Configuration of a [`SecStack`](crate::SecStack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecConfig {
+    /// Number of aggregators `K` (≥ 1). The paper's evaluation uses 2
+    /// as the best all-round setting (Figure 4).
+    pub aggregators: usize,
+    /// Maximum number of threads that will ever register (≥ 1). Sizes
+    /// the elimination arrays and the reclamation registry.
+    pub max_threads: usize,
+    /// Spin iterations the freezer waits before freezing its batch
+    /// (§3.1: "the freezer thread executes a short backoff before
+    /// freezing B to increase the elimination degree"). 0 disables.
+    pub freezer_backoff: u32,
+    /// `yield_now` calls appended to the freezer's backoff. On a machine
+    /// with free cores a yield returns almost immediately (nothing to
+    /// switch to), so this costs little; on an *oversubscribed* host it
+    /// is the only way the backoff can achieve the paper's goal — other
+    /// threads must get CPU time to announce into the batch. 0 disables.
+    pub freezer_yields: u32,
+    /// Thread-to-aggregator mapping.
+    pub shard_policy: ShardPolicy,
+}
+
+impl SecConfig {
+    /// Paper-default configuration: `K = 2` aggregators, a short freezer
+    /// backoff, block sharding.
+    pub fn new(aggregators: usize, max_threads: usize) -> Self {
+        // Defaults from the freezer_backoff ablation (see
+        // EXPERIMENTS.md): pause-loop spins tax every batch without
+        // aggregating anything once the host is saturated, while a
+        // single yield is cheap on idle cores and is what actually
+        // fills batches when threads outnumber cores — at 16 threads it
+        // lifts the batching degree from 1.0 to ~7 and the elimination
+        // share from 0% to ~70% (the paper's Table 1 zone).
+        Self {
+            aggregators: aggregators.max(1),
+            max_threads: max_threads.max(1),
+            freezer_backoff: 0,
+            freezer_yields: 1,
+            shard_policy: ShardPolicy::Block,
+        }
+    }
+
+    /// Sets the freezer backoff (builder style).
+    pub fn freezer_backoff(mut self, spins: u32) -> Self {
+        self.freezer_backoff = spins;
+        self
+    }
+
+    /// Sets the freezer yield count (builder style).
+    pub fn freezer_yields(mut self, yields: u32) -> Self {
+        self.freezer_yields = yields;
+        self
+    }
+
+    /// Sets the sharding policy (builder style).
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
+        self
+    }
+
+    /// Aggregator index for thread `tid` under this configuration.
+    pub fn aggregator_of(&self, tid: usize) -> usize {
+        debug_assert!(tid < self.max_threads);
+        match self.shard_policy {
+            ShardPolicy::Block => tid * self.aggregators / self.max_threads,
+            ShardPolicy::RoundRobin => tid % self.aggregators,
+        }
+    }
+
+    /// Upper bound on threads assigned to any single aggregator; sizes
+    /// each batch's elimination array (the paper's per-aggregator `P`).
+    pub fn per_aggregator_capacity(&self) -> usize {
+        // Ceiling division; exact for Block, an upper bound for both.
+        self.max_threads.div_ceil(self.aggregators)
+    }
+}
+
+impl Default for SecConfig {
+    /// `K = 2`, capacity for the host's hardware threads (at least 2).
+    fn default() -> Self {
+        Self::new(2, sec_sync::topology::hardware_threads().max(2) * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_block_assignment() {
+        // "with two aggregators and ten threads, the first aggregator
+        //  serves the first five threads and the second the remaining
+        //  five" (§3.2).
+        let c = SecConfig::new(2, 10);
+        for t in 0..5 {
+            assert_eq!(c.aggregator_of(t), 0, "tid {t}");
+        }
+        for t in 5..10 {
+            assert_eq!(c.aggregator_of(t), 1, "tid {t}");
+        }
+    }
+
+    #[test]
+    fn block_assignment_is_balanced_and_in_range() {
+        for k in 1..=5 {
+            for n in 1..=32 {
+                let c = SecConfig::new(k, n);
+                let mut counts = vec![0usize; k];
+                for t in 0..n {
+                    let a = c.aggregator_of(t);
+                    assert!(a < k);
+                    counts[a] += 1;
+                }
+                let cap = c.per_aggregator_capacity();
+                assert!(counts.iter().all(|&x| x <= cap), "k={k} n={n} {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_stripes() {
+        let c = SecConfig::new(3, 9).shard_policy(ShardPolicy::RoundRobin);
+        assert_eq!(c.aggregator_of(0), 0);
+        assert_eq!(c.aggregator_of(1), 1);
+        assert_eq!(c.aggregator_of(2), 2);
+        assert_eq!(c.aggregator_of(3), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let c = SecConfig::new(0, 0);
+        assert_eq!(c.aggregators, 1);
+        assert_eq!(c.max_threads, 1);
+        assert_eq!(c.aggregator_of(0), 0);
+        assert_eq!(c.per_aggregator_capacity(), 1);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = SecConfig::new(2, 4)
+            .freezer_backoff(7)
+            .shard_policy(ShardPolicy::RoundRobin);
+        assert_eq!(c.freezer_backoff, 7);
+        assert_eq!(c.shard_policy, ShardPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn default_is_two_aggregators() {
+        let c = SecConfig::default();
+        assert_eq!(c.aggregators, 2);
+        assert!(c.max_threads >= 2);
+    }
+}

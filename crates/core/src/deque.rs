@@ -1,0 +1,537 @@
+//! A concurrent deque with SEC-style elimination and combining front
+//! ends — the transfer the paper's conclusion claims: "the novel
+//! sharded elimination and efficient combining are of independent
+//! interest and can be applied to other concurrent data structures,
+//! such as deques".
+//!
+//! Construction: a sequential `VecDeque` behind a combiner lock, plus
+//! one SEC batch layer *per end*. An operation on an end announces
+//! itself with a fetch&increment in that end's current batch, exactly
+//! as in the stack:
+//!
+//! * the first announcement freezes the batch (after the aggregation
+//!   backoff) and installs a fresh one;
+//! * a `push_front` and a `pop_front` with the same sequence number
+//!   **eliminate** through the batch's slot array (adjacent
+//!   `push_front`/`pop_front` pairs cancel on a deque just as
+//!   `push`/`pop` pairs cancel on a stack — and symmetrically at the
+//!   back);
+//! * the surviving operations (all of one type) are applied under the
+//!   lock by the batch's **combiner** in sequence-number order; waiting
+//!   pops receive their results through a linked result chain, the
+//!   deque analogue of `PopFromStack`'s substack.
+//!
+//! Compared to the stack, the shared structure is lock-based rather
+//! than CAS-based — the point here is the *mechanism transfer*
+//! (announcement counters, freezing, slot elimination, combining), not
+//! a new lock-free deque.
+
+use crate::config::SecConfig;
+use crate::sec::batch::{Aggregator, Batch};
+use crate::sec::node::Node;
+use core::fmt;
+use core::ptr;
+use core::sync::atomic::Ordering;
+use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
+use sec_sync::{Backoff, TtasLock};
+use std::collections::VecDeque;
+
+/// Which end an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum End {
+    /// The front of the deque.
+    Front,
+    /// The back of the deque.
+    Back,
+}
+
+/// A blocking linearizable deque with per-end sharded elimination and
+/// combining.
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::deque::SecDeque;
+///
+/// let d: SecDeque<u32> = SecDeque::new(2);
+/// let mut h = d.register();
+/// h.push_front(1);
+/// h.push_back(2);
+/// assert_eq!(h.pop_front(), Some(1));
+/// assert_eq!(h.pop_back(), Some(2));
+/// assert_eq!(h.pop_front(), None);
+/// ```
+pub struct SecDeque<T: Send + 'static> {
+    inner: TtasLock<VecDeque<T>>,
+    front: Aggregator<T>,
+    back: Aggregator<T>,
+    collector: Collector,
+    config: SecConfig,
+}
+
+unsafe impl<T: Send> Send for SecDeque<T> {}
+unsafe impl<T: Send> Sync for SecDeque<T> {}
+
+impl<T: Send + 'static> SecDeque<T> {
+    /// Creates a deque for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        // One "aggregator" per end; capacity must admit every thread
+        // (any thread may operate on either end).
+        let config = SecConfig::new(1, max_threads);
+        let cap = config.max_threads;
+        Self {
+            inner: TtasLock::new(VecDeque::new()),
+            front: Aggregator::new(cap),
+            back: Aggregator::new(cap),
+            collector: Collector::new(cap),
+            config,
+        }
+    }
+
+    /// Registers the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// If more threads register than the deque was constructed for.
+    pub fn register(&self) -> DequeHandle<'_, T> {
+        DequeHandle {
+            deque: self,
+            reclaim: self
+                .collector
+                .register()
+                .expect("SecDeque: more threads registered than max_threads"),
+        }
+    }
+
+    fn aggregator(&self, end: End) -> &Aggregator<T> {
+        match end {
+            End::Front => &self.front,
+            End::Back => &self.back,
+        }
+    }
+
+    /// The freeze protocol, shared verbatim with the stack.
+    fn freeze_or_wait(
+        &self,
+        agg: &Aggregator<T>,
+        batch_ptr: *mut Batch<T>,
+        my_seq: u64,
+        guard: &Guard<'_, '_>,
+    ) {
+        let batch = unsafe { &*batch_ptr };
+        if my_seq == 0 && !batch.freezer_decided.swap(true, Ordering::AcqRel) {
+            for _ in 0..self.config.freezer_backoff {
+                core::hint::spin_loop();
+            }
+            for _ in 0..self.config.freezer_yields {
+                std::thread::yield_now();
+            }
+            let pops = batch.pop_count.load(Ordering::Acquire);
+            let pushes = batch.push_count.load(Ordering::Acquire);
+            batch.pop_at_freeze.store(pops, Ordering::Relaxed);
+            batch.push_at_freeze.store(pushes, Ordering::Relaxed);
+            let fresh = Batch::alloc(self.config.per_aggregator_capacity());
+            agg.batch.store(fresh, Ordering::Release);
+            unsafe { guard.retire(batch_ptr) };
+        } else {
+            let mut backoff = Backoff::new();
+            while ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr) {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Combiner for a push-majority batch: apply the surviving pushes
+    /// to the locked deque in sequence order.
+    fn combine_pushes(&self, batch: &Batch<T>, my_seq: usize, end: End, guard: &Guard<'_, '_>) {
+        let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
+        let mut deque = self.inner.lock();
+        for i in my_seq..push_at_freeze {
+            // Waiting for a slot mirrors PushToStack line 38.
+            let mut backoff = Backoff::new();
+            let node = loop {
+                let n = batch.elim[i].load(Ordering::Acquire);
+                if !n.is_null() {
+                    break n;
+                }
+                backoff.snooze();
+            };
+            // Safety: slots with i ≥ popCountAtFreeze have no
+            // eliminating partner; the combiner is their unique
+            // consumer.
+            let value = unsafe { Node::take_value(node) };
+            unsafe { guard.retire(node) };
+            match end {
+                End::Front => deque.push_front(value),
+                End::Back => deque.push_back(value),
+            }
+        }
+    }
+
+    /// Combiner for a pop-majority batch: remove one element per
+    /// surviving pop and publish them as a result chain (the deque
+    /// analogue of the substack from `PopFromStack`).
+    fn combine_pops(&self, batch: &Batch<T>, my_seq: usize, end: End) {
+        let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
+        let wanted = pop_at_freeze - my_seq;
+        let mut results: Vec<*mut Node<T>> = Vec::with_capacity(wanted);
+        {
+            let mut deque = self.inner.lock();
+            for _ in 0..wanted {
+                match match end {
+                    End::Front => deque.pop_front(),
+                    End::Back => deque.pop_back(),
+                } {
+                    Some(v) => results.push(Node::alloc(v)),
+                    None => break, // deque exhausted: the rest get EMPTY
+                }
+            }
+        }
+        // Link results in pop order (offset i = i-th removed element).
+        let mut head = ptr::null_mut();
+        for &node in results.iter().rev() {
+            unsafe { (*node).next.store(head, Ordering::Relaxed) };
+            head = node;
+        }
+        batch.substack_top.store(head, Ordering::Release);
+    }
+
+    /// `GetValue` over the result chain.
+    fn get_value(&self, batch: &Batch<T>, offset: usize, guard: &Guard<'_, '_>) -> Option<T> {
+        let mut cur = batch.substack_top.load(Ordering::Acquire);
+        for _ in 0..offset {
+            if cur.is_null() {
+                return None;
+            }
+            cur = unsafe { (*cur).next.load(Ordering::Acquire) };
+        }
+        if cur.is_null() {
+            return None;
+        }
+        let value = unsafe { Node::take_value(cur) };
+        unsafe { guard.retire(cur) };
+        Some(value)
+    }
+}
+
+impl<T: Send + 'static> Drop for SecDeque<T> {
+    fn drop(&mut self) {
+        for agg in [&self.front, &self.back] {
+            let b = agg.batch.load(Ordering::Relaxed);
+            if !b.is_null() {
+                drop(unsafe { Box::from_raw(b) });
+            }
+        }
+        // `inner` drops its values itself.
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for SecDeque<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecDeque")
+            .field("max_threads", &self.config.max_threads)
+            .finish()
+    }
+}
+
+/// Per-thread handle to a [`SecDeque`].
+pub struct DequeHandle<'a, T: Send + 'static> {
+    deque: &'a SecDeque<T>,
+    reclaim: ReclaimHandle<'a>,
+}
+
+impl<T: Send + 'static> DequeHandle<'_, T> {
+    /// Pushes at the front.
+    pub fn push_front(&mut self, value: T) {
+        self.push(End::Front, value);
+    }
+
+    /// Pushes at the back.
+    pub fn push_back(&mut self, value: T) {
+        self.push(End::Back, value);
+    }
+
+    /// Pops from the front (`None` = empty).
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.pop(End::Front)
+    }
+
+    /// Pops from the back (`None` = empty).
+    pub fn pop_back(&mut self) -> Option<T> {
+        self.pop(End::Back)
+    }
+
+    /// SEC push, retargeted at one deque end.
+    fn push(&mut self, end: End, value: T) {
+        let deque = self.deque;
+        let agg = deque.aggregator(end);
+        let node = Node::alloc(value);
+        loop {
+            let guard = self.reclaim.pin();
+            let batch_ptr = agg.batch.load(Ordering::Acquire);
+            let batch = unsafe { &*batch_ptr };
+            let my_seq = batch.push_count.fetch_add(1, Ordering::AcqRel) as usize;
+            assert!(my_seq < batch.elim.len(), "SecDeque: capacity exceeded");
+            batch.elim[my_seq].store(node, Ordering::Release);
+
+            deque.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
+
+            let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
+            if my_seq < push_at_freeze {
+                let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
+                if my_seq >= pop_at_freeze {
+                    if my_seq == pop_at_freeze {
+                        deque.combine_pushes(batch, my_seq, end, &guard);
+                        batch.applied.store(true, Ordering::Release);
+                    } else {
+                        let mut backoff = Backoff::new();
+                        while !batch.applied.load(Ordering::Acquire) {
+                            backoff.snooze();
+                        }
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    /// SEC pop, retargeted at one deque end.
+    fn pop(&mut self, end: End) -> Option<T> {
+        let deque = self.deque;
+        let agg = deque.aggregator(end);
+        loop {
+            let guard = self.reclaim.pin();
+            let batch_ptr = agg.batch.load(Ordering::Acquire);
+            let batch = unsafe { &*batch_ptr };
+            let my_seq = batch.pop_count.fetch_add(1, Ordering::AcqRel) as usize;
+            assert!(my_seq < batch.elim.len(), "SecDeque: capacity exceeded");
+
+            deque.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
+
+            let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
+            if my_seq < pop_at_freeze {
+                let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
+                if my_seq < push_at_freeze {
+                    // Eliminate with the same-end push of equal seq.
+                    let mut backoff = Backoff::new();
+                    let n = loop {
+                        let n = batch.elim[my_seq].load(Ordering::Acquire);
+                        if !n.is_null() {
+                            break n;
+                        }
+                        backoff.snooze();
+                    };
+                    let value = unsafe { Node::take_value(n) };
+                    unsafe { guard.retire(n) };
+                    return Some(value);
+                }
+                if my_seq == push_at_freeze {
+                    deque.combine_pops(batch, my_seq, end);
+                    batch.applied.store(true, Ordering::Release);
+                } else {
+                    let mut backoff = Backoff::new();
+                    while !batch.applied.load(Ordering::Acquire) {
+                        backoff.snooze();
+                    }
+                }
+                return deque.get_value(batch, my_seq - push_at_freeze, &guard);
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for DequeHandle<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DequeHandle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_deque_semantics() {
+        let d: SecDeque<u32> = SecDeque::new(1);
+        let mut h = d.register();
+        h.push_front(2);
+        h.push_front(1); // [1, 2]
+        h.push_back(3); // [1, 2, 3]
+        assert_eq!(h.pop_front(), Some(1));
+        assert_eq!(h.pop_back(), Some(3));
+        assert_eq!(h.pop_back(), Some(2));
+        assert_eq!(h.pop_back(), None);
+        assert_eq!(h.pop_front(), None);
+    }
+
+    #[test]
+    fn front_is_a_stack_back_is_a_queue_tail() {
+        let d: SecDeque<u32> = SecDeque::new(1);
+        let mut h = d.register();
+        for i in 0..10 {
+            h.push_back(i);
+        }
+        for i in 0..10 {
+            assert_eq!(h.pop_front(), Some(i), "FIFO via opposite ends");
+        }
+        for i in 0..10 {
+            h.push_front(i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(h.pop_front(), Some(i), "LIFO via the same end");
+        }
+    }
+
+    #[test]
+    fn vecdeque_model_equivalence_single_thread() {
+        let d: SecDeque<u64> = SecDeque::new(1);
+        let mut h = d.register();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut x = 0x1234_5678_u64 | 1;
+        for i in 0..2_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match x % 4 {
+                0 => {
+                    h.push_front(i);
+                    model.push_front(i);
+                }
+                1 => {
+                    h.push_back(i);
+                    model.push_back(i);
+                }
+                2 => assert_eq!(h.pop_front(), model.pop_front(), "op {i}"),
+                _ => assert_eq!(h.pop_back(), model.pop_back(), "op {i}"),
+            }
+        }
+        while let Some(expect) = model.pop_front() {
+            assert_eq!(h.pop_front(), Some(expect));
+        }
+        assert_eq!(h.pop_front(), None);
+    }
+
+    #[test]
+    fn concurrent_conservation_both_ends() {
+        const THREADS: usize = 8;
+        const PER: usize = 800;
+        let d: SecDeque<u64> = SecDeque::new(THREADS + 1);
+        let got: Vec<Vec<u64>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let d = &d;
+                    scope.spawn(move || {
+                        let mut h = d.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            let v = (t * PER + i) as u64;
+                            match (t + i) % 4 {
+                                0 => h.push_front(v),
+                                1 => h.push_back(v),
+                                2 => {
+                                    if let Some(x) = h.pop_front() {
+                                        got.push(x);
+                                    }
+                                }
+                                _ => {
+                                    if let Some(x) = h.pop_back() {
+                                        got.push(x);
+                                    }
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut popped = 0usize;
+        for v in got.into_iter().flatten() {
+            assert!(seen.insert(v), "duplicate {v}");
+            popped += 1;
+        }
+        let mut h = d.register();
+        let mut remaining = 0usize;
+        while let Some(v) = h.pop_front() {
+            assert!(seen.insert(v), "duplicate {v} in drain");
+            remaining += 1;
+        }
+        // Pushes: pattern slots 0 and 1 of every window of 4.
+        let pushed: usize = (0..THREADS)
+            .map(|t| (0..PER).filter(|i| (t + i) % 4 < 2).count())
+            .sum();
+        assert_eq!(popped + remaining, pushed, "values conserved");
+    }
+
+    #[test]
+    fn values_drop_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+        use std::sync::Arc;
+        struct P(Arc<AtomicUsize>);
+        impl Drop for P {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AOrd::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let d: SecDeque<P> = SecDeque::new(4);
+            thread::scope(|scope| {
+                for t in 0..4usize {
+                    let d = &d;
+                    let drops = &drops;
+                    scope.spawn(move || {
+                        let mut h = d.register();
+                        for i in 0..400usize {
+                            match (t + i) % 3 {
+                                0 => h.push_front(P(Arc::clone(drops))),
+                                1 => h.push_back(P(Arc::clone(drops))),
+                                _ => drop(h.pop_back()),
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let pushed: usize = (0..4)
+            .map(|t| (0..400).filter(|i| (t + i) % 3 < 2).count())
+            .sum();
+        assert_eq!(drops.load(AOrd::Relaxed), pushed);
+    }
+
+    #[test]
+    fn oversubscribed_mixed_ends() {
+        const THREADS: usize = 12;
+        let d: SecDeque<u64> = SecDeque::new(THREADS);
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let d = &d;
+                scope.spawn(move || {
+                    let mut h = d.register();
+                    let mut x = (t as u64) | 1;
+                    for i in 0..300u64 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        match x % 4 {
+                            0 => h.push_front(i),
+                            1 => h.push_back(i),
+                            2 => {
+                                h.pop_front();
+                            }
+                            _ => {
+                                h.pop_back();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

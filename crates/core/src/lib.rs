@@ -1,0 +1,67 @@
+//! # `sec-core` — the SEC (Sharded Elimination and Combining) stack
+//!
+//! A from-scratch Rust implementation of the blocking linearizable
+//! concurrent stack of *"Sharded Elimination and Combining for
+//! Highly-Efficient Concurrent Stacks"* (Singh, Metaxakis, Fatourou —
+//! PPoPP '26).
+//!
+//! ## The algorithm in one paragraph
+//!
+//! Threads are statically partitioned over `K` **aggregators** (sharding
+//! level 1). The operations arriving at an aggregator are grouped into
+//! **batches** (sharding level 2): a thread announces its `push`/`pop`
+//! with a single `fetch&increment` on the batch's `pushCount`/`popCount`
+//! counter, obtaining a *sequence number*. The first announcement wins a
+//! test&set and becomes the **freezer**: after a short aggregation
+//! backoff it snapshots both counters (`*AtFreeze`) and swaps the
+//! aggregator's batch pointer to a fresh batch. Within the frozen batch,
+//! the push with sequence number `i` and the pop with sequence number
+//! `i` **eliminate** each other through slot `i` of the batch's
+//! elimination array — so exactly `min(pushes, pops)` pairs cancel
+//! without touching the shared stack. The survivors are all of one type;
+//! the one with the lowest surviving sequence number becomes the batch's
+//! **combiner** and applies all of them to the shared Treiber-style
+//! stack with a *single CAS* (splicing a pre-linked substack in, or
+//! unlinking a chain of nodes out). Everybody else spins locally.
+//!
+//! ## What lives where
+//!
+//! * [`SecStack`] / [`SecHandle`] — the stack and its per-thread handle,
+//! * [`SecConfig`] — aggregator count, capacity, freezer backoff,
+//!   sharding policy (paper §3.1 tunables),
+//! * [`SecStats`] — batching/elimination/combining degree counters
+//!   backing Tables 1–3 of the paper,
+//! * [`ConcurrentStack`] / [`StackHandle`] — the object-independent
+//!   interface the baselines and the benchmark harness share.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sec_core::{ConcurrentStack, SecConfig, SecStack, StackHandle};
+//!
+//! let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(2, 8));
+//! std::thread::scope(|s| {
+//!     for t in 0..4 {
+//!         let stack = &stack;
+//!         s.spawn(move || {
+//!             let mut h = stack.register();
+//!             h.push(t);
+//!             let _ = h.pop();
+//!         });
+//!     }
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod config;
+pub mod deque;
+pub mod pool;
+pub mod sec;
+mod traits;
+
+pub use config::{SecConfig, ShardPolicy};
+pub use sec::stats::{BatchReport, SecStats};
+pub use sec::{SecHandle, SecStack};
+pub use traits::{ConcurrentStack, StackHandle};

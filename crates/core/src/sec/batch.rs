@@ -1,0 +1,117 @@
+//! Batches and aggregators (Figure 1 of the paper, `struct Batch` and
+//! `struct Aggregator`).
+
+use super::node::Node;
+use core::ptr;
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64};
+use sec_sync::CachePadded;
+
+/// A batch: the unit of freezing, elimination and combining.
+///
+/// Field-by-field correspondence with the paper's Figure 1:
+///
+/// | paper                 | here             |
+/// |-----------------------|------------------|
+/// | `pushCount`           | `push_count`     |
+/// | `popCount`            | `pop_count`      |
+/// | `pushCountAtFreeze`   | `push_at_freeze` |
+/// | `popCountAtFreeze`    | `pop_at_freeze`  |
+/// | `eliminationArray[P]` | `elim`           |
+/// | `subStackTop`         | `substack_top`   |
+/// | `isFreezerDecided`    | `freezer_decided`|
+/// | `isBatchApplied`      | `applied`        |
+///
+/// The two announcement counters are cache-padded: they are the only
+/// fields hammered by fetch&increment from every thread of the
+/// aggregator, and pushes and pops must not false-share.
+pub(crate) struct Batch<T> {
+    /// Announcement counter for `push` (sequence-number source).
+    pub(crate) push_count: CachePadded<AtomicU64>,
+    /// Announcement counter for `pop`.
+    pub(crate) pop_count: CachePadded<AtomicU64>,
+    /// `pushCount` as snapshotted by the freezer; published by the
+    /// aggregator's batch-pointer swap.
+    pub(crate) push_at_freeze: AtomicU64,
+    /// `popCount` as snapshotted by the freezer.
+    pub(crate) pop_at_freeze: AtomicU64,
+    /// Test&set word electing the freezer among the two sequence-number-0
+    /// announcers.
+    pub(crate) freezer_decided: AtomicBool,
+    /// Set by the combiner once every surviving operation of the batch
+    /// has been applied to the shared stack.
+    pub(crate) applied: AtomicBool,
+    /// For pop batches: the head of the chain the combiner unlinked from
+    /// the shared stack (waiters index into it in `GetValue`).
+    pub(crate) substack_top: AtomicPtr<Node<T>>,
+    /// The elimination array: slot `i` carries the node of the push with
+    /// sequence number `i`; read by the pop with sequence number `i`
+    /// (elimination) or by the push combiner (substack construction).
+    pub(crate) elim: Box<[AtomicPtr<Node<T>>]>,
+}
+
+impl<T> Batch<T> {
+    /// Heap-allocates a fresh batch with `capacity` elimination slots
+    /// (the per-aggregator thread bound `P`).
+    pub(crate) fn alloc(capacity: usize) -> *mut Batch<T> {
+        let elim = (0..capacity)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect();
+        Box::into_raw(Box::new(Batch {
+            push_count: CachePadded::new(AtomicU64::new(0)),
+            pop_count: CachePadded::new(AtomicU64::new(0)),
+            push_at_freeze: AtomicU64::new(0),
+            pop_at_freeze: AtomicU64::new(0),
+            freezer_decided: AtomicBool::new(false),
+            applied: AtomicBool::new(false),
+            substack_top: AtomicPtr::new(ptr::null_mut()),
+            elim,
+        }))
+    }
+}
+
+// Safety: a batch contains only atomics (plus the boxed slot array);
+// raw `Node<T>` pointers are managed by the algorithm, which transfers
+// node ownership only between threads that may own `T`.
+unsafe impl<T: Send> Send for Batch<T> {}
+unsafe impl<T: Send> Sync for Batch<T> {}
+
+/// An aggregator: one pointer to its currently active batch.
+pub(crate) struct Aggregator<T> {
+    pub(crate) batch: AtomicPtr<Batch<T>>,
+}
+
+impl<T> Aggregator<T> {
+    /// Creates an aggregator with a fresh initial batch.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            batch: AtomicPtr::new(Batch::alloc(capacity)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::Ordering;
+
+    #[test]
+    fn fresh_batch_is_virgin() {
+        let b = Batch::<u32>::alloc(4);
+        let r = unsafe { &*b };
+        assert_eq!(r.push_count.load(Ordering::Relaxed), 0);
+        assert_eq!(r.pop_count.load(Ordering::Relaxed), 0);
+        assert!(!r.freezer_decided.load(Ordering::Relaxed));
+        assert!(!r.applied.load(Ordering::Relaxed));
+        assert_eq!(r.elim.len(), 4);
+        assert!(r.elim.iter().all(|p| p.load(Ordering::Relaxed).is_null()));
+        drop(unsafe { Box::from_raw(b) });
+    }
+
+    #[test]
+    fn aggregator_starts_with_live_batch() {
+        let a = Aggregator::<u32>::new(2);
+        let b = a.batch.load(Ordering::Acquire);
+        assert!(!b.is_null());
+        drop(unsafe { Box::from_raw(b) });
+    }
+}

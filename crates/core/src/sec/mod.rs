@@ -1,0 +1,549 @@
+//! The SEC stack: Algorithms 1 and 2 of the paper.
+//!
+//! Module layout:
+//!
+//! * [`node`] — shared-stack nodes (paper Figure 1, `Node`),
+//! * [`batch`] — batches and aggregators (Figure 1, `Batch`,
+//!   `Aggregator`),
+//! * [`stats`] — the Table 1–3 instrumentation,
+//! * [`model`] — the closed-form binomial prediction of the
+//!   elimination/combining degrees the instrumentation measures,
+//! * this file — [`SecStack`], [`SecHandle`], and the push/pop/peek
+//!   algorithms with the freezing, elimination and combining phases.
+//!
+//! Comments reference the paper's pseudocode line numbers
+//! (Algorithm 1 = push, lines 1–51; Algorithm 2 = pop, lines 52–103).
+//! Two pseudocode errata are corrected here, both documented in
+//! DESIGN.md §2: the push combiner's substack chain starts at its own
+//! node (`top = bot`, not `⊥`), and the pop combiner advances its
+//! cursor once per non-eliminated pop (the paper's loop advances one
+//! time too few, which would pop `k−1` nodes for `k` pops while handing
+//! out `k` values).
+
+pub(crate) mod batch;
+pub mod model;
+pub(crate) mod node;
+pub mod stats;
+
+use crate::config::SecConfig;
+use crate::traits::{ConcurrentStack, StackHandle};
+use batch::{Aggregator, Batch};
+use core::fmt;
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, Ordering};
+use node::Node;
+use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
+use sec_sync::{Backoff, CachePadded};
+use stats::SecStats;
+
+/// The Sharded Elimination and Combining stack (blocking, linearizable).
+///
+/// Construct with [`SecStack::new`] (paper defaults: two aggregators)
+/// or [`SecStack::with_config`]; each thread obtains a [`SecHandle`]
+/// via [`ConcurrentStack::register`] (or the inherent
+/// [`SecStack::register`]) and performs its operations through it.
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::{SecStack, ConcurrentStack, StackHandle};
+///
+/// let stack: SecStack<i32> = SecStack::new(4); // up to 4 threads
+/// let mut h = stack.register();
+/// h.push(1);
+/// h.push(2);
+/// assert_eq!(h.peek(), Some(2));
+/// assert_eq!(h.pop(), Some(2));
+/// assert_eq!(h.pop(), Some(1));
+/// assert_eq!(h.pop(), None);
+/// ```
+pub struct SecStack<T: Send + 'static> {
+    config: SecConfig,
+    /// `stackTop` (paper line 2): the shared Treiber-style top pointer —
+    /// the *only* cross-aggregator contention point, touched once per
+    /// batch by each combiner.
+    top: CachePadded<AtomicPtr<Node<T>>>,
+    /// `agg[K]` (paper line 7).
+    aggs: Box<[CachePadded<Aggregator<T>>]>,
+    collector: Collector,
+    stats: SecStats,
+}
+
+// Safety: all shared state is atomics; node/batch ownership transfer
+// follows the algorithm's exactly-once consumption discipline, so `T`
+// values cross threads only as `Send` payloads.
+unsafe impl<T: Send> Send for SecStack<T> {}
+unsafe impl<T: Send> Sync for SecStack<T> {}
+
+impl<T: Send + 'static> SecStack<T> {
+    /// Creates a stack with the paper's default configuration (two
+    /// aggregators) for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_config(SecConfig::new(2, max_threads))
+    }
+
+    /// Creates a stack from an explicit [`SecConfig`].
+    pub fn with_config(config: SecConfig) -> Self {
+        let cap = config.per_aggregator_capacity();
+        Self {
+            config,
+            top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            aggs: (0..config.aggregators)
+                .map(|_| CachePadded::new(Aggregator::new(cap)))
+                .collect(),
+            collector: Collector::new(config.max_threads),
+            stats: SecStats::new(),
+        }
+    }
+
+    /// Registers the calling thread. Prefer the trait method
+    /// [`ConcurrentStack::register`]; this inherent version exists so
+    /// callers don't need the trait in scope.
+    pub fn register(&self) -> SecHandle<'_, T> {
+        let reclaim = self
+            .collector
+            .register()
+            .expect("SecStack: more threads registered than SecConfig::max_threads");
+        let tid = reclaim.slot();
+        let agg_idx = self.config.aggregator_of(tid);
+        SecHandle {
+            stack: self,
+            agg_idx,
+            reclaim,
+        }
+    }
+
+    /// The configuration this stack was built with.
+    pub fn config(&self) -> &SecConfig {
+        &self.config
+    }
+
+    /// The batching/elimination/combining instrumentation (Tables 1–3).
+    pub fn stats(&self) -> &SecStats {
+        &self.stats
+    }
+
+    /// Reclamation statistics (diagnostic).
+    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.collector.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Freezing (paper lines 28–32)
+    // ------------------------------------------------------------------
+
+    /// `FreezeBatch`: snapshot both counters, install a fresh batch,
+    /// retire the frozen one.
+    fn freeze_batch(&self, agg: &Aggregator<T>, batch_ptr: *mut Batch<T>, guard: &Guard<'_, '_>) {
+        let batch = unsafe { &*batch_ptr };
+
+        // §3.1: the freezer backs off briefly so more operations join
+        // the batch, raising the elimination and combining degrees. The
+        // yields matter on oversubscribed hosts, where the joining
+        // threads need CPU time before the cut (see SecConfig).
+        for _ in 0..self.config.freezer_backoff {
+            core::hint::spin_loop();
+        }
+        for _ in 0..self.config.freezer_yields {
+            std::thread::yield_now();
+        }
+
+        // Lines 29–30: the snapshot order (pop first) matches the paper;
+        // any interleaved announcements simply land on one side of the
+        // cut or the other. The values are published to every waiter by
+        // the Release store of the batch pointer below.
+        let pops = batch.pop_count.load(Ordering::Acquire);
+        let pushes = batch.push_count.load(Ordering::Acquire);
+        batch.pop_at_freeze.store(pops, Ordering::Relaxed);
+        batch.push_at_freeze.store(pushes, Ordering::Relaxed);
+
+        self.stats.record_batch(pushes, pops);
+
+        // Line 31: installing the new batch is the freeze's linearization
+        // aid — it simultaneously (a) signals spinning announcers that
+        // the `*_at_freeze` fields are valid (Release) and (b) directs
+        // new announcers to the fresh batch.
+        let fresh = Batch::alloc(self.config.per_aggregator_capacity());
+        agg.batch.store(fresh, Ordering::Release);
+
+        // The frozen batch is now unreachable for *new* pins; threads
+        // already inside it are pinned and keep it alive (§4 of the
+        // paper: "a batch is retired … "; we centralize retirement in
+        // the freezer, which is unique per batch — Observation B.1).
+        unsafe { guard.retire(batch_ptr) };
+    }
+
+    /// Announce-and-freeze prologue shared by push and pop
+    /// (lines 8–13 / 57–62). Returns once the batch is frozen.
+    #[inline]
+    fn freeze_or_wait(
+        &self,
+        agg: &Aggregator<T>,
+        batch_ptr: *mut Batch<T>,
+        my_seq: u64,
+        guard: &Guard<'_, '_>,
+    ) {
+        let batch = unsafe { &*batch_ptr };
+        if my_seq == 0 && !batch.freezer_decided.swap(true, Ordering::AcqRel) {
+            // We won the test&set among the (at most two) first
+            // announcers: play the freezer 𝑓_B.
+            self.freeze_batch(agg, batch_ptr, guard);
+        } else {
+            // Line 11/60: wait for the freezer to swap the batch pointer.
+            let mut backoff = Backoff::new();
+            while ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr) {
+                backoff.snooze();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Push combining (paper lines 33–51)
+    // ------------------------------------------------------------------
+
+    /// `PushToStack`: build the substack of all non-eliminated pushes
+    /// and splice it onto the shared stack with one CAS.
+    fn push_to_stack(&self, batch: &Batch<T>, my_seq: usize) {
+        let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
+
+        // Line 36: our own node is the bottom of the substack (we are
+        // the surviving push with the smallest sequence number, hence
+        // LIFO-first, hence deepest).
+        let bot = batch.elim[my_seq].load(Ordering::Acquire);
+        debug_assert!(!bot.is_null(), "combiner published its node before freezing");
+
+        // Erratum fix (DESIGN.md §2.1): the chain grows from `bot`, not
+        // from null — otherwise single-push batches would install null
+        // and multi-push batches would orphan `bot`.
+        let mut top = bot;
+        for i in my_seq + 1..push_at_freeze {
+            // Line 38: the push with sequence number `i` belongs to the
+            // batch (i < pushCountAtFreeze), so it *will* publish its
+            // node; it may just not have gotten to line 7 yet.
+            let mut backoff = Backoff::new();
+            let n = loop {
+                let n = batch.elim[i].load(Ordering::Acquire);
+                if !n.is_null() {
+                    break n;
+                }
+                backoff.snooze();
+            };
+            // Lines 41–42: link below the running top. Relaxed is
+            // enough: the successful CAS below releases the whole chain.
+            unsafe { (*n).next.store(top, Ordering::Relaxed) };
+            top = n;
+        }
+
+        // Lines 44–50: splice the substack in with a single CAS.
+        let mut backoff = Backoff::new();
+        loop {
+            let cur = self.top.load(Ordering::Acquire);
+            unsafe { (*bot).next.store(cur, Ordering::Relaxed) };
+            if self
+                .top
+                .compare_exchange(cur, top, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            // Contention is only with other combiners (≤ one per live
+            // batch), so plain spinning suffices.
+            backoff.spin();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pop combining (paper lines 80–94)
+    // ------------------------------------------------------------------
+
+    /// `PopFromStack`: unlink one node per non-eliminated pop (up to the
+    /// stack's depth) with a single CAS, and publish the removed chain.
+    fn pop_from_stack(&self, batch: &Batch<T>, my_seq: usize) {
+        let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
+        // One node per non-eliminated pop. (Erratum fix, DESIGN.md §2.2:
+        // the paper's `while ++i < popCountAtFreeze` advances k−1 times.)
+        let wanted = pop_at_freeze - my_seq;
+
+        let mut backoff = Backoff::new();
+        loop {
+            let top = self.top.load(Ordering::Acquire);
+            let mut bot = top;
+            for _ in 0..wanted {
+                if bot.is_null() {
+                    break; // stack shallower than the batch: take it all
+                }
+                bot = unsafe { (*bot).next.load(Ordering::Acquire) };
+            }
+            if self
+                .top
+                .compare_exchange(top, bot, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Line 93: publish the unlinked chain; the Release store
+                // of `applied` (by our caller) orders it for waiters.
+                batch.substack_top.store(top, Ordering::Release);
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    /// `GetValue` (lines 95–103): the pop at `offset` consumes the
+    /// `offset`-th unlinked node, or reports EMPTY if the stack ran out.
+    fn get_value(&self, batch: &Batch<T>, offset: usize, guard: &Guard<'_, '_>) -> Option<T> {
+        let mut cur = batch.substack_top.load(Ordering::Acquire);
+        for _ in 0..offset {
+            if cur.is_null() {
+                return None;
+            }
+            cur = unsafe { (*cur).next.load(Ordering::Acquire) };
+        }
+        if cur.is_null() {
+            return None;
+        }
+        // Safety: the combiner unlinked exactly `wanted` nodes and each
+        // offset is claimed by exactly one pop of this batch, so we are
+        // the unique consumer; every reader of this chain is pinned.
+        let value = unsafe { Node::take_value(cur) };
+        unsafe { guard.retire(cur) };
+        Some(value)
+    }
+}
+
+impl<T: Send + 'static> Drop for SecStack<T> {
+    fn drop(&mut self) {
+        // No handles exist (they borrow `self`), so everything is
+        // quiescent. Free (a) the remaining shared-stack nodes together
+        // with their payloads and (b) each aggregator's current (virgin)
+        // batch. Retired nodes/batches are freed by the collector's own
+        // drop, with payload-less drops — their values were consumed.
+        let mut cur = self.top.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
+            unsafe { Node::drop_in_place_with_value(cur) };
+            cur = next;
+        }
+        for agg in self.aggs.iter() {
+            let b = agg.batch.load(Ordering::Relaxed);
+            if !b.is_null() {
+                drop(unsafe { Box::from_raw(b) });
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for SecStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecStack")
+            .field("config", &self.config)
+            .field("stats", &self.stats.report())
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> ConcurrentStack<T> for SecStack<T> {
+    type Handle<'a>
+        = SecHandle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> SecHandle<'_, T> {
+        SecStack::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "SEC"
+    }
+}
+
+/// A thread's handle to a [`SecStack`].
+pub struct SecHandle<'a, T: Send + 'static> {
+    stack: &'a SecStack<T>,
+    agg_idx: usize,
+    reclaim: ReclaimHandle<'a>,
+}
+
+impl<T: Send + 'static> SecHandle<'_, T> {
+    /// This thread's id (dense, `0..max_threads`).
+    pub fn tid(&self) -> usize {
+        self.reclaim.slot()
+    }
+
+    /// The aggregator this thread is assigned to.
+    pub fn aggregator(&self) -> usize {
+        self.agg_idx
+    }
+
+    /// Algorithm 1. Returns when the push is linearized.
+    pub fn push(&mut self, value: T) {
+        let agg: &Aggregator<T> = &self.stack.aggs[self.agg_idx];
+        // Line 3: one allocation per push, reused across batch retries.
+        let node = Node::alloc(value);
+
+        // Lines 4–26.
+        loop {
+            let guard = self.reclaim.pin();
+            // Line 5.
+            let batch_ptr = agg.batch.load(Ordering::Acquire);
+            let batch = unsafe { &*batch_ptr };
+            // Line 6: announce. AcqRel: the freezer's counter read and
+            // our increment are ordered; the value is our sequence num.
+            let my_seq = batch.push_count.fetch_add(1, Ordering::AcqRel) as usize;
+            assert!(
+                my_seq < batch.elim.len(),
+                "SEC invariant violated: more announcements ({}) than the \
+                 aggregator capacity ({}) — was the stack shared by more \
+                 threads than SecConfig::max_threads?",
+                my_seq + 1,
+                batch.elim.len()
+            );
+            // Line 7: publish the node *before* anything else, so
+            // neither an eliminating pop nor the combiner waits on us
+            // longer than necessary (§3.1).
+            batch.elim[my_seq].store(node, Ordering::Release);
+
+            // Lines 8–13.
+            self.stack.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
+
+            // Line 14: inclusion test.
+            let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
+            if my_seq < push_at_freeze {
+                let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
+                // Line 15: elimination test — if a pop with our sequence
+                // number belongs to the batch, it consumes our node and
+                // we are done the moment the batch froze.
+                if my_seq >= pop_at_freeze {
+                    // Line 16: combiner test.
+                    if my_seq == pop_at_freeze {
+                        self.stack.push_to_stack(batch, my_seq);
+                        // Line 18.
+                        batch.applied.store(true, Ordering::Release);
+                    } else {
+                        // Line 20.
+                        let mut backoff = Backoff::new();
+                        while !batch.applied.load(Ordering::Acquire) {
+                            backoff.snooze();
+                        }
+                    }
+                }
+                // Line 24.
+                return;
+            }
+            // Excluded (announced after the freeze): retry in a newer
+            // batch; our node is still exclusively ours.
+        }
+    }
+
+    /// Algorithm 2. Returns the popped value, or `None` for EMPTY.
+    pub fn pop(&mut self) -> Option<T> {
+        let agg: &Aggregator<T> = &self.stack.aggs[self.agg_idx];
+
+        // Lines 54–78.
+        loop {
+            let guard = self.reclaim.pin();
+            // Line 55.
+            let batch_ptr = agg.batch.load(Ordering::Acquire);
+            let batch = unsafe { &*batch_ptr };
+            // Line 56: announce.
+            let my_seq = batch.pop_count.fetch_add(1, Ordering::AcqRel) as usize;
+            assert!(
+                my_seq < batch.elim.len(),
+                "SEC invariant violated: more announcements than capacity"
+            );
+
+            // Lines 57–62.
+            self.stack.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
+
+            // Line 63: inclusion test.
+            let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
+            if my_seq < pop_at_freeze {
+                let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
+                // Line 64: elimination test — the push with our sequence
+                // number belongs to the batch; take its value.
+                if my_seq < push_at_freeze {
+                    // Lines 65–67: the partner publishes its node right
+                    // after announcing; wait for the slot.
+                    let mut backoff = Backoff::new();
+                    let n = loop {
+                        let n = batch.elim[my_seq].load(Ordering::Acquire);
+                        if !n.is_null() {
+                            break n;
+                        }
+                        backoff.snooze();
+                    };
+                    // Safety: pushes and pops pair off by sequence
+                    // number, so we are this node's unique consumer.
+                    let value = unsafe { Node::take_value(n) };
+                    unsafe { guard.retire(n) };
+                    return Some(value);
+                }
+                // Line 69: combiner test.
+                if my_seq == push_at_freeze {
+                    self.stack.pop_from_stack(batch, my_seq);
+                    // Line 71.
+                    batch.applied.store(true, Ordering::Release);
+                } else {
+                    // Line 73.
+                    let mut backoff = Backoff::new();
+                    while !batch.applied.load(Ordering::Acquire) {
+                        backoff.snooze();
+                    }
+                }
+                // Line 76.
+                return self
+                    .stack
+                    .get_value(batch, my_seq - push_at_freeze, &guard);
+            }
+            // Excluded: retry in a newer batch.
+        }
+    }
+
+    /// Peek (§3.2: "simply a read of stackTop, similar to the Treiber
+    /// stack").
+    pub fn peek(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let _guard = self.reclaim.pin();
+        let top = self.stack.top.load(Ordering::Acquire);
+        if top.is_null() {
+            None
+        } else {
+            // Safety: pinned, so the node cannot be freed; its value
+            // bytes stay intact even if a concurrent pop consumes it
+            // (consumption is a non-destructive read; see node.rs).
+            Some(core::mem::ManuallyDrop::into_inner(unsafe {
+                (*top).value.clone()
+            }))
+        }
+    }
+}
+
+impl<T: Send + 'static> StackHandle<T> for SecHandle<'_, T> {
+    fn push(&mut self, value: T) {
+        SecHandle::push(self, value);
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        SecHandle::pop(self)
+    }
+
+    fn peek(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        SecHandle::peek(self)
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for SecHandle<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecHandle")
+            .field("tid", &self.tid())
+            .field("aggregator", &self.agg_idx)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,157 @@
+//! Batching/elimination/combining instrumentation (Tables 1–3 of the
+//! paper).
+//!
+//! The freezer knows, at the moment it freezes a batch, exactly how the
+//! batch will decompose: `pushes + pops` operations belong to it,
+//! `2 · min(pushes, pops)` of them eliminate each other, and the
+//! remaining `|pushes − pops|` are applied by the combiner. Recording
+//! these three numbers with relaxed counters costs three uncontended
+//! atomic adds per *batch* (not per operation) and lets the harness
+//! print the paper's Table 1 rows: batching degree, %elimination,
+//! %combining.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed counters aggregated over the lifetime of one [`SecStack`].
+///
+/// [`SecStack`]: crate::SecStack
+#[derive(Debug, Default)]
+pub struct SecStats {
+    batches: AtomicU64,
+    ops: AtomicU64,
+    eliminated: AtomicU64,
+    combined: AtomicU64,
+}
+
+impl SecStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Called by the freezer with the frozen counter snapshot.
+    #[inline]
+    pub(crate) fn record_batch(&self, pushes: u64, pops: u64) {
+        let size = pushes + pops;
+        if size == 0 {
+            return; // cannot happen (the freezer itself announced), but harmless
+        }
+        let elim = 2 * pushes.min(pops);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.ops.fetch_add(size, Ordering::Relaxed);
+        self.eliminated.fetch_add(elim, Ordering::Relaxed);
+        self.combined.fetch_add(size - elim, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the aggregate measures.
+    pub fn report(&self) -> BatchReport {
+        BatchReport {
+            batches: self.batches.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            eliminated: self.eliminated.load(Ordering::Relaxed),
+            combined: self.combined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters (between measurement phases).
+    pub fn reset(&self) {
+        self.batches.store(0, Ordering::Relaxed);
+        self.ops.store(0, Ordering::Relaxed);
+        self.eliminated.store(0, Ordering::Relaxed);
+        self.combined.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of [`SecStats`], with the paper's derived measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Batches frozen.
+    pub batches: u64,
+    /// Operations that belonged to frozen batches.
+    pub ops: u64,
+    /// Operations eliminated inside their batch.
+    pub eliminated: u64,
+    /// Operations applied to the shared stack by a combiner.
+    pub combined: u64,
+}
+
+impl BatchReport {
+    /// Average batch size ("batching degree", Table 1).
+    pub fn batching_degree(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.batches as f64
+        }
+    }
+
+    /// Percentage of operations eliminated ("%elimination", Table 1).
+    pub fn pct_eliminated(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            100.0 * self.eliminated as f64 / self.ops as f64
+        }
+    }
+
+    /// Percentage of operations applied by combiners ("%combining").
+    pub fn pct_combined(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            100.0 * self.combined as f64 / self.ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identity_holds() {
+        let s = SecStats::new();
+        s.record_batch(3, 5); // 8 ops, 6 eliminated, 2 combined
+        s.record_batch(4, 4); // 8 ops, 8 eliminated, 0 combined
+        s.record_batch(2, 0); // 2 ops, 0 eliminated, 2 combined
+        let r = s.report();
+        assert_eq!(r.batches, 3);
+        assert_eq!(r.ops, 18);
+        assert_eq!(r.eliminated, 14);
+        assert_eq!(r.combined, 4);
+        assert_eq!(r.eliminated + r.combined, r.ops);
+    }
+
+    #[test]
+    fn derived_measures() {
+        let s = SecStats::new();
+        s.record_batch(5, 5);
+        let r = s.report();
+        assert!((r.batching_degree() - 10.0).abs() < 1e-9);
+        assert!((r.pct_eliminated() - 100.0).abs() < 1e-9);
+        assert!((r.pct_combined() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = SecStats::new().report();
+        assert_eq!(r.batching_degree(), 0.0);
+        assert_eq!(r.pct_eliminated(), 0.0);
+        assert_eq!(r.pct_combined(), 0.0);
+    }
+
+    #[test]
+    fn zero_size_batch_is_ignored() {
+        let s = SecStats::new();
+        s.record_batch(0, 0);
+        assert_eq!(s.report().batches, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = SecStats::new();
+        s.record_batch(1, 1);
+        s.reset();
+        assert_eq!(s.report().ops, 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Unit tests for the SEC stack: sequential semantics, concurrent
+//! conservation, elimination accounting, memory hygiene.
+
+use crate::{ConcurrentStack, SecConfig, SecStack, ShardPolicy, StackHandle};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn sequential_lifo_order() {
+    let s: SecStack<u32> = SecStack::new(1);
+    let mut h = s.register();
+    for i in 0..100 {
+        h.push(i);
+    }
+    for i in (0..100).rev() {
+        assert_eq!(h.pop(), Some(i));
+    }
+    assert_eq!(h.pop(), None);
+}
+
+#[test]
+fn pop_on_empty_returns_none_repeatedly() {
+    let s: SecStack<u8> = SecStack::new(1);
+    let mut h = s.register();
+    for _ in 0..10 {
+        assert_eq!(h.pop(), None);
+    }
+    h.push(1);
+    assert_eq!(h.pop(), Some(1));
+    assert_eq!(h.pop(), None);
+}
+
+#[test]
+fn peek_does_not_remove() {
+    let s: SecStack<String> = SecStack::new(1);
+    let mut h = s.register();
+    assert_eq!(h.peek(), None);
+    h.push("a".to_string());
+    h.push("b".to_string());
+    assert_eq!(h.peek(), Some("b".to_string()));
+    assert_eq!(h.peek(), Some("b".to_string()));
+    assert_eq!(h.pop(), Some("b".to_string()));
+    assert_eq!(h.peek(), Some("a".to_string()));
+}
+
+#[test]
+fn interleaved_push_pop_single_thread() {
+    let s: SecStack<u64> = SecStack::new(1);
+    let mut h = s.register();
+    let mut model = Vec::new();
+    // Deterministic mixed pattern, checked against a Vec model.
+    for i in 0..500u64 {
+        match i % 5 {
+            0..=2 => {
+                h.push(i);
+                model.push(i);
+            }
+            _ => assert_eq!(h.pop(), model.pop()),
+        }
+    }
+    while let Some(expect) = model.pop() {
+        assert_eq!(h.pop(), Some(expect));
+    }
+    assert_eq!(h.pop(), None);
+}
+
+#[test]
+fn works_with_every_aggregator_count() {
+    for k in 1..=5 {
+        let s: SecStack<usize> = SecStack::with_config(SecConfig::new(k, 4));
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut h = s.register();
+                    for i in 0..200 {
+                        h.push(t * 1_000 + i);
+                        assert!(h.pop().is_some());
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn works_with_round_robin_sharding() {
+    let s: SecStack<usize> =
+        SecStack::with_config(SecConfig::new(3, 6).shard_policy(ShardPolicy::RoundRobin));
+    thread::scope(|scope| {
+        for t in 0..6 {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                for i in 0..100 {
+                    h.push(t + i);
+                    h.pop();
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_conservation_no_lost_no_duplicated() {
+    // Every pushed value is popped exactly once (across the run plus a
+    // final drain). Values are globally unique to detect duplication.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 2_000;
+    let s: SecStack<usize> = SecStack::new(THREADS);
+    let popped: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut h = s.register();
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        h.push(t * PER_THREAD + i);
+                        if i % 2 == 0 {
+                            if let Some(v) = h.pop() {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut seen: HashSet<usize> = HashSet::new();
+    for v in popped.into_iter().flatten() {
+        assert!(seen.insert(v), "value {v} popped twice");
+    }
+    // Drain the remainder single-threaded.
+    let mut h = s.register();
+    while let Some(v) = h.pop() {
+        assert!(seen.insert(v), "value {v} popped twice (drain)");
+    }
+    assert_eq!(seen.len(), THREADS * PER_THREAD, "values lost");
+}
+
+#[test]
+fn balanced_workload_conserves_count() {
+    // Equal pushes and pops from every thread: at the end the stack
+    // holds exactly (pushes - successful pops) elements.
+    const THREADS: usize = 6;
+    const OPS: usize = 3_000;
+    let s: SecStack<usize> = SecStack::new(THREADS);
+    let total_popped = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let s = &s;
+            let total_popped = &total_popped;
+            scope.spawn(move || {
+                let mut h = s.register();
+                let mut pops = 0;
+                for i in 0..OPS {
+                    if (t + i) % 2 == 0 {
+                        h.push(i);
+                    } else if h.pop().is_some() {
+                        pops += 1;
+                    }
+                }
+                total_popped.fetch_add(pops, Ordering::Relaxed);
+            });
+        }
+    });
+    let mut h = s.register();
+    let mut remaining = 0;
+    while h.pop().is_some() {
+        remaining += 1;
+    }
+    let pushed = THREADS * OPS / 2;
+    assert_eq!(total_popped.load(Ordering::Relaxed) + remaining, pushed);
+}
+
+#[test]
+fn elimination_dominates_balanced_workloads() {
+    // A balanced push/pop mix must show real elimination (the paper
+    // reports 70–85% on big machines). Ops are drawn pseudo-randomly:
+    // a *deterministic* alternation can phase-lock whole batches into
+    // the same operation type (all ops of a batch complete together, so
+    // relative phases never change), which would starve elimination by
+    // construction rather than by algorithmic behaviour.
+    const THREADS: usize = 8;
+    let s: SecStack<usize> = SecStack::with_config(SecConfig::new(1, THREADS));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                let mut x = (t as u64).wrapping_mul(0x9E37_79B9) | 1;
+                for i in 0..2_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if x.is_multiple_of(2) {
+                        h.push(i);
+                    } else {
+                        h.pop();
+                    }
+                }
+            });
+        }
+    });
+    let r = s.stats().report();
+    assert_eq!(r.eliminated + r.combined, r.ops, "accounting identity");
+    assert!(r.batches > 0);
+    assert!(
+        r.eliminated > 0,
+        "a balanced concurrent mix must eliminate some pairs: {r:?}"
+    );
+}
+
+#[test]
+fn measured_elimination_respects_the_model_bound() {
+    // Jensen: the per-batch elimination fraction is concave in the
+    // batch size, so the measured aggregate can never meaningfully
+    // exceed the model's prediction at the *mean* batch size —
+    // E[f(N)] ≤ f(E[N]). (The reverse gap can be large; the bound is
+    // one-sided.) A violation would mean the accounting counts pairs
+    // that cannot exist.
+    const THREADS: usize = 8;
+    let s: SecStack<usize> = SecStack::with_config(SecConfig::new(1, THREADS));
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                let mut x = (t as u64).wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+                for i in 0..3_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if x.is_multiple_of(2) {
+                        h.push(i);
+                    } else {
+                        h.pop();
+                    }
+                }
+            });
+        }
+    });
+    let r = s.stats().report();
+    let predicted = crate::sec::model::predict_for_report(&r, 0.5);
+    // +6 points of slack: the mean is rounded to an integer batch size
+    // and finite samples wobble; the invariant being probed is "no
+    // impossible pairs", not a tight fit.
+    assert!(
+        r.pct_eliminated() <= predicted.pct_eliminated + 6.0,
+        "measured {:.1}% exceeds model optimum {:.1}% at n={} — impossible pairs counted? {r:?}",
+        r.pct_eliminated(),
+        predicted.pct_eliminated,
+        predicted.batch_size,
+    );
+}
+
+#[test]
+fn push_only_workload_never_eliminates() {
+    const THREADS: usize = 4;
+    let s: SecStack<usize> = SecStack::new(THREADS);
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                for i in 0..1_000 {
+                    h.push(i);
+                }
+            });
+        }
+    });
+    let r = s.stats().report();
+    assert_eq!(r.eliminated, 0);
+    assert_eq!(r.combined, r.ops);
+    assert_eq!(r.ops, (THREADS * 1_000) as u64);
+}
+
+#[test]
+fn values_are_dropped_exactly_once() {
+    struct Payload(Arc<AtomicUsize>);
+    impl Drop for Payload {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 1_000;
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let s: SecStack<Payload> = SecStack::new(THREADS);
+        thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let s = &s;
+                let drops = &drops;
+                scope.spawn(move || {
+                    let mut h = s.register();
+                    for i in 0..PER_THREAD {
+                        h.push(Payload(Arc::clone(drops)));
+                        if i % 3 == 0 {
+                            drop(h.pop());
+                        }
+                    }
+                });
+            }
+        });
+        // Stack drops here with elements still inside.
+    }
+    assert_eq!(
+        drops.load(Ordering::Relaxed),
+        THREADS * PER_THREAD,
+        "every pushed payload must be dropped exactly once"
+    );
+}
+
+#[test]
+fn handles_can_be_dropped_and_reregistered() {
+    let s: SecStack<u32> = SecStack::new(2);
+    for round in 0..5 {
+        let mut h = s.register();
+        h.push(round);
+        assert_eq!(h.pop(), Some(round));
+        drop(h);
+    }
+    // Capacity is 2: two live handles at once are fine.
+    let _h1 = s.register();
+    let _h2 = s.register();
+}
+
+#[test]
+#[should_panic(expected = "more threads registered")]
+fn over_registration_panics() {
+    let s: SecStack<u32> = SecStack::new(1);
+    let _h1 = s.register();
+    let _h2 = s.register();
+}
+
+#[test]
+fn trait_object_independence() {
+    // The harness uses the traits generically; make sure the impls line
+    // up (name, GAT handle).
+    fn run<S: ConcurrentStack<u64>>(s: &S, expect_name: &str) {
+        assert_eq!(s.name(), expect_name);
+        let mut h = s.register();
+        h.push(9);
+        assert_eq!(h.pop(), Some(9));
+    }
+    let s: SecStack<u64> = SecStack::new(2);
+    run(&s, "SEC");
+}
+
+#[test]
+fn oversubscribed_stress_many_threads_few_cores() {
+    // 16 threads on however few cores the host has: exercises the
+    // yield-based waits (freezer, combiner, elimination partner).
+    const THREADS: usize = 16;
+    const OPS: usize = 500;
+    let s: SecStack<usize> = SecStack::new(THREADS);
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                for i in 0..OPS {
+                    if (t ^ i) % 2 == 0 {
+                        h.push(i);
+                    } else {
+                        h.pop();
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn peek_under_concurrency_returns_plausible_values() {
+    const THREADS: usize = 4;
+    let s: SecStack<usize> = SecStack::new(THREADS + 1);
+    {
+        let mut h = s.register();
+        for i in 0..64 {
+            h.push(i);
+        }
+    }
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                for i in 0..1_000 {
+                    match i % 3 {
+                        0 => h.push(i),
+                        1 => {
+                            h.pop();
+                        }
+                        _ => {
+                            let _ = h.peek(); // must not crash / UB
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn reclaim_stats_show_reclamation_progress() {
+    let s: SecStack<u64> = SecStack::new(2);
+    thread::scope(|scope| {
+        for _ in 0..2 {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                for i in 0..5_000 {
+                    h.push(i);
+                    h.pop();
+                }
+            });
+        }
+    });
+    let st = s.reclaim_stats();
+    assert!(st.retired > 0, "nodes and batches must have been retired");
+    // The amortized advances should have freed the bulk of it.
+    assert!(
+        st.freed > 0,
+        "reclamation should make progress during the run: {st:?}"
+    );
+}

@@ -1,0 +1,53 @@
+//! The stack interface shared by SEC and every baseline.
+//!
+//! All six implementations in this repository (SEC, Treiber, EB, FC,
+//! CC-Synch, TSI) need per-thread state — a reclamation handle at
+//! minimum, and for FC/CC/TSI also a publication record / combining node
+//! / local pool. The interface therefore splits into an object
+//! ([`ConcurrentStack`], `Sync`, shared by reference) and a per-thread
+//! handle ([`StackHandle`], `!Sync`, obtained via
+//! [`ConcurrentStack::register`]). The benchmark harness and the test
+//! suite are generic over these two traits.
+
+/// A concurrent stack object shared among threads.
+///
+/// Implementations are constructed for a fixed maximum number of
+/// threads; [`register`](Self::register) panics when exceeded (the
+/// harness sizes stacks to its thread count, so this is a programming
+/// error, not a runtime condition).
+pub trait ConcurrentStack<T: Send + 'static>: Send + Sync {
+    /// The per-thread access handle.
+    type Handle<'a>: StackHandle<T>
+    where
+        Self: 'a;
+
+    /// Registers the calling thread and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// If more threads register than the stack was constructed for.
+    fn register(&self) -> Self::Handle<'_>;
+
+    /// Short algorithm name as used in the paper's figures
+    /// (`"SEC"`, `"TRB"`, `"EB"`, `"FC"`, `"CC"`, `"TSI"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Per-thread view of a [`ConcurrentStack`].
+///
+/// Handles are `!Sync` by convention (they own thread-private state) and
+/// methods take `&mut self`; move a handle to another thread rather than
+/// sharing it.
+pub trait StackHandle<T> {
+    /// Pushes `value` onto the stack.
+    fn push(&mut self, value: T);
+
+    /// Pops the most recently pushed element, or `None` when the stack
+    /// is (linearizably) empty.
+    fn pop(&mut self) -> Option<T>;
+
+    /// Reads the top element without removing it, or `None` when empty.
+    fn peek(&mut self) -> Option<T>
+    where
+        T: Clone;
+}

@@ -1,0 +1,392 @@
+//! The Wing–Gong-style linearizability checker for stacks.
+
+use crate::history::{Event, Op};
+use core::fmt;
+use core::hash::Hash;
+use std::collections::{HashMap, HashSet};
+
+/// Why a history failed to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The DFS exhausted every candidate order: no linearization exists.
+    NotLinearizable,
+    /// More operations than the checker's bitmask supports (128).
+    TooLarge(usize),
+    /// `check_conservation` failures carry a human-readable reason.
+    Conservation(String),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotLinearizable => {
+                write!(f, "no valid linearization of the recorded history exists")
+            }
+            Violation::TooLarge(n) => write!(
+                f,
+                "history has {n} operations; the DFS checker supports at most 128"
+            ),
+            Violation::Conservation(msg) => write!(f, "conservation violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks that `events` has a valid linearization against the
+/// sequential stack specification, starting from an empty stack.
+///
+/// Returns one witness linearization (indices into `events`) on
+/// success.
+///
+/// # Examples
+///
+/// ```
+/// use sec_linearize::{check_history, Event, Op};
+///
+/// // push(1) completes, then pop() returns it: trivially linearizable.
+/// let h = vec![
+///     Event { thread: 0, op: Op::Push(1), invoke: 0, response: 1 },
+///     Event { thread: 0, op: Op::Pop(Some(1)), invoke: 2, response: 3 },
+/// ];
+/// assert!(check_history(&h).is_ok());
+///
+/// // pop() returns a value whose push started strictly later: illegal.
+/// let bad = vec![
+///     Event { thread: 0, op: Op::Pop(Some(1)), invoke: 0, response: 1 },
+///     Event { thread: 1, op: Op::Push(1), invoke: 2, response: 3 },
+/// ];
+/// assert!(check_history(&bad).is_err());
+/// ```
+pub fn check_history<T>(events: &[Event<T>]) -> Result<Vec<usize>, Violation>
+where
+    T: Eq + Clone + Hash,
+{
+    if events.len() > 128 {
+        return Err(Violation::TooLarge(events.len()));
+    }
+    let n = events.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // DFS over (set of linearized ops, stack state). The stack state is
+    // not a function of the set (it depends on the order), so it is part
+    // of the memo key.
+    let all_mask: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut stack: Vec<T> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut visited: HashSet<(u128, Vec<T>)> = HashSet::new();
+
+    fn dfs<T: Eq + Clone + Hash>(
+        events: &[Event<T>],
+        done: u128,
+        all_mask: u128,
+        stack: &mut Vec<T>,
+        order: &mut Vec<usize>,
+        visited: &mut HashSet<(u128, Vec<T>)>,
+    ) -> bool {
+        if done == all_mask {
+            return true;
+        }
+        if !visited.insert((done, stack.clone())) {
+            return false; // already explored this configuration
+        }
+        // Minimal remaining ops: e may linearize next iff no other
+        // remaining op responded before e was invoked.
+        let min_response = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| done & (1 << i) == 0)
+            .map(|(_, e)| e.response)
+            .min()
+            .expect("non-full mask has remaining events");
+        for (i, e) in events.iter().enumerate() {
+            if done & (1 << i) != 0 || e.invoke > min_response {
+                continue;
+            }
+            // Try to apply `e` to the model (each arm returns early on
+            // a successful complete linearization, otherwise undoes its
+            // model change and falls through to the next candidate).
+            match &e.op {
+                Op::Push(v) => {
+                    stack.push(v.clone());
+                    order.push(i);
+                    if dfs(events, done | (1 << i), all_mask, stack, order, visited) {
+                        return true;
+                    }
+                    order.pop();
+                    stack.pop();
+                }
+                Op::Pop(expect) => match (stack.last(), expect) {
+                    (Some(top), Some(v)) if top == v => {
+                        let saved = stack.pop().expect("non-empty");
+                        order.push(i);
+                        if dfs(events, done | (1 << i), all_mask, stack, order, visited) {
+                            return true;
+                        }
+                        order.pop();
+                        stack.push(saved);
+                    }
+                    (None, None) => {
+                        order.push(i);
+                        if dfs(events, done | (1 << i), all_mask, stack, order, visited) {
+                            return true;
+                        }
+                        order.pop();
+                    }
+                    _ => {}
+                },
+                Op::Peek(expect) => {
+                    let matches = match (stack.last(), expect) {
+                        (Some(top), Some(v)) => top == v,
+                        (None, None) => true,
+                        _ => false,
+                    };
+                    if matches {
+                        order.push(i);
+                        if dfs(events, done | (1 << i), all_mask, stack, order, visited) {
+                            return true;
+                        }
+                        order.pop();
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    if dfs(events, 0, all_mask, &mut stack, &mut order, &mut visited) {
+        Ok(order)
+    } else {
+        Err(Violation::NotLinearizable)
+    }
+}
+
+/// Linear-time conservation checks for arbitrarily large histories.
+///
+/// Verifies (assuming *globally unique* pushed values, which the test
+/// harness guarantees):
+///
+/// 1. no value is popped twice,
+/// 2. every popped value was pushed,
+/// 3. no pop *responds* before its value's push was *invoked*
+///    (a real-time causality violation).
+///
+/// Necessary for linearizability, far from sufficient — use
+/// [`check_history`] on small histories for the full property.
+pub fn check_conservation<T>(events: &[Event<T>]) -> Result<(), Violation>
+where
+    T: Eq + Clone + Hash + fmt::Debug,
+{
+    let mut pushes: HashMap<&T, &Event<T>> = HashMap::new();
+    for e in events {
+        if let Op::Push(v) = &e.op {
+            if pushes.insert(v, e).is_some() {
+                return Err(Violation::Conservation(format!(
+                    "value {v:?} pushed more than once — harness must push unique values"
+                )));
+            }
+        }
+    }
+    let mut popped: HashSet<&T> = HashSet::new();
+    for e in events {
+        let v = match &e.op {
+            Op::Pop(Some(v)) => v,
+            _ => continue,
+        };
+        if !popped.insert(v) {
+            return Err(Violation::Conservation(format!(
+                "value {v:?} popped twice"
+            )));
+        }
+        match pushes.get(v) {
+            None => {
+                return Err(Violation::Conservation(format!(
+                    "value {v:?} popped but never pushed"
+                )))
+            }
+            Some(push) if e.response < push.invoke => {
+                return Err(Violation::Conservation(format!(
+                    "pop of {v:?} responded at {} before its push was invoked at {}",
+                    e.response, push.invoke
+                )))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev<T>(thread: usize, op: Op<T>, invoke: u64, response: u64) -> Event<T> {
+        Event {
+            thread,
+            op,
+            invoke,
+            response,
+        }
+    }
+
+    #[test]
+    fn empty_history_checks() {
+        let h: Vec<Event<u32>> = vec![];
+        assert_eq!(check_history(&h), Ok(vec![]));
+    }
+
+    #[test]
+    fn sequential_lifo_checks() {
+        let h = vec![
+            ev(0, Op::Push(1), 0, 1),
+            ev(0, Op::Push(2), 2, 3),
+            ev(0, Op::Pop(Some(2)), 4, 5),
+            ev(0, Op::Pop(Some(1)), 6, 7),
+            ev(0, Op::Pop(None), 8, 9),
+        ];
+        let order = check_history(&h).unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fifo_order_of_sequential_ops_is_rejected() {
+        // Two completed pushes, then pops in FIFO order: not a stack.
+        let h = vec![
+            ev(0, Op::Push(1), 0, 1),
+            ev(0, Op::Push(2), 2, 3),
+            ev(0, Op::Pop(Some(1)), 4, 5),
+            ev(0, Op::Pop(Some(2)), 6, 7),
+        ];
+        assert_eq!(check_history(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn concurrent_ops_may_reorder() {
+        // push(1) and push(2) overlap; pops observe 1 then 2 — legal,
+        // because the pushes may linearize as 2 then 1.
+        let h = vec![
+            ev(0, Op::Push(1), 0, 10),
+            ev(1, Op::Push(2), 0, 10),
+            ev(0, Op::Pop(Some(1)), 11, 12),
+            ev(1, Op::Pop(Some(2)), 13, 14),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn elimination_style_overlap_checks() {
+        // A push and a pop that overlap and exchange a value while the
+        // stack is (and stays) logically unchanged — SEC's elimination.
+        let h = vec![
+            ev(0, Op::Push(42), 0, 10),
+            ev(1, Op::Pop(Some(42)), 1, 9),
+            ev(2, Op::Pop(None), 11, 12),
+        ];
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn pop_empty_while_stack_nonempty_everywhere_is_rejected() {
+        // push(1) completed; pop(EMPTY) runs strictly later while
+        // nothing removed 1: illegal.
+        let h = vec![ev(0, Op::Push(1), 0, 1), ev(1, Op::Pop(None), 2, 3)];
+        assert_eq!(check_history(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn pop_of_unpushed_value_is_rejected() {
+        let h = vec![ev(0, Op::Pop(Some(7)), 0, 1)];
+        assert_eq!(check_history(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn peek_must_match_some_consistent_top() {
+        let good = vec![
+            ev(0, Op::Push(1), 0, 1),
+            ev(1, Op::Peek(Some(1)), 2, 3),
+            ev(0, Op::Push(2), 4, 5),
+            ev(1, Op::Peek(Some(2)), 6, 7),
+        ];
+        assert!(check_history(&good).is_ok());
+
+        let bad = vec![
+            ev(0, Op::Push(1), 0, 1),
+            ev(0, Op::Push(2), 2, 3),
+            // Strictly after both pushes, peek sees the older element
+            // while 2 is still on top: illegal.
+            ev(1, Op::Peek(Some(1)), 4, 5),
+        ];
+        assert_eq!(check_history(&bad), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // pop(Some(1)) fully precedes push(1): rejected even though a
+        // reordering would satisfy the stack spec.
+        let h = vec![
+            ev(0, Op::Pop(Some(1)), 0, 1),
+            ev(1, Op::Push(1), 2, 3),
+        ];
+        assert_eq!(check_history(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn too_large_history_is_refused() {
+        let h: Vec<Event<u32>> = (0..129)
+            .map(|i| ev(0, Op::Push(i), (2 * i) as u64, (2 * i + 1) as u64))
+            .collect();
+        assert!(matches!(check_history(&h), Err(Violation::TooLarge(129))));
+    }
+
+    #[test]
+    fn conservation_accepts_valid_history() {
+        let h = vec![
+            ev(0, Op::Push(1), 0, 1),
+            ev(0, Op::Push(2), 2, 3),
+            ev(1, Op::Pop(Some(2)), 4, 5),
+        ];
+        assert!(check_conservation(&h).is_ok());
+    }
+
+    #[test]
+    fn conservation_rejects_duplicate_pop() {
+        let h = vec![
+            ev(0, Op::Push(1), 0, 1),
+            ev(1, Op::Pop(Some(1)), 2, 3),
+            ev(2, Op::Pop(Some(1)), 4, 5),
+        ];
+        assert!(matches!(
+            check_conservation(&h),
+            Err(Violation::Conservation(_))
+        ));
+    }
+
+    #[test]
+    fn conservation_rejects_pop_before_push() {
+        let h = vec![
+            ev(0, Op::Pop(Some(9)), 0, 1),
+            ev(1, Op::Push(9), 5, 6),
+        ];
+        assert!(matches!(
+            check_conservation(&h),
+            Err(Violation::Conservation(_))
+        ));
+    }
+
+    #[test]
+    fn conservation_rejects_never_pushed() {
+        let h: Vec<Event<u32>> = vec![ev(0, Op::Pop(Some(3)), 0, 1)];
+        assert!(matches!(
+            check_conservation(&h),
+            Err(Violation::Conservation(_))
+        ));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        assert!(Violation::NotLinearizable.to_string().contains("linearization"));
+        assert!(Violation::TooLarge(200).to_string().contains("200"));
+    }
+}

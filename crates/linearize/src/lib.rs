@@ -1,0 +1,32 @@
+//! # `sec-linearize` — stack-history recording and linearizability checking
+//!
+//! The SEC paper proves its stack linearizable (Appendix B). This crate
+//! lets the test suite *check* that claim empirically against the
+//! implementation — and against every baseline — by recording small
+//! concurrent histories and searching for a valid linearization:
+//!
+//! * [`Recorder`] / [`Event`] — a global logical clock and the
+//!   invoke/response event format,
+//! * [`check_history`] — a Wing–Gong-style DFS checker specialized for
+//!   the sequential stack specification (push / pop / peek, including
+//!   EMPTY results), with memoization on (completed-set, stack-state),
+//! * [`check_conservation`] — a linear-time sanity pass for *large*
+//!   histories (no value popped twice, nothing popped before being
+//!   pushed, nothing popped that was never pushed) — necessary but not
+//!   sufficient for linearizability, useful where the DFS would blow up.
+//!
+//! The DFS checker is exponential in the worst case; keep checked
+//! histories small (≲ 100 operations, ≤ 128 total, a handful of
+//! threads). That is exactly the regime where linearizability bugs in
+//! stack algorithms show up, because it maximizes the checker's ability
+//! to consider alternative orders.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod checker;
+mod history;
+pub mod spec;
+
+pub use checker::{check_conservation, check_history, Violation};
+pub use history::{Event, Op, Recorder};

@@ -1,0 +1,461 @@
+//! Generic linearizability checking against arbitrary sequential
+//! specifications.
+//!
+//! [`check_history`](crate::check_history) is specialized (and
+//! undo-optimized) for the stack spec; this module provides the same
+//! Wing–Gong search for *any* sequential object — used by the test
+//! suite to check the `SecDeque` extension, and available for further
+//! data structures built on the paper's mechanisms.
+
+use crate::checker::Violation;
+use core::hash::Hash;
+use std::collections::HashSet;
+
+/// A sequential specification: a deterministic state machine whose
+/// transitions may refuse an operation (when the operation's *observed
+/// result* is impossible in the current state).
+pub trait SeqSpec {
+    /// A complete operation, including its observed result.
+    type Op;
+    /// Sequential object state.
+    type State: Clone + Eq + Hash + Default;
+
+    /// Applies `op` to a copy of `state`; `None` when the observed
+    /// result is inconsistent with `state`.
+    fn apply(state: &Self::State, op: &Self::Op) -> Option<Self::State>;
+}
+
+/// A timed operation for the generic checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOp<O> {
+    /// The operation with its observed result.
+    pub op: O,
+    /// Logical invocation time (see [`Recorder`](crate::Recorder)).
+    pub invoke: u64,
+    /// Logical response time.
+    pub response: u64,
+}
+
+/// Checks that the timed operations have a valid linearization against
+/// `S`, starting from `S::State::default()`. Returns a witness order.
+///
+/// Exponential worst case; keep histories small (≤ 128 operations).
+///
+/// # Examples
+///
+/// ```
+/// use sec_linearize::spec::{check_generic, SeqSpec, TimedOp};
+///
+/// /// A register holding the last written value.
+/// struct RegSpec;
+/// #[derive(Debug, Clone, PartialEq, Eq)]
+/// enum RegOp { Write(u32), Read(Option<u32>) }
+/// impl SeqSpec for RegSpec {
+///     type Op = RegOp;
+///     type State = Option<u32>;
+///     fn apply(state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+///         match op {
+///             RegOp::Write(v) => Some(Some(*v)),
+///             RegOp::Read(observed) => (observed == state).then(|| state.clone()),
+///         }
+///     }
+/// }
+///
+/// let h = vec![
+///     TimedOp { op: RegOp::Write(3), invoke: 0, response: 1 },
+///     TimedOp { op: RegOp::Read(Some(3)), invoke: 2, response: 3 },
+/// ];
+/// assert!(check_generic::<RegSpec>(&h).is_ok());
+/// ```
+pub fn check_generic<S: SeqSpec>(events: &[TimedOp<S::Op>]) -> Result<Vec<usize>, Violation> {
+    let n = events.len();
+    if n > 128 {
+        return Err(Violation::TooLarge(n));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let all_mask: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut order = Vec::new();
+    let mut visited: HashSet<(u128, S::State)> = HashSet::new();
+
+    fn dfs<S: SeqSpec>(
+        events: &[TimedOp<S::Op>],
+        done: u128,
+        all_mask: u128,
+        state: &S::State,
+        order: &mut Vec<usize>,
+        visited: &mut HashSet<(u128, S::State)>,
+    ) -> bool {
+        if done == all_mask {
+            return true;
+        }
+        if !visited.insert((done, state.clone())) {
+            return false;
+        }
+        let min_response = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| done & (1 << i) == 0)
+            .map(|(_, e)| e.response)
+            .min()
+            .expect("remaining events exist");
+        for (i, e) in events.iter().enumerate() {
+            if done & (1 << i) != 0 || e.invoke > min_response {
+                continue;
+            }
+            if let Some(next) = S::apply(state, &e.op) {
+                order.push(i);
+                if dfs::<S>(events, done | (1 << i), all_mask, &next, order, visited) {
+                    return true;
+                }
+                order.pop();
+            }
+        }
+        false
+    }
+
+    if dfs::<S>(
+        events,
+        0,
+        all_mask,
+        &S::State::default(),
+        &mut order,
+        &mut visited,
+    ) {
+        Ok(order)
+    } else {
+        Err(Violation::NotLinearizable)
+    }
+}
+
+/// The deque sequential specification (for `SecDeque`-style tests).
+pub mod deque {
+    use super::SeqSpec;
+    use std::collections::VecDeque;
+
+    /// A deque operation with its observed result.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub enum DequeOp<T> {
+        /// `push_front(value)`.
+        PushFront(T),
+        /// `push_back(value)`.
+        PushBack(T),
+        /// `pop_front()` and its result.
+        PopFront(Option<T>),
+        /// `pop_back()` and its result.
+        PopBack(Option<T>),
+    }
+
+    /// Marker type implementing [`SeqSpec`] for deques over `T`.
+    pub struct DequeSpec<T>(core::marker::PhantomData<T>);
+
+    impl<T: Clone + Eq + core::hash::Hash> SeqSpec for DequeSpec<T> {
+        type Op = DequeOp<T>;
+        type State = VecDeque<T>;
+
+        fn apply(state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+            let mut next = state.clone();
+            match op {
+                DequeOp::PushFront(v) => {
+                    next.push_front(v.clone());
+                    Some(next)
+                }
+                DequeOp::PushBack(v) => {
+                    next.push_back(v.clone());
+                    Some(next)
+                }
+                DequeOp::PopFront(expect) => {
+                    let got = next.pop_front();
+                    (&got == expect).then_some(next)
+                }
+                DequeOp::PopBack(expect) => {
+                    let got = next.pop_back();
+                    (&got == expect).then_some(next)
+                }
+            }
+        }
+    }
+}
+
+/// The FIFO queue sequential specification.
+///
+/// Not used by a data structure in this repository directly, but the
+/// paper's introduction builds on the queue literature (LCRQ,
+/// aggregating funnels), and having the spec lets downstream users of
+/// the generic checker verify queue adaptations of the SEC mechanisms.
+pub mod queue {
+    use super::SeqSpec;
+    use std::collections::VecDeque;
+
+    /// A queue operation with its observed result.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub enum QueueOp<T> {
+        /// `enqueue(value)`.
+        Enqueue(T),
+        /// `dequeue()` and its result.
+        Dequeue(Option<T>),
+    }
+
+    /// Marker type implementing [`SeqSpec`] for FIFO queues over `T`.
+    pub struct QueueSpec<T>(core::marker::PhantomData<T>);
+
+    impl<T: Clone + Eq + core::hash::Hash> SeqSpec for QueueSpec<T> {
+        type Op = QueueOp<T>;
+        type State = VecDeque<T>;
+
+        fn apply(state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+            let mut next = state.clone();
+            match op {
+                QueueOp::Enqueue(v) => {
+                    next.push_back(v.clone());
+                    Some(next)
+                }
+                QueueOp::Dequeue(expect) => {
+                    let got = next.pop_front();
+                    (&got == expect).then_some(next)
+                }
+            }
+        }
+    }
+}
+
+/// The pool (unordered bag) sequential specification — the weakest
+/// correctness contract `SecPool` must satisfy: `get` returns *some*
+/// previously-put value (each value exactly once), or `None` only when
+/// the pool is empty at the linearization point.
+pub mod pool {
+    use super::SeqSpec;
+    use std::collections::BTreeMap;
+
+    /// A pool operation with its observed result.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub enum PoolOp<T> {
+        /// `put(value)`.
+        Put(T),
+        /// `get()` and its result.
+        Get(Option<T>),
+    }
+
+    /// Marker type implementing [`SeqSpec`] for pools over `T`.
+    ///
+    /// State is a multiset (value → multiplicity); `BTreeMap` rather
+    /// than `HashMap` because the checker hashes states.
+    pub struct PoolSpec<T>(core::marker::PhantomData<T>);
+
+    impl<T: Clone + Ord + core::hash::Hash> SeqSpec for PoolSpec<T> {
+        type Op = PoolOp<T>;
+        type State = BTreeMap<T, u32>;
+
+        fn apply(state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+            let mut next = state.clone();
+            match op {
+                PoolOp::Put(v) => {
+                    *next.entry(v.clone()).or_insert(0) += 1;
+                    Some(next)
+                }
+                PoolOp::Get(Some(v)) => match next.get_mut(v) {
+                    Some(n) if *n > 1 => {
+                        *n -= 1;
+                        Some(next)
+                    }
+                    Some(_) => {
+                        next.remove(v);
+                        Some(next)
+                    }
+                    None => None,
+                },
+                PoolOp::Get(None) => next.is_empty().then_some(next),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{DequeOp, DequeSpec};
+    use super::pool::{PoolOp, PoolSpec};
+    use super::queue::{QueueOp, QueueSpec};
+    use super::*;
+
+    fn t<O>(op: O, invoke: u64, response: u64) -> TimedOp<O> {
+        TimedOp {
+            op,
+            invoke,
+            response,
+        }
+    }
+
+    #[test]
+    fn empty_history_checks() {
+        let h: Vec<TimedOp<DequeOp<u32>>> = vec![];
+        assert_eq!(check_generic::<DequeSpec<u32>>(&h), Ok(vec![]));
+    }
+
+    #[test]
+    fn sequential_deque_history_checks() {
+        let h = vec![
+            t(DequeOp::PushBack(1), 0, 1),
+            t(DequeOp::PushBack(2), 2, 3),
+            t(DequeOp::PushFront(0), 4, 5),
+            t(DequeOp::PopFront(Some(0)), 6, 7),
+            t(DequeOp::PopBack(Some(2)), 8, 9),
+            t(DequeOp::PopFront(Some(1)), 10, 11),
+            t(DequeOp::PopFront(None), 12, 13),
+        ];
+        assert!(check_generic::<DequeSpec<u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn wrong_end_order_is_rejected() {
+        // Two completed push_backs, then pop_back returns the *older*:
+        // impossible on a deque.
+        let h = vec![
+            t(DequeOp::PushBack(1), 0, 1),
+            t(DequeOp::PushBack(2), 2, 3),
+            t(DequeOp::PopBack(Some(1)), 4, 5),
+        ];
+        assert_eq!(
+            check_generic::<DequeSpec<u32>>(&h),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn concurrent_pushes_may_reorder() {
+        let h = vec![
+            t(DequeOp::PushFront(1), 0, 10),
+            t(DequeOp::PushFront(2), 0, 10),
+            t(DequeOp::PopFront(Some(1)), 11, 12),
+            t(DequeOp::PopFront(Some(2)), 13, 14),
+        ];
+        assert!(check_generic::<DequeSpec<u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn elimination_style_front_pair_checks() {
+        // Overlapping push_front / pop_front exchanging a value with
+        // the deque otherwise untouched — SecDeque's elimination.
+        let h = vec![
+            t(DequeOp::PushBack(9), 0, 1),
+            t(DequeOp::PushFront(42), 2, 10),
+            t(DequeOp::PopFront(Some(42)), 3, 9),
+            t(DequeOp::PopFront(Some(9)), 11, 12),
+        ];
+        assert!(check_generic::<DequeSpec<u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        let h = vec![
+            t(DequeOp::PopFront(Some(5)), 0, 1),
+            t(DequeOp::PushFront(5), 2, 3),
+        ];
+        assert_eq!(
+            check_generic::<DequeSpec<u32>>(&h),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn queue_fifo_order_is_enforced() {
+        let ok = vec![
+            t(QueueOp::Enqueue(1), 0, 1),
+            t(QueueOp::Enqueue(2), 2, 3),
+            t(QueueOp::Dequeue(Some(1)), 4, 5),
+            t(QueueOp::Dequeue(Some(2)), 6, 7),
+            t(QueueOp::Dequeue(None), 8, 9),
+        ];
+        assert!(check_generic::<QueueSpec<u32>>(&ok).is_ok());
+
+        let lifo = vec![
+            t(QueueOp::Enqueue(1), 0, 1),
+            t(QueueOp::Enqueue(2), 2, 3),
+            t(QueueOp::Dequeue(Some(2)), 4, 5),
+        ];
+        assert_eq!(
+            check_generic::<QueueSpec<u32>>(&lifo),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn concurrent_enqueues_may_order_either_way() {
+        let h = vec![
+            t(QueueOp::Enqueue(1), 0, 10),
+            t(QueueOp::Enqueue(2), 0, 10),
+            t(QueueOp::Dequeue(Some(2)), 11, 12),
+            t(QueueOp::Dequeue(Some(1)), 13, 14),
+        ];
+        assert!(check_generic::<QueueSpec<u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn pool_accepts_any_extraction_order() {
+        let h = vec![
+            t(PoolOp::Put(1), 0, 1),
+            t(PoolOp::Put(2), 2, 3),
+            t(PoolOp::Get(Some(1)), 4, 5), // neither LIFO nor FIFO required
+            t(PoolOp::Get(Some(2)), 6, 7),
+            t(PoolOp::Get(None), 8, 9),
+        ];
+        assert!(check_generic::<PoolSpec<u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn pool_rejects_phantom_and_double_get() {
+        let phantom = vec![t(PoolOp::Get(Some(7)), 0, 1)];
+        assert_eq!(
+            check_generic::<PoolSpec<u32>>(&phantom),
+            Err(Violation::NotLinearizable)
+        );
+
+        let double = vec![
+            t(PoolOp::Put(7), 0, 1),
+            t(PoolOp::Get(Some(7)), 2, 3),
+            t(PoolOp::Get(Some(7)), 4, 5),
+        ];
+        assert_eq!(
+            check_generic::<PoolSpec<u32>>(&double),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn pool_rejects_empty_answer_when_nonempty() {
+        // `Get(None)` completed strictly between a completed Put and
+        // any Get: the pool cannot have been empty.
+        let h = vec![
+            t(PoolOp::Put(1), 0, 1),
+            t(PoolOp::Get(None), 2, 3),
+            t(PoolOp::Get(Some(1)), 4, 5),
+        ];
+        assert_eq!(
+            check_generic::<PoolSpec<u32>>(&h),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn pool_multiset_counts_duplicates() {
+        let h = vec![
+            t(PoolOp::Put(5), 0, 1),
+            t(PoolOp::Put(5), 2, 3),
+            t(PoolOp::Get(Some(5)), 4, 5),
+            t(PoolOp::Get(Some(5)), 6, 7),
+            t(PoolOp::Get(None), 8, 9),
+        ];
+        assert!(check_generic::<PoolSpec<u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn too_large_history_is_refused() {
+        let h: Vec<TimedOp<DequeOp<u32>>> = (0..129)
+            .map(|i| t(DequeOp::PushBack(i), (2 * i) as u64, (2 * i + 1) as u64))
+            .collect();
+        assert!(matches!(
+            check_generic::<DequeSpec<u32>>(&h),
+            Err(Violation::TooLarge(129))
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the linearizability checker itself:
+//! histories generated from a real sequential execution must always
+//! check out (with tight or fully-overlapping intervals), and targeted
+//! corruptions must be caught.
+
+use proptest::prelude::*;
+use sec_linearize::{check_conservation, check_history, Event, Op, Violation};
+
+/// Abstract op kinds for generation.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Push,
+    Pop,
+    Peek,
+}
+
+fn kind_strategy() -> impl Strategy<Value = Kind> {
+    prop_oneof![Just(Kind::Push), Just(Kind::Pop), Just(Kind::Peek)]
+}
+
+/// Executes `kinds` against a Vec model, emitting a *sequential*
+/// history (disjoint intervals, unique pushed values).
+fn sequential_history(kinds: &[Kind]) -> Vec<Event<u64>> {
+    let mut model: Vec<u64> = Vec::new();
+    let mut events = Vec::with_capacity(kinds.len());
+    let mut clock = 0u64;
+    for (i, k) in kinds.iter().enumerate() {
+        let invoke = clock;
+        clock += 1;
+        let op = match k {
+            Kind::Push => {
+                let v = i as u64;
+                model.push(v);
+                Op::Push(v)
+            }
+            Kind::Pop => Op::Pop(model.pop()),
+            Kind::Peek => Op::Peek(model.last().copied()),
+        };
+        let response = clock;
+        clock += 1;
+        events.push(Event {
+            thread: i % 3,
+            op,
+            invoke,
+            response,
+        });
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sequential_histories_always_check(kinds in prop::collection::vec(kind_strategy(), 0..40)) {
+        let h = sequential_history(&kinds);
+        prop_assert!(check_history(&h).is_ok());
+        prop_assert!(check_conservation(&h).is_ok());
+        // The witness must be a permutation of all indices.
+        let order = check_history(&h).unwrap();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..h.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fully_overlapping_histories_still_check(kinds in prop::collection::vec(kind_strategy(), 0..14)) {
+        // Blow every interval up to [0, ∞): the sequential order is
+        // still one valid linearization, so the checker must accept.
+        let mut h = sequential_history(&kinds);
+        for e in &mut h {
+            e.invoke = 0;
+            e.response = u64::MAX;
+        }
+        prop_assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn corrupted_pop_value_is_caught(kinds in prop::collection::vec(kind_strategy(), 1..30)) {
+        let mut h = sequential_history(&kinds);
+        // Find a pop that returned a value and corrupt it to a value
+        // that was never pushed: conservation must flag it.
+        let target = h.iter_mut().find_map(|e| match &mut e.op {
+            Op::Pop(Some(v)) => Some(v),
+            _ => None,
+        });
+        prop_assume!(target.is_some());
+        *target.unwrap() = 999_999;
+        prop_assert!(matches!(
+            check_conservation(&h),
+            Err(Violation::Conservation(_))
+        ));
+    }
+
+    #[test]
+    fn duplicated_pop_is_caught(kinds in prop::collection::vec(kind_strategy(), 1..30)) {
+        let mut h = sequential_history(&kinds);
+        let dup = h.iter().find(|e| matches!(e.op, Op::Pop(Some(_)))).cloned();
+        prop_assume!(dup.is_some());
+        let mut dup = dup.unwrap();
+        dup.invoke += 1_000;
+        dup.response += 1_001;
+        h.push(dup);
+        prop_assert!(matches!(
+            check_conservation(&h),
+            Err(Violation::Conservation(_))
+        ));
+        // And the full checker agrees (the value can't be popped twice).
+        if h.len() <= 40 {
+            prop_assert!(check_history(&h).is_err());
+        }
+    }
+
+    #[test]
+    fn lifo_violation_is_caught(n in 2usize..20) {
+        // n sequential pushes then pops in FIFO order: never a stack.
+        let mut h = Vec::new();
+        let mut clock = 0u64;
+        for i in 0..n {
+            h.push(Event { thread: 0, op: Op::Push(i as u64), invoke: clock, response: clock + 1 });
+            clock += 2;
+        }
+        for i in 0..n {
+            h.push(Event { thread: 0, op: Op::Pop(Some(i as u64)), invoke: clock, response: clock + 1 });
+            clock += 2;
+        }
+        prop_assert_eq!(check_history(&h), Err(Violation::NotLinearizable));
+        // Conservation alone is satisfied — it is strictly weaker.
+        prop_assert!(check_conservation(&h).is_ok());
+    }
+}

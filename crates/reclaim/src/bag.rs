@@ -1,0 +1,167 @@
+//! Type-erased deferred destruction and per-epoch limbo bags.
+
+/// A type-erased "drop this allocation later" closure.
+///
+/// Built from a `Box<T>`-derived raw pointer plus a monomorphized drop
+/// shim; two words, no allocation of its own.
+pub(crate) struct Deferred {
+    ptr: *mut (),
+    call: unsafe fn(*mut ()),
+}
+
+// Safety: a `Deferred` is only constructed from pointers to `Send` data
+// (enforced by the `T: Send` bound in `Deferred::new`), and ownership of
+// the allocation is transferred into the collector, so executing the
+// drop on another thread is sound.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Wraps `ptr` (which must come from `Box::into_raw`) for deferred
+    /// dropping.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a unique, valid pointer obtained from
+    /// `Box::into_raw` and must not be dropped or dereferenced by the
+    /// caller afterwards.
+    pub(crate) unsafe fn new<T: Send>(ptr: *mut T) -> Self {
+        unsafe fn drop_box<T>(p: *mut ()) {
+            // Safety: `p` was produced by `Box::into_raw::<T>` in `new`.
+            drop(unsafe { Box::from_raw(p.cast::<T>()) });
+        }
+        Self {
+            ptr: ptr.cast(),
+            call: drop_box::<T>,
+        }
+    }
+
+    /// Executes the deferred drop, consuming `self`.
+    pub(crate) fn execute(self) {
+        // Safety: by construction, `ptr`/`call` form a valid pair and
+        // `execute` consumes the `Deferred`, so the drop runs once.
+        unsafe { (self.call)(self.ptr) }
+    }
+}
+
+/// A limbo bag: garbage retired during one epoch.
+///
+/// Each thread owns three (`epoch mod 3`); the `epoch` tag records which
+/// epoch the contents belong to so the bag can be drained lazily when it
+/// is reused for a later epoch (which is then ≥ 3 epochs newer, well past
+/// the `e + 2` safety bound).
+pub(crate) struct Bag {
+    /// Epoch whose garbage this bag currently holds.
+    pub(crate) epoch: u64,
+    items: Vec<Deferred>,
+}
+
+impl Bag {
+    pub(crate) fn new() -> Self {
+        Self {
+            epoch: 0,
+            items: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, d: Deferred) {
+        self.items.push(d);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Frees every item in the bag. Returns how many were freed.
+    pub(crate) fn drain(&mut self) -> usize {
+        let n = self.items.len();
+        for d in self.items.drain(..) {
+            d.execute();
+        }
+        n
+    }
+
+    /// Moves all items out (for orphaning on thread exit).
+    pub(crate) fn take_items(&mut self) -> Vec<Deferred> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+impl Drop for Bag {
+    fn drop(&mut self) {
+        // Dropping a bag with garbage frees it: callers only drop bags
+        // when the collector is being torn down (no readers remain) or
+        // after explicitly orphaning the contents.
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn deferred_counter(c: &Arc<AtomicUsize>) -> Deferred {
+        let b = Box::into_raw(Box::new(DropCounter(Arc::clone(c))));
+        unsafe { Deferred::new(b) }
+    }
+
+    #[test]
+    fn deferred_runs_drop_exactly_once() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let d = deferred_counter(&c);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+        d.execute();
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bag_drain_frees_all_items() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut bag = Bag::new();
+        for _ in 0..10 {
+            bag.push(deferred_counter(&c));
+        }
+        assert_eq!(bag.len(), 10);
+        assert_eq!(bag.drain(), 10);
+        assert!(bag.is_empty());
+        assert_eq!(c.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn dropping_a_bag_frees_contents() {
+        let c = Arc::new(AtomicUsize::new(0));
+        {
+            let mut bag = Bag::new();
+            bag.push(deferred_counter(&c));
+            bag.push(deferred_counter(&c));
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn take_items_transfers_ownership() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut bag = Bag::new();
+        bag.push(deferred_counter(&c));
+        let items = bag.take_items();
+        assert!(bag.is_empty());
+        drop(bag);
+        assert_eq!(c.load(Ordering::Relaxed), 0, "items moved out, not freed");
+        for d in items {
+            d.execute();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,527 @@
+//! Hazard-pointer reclamation (Michael, 2004).
+//!
+//! The paper's §4 notes that reclamation schemes other than DEBRA "can
+//! be applied in the same way" to SEC and its competitors. This module
+//! supplies the classic pointer-based alternative so the
+//! `recl_ablation` benchmark can measure what the reclamation substrate
+//! costs each stack: epochs amortize to a couple of relaxed
+//! loads per operation but delay reclamation arbitrarily under a stalled
+//! reader, whereas hazard pointers pay a store + fence per protected
+//! read but bound garbage by `H = threads × pointers`.
+//!
+//! The protocol, briefly: a reader *protects* a pointer by publishing it
+//! in its hazard slot and re-validating the source; a writer *retires*
+//! an unlinked node into a thread-local list and, past a threshold,
+//! *scans* — it snapshots every published hazard and frees exactly the
+//! retired nodes no snapshot entry points to.
+//!
+//! ```
+//! use sec_reclaim::HpDomain;
+//! use std::sync::atomic::{AtomicPtr, Ordering};
+//!
+//! let domain = HpDomain::new(4, 2); // 4 threads × 2 hazard slots
+//! let handle = domain.register().unwrap();
+//! let shared = AtomicPtr::new(Box::into_raw(Box::new(7_u64)));
+//!
+//! let p = handle.protect(0, &shared);          // safe to dereference
+//! assert_eq!(unsafe { *p }, 7);
+//! let old = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
+//! handle.clear(0);                             // done reading
+//! unsafe { handle.retire(old) };               // freed at a safe time
+//! ```
+
+use crate::bag::Deferred;
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use sec_sync::CachePadded;
+use std::sync::Mutex;
+
+/// A retired allocation: the address (for the hazard comparison) plus
+/// the type-erased deferred drop.
+struct Retired {
+    addr: usize,
+    deferred: Deferred,
+}
+
+/// A hazard-pointer domain: the shared registry of hazard slots plus
+/// the orphan list for garbage left behind by exited threads.
+///
+/// Constructed for a fixed `max_threads × pointers_per_thread` slot
+/// grid; [`register`](Self::register) hands out per-thread handles.
+pub struct HpDomain {
+    /// Flattened hazard grid: thread `t`'s pointer `i` lives at
+    /// `hazards[t * per_thread + i]`. Zero means "no hazard".
+    hazards: Box<[CachePadded<AtomicUsize>]>,
+    /// Registry: which thread rows are handed out.
+    in_use: Box<[AtomicBool]>,
+    per_thread: usize,
+    /// Garbage from dropped handles, freed by later scans or teardown.
+    orphans: Mutex<Vec<Retired>>,
+    /// Cumulative counters (diagnostics and tests).
+    retired_total: AtomicU64,
+    freed_total: AtomicU64,
+}
+
+impl HpDomain {
+    /// Creates a domain for `max_threads` threads, each owning
+    /// `per_thread` hazard slots (stacks need 1–2; pass what the data
+    /// structure's longest pointer chase requires).
+    ///
+    /// # Panics
+    ///
+    /// If either argument is zero.
+    pub fn new(max_threads: usize, per_thread: usize) -> Self {
+        assert!(max_threads > 0, "HpDomain: max_threads must be > 0");
+        assert!(per_thread > 0, "HpDomain: per_thread must be > 0");
+        Self {
+            hazards: (0..max_threads * per_thread)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            in_use: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+            per_thread,
+            orphans: Mutex::new(Vec::new()),
+            retired_total: AtomicU64::new(0),
+            freed_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers the calling thread, claiming a free hazard row.
+    /// Returns `None` when `max_threads` handles are already live.
+    pub fn register(&self) -> Option<HpHandle<'_>> {
+        for (row, flag) in self.in_use.iter().enumerate() {
+            if flag
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(HpHandle {
+                    domain: self,
+                    row,
+                    retired: UnsafeCell::new(Vec::new()),
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of hazard slots per registered thread.
+    pub fn pointers_per_thread(&self) -> usize {
+        self.per_thread
+    }
+
+    /// Total objects retired into this domain so far.
+    pub fn retired_count(&self) -> u64 {
+        self.retired_total.load(Ordering::Relaxed)
+    }
+
+    /// Total objects freed by scans (and teardown) so far.
+    pub fn freed_count(&self) -> u64 {
+        self.freed_total.load(Ordering::Relaxed)
+    }
+
+    /// The scan threshold: retire lists longer than this trigger a scan.
+    /// Michael's recommendation is a small multiple of the total hazard
+    /// count `H`, giving O(1) amortized scanning and ≤ `R` unreclaimed
+    /// nodes per thread.
+    fn scan_threshold(&self) -> usize {
+        (2 * self.hazards.len()).max(64)
+    }
+
+    /// Snapshots every published hazard, ascending and deduplicated.
+    fn snapshot_hazards(&self) -> Vec<usize> {
+        // The SeqCst fence pairs with the fence in `protect`: any reader
+        // whose protection "happened" before this scan is visible here.
+        fence(Ordering::SeqCst);
+        let mut snap: Vec<usize> = self
+            .hazards
+            .iter()
+            .map(|h| h.load(Ordering::Acquire))
+            .filter(|&a| a != 0)
+            .collect();
+        snap.sort_unstable();
+        snap.dedup();
+        snap
+    }
+
+    /// Frees every entry of `list` not present in the hazard snapshot;
+    /// survivors stay in `list`. Returns how many were freed.
+    fn sweep(&self, list: &mut Vec<Retired>) -> usize {
+        let snap = self.snapshot_hazards();
+        let before = list.len();
+        let mut kept = Vec::with_capacity(list.len());
+        for r in list.drain(..) {
+            if snap.binary_search(&r.addr).is_ok() {
+                kept.push(r);
+            } else {
+                r.deferred.execute();
+            }
+        }
+        *list = kept;
+        let freed = before - list.len();
+        self.freed_total.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// Adopts orphaned garbage into `list` (cold path; called from scans).
+    fn adopt_orphans(&self, list: &mut Vec<Retired>) {
+        if let Ok(mut o) = self.orphans.try_lock() {
+            list.append(&mut o);
+        }
+    }
+}
+
+impl Drop for HpDomain {
+    fn drop(&mut self) {
+        // No handles can outlive the domain (they borrow it), hence no
+        // hazards: everything orphaned is free-able.
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        self.freed_total
+            .fetch_add(orphans.len() as u64, Ordering::Relaxed);
+        for r in orphans {
+            r.deferred.execute();
+        }
+    }
+}
+
+impl fmt::Debug for HpDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HpDomain")
+            .field("threads", &self.in_use.len())
+            .field("per_thread", &self.per_thread)
+            .field("retired", &self.retired_count())
+            .field("freed", &self.freed_count())
+            .finish()
+    }
+}
+
+/// A registered thread's access point to an [`HpDomain`].
+///
+/// Owns one row of hazard slots and a private retire list. Not `Sync`;
+/// move it to the thread that uses it. Dropping the handle clears its
+/// hazards and orphans any unreclaimed garbage to the domain.
+pub struct HpHandle<'d> {
+    domain: &'d HpDomain,
+    row: usize,
+    retired: UnsafeCell<Vec<Retired>>,
+}
+
+// Safety: handle state is thread-private (`!Sync`), and retired items
+// are `Send` by `Deferred`'s construction bound.
+unsafe impl Send for HpHandle<'_> {}
+
+impl<'d> HpHandle<'d> {
+    /// The domain this handle belongs to.
+    pub fn domain(&self) -> &'d HpDomain {
+        self.domain
+    }
+
+    /// This handle's dense row index (usable as a thread id).
+    pub fn slot(&self) -> usize {
+        self.row
+    }
+
+    fn hazard(&self, i: usize) -> &AtomicUsize {
+        assert!(
+            i < self.domain.per_thread,
+            "hazard index {i} out of range (per_thread = {})",
+            self.domain.per_thread
+        );
+        &self.domain.hazards[self.row * self.domain.per_thread + i]
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    fn retired(&self) -> &mut Vec<Retired> {
+        // Safety: `HpHandle` is not `Sync` and the `&mut` never escapes
+        // a single method call, so there is no aliasing.
+        unsafe { &mut *self.retired.get() }
+    }
+
+    /// Protects the pointer currently stored in `src` using hazard slot
+    /// `i` and returns it. On return (non-null case), the pointee will
+    /// not be freed by any scan until the slot is overwritten or
+    /// [`clear`](Self::clear)ed.
+    ///
+    /// This is the announce-and-validate loop: publish the read pointer,
+    /// fence, confirm `src` still holds it — if `src` moved on, the node
+    /// may already be retired and the protection is void, so retry.
+    pub fn protect<T>(&self, i: usize, src: &core::sync::atomic::AtomicPtr<T>) -> *mut T {
+        let slot = self.hazard(i);
+        let mut p = src.load(Ordering::Acquire);
+        loop {
+            slot.store(p as usize, Ordering::Relaxed);
+            // Pairs with the fence in `snapshot_hazards`.
+            fence(Ordering::SeqCst);
+            let q = src.load(Ordering::Acquire);
+            if q == p {
+                return p;
+            }
+            p = q;
+        }
+    }
+
+    /// Publishes `p` in hazard slot `i` without validation.
+    ///
+    /// Only sound when the caller can already prove `p` is live (e.g. it
+    /// protects a second pointer read *through* an already-protected
+    /// node). Most callers want [`protect`](Self::protect).
+    pub fn announce<T>(&self, i: usize, p: *mut T) {
+        self.hazard(i).store(p as usize, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+    }
+
+    /// Clears hazard slot `i`.
+    pub fn clear(&self, i: usize) {
+        // Release: the pointee reads stay before the un-protection.
+        self.hazard(i).store(0, Ordering::Release);
+    }
+
+    /// Retires `ptr`: the allocation is freed by a later scan, once no
+    /// hazard slot points to it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `Box::into_raw`, must be unlinked from every
+    /// shared location (no thread can *newly* reach it), and must not be
+    /// used by the caller afterwards.
+    pub unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        let list = self.retired();
+        list.push(Retired {
+            addr: ptr as usize,
+            // Safety: forwarded caller contract.
+            deferred: unsafe { Deferred::new(ptr) },
+        });
+        self.domain.retired_total.fetch_add(1, Ordering::Relaxed);
+        if list.len() >= self.domain.scan_threshold() {
+            self.domain.adopt_orphans(list);
+            self.domain.sweep(list);
+        }
+    }
+
+    /// Forces a scan now. Returns how many objects were freed.
+    pub fn scan(&self) -> usize {
+        let list = self.retired();
+        self.domain.adopt_orphans(list);
+        self.domain.sweep(list)
+    }
+
+    /// Number of objects waiting in this handle's retire list.
+    pub fn pending(&self) -> usize {
+        self.retired().len()
+    }
+}
+
+impl Drop for HpHandle<'_> {
+    fn drop(&mut self) {
+        for i in 0..self.domain.per_thread {
+            self.hazard(i).store(0, Ordering::Release);
+        }
+        // One last attempt to free locally, then orphan the rest.
+        let list = self.retired();
+        self.domain.sweep(list);
+        if !list.is_empty() {
+            self.domain
+                .orphans
+                .lock()
+                .unwrap()
+                .append(&mut *list);
+        }
+        self.domain.in_use[self.row].store(false, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for HpHandle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HpHandle")
+            .field("row", &self.row)
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::AtomicPtr;
+    use std::ptr;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    struct DropCounter(Arc<StdAtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn protect_returns_current_pointer() {
+        let d = HpDomain::new(1, 1);
+        let h = d.register().unwrap();
+        let b = Box::into_raw(Box::new(9_u32));
+        let src = AtomicPtr::new(b);
+        let p = h.protect(0, &src);
+        assert_eq!(p, b);
+        assert_eq!(unsafe { *p }, 9);
+        h.clear(0);
+        drop(unsafe { Box::from_raw(b) });
+    }
+
+    #[test]
+    fn registration_is_bounded_and_slots_recycle() {
+        let d = HpDomain::new(2, 1);
+        let a = d.register().unwrap();
+        let b = d.register().unwrap();
+        assert!(d.register().is_none());
+        assert_ne!(a.slot(), b.slot());
+        let freed_slot = b.slot();
+        drop(b);
+        assert_eq!(d.register().unwrap().slot(), freed_slot);
+        drop(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "hazard index")]
+    fn out_of_range_hazard_index_panics() {
+        let d = HpDomain::new(1, 1);
+        let h = d.register().unwrap();
+        h.clear(1);
+    }
+
+    #[test]
+    fn hazard_blocks_reclamation_until_cleared() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let d = HpDomain::new(2, 1);
+        let reader = d.register().unwrap();
+        let writer = d.register().unwrap();
+
+        let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+        let src = AtomicPtr::new(node);
+
+        let p = reader.protect(0, &src);
+        assert_eq!(p, node);
+        src.store(ptr::null_mut(), Ordering::Release);
+        unsafe { writer.retire(node) };
+
+        // Protected: scans must not free it.
+        writer.scan();
+        assert_eq!(drops.load(Ordering::Relaxed), 0);
+        assert_eq!(writer.pending(), 1);
+
+        reader.clear(0);
+        writer.scan();
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        assert_eq!(writer.pending(), 0);
+    }
+
+    #[test]
+    fn threshold_scan_frees_unprotected_garbage() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let d = HpDomain::new(1, 1);
+        let h = d.register().unwrap();
+        let n = d.scan_threshold() + 8;
+        for _ in 0..n {
+            let p = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+            unsafe { h.retire(p) };
+        }
+        // At least one automatic sweep must have run.
+        assert!(drops.load(Ordering::Relaxed) >= d.scan_threshold());
+        h.scan();
+        assert_eq!(drops.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn dropped_handle_orphans_then_domain_frees() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        {
+            let d = HpDomain::new(2, 1);
+            let reader = d.register().unwrap();
+            let writer = d.register().unwrap();
+            let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+            let src = AtomicPtr::new(node);
+            let _p = reader.protect(0, &src);
+            src.store(ptr::null_mut(), Ordering::Release);
+            unsafe { writer.retire(node) };
+            drop(writer); // cannot free: still protected -> orphaned
+            assert_eq!(drops.load(Ordering::Relaxed), 0);
+            drop(reader);
+        } // domain teardown frees orphans
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_count_retires_and_frees() {
+        let d = HpDomain::new(1, 1);
+        let h = d.register().unwrap();
+        for _ in 0..10 {
+            let p = Box::into_raw(Box::new(1_u64));
+            unsafe { h.retire(p) };
+        }
+        assert_eq!(d.retired_count(), 10);
+        h.scan();
+        assert_eq!(d.freed_count(), 10);
+    }
+
+    #[test]
+    fn concurrent_protect_retire_stress() {
+        // Writers repeatedly swap a shared pointer and retire the old
+        // node; readers protect-and-dereference. Every node must be
+        // freed exactly once and no read may touch freed memory (UB
+        // would show up under the count mismatch or a crash/miri).
+        const WRITERS: usize = 2;
+        const READERS: usize = 2;
+        const OPS: usize = 4_000;
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let total = Arc::new(StdAtomicUsize::new(0));
+        {
+            let d = HpDomain::new(WRITERS + READERS, 1);
+            let src = AtomicPtr::new(Box::into_raw(Box::new(DropCounter(Arc::clone(&drops)))));
+            total.fetch_add(1, Ordering::Relaxed);
+            thread::scope(|s| {
+                for _ in 0..WRITERS {
+                    let d = &d;
+                    let src = &src;
+                    let drops = Arc::clone(&drops);
+                    let total = Arc::clone(&total);
+                    s.spawn(move || {
+                        let h = d.register().unwrap();
+                        for _ in 0..OPS {
+                            let fresh = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+                            total.fetch_add(1, Ordering::Relaxed);
+                            let old = src.swap(fresh, Ordering::AcqRel);
+                            if !old.is_null() {
+                                unsafe { h.retire(old) };
+                            }
+                        }
+                        h.scan();
+                    });
+                }
+                for _ in 0..READERS {
+                    let d = &d;
+                    let src = &src;
+                    s.spawn(move || {
+                        let h = d.register().unwrap();
+                        for _ in 0..OPS {
+                            let p = h.protect(0, src);
+                            if !p.is_null() {
+                                // Dereference under protection.
+                                let inner = unsafe { &(*p).0 };
+                                let _ = inner.load(Ordering::Relaxed);
+                            }
+                            h.clear(0);
+                        }
+                    });
+                }
+            });
+            let last = src.load(Ordering::Relaxed);
+            if !last.is_null() {
+                drop(unsafe { Box::from_raw(last) });
+            }
+        }
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            total.load(Ordering::Relaxed),
+            "every allocated node must be dropped exactly once"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! A CLH queue lock.
+//!
+//! The second classic queue lock (Craig; Landin & Hagersten, 1993),
+//! included alongside [`McsLock`](crate::McsLock) so the
+//! `lock_ablation` benchmark can compare both handoff disciplines
+//! against TTAS and `std::sync::Mutex` under the combining-style
+//! critical sections the stack baselines execute. CLH differs from MCS
+//! in *where* a waiter spins: on the **predecessor's** record rather
+//! than its own. On cache-coherent machines that is one extra remote
+//! read per handoff; on NUMA it is the reason MCS usually wins — which
+//! is exactly the effect the ablation demonstrates.
+//!
+//! Node lifecycle: the queue always contains one node per waiter plus
+//! one retired node (the initial dummy, or the previous holder's). A
+//! thread that completes `lock` owns its predecessor's now-retired node
+//! and frees it on unlock; the lock's `Drop` frees the final tail node.
+
+use crate::Backoff;
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// One queue record: `true` while its owner holds or awaits the lock.
+struct ClhNode {
+    locked: AtomicBool,
+}
+
+/// A CLH queue lock protecting a `T`.
+///
+/// FIFO-fair, one swap per acquisition, spin on the predecessor's
+/// record.
+///
+/// # Examples
+///
+/// ```
+/// use sec_sync::ClhLock;
+///
+/// let lock = ClhLock::new(0u64);
+/// *lock.lock() += 1;
+/// assert_eq!(*lock.lock(), 1);
+/// ```
+pub struct ClhLock<T: ?Sized> {
+    tail: AtomicPtr<ClhNode>,
+    value: UnsafeCell<T>,
+}
+
+// Safety: mutual exclusion hands out `&mut T` across threads.
+unsafe impl<T: ?Sized + Send> Send for ClhLock<T> {}
+unsafe impl<T: ?Sized + Send> Sync for ClhLock<T> {}
+
+impl<T> ClhLock<T> {
+    /// Creates an unlocked lock holding `value`.
+    pub fn new(value: T) -> Self {
+        // The dummy node reads as "released" so the first acquirer
+        // passes its spin immediately.
+        let dummy = Box::into_raw(Box::new(ClhNode {
+            locked: AtomicBool::new(false),
+        }));
+        Self {
+            tail: AtomicPtr::new(dummy),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        // `Drop` frees the tail node; moving the value out first.
+        // Safety: `self` is owned, no other thread can touch `value`.
+        let value = unsafe { self.value.get().read() };
+        let this = core::mem::ManuallyDrop::new(self);
+        // Safety: the tail node is the only remaining allocation.
+        drop(unsafe { Box::from_raw(this.tail.load(Ordering::Relaxed)) });
+        value
+    }
+}
+
+impl<T: ?Sized> ClhLock<T> {
+    /// Acquires the lock, enqueueing behind current waiters (FIFO).
+    pub fn lock(&self) -> ClhGuard<'_, T> {
+        let node = Box::into_raw(Box::new(ClhNode {
+            locked: AtomicBool::new(true),
+        }));
+        // AcqRel: Release publishes our node's initialization to the
+        // successor that swaps after us; Acquire pairs with the
+        // predecessor's Release so its node is fully visible.
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        let mut backoff = Backoff::new();
+        // Safety: `pred` stays allocated until *we* free it (we are its
+        // unique successor; its owner never touches it after releasing).
+        while unsafe { (*pred).locked.load(Ordering::Acquire) } {
+            backoff.snooze();
+        }
+        ClhGuard {
+            lock: self,
+            node,
+            pred,
+        }
+    }
+
+    /// Attempts to acquire the lock only if it is free right now.
+    ///
+    /// CLH has no natural try-lock (the swap is unconditional), so this
+    /// peeks at the tail: if the tail node reads as released, the lock
+    /// *may* be free and we do a full `lock` knowing the wait is at
+    /// worst the race window. Returns `None` when the tail is held.
+    pub fn try_lock(&self) -> Option<ClhGuard<'_, T>> {
+        let tail = self.tail.load(Ordering::Acquire);
+        // Safety: the tail node is always a valid allocation.
+        if unsafe { (*tail).locked.load(Ordering::Acquire) } {
+            return None;
+        }
+        Some(self.lock())
+    }
+
+    /// `true` if some thread holds or is queued for the lock (a hint).
+    pub fn is_locked(&self) -> bool {
+        let tail = self.tail.load(Ordering::Acquire);
+        // Safety: as above.
+        unsafe { (*tail).locked.load(Ordering::Relaxed) }
+    }
+
+    /// Returns a mutable reference to the value, without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+impl<T: ?Sized> Drop for ClhLock<T> {
+    fn drop(&mut self) {
+        // Safety: no guards outstanding (they borrow `self`), so the
+        // tail node is the single retired node left in the queue.
+        drop(unsafe { Box::from_raw(self.tail.load(Ordering::Relaxed)) });
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ClhLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.is_locked() { "<locked>" } else { "<unlocked>" };
+        f.debug_struct("ClhLock").field("state", &state).finish()
+    }
+}
+
+impl<T: Default> Default for ClhLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// RAII guard for [`ClhLock`]; releases (and hands off) on drop.
+pub struct ClhGuard<'a, T: ?Sized> {
+    lock: &'a ClhLock<T>,
+    node: *mut ClhNode,
+    pred: *mut ClhNode,
+}
+
+// Safety: exclusive access token; see `McsGuard`.
+unsafe impl<T: ?Sized + Send> Send for ClhGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for ClhGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for ClhGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ClhGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release pairs with the successor's Acquire spin on our node,
+        // publishing the critical section.
+        // Safety: our node stays allocated until our successor (or the
+        // lock's Drop) frees it; the predecessor's node is retired and
+        // uniquely ours to free.
+        unsafe {
+            (*self.node).locked.store(false, Ordering::Release);
+            drop(Box::from_raw(self.pred));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn uncontended_lock_unlock() {
+        let l = ClhLock::new(1);
+        *l.lock() = 2;
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let l = ClhLock::new(());
+        let g = l.lock();
+        assert!(l.try_lock().is_none());
+        assert!(l.is_locked());
+        drop(g);
+        assert!(!l.is_locked());
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_bypasses_lock() {
+        let mut l = ClhLock::new(5);
+        *l.get_mut() += 1;
+        assert_eq!(*l.lock(), 6);
+    }
+
+    #[test]
+    fn reacquire_after_release_many_times() {
+        // Exercises the node-recycling path: each acquisition frees the
+        // predecessor's node, so 1000 rounds with a leak would trip
+        // sanitizers and balloon RSS.
+        let l = ClhLock::new(0u32);
+        for _ in 0..1_000 {
+            *l.lock() += 1;
+        }
+        assert_eq!(*l.lock(), 1_000);
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let l = ClhLock::new(String::from("x"));
+        l.lock().push('y');
+        assert_eq!(l.into_inner(), "xy");
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 1_000;
+        let l = Arc::new(ClhLock::new(0usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        *l.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.lock(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn guard_publishes_writes() {
+        let l = Arc::new(ClhLock::new((0u64, 0u64)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        let mut g = l.lock();
+                        g.0 += 1;
+                        g.1 += 1;
+                        assert_eq!(g.0, g.1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.lock(), (2_000, 2_000));
+    }
+}

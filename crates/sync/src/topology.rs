@@ -1,0 +1,106 @@
+//! Host-topology discovery for the benchmark harness.
+//!
+//! The paper's evaluation sweeps thread counts up to (and past) the
+//! hardware-thread count of each machine and marks the oversubscription
+//! point. This module answers "how many hardware threads does this host
+//! have" and produces the paper-style sweep of thread counts, so the
+//! same harness runs on a 1-core CI container and a 192-thread Sapphire
+//! Rapids box.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of hardware threads available to this process.
+///
+/// Falls back to 1 when the OS refuses to answer.
+pub fn hardware_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Builds the thread-count sweep used by every figure: powers-of-two-ish
+/// steps from 1 up to `oversubscribe_factor` × the hardware threads,
+/// always including the hardware-thread count itself (the paper's
+/// oversubscription mark) and `max_cap` as an upper bound.
+///
+/// # Examples
+///
+/// ```
+/// use sec_sync::topology::thread_sweep;
+/// let s = thread_sweep(8, 2, 64);
+/// assert_eq!(s, vec![1, 2, 4, 8, 16]);
+/// assert!(s.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn thread_sweep(hw_threads: usize, oversubscribe_factor: usize, max_cap: usize) -> Vec<usize> {
+    let hw = hw_threads.max(1);
+    let limit = (hw * oversubscribe_factor.max(1)).min(max_cap.max(1));
+    let mut sweep = Vec::new();
+    let mut n = 1;
+    while n < limit {
+        sweep.push(n);
+        n *= 2;
+    }
+    sweep.push(limit);
+    if !sweep.contains(&hw) && hw < limit {
+        sweep.push(hw);
+        sweep.sort_unstable();
+    }
+    sweep.dedup();
+    sweep
+}
+
+/// The default sweep for this host: up to 2× oversubscription, capped at
+/// 64 logical threads so a CI container finishes in reasonable time.
+pub fn default_sweep() -> Vec<usize> {
+    thread_sweep(hardware_threads(), 2, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_threads_is_positive() {
+        assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn sweep_is_sorted_unique_and_bounded() {
+        for hw in [1, 2, 3, 8, 12, 56, 96, 192] {
+            for over in [1, 2, 4] {
+                let s = thread_sweep(hw, over, 256);
+                assert!(!s.is_empty());
+                assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+                assert_eq!(*s.first().unwrap(), 1);
+                assert!(*s.last().unwrap() <= (hw * over).min(256));
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_contains_the_oversubscription_point() {
+        let s = thread_sweep(12, 2, 256);
+        assert!(s.contains(&12), "{s:?}");
+        assert!(s.contains(&24), "{s:?}");
+    }
+
+    #[test]
+    fn sweep_handles_degenerate_inputs() {
+        assert_eq!(thread_sweep(0, 0, 0), vec![1]);
+        assert_eq!(thread_sweep(1, 1, 64), vec![1]);
+        assert_eq!(thread_sweep(1, 2, 64), vec![1, 2]);
+    }
+
+    #[test]
+    fn sweep_respects_cap() {
+        let s = thread_sweep(96, 4, 32);
+        assert_eq!(*s.last().unwrap(), 32);
+    }
+
+    #[test]
+    fn default_sweep_runs() {
+        let s = default_sweep();
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the aggregating funnel: uniqueness and
+//! accounting hold for arbitrary shard counts, window lengths, thread
+//! counts and per-thread operation counts.
+
+use proptest::prelude::*;
+use sec_sync::funnel::AggregatingFunnel;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn funnel_values_unique_and_accounted(
+        shards in 1usize..5,
+        window in 0u32..200,
+        threads in 1usize..5,
+        per_thread in 1usize..300,
+    ) {
+        let funnel = Arc::new(AggregatingFunnel::new(shards, window));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = Arc::clone(&funnel);
+                thread::spawn(move || {
+                    (0..per_thread).map(|_| f.fetch_add_one(t)).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                prop_assert!(all.insert(v), "duplicate funnel value {v}");
+            }
+        }
+        prop_assert_eq!(all.len(), threads * per_thread);
+        // Gaps allowed, undercounting not.
+        prop_assert!(funnel.load() >= (threads * per_thread) as u64);
+        // Values never exceed the central counter.
+        let max = all.iter().max().copied().unwrap_or(0);
+        prop_assert!(max < funnel.load());
+    }
+
+    #[test]
+    fn funnel_single_thread_is_gap_free(
+        shards in 1usize..5,
+        n in 1usize..500,
+    ) {
+        // One thread cannot be descheduled past its own generation, so
+        // its tickets are never abandoned: values are exactly 0..n.
+        let funnel = AggregatingFunnel::new(shards, 0);
+        let got: Vec<u64> = (0..n).map(|_| funnel.fetch_add_one(0)).collect();
+        for (i, v) in got.iter().enumerate() {
+            prop_assert_eq!(*v, i as u64);
+        }
+        prop_assert_eq!(funnel.load(), n as u64);
+    }
+}

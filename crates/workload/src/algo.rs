@@ -1,0 +1,193 @@
+//! Algorithm dispatch: construct any of the six stacks and run a
+//! measurement against it.
+
+use crate::runner::{run_throughput, RunConfig, RunResult};
+use core::fmt;
+use sec_baselines::{CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack};
+use sec_core::{BatchReport, SecConfig, SecStack};
+
+/// One of the evaluated stack algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// SEC with `k` aggregators (the paper's default is 2).
+    Sec {
+        /// Number of aggregators.
+        aggregators: usize,
+    },
+    /// Treiber stack.
+    Trb,
+    /// Elimination-backoff stack.
+    Eb,
+    /// Flat-combining stack.
+    Fc,
+    /// CC-Synch stack.
+    Cc,
+    /// Interval timestamped stack.
+    Tsi,
+    /// Treiber stack over hazard-pointer reclamation (ablation lineup).
+    TrbHp,
+    /// Mutex-protected sequential stack (sanity floor, not in the
+    /// paper's figures).
+    Lck,
+}
+
+/// The lineup of Figure 2/3: SEC (2 aggregators) plus the five
+/// competitors, in the paper's legend order.
+pub const ALL_COMPETITORS: [Algo; 6] = [
+    Algo::Cc,
+    Algo::Eb,
+    Algo::Fc,
+    Algo::Sec { aggregators: 2 },
+    Algo::Trb,
+    Algo::Tsi,
+];
+
+/// The extended lineup: the paper's six plus the two auxiliary stacks
+/// (hazard-pointer Treiber, mutex floor). Used by the validation binary
+/// and the ablation benchmarks.
+pub const EXTENDED_LINEUP: [Algo; 8] = [
+    Algo::Cc,
+    Algo::Eb,
+    Algo::Fc,
+    Algo::Sec { aggregators: 2 },
+    Algo::Trb,
+    Algo::Tsi,
+    Algo::TrbHp,
+    Algo::Lck,
+];
+
+impl Algo {
+    /// The paper's legend label.
+    pub fn label(&self) -> String {
+        match self {
+            Algo::Sec { aggregators: 2 } => "SEC".into(),
+            Algo::Sec { aggregators } => format!("SEC_Agg{aggregators}"),
+            Algo::Trb => "TRB".into(),
+            Algo::Eb => "EB".into(),
+            Algo::Fc => "FC".into(),
+            Algo::Cc => "CC".into(),
+            Algo::Tsi => "TSI".into(),
+            Algo::TrbHp => "TRB-HP".into(),
+            Algo::Lck => "LCK".into(),
+        }
+    }
+}
+
+impl fmt::Display for Algo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Measurement outcome plus SEC's per-run batch instrumentation (only
+/// populated for [`Algo::Sec`]; feeds Tables 1–3).
+#[derive(Debug, Clone, Copy)]
+pub struct AlgoRun {
+    /// Throughput measurement.
+    pub result: RunResult,
+    /// SEC batching/elimination/combining report, if applicable.
+    pub sec_report: Option<BatchReport>,
+}
+
+/// Constructs a fresh instance of `algo` sized for the run and measures
+/// it under `cfg`.
+pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
+    // One extra registration slot for the prefill handle.
+    let cap = cfg.threads + 1;
+    match algo {
+        Algo::Sec { aggregators } => {
+            let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(aggregators, cap));
+            let result = run_throughput(&stack, cfg);
+            AlgoRun {
+                result,
+                sec_report: Some(stack.stats().report()),
+            }
+        }
+        Algo::Trb => AlgoRun {
+            result: run_throughput(&TreiberStack::<u64>::new(cap), cfg),
+            sec_report: None,
+        },
+        Algo::Eb => AlgoRun {
+            result: run_throughput(&EbStack::<u64>::new(cap), cfg),
+            sec_report: None,
+        },
+        Algo::Fc => AlgoRun {
+            result: run_throughput(&FcStack::<u64>::new(cap), cfg),
+            sec_report: None,
+        },
+        Algo::Cc => AlgoRun {
+            result: run_throughput(&CcStack::<u64>::new(cap), cfg),
+            sec_report: None,
+        },
+        Algo::Tsi => AlgoRun {
+            result: run_throughput(&TsiStack::<u64>::new(cap), cfg),
+            sec_report: None,
+        },
+        Algo::TrbHp => AlgoRun {
+            result: run_throughput(&TreiberHpStack::<u64>::new(cap), cfg),
+            sec_report: None,
+        },
+        Algo::Lck => AlgoRun {
+            result: run_throughput(&LockedStack::<u64>::new(cap), cfg),
+            sec_report: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mix;
+    use std::time::Duration;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Algo::Sec { aggregators: 2 }.label(), "SEC");
+        assert_eq!(Algo::Sec { aggregators: 4 }.label(), "SEC_Agg4");
+        assert_eq!(Algo::Trb.label(), "TRB");
+        assert_eq!(Algo::Tsi.label(), "TSI");
+    }
+
+    #[test]
+    fn extended_lineup_labels_are_distinct() {
+        let labels: std::collections::HashSet<String> =
+            EXTENDED_LINEUP.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), EXTENDED_LINEUP.len());
+    }
+
+    #[test]
+    fn every_algorithm_runs_the_mixed_workload() {
+        for algo in EXTENDED_LINEUP {
+            let cfg = RunConfig {
+                duration: Duration::from_millis(15),
+                prefill: 64,
+                ..RunConfig::new(2, Mix::UPDATE_50)
+            };
+            let out = run_algo(algo, &cfg);
+            assert!(out.result.ops > 0, "{algo} made no progress");
+        }
+    }
+
+    #[test]
+    fn sec_run_reports_batch_stats() {
+        let cfg = RunConfig {
+            duration: Duration::from_millis(15),
+            prefill: 64,
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let out = run_algo(Algo::Sec { aggregators: 2 }, &cfg);
+        let report = out.sec_report.expect("SEC must report batch stats");
+        assert!(report.batches > 0);
+        assert_eq!(report.eliminated + report.combined, report.ops);
+    }
+
+    #[test]
+    fn non_sec_runs_have_no_batch_stats() {
+        let cfg = RunConfig {
+            duration: Duration::from_millis(10),
+            prefill: 16,
+            ..RunConfig::new(1, Mix::UPDATE_100)
+        };
+        assert!(run_algo(Algo::Trb, &cfg).sec_report.is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-operation latency measurement.
+//!
+//! Throughput (the paper's headline metric) hides tail behaviour —
+//! and SEC is *blocking*: a non-combiner waits for its batch's freezer
+//! and combiner, so its latency distribution has structure that
+//! Mops/s can't show (the paper touches this when discussing TSI's
+//! interval delays "increasing latency"). This module provides a
+//! dependency-free log-bucketed histogram and a fixed-work latency
+//! runner; the `latency` bench binary prints p50/p90/p99/max per
+//! algorithm.
+
+use crate::spec::{Mix, OpKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sec_core::{ConcurrentStack, StackHandle};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// A histogram with 2-logarithmic buckets over nanoseconds.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns; percentile queries return the
+/// upper bound of the bucket containing the requested rank (≤ 2×
+/// relative error, plenty for cross-algorithm comparison).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate `p`-th percentile (`0.0 < p <= 100.0`) in ns.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i, clamped by the true max.
+                return (1u64 << (i + 1)).min(self.max_ns.max(1));
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Percentile summary of one latency measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyReport {
+    /// Median, ns.
+    pub p50: u64,
+    /// 90th percentile, ns.
+    pub p90: u64,
+    /// 99th percentile, ns.
+    pub p99: u64,
+    /// Maximum, ns.
+    pub max: u64,
+    /// Samples.
+    pub samples: u64,
+}
+
+/// Runs `ops_per_thread` timed operations of `mix` on each of `threads`
+/// workers and returns the merged latency distribution.
+pub fn measure_latency<S: ConcurrentStack<u64>>(
+    stack: &S,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+) -> LatencyReport {
+    let barrier = Barrier::new(threads);
+    let merged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stack = &stack;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut rng = SmallRng::seed_from_u64(0xA11CE ^ (t as u64) << 8);
+                    let mut hist = LatencyHistogram::new();
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        let kind = mix.classify(rng.gen_range(0..100));
+                        let start = Instant::now();
+                        match kind {
+                            OpKind::Push => h.push(rng.gen_range(0..100_000)),
+                            OpKind::Pop => {
+                                let _ = h.pop();
+                            }
+                            OpKind::Peek => {
+                                let _ = h.peek();
+                            }
+                        }
+                        hist.record(start.elapsed().as_nanos() as u64);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        let mut merged = LatencyHistogram::new();
+        for h in handles {
+            merged.merge(&h.join().expect("latency worker panicked"));
+        }
+        merged
+    });
+    LatencyReport {
+        p50: merged.percentile(50.0),
+        p90: merged.percentile(90.0),
+        p99: merged.percentile(99.0),
+        max: merged.max_ns(),
+        samples: merged.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_core::SecStack;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for ns in [10u64, 20, 30, 100, 1_000, 10_000, 100_000] {
+            h.record(ns);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= h.max_ns());
+        assert_eq!(h.max_ns(), 100_000);
+    }
+
+    #[test]
+    fn bucket_resolution_within_2x() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(700);
+        }
+        let p50 = h.percentile(50.0);
+        assert!((700..=1400).contains(&p50), "got {p50}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let mut a = LatencyHistogram::new();
+        a.record(100);
+        let mut b = LatencyHistogram::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn zero_nanosecond_sample_is_accepted() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // clamped to bucket 0
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(100.0) >= 1);
+    }
+
+    #[test]
+    fn end_to_end_latency_measurement() {
+        let stack: SecStack<u64> = SecStack::new(3);
+        let r = measure_latency(&stack, 2, 500, Mix::UPDATE_100);
+        assert_eq!(r.samples, 1_000);
+        assert!(r.p50 > 0);
+        assert!(r.p50 <= r.p99);
+        assert!(r.p99 <= r.max);
+    }
+}

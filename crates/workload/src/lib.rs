@@ -1,0 +1,35 @@
+//! # `sec-workload` — workload generation and throughput measurement
+//!
+//! The evaluation substrate behind every figure and table of the paper
+//! (§6 "Methodology"):
+//!
+//! * [`Mix`] — operation mixes (the paper's read-heavy / mixed /
+//!   update-heavy / push-only / pop-only workloads),
+//! * [`RunConfig`] / [`run_throughput`] — the measurement loop: prefill
+//!   the stack, release `n` threads behind a barrier, let them draw
+//!   operations from the mix for a fixed duration, report aggregate
+//!   throughput (Mops/s),
+//! * [`Algo`] / [`run_algo`] — dispatch over the six stack
+//!   implementations, so the figure binaries can sweep algorithms,
+//! * [`stats`] — mean/σ across repeated runs,
+//! * [`table`] — the paper-style table and CSV output,
+//! * [`trace`] — deterministic record/replay workloads (fixed op
+//!   sequences replayed against every algorithm for op-for-op
+//!   comparability and reproducible stress failures).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod algo;
+pub mod latency;
+mod runner;
+mod spec;
+pub mod stats;
+pub mod table;
+pub mod trace;
+
+pub use algo::{run_algo, Algo, ALL_COMPETITORS, EXTENDED_LINEUP};
+pub use latency::{measure_latency, LatencyHistogram, LatencyReport};
+pub use runner::{run_throughput, RunConfig, RunResult};
+pub use spec::{Mix, OpKind};
+pub use trace::{replay, ReplayResult, Trace, TraceOp};

@@ -1,0 +1,176 @@
+//! The throughput measurement loop (§6 "Methodology").
+
+use crate::spec::{Mix, OpKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sec_core::{ConcurrentStack, StackHandle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Parameters of one measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Measurement duration. The paper runs 5 s; the figure binaries
+    /// default to 250 ms so a full sweep finishes on a laptop, with a
+    /// `--duration-ms` flag to restore the paper's setting.
+    pub duration: Duration,
+    /// Elements pushed before the measurement starts (paper: 1000).
+    pub prefill: usize,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Upper bound (exclusive) for random pushed values (paper: values
+    /// drawn uniformly from a range).
+    pub value_range: u64,
+    /// Base RNG seed; thread `t` of run `r` uses a deterministic
+    /// function of (seed, t, r) so runs are reproducible.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A config with the paper's structural defaults (1000-element
+    /// prefill) at a laptop-friendly duration.
+    pub fn new(threads: usize, mix: Mix) -> Self {
+        Self {
+            threads: threads.max(1),
+            duration: Duration::from_millis(250),
+            prefill: 1000,
+            mix,
+            value_range: 100_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Outcome of one measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Total completed operations across all threads.
+    pub ops: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Throughput in million operations per second (the paper's y-axis).
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Runs one throughput measurement against `stack`.
+///
+/// The stack must have been constructed for at least
+/// `cfg.threads + 1` threads (one extra registration slot is used for
+/// the prefill, and is released before the workers start).
+pub fn run_throughput<S: ConcurrentStack<u64>>(stack: &S, cfg: &RunConfig) -> RunResult {
+    // Prefill from the calling thread (paper: "a stack initially
+    // prefilled with 1000 nodes").
+    {
+        let mut h = stack.register();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED);
+        for _ in 0..cfg.prefill {
+            h.push(rng.gen_range(0..cfg.value_range.max(1)));
+        }
+    }
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let stop = AtomicBool::new(false);
+    let mut per_thread_ops = vec![0u64; cfg.threads];
+
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let stack = &stack;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut rng = SmallRng::seed_from_u64(
+                        cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    // Check the deadline every CHUNK ops to keep the
+                    // clock off the hot path.
+                    const CHUNK: u32 = 64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..CHUNK {
+                            match cfg.mix.classify(rng.gen_range(0..100)) {
+                                OpKind::Push => h.push(rng.gen_range(0..cfg.value_range.max(1))),
+                                OpKind::Pop => {
+                                    let _ = h.pop();
+                                }
+                                OpKind::Peek => {
+                                    let _ = h.peek();
+                                }
+                            }
+                        }
+                        ops += CHUNK as u64;
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for (t, h) in handles.into_iter().enumerate() {
+            per_thread_ops[t] = h.join().expect("worker panicked");
+        }
+        start.elapsed()
+    });
+
+    RunResult {
+        ops: per_thread_ops.iter().sum(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_core::SecStack;
+
+    #[test]
+    fn runner_measures_positive_throughput() {
+        let cfg = RunConfig {
+            duration: Duration::from_millis(30),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let stack: SecStack<u64> = SecStack::new(cfg.threads + 1);
+        let r = run_throughput(&stack, &cfg);
+        assert!(r.ops > 0);
+        assert!(r.mops() > 0.0);
+        assert!(r.elapsed >= cfg.duration);
+    }
+
+    #[test]
+    fn runner_handles_every_preset_mix() {
+        for mix in [
+            Mix::UPDATE_100,
+            Mix::UPDATE_50,
+            Mix::UPDATE_10,
+            Mix::PUSH_ONLY,
+            Mix::POP_ONLY,
+        ] {
+            let cfg = RunConfig {
+                duration: Duration::from_millis(10),
+                prefill: 100,
+                ..RunConfig::new(2, mix)
+            };
+            let stack: SecStack<u64> = SecStack::new(cfg.threads + 1);
+            let r = run_throughput(&stack, &cfg);
+            assert!(r.ops > 0, "{mix}");
+        }
+    }
+
+    #[test]
+    fn config_clamps_zero_threads() {
+        assert_eq!(RunConfig::new(0, Mix::UPDATE_100).threads, 1);
+    }
+}

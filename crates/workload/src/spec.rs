@@ -1,0 +1,147 @@
+//! Operation mixes (the paper's workload types).
+
+use core::fmt;
+
+/// An operation mix in percent. `push + pop + peek` must equal 100.
+///
+/// The paper's workloads (§6 "Methodology"):
+///
+/// * Update-heavy — 50% push, 50% pop ("100% updates"),
+/// * Mixed — 25% push, 25% pop, 50% peek ("50% updates"),
+/// * Read-heavy — 5% push, 5% pop, 90% peek ("10% updates"),
+/// * Push-only / Pop-only (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Percent of operations that push.
+    pub push: u32,
+    /// Percent of operations that pop.
+    pub pop: u32,
+    /// Percent of operations that peek.
+    pub peek: u32,
+}
+
+impl Mix {
+    /// 50% push / 50% pop — the paper's "100% updates".
+    pub const UPDATE_100: Mix = Mix::new(50, 50, 0);
+    /// 25% push / 25% pop / 50% peek — "50% updates".
+    pub const UPDATE_50: Mix = Mix::new(25, 25, 50);
+    /// 5% push / 5% pop / 90% peek — "10% updates".
+    pub const UPDATE_10: Mix = Mix::new(5, 5, 90);
+    /// 100% push (Figure 3, left).
+    pub const PUSH_ONLY: Mix = Mix::new(100, 0, 0);
+    /// 100% pop (Figure 3, right).
+    pub const POP_ONLY: Mix = Mix::new(0, 100, 0);
+
+    /// Creates a mix; panics (at compile time for const use) unless the
+    /// percentages sum to 100.
+    pub const fn new(push: u32, pop: u32, peek: u32) -> Self {
+        assert!(push + pop + peek == 100, "mix must sum to 100%");
+        Self { push, pop, peek }
+    }
+
+    /// Update percentage (push + pop), the paper's labeling measure.
+    pub const fn update_pct(&self) -> u32 {
+        self.push + self.pop
+    }
+
+    /// Chooses an operation from a uniform draw in `0..100`.
+    #[inline]
+    pub fn classify(&self, draw: u32) -> OpKind {
+        debug_assert!(draw < 100);
+        if draw < self.push {
+            OpKind::Push
+        } else if draw < self.push + self.pop {
+            OpKind::Pop
+        } else {
+            OpKind::Peek
+        }
+    }
+
+    /// The paper's label for this mix (used in figure/table output).
+    pub fn label(&self) -> String {
+        match *self {
+            Mix::UPDATE_100 => "100% updates".into(),
+            Mix::UPDATE_50 => "50% updates".into(),
+            Mix::UPDATE_10 => "10% updates".into(),
+            Mix::PUSH_ONLY => "push-only".into(),
+            Mix::POP_ONLY => "pop-only".into(),
+            Mix { push, pop, peek } => format!("{push}/{pop}/{peek} push/pop/peek"),
+        }
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A single drawn operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Push a random value.
+    Push,
+    /// Pop.
+    Pop,
+    /// Peek.
+    Peek,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sum_to_100() {
+        for m in [
+            Mix::UPDATE_100,
+            Mix::UPDATE_50,
+            Mix::UPDATE_10,
+            Mix::PUSH_ONLY,
+            Mix::POP_ONLY,
+        ] {
+            assert_eq!(m.push + m.pop + m.peek, 100);
+        }
+    }
+
+    #[test]
+    fn update_pct_matches_paper_labels() {
+        assert_eq!(Mix::UPDATE_100.update_pct(), 100);
+        assert_eq!(Mix::UPDATE_50.update_pct(), 50);
+        assert_eq!(Mix::UPDATE_10.update_pct(), 10);
+    }
+
+    #[test]
+    fn classify_covers_the_whole_range() {
+        let m = Mix::UPDATE_50;
+        let mut counts = [0u32; 3];
+        for d in 0..100 {
+            match m.classify(d) {
+                OpKind::Push => counts[0] += 1,
+                OpKind::Pop => counts[1] += 1,
+                OpKind::Peek => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts, [25, 25, 50]);
+    }
+
+    #[test]
+    fn classify_extremes() {
+        assert_eq!(Mix::PUSH_ONLY.classify(0), OpKind::Push);
+        assert_eq!(Mix::PUSH_ONLY.classify(99), OpKind::Push);
+        assert_eq!(Mix::POP_ONLY.classify(0), OpKind::Pop);
+        assert_eq!(Mix::POP_ONLY.classify(99), OpKind::Pop);
+    }
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(Mix::UPDATE_100.label(), "100% updates");
+        assert_eq!(Mix::new(10, 20, 70).label(), "10/20/70 push/pop/peek");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_panics() {
+        let _ = Mix::new(50, 50, 50);
+    }
+}

@@ -1,0 +1,190 @@
+//! Summary statistics over repeated runs (the paper averages five).
+
+/// Mean / standard deviation / extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes `samples`; returns an all-zero summary for an empty
+    /// slice.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            mean,
+            stddev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+
+    /// Coefficient of variation in percent (the paper reports SEC's
+    /// variance stayed below 5%).
+    pub fn cv_pct(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.stddev / self.mean
+        }
+    }
+
+    /// Half-width of the 95% confidence interval for the mean
+    /// (`t · s/√n`), 0 for n ≤ 1.
+    ///
+    /// Uses the two-sided Student-t critical value at the sample's
+    /// degrees of freedom — with the paper's 5 runs (4 d.o.f.) the
+    /// normal approximation would understate the interval by ~42%.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n <= 1 {
+            return 0.0;
+        }
+        Self::t_crit_95(self.n - 1) * self.stddev / (self.n as f64).sqrt()
+    }
+
+    /// The mean ± 95% CI as an `(lo, hi)` pair.
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean - h, self.mean + h)
+    }
+
+    /// Two-sided 97.5th-percentile Student-t critical value for `dof`
+    /// degrees of freedom (table lookup; converges to z = 1.96).
+    fn t_crit_95(dof: usize) -> f64 {
+        const TABLE: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        match dof {
+            0 => f64::INFINITY,
+            d if d <= TABLE.len() => TABLE[d - 1],
+            d if d <= 40 => 2.021,
+            d if d <= 60 => 2.000,
+            d if d <= 120 => 1.980,
+            _ => 1.960,
+        }
+    }
+
+    /// `true` when this summary's 95% CI does not overlap `other`'s —
+    /// the difference in means is statistically meaningful at that
+    /// level (the standard to meet before claiming one algorithm
+    /// "leads" another).
+    pub fn significantly_differs_from(&self, other: &Summary) -> bool {
+        let (a_lo, a_hi) = self.ci95();
+        let (b_lo, b_hi) = other.ci95();
+        a_hi < b_lo || b_hi < a_lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = Summary::of(&[4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev with n-1: sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn cv_pct_is_relative() {
+        let s = Summary::of(&[10.0, 10.0, 10.0]);
+        assert_eq!(s.cv_pct(), 0.0);
+        let s = Summary::of(&[9.0, 11.0]);
+        assert!(s.cv_pct() > 0.0);
+    }
+
+    #[test]
+    fn ci95_known_case() {
+        // n = 5 (the paper's run count), s = 1, mean = 10:
+        // half-width = 2.776 / √5 ≈ 1.2415.
+        let s = Summary {
+            mean: 10.0,
+            stddev: 1.0,
+            min: 9.0,
+            max: 11.0,
+            n: 5,
+        };
+        let h = s.ci95_half_width();
+        assert!((h - 2.776 / 5f64.sqrt()).abs() < 1e-9, "got {h}");
+        let (lo, hi) = s.ci95();
+        assert!((lo - (10.0 - h)).abs() < 1e-12);
+        assert!((hi - (10.0 + h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_degenerate_samples() {
+        assert_eq!(Summary::of(&[]).ci95_half_width(), 0.0);
+        assert_eq!(Summary::of(&[3.0]).ci95_half_width(), 0.0);
+        // Zero variance ⇒ zero width at any n.
+        assert_eq!(Summary::of(&[2.0, 2.0, 2.0]).ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn t_table_converges_to_normal() {
+        assert!(Summary::t_crit_95(1) > 12.0);
+        assert!(Summary::t_crit_95(4) > Summary::t_crit_95(10));
+        assert_eq!(Summary::t_crit_95(1000), 1.960);
+    }
+
+    #[test]
+    fn significance_requires_separated_intervals() {
+        let tight_low = Summary::of(&[1.0, 1.01, 0.99, 1.0, 1.0]);
+        let tight_high = Summary::of(&[2.0, 2.01, 1.99, 2.0, 2.0]);
+        assert!(tight_low.significantly_differs_from(&tight_high));
+        assert!(tight_high.significantly_differs_from(&tight_low));
+
+        let noisy_a = Summary::of(&[1.0, 3.0]);
+        let noisy_b = Summary::of(&[2.0, 4.0]);
+        assert!(
+            !noisy_a.significantly_differs_from(&noisy_b),
+            "two-sample CIs at n=2 are enormous; overlap expected"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Paper-style table and CSV output for the figure binaries.
+//!
+//! Each figure in the paper is a set of *series* (one per algorithm)
+//! over a common x-axis (thread counts). [`Figure`] collects the points
+//! and renders either an aligned text table (the "same rows/series the
+//! paper reports") or CSV for external plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One figure's data: an x-axis plus named series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title (e.g. "Fig 2, Emerald-style, 100% updates").
+    pub title: String,
+    /// X-axis label (always "#threads" in the paper).
+    pub x_label: String,
+    /// X-axis values.
+    pub xs: Vec<usize>,
+    /// `(series name, y values aligned with xs)`.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Y-axis unit for display.
+    pub y_unit: String,
+}
+
+impl Figure {
+    /// Creates an empty figure over the given thread counts.
+    pub fn new(title: impl Into<String>, xs: Vec<usize>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: "#threads".into(),
+            xs,
+            series: Vec::new(),
+            y_unit: "Mops/s".into(),
+        }
+    }
+
+    /// Sets the y-axis unit label (builder style). The default is
+    /// `"Mops/s"`, which fits every throughput figure; ablations that
+    /// plot degrees or percentages should relabel.
+    pub fn y_unit(mut self, unit: impl Into<String>) -> Self {
+        self.y_unit = unit.into();
+        self
+    }
+
+    /// Appends a series; `ys.len()` must equal `self.xs.len()`.
+    pub fn add_series(&mut self, name: impl Into<String>, ys: Vec<f64>) {
+        assert_eq!(
+            ys.len(),
+            self.xs.len(),
+            "series length must match the x-axis"
+        );
+        self.series.push((name.into(), ys));
+    }
+
+    /// Renders the aligned text table the binaries print.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} ({})", self.title, self.y_unit);
+        // Header.
+        let _ = write!(out, "{:>10}", self.x_label);
+        for (name, _) in &self.series {
+            let _ = write!(out, " {name:>10}");
+        }
+        let _ = writeln!(out);
+        // Rows.
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x:>10}");
+            for (_, ys) in &self.series {
+                let _ = write!(out, " {:>10.3}", ys[i]);
+            }
+            let _ = writeln!(out);
+        }
+        // Winner line: who wins at the largest thread count, by what
+        // factor over the runner-up (the paper's headline comparisons).
+        if let Some(last) = self.xs.len().checked_sub(1) {
+            let mut at_max: Vec<(&str, f64)> = self
+                .series
+                .iter()
+                .map(|(n, ys)| (n.as_str(), ys[last]))
+                .collect();
+            at_max.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            if at_max.len() >= 2 && at_max[1].1 > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "#  at {} threads: {} leads {} by {:.2}x",
+                    self.xs[last],
+                    at_max[0].0,
+                    at_max[1].0,
+                    at_max[0].1 / at_max[1].1
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders a terminal plot of the figure: one column per x value,
+    /// one letter per series (legend below), y linearly scaled into
+    /// `height` rows. The shape-reading companion to
+    /// [`render_table`](Self::render_table) — crossovers and scaling
+    /// trends are visible at a glance, as in the paper's figures.
+    pub fn render_ascii_plot(&self, height: usize) -> String {
+        let height = height.max(4);
+        let mut out = String::new();
+        if self.series.is_empty() || self.xs.is_empty() {
+            let _ = writeln!(out, "## {} — no data", self.title);
+            return out;
+        }
+        let y_max = self
+            .series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+
+        // Marker per series: A, B, C, …
+        let marker = |s: usize| (b'A' + (s % 26) as u8) as char;
+        // Column width per x point.
+        const COL: usize = 6;
+        let width = self.xs.len() * COL;
+
+        let _ = writeln!(out, "## {} — {} (plot, y-max {:.3})", self.title, self.y_unit, y_max);
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, (_, ys)) in self.series.iter().enumerate() {
+            for (xi, &y) in ys.iter().enumerate() {
+                let row_f = (y / y_max) * (height - 1) as f64;
+                let row = height - 1 - (row_f.round() as usize).min(height - 1);
+                let col = xi * COL + COL / 2;
+                // Overlapping points: keep the first marker, mark the
+                // collision with '*' only if different series collide.
+                let cell = &mut grid[row][col];
+                *cell = match *cell {
+                    ' ' => marker(si),
+                    c if c == marker(si) => c,
+                    _ => '*',
+                };
+            }
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let y_here = y_max * (height - 1 - i) as f64 / (height - 1) as f64;
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{y_here:>9.2} |{}", line.trim_end());
+        }
+        let _ = write!(out, "{:>9} +", "");
+        let _ = writeln!(out, "{}", "-".repeat(width));
+        let _ = write!(out, "{:>11}", "");
+        for x in &self.xs {
+            let _ = write!(out, "{x:^COL$}");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "# legend:");
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let _ = write!(out, " {}={name}", marker(si));
+        }
+        let _ = writeln!(out, "  (*=overlap)");
+        out
+    }
+
+    /// Renders CSV (`threads,<series...>` header then one row per x).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "threads");
+        for (name, _) in &self.series {
+            let _ = write!(out, ",{name}");
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for (_, ys) in &self.series {
+                let _ = write!(out, ",{:.6}", ys[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV next to the given directory as `<stem>.csv`.
+    pub fn write_csv(&self, dir: &Path, stem: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{stem}.csv")), self.render_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("test", vec![1, 2, 4]);
+        f.add_series("SEC", vec![1.0, 2.0, 4.0]);
+        f.add_series("TRB", vec![1.0, 1.5, 1.2]);
+        f
+    }
+
+    #[test]
+    fn table_contains_all_points_and_winner() {
+        let t = sample().render_table();
+        assert!(t.contains("SEC"));
+        assert!(t.contains("TRB"));
+        assert!(t.contains("4.000"));
+        assert!(t.contains("SEC leads TRB"));
+        assert!(t.contains("3.33x"));
+    }
+
+    #[test]
+    fn y_unit_relabels_the_header() {
+        let f = Figure::new("degrees", vec![1]).y_unit("% of ops");
+        assert!(f.render_table().contains("(% of ops)"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "threads,SEC,TRB");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series length")]
+    fn mismatched_series_panics() {
+        let mut f = Figure::new("bad", vec![1, 2]);
+        f.add_series("x", vec![1.0]);
+    }
+
+    #[test]
+    fn ascii_plot_contains_markers_and_legend() {
+        let plot = sample().render_ascii_plot(8);
+        assert!(plot.contains("A=SEC"));
+        assert!(plot.contains("B=TRB"));
+        assert!(plot.contains('A'), "series A plotted");
+        assert!(plot.contains('|'), "y axis drawn");
+        assert!(plot.contains('+'), "origin drawn");
+        // 8 data rows + axis + x labels + legend.
+        assert!(plot.lines().count() >= 11);
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_figure() {
+        let f = Figure::new("empty", vec![]);
+        assert!(f.render_ascii_plot(8).contains("no data"));
+    }
+
+    #[test]
+    fn ascii_plot_marks_overlap() {
+        let mut f = Figure::new("collide", vec![1]);
+        f.add_series("a", vec![5.0]);
+        f.add_series("b", vec![5.0]); // same point → '*'
+        let plot = f.render_ascii_plot(6);
+        assert!(plot.contains('*'), "colliding series must show overlap:\n{plot}");
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("sec_workload_table_test");
+        sample().write_csv(&dir, "fig_test").unwrap();
+        let content = std::fs::read_to_string(dir.join("fig_test.csv")).unwrap();
+        assert!(content.starts_with("threads,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,333 @@
+//! Deterministic workload traces: record once, replay everywhere.
+//!
+//! The paper compares six algorithms under "random" mixes; randomness
+//! makes any two runs incomparable op-for-op. A [`Trace`] pins the
+//! exact per-thread operation sequences (generated from a seed and a
+//! [`Mix`], or built by hand), so
+//!
+//! * the *same* operations can be replayed against every algorithm —
+//!   differences in outcome are then attributable to the algorithm, not
+//!   to the draw;
+//! * a failing stress run can be reproduced from its seed alone;
+//! * tests can craft adversarial sequences (push floods, pop storms,
+//!   ping-pong) that a uniform sampler would essentially never emit.
+//!
+//! Replay preserves each thread's program order; the interleaving
+//! across threads remains up to the scheduler (that is the point —
+//! a trace fixes the *workload*, not the *schedule*).
+
+use crate::spec::{Mix, OpKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sec_core::{ConcurrentStack, StackHandle};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// One recorded operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Push this value.
+    Push(u64),
+    /// Pop (result is whatever the replayed structure yields).
+    Pop,
+    /// Peek.
+    Peek,
+}
+
+/// A deterministic multi-thread workload: one operation sequence per
+/// thread.
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::SecStack;
+/// use sec_workload::{replay, Mix, Trace};
+///
+/// // Same seed → same trace → op-for-op comparable runs.
+/// let trace = Trace::generate(2, 500, Mix::UPDATE_100, 42);
+/// assert_eq!(trace, Trace::generate(2, 500, Mix::UPDATE_100, 42));
+///
+/// let stack: SecStack<u64> = SecStack::new(2);
+/// let result = replay(&stack, &trace);
+/// assert_eq!(result.ops, 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    lanes: Vec<Vec<TraceOp>>,
+}
+
+impl Trace {
+    /// Generates a trace of `ops_per_thread` operations for each of
+    /// `threads` lanes by sampling `mix` with the given `seed` — the
+    /// deterministic twin of the throughput runner's sampling.
+    pub fn generate(threads: usize, ops_per_thread: usize, mix: Mix, seed: u64) -> Self {
+        let lanes = (0..threads)
+            .map(|t| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ ((t as u64) << 17));
+                (0..ops_per_thread)
+                    .map(|_| match mix.classify(rng.gen_range(0..100)) {
+                        OpKind::Push => TraceOp::Push(rng.gen_range(0..100_000)),
+                        OpKind::Pop => TraceOp::Pop,
+                        OpKind::Peek => TraceOp::Peek,
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { lanes }
+    }
+
+    /// Builds a trace from explicit per-thread sequences.
+    pub fn from_lanes(lanes: Vec<Vec<TraceOp>>) -> Self {
+        Self { lanes }
+    }
+
+    /// Number of threads (lanes).
+    pub fn threads(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total operations across all lanes.
+    pub fn total_ops(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    /// The operation sequence of lane `t`.
+    pub fn lane(&self, t: usize) -> &[TraceOp] {
+        &self.lanes[t]
+    }
+
+    /// Counts of (pushes, pops, peeks) over the whole trace.
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for op in self.lanes.iter().flatten() {
+            match op {
+                TraceOp::Push(_) => c.0 += 1,
+                TraceOp::Pop => c.1 += 1,
+                TraceOp::Peek => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// An adversarial "ping-pong" trace: every lane strictly alternates
+    /// push/pop, maximizing elimination opportunities (the best case
+    /// for SEC and EB, the worst for TSI's pop-side scan).
+    pub fn ping_pong(threads: usize, pairs_per_thread: usize) -> Self {
+        let lanes = (0..threads)
+            .map(|t| {
+                let mut lane = Vec::with_capacity(2 * pairs_per_thread);
+                for i in 0..pairs_per_thread {
+                    lane.push(TraceOp::Push((t * pairs_per_thread + i) as u64));
+                    lane.push(TraceOp::Pop);
+                }
+                lane
+            })
+            .collect();
+        Self { lanes }
+    }
+
+    /// A "flood-then-drain" trace: the first half of every lane pushes,
+    /// the second half pops — no elimination is possible inside either
+    /// phase, so combining carries the whole load (the paper's Figure 3
+    /// regime as a fixed-work trace).
+    pub fn flood_drain(threads: usize, per_phase: usize) -> Self {
+        let lanes = (0..threads)
+            .map(|t| {
+                let mut lane = Vec::with_capacity(2 * per_phase);
+                for i in 0..per_phase {
+                    lane.push(TraceOp::Push((t * per_phase + i) as u64));
+                }
+                for _ in 0..per_phase {
+                    lane.push(TraceOp::Pop);
+                }
+                lane
+            })
+            .collect();
+        Self { lanes }
+    }
+}
+
+/// Outcome of replaying a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayResult {
+    /// Wall-clock time from release to last thread done.
+    pub elapsed: Duration,
+    /// Operations executed (= `trace.total_ops()`).
+    pub ops: u64,
+    /// Pops that returned a value.
+    pub pop_hits: u64,
+    /// Pops that found the stack empty.
+    pub pop_misses: u64,
+    /// Sum of all pushed values minus sum of all popped values — with a
+    /// full drain this is the value left in the structure (conservation
+    /// diagnostic).
+    pub balance: i128,
+}
+
+impl ReplayResult {
+    /// Throughput in millions of operations per second.
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-12) / 1e6
+    }
+}
+
+/// Replays `trace` against `stack`, one thread per lane, all released
+/// simultaneously. Program order within each lane is preserved.
+pub fn replay<S: ConcurrentStack<u64>>(stack: &S, trace: &Trace) -> ReplayResult {
+    let threads = trace.threads();
+    let barrier = Barrier::new(threads + 1);
+    let (elapsed, lanes_out) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stack = &stack;
+                let barrier = &barrier;
+                let lane = trace.lane(t);
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut hits = 0u64;
+                    let mut misses = 0u64;
+                    let mut balance = 0i128;
+                    barrier.wait();
+                    for op in lane {
+                        match op {
+                            TraceOp::Push(v) => {
+                                h.push(*v);
+                                balance += *v as i128;
+                            }
+                            TraceOp::Pop => match h.pop() {
+                                Some(v) => {
+                                    hits += 1;
+                                    balance -= v as i128;
+                                }
+                                None => misses += 1,
+                            },
+                            TraceOp::Peek => {
+                                let _ = h.peek();
+                            }
+                        }
+                    }
+                    (hits, misses, balance)
+                })
+            })
+            .collect();
+        // Clock starts *before* the release barrier: on an oversubscribed
+        // host the workers can otherwise run to completion while this
+        // thread is descheduled between the barrier and the clock read,
+        // yielding absurd throughput. The measured span thus includes
+        // one barrier release — negligible against the workers' work.
+        let start = Instant::now();
+        barrier.wait();
+        let outs: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect();
+        (start.elapsed(), outs)
+    });
+    let mut result = ReplayResult {
+        elapsed,
+        ops: trace.total_ops() as u64,
+        pop_hits: 0,
+        pop_misses: 0,
+        balance: 0,
+    };
+    for (hits, misses, balance) in lanes_out {
+        result.pop_hits += hits;
+        result.pop_misses += misses;
+        result.balance += balance;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_core::SecStack;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Trace::generate(4, 100, Mix::UPDATE_50, 42);
+        let b = Trace::generate(4, 100, Mix::UPDATE_50, 42);
+        assert_eq!(a, b);
+        let c = Trace::generate(4, 100, Mix::UPDATE_50, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn lanes_have_requested_shape() {
+        let t = Trace::generate(3, 50, Mix::UPDATE_100, 7);
+        assert_eq!(t.threads(), 3);
+        assert_eq!(t.total_ops(), 150);
+        assert_eq!(t.lane(2).len(), 50);
+    }
+
+    #[test]
+    fn mix_shares_are_respected_roughly() {
+        let t = Trace::generate(2, 5_000, Mix::UPDATE_10, 11);
+        let (push, pop, peek) = t.op_counts();
+        let total = (push + pop + peek) as f64;
+        assert!((push as f64 / total - 0.05).abs() < 0.02);
+        assert!((pop as f64 / total - 0.05).abs() < 0.02);
+        assert!((peek as f64 / total - 0.90).abs() < 0.03);
+    }
+
+    #[test]
+    fn ping_pong_alternates() {
+        let t = Trace::ping_pong(2, 3);
+        assert_eq!(t.lane(0).len(), 6);
+        assert!(matches!(t.lane(0)[0], TraceOp::Push(_)));
+        assert_eq!(t.lane(0)[1], TraceOp::Pop);
+        let (push, pop, peek) = t.op_counts();
+        assert_eq!((push, pop, peek), (6, 6, 0));
+    }
+
+    #[test]
+    fn flood_drain_balances_out() {
+        let t = Trace::flood_drain(2, 8);
+        let (push, pop, _) = t.op_counts();
+        assert_eq!(push, pop);
+    }
+
+    #[test]
+    fn replay_conserves_values_on_full_drain() {
+        // flood_drain pushes everything then pops everything per lane;
+        // across lanes the pops may interleave, but every pushed value
+        // is popped by someone: balance must be zero, misses zero.
+        let trace = Trace::flood_drain(3, 40);
+        let stack: SecStack<u64> = SecStack::new(3);
+        let r = replay(&stack, &trace);
+        assert_eq!(r.ops, trace.total_ops() as u64);
+        assert_eq!(r.pop_misses, 0, "drain phase can't under-run its own lane");
+        assert_eq!(r.pop_hits, 120);
+        assert_eq!(r.balance, 0, "all pushed value must be popped");
+    }
+
+    #[test]
+    fn replay_reports_misses_on_empty_pops() {
+        let trace = Trace::from_lanes(vec![vec![TraceOp::Pop, TraceOp::Pop]]);
+        let stack: SecStack<u64> = SecStack::new(1);
+        let r = replay(&stack, &trace);
+        assert_eq!(r.pop_misses, 2);
+        assert_eq!(r.pop_hits, 0);
+    }
+
+    #[test]
+    fn same_trace_runs_on_all_algorithms() {
+        use sec_baselines::{CcStack, EbStack, FcStack, TreiberStack, TsiStack};
+        let trace = Trace::generate(2, 200, Mix::UPDATE_100, 99);
+        let total = trace.total_ops() as u64;
+        let (push, _, _) = trace.op_counts();
+        let push_count = push as u64;
+        fn check<S: ConcurrentStack<u64>>(s: S, trace: &Trace, total: u64, pushes: u64) {
+            let r = replay(&s, trace);
+            assert_eq!(r.ops, total, "{}", s.name());
+            // No peeks in UPDATE_100: every non-push op is a pop.
+            assert_eq!(r.pop_hits + r.pop_misses + pushes, total, "{}", s.name());
+        }
+        check(SecStack::<u64>::new(2), &trace, total, push_count);
+        check(TreiberStack::<u64>::new(2), &trace, total, push_count);
+        check(EbStack::<u64>::new(2), &trace, total, push_count);
+        check(FcStack::<u64>::new(2), &trace, total, push_count);
+        check(CcStack::<u64>::new(2), &trace, total, push_count);
+        check(TsiStack::<u64>::new(2), &trace, total, push_count);
+    }
+}

@@ -1,0 +1,88 @@
+//! # `sec-repro` — Sharded Elimination and Combining stacks, reproduced
+//!
+//! Facade crate for the reproduction of *"Sharded Elimination and
+//! Combining for Highly-Efficient Concurrent Stacks"* (Singh,
+//! Metaxakis, Fatourou — PPoPP '26). Re-exports the public API of every
+//! member crate so applications can depend on one name:
+//!
+//! * [`SecStack`] — the paper's stack (aggregators → batches →
+//!   counter-based elimination → substack combining),
+//! * [`baselines`] — the five competitor stacks from the evaluation
+//!   (Treiber, elimination-backoff, flat-combining, CC-Synch,
+//!   timestamped-interval),
+//! * [`reclaim`] — the DEBRA-style epoch-based reclamation substrate,
+//! * [`sync`] — concurrency primitives (backoff, cache padding, TTAS
+//!   lock, TSC clock, aggregating funnels),
+//! * [`linearize`] — history recording + linearizability checking,
+//! * [`workload`] — the benchmark harness behind the paper's figures.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sec_repro::{ConcurrentStack, SecStack, StackHandle};
+//!
+//! let stack: SecStack<u64> = SecStack::new(8); // up to 8 threads
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let stack = &stack;
+//!         s.spawn(move || {
+//!             let mut h = stack.register();
+//!             h.push(t);
+//!             h.pop();
+//!         });
+//!     }
+//! });
+//! ```
+//!
+//! See `examples/` for runnable scenarios (work-pool graph traversal, a
+//! shared freelist, an algorithm shoot-out) and `crates/bench` for the
+//! figure/table regeneration binaries.
+
+#![warn(missing_docs)]
+
+pub use sec_core::{
+    BatchReport, ConcurrentStack, SecConfig, SecHandle, SecStack, SecStats, ShardPolicy,
+    StackHandle,
+};
+
+/// Extensions built from the paper's mechanisms (DESIGN.md §7): a
+/// sharded pool and a deque with per-end elimination + combining.
+pub mod ext {
+    pub use sec_core::deque::{DequeHandle, End, SecDeque};
+    pub use sec_core::pool::{PoolHandle, SecPool};
+}
+
+/// The five competitor stacks of the paper's evaluation.
+pub mod baselines {
+    pub use sec_baselines::{
+        CcHandle, CcStack, EbHandle, EbStack, FcHandle, FcStack, LockedHandle, LockedStack,
+        SeqStack, TreiberHandle, TreiberHpHandle, TreiberHpStack, TreiberStack, TsiHandle,
+        TsiStack,
+    };
+}
+
+/// Epoch-based memory reclamation (DEBRA-style).
+pub mod reclaim {
+    pub use sec_reclaim::{Collector, CollectorStats, Guard, Handle, HpDomain, HpHandle};
+}
+
+/// Concurrency primitives substrate.
+pub mod sync {
+    pub use sec_sync::funnel::AggregatingFunnel;
+    pub use sec_sync::{
+        topology, Backoff, CachePadded, ClhLock, McsLock, Timestamp, TscClock, TtasLock,
+    };
+}
+
+/// History recording and linearizability checking.
+pub mod linearize {
+    pub use sec_linearize::{check_conservation, check_history, Event, Op, Recorder, Violation};
+}
+
+/// Workload generation and throughput measurement.
+pub mod workload {
+    pub use sec_workload::{
+        replay, run_algo, run_throughput, stats, table, trace, Algo, Mix, OpKind, ReplayResult,
+        RunConfig, RunResult, Trace, TraceOp, ALL_COMPETITORS, EXTENDED_LINEUP,
+    };
+}

@@ -1,0 +1,145 @@
+//! Integration: schedule-perturbation ("chaos") tests. Threads inject
+//! random sleeps and yields between and *around* operations, producing
+//! stragglers that stress exactly the paths a uniform benchmark rarely
+//! hits: freezers that freeze micro-batches while half the announcers
+//! are asleep, combiners waiting on a descheduled slot writer, EBR
+//! epochs pinned by sleeping readers, TSI pools whose owners vanish
+//! mid-run.
+
+mod common;
+
+use sec_repro::StackHandle;
+use std::collections::HashSet;
+use std::thread;
+use std::time::Duration;
+
+/// xorshift for deterministic-but-messy schedules.
+struct Chaos(u64);
+impl Chaos {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn maybe_disturb(&mut self) {
+        match self.next() % 50 {
+            0 => thread::sleep(Duration::from_micros(self.next() % 300)),
+            1..=4 => thread::yield_now(),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn all_stacks_survive_straggler_schedules() {
+    with_all_stacks!(7, |stack, name| {
+        const THREADS: usize = 6;
+        const PER: usize = 400;
+        let popped: Vec<Vec<u64>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let stack = &stack;
+                    scope.spawn(move || {
+                        let mut chaos =
+                            Chaos((t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let mut h = stack.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            chaos.maybe_disturb();
+                            if chaos.next().is_multiple_of(2) {
+                                h.push((t * PER + i) as u64);
+                            } else if let Some(v) = h.pop() {
+                                got.push(v);
+                            }
+                            chaos.maybe_disturb();
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+
+        let mut seen: HashSet<u64> = HashSet::new();
+        for v in popped.into_iter().flatten() {
+            assert!(seen.insert(v), "[{name}] duplicate {v} under chaos");
+        }
+        let mut h = stack.register();
+        while let Some(v) = h.pop() {
+            assert!(seen.insert(v), "[{name}] duplicate {v} in drain");
+        }
+        // Not all values get pushed (random mix); just require no
+        // duplicates and no invented values.
+        for v in &seen {
+            let t = *v as usize / PER;
+            let i = *v as usize % PER;
+            assert!(t < THREADS && i < PER, "[{name}] invented value {v}");
+        }
+    });
+}
+
+#[test]
+fn sec_survives_sleepy_freezers_and_combiners() {
+    // A dedicated SEC torture: one aggregator so every thread shares
+    // batches, threads sleep *between announce-heavy bursts*, forcing
+    // batches to freeze at ragged sizes.
+    let stack: sec_repro::SecStack<u64> =
+        sec_repro::SecStack::with_config(sec_repro::SecConfig::new(1, 8));
+    thread::scope(|scope| {
+        for t in 0..8u64 {
+            let stack = &stack;
+            scope.spawn(move || {
+                let mut chaos = Chaos(t * 31 + 7);
+                let mut h = stack.register();
+                for i in 0..300u64 {
+                    // Bursts of 8 ops, then a sleep.
+                    if i % 8 == 0 {
+                        thread::sleep(Duration::from_micros(chaos.next() % 200));
+                    }
+                    if chaos.next().is_multiple_of(2) {
+                        h.push(i);
+                    } else {
+                        h.pop();
+                    }
+                }
+            });
+        }
+    });
+    let r = stack.stats().report();
+    assert_eq!(r.eliminated + r.combined, r.ops, "accounting under chaos");
+}
+
+#[test]
+fn reclamation_makes_progress_despite_sleepy_pinners() {
+    // Sleeping threads hold pins for a while, stalling the epoch; the
+    // collector must still reclaim once they move on (no permanent
+    // leak under stragglers).
+    let stack: sec_repro::SecStack<u64> =
+        sec_repro::SecStack::with_config(sec_repro::SecConfig::new(2, 5));
+    thread::scope(|scope| {
+        for t in 0..4u64 {
+            let stack = &stack;
+            scope.spawn(move || {
+                let mut chaos = Chaos(t + 1);
+                let mut h = stack.register();
+                for i in 0..2_000u64 {
+                    h.push(i);
+                    let _ = h.pop();
+                    if chaos.next().is_multiple_of(256) {
+                        thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            });
+        }
+    });
+    let st = stack.reclaim_stats();
+    assert!(st.retired > 0);
+    assert!(
+        st.freed * 2 >= st.retired,
+        "most garbage must be reclaimed despite stragglers: {st:?}"
+    );
+}

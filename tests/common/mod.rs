@@ -1,0 +1,81 @@
+//! Shared helpers for the cross-crate integration tests: run the same
+//! generic scenario against all eight stack implementations (the
+//! paper's six plus the hazard-pointer Treiber and the mutex floor).
+
+use sec_repro::baselines::{
+    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+};
+use sec_repro::{ConcurrentStack, SecConfig, SecStack};
+
+/// Invokes `$body` once per stack implementation with `$stack` bound to
+/// a fresh instance (sized for `$max_threads` registrations) and
+/// `$name` to the algorithm label.
+#[macro_export]
+macro_rules! with_all_stacks {
+    ($max_threads:expr, |$stack:ident, $name:ident| $body:block) => {{
+        {
+            let $stack: sec_repro::SecStack<u64> =
+                sec_repro::SecStack::with_config(sec_repro::SecConfig::new(2, $max_threads));
+            let $name = "SEC";
+            $body
+        }
+        {
+            let $stack: sec_repro::baselines::TreiberStack<u64> =
+                sec_repro::baselines::TreiberStack::new($max_threads);
+            let $name = "TRB";
+            $body
+        }
+        {
+            let $stack: sec_repro::baselines::EbStack<u64> =
+                sec_repro::baselines::EbStack::new($max_threads);
+            let $name = "EB";
+            $body
+        }
+        {
+            let $stack: sec_repro::baselines::FcStack<u64> =
+                sec_repro::baselines::FcStack::new($max_threads);
+            let $name = "FC";
+            $body
+        }
+        {
+            let $stack: sec_repro::baselines::CcStack<u64> =
+                sec_repro::baselines::CcStack::new($max_threads);
+            let $name = "CC";
+            $body
+        }
+        {
+            let $stack: sec_repro::baselines::TsiStack<u64> =
+                sec_repro::baselines::TsiStack::new($max_threads);
+            let $name = "TSI";
+            $body
+        }
+        {
+            let $stack: sec_repro::baselines::TreiberHpStack<u64> =
+                sec_repro::baselines::TreiberHpStack::new($max_threads);
+            let $name = "TRB-HP";
+            $body
+        }
+        {
+            let $stack: sec_repro::baselines::LockedStack<u64> =
+                sec_repro::baselines::LockedStack::new($max_threads);
+            let $name = "LCK";
+            $body
+        }
+    }};
+}
+
+/// Compile-time check that every stack satisfies the trait bounds the
+/// harness relies on.
+#[allow(dead_code)]
+fn assert_bounds() {
+    fn takes<S: ConcurrentStack<u64>>(_: &S) {}
+    let sec: SecStack<u64> = SecStack::with_config(SecConfig::new(1, 1));
+    takes(&sec);
+    takes(&TreiberStack::<u64>::new(1));
+    takes(&EbStack::<u64>::new(1));
+    takes(&FcStack::<u64>::new(1));
+    takes(&CcStack::<u64>::new(1));
+    takes(&TsiStack::<u64>::new(1));
+    takes(&TreiberHpStack::<u64>::new(1));
+    takes(&LockedStack::<u64>::new(1));
+}

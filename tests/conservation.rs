@@ -1,0 +1,85 @@
+//! Integration: value conservation under concurrency, for all six
+//! stacks — every pushed value is popped exactly once (run + drain),
+//! none invented, none lost.
+
+mod common;
+
+use sec_repro::{ConcurrentStack, StackHandle};
+use std::collections::HashSet;
+use std::thread;
+
+/// Generic conservation scenario: `threads` workers each push unique
+/// values and pop opportunistically; afterwards the drain must account
+/// for exactly the multiset difference.
+fn conservation<S: ConcurrentStack<u64>>(stack: &S, name: &str, threads: usize, per: usize) {
+    let popped: Vec<Vec<u64>> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let stack = &stack;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        h.push((t * per + i) as u64);
+                        if i % 3 != 0 {
+                            if let Some(v) = h.pop() {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    for v in popped.into_iter().flatten() {
+        assert!(seen.insert(v), "[{name}] value {v} popped twice during run");
+    }
+    let mut h = stack.register();
+    while let Some(v) = h.pop() {
+        assert!(seen.insert(v), "[{name}] value {v} popped twice in drain");
+    }
+    assert_eq!(
+        seen.len(),
+        threads * per,
+        "[{name}] values lost: expected {} distinct pops",
+        threads * per
+    );
+    assert_eq!(h.pop(), None, "[{name}] stack must end empty");
+}
+
+#[test]
+fn all_stacks_conserve_values_4_threads() {
+    with_all_stacks!(5, |stack, name| {
+        conservation(&stack, name, 4, 1_500);
+    });
+}
+
+#[test]
+fn all_stacks_conserve_values_oversubscribed() {
+    // More threads than this host has cores — exercises every blocking
+    // wait path under forced descheduling.
+    with_all_stacks!(13, |stack, name| {
+        conservation(&stack, name, 12, 400);
+    });
+}
+
+#[test]
+fn all_stacks_agree_on_emptiness() {
+    with_all_stacks!(2, |stack, name| {
+        let mut h = stack.register();
+        assert_eq!(h.pop(), None, "[{name}] fresh stack pops EMPTY");
+        assert_eq!(h.peek(), None, "[{name}] fresh stack peeks EMPTY");
+        h.push(1);
+        h.push(2);
+        assert_eq!(h.peek(), Some(2), "[{name}] peek sees the newest");
+        assert_eq!(h.pop(), Some(2), "[{name}]");
+        assert_eq!(h.pop(), Some(1), "[{name}]");
+        assert_eq!(h.pop(), None, "[{name}] drained stack pops EMPTY");
+    });
+}

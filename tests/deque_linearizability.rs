@@ -1,0 +1,101 @@
+//! Integration: the `SecDeque` extension is linearizable — checked
+//! with the generic Wing–Gong checker against the sequential deque
+//! specification.
+
+use sec_linearize::spec::deque::{DequeOp, DequeSpec};
+use sec_linearize::spec::{check_generic, TimedOp};
+use sec_linearize::Recorder;
+use sec_repro::ext::SecDeque;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+fn record_round(threads: usize, ops: usize, round: usize) -> Vec<TimedOp<DequeOp<u64>>> {
+    let deque: SecDeque<u64> = SecDeque::new(threads);
+    let rec = Recorder::new();
+    let events: Mutex<Vec<TimedOp<DequeOp<u64>>>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let deque = &deque;
+            let rec = &rec;
+            let events = &events;
+            scope.spawn(move || {
+                let mut h = deque.register();
+                let mut local = Vec::with_capacity(ops);
+                for i in 0..ops {
+                    let choice = (t * 7 + i * 3 + round) % 6;
+                    let invoke = rec.now();
+                    let op = match choice {
+                        0 => {
+                            let v = (round * 1_000_000 + t * 1_000 + i) as u64;
+                            h.push_front(v);
+                            DequeOp::PushFront(v)
+                        }
+                        1 | 2 => {
+                            let v = (round * 1_000_000 + t * 1_000 + i) as u64;
+                            h.push_back(v);
+                            DequeOp::PushBack(v)
+                        }
+                        3 | 4 => DequeOp::PopFront(h.pop_front()),
+                        _ => DequeOp::PopBack(h.pop_back()),
+                    };
+                    let response = rec.now();
+                    local.push(TimedOp {
+                        op,
+                        invoke,
+                        response,
+                    });
+                }
+                events.lock().unwrap().extend(local);
+            });
+        }
+    });
+    events.into_inner().unwrap()
+}
+
+#[test]
+fn deque_histories_are_linearizable() {
+    for round in 0..10 {
+        let history = record_round(3, 7, round);
+        check_generic::<DequeSpec<u64>>(&history).unwrap_or_else(|e| {
+            panic!("round {round}: deque history not linearizable: {e}\n{history:#?}")
+        });
+    }
+}
+
+#[test]
+fn deque_two_thread_histories_are_linearizable() {
+    for round in 0..15 {
+        let history = record_round(2, 10, round);
+        check_generic::<DequeSpec<u64>>(&history).unwrap_or_else(|e| {
+            panic!("round {round}: deque history not linearizable: {e}\n{history:#?}")
+        });
+    }
+}
+
+#[test]
+fn deque_sequential_model_long_run() {
+    // Single-threaded: must agree with VecDeque exactly, op by op.
+    let deque: SecDeque<u64> = SecDeque::new(1);
+    let mut h = deque.register();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut x = 0xDECADE_u64 | 1;
+    for i in 0..5_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        match x % 4 {
+            0 => {
+                h.push_front(i);
+                model.push_front(i);
+            }
+            1 => {
+                h.push_back(i);
+                model.push_back(i);
+            }
+            2 => assert_eq!(h.pop_front(), model.pop_front(), "op {i}"),
+            _ => assert_eq!(h.pop_back(), model.pop_back(), "op {i}"),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration: record small concurrent histories on every stack and
+//! verify them with the Wing–Gong checker — the empirical counterpart
+//! of the paper's Appendix B linearizability proof.
+
+mod common;
+
+use sec_repro::linearize::{check_conservation, check_history, Event, Op, Recorder};
+use sec_repro::{ConcurrentStack, StackHandle};
+use std::sync::Mutex;
+use std::thread;
+
+/// Records `rounds` small histories of `threads` threads × `ops` mixed
+/// operations each and checks each one. Values are globally unique per
+/// history so pops identify their pushes.
+fn record_and_check<S: ConcurrentStack<u64>>(
+    stack_factory: impl Fn() -> S,
+    name: &str,
+    threads: usize,
+    ops: usize,
+    rounds: usize,
+) {
+    for round in 0..rounds {
+        let stack = stack_factory();
+        let rec = Recorder::new();
+        let events: Mutex<Vec<Event<u64>>> = Mutex::new(Vec::new());
+
+        thread::scope(|scope| {
+            for t in 0..threads {
+                let stack = &stack;
+                let rec = &rec;
+                let events = &events;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut local = Vec::with_capacity(ops);
+                    for i in 0..ops {
+                        // Deterministic per-thread mix, varied by round.
+                        let choice = (t + i + round) % 5;
+                        let invoke = rec.now();
+                        let op = match choice {
+                            0 | 1 => {
+                                let v = (round * 1_000_000 + t * 1_000 + i) as u64;
+                                h.push(v);
+                                Op::Push(v)
+                            }
+                            2 | 3 => Op::Pop(h.pop()),
+                            _ => Op::Peek(h.peek()),
+                        };
+                        let response = rec.now();
+                        local.push(Event {
+                            thread: t,
+                            op,
+                            invoke,
+                            response,
+                        });
+                    }
+                    events.lock().unwrap().extend(local);
+                });
+            }
+        });
+
+        let history = events.into_inner().unwrap();
+        check_conservation(&history)
+            .unwrap_or_else(|e| panic!("[{name}] round {round}: {e}"));
+        check_history(&history).unwrap_or_else(|e| {
+            panic!(
+                "[{name}] round {round}: history not linearizable: {e}\n{history:#?}"
+            )
+        });
+    }
+}
+
+// Per-algorithm tests (small histories: the checker is exponential).
+
+#[test]
+fn sec_histories_are_linearizable() {
+    record_and_check(
+        || sec_repro::SecStack::with_config(sec_repro::SecConfig::new(2, 3)),
+        "SEC",
+        3,
+        8,
+        12,
+    );
+}
+
+#[test]
+fn sec_single_aggregator_histories_are_linearizable() {
+    record_and_check(
+        || sec_repro::SecStack::with_config(sec_repro::SecConfig::new(1, 3)),
+        "SEC_Agg1",
+        3,
+        8,
+        12,
+    );
+}
+
+#[test]
+fn treiber_histories_are_linearizable() {
+    record_and_check(
+        || sec_repro::baselines::TreiberStack::new(3),
+        "TRB",
+        3,
+        8,
+        12,
+    );
+}
+
+#[test]
+fn eb_histories_are_linearizable() {
+    record_and_check(|| sec_repro::baselines::EbStack::new(3), "EB", 3, 8, 12);
+}
+
+#[test]
+fn fc_histories_are_linearizable() {
+    record_and_check(|| sec_repro::baselines::FcStack::new(3), "FC", 3, 8, 12);
+}
+
+#[test]
+fn cc_histories_are_linearizable() {
+    record_and_check(|| sec_repro::baselines::CcStack::new(3), "CC", 3, 8, 12);
+}
+
+#[test]
+fn tsi_histories_are_linearizable() {
+    record_and_check(|| sec_repro::baselines::TsiStack::new(3), "TSI", 3, 8, 12);
+}
+
+#[test]
+fn large_histories_pass_conservation_for_all_stacks() {
+    // The DFS checker can't handle big histories; the linear-time
+    // conservation pass can. 4 threads × 300 ops per stack.
+    with_all_stacks!(4, |stack, name| {
+        let rec = Recorder::new();
+        let events: Mutex<Vec<Event<u64>>> = Mutex::new(Vec::new());
+        thread::scope(|scope| {
+            for t in 0..4usize {
+                let stack = &stack;
+                let rec = &rec;
+                let events = &events;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut local = Vec::new();
+                    for i in 0..300usize {
+                        let invoke = rec.now();
+                        let op = if (t + i) % 2 == 0 {
+                            let v = (t * 1_000_000 + i) as u64;
+                            h.push(v);
+                            Op::Push(v)
+                        } else {
+                            Op::Pop(h.pop())
+                        };
+                        let response = rec.now();
+                        local.push(Event {
+                            thread: t,
+                            op,
+                            invoke,
+                            response,
+                        });
+                    }
+                    events.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let history = events.into_inner().unwrap();
+        check_conservation(&history).unwrap_or_else(|e| panic!("[{name}] {e}"));
+    });
+}

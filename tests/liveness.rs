@@ -1,0 +1,173 @@
+//! Integration: liveness boundaries of the *blocking* SEC algorithm
+//! (paper Property 5.1 and its flip side).
+//!
+//! SEC is blocking — announced operations wait for their batch's
+//! freezer and combiner. These tests pin down what must **not** block:
+//!
+//! * a lone thread (its own freezer and combiner) completes unaided;
+//! * registered-but-idle threads stall nobody (waiting is only ever on
+//!   threads that have *announced* into the same batch);
+//! * `pop` on an empty stack returns `None` rather than waiting for a
+//!   push (elimination is an opportunity, not an obligation);
+//! * aggregators are independent: activity confined to one aggregator
+//!   needs nothing from the other's threads;
+//! * the whole lineup completes fixed work when oversubscribed well
+//!   past the host's hardware threads (the spin loops must degrade to
+//!   yields — DESIGN.md §2 "blocking loops").
+
+mod common;
+
+use sec_repro::{SecConfig, SecStack, StackHandle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Runs `f` on a watchdog: panics if it takes longer than `secs`.
+/// Coarse (the test process keeps running), but converts a wedge into
+/// a clean failure message instead of a CI timeout.
+fn within_secs<F: FnOnce() + Send>(secs: u64, what: &str, f: F) {
+    let done = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let done = &done;
+        scope.spawn(move || {
+            f();
+            done.store(true, Ordering::Release);
+        });
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while !done.load(Ordering::Acquire) {
+            assert!(Instant::now() < deadline, "{what}: wedged (> {secs}s)");
+            thread::sleep(Duration::from_millis(10));
+        }
+    });
+}
+
+#[test]
+fn lone_thread_completes_unaided() {
+    // One thread in a stack sized for many: it must become freezer and
+    // combiner of every batch it opens, with nobody to eliminate with.
+    within_secs(30, "lone thread", || {
+        let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(2, 8));
+        let mut h = stack.register();
+        for i in 0..20_000 {
+            h.push(i);
+            assert_eq!(h.pop(), Some(i));
+        }
+    });
+}
+
+#[test]
+fn pop_on_empty_returns_none_immediately() {
+    within_secs(10, "empty pop", || {
+        let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(2, 4));
+        let mut h = stack.register();
+        for _ in 0..1_000 {
+            assert_eq!(h.pop(), None);
+        }
+    });
+}
+
+#[test]
+fn registered_but_idle_threads_stall_nobody() {
+    // Three threads register (occupying reclamation slots and, for two
+    // of them, aggregator positions) and then go to sleep without ever
+    // announcing an operation. The fourth must finish its work — if any
+    // wait loop keyed on *registered* rather than *announced* threads,
+    // this would wedge.
+    within_secs(30, "idle threads", || {
+        let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(2, 4));
+        let stop = AtomicBool::new(false);
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                let stack = &stack;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let _h = stack.register(); // register, never operate
+                    while !stop.load(Ordering::Relaxed) {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                });
+            }
+            let stack = &stack;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut h = stack.register();
+                for i in 0..10_000u64 {
+                    h.push(i);
+                    assert_eq!(h.pop(), Some(i));
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+    });
+}
+
+#[test]
+fn aggregators_are_independent() {
+    // All activity in one aggregator; the other aggregator's threads
+    // never show up. With K = 2 and 4 slots, tids {0,1} share one
+    // aggregator under block sharding — run exactly those two and
+    // leave the other aggregator permanently empty.
+    within_secs(30, "single-aggregator activity", || {
+        let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(2, 4));
+        thread::scope(|scope| {
+            for t in 0..2u64 {
+                let stack = &stack;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    for i in 0..5_000 {
+                        h.push(t * 1_000_000 + i);
+                        let _ = h.pop();
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn all_stacks_complete_fixed_work_oversubscribed() {
+    // 4× the host's hardware threads, every implementation. The SEC
+    // waits (freeze, isBatchApplied, elimination slot) and the FC/CC
+    // combiner waits must all degrade to yields for this to finish.
+    let threads = 4 * std::thread::available_parallelism().map_or(1, |n| n.get());
+    with_all_stacks!(threads, |stack, name| {
+        within_secs(60, name, || {
+            thread::scope(|scope| {
+                for t in 0..threads {
+                    let stack = &stack;
+                    scope.spawn(move || {
+                        let mut h = stack.register();
+                        for i in 0..300u64 {
+                            h.push((t as u64) << 32 | i);
+                            if i % 2 == 0 {
+                                let _ = h.pop();
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    });
+}
+
+#[test]
+fn extensions_share_the_liveness_properties() {
+    use sec_repro::ext::{End, SecDeque, SecPool};
+    within_secs(30, "pool/deque liveness", || {
+        let pool: SecPool<u64> = SecPool::new(2, 2);
+        let mut p = pool.register();
+        assert_eq!(p.get(), None);
+        p.put(1);
+        assert_eq!(p.get(), Some(1));
+
+        let deque: SecDeque<u64> = SecDeque::new(2);
+        let mut d = deque.register();
+        assert_eq!(d.pop_front(), None);
+        assert_eq!(d.pop_back(), None);
+        d.push_front(1);
+        d.push_back(2);
+        assert_eq!(d.pop_back(), Some(2));
+        assert_eq!(d.pop_front(), Some(1));
+        let _ = End::Front; // the enum is part of the public surface
+    });
+}

@@ -1,0 +1,109 @@
+//! Integration: the `SecPool` extension is linearizable *as a pool*
+//! (unordered bag) — checked with the generic Wing–Gong checker against
+//! the multiset specification.
+//!
+//! The pool is deliberately weaker than a stack: `get` may return any
+//! live value (shards + stealing destroy LIFO order), so the stack
+//! checker would reject its histories. The [`PoolSpec`] contract is the
+//! one the module documents: conservation (each put got at most once),
+//! no phantom values, and `None` only when empty at the linearization
+//! point.
+
+use sec_linearize::spec::pool::{PoolOp, PoolSpec};
+use sec_linearize::spec::{check_generic, TimedOp};
+use sec_linearize::Recorder;
+use sec_repro::ext::SecPool;
+use std::sync::Mutex;
+use std::thread;
+
+fn record_round(
+    threads: usize,
+    shards: usize,
+    ops: usize,
+    round: usize,
+) -> Vec<TimedOp<PoolOp<u64>>> {
+    let pool: SecPool<u64> = SecPool::new(shards, threads);
+    let rec = Recorder::new();
+    let events: Mutex<Vec<TimedOp<PoolOp<u64>>>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let pool = &pool;
+            let rec = &rec;
+            let events = &events;
+            scope.spawn(move || {
+                let mut h = pool.register();
+                let mut local = Vec::with_capacity(ops);
+                for i in 0..ops {
+                    let choice = (t * 5 + i * 3 + round) % 4;
+                    let invoke = rec.now();
+                    let op = if choice < 2 {
+                        let v = (round * 1_000_000 + t * 1_000 + i) as u64;
+                        h.put(v);
+                        PoolOp::Put(v)
+                    } else {
+                        PoolOp::Get(h.get())
+                    };
+                    let response = rec.now();
+                    local.push(TimedOp {
+                        op,
+                        invoke,
+                        response,
+                    });
+                }
+                events.lock().unwrap().extend(local);
+            });
+        }
+    });
+    events.into_inner().unwrap()
+}
+
+#[test]
+fn pool_histories_are_linearizable_single_shard() {
+    for round in 0..10 {
+        let history = record_round(3, 1, 7, round);
+        check_generic::<PoolSpec<u64>>(&history).unwrap_or_else(|e| {
+            panic!("round {round}: pool history not linearizable: {e}\n{history:#?}")
+        });
+    }
+}
+
+#[test]
+fn pool_histories_are_linearizable_multi_shard() {
+    for round in 0..10 {
+        let history = record_round(3, 2, 7, round);
+        check_generic::<PoolSpec<u64>>(&history).unwrap_or_else(|e| {
+            panic!("round {round}: pool history not linearizable: {e}\n{history:#?}")
+        });
+    }
+}
+
+#[test]
+fn pool_two_thread_histories_are_linearizable() {
+    for round in 0..15 {
+        let history = record_round(2, 2, 10, round);
+        check_generic::<PoolSpec<u64>>(&history).unwrap_or_else(|e| {
+            panic!("round {round}: pool history not linearizable: {e}\n{history:#?}")
+        });
+    }
+}
+
+#[test]
+fn pool_sequential_conservation_long_run() {
+    // Single thread, many shards: everything put must come back out
+    // exactly once, and the final gets must drain to None.
+    let pool: SecPool<u64> = SecPool::new(4, 1);
+    let mut h = pool.register();
+    let n = 5_000u64;
+    for v in 0..n {
+        h.put(v);
+    }
+    let mut seen = vec![false; n as usize];
+    for _ in 0..n {
+        let v = h.get().expect("pool must not be empty yet");
+        assert!(!seen[v as usize], "value {v} returned twice");
+        seen[v as usize] = true;
+    }
+    assert_eq!(h.get(), None);
+    assert!(seen.iter().all(|&s| s));
+}

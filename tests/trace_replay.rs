@@ -1,0 +1,69 @@
+//! Integration: deterministic trace replay across the full lineup.
+//!
+//! One seeded trace, all eight stacks: the op counts are fixed by the
+//! trace, so the accounting identities must agree *exactly* across
+//! algorithms — any divergence is a lost or invented operation.
+
+mod common;
+
+use sec_repro::workload::{replay, Mix, Trace};
+
+#[test]
+fn one_trace_same_accounting_on_every_stack() {
+    let threads = 3;
+    let trace = Trace::generate(threads, 400, Mix::UPDATE_100, 0xBEEF);
+    let (pushes, pops, peeks) = trace.op_counts();
+    assert_eq!(peeks, 0, "UPDATE_100 has no peeks");
+
+    with_all_stacks!(threads, |stack, name| {
+        let r = replay(&stack, &trace);
+        assert_eq!(r.ops as usize, trace.total_ops(), "[{name}] op count");
+        assert_eq!(
+            (r.pop_hits + r.pop_misses) as usize,
+            pops,
+            "[{name}] every pop must be either a hit or a miss"
+        );
+        assert!(
+            r.pop_hits as usize <= pushes,
+            "[{name}] cannot pop more values than were pushed"
+        );
+    });
+}
+
+#[test]
+fn flood_drain_balance_is_zero_on_every_stack() {
+    // Each lane pushes then pops the same count; pops may cross lanes
+    // but the grand total of popped value must equal the pushed value
+    // (balance 0) and nothing may be left behind unclaimed by misses.
+    let threads = 3;
+    let trace = Trace::flood_drain(threads, 50);
+    with_all_stacks!(threads, |stack, name| {
+        let r = replay(&stack, &trace);
+        assert_eq!(
+            r.pop_hits + r.pop_misses,
+            (threads * 50) as u64,
+            "[{name}] pop accounting"
+        );
+        // misses + hits = pops; every miss leaves one value in the
+        // stack, so balance equals the sum of the leftovers.
+        if r.pop_misses == 0 {
+            assert_eq!(r.balance, 0, "[{name}] full drain must balance");
+        } else {
+            // Leftover values are non-negative (value 0 is a valid
+            // leftover, so equality is possible).
+            assert!(r.balance >= 0, "[{name}] leftovers cannot be negative");
+        }
+    });
+}
+
+#[test]
+fn seeded_traces_reproduce_across_runs() {
+    // The reproducibility contract the module documents: same seed,
+    // same trace, same per-lane program order — twice.
+    let a = Trace::generate(4, 1_000, Mix::UPDATE_50, 7);
+    let b = Trace::generate(4, 1_000, Mix::UPDATE_50, 7);
+    assert_eq!(a, b);
+    for t in 0..4 {
+        assert_eq!(a.lane(t), b.lane(t));
+    }
+}
