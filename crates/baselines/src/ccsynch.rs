@@ -104,7 +104,9 @@ impl<T: Send + 'static> CcStack<T> {
         Self {
             tail: CachePadded::new(AtomicPtr::new(CcNode::alloc())),
             stack: UnsafeCell::new(SeqStack::new()),
-            slots: (0..max_threads.max(1)).map(|_| AtomicBool::new(false)).collect(),
+            slots: (0..max_threads.max(1))
+                .map(|_| AtomicBool::new(false))
+                .collect(),
         }
     }
 
@@ -293,7 +295,9 @@ impl<T: Send + 'static> Drop for CcHandle<'_, T> {
 
 impl<T: Send + 'static> fmt::Debug for CcHandle<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CcHandle").field("slot", &self.slot).finish()
+        f.debug_struct("CcHandle")
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 

@@ -113,7 +113,10 @@ impl<T: Send + 'static> EbStack<T> {
         EbHandle {
             stack: self,
             reclaim,
-            state: ElimState { range: 1, rng: seed | 1 },
+            state: ElimState {
+                range: 1,
+                rng: seed | 1,
+            },
         }
     }
 }
@@ -258,7 +261,7 @@ impl<T: Send + 'static> EbStack<T> {
             .is_err()
         {
             state.grow(max_range); // someone beat us to the slot: crowded
-            // Nobody ever saw `ex`: free it directly.
+                                   // Nobody ever saw `ex`: free it directly.
             drop(unsafe { Box::from_raw(ex) });
             return Elim::Miss;
         }
@@ -276,8 +279,8 @@ impl<T: Send + 'static> EbStack<T> {
             .is_ok()
         {
             state.shrink(); // lonely slot: tighten the range
-            // Concurrent claimers may have loaded the pointer before our
-            // withdraw, so free through the collector.
+                            // Concurrent claimers may have loaded the pointer before our
+                            // withdraw, so free through the collector.
             unsafe { guard.retire(ex) };
             return Elim::Miss;
         }
@@ -313,7 +316,11 @@ impl<T: Send + 'static> EbStack<T> {
 impl<T: Send + 'static> StackHandle<T> for EbHandle<'_, T> {
     fn push(&mut self, value: T) {
         let node = Node::alloc(value);
-        let Self { stack, reclaim, state } = self;
+        let Self {
+            stack,
+            reclaim,
+            state,
+        } = self;
         let guard = reclaim.pin();
         loop {
             // Fast path: Treiber CAS.
@@ -335,7 +342,11 @@ impl<T: Send + 'static> StackHandle<T> for EbHandle<'_, T> {
     }
 
     fn pop(&mut self) -> Option<T> {
-        let Self { stack, reclaim, state } = self;
+        let Self {
+            stack,
+            reclaim,
+            state,
+        } = self;
         let guard = reclaim.pin();
         loop {
             let cur = stack.top.load(Ordering::Acquire);

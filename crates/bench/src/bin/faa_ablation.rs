@@ -58,7 +58,9 @@ fn measure(opts: &BenchOpts, threads: usize, op: impl Fn(usize) + Sync) -> f64 {
 }
 
 fn averaged(opts: &BenchOpts, threads: usize, op: impl Fn(usize) + Sync) -> f64 {
-    let samples: Vec<f64> = (0..opts.runs).map(|_| measure(opts, threads, &op)).collect();
+    let samples: Vec<f64> = (0..opts.runs)
+        .map(|_| measure(opts, threads, &op))
+        .collect();
     Summary::of(&samples).mean
 }
 

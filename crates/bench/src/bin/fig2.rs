@@ -17,7 +17,10 @@ use std::time::Duration;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    println!("{}", opts.banner("Figure 2: throughput vs #threads, 6 algorithms, 3 mixes"));
+    println!(
+        "{}",
+        opts.banner("Figure 2: throughput vs #threads, 6 algorithms, 3 mixes")
+    );
     let sweep = opts.sweep();
 
     for (mix, stem) in [

@@ -17,10 +17,16 @@ use sec_workload::{run_algo, Mix, RunConfig, ALL_COMPETITORS};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    println!("{}", opts.banner("Figure 3: push-only and pop-only throughput"));
+    println!(
+        "{}",
+        opts.banner("Figure 3: push-only and pop-only throughput")
+    );
     let sweep = opts.sweep();
 
-    for (mix, stem) in [(Mix::PUSH_ONLY, "fig3_push_only"), (Mix::POP_ONLY, "fig3_pop_only")] {
+    for (mix, stem) in [
+        (Mix::PUSH_ONLY, "fig3_push_only"),
+        (Mix::POP_ONLY, "fig3_pop_only"),
+    ] {
         let mut fig = Figure::new(format!("Figure 3 — {mix}"), sweep.clone());
         for algo in ALL_COMPETITORS {
             let mut ys = Vec::with_capacity(sweep.len());
@@ -29,8 +35,7 @@ fn main() {
                 // window so pops measure removal, not the EMPTY path
                 // (capped to bound memory on paper-length runs).
                 let prefill = if mix == Mix::POP_ONLY {
-                    (opts.duration.as_millis() as usize * 4_000)
-                        .clamp(100_000, 2_000_000)
+                    (opts.duration.as_millis() as usize * 4_000).clamp(100_000, 2_000_000)
                 } else {
                     opts.prefill
                 };

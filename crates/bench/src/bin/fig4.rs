@@ -37,8 +37,7 @@ fn main() {
                 // window so pops measure removal, not the EMPTY path
                 // (capped to bound memory on paper-length runs).
                 let prefill = if mix == Mix::POP_ONLY {
-                    (opts.duration.as_millis() as usize * 4_000)
-                        .clamp(100_000, 2_000_000)
+                    (opts.duration.as_millis() as usize * 4_000).clamp(100_000, 2_000_000)
                 } else {
                     opts.prefill
                 };

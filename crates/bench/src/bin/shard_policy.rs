@@ -33,9 +33,8 @@ fn averaged(
     let mut tputs = Vec::new();
     let mut elims = Vec::new();
     for r in 0..opts.runs {
-        let stack: SecStack<u64> = SecStack::with_config(
-            SecConfig::new(aggregators, threads + 1).shard_policy(policy),
-        );
+        let stack: SecStack<u64> =
+            SecStack::with_config(SecConfig::new(aggregators, threads + 1).shard_policy(policy));
         let cfg = RunConfig {
             duration: opts.duration,
             prefill: opts.prefill,

@@ -32,7 +32,11 @@ struct Tally {
     pop_sum: u128,
 }
 
-fn soak_one<S: ConcurrentStack<u64>>(stack: &S, threads: usize, opts: &BenchOpts) -> Result<(), String> {
+fn soak_one<S: ConcurrentStack<u64>>(
+    stack: &S,
+    threads: usize,
+    opts: &BenchOpts,
+) -> Result<(), String> {
     let barrier = Barrier::new(threads + 1);
     let stop = AtomicBool::new(false);
 
@@ -127,7 +131,10 @@ fn soak_one<S: ConcurrentStack<u64>>(stack: &S, threads: usize, opts: &BenchOpts
 fn main() {
     let opts = BenchOpts::from_args();
     let threads = *opts.sweep().last().unwrap_or(&4);
-    println!("{}", opts.banner("Soak: sustained random load + conservation"));
+    println!(
+        "{}",
+        opts.banner("Soak: sustained random load + conservation")
+    );
     println!("# {threads} threads, {:?} per algorithm\n", opts.duration);
 
     let mut failures = 0u32;

@@ -108,7 +108,10 @@ fn main() {
         }};
     }
 
-    validate!("SEC", SecStack::<u64>::with_config(SecConfig::new(2, THREADS + 1)));
+    validate!(
+        "SEC",
+        SecStack::<u64>::with_config(SecConfig::new(2, THREADS + 1))
+    );
     validate!("TRB", TreiberStack::<u64>::new(THREADS + 1));
     validate!("EB", EbStack::<u64>::new(THREADS + 1));
     validate!("FC", FcStack::<u64>::new(THREADS + 1));

@@ -29,7 +29,9 @@
 
 #![warn(missing_docs)]
 
-use sec_baselines::{CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack};
+use sec_baselines::{
+    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+};
 use sec_core::{ConcurrentStack, SecConfig, SecStack, StackHandle};
 use sec_workload::{Algo, Mix};
 use std::sync::Barrier;

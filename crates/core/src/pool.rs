@@ -62,8 +62,7 @@ impl<T: Send + 'static> SecPool<T> {
     ///
     /// If more threads register than the pool was constructed for.
     pub fn register(&self) -> PoolHandle<'_, T> {
-        let handles: Vec<SecHandle<'_, T>> =
-            self.shards.iter().map(|s| s.register()).collect();
+        let handles: Vec<SecHandle<'_, T>> = self.shards.iter().map(|s| s.register()).collect();
         // Home shard: spread threads by their (dense) tid.
         let home = handles[0].tid() % self.shards.len();
         PoolHandle { handles, home }
@@ -129,7 +128,9 @@ impl<T: Send + 'static> PoolHandle<'_, T> {
 
 impl<T: Send + 'static> fmt::Debug for PoolHandle<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PoolHandle").field("home", &self.home).finish()
+        f.debug_struct("PoolHandle")
+            .field("home", &self.home)
+            .finish()
     }
 }
 

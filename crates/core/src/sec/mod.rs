@@ -210,7 +210,10 @@ impl<T: Send + 'static> SecStack<T> {
         // the surviving push with the smallest sequence number, hence
         // LIFO-first, hence deepest).
         let bot = batch.elim[my_seq].load(Ordering::Acquire);
-        debug_assert!(!bot.is_null(), "combiner published its node before freezing");
+        debug_assert!(
+            !bot.is_null(),
+            "combiner published its node before freezing"
+        );
 
         // Erratum fix (DESIGN.md §2.1): the chain grows from `bot`, not
         // from null — otherwise single-push batches would install null
@@ -403,7 +406,8 @@ impl<T: Send + 'static> SecHandle<'_, T> {
             batch.elim[my_seq].store(node, Ordering::Release);
 
             // Lines 8–13.
-            self.stack.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
+            self.stack
+                .freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
 
             // Line 14: inclusion test.
             let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
@@ -452,7 +456,8 @@ impl<T: Send + 'static> SecHandle<'_, T> {
             );
 
             // Lines 57–62.
-            self.stack.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
+            self.stack
+                .freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
 
             // Line 63: inclusion test.
             let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
@@ -490,9 +495,7 @@ impl<T: Send + 'static> SecHandle<'_, T> {
                     }
                 }
                 // Line 76.
-                return self
-                    .stack
-                    .get_value(batch, my_seq - push_at_freeze, &guard);
+                return self.stack.get_value(batch, my_seq - push_at_freeze, &guard);
             }
             // Excluded: retry in a newer batch.
         }

@@ -102,10 +102,7 @@ pub fn expected_pct_combined(n: u64, push_prob: f64) -> f64 {
 ///
 /// A first-order approximation (see module docs); adequate for the
 /// "does measurement track theory" check the Table 1 binary prints.
-pub fn predict_for_report(
-    report: &super::stats::BatchReport,
-    push_prob: f64,
-) -> ModelPrediction {
+pub fn predict_for_report(report: &super::stats::BatchReport, push_prob: f64) -> ModelPrediction {
     let n = report.batching_degree().round().max(0.0) as u64;
     ModelPrediction {
         batch_size: n,

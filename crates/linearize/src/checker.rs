@@ -73,7 +73,11 @@ where
     // DFS over (set of linearized ops, stack state). The stack state is
     // not a function of the set (it depends on the order), so it is part
     // of the memo key.
-    let all_mask: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let all_mask: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut stack: Vec<T> = Vec::new();
     let mut order: Vec<usize> = Vec::new();
     let mut visited: HashSet<(u128, Vec<T>)> = HashSet::new();
@@ -196,9 +200,7 @@ where
             _ => continue,
         };
         if !popped.insert(v) {
-            return Err(Violation::Conservation(format!(
-                "value {v:?} popped twice"
-            )));
+            return Err(Violation::Conservation(format!("value {v:?} popped twice")));
         }
         match pushes.get(v) {
             None => {
@@ -325,10 +327,7 @@ mod tests {
     fn real_time_order_is_enforced() {
         // pop(Some(1)) fully precedes push(1): rejected even though a
         // reordering would satisfy the stack spec.
-        let h = vec![
-            ev(0, Op::Pop(Some(1)), 0, 1),
-            ev(1, Op::Push(1), 2, 3),
-        ];
+        let h = vec![ev(0, Op::Pop(Some(1)), 0, 1), ev(1, Op::Push(1), 2, 3)];
         assert_eq!(check_history(&h), Err(Violation::NotLinearizable));
     }
 
@@ -365,10 +364,7 @@ mod tests {
 
     #[test]
     fn conservation_rejects_pop_before_push() {
-        let h = vec![
-            ev(0, Op::Pop(Some(9)), 0, 1),
-            ev(1, Op::Push(9), 5, 6),
-        ];
+        let h = vec![ev(0, Op::Pop(Some(9)), 0, 1), ev(1, Op::Push(9), 5, 6)];
         assert!(matches!(
             check_conservation(&h),
             Err(Violation::Conservation(_))
@@ -386,7 +382,9 @@ mod tests {
 
     #[test]
     fn violation_display_is_informative() {
-        assert!(Violation::NotLinearizable.to_string().contains("linearization"));
+        assert!(Violation::NotLinearizable
+            .to_string()
+            .contains("linearization"));
         assert!(Violation::TooLarge(200).to_string().contains("200"));
     }
 }

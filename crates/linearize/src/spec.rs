@@ -75,7 +75,11 @@ pub fn check_generic<S: SeqSpec>(events: &[TimedOp<S::Op>]) -> Result<Vec<usize>
     if n == 0 {
         return Ok(Vec::new());
     }
-    let all_mask: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let all_mask: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut order = Vec::new();
     let mut visited: HashSet<(u128, S::State)> = HashSet::new();
 

@@ -145,8 +145,7 @@ impl<'c> Handle<'c> {
         if local.pin_depth == 0 {
             let slot = &self.collector.slots[self.slot_idx];
             // Quiescent: keep the epoch bits (harmless), clear PINNED.
-            slot.state
-                .store(local.pin_epoch << 1, Ordering::Release);
+            slot.state.store(local.pin_epoch << 1, Ordering::Release);
         }
     }
 
@@ -260,7 +259,9 @@ impl Drop for Guard<'_, '_> {
 
 impl fmt::Debug for Guard<'_, '_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Guard").field("epoch", &self.epoch()).finish()
+        f.debug_struct("Guard")
+            .field("epoch", &self.epoch())
+            .finish()
     }
 }
 

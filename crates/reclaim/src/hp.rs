@@ -319,11 +319,7 @@ impl Drop for HpHandle<'_> {
         let list = self.retired();
         self.domain.sweep(list);
         if !list.is_empty() {
-            self.domain
-                .orphans
-                .lock()
-                .unwrap()
-                .append(&mut *list);
+            self.domain.orphans.lock().unwrap().append(&mut *list);
         }
         self.domain.in_use[self.row].store(false, Ordering::Release);
     }

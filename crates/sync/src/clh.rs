@@ -136,7 +136,11 @@ impl<T: ?Sized> Drop for ClhLock<T> {
 
 impl<T: fmt::Debug> fmt::Debug for ClhLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = if self.is_locked() { "<locked>" } else { "<unlocked>" };
+        let state = if self.is_locked() {
+            "<locked>"
+        } else {
+            "<unlocked>"
+        };
         f.debug_struct("ClhLock").field("state", &state).finish()
     }
 }

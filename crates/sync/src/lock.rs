@@ -106,7 +106,10 @@ impl<T: fmt::Debug> fmt::Debug for TtasLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_lock() {
             Some(g) => f.debug_struct("TtasLock").field("value", &&*g).finish(),
-            None => f.debug_struct("TtasLock").field("value", &"<locked>").finish(),
+            None => f
+                .debug_struct("TtasLock")
+                .field("value", &"<locked>")
+                .finish(),
         }
     }
 }

@@ -105,12 +105,10 @@ impl<T: ?Sized> McsLock<T> {
             locked: AtomicBool::new(true),
             next: AtomicPtr::new(ptr::null_mut()),
         }));
-        match self.tail.compare_exchange(
-            ptr::null_mut(),
-            node,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => Some(McsGuard { lock: self, node }),
             Err(_) => {
                 // Safety: the node was never published.
@@ -134,10 +132,14 @@ impl<T: ?Sized> McsLock<T> {
 impl<T: fmt::Debug> fmt::Debug for McsLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_locked() {
-            f.debug_struct("McsLock").field("value", &"<locked>").finish()
+            f.debug_struct("McsLock")
+                .field("value", &"<locked>")
+                .finish()
         } else {
             // Racy but only used for diagnostics.
-            f.debug_struct("McsLock").field("value", &"<unlocked>").finish()
+            f.debug_struct("McsLock")
+                .field("value", &"<unlocked>")
+                .finish()
         }
     }
 }

@@ -29,11 +29,19 @@ use core::ops::{Deref, DerefMut};
 /// assert_eq!(std::mem::align_of_val(&*s.counters[0]) <= 128, true);
 /// ```
 #[cfg_attr(
-    any(target_arch = "x86_64", target_arch = "aarch64", target_arch = "powerpc64"),
+    any(
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "powerpc64"
+    ),
     repr(align(128))
 )]
 #[cfg_attr(
-    not(any(target_arch = "x86_64", target_arch = "aarch64", target_arch = "powerpc64")),
+    not(any(
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "powerpc64"
+    )),
     repr(align(64))
 )]
 #[derive(Default)]

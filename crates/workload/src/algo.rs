@@ -3,7 +3,9 @@
 
 use crate::runner::{run_throughput, RunConfig, RunResult};
 use core::fmt;
-use sec_baselines::{CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack};
+use sec_baselines::{
+    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+};
 use sec_core::{BatchReport, SecConfig, SecStack};
 
 /// One of the evaluated stack algorithms.

@@ -121,7 +121,11 @@ impl Figure {
         const COL: usize = 6;
         let width = self.xs.len() * COL;
 
-        let _ = writeln!(out, "## {} — {} (plot, y-max {:.3})", self.title, self.y_unit, y_max);
+        let _ = writeln!(
+            out,
+            "## {} — {} (plot, y-max {:.3})",
+            self.title, self.y_unit, y_max
+        );
         let mut grid = vec![vec![' '; width]; height];
         for (si, (_, ys)) in self.series.iter().enumerate() {
             for (xi, &y) in ys.iter().enumerate() {
@@ -250,7 +254,10 @@ mod tests {
         f.add_series("a", vec![5.0]);
         f.add_series("b", vec![5.0]); // same point → '*'
         let plot = f.render_ascii_plot(6);
-        assert!(plot.contains('*'), "colliding series must show overlap:\n{plot}");
+        assert!(
+            plot.contains('*'),
+            "colliding series must show overlap:\n{plot}"
+        );
     }
 
     #[test]

@@ -39,9 +39,6 @@ fn main() {
             }
         }
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        println!(
-            "  winner: {} ({:.3} Mops/s)\n",
-            rows[0].0, rows[0].1
-        );
+        println!("  winner: {} ({:.3} Mops/s)\n", rows[0].0, rows[0].1);
     }
 }

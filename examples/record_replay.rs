@@ -24,7 +24,11 @@ use sec_repro::workload::{replay, Mix, Trace};
 use sec_repro::{ConcurrentStack, SecConfig, SecStack};
 
 fn run_all(name: &str, trace: &Trace) {
-    println!("## {name}: {} threads, {} ops", trace.threads(), trace.total_ops());
+    println!(
+        "## {name}: {} threads, {} ops",
+        trace.threads(),
+        trace.total_ops()
+    );
     let threads = trace.threads();
 
     // SEC first, with its mechanism split. Sized like the benchmark

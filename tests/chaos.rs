@@ -42,8 +42,7 @@ fn all_stacks_survive_straggler_schedules() {
                 .map(|t| {
                     let stack = &stack;
                     scope.spawn(move || {
-                        let mut chaos =
-                            Chaos((t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let mut chaos = Chaos((t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                         let mut h = stack.register();
                         let mut got = Vec::new();
                         for i in 0..PER {

@@ -59,12 +59,9 @@ fn record_and_check<S: ConcurrentStack<u64>>(
         });
 
         let history = events.into_inner().unwrap();
-        check_conservation(&history)
-            .unwrap_or_else(|e| panic!("[{name}] round {round}: {e}"));
+        check_conservation(&history).unwrap_or_else(|e| panic!("[{name}] round {round}: {e}"));
         check_history(&history).unwrap_or_else(|e| {
-            panic!(
-                "[{name}] round {round}: history not linearizable: {e}\n{history:#?}"
-            )
+            panic!("[{name}] round {round}: history not linearizable: {e}\n{history:#?}")
         });
     }
 }

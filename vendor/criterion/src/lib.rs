@@ -1,0 +1,265 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! This build environment has no network access, so the workspace
+//! vendors the API subset its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` /
+//! `warm_up_time` / `measurement_time` / `throughput`, and benchers
+//! with `iter` / `iter_custom`. Instead of Criterion's full
+//! statistical pipeline, each benchmark runs one warm-up sample and a
+//! handful of measured samples, then prints `group/id  median  (min …
+//! max)` — enough to compare algorithms locally and to keep
+//! `cargo bench` seconds-scale. Swap the path dependency in the
+//! workspace root `Cargo.toml` for the real crate when a registry is
+//! reachable.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of measured samples per benchmark (the real crate's
+/// `sample_size` is accepted but capped to this, keeping the whole
+/// suite fast).
+const MAX_SAMPLES: usize = 5;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement — the shim's only measurement.
+    pub struct WallTime;
+}
+
+/// Units for normalizing reported times, accepted and echoed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (function name, optional parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself and report the
+    /// total duration (fixed-work measurements that exclude setup).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accepted for API compatibility; the shim caps samples at
+    /// [`MAX_SAMPLES`].
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, MAX_SAMPLES);
+        self
+    }
+
+    /// Accepted and ignored (the shim warms up with one sample).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (the shim's duration is sample-count bound).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the per-iteration work so the summary can report a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.samples, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs `f` with a borrowed input as a benchmark named `id`.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Runs one benchmark: a single-iteration warm-up sizes the iteration
+/// count so each sample takes ~2 ms (nanosecond-scale bodies are not
+/// swamped by timer overhead), then `samples` measured samples run and
+/// a per-iteration summary line prints.
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b); // warm-up doubles as the calibration sample
+    let est = b.elapsed.max(Duration::from_nanos(1));
+    b.iters = (TARGET_SAMPLE.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        times.push(b.elapsed / b.iters as u32);
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:.2} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!(
+                "  {:.2} MiB/s",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<48} median {median:>12?}/iter  (min {:?} … max {:?}, {} iters/sample){rate}",
+        times[0],
+        times[times.len() - 1],
+        b.iters,
+    );
+}
+
+/// The benchmark driver; one per process, shared by all groups.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI flags are ignored by the
+    /// shim (it is already fast and plots nothing).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: 3,
+            throughput: None,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 3, None, |b| f(b));
+        self
+    }
+
+    /// Prints the final summary (a no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`: nothing to
+            // assert here, so exit quickly and leave timing to
+            // `cargo bench`.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

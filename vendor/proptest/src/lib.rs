@@ -1,0 +1,219 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! This build environment has no network access, so the workspace
+//! vendors the API subset its property suites use:
+//!
+//! * [`strategy::Strategy`] with integer-range strategies,
+//!   [`strategy::Just`], `prop_map`, `boxed`,
+//! * [`collection::vec`] for variable-length vectors,
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_assume!`].
+//!
+//! Differences from the real crate, deliberate for a test shim:
+//! generation is deterministic per (test name, attempt index) with no
+//! persisted failure seeds, and failing inputs are **not shrunk** — the
+//! failure message reports the attempt number so a failure reproduces
+//! by rerunning the test. Case counts honor the `PROPTEST_CASES`
+//! environment variable (capped by a 10× attempt budget when
+//! `prop_assume!` rejects heavily), which keeps tier-1 bounded. Swap
+//! the path dependency in the workspace root `Cargo.toml` for the real
+//! crate when a registry is reachable.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for collections (only `vec` is provided).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of the real crate's `prop` re-export, so
+/// `prop::collection::vec(..)` resolves through the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` inner
+/// attribute followed by `#[test]` functions whose arguments are drawn
+/// from strategies (`name in strategy`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                let max_attempts = cases.saturating_mul(10).max(10);
+                let mut accepted: u32 = 0;
+                let mut attempt: u32 = 0;
+                while accepted < cases && attempt < max_attempts {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempt,
+                    );
+                    attempt += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property `{}` failed at attempt {} (of {} cases): {}",
+                                stringify!($name),
+                                attempt,
+                                cases,
+                                msg
+                            );
+                        }
+                    }
+                }
+                // Mirror real proptest's too-many-global-rejects abort:
+                // a suite whose `prop_assume!`s exhaust the attempt
+                // budget must not report a (possibly vacuous) pass.
+                if accepted < cases {
+                    panic!(
+                        "property `{}` ran only {} of {} cases: {} of {} attempts were rejected by prop_assume! — loosen the strategy or the assumption",
+                        stringify!($name),
+                        accepted,
+                        cases,
+                        attempt - accepted,
+                        attempt
+                    );
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        }
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must yield the
+/// same value type). Weighted arms are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking
+/// directly, so the runner can report the attempt index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (the runner draws a replacement, within
+/// the 10× attempt budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
