@@ -1,0 +1,141 @@
+//! Elastic-sharding ablation (DESIGN.md §8, EXPERIMENTS.md §adaptive):
+//! at every swept thread count, SEC with elastic `K ∈ [1, 5]` against
+//! each static `K = 1..=5` — the question Figure 4 leaves open is
+//! whether one *adaptive* stack instance can track the best static
+//! setting of every cell without retuning.
+//!
+//! For each mix the binary prints the Figure-4-style table plus, per
+//! thread count: the best static K, the adaptive stack's throughput as
+//! a fraction of that best, the active count the monitor settled on,
+//! and the grow/shrink transition counters (so a "flat" result is
+//! distinguishable from a monitor that never moved). The summary line
+//! reports the worst-case fraction over the sweep — the acceptance
+//! target is ≥ 95% (within 5% of the best static K everywhere).
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin adaptive_k
+//! cargo run -p sec-bench --release --bin adaptive_k -- --duration-ms 1000 --runs 3
+//! ```
+
+use sec_bench::BenchOpts;
+use sec_workload::stats::Summary;
+use sec_workload::table::Figure;
+use sec_workload::{run_algo, Algo, Mix, RunConfig};
+
+const MIN_K: usize = 1;
+const MAX_K: usize = 5;
+
+/// Mean throughput of `algo` in one sweep cell, plus the last run's
+/// SEC report (active count and resize counters).
+fn cell(
+    algo: Algo,
+    threads: usize,
+    opts: &BenchOpts,
+    mix: Mix,
+) -> (f64, Option<(usize, u64, u64)>) {
+    let cfg = RunConfig {
+        duration: opts.duration,
+        prefill: opts.prefill,
+        ..RunConfig::new(threads, mix)
+    };
+    let mut elastic = None;
+    let samples: Vec<f64> = (0..opts.runs)
+        .map(|r| {
+            let cfg = RunConfig {
+                seed: cfg.seed ^ (r as u64) << 32,
+                ..cfg
+            };
+            let out = run_algo(algo, &cfg);
+            if let (Some(active), Some(rep)) = (out.sec_active, out.sec_report) {
+                elastic = Some((active, rep.grows, rep.shrinks));
+            }
+            out.result.mops()
+        })
+        .collect();
+    (Summary::of(&samples).mean, elastic)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!(
+        "{}",
+        opts.banner("Elastic sharding ablation: adaptive K vs best static K")
+    );
+    let sweep = opts.sweep();
+    let mut worst_overall: Option<(f64, Mix, usize)> = None;
+
+    for mix in [Mix::UPDATE_100, Mix::UPDATE_50, Mix::PUSH_ONLY] {
+        let mut fig = Figure::new(format!("adaptive_k — {mix}"), sweep.clone());
+        // Static lineup.
+        let mut static_rows: Vec<Vec<f64>> = Vec::new();
+        for k in MIN_K..=MAX_K {
+            let ys: Vec<f64> = sweep
+                .iter()
+                .map(|&n| cell(Algo::Sec { aggregators: k }, n, &opts, mix).0)
+                .collect();
+            fig.add_series(format!("SEC_Agg{k}"), ys.clone());
+            static_rows.push(ys);
+        }
+        // Elastic series.
+        let adaptive = Algo::SecAdaptive {
+            min_k: MIN_K,
+            max_k: MAX_K,
+        };
+        let mut ada_ys = Vec::with_capacity(sweep.len());
+        let mut ada_info = Vec::with_capacity(sweep.len());
+        for &n in &sweep {
+            let (mops, info) = cell(adaptive, n, &opts, mix);
+            ada_ys.push(mops);
+            ada_info.push(info.unwrap_or((0, 0, 0)));
+        }
+        fig.add_series(adaptive.label(), ada_ys.clone());
+
+        println!("{}", fig.render_table());
+        println!("{}", fig.render_ascii_plot(12));
+        if let Err(e) = fig.write_csv(&opts.csv_dir, &format!("adaptive_k_{}", mix_stem(mix))) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+
+        println!(
+            "{:>8} {:>10} {:>10} {:>9} {:>9} {:>14}",
+            "threads", "best K", "best Mops", "ada/best", "active", "grows/shrinks"
+        );
+        for (i, &n) in sweep.iter().enumerate() {
+            let (best_k, best) = static_rows
+                .iter()
+                .enumerate()
+                .map(|(j, ys)| (MIN_K + j, ys[i]))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty static lineup");
+            let frac = if best > 0.0 { ada_ys[i] / best } else { 1.0 };
+            let (active, grows, shrinks) = ada_info[i];
+            println!(
+                "{n:>8} {best_k:>10} {best:>10.3} {frac:>8.1}% {active:>9} {:>14}",
+                format!("{grows}/{shrinks}"),
+                frac = 100.0 * frac,
+            );
+            if worst_overall.is_none_or(|(w, _, _)| frac < w) {
+                worst_overall = Some((frac, mix, n));
+            }
+        }
+        println!();
+    }
+
+    if let Some((frac, mix, n)) = worst_overall {
+        let verdict = if frac >= 0.95 { "PASS" } else { "WARN" };
+        println!(
+            "{verdict}: adaptive worst case {:.1}% of best static K \
+             (at {n} threads, {mix}; target >= 95%)",
+            100.0 * frac
+        );
+    }
+}
+
+fn mix_stem(mix: Mix) -> &'static str {
+    match mix {
+        Mix::UPDATE_100 => "upd100",
+        Mix::UPDATE_50 => "upd50",
+        Mix::PUSH_ONLY => "push_only",
+        _ => "mix",
+    }
+}

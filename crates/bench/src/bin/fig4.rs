@@ -7,6 +7,11 @@
 //! 100% updates favours 2–4; read-heavier mixes favour 1–2 (elimination
 //! opportunities concentrate).
 //!
+//! Beyond the paper, every mix carries one extra series: elastic
+//! sharding (`SEC_Ada1to5`, DESIGN.md §8), which should track the best
+//! static K of each cell without retuning. The `adaptive_k` binary
+//! drills into that comparison.
+//!
 //! ```text
 //! cargo run -p sec-bench --release --bin fig4
 //! ```
@@ -29,8 +34,11 @@ fn main() {
         (Mix::POP_ONLY, "fig4_pop_only"),
     ] {
         let mut fig = Figure::new(format!("Figure 4 — {mix}"), sweep.clone());
-        for k in 1..=5usize {
-            let algo = Algo::Sec { aggregators: k };
+        let lineup: Vec<Algo> = (1..=5usize)
+            .map(|k| Algo::Sec { aggregators: k })
+            .chain([Algo::SecAdaptive { min_k: 1, max_k: 5 }])
+            .collect();
+        for algo in lineup {
             let mut ys = Vec::with_capacity(sweep.len());
             for &threads in &sweep {
                 // Pop-only: scale the prefill with the measurement
@@ -57,12 +65,13 @@ fn main() {
                     .collect();
                 let s = Summary::of(&samples);
                 eprintln!(
-                    "  {mix} | SEC_Agg{k} | {threads:>3} threads: {:.3} Mops/s",
+                    "  {mix} | {} | {threads:>3} threads: {:.3} Mops/s",
+                    algo.label(),
                     s.mean
                 );
                 ys.push(s.mean);
             }
-            fig.add_series(format!("SEC_Agg{k}"), ys);
+            fig.add_series(algo.label(), ys);
         }
         println!("{}", fig.render_table());
         println!("{}", fig.render_ascii_plot(12));

@@ -23,6 +23,12 @@ fn measure(algo: Algo, threads: usize, ops: u64, mix: Mix) -> LatencyReport {
             ops,
             mix,
         ),
+        Algo::SecAdaptive { min_k, max_k } => measure_latency(
+            &SecStack::<u64>::with_config(SecConfig::adaptive(min_k, max_k, cap)),
+            threads,
+            ops,
+            mix,
+        ),
         Algo::Trb => measure_latency(&TreiberStack::<u64>::new(cap), threads, ops, mix),
         Algo::Eb => measure_latency(&EbStack::<u64>::new(cap), threads, ops, mix),
         Algo::Fc => measure_latency(&FcStack::<u64>::new(cap), threads, ops, mix),

@@ -171,6 +171,11 @@ fn run(algo: sec_workload::Algo, threads: usize, opts: &BenchOpts) -> Result<(),
             threads,
             opts,
         ),
+        Algo::SecAdaptive { min_k, max_k } => soak_one(
+            &SecStack::<u64>::with_config(SecConfig::adaptive(min_k, max_k, cap)),
+            threads,
+            opts,
+        ),
         Algo::Trb => soak_one(&TreiberStack::<u64>::new(cap), threads, opts),
         Algo::Eb => soak_one(&EbStack::<u64>::new(cap), threads, opts),
         Algo::Fc => soak_one(&FcStack::<u64>::new(cap), threads, opts),

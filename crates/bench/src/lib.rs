@@ -227,6 +227,11 @@ pub fn timed_algo(
             prefill_stack(&s, prefill);
             timed_fixed_work(&s, threads, ops_per_thread, mix)
         }
+        Algo::SecAdaptive { min_k, max_k } => {
+            let s: SecStack<u64> = SecStack::with_config(SecConfig::adaptive(min_k, max_k, cap));
+            prefill_stack(&s, prefill);
+            timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
         Algo::Trb => {
             let s: TreiberStack<u64> = TreiberStack::new(cap);
             prefill_stack(&s, prefill);

@@ -1,4 +1,12 @@
 //! Construction-time tunables of the SEC stack.
+//!
+//! Two orthogonal knobs shape the aggregator layer:
+//!
+//! * [`AggregatorPolicy`] — how many aggregators are *active*: a fixed
+//!   `K` (the paper's model; Figure 4 picks `K = 2` as the best static
+//!   all-round setting) or an elastic range `[min_k, max_k]` resized at
+//!   runtime by the contention monitor (DESIGN.md §8);
+//! * [`ShardPolicy`] — how thread ids map onto the active aggregators.
 
 /// How thread ids map to aggregators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,13 +19,127 @@ pub enum ShardPolicy {
     Block,
     /// Striped: thread `t` goes to aggregator `t mod K`.
     RoundRobin,
+    /// Topology-aware blocks: thread ids are first grouped into
+    /// hardware-thread *neighbourhoods* of [`sec_sync::topology::smt_width`]
+    /// siblings, and whole neighbourhoods are block-mapped onto the
+    /// aggregators. SMT siblings share L1/L2, so keeping them on the
+    /// same aggregator makes elimination partners cache-local; unlike
+    /// plain [`ShardPolicy::Block`], a re-mapping to a different `K`
+    /// never splits a sibling pair (DESIGN.md §6).
+    Topology,
+}
+
+/// Pure topology-aware shard mapping: `tid`'s neighbourhood (of
+/// `smt_width` consecutive ids, modelling SMT siblings) is block-mapped
+/// over `k` aggregators.
+///
+/// Exposed as a free function so the property suite can sweep widths
+/// the host doesn't have. Guarantees, for `k ≥ 1`, `max_threads ≥ 1`:
+/// the result is `< k` (total), ids in the same neighbourhood map to
+/// the same aggregator for **every** `k` (stability under re-mapping),
+/// and neighbourhoods spread with block balance (each aggregator gets
+/// `⌊M/k⌋` or `⌈M/k⌉` of the `M` neighbourhoods).
+pub fn topology_shard(tid: usize, k: usize, max_threads: usize, smt_width: usize) -> usize {
+    let k = k.max(1);
+    let w = smt_width.max(1);
+    let groups = sec_sync::topology::neighbourhoods(max_threads, w);
+    let g = (tid / w).min(groups - 1);
+    (g * k / groups).min(k - 1)
+}
+
+/// How many aggregators are active: statically fixed or elastic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregatorPolicy {
+    /// The paper's model: `K` aggregators, chosen at construction.
+    Fixed(usize),
+    /// Elastic sharding (DESIGN.md §8): the active aggregator count
+    /// moves inside `[min_k, max_k]`, driven by the contention monitor
+    /// that the freezers feed with per-batch measurements.
+    Adaptive {
+        /// Lower bound on the active aggregator count (≥ 1).
+        min_k: usize,
+        /// Upper bound on the active aggregator count (≥ `min_k`);
+        /// also the number of aggregator slots allocated up front.
+        max_k: usize,
+        /// Operations per decision window: the monitor re-evaluates the
+        /// active count once at least this many operations have been
+        /// frozen since the previous decision.
+        window: u64,
+    },
+}
+
+impl AggregatorPolicy {
+    /// Default decision-window length for [`AggregatorPolicy::adaptive`]:
+    /// long enough that one window sees many batches (decisions follow
+    /// sustained contention, not one burst), short enough to react
+    /// within milliseconds at realistic throughputs.
+    pub const DEFAULT_WINDOW: u64 = 1024;
+
+    /// Elastic policy over `[min_k, max_k]` with the default window.
+    pub const fn adaptive(min_k: usize, max_k: usize) -> Self {
+        AggregatorPolicy::Adaptive {
+            min_k,
+            max_k,
+            window: Self::DEFAULT_WINDOW,
+        }
+    }
+
+    /// Smallest permitted active count (normalized: ≥ 1).
+    pub fn min_k(&self) -> usize {
+        match *self {
+            AggregatorPolicy::Fixed(k) => k.max(1),
+            AggregatorPolicy::Adaptive { min_k, .. } => min_k.max(1),
+        }
+    }
+
+    /// Largest permitted active count (normalized: ≥ [`min_k`](Self::min_k)).
+    pub fn max_k(&self) -> usize {
+        match *self {
+            AggregatorPolicy::Fixed(k) => k.max(1),
+            AggregatorPolicy::Adaptive { max_k, .. } => max_k.max(self.min_k()),
+        }
+    }
+
+    /// Number of aggregator slots a stack must allocate to honor this
+    /// policy (the largest count that can ever become active).
+    pub fn slots(&self) -> usize {
+        self.max_k()
+    }
+
+    /// The decision-window length (0 for [`AggregatorPolicy::Fixed`],
+    /// which never decides; clamped to ≥ 1 for adaptive).
+    pub fn window(&self) -> u64 {
+        match *self {
+            AggregatorPolicy::Fixed(_) => 0,
+            AggregatorPolicy::Adaptive { window, .. } => window.max(1),
+        }
+    }
+
+    /// The active count a fresh stack starts with: `K` for fixed; the
+    /// paper's best static setting (`K = 2`, Figure 4) clamped into
+    /// `[min_k, max_k]` for adaptive, so the monitor starts from the
+    /// known-good default and only moves away on evidence.
+    pub fn initial_active(&self) -> usize {
+        match *self {
+            AggregatorPolicy::Fixed(k) => k.max(1),
+            AggregatorPolicy::Adaptive { .. } => 2.clamp(self.min_k(), self.max_k()),
+        }
+    }
+
+    /// `true` for [`AggregatorPolicy::Adaptive`].
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, AggregatorPolicy::Adaptive { .. })
+    }
 }
 
 /// Configuration of a [`SecStack`](crate::SecStack).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SecConfig {
-    /// Number of aggregators `K` (≥ 1). The paper's evaluation uses 2
-    /// as the best all-round setting (Figure 4).
+    /// Number of aggregator slots allocated by the stack (≥ 1). Under
+    /// [`AggregatorPolicy::Fixed`] all of them are active; under
+    /// [`AggregatorPolicy::Adaptive`] this equals `max_k` and the
+    /// *active* prefix grows and shrinks at runtime. Kept in sync with
+    /// `policy` by the constructors and builders.
     pub aggregators: usize,
     /// Maximum number of threads that will ever register (≥ 1). Sizes
     /// the elimination arrays and the reclamation registry.
@@ -34,6 +156,8 @@ pub struct SecConfig {
     pub freezer_yields: u32,
     /// Thread-to-aggregator mapping.
     pub shard_policy: ShardPolicy,
+    /// Fixed or elastic active-aggregator count.
+    pub policy: AggregatorPolicy,
 }
 
 impl SecConfig {
@@ -53,7 +177,24 @@ impl SecConfig {
             freezer_backoff: 0,
             freezer_yields: 1,
             shard_policy: ShardPolicy::Block,
+            policy: AggregatorPolicy::Fixed(aggregators.max(1)),
         }
+    }
+
+    /// Elastic configuration: active count in `[min_k, max_k]` with the
+    /// default decision window, for up to `max_threads` threads.
+    pub fn adaptive(min_k: usize, max_k: usize, max_threads: usize) -> Self {
+        Self::new(max_k, max_threads).aggregator_policy(AggregatorPolicy::adaptive(min_k, max_k))
+    }
+
+    /// [`SecConfig::adaptive`] with an explicit decision window (tests
+    /// and demos shorten it so the monitor decides within small runs).
+    pub fn adaptive_windowed(min_k: usize, max_k: usize, window: u64, max_threads: usize) -> Self {
+        Self::new(max_k, max_threads).aggregator_policy(AggregatorPolicy::Adaptive {
+            min_k,
+            max_k,
+            window,
+        })
     }
 
     /// Sets the freezer backoff (builder style).
@@ -74,20 +215,66 @@ impl SecConfig {
         self
     }
 
-    /// Aggregator index for thread `tid` under this configuration.
-    pub fn aggregator_of(&self, tid: usize) -> usize {
+    /// Sets the aggregator policy (builder style), re-deriving the
+    /// allocated slot count from it.
+    pub fn aggregator_policy(mut self, policy: AggregatorPolicy) -> Self {
+        self.policy = policy;
+        self.aggregators = policy.slots();
+        self
+    }
+
+    /// Aggregator index for thread `tid` when `k` aggregators are
+    /// active. Always `< k` for `k ≥ 1`.
+    pub fn aggregator_for(&self, tid: usize, k: usize) -> usize {
         debug_assert!(tid < self.max_threads);
+        let k = k.max(1);
         match self.shard_policy {
-            ShardPolicy::Block => tid * self.aggregators / self.max_threads,
-            ShardPolicy::RoundRobin => tid % self.aggregators,
+            ShardPolicy::Block => (tid * k / self.max_threads).min(k - 1),
+            ShardPolicy::RoundRobin => tid % k,
+            ShardPolicy::Topology => {
+                topology_shard(tid, k, self.max_threads, sec_sync::topology::smt_width())
+            }
         }
     }
 
-    /// Upper bound on threads assigned to any single aggregator; sizes
-    /// each batch's elimination array (the paper's per-aggregator `P`).
+    /// Aggregator index for thread `tid` with every allocated
+    /// aggregator active (the static mapping; under an adaptive policy
+    /// the stack remaps through [`SecConfig::aggregator_for`] with the
+    /// *current* active count instead).
+    pub fn aggregator_of(&self, tid: usize) -> usize {
+        self.aggregator_for(tid, self.aggregators)
+    }
+
+    /// Upper bound on threads that can announce into any single batch;
+    /// sizes each batch's elimination array (the paper's per-aggregator
+    /// `P`).
+    ///
+    /// Under [`AggregatorPolicy::Adaptive`] this is `max_threads`: a
+    /// re-mapping can transiently route threads holding a stale active
+    /// count into the same aggregator, and with `min_k = 1` all of them
+    /// legitimately share one. Under [`AggregatorPolicy::Fixed`] the
+    /// mapping is static, so the exact per-aggregator maximum suffices.
     pub fn per_aggregator_capacity(&self) -> usize {
-        // Ceiling division; exact for Block, an upper bound for both.
-        self.max_threads.div_ceil(self.aggregators)
+        if self.policy.is_adaptive() {
+            return self.max_threads;
+        }
+        match self.shard_policy {
+            // Ceiling division; exact for Block, an upper bound for both.
+            ShardPolicy::Block | ShardPolicy::RoundRobin => {
+                self.max_threads.div_ceil(self.aggregators)
+            }
+            // Neighbourhood granularity can overfill one aggregator
+            // past ⌈N/K⌉ (e.g. 10 threads, width 4, K = 2: aggregator 0
+            // serves two whole neighbourhoods = 8 threads); count the
+            // actual maximum.
+            ShardPolicy::Topology => {
+                let mut counts = vec![0usize; self.aggregators];
+                for t in 0..self.max_threads {
+                    counts[self.aggregator_of(t)] += 1;
+                }
+                counts.into_iter().max().unwrap_or(1).max(1)
+            }
+        }
     }
 }
 
@@ -165,5 +352,98 @@ mod tests {
         let c = SecConfig::default();
         assert_eq!(c.aggregators, 2);
         assert!(c.max_threads >= 2);
+    }
+
+    #[test]
+    fn fixed_policy_mirrors_aggregator_count() {
+        let c = SecConfig::new(3, 8);
+        assert_eq!(c.policy, AggregatorPolicy::Fixed(3));
+        assert_eq!(c.policy.min_k(), 3);
+        assert_eq!(c.policy.max_k(), 3);
+        assert_eq!(c.policy.initial_active(), 3);
+        assert_eq!(c.policy.window(), 0);
+        assert!(!c.policy.is_adaptive());
+    }
+
+    #[test]
+    fn adaptive_config_allocates_max_k_slots() {
+        let c = SecConfig::adaptive(1, 4, 16);
+        assert_eq!(c.aggregators, 4);
+        assert!(c.policy.is_adaptive());
+        assert_eq!(c.policy.min_k(), 1);
+        assert_eq!(c.policy.max_k(), 4);
+        // Starts at the paper's best static K, clamped into range.
+        assert_eq!(c.policy.initial_active(), 2);
+        assert_eq!(c.policy.window(), AggregatorPolicy::DEFAULT_WINDOW);
+        // Stale-snapshot re-mapping can route everyone to one batch.
+        assert_eq!(c.per_aggregator_capacity(), 16);
+    }
+
+    #[test]
+    fn adaptive_policy_normalizes_degenerate_bounds() {
+        let p = AggregatorPolicy::Adaptive {
+            min_k: 0,
+            max_k: 0,
+            window: 0,
+        };
+        assert_eq!(p.min_k(), 1);
+        assert_eq!(p.max_k(), 1);
+        assert_eq!(p.window(), 1);
+        assert_eq!(p.initial_active(), 1);
+
+        let p = AggregatorPolicy::adaptive(5, 3); // inverted bounds
+        assert_eq!(p.min_k(), 5);
+        assert_eq!(p.max_k(), 5, "max_k clamps up to min_k");
+    }
+
+    #[test]
+    fn aggregator_for_varies_with_active_count() {
+        let c = SecConfig::adaptive(1, 4, 8);
+        for k in 1..=4 {
+            for t in 0..8 {
+                assert!(c.aggregator_for(t, k) < k, "k={k} t={t}");
+            }
+        }
+        // k = 1 funnels everyone to aggregator 0.
+        for t in 0..8 {
+            assert_eq!(c.aggregator_for(t, 1), 0);
+        }
+    }
+
+    #[test]
+    fn topology_shard_is_total_and_keeps_siblings_together() {
+        for w in 1..=4usize {
+            for n in 1..=24usize {
+                for k in 1..=5usize {
+                    for t in 0..n {
+                        let a = topology_shard(t, k, n, w);
+                        assert!(a < k, "t={t} k={k} n={n} w={w}");
+                        // The whole neighbourhood agrees.
+                        let base = (t / w) * w;
+                        for s in base..(base + w).min(n) {
+                            assert_eq!(topology_shard(s, k, n, w), a, "siblings split");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topology_capacity_covers_actual_assignment() {
+        for n in [4usize, 10, 16, 17] {
+            for k in 1..=4usize {
+                let c = SecConfig::new(k, n).shard_policy(ShardPolicy::Topology);
+                let mut counts = vec![0usize; k];
+                for t in 0..n {
+                    counts[c.aggregator_of(t)] += 1;
+                }
+                assert_eq!(
+                    c.per_aggregator_capacity(),
+                    *counts.iter().max().unwrap(),
+                    "n={n} k={k}"
+                );
+            }
+        }
     }
 }

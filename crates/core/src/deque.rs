@@ -67,6 +67,9 @@ pub struct SecDeque<T: Send + 'static> {
     back: Aggregator<T>,
     collector: Collector,
     config: SecConfig,
+    /// Elimination-array size for every batch, cached at construction
+    /// (freezers allocate one batch each; mirrors `SecStack`).
+    batch_capacity: usize,
 }
 
 unsafe impl<T: Send> Send for SecDeque<T> {}
@@ -85,6 +88,7 @@ impl<T: Send + 'static> SecDeque<T> {
             back: Aggregator::new(cap),
             collector: Collector::new(cap),
             config,
+            batch_capacity: cap,
         }
     }
 
@@ -130,7 +134,7 @@ impl<T: Send + 'static> SecDeque<T> {
             let pushes = batch.push_count.load(Ordering::Acquire);
             batch.pop_at_freeze.store(pops, Ordering::Relaxed);
             batch.push_at_freeze.store(pushes, Ordering::Relaxed);
-            let fresh = Batch::alloc(self.config.per_aggregator_capacity());
+            let fresh = Batch::alloc(self.batch_capacity);
             agg.batch.store(fresh, Ordering::Release);
             unsafe { guard.retire(batch_ptr) };
         } else {

@@ -28,7 +28,9 @@
 //!
 //! * [`SecStack`] / [`SecHandle`] — the stack and its per-thread handle,
 //! * [`SecConfig`] — aggregator count, capacity, freezer backoff,
-//!   sharding policy (paper §3.1 tunables),
+//!   sharding policy (paper §3.1 tunables), including the elastic
+//!   [`AggregatorPolicy`] that resizes the active aggregator set at
+//!   runtime (DESIGN.md §8),
 //! * [`SecStats`] — batching/elimination/combining degree counters
 //!   backing Tables 1–3 of the paper,
 //! * [`ConcurrentStack`] / [`StackHandle`] — the object-independent
@@ -61,7 +63,7 @@ pub mod pool;
 pub mod sec;
 mod traits;
 
-pub use config::{SecConfig, ShardPolicy};
+pub use config::{topology_shard, AggregatorPolicy, SecConfig, ShardPolicy};
 pub use sec::stats::{BatchReport, SecStats};
 pub use sec::{SecHandle, SecStack};
 pub use traits::{ConcurrentStack, StackHandle};

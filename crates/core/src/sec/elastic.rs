@@ -1,0 +1,352 @@
+//! Elastic sharding: the contention monitor behind
+//! [`AggregatorPolicy::Adaptive`] (DESIGN.md §8).
+//!
+//! The paper fixes the aggregator count `K` at construction and finds
+//! `K = 2` the best static all-round setting (Figure 4) — but the best
+//! `K` moves with the thread count and the operation mix (push-only
+//! favours more aggregators, read-heavy mixes fewer). This module makes
+//! the *active* aggregator count a runtime quantity:
+//!
+//! * **Measurement** is free-riding: every freezer already snapshots
+//!   its batch's push/pop counters for [`SecStats`]; the same numbers
+//!   feed a window accumulator here. Combiners additionally count
+//!   central-stack CAS failures — the only cross-aggregator contention
+//!   there is.
+//! * **Decision** is the pure function [`decide`]: once a window's
+//!   worth of operations has been frozen, the average batch size,
+//!   elimination share and CAS-failure rate vote to grow, shrink or
+//!   hold. Pure so the property suite can exercise it exhaustively.
+//! * **Re-mapping** is epoch-fenced: a resize publishes a new active
+//!   count and records the reclamation epoch at which it did so; the
+//!   next resize is deferred until the global epoch has advanced by 2,
+//!   by which point every operation that was in flight at the previous
+//!   transition has unpinned — its batch froze and drained under the
+//!   old mapping. Retired aggregators need no draining protocol beyond
+//!   that: a SEC batch is completed entirely by its own announcers, so
+//!   an aggregator that stops receiving announcements quiesces by
+//!   itself (Observation B.1 of the paper carries over unchanged).
+//!
+//! [`AggregatorPolicy::Adaptive`]: crate::AggregatorPolicy::Adaptive
+//! [`SecStats`]: crate::SecStats
+
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sec_sync::CachePadded;
+
+/// Average batch size at or below which a shard counts as *underused*:
+/// batches of ≤ 2 operations mean announcements rarely overlap, so
+/// folding shards together concentrates the remaining concurrency and
+/// restores elimination opportunities.
+pub const SHRINK_DEGREE: f64 = 2.0;
+
+/// Fraction of a shard's thread share the average batch must reach
+/// before the shard counts as *crowded*. With `N` registered threads on
+/// `k` active aggregators a saturated shard freezes batches near
+/// `N / k`; at half that, splitting the shard still leaves both halves
+/// enough overlap to batch.
+pub const GROW_FILL: f64 = 0.5;
+
+/// Central-stack CAS failures per batch above which growing is vetoed
+/// (and shrinking encouraged): each active aggregator contributes one
+/// combiner CAS per batch to `stackTop`, so a high failure rate means
+/// the *cross*-aggregator contention already dominates and more shards
+/// would only add to it.
+pub const CAS_VETO: f64 = 1.0;
+
+/// Elimination share above which growing is vetoed: when this fraction
+/// of a window's operations eliminate inside their batches, the shard
+/// is pairing pushes with pops exactly as the algorithm wants —
+/// splitting it would halve every thread's pool of elimination
+/// partners (the paper's Figure 4 logic for why elimination-heavy
+/// mixes favour *fewer* aggregators).
+pub const ELIM_KEEP: f64 = 0.75;
+
+/// One decision window's worth of frozen-batch measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowSample {
+    /// Operations that belonged to batches frozen in the window.
+    pub ops: u64,
+    /// Batches frozen in the window.
+    pub batches: u64,
+    /// Operations eliminated inside those batches.
+    pub eliminated: u64,
+    /// Central-stack CAS failures observed during the window.
+    pub cas_failures: u64,
+}
+
+/// A resize decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Activate one more aggregator.
+    Grow,
+    /// Retire the highest-indexed active aggregator.
+    Shrink,
+}
+
+/// The contention-monitor decision function: given one window of
+/// measurements and the current active count, vote to grow, shrink or
+/// (None) hold.
+///
+/// Invariants, for any input: `Some(Grow)` only when
+/// `active < max_k`, `Some(Shrink)` only when `active > min_k` — so an
+/// active count that starts inside `[min_k, max_k]` can never leave it.
+/// An empty window (no batches) always holds.
+pub fn decide(
+    sample: &WindowSample,
+    active: usize,
+    min_k: usize,
+    max_k: usize,
+    max_threads: usize,
+) -> Option<Direction> {
+    let min_k = min_k.max(1);
+    let max_k = max_k.max(min_k);
+    if sample.batches == 0 || sample.ops == 0 {
+        return None;
+    }
+    let b = sample.ops as f64 / sample.batches as f64;
+    let cas_per_batch = sample.cas_failures as f64 / sample.batches as f64;
+    let elim_share = sample.eliminated as f64 / sample.ops as f64;
+    // Threads a shard serves under the current mapping, at least 1.
+    let share = (max_threads.max(1) as f64 / active.max(1) as f64).max(1.0);
+
+    if active > min_k && (b <= SHRINK_DEGREE || cas_per_batch >= CAS_VETO) {
+        // Underused shards or a thrashing central stack: concentrate.
+        return Some(Direction::Shrink);
+    }
+    if active < max_k
+        && b >= GROW_FILL * share
+        && share >= 2.0
+        && cas_per_batch < CAS_VETO
+        && elim_share < ELIM_KEEP
+    {
+        // Crowded shards, a calm central stack, and elimination not
+        // already carrying the load: disperse. The `share >= 2` guard
+        // keeps a fully dispersed configuration (one thread per shard,
+        // b ≈ 1) from oscillating; the elimination veto keeps
+        // well-paired shards together (their size is productive, not
+        // contention).
+        return Some(Direction::Grow);
+    }
+    None
+}
+
+/// Window accumulator + epoch fence shared by all freezers of one
+/// stack. All fields are relaxed counters; the only synchronization is
+/// the `deciding` test&set that elects one freezer per window to run
+/// [`decide`].
+#[derive(Debug, Default)]
+pub struct ContentionMonitor {
+    window_ops: CachePadded<AtomicU64>,
+    window_batches: AtomicU64,
+    window_eliminated: AtomicU64,
+    /// Cumulative CAS-failure snapshot at the previous decision.
+    cas_mark: AtomicU64,
+    /// Reclamation epoch recorded by the last resize (the fence).
+    fence_epoch: AtomicU64,
+    /// Hysteresis: the direction the previous window voted for
+    /// (0 = none, 1 = grow, 2 = shrink). A vote is only acted on when
+    /// two consecutive windows agree, so one bursty window can't flap
+    /// the active set.
+    pending: AtomicU64,
+    /// Decision election: only one freezer evaluates a window.
+    deciding: AtomicBool,
+}
+
+impl ContentionMonitor {
+    /// Creates a zeroed monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one frozen batch into the current window; returns `true`
+    /// once the window holds at least `window` operations (the caller
+    /// should then attempt [`ContentionMonitor::begin_decision`]).
+    pub fn on_batch(&self, pushes: u64, pops: u64, window: u64) -> bool {
+        let size = pushes + pops;
+        if size == 0 {
+            return false;
+        }
+        let total = self.window_ops.fetch_add(size, Ordering::Relaxed) + size;
+        self.window_batches.fetch_add(1, Ordering::Relaxed);
+        self.window_eliminated
+            .fetch_add(2 * pushes.min(pops), Ordering::Relaxed);
+        window > 0 && total >= window
+    }
+
+    /// Running totals of the current (unfinished) window:
+    /// `(ops, batches, eliminated)`. Monotone between decisions.
+    pub fn window_totals(&self) -> (u64, u64, u64) {
+        (
+            self.window_ops.load(Ordering::Relaxed),
+            self.window_batches.load(Ordering::Relaxed),
+            self.window_eliminated.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Tries to become the deciding freezer. At most one caller holds
+    /// the decision at a time; the winner must call
+    /// [`ContentionMonitor::end_decision`].
+    pub fn begin_decision(&self) -> bool {
+        !self.deciding.swap(true, Ordering::Acquire)
+    }
+
+    /// Releases the decision election.
+    pub fn end_decision(&self) {
+        self.deciding.store(false, Ordering::Release);
+    }
+
+    /// `true` when `epoch_now` has moved at least 2 past the epoch of
+    /// the last resize — every thread pinned across that resize has
+    /// since unpinned, so its batch froze and drained under the old
+    /// mapping (the epoch fence of DESIGN.md §8).
+    pub fn fence_passed(&self, epoch_now: u64) -> bool {
+        epoch_now >= self.fence_epoch.load(Ordering::Relaxed) + 2
+    }
+
+    /// Drains the window accumulator into a [`WindowSample`], diffing
+    /// the cumulative CAS-failure counter against the previous mark.
+    pub fn take_window(&self, cas_failures_cumulative: u64) -> WindowSample {
+        let cas_prev = self
+            .cas_mark
+            .swap(cas_failures_cumulative, Ordering::Relaxed);
+        WindowSample {
+            ops: self.window_ops.swap(0, Ordering::Relaxed),
+            batches: self.window_batches.swap(0, Ordering::Relaxed),
+            eliminated: self.window_eliminated.swap(0, Ordering::Relaxed),
+            cas_failures: cas_failures_cumulative.saturating_sub(cas_prev),
+        }
+    }
+
+    /// Arms the epoch fence after a resize performed at `epoch_now`.
+    pub fn arm_fence(&self, epoch_now: u64) {
+        self.fence_epoch.store(epoch_now, Ordering::Relaxed);
+    }
+
+    /// Records this window's vote; `true` once the same direction has
+    /// won two consecutive windows (the hysteresis gate).
+    pub fn confirm(&self, dir: Direction) -> bool {
+        let code = match dir {
+            Direction::Grow => 1,
+            Direction::Shrink => 2,
+        };
+        self.pending.swap(code, Ordering::Relaxed) == code
+    }
+
+    /// Clears the pending vote (a window that voted to hold, or a
+    /// resize that was just applied, breaks any streak).
+    pub fn clear_pending(&self) {
+        self.pending.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ops: u64, batches: u64, eliminated: u64, cas: u64) -> WindowSample {
+        WindowSample {
+            ops,
+            batches,
+            eliminated,
+            cas_failures: cas,
+        }
+    }
+
+    #[test]
+    fn empty_window_holds() {
+        assert_eq!(decide(&sample(0, 0, 0, 0), 2, 1, 4, 8), None);
+    }
+
+    #[test]
+    fn solo_batches_shrink_until_min() {
+        // b = 1: every batch is a lone op — fold shards together.
+        let s = sample(100, 100, 0, 0);
+        assert_eq!(decide(&s, 3, 1, 4, 8), Some(Direction::Shrink));
+        assert_eq!(decide(&s, 1, 1, 4, 8), None, "min_k floor");
+    }
+
+    #[test]
+    fn crowded_batches_grow_until_max() {
+        // 8 threads on 2 shards: share 4, b = 8 ≥ 0.5·4 — split.
+        let s = sample(800, 100, 400, 0);
+        assert_eq!(decide(&s, 2, 1, 4, 8), Some(Direction::Grow));
+        assert_eq!(decide(&s, 4, 1, 4, 8), None, "max_k ceiling");
+    }
+
+    #[test]
+    fn high_elimination_share_vetoes_grow() {
+        // 8 threads on 2 shards, crowded (b = 8) — but 87% of ops
+        // eliminate: the batch size is productive pairing, not
+        // contention, so the shard stays whole.
+        let s = sample(800, 100, 700, 0);
+        assert_eq!(decide(&s, 2, 1, 4, 8), None);
+        // Same crowding with elimination below the veto grows.
+        let s = sample(800, 100, 400, 0);
+        assert_eq!(decide(&s, 2, 1, 4, 8), Some(Direction::Grow));
+    }
+
+    #[test]
+    fn central_cas_thrash_vetoes_grow_and_forces_shrink() {
+        // Crowded *and* thrashing: the central stack is the bottleneck.
+        let s = sample(800, 100, 0, 500);
+        assert_eq!(decide(&s, 3, 1, 4, 8), Some(Direction::Shrink));
+        assert_eq!(decide(&s, 1, 1, 4, 8), None);
+    }
+
+    #[test]
+    fn fully_dispersed_configuration_does_not_oscillate() {
+        // share = 1 (one thread per shard): b ≥ 0.5·share trivially,
+        // but growing further is pointless — the share≥2 guard holds.
+        let s = sample(300, 100, 0, 0);
+        assert_eq!(decide(&s, 8, 1, 16, 8), None);
+    }
+
+    #[test]
+    fn monitor_window_accounting_is_monotone_and_drains() {
+        let m = ContentionMonitor::new();
+        assert!(!m.on_batch(3, 1, 100));
+        assert!(!m.on_batch(0, 0, 100), "empty batches don't count");
+        let (ops, batches, elim) = m.window_totals();
+        assert_eq!((ops, batches, elim), (4, 1, 2));
+        assert!(m.on_batch(60, 40, 100), "window boundary crossed");
+        let s = m.take_window(7);
+        assert_eq!(s.ops, 104);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.eliminated, 2 + 2 * 40);
+        assert_eq!(s.cas_failures, 7);
+        assert_eq!(m.window_totals(), (0, 0, 0), "drained");
+        // Next window diffs against the new mark.
+        let s2 = m.take_window(10);
+        assert_eq!(s2.cas_failures, 3);
+    }
+
+    #[test]
+    fn decision_election_is_exclusive() {
+        let m = ContentionMonitor::new();
+        assert!(m.begin_decision());
+        assert!(!m.begin_decision());
+        m.end_decision();
+        assert!(m.begin_decision());
+        m.end_decision();
+    }
+
+    #[test]
+    fn confirmation_needs_two_consecutive_votes() {
+        let m = ContentionMonitor::new();
+        assert!(!m.confirm(Direction::Grow), "first vote only arms");
+        assert!(m.confirm(Direction::Grow), "second consecutive vote acts");
+        assert!(!m.confirm(Direction::Shrink), "direction change re-arms");
+        m.clear_pending();
+        assert!(!m.confirm(Direction::Shrink), "cleared streak re-arms");
+        assert!(m.confirm(Direction::Shrink));
+    }
+
+    #[test]
+    fn fence_requires_two_epoch_advances() {
+        let m = ContentionMonitor::new();
+        assert!(m.fence_passed(2), "virgin fence (epoch 0) passes at 2");
+        m.arm_fence(5);
+        assert!(!m.fence_passed(5));
+        assert!(!m.fence_passed(6));
+        assert!(m.fence_passed(7));
+    }
+}

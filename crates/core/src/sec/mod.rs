@@ -5,6 +5,8 @@
 //! * [`node`] — shared-stack nodes (paper Figure 1, `Node`),
 //! * [`batch`] — batches and aggregators (Figure 1, `Batch`,
 //!   `Aggregator`),
+//! * [`elastic`] — the contention monitor behind
+//!   [`AggregatorPolicy::Adaptive`] (DESIGN.md §8),
 //! * [`stats`] — the Table 1–3 instrumentation,
 //! * [`model`] — the closed-form binomial prediction of the
 //!   elimination/combining degrees the instrumentation measures,
@@ -21,16 +23,18 @@
 //! out `k` values).
 
 pub(crate) mod batch;
+pub mod elastic;
 pub mod model;
 pub(crate) mod node;
 pub mod stats;
 
-use crate::config::SecConfig;
+use crate::config::{AggregatorPolicy, SecConfig};
 use crate::traits::{ConcurrentStack, StackHandle};
 use batch::{Aggregator, Batch};
 use core::fmt;
 use core::ptr;
-use core::sync::atomic::{AtomicPtr, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use elastic::{ContentionMonitor, Direction};
 use node::Node;
 use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
 use sec_sync::{Backoff, CachePadded};
@@ -63,8 +67,24 @@ pub struct SecStack<T: Send + 'static> {
     /// the *only* cross-aggregator contention point, touched once per
     /// batch by each combiner.
     top: CachePadded<AtomicPtr<Node<T>>>,
-    /// `agg[K]` (paper line 7).
+    /// `agg[K]` (paper line 7) — all slots the policy can ever
+    /// activate. Under [`AggregatorPolicy::Adaptive`] only the prefix
+    /// `aggs[..active]` receives new announcements; retired slots keep
+    /// their current batch (in-flight batches drain themselves, every
+    /// batch is completed by its own announcers) and are reused when
+    /// the active set grows back.
     aggs: Box<[CachePadded<Aggregator<T>>]>,
+    /// Number of currently active aggregators, in
+    /// `[policy.min_k(), policy.max_k()]`. Constant for
+    /// [`AggregatorPolicy::Fixed`].
+    active: CachePadded<AtomicUsize>,
+    /// Elastic-sharding window accumulator + epoch fence (inert under a
+    /// fixed policy).
+    monitor: ContentionMonitor,
+    /// Elimination-array size for every batch (cached off the config;
+    /// `per_aggregator_capacity` iterates the thread map for some
+    /// policies and freezers allocate one batch each).
+    batch_capacity: usize,
     collector: Collector,
     stats: SecStats,
 }
@@ -84,6 +104,18 @@ impl<T: Send + 'static> SecStack<T> {
 
     /// Creates a stack from an explicit [`SecConfig`].
     pub fn with_config(config: SecConfig) -> Self {
+        // Normalize the two aggregator knobs: `aggregators` (allocated
+        // slots) and `policy` are kept in sync by the builders, but the
+        // fields are public — make the direct-assignment path behave
+        // like the documented one.
+        let mut config = config;
+        match config.policy {
+            AggregatorPolicy::Fixed(k) if k != config.aggregators => {
+                config.policy = AggregatorPolicy::Fixed(config.aggregators);
+            }
+            AggregatorPolicy::Fixed(_) => {}
+            AggregatorPolicy::Adaptive { .. } => config.aggregators = config.policy.slots(),
+        }
         let cap = config.per_aggregator_capacity();
         Self {
             config,
@@ -91,6 +123,9 @@ impl<T: Send + 'static> SecStack<T> {
             aggs: (0..config.aggregators)
                 .map(|_| CachePadded::new(Aggregator::new(cap)))
                 .collect(),
+            active: CachePadded::new(AtomicUsize::new(config.policy.initial_active())),
+            monitor: ContentionMonitor::new(),
+            batch_capacity: cap,
             collector: Collector::new(config.max_threads),
             stats: SecStats::new(),
         }
@@ -105,10 +140,13 @@ impl<T: Send + 'static> SecStack<T> {
             .register()
             .expect("SecStack: more threads registered than SecConfig::max_threads");
         let tid = reclaim.slot();
-        let agg_idx = self.config.aggregator_of(tid);
+        let seen_k = self.active.load(Ordering::Acquire);
+        let agg_idx = self.config.aggregator_for(tid, seen_k);
         SecHandle {
             stack: self,
+            tid,
             agg_idx,
+            seen_k,
             reclaim,
         }
     }
@@ -126,6 +164,78 @@ impl<T: Send + 'static> SecStack<T> {
     /// Reclamation statistics (diagnostic).
     pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
         self.collector.stats()
+    }
+
+    /// Number of currently active aggregators.
+    pub fn active_aggregators(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Forces the active aggregator count to `k` (clamped into the
+    /// policy's `[min_k, max_k]`; a no-op for [`AggregatorPolicy::Fixed`],
+    /// whose bounds coincide). Returns the count now in force.
+    ///
+    /// This is the manual override behind the stress and
+    /// linearizability suites, which drive grow/shrink transitions at
+    /// chosen points instead of waiting for the contention monitor; it
+    /// serializes with monitor decisions through the same election and
+    /// arms the same epoch fence. Each step of the change is recorded
+    /// in the [`SecStats`] resize counters.
+    pub fn set_active_aggregators(&self, k: usize) -> usize {
+        let k = k.clamp(self.config.policy.min_k(), self.config.policy.max_k());
+        let mut backoff = Backoff::new();
+        while !self.monitor.begin_decision() {
+            backoff.snooze();
+        }
+        let prev = self.active.swap(k, Ordering::AcqRel);
+        for _ in k..prev {
+            self.stats.record_shrink();
+        }
+        for _ in prev..k {
+            self.stats.record_grow();
+        }
+        if k != prev {
+            self.monitor.arm_fence(self.collector.global_epoch());
+        }
+        self.monitor.end_decision();
+        k
+    }
+
+    /// One elastic-resize attempt: called by the freezer whose batch
+    /// filled the decision window (DESIGN.md §8). Loses gracefully to a
+    /// concurrent decider, and holds while the epoch fence of the
+    /// previous transition is still up.
+    fn try_elastic_resize(&self) {
+        if !self.monitor.begin_decision() {
+            return;
+        }
+        let epoch = self.collector.global_epoch();
+        if self.monitor.fence_passed(epoch) {
+            let sample = self.monitor.take_window(self.stats.cas_failures_now());
+            let active = self.active.load(Ordering::Relaxed);
+            let (min_k, max_k) = (self.config.policy.min_k(), self.config.policy.max_k());
+            match elastic::decide(&sample, active, min_k, max_k, self.config.max_threads) {
+                // Hysteresis: act only when two consecutive windows
+                // vote the same way.
+                Some(dir) if self.monitor.confirm(dir) => {
+                    match dir {
+                        Direction::Grow => {
+                            self.active.store(active + 1, Ordering::Release);
+                            self.stats.record_grow();
+                        }
+                        Direction::Shrink => {
+                            self.active.store(active - 1, Ordering::Release);
+                            self.stats.record_shrink();
+                        }
+                    }
+                    self.monitor.clear_pending();
+                    self.monitor.arm_fence(epoch);
+                }
+                Some(_) => {}
+                None => self.monitor.clear_pending(),
+            }
+        }
+        self.monitor.end_decision();
     }
 
     // ------------------------------------------------------------------
@@ -158,12 +268,19 @@ impl<T: Send + 'static> SecStack<T> {
         batch.push_at_freeze.store(pushes, Ordering::Relaxed);
 
         self.stats.record_batch(pushes, pops);
+        // Elastic sharding: the same frozen snapshot feeds the
+        // contention monitor (§8 — measurement free-rides on the
+        // freeze).
+        let window_full = self.config.policy.is_adaptive()
+            && self
+                .monitor
+                .on_batch(pushes, pops, self.config.policy.window());
 
         // Line 31: installing the new batch is the freeze's linearization
         // aid — it simultaneously (a) signals spinning announcers that
         // the `*_at_freeze` fields are valid (Release) and (b) directs
         // new announcers to the fresh batch.
-        let fresh = Batch::alloc(self.config.per_aggregator_capacity());
+        let fresh = Batch::alloc(self.batch_capacity);
         agg.batch.store(fresh, Ordering::Release);
 
         // The frozen batch is now unreachable for *new* pins; threads
@@ -171,6 +288,14 @@ impl<T: Send + 'static> SecStack<T> {
         // paper: "a batch is retired … "; we centralize retirement in
         // the freezer, which is unique per batch — Observation B.1).
         unsafe { guard.retire(batch_ptr) };
+
+        // The freezer that filled the decision window runs the resize
+        // decision — *after* publishing the fresh batch, so the
+        // announcers spinning on the batch pointer never wait through
+        // the decision work.
+        if window_full {
+            self.try_elastic_resize();
+        }
     }
 
     /// Announce-and-freeze prologue shared by push and pop
@@ -250,7 +375,9 @@ impl<T: Send + 'static> SecStack<T> {
                 return;
             }
             // Contention is only with other combiners (≤ one per live
-            // batch), so plain spinning suffices.
+            // batch), so plain spinning suffices. The failure count is
+            // the contention monitor's cross-aggregator signal.
+            self.stats.record_cas_failure();
             backoff.spin();
         }
     }
@@ -287,6 +414,7 @@ impl<T: Send + 'static> SecStack<T> {
                 batch.substack_top.store(top, Ordering::Release);
                 return;
             }
+            self.stats.record_cas_failure();
             backoff.spin();
         }
     }
@@ -339,6 +467,7 @@ impl<T: Send + 'static> fmt::Debug for SecStack<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecStack")
             .field("config", &self.config)
+            .field("active_aggregators", &self.active_aggregators())
             .field("stats", &self.stats.report())
             .finish()
     }
@@ -362,29 +491,54 @@ impl<T: Send + 'static> ConcurrentStack<T> for SecStack<T> {
 /// A thread's handle to a [`SecStack`].
 pub struct SecHandle<'a, T: Send + 'static> {
     stack: &'a SecStack<T>,
+    /// Dense thread id (== the reclamation slot, cached for the
+    /// re-mapping check on every operation).
+    tid: usize,
     agg_idx: usize,
+    /// Active aggregator count `agg_idx` was computed against; a
+    /// mismatch against the stack's current count triggers a re-map.
+    seen_k: usize,
     reclaim: ReclaimHandle<'a>,
 }
 
-impl<T: Send + 'static> SecHandle<'_, T> {
+impl<'a, T: Send + 'static> SecHandle<'a, T> {
     /// This thread's id (dense, `0..max_threads`).
     pub fn tid(&self) -> usize {
-        self.reclaim.slot()
+        self.tid
     }
 
-    /// The aggregator this thread is assigned to.
+    /// The aggregator this thread last announced to (under an adaptive
+    /// policy the assignment moves with the active count).
     pub fn aggregator(&self) -> usize {
         self.agg_idx
     }
 
+    /// The aggregator for this thread under the *current* active count,
+    /// re-mapping lazily when the count changed since the last look.
+    /// One shared (rarely-written, cache-padded) load per call; the
+    /// re-map itself is a pure index computation.
+    #[inline]
+    fn current_agg(&mut self) -> &'a Aggregator<T> {
+        let stack = self.stack;
+        let k = stack.active.load(Ordering::Acquire);
+        if k != self.seen_k {
+            self.seen_k = k;
+            self.agg_idx = stack.config.aggregator_for(self.tid, k);
+        }
+        &stack.aggs[self.agg_idx]
+    }
+
     /// Algorithm 1. Returns when the push is linearized.
     pub fn push(&mut self, value: T) {
-        let agg: &Aggregator<T> = &self.stack.aggs[self.agg_idx];
         // Line 3: one allocation per push, reused across batch retries.
         let node = Node::alloc(value);
 
         // Lines 4–26.
         loop {
+            // Re-read the mapping each attempt: an excluded retry after
+            // an elastic re-mapping must land on the thread's *new*
+            // aggregator, or a retired one would keep receiving work.
+            let agg: &Aggregator<T> = self.current_agg();
             let guard = self.reclaim.pin();
             // Line 5.
             let batch_ptr = agg.batch.load(Ordering::Acquire);
@@ -440,10 +594,9 @@ impl<T: Send + 'static> SecHandle<'_, T> {
 
     /// Algorithm 2. Returns the popped value, or `None` for EMPTY.
     pub fn pop(&mut self) -> Option<T> {
-        let agg: &Aggregator<T> = &self.stack.aggs[self.agg_idx];
-
         // Lines 54–78.
         loop {
+            let agg: &Aggregator<T> = self.current_agg();
             let guard = self.reclaim.pin();
             // Line 55.
             let batch_ptr = agg.batch.load(Ordering::Acquire);

@@ -14,13 +14,23 @@ use core::sync::atomic::{AtomicU64, Ordering};
 
 /// Relaxed counters aggregated over the lifetime of one [`SecStack`].
 ///
+/// Besides the paper's Table 1 measures, elastic sharding (DESIGN.md
+/// §8) adds three counters: central-stack CAS failures (combiner
+/// contention on `stackTop`, one of the monitor's inputs) and the
+/// grow/shrink resize transitions the monitor or a manual
+/// [`SecStack::set_active_aggregators`] performed.
+///
 /// [`SecStack`]: crate::SecStack
+/// [`SecStack::set_active_aggregators`]: crate::SecStack::set_active_aggregators
 #[derive(Debug, Default)]
 pub struct SecStats {
     batches: AtomicU64,
     ops: AtomicU64,
     eliminated: AtomicU64,
     combined: AtomicU64,
+    cas_failures: AtomicU64,
+    grows: AtomicU64,
+    shrinks: AtomicU64,
 }
 
 impl SecStats {
@@ -43,6 +53,30 @@ impl SecStats {
         self.combined.fetch_add(size - elim, Ordering::Relaxed);
     }
 
+    /// Called by a combiner whose splice/unlink CAS on `stackTop` lost
+    /// to another combiner (the cross-aggregator contention signal).
+    #[inline]
+    pub(crate) fn record_cas_failure(&self) {
+        self.cas_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative central-stack CAS failures (monitor input).
+    pub(crate) fn cas_failures_now(&self) -> u64 {
+        self.cas_failures.load(Ordering::Relaxed)
+    }
+
+    /// Records an active-set grow transition.
+    #[inline]
+    pub(crate) fn record_grow(&self) {
+        self.grows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an active-set shrink transition.
+    #[inline]
+    pub(crate) fn record_shrink(&self) {
+        self.shrinks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the aggregate measures.
     pub fn report(&self) -> BatchReport {
         BatchReport {
@@ -50,6 +84,9 @@ impl SecStats {
             ops: self.ops.load(Ordering::Relaxed),
             eliminated: self.eliminated.load(Ordering::Relaxed),
             combined: self.combined.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            grows: self.grows.load(Ordering::Relaxed),
+            shrinks: self.shrinks.load(Ordering::Relaxed),
         }
     }
 
@@ -59,6 +96,9 @@ impl SecStats {
         self.ops.store(0, Ordering::Relaxed);
         self.eliminated.store(0, Ordering::Relaxed);
         self.combined.store(0, Ordering::Relaxed);
+        self.cas_failures.store(0, Ordering::Relaxed);
+        self.grows.store(0, Ordering::Relaxed);
+        self.shrinks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -73,9 +113,21 @@ pub struct BatchReport {
     pub eliminated: u64,
     /// Operations applied to the shared stack by a combiner.
     pub combined: u64,
+    /// Combiner CAS attempts on the shared `stackTop` that lost to
+    /// another combiner.
+    pub cas_failures: u64,
+    /// Elastic-sharding grow transitions (active aggregator count +1).
+    pub grows: u64,
+    /// Elastic-sharding shrink transitions (active aggregator count −1).
+    pub shrinks: u64,
 }
 
 impl BatchReport {
+    /// Total elastic resize transitions (grows + shrinks).
+    pub fn resizes(&self) -> u64 {
+        self.grows + self.shrinks
+    }
+
     /// Average batch size ("batching degree", Table 1).
     pub fn batching_degree(&self) -> f64 {
         if self.batches == 0 {
@@ -151,7 +203,28 @@ mod tests {
     fn reset_zeroes_counters() {
         let s = SecStats::new();
         s.record_batch(1, 1);
+        s.record_cas_failure();
+        s.record_grow();
+        s.record_shrink();
         s.reset();
-        assert_eq!(s.report().ops, 0);
+        let r = s.report();
+        assert_eq!(r.ops, 0);
+        assert_eq!(r.cas_failures, 0);
+        assert_eq!(r.resizes(), 0);
+    }
+
+    #[test]
+    fn resize_and_cas_counters_accumulate() {
+        let s = SecStats::new();
+        s.record_grow();
+        s.record_grow();
+        s.record_shrink();
+        s.record_cas_failure();
+        let r = s.report();
+        assert_eq!(r.grows, 2);
+        assert_eq!(r.shrinks, 1);
+        assert_eq!(r.resizes(), 3);
+        assert_eq!(r.cas_failures, 1);
+        assert_eq!(s.cas_failures_now(), 1);
     }
 }

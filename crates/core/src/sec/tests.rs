@@ -411,6 +411,119 @@ fn peek_under_concurrency_returns_plausible_values() {
 }
 
 #[test]
+fn adaptive_stack_works_and_stays_in_bounds() {
+    const THREADS: usize = 8;
+    // Small window: many decisions in a short test.
+    let s: SecStack<usize> = SecStack::with_config(SecConfig::adaptive_windowed(1, 4, 64, THREADS));
+    assert_eq!(s.active_aggregators(), 2, "starts at the paper default");
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                let mut x = (t as u64).wrapping_mul(0x9E37_79B9) | 1;
+                for i in 0..3_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if x.is_multiple_of(2) {
+                        h.push(i);
+                    } else {
+                        h.pop();
+                    }
+                    let k = s.active_aggregators();
+                    assert!((1..=4).contains(&k), "active {k} out of [1, 4]");
+                }
+            });
+        }
+    });
+    let r = s.stats().report();
+    assert_eq!(r.eliminated + r.combined, r.ops, "accounting identity");
+}
+
+#[test]
+fn forced_resize_clamps_and_counts() {
+    let s: SecStack<u64> = SecStack::with_config(SecConfig::adaptive(2, 4, 8));
+    assert_eq!(s.active_aggregators(), 2);
+    assert_eq!(s.set_active_aggregators(4), 4);
+    assert_eq!(s.set_active_aggregators(100), 4, "clamped to max_k");
+    assert_eq!(s.set_active_aggregators(0), 2, "clamped to min_k");
+    let r = s.stats().report();
+    assert_eq!(r.grows, 2, "2 -> 4 records one grow per step");
+    assert_eq!(r.shrinks, 2, "4 -> 2 records one shrink per step");
+    assert_eq!(r.resizes(), 4);
+
+    // Fixed policies have min_k == max_k: forcing is a no-op.
+    let f: SecStack<u64> = SecStack::with_config(SecConfig::new(3, 6));
+    assert_eq!(f.set_active_aggregators(1), 3);
+    assert_eq!(f.stats().report().resizes(), 0);
+}
+
+#[test]
+fn handles_remap_after_forced_resizes() {
+    // Operations interleaved with resizes keep completing and conserve
+    // values; handles lazily re-map to the new active set.
+    const THREADS: usize = 4;
+    const PER: usize = 500;
+    let s: SecStack<usize> = SecStack::with_config(SecConfig::adaptive(1, 4, THREADS));
+    let popped: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut h = s.register();
+                    let mut got = Vec::new();
+                    for i in 0..PER {
+                        if i % 100 == t {
+                            s.set_active_aggregators(1 + (t + i) % 4);
+                        }
+                        h.push(t * PER + i);
+                        if i % 2 == 0 {
+                            if let Some(v) = h.pop() {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut seen = HashSet::new();
+    for v in popped.into_iter().flatten() {
+        assert!(seen.insert(v), "value {v} popped twice");
+    }
+    let mut h = s.register();
+    while let Some(v) = h.pop() {
+        assert!(seen.insert(v), "value {v} popped twice (drain)");
+    }
+    assert_eq!(seen.len(), THREADS * PER, "values lost across resizes");
+    assert!(
+        s.stats().report().resizes() > 0,
+        "forced transitions must be recorded"
+    );
+}
+
+#[test]
+fn works_with_topology_sharding() {
+    let s: SecStack<usize> =
+        SecStack::with_config(SecConfig::new(2, 6).shard_policy(ShardPolicy::Topology));
+    thread::scope(|scope| {
+        for t in 0..6 {
+            let s = &s;
+            scope.spawn(move || {
+                let mut h = s.register();
+                for i in 0..200 {
+                    h.push(t + i);
+                    h.pop();
+                }
+            });
+        }
+    });
+}
+
+#[test]
 fn reclaim_stats_show_reclamation_progress() {
     let s: SecStack<u64> = SecStack::new(2);
     thread::scope(|scope| {

@@ -1,0 +1,199 @@
+//! Property-based tests for elastic sharding (DESIGN.md §8): the
+//! contention-monitor state machine and the topology-aware shard
+//! mapping.
+//!
+//! What is pinned down here:
+//!
+//! * the monitor's **window accounting is monotone** between decisions
+//!   and drains exactly once per decision;
+//! * the **`min_k ≤ active ≤ max_k` invariant** holds under arbitrary
+//!   decision sequences (pure `decide`) and under a live stack driven
+//!   with arbitrary forced resizes (integration property);
+//! * the topology mapping is **total** (always `< k`), **balanced**
+//!   (block balance at neighbourhood granularity), and **stable under
+//!   re-mapping** (SMT siblings stay together for every `k`).
+
+use proptest::prelude::*;
+use sec_core::sec::elastic::{decide, ContentionMonitor, Direction, WindowSample};
+use sec_core::{topology_shard, AggregatorPolicy, SecConfig, SecStack};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decide_never_leaves_the_policy_bounds(
+        ops in 0u64..10_000,
+        batches in 0u64..2_000,
+        eliminated in 0u64..10_000,
+        cas_failures in 0u64..5_000,
+        min_k in 1usize..4,
+        spread in 0usize..4,
+        offset in 0usize..4,
+        max_threads in 1usize..64,
+    ) {
+        let max_k = min_k + spread;
+        let active = (min_k + offset).min(max_k);
+        let sample = WindowSample { ops, batches, eliminated, cas_failures };
+        match decide(&sample, active, min_k, max_k, max_threads) {
+            Some(Direction::Grow) => {
+                prop_assert!(active < max_k, "grow at the ceiling");
+            }
+            Some(Direction::Shrink) => {
+                prop_assert!(active > min_k, "shrink at the floor");
+            }
+            None => {}
+        }
+        // An empty window can never move the active set.
+        if batches == 0 || ops == 0 {
+            prop_assert_eq!(decide(&sample, active, min_k, max_k, max_threads), None);
+        }
+    }
+
+    #[test]
+    fn decide_is_a_pure_function(
+        ops in 1u64..10_000,
+        batches in 1u64..2_000,
+        cas_failures in 0u64..5_000,
+        active in 1usize..8,
+        max_threads in 1usize..64,
+    ) {
+        let sample = WindowSample { ops, batches, eliminated: 0, cas_failures };
+        let a = decide(&sample, active, 1, 8, max_threads);
+        let b = decide(&sample, active, 1, 8, max_threads);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monitor_window_accounting_is_monotone_and_drains_once(
+        // (pushes, pops) pairs packed as pushes * 200 + pops — the
+        // vendored proptest has no tuple strategies.
+        batches in proptest::collection::vec(0u64..40_000, 1..40),
+        window in 1u64..10_000,
+        cas_total in 0u64..1_000,
+    ) {
+        let m = ContentionMonitor::new();
+        let (mut ops, mut count, mut elim) = (0u64, 0u64, 0u64);
+        let mut crossed = false;
+        for &packed in &batches {
+            let (pushes, pops) = (packed / 200, packed % 200);
+            let before = m.window_totals();
+            let ready = m.on_batch(pushes, pops, window);
+            let after = m.window_totals();
+            // Monotone: totals never decrease while accumulating.
+            prop_assert!(after.0 >= before.0 && after.1 >= before.1 && after.2 >= before.2);
+            if pushes + pops > 0 {
+                ops += pushes + pops;
+                count += 1;
+                elim += 2 * pushes.min(pops);
+            }
+            prop_assert_eq!(after, (ops, count, elim), "model mismatch");
+            if pushes + pops > 0 {
+                prop_assert_eq!(ready, ops >= window, "window boundary detection");
+            } else {
+                // Empty batches never report readiness (they are not
+                // recorded, so they cannot have crossed the boundary).
+                prop_assert!(!ready, "empty batch reported a full window");
+            }
+            crossed = crossed || ready;
+        }
+        // Draining returns exactly the accumulated totals and resets.
+        let s = m.take_window(cas_total);
+        prop_assert_eq!((s.ops, s.batches, s.eliminated), (ops, count, elim));
+        prop_assert_eq!(s.cas_failures, cas_total, "first mark diffs from zero");
+        prop_assert_eq!(m.window_totals(), (0, 0, 0), "drained window restarts");
+        let s2 = m.take_window(cas_total);
+        prop_assert_eq!(s2.ops, 0, "second drain without batches is empty");
+        prop_assert_eq!(s2.cas_failures, 0, "CAS mark advanced");
+        let _ = crossed;
+    }
+
+    #[test]
+    fn live_stack_active_count_respects_bounds_under_forced_resizes(
+        min_k in 1usize..3,
+        spread in 1usize..4,
+        forces in proptest::collection::vec(0usize..10, 1..24),
+    ) {
+        let max_k = min_k + spread;
+        let config = SecConfig::new(max_k, 4).aggregator_policy(
+            AggregatorPolicy::Adaptive { min_k, max_k, window: 16 },
+        );
+        let stack: SecStack<u64> = SecStack::with_config(config);
+        let mut h = stack.register();
+        for (i, &k) in forces.iter().enumerate() {
+            let now = stack.set_active_aggregators(k);
+            prop_assert!((min_k..=max_k).contains(&now), "forced {k} -> {now}");
+            prop_assert_eq!(now, k.clamp(min_k, max_k));
+            // Interleave real operations so announcements land on the
+            // re-mapped aggregators (and the monitor sees batches).
+            h.push(i as u64);
+            prop_assert!(h.pop().is_some());
+            let observed = stack.active_aggregators();
+            prop_assert!((min_k..=max_k).contains(&observed));
+        }
+        let r = stack.stats().report();
+        prop_assert_eq!(r.eliminated + r.combined, r.ops, "accounting identity");
+    }
+
+    #[test]
+    fn topology_mapping_is_total_balanced_and_stable(
+        k in 1usize..6,
+        n in 1usize..64,
+        w in 1usize..8,
+    ) {
+        let groups = n.div_ceil(w);
+        let mut counts = vec![0usize; k];
+        for t in 0..n {
+            let a = topology_shard(t, k, n, w);
+            // Total: every thread maps, inside range.
+            prop_assert!(a < k, "t={t} -> {a} out of {k}");
+            counts[a] += 1;
+            // Stable under re-mapping: all SMT siblings of t agree,
+            // for this k and every other k' — a resize never splits a
+            // sibling pair.
+            let base = (t / w) * w;
+            for kk in 1..=k {
+                let here = topology_shard(t, kk, n, w);
+                for s in base..(base + w).min(n) {
+                    prop_assert_eq!(topology_shard(s, kk, n, w), here, "siblings split at k={}", kk);
+                }
+            }
+        }
+        // Balanced at neighbourhood granularity: block mapping hands
+        // every aggregator at most ⌈M/k⌉ whole neighbourhoods.
+        let max_threads_per_agg = groups.div_ceil(k) * w;
+        for (a, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                c <= max_threads_per_agg,
+                "aggregator {} serves {} threads > bound {}", a, c, max_threads_per_agg
+            );
+        }
+        // No aggregator starves while others double up (block shape):
+        // when there are at least k neighbourhoods, everyone gets one.
+        if groups >= k {
+            prop_assert!(counts.iter().all(|&c| c > 0), "empty aggregator: {:?}", counts);
+        }
+    }
+
+    #[test]
+    fn per_aggregator_capacity_bounds_every_policy(
+        k in 1usize..6,
+        n in 1usize..48,
+    ) {
+        for shard in [
+            sec_core::ShardPolicy::Block,
+            sec_core::ShardPolicy::RoundRobin,
+            sec_core::ShardPolicy::Topology,
+        ] {
+            let c = SecConfig::new(k, n).shard_policy(shard);
+            let cap = c.per_aggregator_capacity();
+            let mut counts = vec![0usize; k.max(1)];
+            for t in 0..n {
+                counts[c.aggregator_of(t)] += 1;
+            }
+            prop_assert!(
+                counts.iter().all(|&x| x <= cap),
+                "{:?}: counts {:?} exceed capacity {}", shard, counts, cap
+            );
+        }
+    }
+}

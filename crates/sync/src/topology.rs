@@ -8,6 +8,7 @@
 //! Rapids box.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 use std::thread;
 
 /// Number of hardware threads available to this process.
@@ -17,6 +18,71 @@ pub fn hardware_threads() -> usize {
     thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Number of hardware threads sharing one physical core (the SMT
+/// width), discovered from sysfs on Linux and cached for the process.
+///
+/// SMT siblings share L1/L2, so an elimination partner on the sibling
+/// hyperthread is the cheapest partner there is — the topology-aware
+/// shard mapping keeps siblings on the same aggregator. Falls back to 1
+/// (every hardware thread its own neighbourhood) when the OS exposes no
+/// topology, which degrades the mapping to plain block sharding.
+pub fn smt_width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        discover_smt_width()
+            .unwrap_or(1)
+            .clamp(1, hardware_threads())
+    })
+}
+
+fn discover_smt_width() -> Option<usize> {
+    let s = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/topology/thread_siblings_list")
+        .ok()?;
+    parse_cpu_list(s.trim())
+}
+
+/// Parses a sysfs CPU list (`"0-1"`, `"0,64"`, `"0-3,8-11"`) into the
+/// number of CPUs it names; `None` on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use sec_sync::topology::parse_cpu_list;
+/// assert_eq!(parse_cpu_list("0-1"), Some(2));
+/// assert_eq!(parse_cpu_list("0,64"), Some(2));
+/// assert_eq!(parse_cpu_list("0-3,8-11"), Some(8));
+/// assert_eq!(parse_cpu_list("junk"), None);
+/// ```
+pub fn parse_cpu_list(s: &str) -> Option<usize> {
+    let mut n = 0usize;
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((a, b)) = part.split_once('-') {
+            let a: usize = a.trim().parse().ok()?;
+            let b: usize = b.trim().parse().ok()?;
+            if b < a {
+                return None;
+            }
+            n += b - a + 1;
+        } else {
+            part.parse::<usize>().ok()?;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(n)
+    }
+}
+
+/// Number of `width`-sized hardware-thread neighbourhoods needed to
+/// cover `threads` threads (at least 1; the last neighbourhood may be
+/// partial).
+pub fn neighbourhoods(threads: usize, width: usize) -> usize {
+    threads.max(1).div_ceil(width.max(1))
 }
 
 /// Builds the thread-count sweep used by every figure: powers-of-two-ish
@@ -102,5 +168,32 @@ mod tests {
     fn default_sweep_runs() {
         let s = default_sweep();
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn smt_width_is_positive_and_bounded() {
+        let w = smt_width();
+        assert!(w >= 1);
+        assert!(w <= hardware_threads());
+    }
+
+    #[test]
+    fn cpu_list_parsing() {
+        assert_eq!(parse_cpu_list("0"), Some(1));
+        assert_eq!(parse_cpu_list("0-1"), Some(2));
+        assert_eq!(parse_cpu_list("0,64"), Some(2));
+        assert_eq!(parse_cpu_list("0-3, 8-11"), Some(8));
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list(""), None);
+        assert_eq!(parse_cpu_list("a-b"), None);
+    }
+
+    #[test]
+    fn neighbourhood_counts() {
+        assert_eq!(neighbourhoods(8, 2), 4);
+        assert_eq!(neighbourhoods(9, 2), 5);
+        assert_eq!(neighbourhoods(4, 1), 4);
+        assert_eq!(neighbourhoods(0, 0), 1);
+        assert_eq!(neighbourhoods(3, 8), 1);
     }
 }

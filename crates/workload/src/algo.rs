@@ -6,7 +6,7 @@ use core::fmt;
 use sec_baselines::{
     CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
 };
-use sec_core::{BatchReport, SecConfig, SecStack};
+use sec_core::{AggregatorPolicy, BatchReport, SecConfig, SecStack};
 
 /// One of the evaluated stack algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +15,14 @@ pub enum Algo {
     Sec {
         /// Number of aggregators.
         aggregators: usize,
+    },
+    /// SEC with elastic sharding: the active aggregator count moves in
+    /// `[min_k, max_k]` under the contention monitor (DESIGN.md §8).
+    SecAdaptive {
+        /// Lower bound on the active aggregator count.
+        min_k: usize,
+        /// Upper bound on the active aggregator count.
+        max_k: usize,
     },
     /// Treiber stack.
     Trb,
@@ -64,6 +72,7 @@ impl Algo {
         match self {
             Algo::Sec { aggregators: 2 } => "SEC".into(),
             Algo::Sec { aggregators } => format!("SEC_Agg{aggregators}"),
+            Algo::SecAdaptive { min_k, max_k } => format!("SEC_Ada{min_k}to{max_k}"),
             Algo::Trb => "TRB".into(),
             Algo::Eb => "EB".into(),
             Algo::Fc => "FC".into(),
@@ -82,13 +91,17 @@ impl fmt::Display for Algo {
 }
 
 /// Measurement outcome plus SEC's per-run batch instrumentation (only
-/// populated for [`Algo::Sec`]; feeds Tables 1–3).
+/// populated for [`Algo::Sec`] / [`Algo::SecAdaptive`]; feeds
+/// Tables 1–3 and the elastic-sharding ablation).
 #[derive(Debug, Clone, Copy)]
 pub struct AlgoRun {
     /// Throughput measurement.
     pub result: RunResult,
     /// SEC batching/elimination/combining report, if applicable.
     pub sec_report: Option<BatchReport>,
+    /// Active aggregator count at the end of the run (SEC only; equals
+    /// the configured `K` for a fixed policy).
+    pub sec_active: Option<usize>,
 }
 
 /// Constructs a fresh instance of `algo` sized for the run and measures
@@ -96,42 +109,58 @@ pub struct AlgoRun {
 pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
     // One extra registration slot for the prefill handle.
     let cap = cfg.threads + 1;
-    match algo {
-        Algo::Sec { aggregators } => {
-            let stack: SecStack<u64> = SecStack::with_config(SecConfig::new(aggregators, cap));
-            let result = run_throughput(&stack, cfg);
-            AlgoRun {
-                result,
-                sec_report: Some(stack.stats().report()),
-            }
+    let run_sec = |sec_config: SecConfig| {
+        let sec_config = match cfg.sec_policy {
+            Some(policy) => sec_config.aggregator_policy(policy),
+            None => sec_config,
+        };
+        let stack: SecStack<u64> = SecStack::with_config(sec_config);
+        let result = run_throughput(&stack, cfg);
+        AlgoRun {
+            result,
+            sec_report: Some(stack.stats().report()),
+            sec_active: Some(stack.active_aggregators()),
         }
+    };
+    match algo {
+        Algo::Sec { aggregators } => run_sec(SecConfig::new(aggregators, cap)),
+        Algo::SecAdaptive { min_k, max_k } => run_sec(
+            SecConfig::new(max_k, cap).aggregator_policy(AggregatorPolicy::adaptive(min_k, max_k)),
+        ),
         Algo::Trb => AlgoRun {
             result: run_throughput(&TreiberStack::<u64>::new(cap), cfg),
             sec_report: None,
+            sec_active: None,
         },
         Algo::Eb => AlgoRun {
             result: run_throughput(&EbStack::<u64>::new(cap), cfg),
             sec_report: None,
+            sec_active: None,
         },
         Algo::Fc => AlgoRun {
             result: run_throughput(&FcStack::<u64>::new(cap), cfg),
             sec_report: None,
+            sec_active: None,
         },
         Algo::Cc => AlgoRun {
             result: run_throughput(&CcStack::<u64>::new(cap), cfg),
             sec_report: None,
+            sec_active: None,
         },
         Algo::Tsi => AlgoRun {
             result: run_throughput(&TsiStack::<u64>::new(cap), cfg),
             sec_report: None,
+            sec_active: None,
         },
         Algo::TrbHp => AlgoRun {
             result: run_throughput(&TreiberHpStack::<u64>::new(cap), cfg),
             sec_report: None,
+            sec_active: None,
         },
         Algo::Lck => AlgoRun {
             result: run_throughput(&LockedStack::<u64>::new(cap), cfg),
             sec_report: None,
+            sec_active: None,
         },
     }
 }
@@ -146,8 +175,40 @@ mod tests {
     fn labels_match_paper_legend() {
         assert_eq!(Algo::Sec { aggregators: 2 }.label(), "SEC");
         assert_eq!(Algo::Sec { aggregators: 4 }.label(), "SEC_Agg4");
+        assert_eq!(
+            Algo::SecAdaptive { min_k: 1, max_k: 5 }.label(),
+            "SEC_Ada1to5"
+        );
         assert_eq!(Algo::Trb.label(), "TRB");
         assert_eq!(Algo::Tsi.label(), "TSI");
+    }
+
+    #[test]
+    fn adaptive_algo_runs_and_reports_active_count() {
+        let cfg = RunConfig {
+            duration: Duration::from_millis(20),
+            prefill: 64,
+            ..RunConfig::new(3, Mix::UPDATE_100)
+        };
+        let out = run_algo(Algo::SecAdaptive { min_k: 1, max_k: 4 }, &cfg);
+        assert!(out.result.ops > 0);
+        let active = out.sec_active.expect("adaptive SEC reports active k");
+        assert!((1..=4).contains(&active), "active {active} out of range");
+        let report = out.sec_report.expect("adaptive SEC reports batch stats");
+        assert_eq!(report.eliminated + report.combined, report.ops);
+    }
+
+    #[test]
+    fn run_config_policy_overrides_algo_policy() {
+        use sec_core::AggregatorPolicy;
+        let cfg = RunConfig {
+            duration: Duration::from_millis(10),
+            prefill: 16,
+            sec_policy: Some(AggregatorPolicy::Fixed(3)),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let out = run_algo(Algo::Sec { aggregators: 1 }, &cfg);
+        assert_eq!(out.sec_active, Some(3), "override wins over the variant");
     }
 
     #[test]

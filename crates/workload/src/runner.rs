@@ -3,7 +3,7 @@
 use crate::spec::{Mix, OpKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sec_core::{ConcurrentStack, StackHandle};
+use sec_core::{AggregatorPolicy, ConcurrentStack, StackHandle};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -27,6 +27,15 @@ pub struct RunConfig {
     /// Base RNG seed; thread `t` of run `r` uses a deterministic
     /// function of (seed, t, r) so runs are reproducible.
     pub seed: u64,
+    /// Aggregator policy applied when the measured algorithm is SEC
+    /// (`None` keeps the policy implied by the [`Algo`] variant:
+    /// `Fixed(k)` for [`Algo::Sec`], the variant's own range for
+    /// [`Algo::SecAdaptive`]). Ignored by the other algorithms.
+    ///
+    /// [`Algo`]: crate::Algo
+    /// [`Algo::Sec`]: crate::Algo::Sec
+    /// [`Algo::SecAdaptive`]: crate::Algo::SecAdaptive
+    pub sec_policy: Option<AggregatorPolicy>,
 }
 
 impl RunConfig {
@@ -40,6 +49,7 @@ impl RunConfig {
             mix,
             value_range: 100_000,
             seed: 0xC0FFEE,
+            sec_policy: None,
         }
     }
 }

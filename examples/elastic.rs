@@ -1,0 +1,80 @@
+//! Elastic sharding under a bursty load: one adaptive SEC stack serves
+//! alternating quiet and storm phases, and the contention monitor moves
+//! the active aggregator count to match — no retuning, no rebuild
+//! (DESIGN.md §8).
+//!
+//! ```text
+//! cargo run --release --example elastic
+//! ```
+
+use sec_repro::{SecConfig, SecStack};
+use std::time::Instant;
+
+const MAX_THREADS: usize = 16;
+const OPS_PER_THREAD: usize = 60_000;
+
+/// Runs `threads` workers of balanced push/pop against `stack` and
+/// returns the phase throughput in Mops/s.
+fn phase(stack: &SecStack<u64>, threads: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stack = &stack;
+            scope.spawn(move || {
+                let mut h = stack.register();
+                let mut x = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for i in 0..OPS_PER_THREAD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if x.is_multiple_of(2) {
+                        h.push(i as u64);
+                    } else {
+                        let _ = h.pop();
+                    }
+                }
+            });
+        }
+    });
+    (threads * OPS_PER_THREAD) as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    // Elastic K in [1, 5] with a short decision window so the monitor
+    // reacts within each phase of this small demo.
+    let config = SecConfig::adaptive_windowed(1, 5, 512, MAX_THREADS);
+    let stack: SecStack<u64> = SecStack::with_config(config);
+
+    println!("elastic sharding demo: bursty load on one adaptive SEC stack");
+    println!(
+        "{:>7} {:>9} {:>10} {:>9} {:>9} {:>14}",
+        "phase", "threads", "Mops/s", "batch°", "active K", "grows/shrinks"
+    );
+
+    // Quiet, storm, quiet, storm: the interesting transitions are the
+    // grow into each storm and the shrink back out of it.
+    for (i, threads) in [2usize, MAX_THREADS, 2, MAX_THREADS, 2].iter().enumerate() {
+        stack.stats().reset();
+        let mops = phase(&stack, *threads);
+        let r = stack.stats().report();
+        println!(
+            "{:>7} {:>9} {:>10.2} {:>9.1} {:>9} {:>14}",
+            i,
+            threads,
+            mops,
+            r.batching_degree(),
+            stack.active_aggregators(),
+            format!("{}/{}", r.grows, r.shrinks),
+        );
+    }
+
+    let mut h = stack.register();
+    let mut leftover = 0u64;
+    while h.pop().is_some() {
+        leftover += 1;
+    }
+    println!(
+        "drained {leftover} leftover elements; final active K = {}",
+        { stack.active_aggregators() }
+    );
+}

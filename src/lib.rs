@@ -41,9 +41,16 @@
 #![warn(missing_docs)]
 
 pub use sec_core::{
-    BatchReport, ConcurrentStack, SecConfig, SecHandle, SecStack, SecStats, ShardPolicy,
-    StackHandle,
+    topology_shard, AggregatorPolicy, BatchReport, ConcurrentStack, SecConfig, SecHandle, SecStack,
+    SecStats, ShardPolicy, StackHandle,
 };
+
+/// The elastic-sharding contention monitor (DESIGN.md §8): pure
+/// decision function + window accumulator, exposed for the property
+/// suites.
+pub mod elastic {
+    pub use sec_core::sec::elastic::{decide, ContentionMonitor, Direction, WindowSample};
+}
 
 /// Extensions built from the paper's mechanisms (DESIGN.md §7): a
 /// sharded pool and a deque with per-end elimination + combining.

@@ -70,6 +70,45 @@ fn all_stacks_conserve_values_oversubscribed() {
 }
 
 #[test]
+fn sec_adaptive_conserves_values_under_forced_resizes() {
+    // The generic scenario, on an elastic stack whose active aggregator
+    // set is grown and shrunk throughout the run: re-mapping must never
+    // lose, duplicate or invent a value, and the resize counters must
+    // prove the transitions actually happened.
+    use sec_repro::{SecConfig, SecStack};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const THREADS: usize = 6;
+    const PER: usize = 1_000;
+    let stack: SecStack<u64> =
+        SecStack::with_config(SecConfig::adaptive_windowed(1, 4, 64, THREADS + 1));
+    let done = AtomicBool::new(false);
+
+    thread::scope(|scope| {
+        let stack = &stack;
+        let done = &done;
+        scope.spawn(move || {
+            let mut k = 1usize;
+            while !done.load(Ordering::Acquire) {
+                stack.set_active_aggregators(k);
+                k = k % 4 + 1;
+                thread::yield_now();
+            }
+        });
+        conservation(stack, "SEC_Adaptive", THREADS, PER);
+        done.store(true, Ordering::Release);
+    });
+
+    let r = stack.stats().report();
+    assert!(
+        r.grows > 0 && r.shrinks > 0,
+        "both transition directions must be exercised: {r:?}"
+    );
+    let active = stack.active_aggregators();
+    assert!((1..=4).contains(&active), "active {active} out of [1, 4]");
+}
+
+#[test]
 fn all_stacks_agree_on_emptiness() {
     with_all_stacks!(2, |stack, name| {
         let mut h = stack.register();

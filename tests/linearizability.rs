@@ -91,6 +91,91 @@ fn sec_single_aggregator_histories_are_linearizable() {
 }
 
 #[test]
+fn sec_adaptive_histories_with_forced_resizes_are_linearizable() {
+    // Elastic sharding mid-history: a controller forces grow/shrink
+    // transitions while 3 workers record operations, so batches from
+    // before, during and after each re-mapping appear in every round.
+    use sec_repro::{SecConfig, SecStack};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const THREADS: usize = 3;
+    let mut total_resizes = 0u64;
+    for round in 0..12 {
+        let stack: SecStack<u64> =
+            SecStack::with_config(SecConfig::adaptive_windowed(1, 3, 16, THREADS));
+        let rec = Recorder::new();
+        let events: Mutex<Vec<Event<u64>>> = Mutex::new(Vec::new());
+        let done = AtomicBool::new(false);
+
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let stack = &stack;
+                let rec = &rec;
+                let events = &events;
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    let mut local = Vec::with_capacity(8);
+                    for i in 0..8usize {
+                        let choice = (t + i + round) % 5;
+                        let invoke = rec.now();
+                        let op = match choice {
+                            0 | 1 => {
+                                let v = (round * 1_000_000 + t * 1_000 + i) as u64;
+                                h.push(v);
+                                Op::Push(v)
+                            }
+                            2 | 3 => Op::Pop(h.pop()),
+                            _ => Op::Peek(h.peek()),
+                        };
+                        let response = rec.now();
+                        local.push(Event {
+                            thread: t,
+                            op,
+                            invoke,
+                            response,
+                        });
+                    }
+                    events.lock().unwrap().extend(local);
+                });
+            }
+            // Controller: unregistered, hammers resize transitions
+            // until the workers finish.
+            let stack = &stack;
+            let done = &done;
+            scope.spawn(move || {
+                let mut k = 1usize;
+                while !done.load(Ordering::Acquire) {
+                    stack.set_active_aggregators(k);
+                    k = k % 3 + 1; // 1 → 2 → 3 → 1 …
+                    thread::yield_now();
+                }
+            });
+            // The worker spawns above run to completion when the scope
+            // joins; flip the controller off once events are all in.
+            while events.lock().unwrap().len() < THREADS * 8 {
+                thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        let history = events.into_inner().unwrap();
+        check_conservation(&history)
+            .unwrap_or_else(|e| panic!("[SEC_Adaptive] round {round}: {e}"));
+        check_history(&history).unwrap_or_else(|e| {
+            panic!("[SEC_Adaptive] round {round}: history not linearizable: {e}\n{history:#?}")
+        });
+        let r = stack.stats().report();
+        total_resizes += r.resizes();
+        let active = stack.active_aggregators();
+        assert!((1..=3).contains(&active), "active {active} out of [1, 3]");
+    }
+    assert!(
+        total_resizes > 0,
+        "the controller must actually force grow/shrink transitions"
+    );
+}
+
+#[test]
 fn treiber_histories_are_linearizable() {
     record_and_check(
         || sec_repro::baselines::TreiberStack::new(3),

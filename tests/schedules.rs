@@ -1,0 +1,341 @@
+//! Integration: a deterministic schedule-exploring stress harness for
+//! the SEC stack, in the spirit of exhaustive-interleaving checkers
+//! (the Wing–Gong checker in `crates/linearize` verifies each explored
+//! history) and crash/concurrency test rigs like kaist-cp/memento's.
+//!
+//! A *schedule* is derived entirely from a seed: the thread count, the
+//! aggregator mode (Fixed K or Adaptive `[min_k, max_k]`), each
+//! thread's operation script (push/pop/peek), the **yield points**
+//! injected between operations, and the points at which grow/shrink
+//! **resize transitions** are forced into the run. Re-running a seed
+//! regenerates the identical schedule, so a failure reproduces by
+//! seed alone:
+//!
+//! ```text
+//! SCHEDULE_SEED=42 cargo test --test schedules
+//! ```
+//!
+//! `SCHEDULE_SEEDS=N` widens the sweep (the nightly CI job raises it);
+//! seeds that ever exposed a bug belong in `REGRESSION_SEEDS` so every
+//! future run replays them first. The OS still owns the physical
+//! interleaving — what the seed permutes is where threads *offer*
+//! preemption (yield points) and where the aggregator set is resized,
+//! which is exactly the surface elastic sharding added.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sec_repro::linearize::{check_conservation, check_history, Event, Op, Recorder};
+use sec_repro::{SecConfig, SecStack};
+use std::sync::Mutex;
+use std::thread;
+
+/// Aggregator mode a schedule runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Fixed(usize),
+    Adaptive { min_k: usize, max_k: usize },
+}
+
+/// One step of a thread's script.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Push the next globally-unique value.
+    Push,
+    Pop,
+    Peek,
+    /// Offer preemption `n` times before the next step.
+    Yield(u8),
+    /// Force the active aggregator count to `k` (no-op under Fixed).
+    Resize(usize),
+}
+
+/// A fully materialized schedule: everything the run does, derived
+/// deterministically from `seed`.
+#[derive(Debug)]
+struct Schedule {
+    seed: u64,
+    mode: Mode,
+    scripts: Vec<Vec<Action>>,
+}
+
+impl Schedule {
+    /// Derives a schedule. `small` keeps histories inside the
+    /// exponential Wing–Gong checker's reach; large schedules are
+    /// checked by the linear-time conservation pass instead.
+    fn derive(seed: u64, small: bool) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let threads = if small {
+            2 + (rng.gen_range(0..2)) as usize
+        } else {
+            4 + (rng.gen_range(0..4)) as usize
+        };
+        let ops_per_thread = if small {
+            5 + rng.gen_range(0..4) as usize
+        } else {
+            150 + rng.gen_range(0..250) as usize
+        };
+        let mode = match rng.gen_range(0..4) {
+            0 => Mode::Fixed(1 + rng.gen_range(0..3) as usize),
+            _ => {
+                let min_k = 1 + rng.gen_range(0..2) as usize;
+                let max_k = min_k + 1 + rng.gen_range(0..3) as usize;
+                Mode::Adaptive { min_k, max_k }
+            }
+        };
+        let (min_k, max_k) = match mode {
+            Mode::Fixed(k) => (k, k),
+            Mode::Adaptive { min_k, max_k } => (min_k, max_k),
+        };
+
+        let scripts = (0..threads)
+            .map(|t| {
+                let mut script = Vec::new();
+                for i in 0..ops_per_thread {
+                    // Permuted yield points: where this thread offers
+                    // preemption, and how insistently.
+                    if rng.gen_range(0..3) == 0 {
+                        script.push(Action::Yield(1 + rng.gen_range(0..3) as u8));
+                    }
+                    // Resize points: forced grow/shrink transitions
+                    // scattered through the run, plus a deterministic
+                    // toggle at mid-script on thread 0 so every
+                    // adaptive schedule exercises both directions.
+                    if max_k > min_k {
+                        if rng.gen_range(0..8) == 0 {
+                            let span = (max_k - min_k + 1) as u32;
+                            script.push(Action::Resize(min_k + rng.gen_range(0..span) as usize));
+                        }
+                        if t == 0 && i == ops_per_thread / 2 {
+                            script.push(Action::Resize(max_k));
+                            script.push(Action::Resize(min_k));
+                        }
+                    }
+                    script.push(match rng.gen_range(0..5) {
+                        0 | 1 => Action::Push,
+                        2 | 3 => Action::Pop,
+                        _ => Action::Peek,
+                    });
+                }
+                script
+            })
+            .collect();
+        Schedule {
+            seed,
+            mode,
+            scripts,
+        }
+    }
+
+    fn config(&self) -> SecConfig {
+        let max_threads = self.scripts.len();
+        match self.mode {
+            Mode::Fixed(k) => SecConfig::new(k, max_threads),
+            // Tiny window: the monitor itself also decides
+            // mid-schedule, on top of the forced transitions.
+            Mode::Adaptive { min_k, max_k } => {
+                SecConfig::adaptive_windowed(min_k, max_k, 32, max_threads)
+            }
+        }
+    }
+}
+
+/// Runs a schedule, returning the recorded history and the resize
+/// transition count ((grows, shrinks) from `SecStats`).
+fn run_schedule(s: &Schedule) -> (Vec<Event<u64>>, (u64, u64)) {
+    let stack: SecStack<u64> = SecStack::with_config(s.config());
+    let rec = Recorder::new();
+    let events: Mutex<Vec<Event<u64>>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for (t, script) in s.scripts.iter().enumerate() {
+            let stack = &stack;
+            let rec = &rec;
+            let events = &events;
+            scope.spawn(move || {
+                let mut h = stack.register();
+                let mut local = Vec::new();
+                let mut pushed = 0usize;
+                for action in script {
+                    match *action {
+                        Action::Yield(n) => {
+                            for _ in 0..n {
+                                thread::yield_now();
+                            }
+                            continue;
+                        }
+                        Action::Resize(k) => {
+                            stack.set_active_aggregators(k);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    let invoke = rec.now();
+                    let op = match *action {
+                        Action::Push => {
+                            let v = (t * 1_000_000 + pushed) as u64;
+                            pushed += 1;
+                            h.push(v);
+                            Op::Push(v)
+                        }
+                        Action::Pop => Op::Pop(h.pop()),
+                        Action::Peek => Op::Peek(h.peek()),
+                        _ => unreachable!(),
+                    };
+                    let response = rec.now();
+                    local.push(Event {
+                        thread: t,
+                        op,
+                        invoke,
+                        response,
+                    });
+                }
+                events.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let report = stack.stats().report();
+    let active = stack.active_aggregators();
+    let (min_k, max_k) = match s.mode {
+        Mode::Fixed(k) => (k, k),
+        Mode::Adaptive { min_k, max_k } => (min_k, max_k),
+    };
+    assert!(
+        (min_k..=max_k).contains(&active),
+        "seed {}: final active {active} escaped [{min_k}, {max_k}]",
+        s.seed
+    );
+    (events.into_inner().unwrap(), (report.grows, report.shrinks))
+}
+
+/// Seeds that previously exposed a bug: replayed first on every run so
+/// a fixed failure stays fixed. (Empty so far — move offenders here.)
+const REGRESSION_SEEDS: &[u64] = &[];
+
+const SEED_BASE: u64 = 0x5EC5_C4ED;
+
+fn sweep_seeds(default_count: u64) -> Vec<u64> {
+    if let Ok(s) = std::env::var("SCHEDULE_SEED") {
+        let seed = s.parse().expect("SCHEDULE_SEED must be a u64");
+        return vec![seed];
+    }
+    let n = std::env::var("SCHEDULE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_count);
+    REGRESSION_SEEDS
+        .iter()
+        .copied()
+        .chain((0..n).map(|i| SEED_BASE.wrapping_add(i)))
+        .collect()
+}
+
+fn replay_hint(seed: u64) -> String {
+    format!("replay with: SCHEDULE_SEED={seed} cargo test --test schedules")
+}
+
+/// `true` when this run sweeps enough seeds for coverage assertions
+/// (mode mix, transitions) to be meaningful. A `SCHEDULE_SEED` replay
+/// runs exactly one schedule and a tiny `SCHEDULE_SEEDS` sweep may
+/// draw only one mode — asserting coverage there would mask the very
+/// failure being replayed with a spurious one.
+fn coverage_asserts_apply(seed_count: usize) -> bool {
+    std::env::var("SCHEDULE_SEED").is_err() && seed_count >= 16
+}
+
+#[test]
+fn small_schedules_are_linearizable_across_fixed_and_adaptive_modes() {
+    let mut adaptive_transitions = 0u64;
+    let mut saw_fixed = false;
+    let mut saw_adaptive = false;
+    let seeds = sweep_seeds(32);
+    let full_sweep = coverage_asserts_apply(seeds.len());
+    for seed in seeds {
+        let schedule = Schedule::derive(seed, true);
+        match schedule.mode {
+            Mode::Fixed(_) => saw_fixed = true,
+            Mode::Adaptive { .. } => saw_adaptive = true,
+        }
+        let (history, (grows, shrinks)) = run_schedule(&schedule);
+        check_conservation(&history).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} ({:?}): conservation violated: {e}\n{}",
+                schedule.mode,
+                replay_hint(seed)
+            )
+        });
+        check_history(&history).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} ({:?}): history not linearizable: {e}\n{}\n{history:#?}",
+                schedule.mode,
+                replay_hint(seed)
+            )
+        });
+        adaptive_transitions += grows + shrinks;
+    }
+    // A full sweep must genuinely explore the surface it claims to:
+    // both modes, and actual grow/shrink transitions mid-history.
+    // (Single-seed replays and tiny sweeps skip these coverage checks.)
+    if full_sweep {
+        assert!(saw_fixed, "sweep never generated a Fixed schedule");
+        assert!(saw_adaptive, "sweep never generated an Adaptive schedule");
+        assert!(
+            adaptive_transitions > 0,
+            "no resize transition was exercised across the whole sweep"
+        );
+    }
+}
+
+#[test]
+fn large_schedules_conserve_values_and_drain_clean() {
+    // Derived from the seed directly (no transformation), so the
+    // printed replay seed regenerates exactly the failing schedule —
+    // `derive(seed, small = false)` already differs from the small
+    // test's derivation of the same seed.
+    for seed in sweep_seeds(6) {
+        let schedule = Schedule::derive(seed, false);
+        let (history, _) = run_schedule(&schedule);
+        check_conservation(&history).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} ({:?}): conservation violated: {e}\n{}",
+                schedule.mode,
+                replay_hint(seed)
+            )
+        });
+    }
+}
+
+#[test]
+fn identical_seeds_derive_identical_schedules() {
+    // The replay guarantee: a seed fully determines the schedule.
+    let a = Schedule::derive(0xD15EA5E, true);
+    let b = Schedule::derive(0xD15EA5E, true);
+    assert_eq!(a.mode, b.mode);
+    assert_eq!(a.scripts.len(), b.scripts.len());
+    for (sa, sb) in a.scripts.iter().zip(&b.scripts) {
+        assert_eq!(format!("{sa:?}"), format!("{sb:?}"));
+    }
+}
+
+#[test]
+fn forced_resize_points_reach_both_bounds() {
+    // Every adaptive schedule carries the deterministic mid-script
+    // toggle, so grow and shrink both happen even if the random resize
+    // points all miss.
+    for seed in sweep_seeds(16) {
+        let schedule = Schedule::derive(seed, true);
+        if let Mode::Adaptive { min_k, max_k } = schedule.mode {
+            let resizes: Vec<usize> = schedule.scripts[0]
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Resize(k) => Some(*k),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                resizes.contains(&max_k) && resizes.contains(&min_k),
+                "seed {seed}: mid-script toggle missing: {resizes:?}"
+            );
+        }
+    }
+}
