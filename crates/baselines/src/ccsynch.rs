@@ -6,7 +6,7 @@
 //! pre-allocated node onto the queue's tail, writes its request into the
 //! node it received, and spins on that node's `wait` flag. The thread
 //! whose `wait` clears with `completed == false` is the **combiner**: it
-//! walks the queue serving up to [`MAX_COMBINE`] requests (including its
+//! walks the queue serving up to `MAX_COMBINE` requests (including its
 //! own), then hands the combiner role to the next waiting node. Node
 //! recycling is built in: the node a thread receives from the swap
 //! becomes its announcement node for the *next* operation, so steady

@@ -20,8 +20,18 @@
 //! schemes apply"), and [`LockedStack`] (**LCK**) is the
 //! `Mutex<Vec<T>>` sanity floor.
 //!
+//! The queue family (`SecQueue`'s competitors, sharing the
+//! [`ConcurrentQueue`]/[`QueueHandle`] interface):
+//!
+//! | name | type | source |
+//! |------|------|--------|
+//! | [`MsQueue`] (**MS**) | lock-free dummy-node linked list | Michael & Scott PODC '96 |
+//! | [`LockedQueue`] (**LCK-Q**) | `Mutex<VecDeque<T>>` | the sanity floor |
+//!
 //! [`ConcurrentStack`]: sec_core::ConcurrentStack
 //! [`StackHandle`]: sec_core::StackHandle
+//! [`ConcurrentQueue`]: sec_core::ConcurrentQueue
+//! [`QueueHandle`]: sec_core::QueueHandle
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -30,6 +40,7 @@ pub mod ccsynch;
 pub mod eb;
 pub mod fc;
 pub mod locked;
+pub mod ms;
 pub mod seq;
 pub mod treiber;
 pub mod treiber_hp;
@@ -38,7 +49,8 @@ pub mod tsi;
 pub use ccsynch::{CcHandle, CcStack};
 pub use eb::{EbHandle, EbStack};
 pub use fc::{FcHandle, FcStack};
-pub use locked::{LockedHandle, LockedStack};
+pub use locked::{LockedHandle, LockedQueue, LockedQueueHandle, LockedStack};
+pub use ms::{MsHandle, MsQueue};
 pub use seq::SeqStack;
 pub use treiber::{TreiberHandle, TreiberStack};
 pub use treiber_hp::{TreiberHpHandle, TreiberHpStack};

@@ -117,11 +117,158 @@ impl<T> StackHandle<T> for LockedHandle<'_, T> {
     }
 }
 
+/// A `Mutex<VecDeque<T>>` FIFO queue (**LCK-Q**): the queue family's
+/// sanity floor, playing the role [`LockedStack`] plays for the stacks
+/// — the obvious thing a downstream user would write, against which
+/// both MS's lock-freedom and SEC-Q's batching must justify themselves.
+///
+/// # Examples
+///
+/// ```
+/// use sec_baselines::LockedQueue;
+/// use sec_core::{ConcurrentQueue, QueueHandle};
+///
+/// let q: LockedQueue<u32> = LockedQueue::new(2);
+/// let mut h = q.register();
+/// h.enqueue(7);
+/// assert_eq!(h.dequeue(), Some(7));
+/// ```
+pub struct LockedQueue<T> {
+    items: Mutex<std::collections::VecDeque<T>>,
+}
+
+impl<T> LockedQueue<T> {
+    /// Creates a queue. `max_threads` is accepted for interface symmetry
+    /// with the other queues; a lock needs no per-thread state.
+    pub fn new(max_threads: usize) -> Self {
+        let _ = max_threads;
+        Self {
+            items: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> LockedQueueHandle<'_, T> {
+        LockedQueueHandle { queue: self }
+    }
+
+    /// Current number of elements (takes the lock).
+    pub fn len(&self) -> usize {
+        self.items.lock().unwrap().len()
+    }
+
+    /// `true` when the queue holds no elements (takes the lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for LockedQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Default for LockedQueue<T> {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl<T: Send + 'static> sec_core::ConcurrentQueue<T> for LockedQueue<T> {
+    type Handle<'a>
+        = LockedQueueHandle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> LockedQueueHandle<'_, T> {
+        LockedQueue::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "LCK-Q"
+    }
+}
+
+/// Per-thread handle to a [`LockedQueue`] (stateless; exists to satisfy
+/// the shared interface).
+pub struct LockedQueueHandle<'a, T> {
+    queue: &'a LockedQueue<T>,
+}
+
+impl<T> sec_core::QueueHandle<T> for LockedQueueHandle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        self.queue.items.lock().unwrap().push_back(value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        self.queue.items.lock().unwrap().pop_front()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sec_core::{ConcurrentQueue as _, QueueHandle as _};
     use std::collections::HashSet;
     use std::thread;
+
+    #[test]
+    fn locked_queue_is_fifo() {
+        let q: LockedQueue<u32> = LockedQueue::new(1);
+        let mut h = q.register();
+        for i in 0..50 {
+            h.enqueue(i);
+        }
+        assert_eq!(q.len(), 50);
+        for i in 0..50 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.name(), "LCK-Q");
+    }
+
+    #[test]
+    fn locked_queue_concurrent_conservation() {
+        const THREADS: usize = 4;
+        const PER: usize = 2_000;
+        let q: LockedQueue<usize> = LockedQueue::new(THREADS);
+        let got: Vec<Vec<usize>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut h = q.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            h.enqueue(t * PER + i);
+                            if i % 2 == 1 {
+                                if let Some(v) = h.dequeue() {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut seen = HashSet::new();
+        for v in got.into_iter().flatten() {
+            assert!(seen.insert(v));
+        }
+        let mut h = q.register();
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), THREADS * PER);
+    }
 
     #[test]
     fn sequential_lifo() {

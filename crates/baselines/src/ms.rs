@@ -1,0 +1,342 @@
+//! The Michael–Scott queue (**MS**): the classic lock-free linked-list
+//! FIFO queue (Michael & Scott, PODC '96), the queue family's point of
+//! reference exactly as Treiber is the stack family's.
+//!
+//! Head and tail each sit on their own cache line; every operation
+//! fights for one of them with a CAS per element, which is the
+//! per-operation contention SEC-Q's batched splice/unlink amortizes
+//! away. Uses the standard dummy-node representation with tail-lag
+//! helping, over the same epoch-based reclamation substrate as the
+//! other baselines, so the `queue_bench` comparison measures the
+//! algorithms rather than incidental infrastructure.
+
+use core::fmt;
+use core::mem::MaybeUninit;
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, Ordering};
+use sec_core::{ConcurrentQueue, QueueHandle};
+use sec_reclaim::{Collector, Handle as ReclaimHandle};
+use sec_sync::{Backoff, CachePadded};
+
+/// An MS-queue node; the value is `MaybeUninit` because the dummy at
+/// the head owns no value (it is either the initial sentinel or a node
+/// whose value a dequeue already consumed).
+struct Node<T> {
+    value: MaybeUninit<T>,
+    next: AtomicPtr<Node<T>>,
+}
+
+impl<T> Node<T> {
+    fn alloc(value: T) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            value: MaybeUninit::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+
+    fn alloc_dummy() -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            value: MaybeUninit::uninit(),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// The Michael–Scott queue.
+///
+/// # Examples
+///
+/// ```
+/// use sec_baselines::MsQueue;
+/// use sec_core::{ConcurrentQueue, QueueHandle};
+///
+/// let q: MsQueue<u32> = MsQueue::new(2);
+/// let mut h = q.register();
+/// h.enqueue(7);
+/// h.enqueue(8);
+/// assert_eq!(h.dequeue(), Some(7));
+/// assert_eq!(h.dequeue(), Some(8));
+/// assert_eq!(h.dequeue(), None);
+/// ```
+pub struct MsQueue<T: Send + 'static> {
+    head: CachePadded<AtomicPtr<Node<T>>>,
+    tail: CachePadded<AtomicPtr<Node<T>>>,
+    collector: Collector,
+}
+
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T: Send + 'static> MsQueue<T> {
+    /// Creates a queue for up to `max_threads` concurrent threads.
+    pub fn new(max_threads: usize) -> Self {
+        let dummy = Node::alloc_dummy();
+        Self {
+            head: CachePadded::new(AtomicPtr::new(dummy)),
+            tail: CachePadded::new(AtomicPtr::new(dummy)),
+            collector: Collector::new(max_threads),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> MsHandle<'_, T> {
+        MsHandle {
+            queue: self,
+            reclaim: self
+                .collector
+                .register()
+                .expect("MsQueue: more threads than max_threads"),
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        let dummy = self.head.load(Ordering::Relaxed);
+        let mut cur = unsafe { (*dummy).next.load(Ordering::Relaxed) };
+        // The dummy's value was consumed (or never existed).
+        drop(unsafe { Box::from_raw(dummy) });
+        while !cur.is_null() {
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(Ordering::Relaxed);
+            // Safety: nodes past the dummy still own their values.
+            unsafe { boxed.value.assume_init() };
+        }
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for MsQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsQueue").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> ConcurrentQueue<T> for MsQueue<T> {
+    type Handle<'a>
+        = MsHandle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> MsHandle<'_, T> {
+        MsQueue::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "MS"
+    }
+}
+
+/// Per-thread handle to an [`MsQueue`].
+pub struct MsHandle<'a, T: Send + 'static> {
+    queue: &'a MsQueue<T>,
+    reclaim: ReclaimHandle<'a>,
+}
+
+impl<T: Send + 'static> QueueHandle<T> for MsHandle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        let node = Node::alloc(value);
+        let _guard = self.reclaim.pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let tail = self.queue.tail.load(Ordering::Acquire);
+            // Safety: pinned, so `tail` cannot have been freed.
+            let next = unsafe { (*tail).next.load(Ordering::Acquire) };
+            if !next.is_null() {
+                // Tail lags; help swing it and retry.
+                let _ = self.queue.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                continue;
+            }
+            if unsafe { &(*tail).next }
+                .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Swing tail to the new node; a failure means someone
+                // helped us, which is fine.
+                let _ = self.queue.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let guard = self.reclaim.pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let head = self.queue.head.load(Ordering::Acquire);
+            let tail = self.queue.tail.load(Ordering::Acquire);
+            // Safety: pinned, so `head` cannot have been freed.
+            let next = unsafe { (*head).next.load(Ordering::Acquire) };
+            if ptr::eq(head, tail) {
+                if next.is_null() {
+                    return None; // validated empty
+                }
+                // Tail lags behind a completed link; help it along.
+                let _ = self.queue.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                continue;
+            }
+            if next.is_null() {
+                // head != tail but the link is not visible yet; rare
+                // transient — retry.
+                backoff.snooze();
+                continue;
+            }
+            if self
+                .queue
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Safety: the CAS made us the unique consumer of
+                // `next`'s value and the unique retirer of the old
+                // dummy `head`.
+                let value = unsafe { ptr::read(&(*next).value).assume_init() };
+                unsafe { guard.retire(head) };
+                return Some(value);
+            }
+            backoff.spin();
+        }
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for MsHandle<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsHandle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_fifo() {
+        let q: MsQueue<u32> = MsQueue::new(1);
+        let mut h = q.register();
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: usize = 8;
+        const PER: usize = 2_000;
+        let q: MsQueue<u64> = MsQueue::new(THREADS + 1);
+        let got: Vec<Vec<u64>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut h = q.register();
+                        let mut got = Vec::new();
+                        for i in 0..PER {
+                            h.enqueue((t * PER + i) as u64);
+                            if i % 2 == 1 {
+                                if let Some(v) = h.dequeue() {
+                                    got.push(v);
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut seen = HashSet::new();
+        for v in got.into_iter().flatten() {
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+        let mut h = q.register();
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v), "duplicate {v} in drain");
+        }
+        assert_eq!(seen.len(), THREADS * PER);
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        const PRODUCERS: usize = 3;
+        const PER: u64 = 3_000;
+        let q: MsQueue<u64> = MsQueue::new(PRODUCERS + 1);
+        let got: Vec<u64> = thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut h = q.register();
+                    for i in 0..PER {
+                        h.enqueue(((p as u64) << 32) | i);
+                    }
+                });
+            }
+            let q = &q;
+            scope
+                .spawn(move || {
+                    let mut h = q.register();
+                    let mut got = Vec::new();
+                    while got.len() < (PRODUCERS as u64 * PER) as usize {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+                .join()
+                .unwrap()
+        });
+        let mut last = [None::<u64>; PRODUCERS];
+        for v in got {
+            let (p, i) = ((v >> 32) as usize, v & 0xFFFF_FFFF);
+            if let Some(prev) = last[p] {
+                assert!(i > prev, "producer {p}: {i} after {prev}");
+            }
+            last[p] = Some(i);
+        }
+    }
+
+    #[test]
+    fn drops_remaining_values_on_teardown() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+        use std::sync::Arc;
+        struct P(Arc<AtomicUsize>);
+        impl Drop for P {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AOrd::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q: MsQueue<P> = MsQueue::new(1);
+            let mut h = q.register();
+            for _ in 0..10 {
+                h.enqueue(P(Arc::clone(&drops)));
+            }
+            drop(h.dequeue());
+        }
+        assert_eq!(drops.load(AOrd::Relaxed), 10);
+    }
+}

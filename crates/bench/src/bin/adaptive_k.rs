@@ -18,27 +18,29 @@
 //! ```
 
 use sec_bench::BenchOpts;
-use sec_workload::stats::Summary;
+use sec_workload::stats::{ResizeTotals, Summary};
 use sec_workload::table::Figure;
 use sec_workload::{run_algo, Algo, Mix, RunConfig};
 
 const MIN_K: usize = 1;
 const MAX_K: usize = 5;
 
-/// Mean throughput of `algo` in one sweep cell, plus the last run's
-/// SEC report (active count and resize counters).
+/// Mean throughput of `algo` in one sweep cell, the last run's active
+/// aggregator count, and the resize counters summed over all runs of
+/// the cell (the totals reach the CSV as extra columns).
 fn cell(
     algo: Algo,
     threads: usize,
     opts: &BenchOpts,
     mix: Mix,
-) -> (f64, Option<(usize, u64, u64)>) {
+) -> (f64, Option<usize>, ResizeTotals) {
     let cfg = RunConfig {
         duration: opts.duration,
         prefill: opts.prefill,
         ..RunConfig::new(threads, mix)
     };
-    let mut elastic = None;
+    let mut active_k = None;
+    let mut resizes = ResizeTotals::new();
     let samples: Vec<f64> = (0..opts.runs)
         .map(|r| {
             let cfg = RunConfig {
@@ -46,13 +48,14 @@ fn cell(
                 ..cfg
             };
             let out = run_algo(algo, &cfg);
-            if let (Some(active), Some(rep)) = (out.sec_active, out.sec_report) {
-                elastic = Some((active, rep.grows, rep.shrinks));
+            if let Some(active) = out.sec_active {
+                active_k = Some(active);
             }
+            resizes.add(out.sec_report.as_ref());
             out.result.mops()
         })
         .collect();
-    (Summary::of(&samples).mean, elastic)
+    (Summary::of(&samples).mean, active_k, resizes)
 }
 
 fn main() {
@@ -84,11 +87,21 @@ fn main() {
         let mut ada_ys = Vec::with_capacity(sweep.len());
         let mut ada_info = Vec::with_capacity(sweep.len());
         for &n in &sweep {
-            let (mops, info) = cell(adaptive, n, &opts, mix);
+            let (mops, active, resizes) = cell(adaptive, n, &opts, mix);
             ada_ys.push(mops);
-            ada_info.push(info.unwrap_or((0, 0, 0)));
+            ada_info.push((active.unwrap_or(0), resizes));
         }
         fig.add_series(adaptive.label(), ada_ys.clone());
+        // The resize counters ride along as unplotted CSV columns
+        // (summed over the cell's runs).
+        fig.add_extra(
+            format!("{}_grows", adaptive.label()),
+            ada_info.iter().map(|(_, r)| r.grows as f64).collect(),
+        );
+        fig.add_extra(
+            format!("{}_shrinks", adaptive.label()),
+            ada_info.iter().map(|(_, r)| r.shrinks as f64).collect(),
+        );
 
         println!("{}", fig.render_table());
         println!("{}", fig.render_ascii_plot(12));
@@ -108,10 +121,10 @@ fn main() {
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty static lineup");
             let frac = if best > 0.0 { ada_ys[i] / best } else { 1.0 };
-            let (active, grows, shrinks) = ada_info[i];
+            let (active, resizes) = ada_info[i];
             println!(
                 "{n:>8} {best_k:>10} {best:>10.3} {frac:>8.1}% {active:>9} {:>14}",
-                format!("{grows}/{shrinks}"),
+                format!("{}/{}", resizes.grows, resizes.shrinks),
                 frac = 100.0 * frac,
             );
             if worst_overall.is_none_or(|(w, _, _)| frac < w) {

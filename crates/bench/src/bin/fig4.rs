@@ -17,7 +17,7 @@
 //! ```
 
 use sec_bench::BenchOpts;
-use sec_workload::stats::Summary;
+use sec_workload::stats::{ResizeTotals, Summary};
 use sec_workload::table::Figure;
 use sec_workload::{run_algo, Algo, Mix, RunConfig};
 
@@ -40,6 +40,7 @@ fn main() {
             .collect();
         for algo in lineup {
             let mut ys = Vec::with_capacity(sweep.len());
+            let mut resize_cols: Vec<ResizeTotals> = Vec::with_capacity(sweep.len());
             for &threads in &sweep {
                 // Pop-only: scale the prefill with the measurement
                 // window so pops measure removal, not the EMPTY path
@@ -54,15 +55,19 @@ fn main() {
                     prefill,
                     ..RunConfig::new(threads, mix)
                 };
+                let mut resizes = ResizeTotals::new();
                 let samples: Vec<f64> = (0..opts.runs)
                     .map(|r| {
                         let cfg = RunConfig {
                             seed: cfg.seed ^ (r as u64) << 32,
                             ..cfg
                         };
-                        run_algo(algo, &cfg).result.mops()
+                        let out = run_algo(algo, &cfg);
+                        resizes.add(out.sec_report.as_ref());
+                        out.result.mops()
                     })
                     .collect();
+                resize_cols.push(resizes);
                 let s = Summary::of(&samples);
                 eprintln!(
                     "  {mix} | {} | {threads:>3} threads: {:.3} Mops/s",
@@ -72,6 +77,19 @@ fn main() {
                 ys.push(s.mean);
             }
             fig.add_series(algo.label(), ys);
+            // The elastic series carries its grow/shrink totals as
+            // unplotted CSV columns (zero for the static lineup, so
+            // only the adaptive variant emits them).
+            if matches!(algo, Algo::SecAdaptive { .. }) {
+                fig.add_extra(
+                    format!("{}_grows", algo.label()),
+                    resize_cols.iter().map(|r| r.grows as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_shrinks", algo.label()),
+                    resize_cols.iter().map(|r| r.shrinks as f64).collect(),
+                );
+            }
         }
         println!("{}", fig.render_table());
         println!("{}", fig.render_ascii_plot(12));

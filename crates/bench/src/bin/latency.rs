@@ -1,18 +1,22 @@
-//! Per-operation latency percentiles for all six algorithms — the
-//! distributional view behind the throughput figures (SEC and the
-//! combining stacks are blocking, so their tails carry the
-//! freezer/combiner waits; TSI's tail carries its pop-side scans).
+//! Per-operation latency percentiles for all six stack algorithms plus
+//! the queue lineup — the distributional view behind the throughput
+//! figures (SEC and the combining stacks are blocking, so their tails
+//! carry the freezer/combiner waits; TSI's tail carries its pop-side
+//! scans; SEC-Q's tail carries its per-end batch waits).
 //!
 //! ```text
 //! cargo run -p sec-bench --release --bin latency
 //! ```
 
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
+    TsiStack,
 };
 use sec_bench::BenchOpts;
-use sec_core::{SecConfig, SecStack};
-use sec_workload::{measure_latency, Algo, LatencyReport, Mix, ALL_COMPETITORS};
+use sec_core::{SecConfig, SecQueue, SecStack};
+use sec_workload::{
+    measure_latency, measure_queue_latency, Algo, LatencyReport, Mix, ALL_COMPETITORS, QUEUE_LINEUP,
+};
 
 fn measure(algo: Algo, threads: usize, ops: u64, mix: Mix) -> LatencyReport {
     let cap = threads + 1;
@@ -36,6 +40,9 @@ fn measure(algo: Algo, threads: usize, ops: u64, mix: Mix) -> LatencyReport {
         Algo::Tsi => measure_latency(&TsiStack::<u64>::new(cap), threads, ops, mix),
         Algo::TrbHp => measure_latency(&TreiberHpStack::<u64>::new(cap), threads, ops, mix),
         Algo::Lck => measure_latency(&LockedStack::<u64>::new(cap), threads, ops, mix),
+        Algo::SecQueue => measure_queue_latency(&SecQueue::<u64>::new(cap), threads, ops, mix),
+        Algo::MsQ => measure_queue_latency(&MsQueue::<u64>::new(cap), threads, ops, mix),
+        Algo::LckQ => measure_queue_latency(&LockedQueue::<u64>::new(cap), threads, ops, mix),
     }
 }
 
@@ -46,13 +53,20 @@ fn main() {
     let ops_per_thread = 5_000u64;
 
     let mut csv = String::from("mix,algo,p50_ns,p90_ns,p99_ns,max_ns\n");
-    for mix in [Mix::UPDATE_100, Mix::UPDATE_50, Mix::UPDATE_10] {
+    for (mix, lineup) in [
+        (Mix::UPDATE_100, &ALL_COMPETITORS[..]),
+        (Mix::UPDATE_50, &ALL_COMPETITORS[..]),
+        (Mix::UPDATE_10, &ALL_COMPETITORS[..]),
+        // The queue lineup has no read-only operation; measure it on
+        // the update-heavy mix only.
+        (Mix::UPDATE_100, &QUEUE_LINEUP[..]),
+    ] {
         println!("## {mix} @ {threads} threads ({ops_per_thread} timed ops/thread)");
         println!(
             "{:>8} {:>10} {:>10} {:>10} {:>12}",
             "algo", "p50", "p90", "p99", "max"
         );
-        for algo in ALL_COMPETITORS {
+        for &algo in lineup {
             let r = measure(algo, threads, ops_per_thread, mix);
             println!(
                 "{:>8} {:>10} {:>10} {:>10} {:>12}",

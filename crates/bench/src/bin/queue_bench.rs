@@ -1,0 +1,110 @@
+//! The queue family's Figure-2-style evaluation: SEC-Q (the
+//! batched-combining FIFO queue of DESIGN.md §9) against the
+//! Michael–Scott reference and the locked-`VecDeque` floor, across the
+//! standard thread sweep and the three peek-free mixes (100% updates,
+//! enqueue-only, dequeue-only).
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin queue_bench
+//! cargo run -p sec-bench --release --bin queue_bench -- --duration-ms 5000 --runs 5
+//! ```
+//!
+//! Prints one table + ASCII plot per mix and writes
+//! `results/queue_{upd100,enq_only,deq_only}.csv`. Each CSV carries,
+//! beyond the throughput series, SEC-Q's per-cell batching columns
+//! (batching degree, combiner CAS failures) and the grow/shrink resize
+//! counters every SEC report exports (structurally zero for the queue,
+//! which does not resize aggregators — the column is part of the
+//! standard SEC counter block).
+
+use sec_bench::BenchOpts;
+use sec_workload::stats::{ResizeTotals, Summary};
+use sec_workload::table::Figure;
+use sec_workload::{run_algo, Algo, Mix, RunConfig, QUEUE_LINEUP};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!(
+        "{}",
+        opts.banner("Queue bench: SEC-Q vs MS vs LCK-Q, 3 mixes")
+    );
+    let sweep = opts.sweep();
+
+    for (mix, stem) in [
+        (Mix::UPDATE_100, "queue_upd100"),
+        (Mix::PUSH_ONLY, "queue_enq_only"),
+        (Mix::POP_ONLY, "queue_deq_only"),
+    ] {
+        let mut fig = Figure::new(format!("Queue throughput — {mix}"), sweep.clone());
+        for algo in QUEUE_LINEUP {
+            let mut ys = Vec::with_capacity(sweep.len());
+            let mut degrees = Vec::with_capacity(sweep.len());
+            let mut cas_fails = Vec::with_capacity(sweep.len());
+            let mut resize_cols: Vec<ResizeTotals> = Vec::with_capacity(sweep.len());
+            for &threads in &sweep {
+                // Dequeue-only: scale the prefill with the measurement
+                // window so dequeues measure removal, not the EMPTY
+                // path (mirrors fig4's pop-only handling).
+                let prefill = if mix == Mix::POP_ONLY {
+                    (opts.duration.as_millis() as usize * 4_000).clamp(100_000, 2_000_000)
+                } else {
+                    opts.prefill
+                };
+                let cfg = RunConfig {
+                    duration: opts.duration,
+                    prefill,
+                    ..RunConfig::new(threads, mix)
+                };
+                let mut resizes = ResizeTotals::new();
+                let mut degree_sum = 0.0;
+                let mut cas_sum = 0u64;
+                let samples: Vec<f64> = (0..opts.runs)
+                    .map(|r| {
+                        let cfg = RunConfig {
+                            seed: cfg.seed ^ (r as u64) << 32,
+                            ..cfg
+                        };
+                        let out = run_algo(algo, &cfg);
+                        if let Some(rep) = &out.sec_report {
+                            degree_sum += rep.batching_degree();
+                            cas_sum += rep.cas_failures;
+                        }
+                        resizes.add(out.sec_report.as_ref());
+                        out.result.mops()
+                    })
+                    .collect();
+                let s = Summary::of(&samples);
+                eprintln!(
+                    "  {mix} | {:>6} | {threads:>3} threads: {:.3} Mops/s (cv {:.1}%)",
+                    algo.label(),
+                    s.mean,
+                    s.cv_pct()
+                );
+                ys.push(s.mean);
+                degrees.push(degree_sum / opts.runs.max(1) as f64);
+                cas_fails.push(cas_sum as f64);
+                resize_cols.push(resizes);
+            }
+            fig.add_series(algo.label(), ys);
+            // SEC-Q is the only queue with a batch layer: its counter
+            // block rides along as unplotted CSV columns.
+            if algo == Algo::SecQueue {
+                fig.add_extra(format!("{}_batch_degree", algo.label()), degrees);
+                fig.add_extra(format!("{}_cas_failures", algo.label()), cas_fails);
+                fig.add_extra(
+                    format!("{}_grows", algo.label()),
+                    resize_cols.iter().map(|r| r.grows as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_shrinks", algo.label()),
+                    resize_cols.iter().map(|r| r.shrinks as f64).collect(),
+                );
+            }
+        }
+        println!("{}", fig.render_table());
+        println!("{}", fig.render_ascii_plot(12));
+        if let Err(e) = fig.write_csv(&opts.csv_dir, stem) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+}

@@ -17,8 +17,8 @@
 //! ```
 
 use sec_bench::BenchOpts;
-use sec_core::{ConcurrentStack, StackHandle};
-use sec_workload::EXTENDED_LINEUP;
+use sec_core::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
+use sec_workload::{EXTENDED_LINEUP, QUEUE_LINEUP};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
@@ -128,6 +128,100 @@ fn soak_one<S: ConcurrentStack<u64>>(
     Ok(())
 }
 
+/// The queue-family soak: identical invariants, FIFO handles.
+fn soak_queue_one<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    threads: usize,
+    opts: &BenchOpts,
+) -> Result<(), String> {
+    let barrier = Barrier::new(threads + 1);
+    let stop = AtomicBool::new(false);
+
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = queue.register();
+                    let mut tally = Tally::default();
+                    let mut x = (t as u64 + 1) | 1;
+                    let mut counter = 0u64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            if x % 100 < 55 {
+                                let v = ((t as u64) << 40) | counter;
+                                counter += 1;
+                                h.enqueue(v);
+                                tally.pushes += 1;
+                                tally.push_sum += v as u128;
+                            } else if let Some(v) = h.dequeue() {
+                                tally.pops += 1;
+                                tally.pop_sum += v as u128;
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        barrier.wait();
+        let deadline = Instant::now() + opts.duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(opts.duration.min(std::time::Duration::from_millis(200)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak worker panicked"))
+            .collect()
+    });
+
+    let mut total = Tally::default();
+    for t in &tallies {
+        total.pushes += t.pushes;
+        total.push_sum += t.push_sum;
+        total.pops += t.pops;
+        total.pop_sum += t.pop_sum;
+    }
+
+    let mut h = queue.register();
+    let mut drained = 0u64;
+    while let Some(v) = h.dequeue() {
+        drained += 1;
+        total.pops += 1;
+        total.pop_sum += v as u128;
+        let tid = (v >> 40) as usize;
+        if tid >= threads {
+            return Err(format!("phantom value {v:#x}: no worker {tid}"));
+        }
+    }
+
+    if total.pushes != total.pops {
+        return Err(format!(
+            "count conservation violated: {} enqueued, {} dequeued (incl. {} drained)",
+            total.pushes, total.pops, drained
+        ));
+    }
+    if total.push_sum != total.pop_sum {
+        return Err(format!(
+            "sum conservation violated: enqueued {} vs dequeued {}",
+            total.push_sum, total.pop_sum
+        ));
+    }
+    println!(
+        "    {:>9} ops conserved ({} drained at shutdown)",
+        total.pushes + total.pops,
+        drained
+    );
+    Ok(())
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     let threads = *opts.sweep().last().unwrap_or(&4);
@@ -138,7 +232,7 @@ fn main() {
     println!("# {threads} threads, {:?} per algorithm\n", opts.duration);
 
     let mut failures = 0u32;
-    for algo in EXTENDED_LINEUP {
+    for algo in EXTENDED_LINEUP.into_iter().chain(QUEUE_LINEUP) {
         println!("  soaking {algo} ...");
         let result = run(algo, threads, &opts);
         if let Err(e) = result {
@@ -159,9 +253,10 @@ fn main() {
 /// to drain through the same handle type.)
 fn run(algo: sec_workload::Algo, threads: usize, opts: &BenchOpts) -> Result<(), String> {
     use sec_baselines::{
-        CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+        CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
+        TsiStack,
     };
-    use sec_core::{SecConfig, SecStack};
+    use sec_core::{SecConfig, SecQueue, SecStack};
     use sec_workload::Algo;
 
     let cap = threads + 1;
@@ -183,5 +278,8 @@ fn run(algo: sec_workload::Algo, threads: usize, opts: &BenchOpts) -> Result<(),
         Algo::Tsi => soak_one(&TsiStack::<u64>::new(cap), threads, opts),
         Algo::TrbHp => soak_one(&TreiberHpStack::<u64>::new(cap), threads, opts),
         Algo::Lck => soak_one(&LockedStack::<u64>::new(cap), threads, opts),
+        Algo::SecQueue => soak_queue_one(&SecQueue::<u64>::new(cap), threads, opts),
+        Algo::MsQ => soak_queue_one(&MsQueue::<u64>::new(cap), threads, opts),
+        Algo::LckQ => soak_queue_one(&LockedQueue::<u64>::new(cap), threads, opts),
     }
 }

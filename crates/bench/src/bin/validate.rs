@@ -1,15 +1,18 @@
 //! Artifact-style validation entry point: quick correctness checks for
-//! every stack implementation, printed as a PASS/FAIL report. Runs in
-//! seconds; the full evidence is `cargo test --workspace`.
+//! every stack and queue implementation, printed as a PASS/FAIL report.
+//! Runs in seconds; the full evidence is `cargo test --workspace`.
 //!
 //! ```text
 //! cargo run -p sec-bench --release --bin validate
 //! ```
 
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
+    TsiStack,
 };
-use sec_core::{ConcurrentStack, SecConfig, SecStack, StackHandle};
+use sec_core::{
+    ConcurrentQueue, ConcurrentStack, QueueHandle, SecConfig, SecQueue, SecStack, StackHandle,
+};
 use std::collections::HashSet;
 use std::thread;
 
@@ -79,6 +82,75 @@ fn check_conservation<S: ConcurrentStack<u64>>(stack: &S, threads: usize) -> Res
     Ok(())
 }
 
+/// FIFO check, single thread.
+fn check_fifo<Q: ConcurrentQueue<u64>>(queue: &Q) -> Result<(), String> {
+    let mut h = queue.register();
+    for i in 0..1_000 {
+        h.enqueue(i);
+    }
+    for i in 0..1_000 {
+        let got = h.dequeue();
+        if got != Some(i) {
+            return Err(format!("expected Some({i}), got {got:?}"));
+        }
+    }
+    if h.dequeue().is_some() {
+        return Err("queue not empty after drain".into());
+    }
+    Ok(())
+}
+
+/// Queue conservation check, concurrent.
+fn check_queue_conservation<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    threads: usize,
+) -> Result<(), String> {
+    const PER: usize = 2_000;
+    let dequeued: Vec<Vec<u64>> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut h = queue.register();
+                    let mut got = Vec::new();
+                    for i in 0..PER {
+                        h.enqueue((t * PER + i) as u64);
+                        if i % 2 == 0 {
+                            if let Some(v) = h.dequeue() {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+    let mut seen = HashSet::new();
+    for v in dequeued.into_iter().flatten() {
+        if !seen.insert(v) {
+            return Err(format!("value {v} dequeued twice"));
+        }
+    }
+    let mut h = queue.register();
+    while let Some(v) = h.dequeue() {
+        if !seen.insert(v) {
+            return Err(format!("value {v} dequeued twice in drain"));
+        }
+    }
+    if seen.len() != threads * PER {
+        return Err(format!(
+            "lost values: {} of {} accounted",
+            seen.len(),
+            threads * PER
+        ));
+    }
+    Ok(())
+}
+
 fn report(name: &str, what: &str, r: Result<(), String>, failures: &mut u32) {
     match r {
         Ok(()) => println!("  PASS  {name:<6} {what}"),
@@ -119,6 +191,30 @@ fn main() {
     validate!("TSI", TsiStack::<u64>::new(THREADS + 1));
     validate!("TRB-HP", TreiberHpStack::<u64>::new(THREADS + 1));
     validate!("LCK", LockedStack::<u64>::new(THREADS + 1));
+
+    println!("validating all queue implementations ({THREADS} threads)...");
+
+    macro_rules! validate_queue {
+        ($name:expr, $make:expr) => {{
+            let q = $make;
+            report($name, "sequential FIFO", check_fifo(&q), &mut failures);
+            let q = $make;
+            report(
+                $name,
+                "concurrent conservation",
+                check_queue_conservation(&q, THREADS),
+                &mut failures,
+            );
+        }};
+    }
+
+    validate_queue!("SEC-Q", SecQueue::<u64>::new(THREADS + 1));
+    validate_queue!(
+        "SEC-Q0",
+        SecQueue::<u64>::new(THREADS + 1).rendezvous_spins(0)
+    );
+    validate_queue!("MS", MsQueue::<u64>::new(THREADS + 1));
+    validate_queue!("LCK-Q", LockedQueue::<u64>::new(THREADS + 1));
 
     // SEC accounting identity under load.
     {

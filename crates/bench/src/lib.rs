@@ -30,9 +30,12 @@
 #![warn(missing_docs)]
 
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
+    TsiStack,
 };
-use sec_core::{ConcurrentStack, SecConfig, SecStack, StackHandle};
+use sec_core::{
+    ConcurrentQueue, ConcurrentStack, QueueHandle, SecConfig, SecQueue, SecStack, StackHandle,
+};
 use sec_workload::{Algo, Mix};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -199,6 +202,49 @@ pub fn timed_fixed_work<S: ConcurrentStack<u64>>(
     })
 }
 
+/// Fixed-work measurement for the queue family — the queue twin of
+/// [`timed_fixed_work`]. A [`Mix`] draw that would `peek` a stack
+/// performs a `dequeue` (queues have no read-only operation).
+pub fn timed_queue_fixed_work<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+) -> Duration {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sec_workload::OpKind;
+
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = queue.register();
+                    let mut rng = SmallRng::seed_from_u64(0xFEED ^ (t as u64) << 7);
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        match mix.classify(rng.gen_range(0..100)) {
+                            OpKind::Push => h.enqueue(rng.gen_range(0..100_000)),
+                            OpKind::Pop | OpKind::Peek => {
+                                let _ = h.dequeue();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        barrier.wait();
+        for h in handles {
+            h.join().expect("bench worker panicked");
+        }
+        start.elapsed()
+    })
+}
+
 /// Prefills `stack` with `prefill` pseudo-random values.
 fn prefill_stack<S: ConcurrentStack<u64>>(stack: &S, prefill: usize) {
     use rand::rngs::SmallRng;
@@ -210,9 +256,20 @@ fn prefill_stack<S: ConcurrentStack<u64>>(stack: &S, prefill: usize) {
     }
 }
 
+/// Prefills `queue` with `prefill` pseudo-random values.
+fn prefill_queue<Q: ConcurrentQueue<u64>>(queue: &Q, prefill: usize) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut h = queue.register();
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..prefill {
+        h.enqueue(rng.gen_range(0..100_000));
+    }
+}
+
 /// Constructs a fresh instance of `algo`, prefills it, and measures the
 /// fixed-work duration (Criterion `iter_custom` building block; one
-/// stack per call so iterations are independent).
+/// stack or queue per call so iterations are independent).
 pub fn timed_algo(
     algo: Algo,
     threads: usize,
@@ -266,6 +323,21 @@ pub fn timed_algo(
             let s: LockedStack<u64> = LockedStack::new(cap);
             prefill_stack(&s, prefill);
             timed_fixed_work(&s, threads, ops_per_thread, mix)
+        }
+        Algo::SecQueue => {
+            let q: SecQueue<u64> = SecQueue::new(cap);
+            prefill_queue(&q, prefill);
+            timed_queue_fixed_work(&q, threads, ops_per_thread, mix)
+        }
+        Algo::MsQ => {
+            let q: MsQueue<u64> = MsQueue::new(cap);
+            prefill_queue(&q, prefill);
+            timed_queue_fixed_work(&q, threads, ops_per_thread, mix)
+        }
+        Algo::LckQ => {
+            let q: LockedQueue<u64> = LockedQueue::new(cap);
+            prefill_queue(&q, prefill);
+            timed_queue_fixed_work(&q, threads, ops_per_thread, mix)
         }
     }
 }

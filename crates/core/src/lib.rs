@@ -34,7 +34,11 @@
 //! * [`SecStats`] — batching/elimination/combining degree counters
 //!   backing Tables 1–3 of the paper,
 //! * [`ConcurrentStack`] / [`StackHandle`] — the object-independent
-//!   interface the baselines and the benchmark harness share.
+//!   interface the baselines and the benchmark harness share,
+//! * [`SecQueue`] / [`ConcurrentQueue`] / [`QueueHandle`] — the FIFO
+//!   queue built from the same mechanisms (per-end batches, single-CAS
+//!   splice/unlink, empty-only elimination; DESIGN.md §9) and the
+//!   queue-family interface its baselines share.
 //!
 //! ## Quick start
 //!
@@ -60,10 +64,12 @@
 mod config;
 pub mod deque;
 pub mod pool;
+pub mod queue;
 pub mod sec;
 mod traits;
 
 pub use config::{topology_shard, AggregatorPolicy, SecConfig, ShardPolicy};
+pub use queue::{SecQueue, SecQueueHandle};
 pub use sec::stats::{BatchReport, SecStats};
 pub use sec::{SecHandle, SecStack};
-pub use traits::{ConcurrentStack, StackHandle};
+pub use traits::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};

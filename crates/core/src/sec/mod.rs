@@ -2,8 +2,8 @@
 //!
 //! Module layout:
 //!
-//! * [`node`] — shared-stack nodes (paper Figure 1, `Node`),
-//! * [`batch`] — batches and aggregators (Figure 1, `Batch`,
+//! * `node` — shared-stack nodes (paper Figure 1, `Node`),
+//! * `batch` — batches and aggregators (Figure 1, `Batch`,
 //!   `Aggregator`),
 //! * [`elastic`] — the contention monitor behind
 //!   [`AggregatorPolicy::Adaptive`] (DESIGN.md §8),

@@ -1,13 +1,13 @@
-//! The stack interface shared by SEC and every baseline.
+//! The stack and queue interfaces shared by SEC and every baseline.
 //!
-//! All six implementations in this repository (SEC, Treiber, EB, FC,
-//! CC-Synch, TSI) need per-thread state — a reclamation handle at
-//! minimum, and for FC/CC/TSI also a publication record / combining node
-//! / local pool. The interface therefore splits into an object
-//! ([`ConcurrentStack`], `Sync`, shared by reference) and a per-thread
-//! handle ([`StackHandle`], `!Sync`, obtained via
-//! [`ConcurrentStack::register`]). The benchmark harness and the test
-//! suite are generic over these two traits.
+//! All implementations in this repository (SEC, Treiber, EB, FC,
+//! CC-Synch, TSI, the MS queue) need per-thread state — a reclamation
+//! handle at minimum, and for FC/CC/TSI also a publication record /
+//! combining node / local pool. Each interface therefore splits into an
+//! object ([`ConcurrentStack`] / [`ConcurrentQueue`], `Sync`, shared by
+//! reference) and a per-thread handle ([`StackHandle`] /
+//! [`QueueHandle`], `!Sync`, obtained via the object's `register`). The
+//! benchmark harness and the test suite are generic over these traits.
 
 /// A concurrent stack object shared among threads.
 ///
@@ -50,4 +50,43 @@ pub trait StackHandle<T> {
     fn peek(&mut self) -> Option<T>
     where
         T: Clone;
+}
+
+/// A concurrent FIFO queue object shared among threads.
+///
+/// The queue-family counterpart of [`ConcurrentStack`]: implementations
+/// are constructed for a fixed maximum number of threads;
+/// [`register`](Self::register) panics when exceeded (the harness sizes
+/// queues to its thread count, so that is a programming error, not a
+/// runtime condition).
+pub trait ConcurrentQueue<T: Send + 'static>: Send + Sync {
+    /// The per-thread access handle.
+    type Handle<'a>: QueueHandle<T>
+    where
+        Self: 'a;
+
+    /// Registers the calling thread and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// If more threads register than the queue was constructed for.
+    fn register(&self) -> Self::Handle<'_>;
+
+    /// Short algorithm name as used in the figures
+    /// (`"SEC-Q"`, `"MS"`, `"LCK-Q"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Per-thread view of a [`ConcurrentQueue`].
+///
+/// Handles are `!Sync` by convention (they own thread-private state) and
+/// methods take `&mut self`; move a handle to another thread rather than
+/// sharing it.
+pub trait QueueHandle<T> {
+    /// Appends `value` at the queue's tail.
+    fn enqueue(&mut self, value: T);
+
+    /// Removes and returns the queue's oldest value, or `None` when the
+    /// queue is (linearizably) empty.
+    fn dequeue(&mut self) -> Option<T>;
 }

@@ -14,7 +14,7 @@
 //!   once the global epoch reaches `e + 2`, at which point no pinned
 //!   thread can still hold a reference to it;
 //! * epoch-advance attempts are **amortized**: a thread only scans the
-//!   announcement array every [`ADVANCE_PERIOD`] pins (DEBRA's key cost
+//!   announcement array every `ADVANCE_PERIOD` pins (DEBRA's key cost
 //!   saving over scan-per-operation EBR).
 //!
 //! ## Usage

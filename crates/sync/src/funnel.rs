@@ -1,5 +1,5 @@
 //! A software fetch&add built from nested sharding ("aggregating
-//! funnels", Roh et al., PPoPP '25 — reference [21] of the SEC paper).
+//! funnels", Roh et al., PPoPP '25 — reference \[21\] of the SEC paper).
 //!
 //! SEC borrows its two-level contention-dispersal scheme — threads are
 //! partitioned over *shards* (aggregators) and, within a shard, gathered

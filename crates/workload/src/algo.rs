@@ -1,12 +1,13 @@
-//! Algorithm dispatch: construct any of the six stacks and run a
-//! measurement against it.
+//! Algorithm dispatch: construct any of the evaluated stacks or queues
+//! and run a measurement against it.
 
-use crate::runner::{run_throughput, RunConfig, RunResult};
+use crate::runner::{run_queue_throughput, run_throughput, RunConfig, RunResult};
 use core::fmt;
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedStack, TreiberHpStack, TreiberStack, TsiStack,
+    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
+    TsiStack,
 };
-use sec_core::{AggregatorPolicy, BatchReport, SecConfig, SecStack};
+use sec_core::{AggregatorPolicy, BatchReport, SecConfig, SecQueue, SecStack};
 
 /// One of the evaluated stack algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +40,12 @@ pub enum Algo {
     /// Mutex-protected sequential stack (sanity floor, not in the
     /// paper's figures).
     Lck,
+    /// The SEC-derived batched-combining FIFO queue (DESIGN.md §9).
+    SecQueue,
+    /// Michael–Scott queue (the queue family's Treiber).
+    MsQ,
+    /// Mutex-protected `VecDeque` (the queue family's sanity floor).
+    LckQ,
 }
 
 /// The lineup of Figure 2/3: SEC (2 aggregators) plus the five
@@ -66,6 +73,10 @@ pub const EXTENDED_LINEUP: [Algo; 8] = [
     Algo::Lck,
 ];
 
+/// The queue lineup of the `queue_bench` binary: the SEC-derived queue
+/// against the Michael–Scott reference and the locked floor.
+pub const QUEUE_LINEUP: [Algo; 3] = [Algo::SecQueue, Algo::MsQ, Algo::LckQ];
+
 impl Algo {
     /// The paper's legend label.
     pub fn label(&self) -> String {
@@ -80,7 +91,16 @@ impl Algo {
             Algo::Tsi => "TSI".into(),
             Algo::TrbHp => "TRB-HP".into(),
             Algo::Lck => "LCK".into(),
+            Algo::SecQueue => "SEC-Q".into(),
+            Algo::MsQ => "MS".into(),
+            Algo::LckQ => "LCK-Q".into(),
         }
+    }
+
+    /// `true` for the queue-family variants (dispatched through
+    /// [`run_queue_throughput`]; the rest are stacks).
+    pub fn is_queue(&self) -> bool {
+        matches!(self, Algo::SecQueue | Algo::MsQ | Algo::LckQ)
     }
 }
 
@@ -91,8 +111,9 @@ impl fmt::Display for Algo {
 }
 
 /// Measurement outcome plus SEC's per-run batch instrumentation (only
-/// populated for [`Algo::Sec`] / [`Algo::SecAdaptive`]; feeds
-/// Tables 1–3 and the elastic-sharding ablation).
+/// populated for [`Algo::Sec`] / [`Algo::SecAdaptive`] /
+/// [`Algo::SecQueue`]; feeds Tables 1–3, the elastic-sharding ablation
+/// and the queue bench's batching columns).
 #[derive(Debug, Clone, Copy)]
 pub struct AlgoRun {
     /// Throughput measurement.
@@ -159,6 +180,25 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
         },
         Algo::Lck => AlgoRun {
             result: run_throughput(&LockedStack::<u64>::new(cap), cfg),
+            sec_report: None,
+            sec_active: None,
+        },
+        Algo::SecQueue => {
+            let queue: SecQueue<u64> = SecQueue::new(cap);
+            let result = run_queue_throughput(&queue, cfg);
+            AlgoRun {
+                result,
+                sec_report: Some(queue.stats().report()),
+                sec_active: None,
+            }
+        }
+        Algo::MsQ => AlgoRun {
+            result: run_queue_throughput(&MsQueue::<u64>::new(cap), cfg),
+            sec_report: None,
+            sec_active: None,
+        },
+        Algo::LckQ => AlgoRun {
+            result: run_queue_throughput(&LockedQueue::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
         },
@@ -242,6 +282,46 @@ mod tests {
         let report = out.sec_report.expect("SEC must report batch stats");
         assert!(report.batches > 0);
         assert_eq!(report.eliminated + report.combined, report.ops);
+    }
+
+    #[test]
+    fn queue_lineup_runs_the_update_workload() {
+        for algo in QUEUE_LINEUP {
+            assert!(algo.is_queue());
+            let cfg = RunConfig {
+                duration: Duration::from_millis(15),
+                prefill: 64,
+                ..RunConfig::new(2, Mix::UPDATE_100)
+            };
+            let out = run_algo(algo, &cfg);
+            assert!(out.result.ops > 0, "{algo} made no progress");
+            assert!(out.sec_active.is_none(), "{algo}: queues have no active K");
+        }
+    }
+
+    #[test]
+    fn sec_queue_reports_batch_stats() {
+        let cfg = RunConfig {
+            duration: Duration::from_millis(15),
+            prefill: 64,
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let out = run_algo(Algo::SecQueue, &cfg);
+        let report = out.sec_report.expect("SEC-Q must report batch stats");
+        assert!(report.batches > 0);
+        assert_eq!(report.eliminated, 0, "queue batches are homogeneous");
+        assert_eq!(report.combined, report.ops);
+        assert_eq!(report.resizes(), 0, "queues do not resize aggregators");
+    }
+
+    #[test]
+    fn queue_labels_are_distinct_from_stack_labels() {
+        let mut labels: std::collections::HashSet<String> =
+            EXTENDED_LINEUP.iter().map(|a| a.label()).collect();
+        for a in QUEUE_LINEUP {
+            assert!(labels.insert(a.label()), "{a} collides with a stack label");
+            assert!(!a.label().is_empty());
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::spec::{Mix, OpKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sec_core::{ConcurrentStack, StackHandle};
+use sec_core::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -157,6 +157,56 @@ pub fn measure_latency<S: ConcurrentStack<u64>>(
     }
 }
 
+/// The queue-family twin of [`measure_latency`]: a [`Mix`] draw that
+/// would `peek` a stack performs a `dequeue` (queues have no read-only
+/// operation).
+pub fn measure_queue_latency<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+) -> LatencyReport {
+    let barrier = Barrier::new(threads);
+    let merged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = queue.register();
+                    let mut rng = SmallRng::seed_from_u64(0xA11CE ^ (t as u64) << 8);
+                    let mut hist = LatencyHistogram::new();
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        let kind = mix.classify(rng.gen_range(0..100));
+                        let start = Instant::now();
+                        match kind {
+                            OpKind::Push => h.enqueue(rng.gen_range(0..100_000)),
+                            OpKind::Pop | OpKind::Peek => {
+                                let _ = h.dequeue();
+                            }
+                        }
+                        hist.record(start.elapsed().as_nanos() as u64);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        let mut merged = LatencyHistogram::new();
+        for h in handles {
+            merged.merge(&h.join().expect("latency worker panicked"));
+        }
+        merged
+    });
+    LatencyReport {
+        p50: merged.percentile(50.0),
+        p90: merged.percentile(90.0),
+        p99: merged.percentile(99.0),
+        max: merged.max_ns(),
+        samples: merged.count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +266,17 @@ mod tests {
     fn end_to_end_latency_measurement() {
         let stack: SecStack<u64> = SecStack::new(3);
         let r = measure_latency(&stack, 2, 500, Mix::UPDATE_100);
+        assert_eq!(r.samples, 1_000);
+        assert!(r.p50 > 0);
+        assert!(r.p50 <= r.p99);
+        assert!(r.p99 <= r.max);
+    }
+
+    #[test]
+    fn end_to_end_queue_latency_measurement() {
+        use sec_core::SecQueue;
+        let queue: SecQueue<u64> = SecQueue::new(2);
+        let r = measure_queue_latency(&queue, 2, 500, Mix::UPDATE_100);
         assert_eq!(r.samples, 1_000);
         assert!(r.p50 > 0);
         assert!(r.p50 <= r.p99);

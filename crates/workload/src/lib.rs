@@ -9,10 +9,14 @@
 //!   the stack, release `n` threads behind a barrier, let them draw
 //!   operations from the mix for a fixed duration, report aggregate
 //!   throughput (Mops/s),
-//! * [`Algo`] / [`run_algo`] — dispatch over the six stack
+//! * [`run_queue_throughput`] — the same loop for the FIFO-queue family
+//!   ([`Algo::SecQueue`], [`Algo::MsQ`], [`Algo::LckQ`]),
+//! * [`Algo`] / [`run_algo`] — dispatch over the stack and queue
 //!   implementations, so the figure binaries can sweep algorithms,
-//! * [`stats`] — mean/σ across repeated runs,
-//! * [`table`] — the paper-style table and CSV output,
+//! * [`stats`] — mean/σ across repeated runs, plus the elastic-resize
+//!   counter aggregation ([`stats::ResizeTotals`]),
+//! * [`table`] — the paper-style table and CSV output (plotted series
+//!   plus unplotted counter columns),
 //! * [`trace`] — deterministic record/replay workloads (fixed op
 //!   sequences replayed against every algorithm for op-for-op
 //!   comparability and reproducible stress failures).
@@ -28,8 +32,8 @@ pub mod stats;
 pub mod table;
 pub mod trace;
 
-pub use algo::{run_algo, Algo, ALL_COMPETITORS, EXTENDED_LINEUP};
-pub use latency::{measure_latency, LatencyHistogram, LatencyReport};
-pub use runner::{run_throughput, RunConfig, RunResult};
+pub use algo::{run_algo, Algo, ALL_COMPETITORS, EXTENDED_LINEUP, QUEUE_LINEUP};
+pub use latency::{measure_latency, measure_queue_latency, LatencyHistogram, LatencyReport};
+pub use runner::{run_queue_throughput, run_throughput, RunConfig, RunResult};
 pub use spec::{Mix, OpKind};
 pub use trace::{replay, ReplayResult, Trace, TraceOp};

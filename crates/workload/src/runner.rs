@@ -3,7 +3,7 @@
 use crate::spec::{Mix, OpKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sec_core::{AggregatorPolicy, ConcurrentStack, StackHandle};
+use sec_core::{AggregatorPolicy, ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -141,6 +141,76 @@ pub fn run_throughput<S: ConcurrentStack<u64>>(stack: &S, cfg: &RunConfig) -> Ru
     }
 }
 
+/// Runs one throughput measurement against `queue` — the queue-family
+/// twin of [`run_throughput`], sharing [`RunConfig`] so the figure
+/// binaries sweep both families with one configuration type.
+///
+/// Queues have no read-only operation, so a [`Mix`] draw that would
+/// `peek` a stack performs a `dequeue` here (the queue lineup is
+/// normally measured under the peek-free mixes: `UPDATE_100`,
+/// `PUSH_ONLY`, `POP_ONLY`).
+///
+/// The queue must have been constructed for at least `cfg.threads + 1`
+/// threads (one extra registration slot is used for the prefill).
+pub fn run_queue_throughput<Q: ConcurrentQueue<u64>>(queue: &Q, cfg: &RunConfig) -> RunResult {
+    {
+        let mut h = queue.register();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED);
+        for _ in 0..cfg.prefill {
+            h.enqueue(rng.gen_range(0..cfg.value_range.max(1)));
+        }
+    }
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let stop = AtomicBool::new(false);
+    let mut per_thread_ops = vec![0u64; cfg.threads];
+
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let queue = &queue;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = queue.register();
+                    let mut rng = SmallRng::seed_from_u64(
+                        cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    const CHUNK: u32 = 64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..CHUNK {
+                            match cfg.mix.classify(rng.gen_range(0..100)) {
+                                OpKind::Push => h.enqueue(rng.gen_range(0..cfg.value_range.max(1))),
+                                OpKind::Pop | OpKind::Peek => {
+                                    let _ = h.dequeue();
+                                }
+                            }
+                        }
+                        ops += CHUNK as u64;
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for (t, h) in handles.into_iter().enumerate() {
+            per_thread_ops[t] = h.join().expect("queue worker panicked");
+        }
+        start.elapsed()
+    });
+
+    RunResult {
+        ops: per_thread_ops.iter().sum(),
+        elapsed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +252,32 @@ mod tests {
     #[test]
     fn config_clamps_zero_threads() {
         assert_eq!(RunConfig::new(0, Mix::UPDATE_100).threads, 1);
+    }
+
+    #[test]
+    fn queue_runner_measures_positive_throughput() {
+        use sec_core::SecQueue;
+        let cfg = RunConfig {
+            duration: Duration::from_millis(30),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let queue: SecQueue<u64> = SecQueue::new(cfg.threads + 1);
+        let r = run_queue_throughput(&queue, &cfg);
+        assert!(r.ops > 0);
+        assert!(r.mops() > 0.0);
+        assert!(r.elapsed >= cfg.duration);
+    }
+
+    #[test]
+    fn queue_runner_maps_peek_draws_to_dequeue() {
+        use sec_core::SecQueue;
+        // A peek-heavy mix must still make progress on a queue.
+        let cfg = RunConfig {
+            duration: Duration::from_millis(10),
+            prefill: 100,
+            ..RunConfig::new(2, Mix::UPDATE_10)
+        };
+        let queue: SecQueue<u64> = SecQueue::new(cfg.threads + 1);
+        assert!(run_queue_throughput(&queue, &cfg).ops > 0);
     }
 }

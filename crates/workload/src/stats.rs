@@ -1,4 +1,66 @@
-//! Summary statistics over repeated runs (the paper averages five).
+//! Summary statistics over repeated runs (the paper averages five),
+//! plus the aggregation of SEC's elastic-resize counters across runs
+//! (so the grow/shrink transitions PR 2 started collecting reach the
+//! tables and CSV instead of being dropped per run).
+
+use sec_core::BatchReport;
+
+/// Accumulated elastic-sharding resize counters over the repeated runs
+/// of one measurement cell.
+///
+/// [`run_algo`](crate::run_algo) returns a fresh [`BatchReport`] per
+/// run; feed each into [`add`](Self::add) and the figure binaries
+/// render the totals as the `<series>_grows` / `<series>_shrinks`
+/// extra CSV columns (see [`Figure::add_extra`](crate::table::Figure::add_extra)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResizeTotals {
+    /// Grow transitions summed over the accumulated runs.
+    pub grows: u64,
+    /// Shrink transitions summed over the accumulated runs.
+    pub shrinks: u64,
+    /// Runs accumulated.
+    pub runs: usize,
+}
+
+impl ResizeTotals {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run's report in (a no-op for `None`, so non-SEC
+    /// lineups can share the call site).
+    pub fn add(&mut self, report: Option<&BatchReport>) {
+        if let Some(r) = report {
+            self.grows += r.grows;
+            self.shrinks += r.shrinks;
+            self.runs += 1;
+        }
+    }
+
+    /// Total transitions in either direction.
+    pub fn resizes(&self) -> u64 {
+        self.grows + self.shrinks
+    }
+
+    /// Mean grow transitions per accumulated run (0 when empty).
+    pub fn grows_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.grows as f64 / self.runs as f64
+        }
+    }
+
+    /// Mean shrink transitions per accumulated run (0 when empty).
+    pub fn shrinks_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.shrinks as f64 / self.runs as f64
+        }
+    }
+}
 
 /// Mean / standard deviation / extrema of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +167,40 @@ impl Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn report(grows: u64, shrinks: u64) -> BatchReport {
+        BatchReport {
+            batches: 1,
+            ops: 2,
+            eliminated: 0,
+            combined: 2,
+            cas_failures: 0,
+            grows,
+            shrinks,
+        }
+    }
+
+    #[test]
+    fn resize_totals_accumulate_across_runs() {
+        let mut t = ResizeTotals::new();
+        t.add(Some(&report(2, 1)));
+        t.add(Some(&report(0, 3)));
+        t.add(None); // non-SEC run: ignored
+        assert_eq!(t.grows, 2);
+        assert_eq!(t.shrinks, 4);
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.resizes(), 6);
+        assert!((t.grows_per_run() - 1.0).abs() < 1e-12);
+        assert!((t.shrinks_per_run() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_resize_totals_are_zero() {
+        let t = ResizeTotals::new();
+        assert_eq!(t.resizes(), 0);
+        assert_eq!(t.grows_per_run(), 0.0);
+        assert_eq!(t.shrinks_per_run(), 0.0);
+    }
 
     #[test]
     fn empty_sample() {

@@ -21,6 +21,13 @@ pub struct Figure {
     pub xs: Vec<usize>,
     /// `(series name, y values aligned with xs)`.
     pub series: Vec<(String, Vec<f64>)>,
+    /// Extra per-x columns carried alongside the plotted series —
+    /// counters in a different unit (e.g. the elastic-sharding
+    /// `grows`/`shrinks` resize totals). Emitted by
+    /// [`render_csv`](Self::render_csv) after the main series and
+    /// listed as a footnote block by [`render_table`](Self::render_table),
+    /// but never plotted (their scale is unrelated to the y-axis).
+    pub extras: Vec<(String, Vec<f64>)>,
     /// Y-axis unit for display.
     pub y_unit: String,
 }
@@ -33,6 +40,7 @@ impl Figure {
             x_label: "#threads".into(),
             xs,
             series: Vec::new(),
+            extras: Vec::new(),
             y_unit: "Mops/s".into(),
         }
     }
@@ -53,6 +61,18 @@ impl Figure {
             "series length must match the x-axis"
         );
         self.series.push((name.into(), ys));
+    }
+
+    /// Appends an extra (non-plotted) per-x column — e.g. the
+    /// `SEC_Ada1to5_grows` resize counter; `ys.len()` must equal
+    /// `self.xs.len()`.
+    pub fn add_extra(&mut self, name: impl Into<String>, ys: Vec<f64>) {
+        assert_eq!(
+            ys.len(),
+            self.xs.len(),
+            "extra column length must match the x-axis"
+        );
+        self.extras.push((name.into(), ys));
     }
 
     /// Renders the aligned text table the binaries print.
@@ -91,6 +111,21 @@ impl Figure {
                     at_max[1].0,
                     at_max[0].1 / at_max[1].1
                 );
+            }
+        }
+        // Extra (unplotted) columns as a footnote block.
+        if !self.extras.is_empty() {
+            let _ = write!(out, "#  counters:{:>8}", self.x_label);
+            for (name, _) in &self.extras {
+                let _ = write!(out, " {name:>18}");
+            }
+            let _ = writeln!(out);
+            for (i, x) in self.xs.iter().enumerate() {
+                let _ = write!(out, "#  {x:>17}");
+                for (_, ys) in &self.extras {
+                    let _ = write!(out, " {:>18.1}", ys[i]);
+                }
+                let _ = writeln!(out);
             }
         }
         out
@@ -162,17 +197,18 @@ impl Figure {
         out
     }
 
-    /// Renders CSV (`threads,<series...>` header then one row per x).
+    /// Renders CSV (`threads,<series...>,<extras...>` header then one
+    /// row per x; extra columns come after the plotted series).
     pub fn render_csv(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "threads");
-        for (name, _) in &self.series {
+        for (name, _) in self.series.iter().chain(&self.extras) {
             let _ = write!(out, ",{name}");
         }
         let _ = writeln!(out);
         for (i, x) in self.xs.iter().enumerate() {
             let _ = write!(out, "{x}");
-            for (_, ys) in &self.series {
+            for (_, ys) in self.series.iter().chain(&self.extras) {
                 let _ = write!(out, ",{:.6}", ys[i]);
             }
             let _ = writeln!(out);
@@ -221,6 +257,31 @@ mod tests {
         assert_eq!(lines[0], "threads,SEC,TRB");
         assert_eq!(lines.len(), 4);
         assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn extra_columns_reach_csv_and_table_footnote_but_not_the_plot() {
+        let mut f = sample();
+        f.add_extra("SEC_grows", vec![0.0, 2.0, 5.0]);
+        f.add_extra("SEC_shrinks", vec![0.0, 1.0, 3.0]);
+        let csv = f.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "threads,SEC,TRB,SEC_grows,SEC_shrinks");
+        assert!(lines[3].starts_with("4,"));
+        assert!(lines[3].contains(",5.000000,3.000000"));
+        let table = f.render_table();
+        assert!(table.contains("counters:"));
+        assert!(table.contains("SEC_grows"));
+        // The plot must ignore extras (their scale is unrelated).
+        let plot = f.render_ascii_plot(8);
+        assert!(!plot.contains("SEC_grows"));
+    }
+
+    #[test]
+    #[should_panic(expected = "extra column length")]
+    fn mismatched_extra_panics() {
+        let mut f = Figure::new("bad", vec![1, 2]);
+        f.add_extra("x", vec![1.0]);
     }
 
     #[test]

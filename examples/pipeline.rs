@@ -1,17 +1,24 @@
 //! A two-stage producer/consumer pipeline on the extension types: a
-//! sharded [`SecPool`] as the hot free-buffer pool and a [`SecDeque`]
-//! as the stage-1 → stage-2 hand-off (producers `push_back`, consumers
-//! `pop_front` ⇒ FIFO through opposite deque ends; urgent items jump
-//! the line via `push_front`).
+//! sharded [`SecPool`] as the hot free-buffer pool, a [`SecQueue`] as
+//! the stage-1 → stage-2 hand-off (a true FIFO — producers `enqueue`,
+//! consumers `dequeue`, batch splices preserve arrival order), and a
+//! [`SecDeque`] as the urgent-items lane (urgent jobs `push_front` and
+//! are drained before the main queue is consulted).
+//!
+//! Earlier revisions emulated FIFO by pushing one end of the deque and
+//! popping the other; the dedicated queue makes the hand-off's contract
+//! explicit and keeps the deque for what actually needs double-ended
+//! access — line-jumping.
 //!
 //! ```text
 //! cargo run --release --example pipeline
 //! ```
 //!
 //! [`SecPool`]: sec_repro::ext::SecPool
+//! [`SecQueue`]: sec_repro::ext::SecQueue
 //! [`SecDeque`]: sec_repro::ext::SecDeque
 
-use sec_repro::ext::{SecDeque, SecPool};
+use sec_repro::ext::{SecDeque, SecPool, SecQueue};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A work item travelling through the pipeline.
@@ -35,7 +42,8 @@ fn main() {
         }
     }
 
-    let queue: SecDeque<Job> = SecDeque::new(PRODUCERS + CONSUMERS + 1);
+    let queue: SecQueue<Job> = SecQueue::new(PRODUCERS + CONSUMERS + 1);
+    let urgent_lane: SecDeque<Job> = SecDeque::new(PRODUCERS + CONSUMERS + 1);
     let produced_done = AtomicUsize::new(0);
     let consumed = AtomicUsize::new(0);
     let urgent_seen = AtomicUsize::new(0);
@@ -43,14 +51,16 @@ fn main() {
     let start = std::time::Instant::now();
     std::thread::scope(|scope| {
         // Stage 1: producers draw a buffer from the pool, "fill" it,
-        // and enqueue a job. Every 1000th job is urgent and jumps the
-        // queue via push_front.
+        // and enqueue a job. Every 1000th job is urgent and takes the
+        // deque lane, jumping everything queued in stage 2.
         for p in 0..PRODUCERS {
             let queue = &queue;
+            let urgent_lane = &urgent_lane;
             let pool = &pool;
             let produced_done = &produced_done;
             scope.spawn(move || {
                 let mut q = queue.register();
+                let mut u = urgent_lane.register();
                 let mut b = pool.register();
                 for i in 0..JOBS_PER_PRODUCER {
                     let buf = b.get().unwrap_or_else(|| vec![0u8; 1024]);
@@ -62,41 +72,45 @@ fn main() {
                         payload,
                     };
                     if job.urgent {
-                        q.push_front(job);
+                        u.push_front(job);
                     } else {
-                        q.push_back(job);
+                        q.enqueue(job);
                     }
                 }
                 produced_done.fetch_add(1, Ordering::SeqCst);
             });
         }
 
-        // Stage 2: consumers drain the deque from the front.
+        // Stage 2: consumers drain the urgent lane first, then the
+        // FIFO queue.
         for _ in 0..CONSUMERS {
             let queue = &queue;
+            let urgent_lane = &urgent_lane;
             let produced_done = &produced_done;
             let consumed = &consumed;
             let urgent_seen = &urgent_seen;
             scope.spawn(move || {
                 let mut q = queue.register();
+                let mut u = urgent_lane.register();
                 let mut checksum = 0u64;
+                let process = |job: Job, checksum: &mut u64| {
+                    *checksum = checksum.wrapping_add(job.id ^ job.payload);
+                    if job.urgent {
+                        urgent_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                };
                 loop {
-                    match q.pop_front() {
-                        Some(job) => {
-                            checksum = checksum.wrapping_add(job.id ^ job.payload);
-                            if job.urgent {
-                                urgent_seen.fetch_add(1, Ordering::Relaxed);
-                            }
-                            consumed.fetch_add(1, Ordering::Relaxed);
-                        }
+                    match u.pop_front().or_else(|| q.dequeue()) {
+                        Some(job) => process(job, &mut checksum),
                         None => {
                             if produced_done.load(Ordering::SeqCst) == PRODUCERS {
                                 // Producers finished; one more look in
-                                // case of a late enqueue.
-                                if q.pop_front().is_none() {
-                                    break;
+                                // case of a late hand-off on either lane.
+                                match u.pop_front().or_else(|| q.dequeue()) {
+                                    Some(job) => process(job, &mut checksum),
+                                    None => break,
                                 }
-                                consumed.fetch_add(1, Ordering::Relaxed);
                             } else {
                                 std::thread::yield_now();
                             }
@@ -117,9 +131,10 @@ fn main() {
         done as f64 / elapsed.as_secs_f64() / 1e6
     );
     println!(
-        "urgent jobs expedited: {} (pool elimination share: {:.0}%)",
+        "urgent jobs expedited: {} (pool elimination: {:.0}%, queue rendezvous hits: {})",
         urgent_seen.load(Ordering::Relaxed),
-        pool.pct_eliminated()
+        pool.pct_eliminated(),
+        queue.rendezvous_hits()
     );
     assert_eq!(done, total, "every job must be consumed exactly once");
 }

@@ -7,9 +7,13 @@
 //!
 //! * [`SecStack`] — the paper's stack (aggregators → batches →
 //!   counter-based elimination → substack combining),
+//! * [`ext::SecQueue`] — the FIFO queue built from the same mechanisms
+//!   (per-end batches, single-CAS splice/unlink, empty-only
+//!   elimination; DESIGN.md §9),
 //! * [`baselines`] — the five competitor stacks from the evaluation
 //!   (Treiber, elimination-backoff, flat-combining, CC-Synch,
-//!   timestamped-interval),
+//!   timestamped-interval) plus the queue baselines (Michael–Scott,
+//!   locked `VecDeque`),
 //! * [`reclaim`] — the DEBRA-style epoch-based reclamation substrate,
 //! * [`sync`] — concurrency primitives (backoff, cache padding, TTAS
 //!   lock, TSC clock, aggregating funnels),
@@ -41,8 +45,8 @@
 #![warn(missing_docs)]
 
 pub use sec_core::{
-    topology_shard, AggregatorPolicy, BatchReport, ConcurrentStack, SecConfig, SecHandle, SecStack,
-    SecStats, ShardPolicy, StackHandle,
+    topology_shard, AggregatorPolicy, BatchReport, ConcurrentQueue, ConcurrentStack, QueueHandle,
+    SecConfig, SecHandle, SecStack, SecStats, ShardPolicy, StackHandle,
 };
 
 /// The elastic-sharding contention monitor (DESIGN.md §8): pure
@@ -52,19 +56,22 @@ pub mod elastic {
     pub use sec_core::sec::elastic::{decide, ContentionMonitor, Direction, WindowSample};
 }
 
-/// Extensions built from the paper's mechanisms (DESIGN.md §7): a
-/// sharded pool and a deque with per-end elimination + combining.
+/// Extensions built from the paper's mechanisms (DESIGN.md §7 and §9):
+/// a sharded pool, a deque with per-end elimination + combining, and
+/// the batched-combining FIFO queue.
 pub mod ext {
     pub use sec_core::deque::{DequeHandle, End, SecDeque};
     pub use sec_core::pool::{PoolHandle, SecPool};
+    pub use sec_core::queue::{SecQueue, SecQueueHandle};
 }
 
-/// The five competitor stacks of the paper's evaluation.
+/// The five competitor stacks of the paper's evaluation, plus the
+/// queue-family baselines (Michael–Scott, locked `VecDeque`).
 pub mod baselines {
     pub use sec_baselines::{
-        CcHandle, CcStack, EbHandle, EbStack, FcHandle, FcStack, LockedHandle, LockedStack,
-        SeqStack, TreiberHandle, TreiberHpHandle, TreiberHpStack, TreiberStack, TsiHandle,
-        TsiStack,
+        CcHandle, CcStack, EbHandle, EbStack, FcHandle, FcStack, LockedHandle, LockedQueue,
+        LockedQueueHandle, LockedStack, MsHandle, MsQueue, SeqStack, TreiberHandle,
+        TreiberHpHandle, TreiberHpStack, TreiberStack, TsiHandle, TsiStack,
     };
 }
 
@@ -89,7 +96,8 @@ pub mod linearize {
 /// Workload generation and throughput measurement.
 pub mod workload {
     pub use sec_workload::{
-        replay, run_algo, run_throughput, stats, table, trace, Algo, Mix, OpKind, ReplayResult,
-        RunConfig, RunResult, Trace, TraceOp, ALL_COMPETITORS, EXTENDED_LINEUP,
+        replay, run_algo, run_queue_throughput, run_throughput, stats, table, trace, Algo, Mix,
+        OpKind, ReplayResult, RunConfig, RunResult, Trace, TraceOp, ALL_COMPETITORS,
+        EXTENDED_LINEUP, QUEUE_LINEUP,
     };
 }

@@ -1,10 +1,11 @@
-//! Integration: value conservation under concurrency, for all six
-//! stacks — every pushed value is popped exactly once (run + drain),
-//! none invented, none lost.
+//! Integration: value conservation under concurrency — for all six
+//! stacks (every pushed value is popped exactly once, run + drain, none
+//! invented, none lost) and for the queue family (the same contract
+//! over enqueue/dequeue).
 
 mod common;
 
-use sec_repro::{ConcurrentStack, StackHandle};
+use sec_repro::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
 use std::collections::HashSet;
 use std::thread;
 
@@ -106,6 +107,114 @@ fn sec_adaptive_conserves_values_under_forced_resizes() {
     );
     let active = stack.active_aggregators();
     assert!((1..=4).contains(&active), "active {active} out of [1, 4]");
+}
+
+/// Queue-family conservation: no value invented, lost, or dequeued
+/// twice (run + drain), mirroring the stack scenario above.
+fn queue_conservation<Q: ConcurrentQueue<u64>>(queue: &Q, name: &str, threads: usize, per: usize) {
+    let dequeued: Vec<Vec<u64>> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut h = queue.register();
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        h.enqueue((t * per + i) as u64);
+                        if i % 3 != 0 {
+                            if let Some(v) = h.dequeue() {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    for v in dequeued.into_iter().flatten() {
+        assert!(
+            seen.insert(v),
+            "[{name}] value {v} dequeued twice during run"
+        );
+        assert!(
+            (v as usize) < threads * per,
+            "[{name}] value {v} invented (never enqueued)"
+        );
+    }
+    let mut h = queue.register();
+    while let Some(v) = h.dequeue() {
+        assert!(seen.insert(v), "[{name}] value {v} dequeued twice in drain");
+    }
+    assert_eq!(
+        seen.len(),
+        threads * per,
+        "[{name}] values lost: expected {} distinct dequeues",
+        threads * per
+    );
+    assert_eq!(h.dequeue(), None, "[{name}] queue must end empty");
+}
+
+/// Invokes `$body` once per queue implementation (SEC-Q with and
+/// without the rendezvous window, MS, LCK-Q).
+macro_rules! with_all_queues {
+    ($max_threads:expr, |$queue:ident, $name:ident| $body:block) => {{
+        {
+            let $queue: sec_repro::ext::SecQueue<u64> = sec_repro::ext::SecQueue::new($max_threads);
+            let $name = "SEC-Q";
+            $body
+        }
+        {
+            let $queue: sec_repro::ext::SecQueue<u64> =
+                sec_repro::ext::SecQueue::new($max_threads).rendezvous_spins(0);
+            let $name = "SEC-Q/no-rdv";
+            $body
+        }
+        {
+            let $queue: sec_repro::baselines::MsQueue<u64> =
+                sec_repro::baselines::MsQueue::new($max_threads);
+            let $name = "MS";
+            $body
+        }
+        {
+            let $queue: sec_repro::baselines::LockedQueue<u64> =
+                sec_repro::baselines::LockedQueue::new($max_threads);
+            let $name = "LCK-Q";
+            $body
+        }
+    }};
+}
+
+#[test]
+fn all_queues_conserve_values_4_threads() {
+    with_all_queues!(5, |queue, name| {
+        queue_conservation(&queue, name, 4, 1_500);
+    });
+}
+
+#[test]
+fn all_queues_conserve_values_oversubscribed() {
+    with_all_queues!(13, |queue, name| {
+        queue_conservation(&queue, name, 12, 400);
+    });
+}
+
+#[test]
+fn all_queues_agree_on_emptiness_and_fifo() {
+    with_all_queues!(2, |queue, name| {
+        let mut h = queue.register();
+        assert_eq!(h.dequeue(), None, "[{name}] fresh queue dequeues EMPTY");
+        h.enqueue(1);
+        h.enqueue(2);
+        assert_eq!(h.dequeue(), Some(1), "[{name}] FIFO order");
+        assert_eq!(h.dequeue(), Some(2), "[{name}] FIFO order");
+        assert_eq!(h.dequeue(), None, "[{name}] drained queue dequeues EMPTY");
+    });
 }
 
 #[test]

@@ -119,7 +119,7 @@ fn facade_re_exports_are_live() {
         sec_repro::workload::run_algo(sec_repro::workload::Algo::Sec { aggregators: 2 }, &cfg);
     assert!(run.result.ops > 0, "throughput run must complete ops");
 
-    // ext: the pool and deque extensions.
+    // ext: the pool, deque and queue extensions.
     let pool: sec_repro::ext::SecPool<u64> = sec_repro::ext::SecPool::new(1, 1);
     let mut ph = pool.register();
     ph.put(3);
@@ -128,4 +128,27 @@ fn facade_re_exports_are_live() {
     let mut dh = deque.register();
     dh.push_back(4);
     assert_eq!(dh.pop_front(), Some(4));
+    let queue: sec_repro::ext::SecQueue<u64> = sec_repro::ext::SecQueue::new(1);
+    let mut qh = queue.register();
+    qh.enqueue(5);
+    qh.enqueue(6);
+    assert_eq!(qh.dequeue(), Some(5));
+    assert_eq!(qh.dequeue(), Some(6));
+    assert_eq!(queue.rendezvous_hits(), 0);
+
+    // The queue-family trait surface + baselines + workload path.
+    fn trait_object_name<Q: sec_repro::ConcurrentQueue<u64>>(q: &Q) -> &'static str {
+        q.name()
+    }
+    assert_eq!(trait_object_name(&queue), "SEC-Q");
+    let ms: sec_repro::baselines::MsQueue<u64> = sec_repro::baselines::MsQueue::new(1);
+    assert_eq!(trait_object_name(&ms), "MS");
+    let lckq: sec_repro::baselines::LockedQueue<u64> = sec_repro::baselines::LockedQueue::new(1);
+    assert_eq!(trait_object_name(&lckq), "LCK-Q");
+    let qrun = sec_repro::workload::run_algo(sec_repro::workload::Algo::SecQueue, &cfg);
+    assert!(
+        qrun.result.ops > 0,
+        "queue throughput run must complete ops"
+    );
+    assert_eq!(sec_repro::workload::QUEUE_LINEUP.len(), 3);
 }

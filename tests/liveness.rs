@@ -152,8 +152,8 @@ fn all_stacks_complete_fixed_work_oversubscribed() {
 
 #[test]
 fn extensions_share_the_liveness_properties() {
-    use sec_repro::ext::{End, SecDeque, SecPool};
-    within_secs(30, "pool/deque liveness", || {
+    use sec_repro::ext::{End, SecDeque, SecPool, SecQueue};
+    within_secs(30, "pool/deque/queue liveness", || {
         let pool: SecPool<u64> = SecPool::new(2, 2);
         let mut p = pool.register();
         assert_eq!(p.get(), None);
@@ -169,5 +169,31 @@ fn extensions_share_the_liveness_properties() {
         assert_eq!(d.pop_back(), Some(2));
         assert_eq!(d.pop_front(), Some(1));
         let _ = End::Front; // the enum is part of the public surface
+
+        // Dequeue on empty must return None promptly even though the
+        // combiner holds a rendezvous window open for elimination —
+        // the window is bounded (DESIGN.md §9).
+        let queue: SecQueue<u64> = SecQueue::new(2);
+        let mut q = queue.register();
+        for _ in 0..500 {
+            assert_eq!(q.dequeue(), None);
+        }
+        q.enqueue(1);
+        assert_eq!(q.dequeue(), Some(1));
+    });
+}
+
+#[test]
+fn lone_thread_queue_completes_unaided() {
+    use sec_repro::ext::SecQueue;
+    // One thread is freezer and combiner of every batch it opens, on
+    // both ends; nobody exists to eliminate or combine with.
+    within_secs(30, "lone queue thread", || {
+        let queue: SecQueue<u64> = SecQueue::new(8);
+        let mut h = queue.register();
+        for i in 0..20_000 {
+            h.enqueue(i);
+            assert_eq!(h.dequeue(), Some(i));
+        }
     });
 }

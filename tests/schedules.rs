@@ -24,6 +24,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sec_linearize::spec::queue::{QueueOp, QueueSpec};
+use sec_linearize::spec::{check_generic, TimedOp};
+use sec_repro::ext::SecQueue;
 use sec_repro::linearize::{check_conservation, check_history, Event, Op, Recorder};
 use sec_repro::{SecConfig, SecStack};
 use std::sync::Mutex;
@@ -315,6 +318,235 @@ fn identical_seeds_derive_identical_schedules() {
     for (sa, sb) in a.scripts.iter().zip(&b.scripts) {
         assert_eq!(format!("{sa:?}"), format!("{sb:?}"));
     }
+}
+
+// ----------------------------------------------------------------------
+// Queue schedules: the same seed-derived harness, retargeted at the
+// SecQueue tentpole (per-end batches have their own interleaving
+// surface — batch cuts, the swing-then-link gap, and the empty
+// rendezvous window — permuted here through yield points and a
+// seed-chosen rendezvous budget).
+// ----------------------------------------------------------------------
+
+/// One step of a queue thread's script.
+#[derive(Debug, Clone, Copy)]
+enum QueueAction {
+    /// Enqueue the next globally-unique value.
+    Enqueue,
+    Dequeue,
+    /// Offer preemption `n` times before the next step.
+    Yield(u8),
+}
+
+/// A seed-derived queue schedule.
+#[derive(Debug)]
+struct QueueSchedule {
+    seed: u64,
+    /// Rendezvous window (0 disables empty-only elimination — both
+    /// paths must appear across a sweep).
+    rendezvous_spins: u32,
+    scripts: Vec<Vec<QueueAction>>,
+}
+
+impl QueueSchedule {
+    fn derive(seed: u64, small: bool) -> Self {
+        // Distinct stream from the stack schedules of the same seed.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x000F_EED0_5EC0_FEE0);
+        let threads = if small {
+            2 + rng.gen_range(0..2) as usize
+        } else {
+            4 + rng.gen_range(0..4) as usize
+        };
+        let ops_per_thread = if small {
+            5 + rng.gen_range(0..4) as usize
+        } else {
+            150 + rng.gen_range(0..250) as usize
+        };
+        let rendezvous_spins = match rng.gen_range(0..3) {
+            0 => 0,
+            1 => 16,
+            _ => 256,
+        };
+        let scripts = (0..threads)
+            .map(|_| {
+                let mut script = Vec::new();
+                for _ in 0..ops_per_thread {
+                    if rng.gen_range(0..3) == 0 {
+                        script.push(QueueAction::Yield(1 + rng.gen_range(0..3) as u8));
+                    }
+                    script.push(if rng.gen_range(0..2) == 0 {
+                        QueueAction::Enqueue
+                    } else {
+                        QueueAction::Dequeue
+                    });
+                }
+                script
+            })
+            .collect();
+        QueueSchedule {
+            seed,
+            rendezvous_spins,
+            scripts,
+        }
+    }
+}
+
+/// Runs a queue schedule, returning the recorded generic-checker
+/// history plus the values still in the queue at the end (drained by a
+/// final handle, so lost values are detectable).
+fn run_queue_schedule(s: &QueueSchedule) -> (Vec<TimedOp<QueueOp<u64>>>, Vec<u64>) {
+    // One extra slot for the drain handle below.
+    let queue: SecQueue<u64> =
+        SecQueue::new(s.scripts.len() + 1).rendezvous_spins(s.rendezvous_spins);
+    let rec = Recorder::new();
+    let events: Mutex<Vec<TimedOp<QueueOp<u64>>>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for (t, script) in s.scripts.iter().enumerate() {
+            let queue = &queue;
+            let rec = &rec;
+            let events = &events;
+            scope.spawn(move || {
+                let mut h = queue.register();
+                let mut local = Vec::new();
+                let mut pushed = 0usize;
+                for action in script {
+                    if let QueueAction::Yield(n) = *action {
+                        for _ in 0..n {
+                            thread::yield_now();
+                        }
+                        continue;
+                    }
+                    let invoke = rec.now();
+                    let op = match *action {
+                        QueueAction::Enqueue => {
+                            let v = (t * 1_000_000 + pushed) as u64;
+                            pushed += 1;
+                            h.enqueue(v);
+                            QueueOp::Enqueue(v)
+                        }
+                        QueueAction::Dequeue => QueueOp::Dequeue(h.dequeue()),
+                        QueueAction::Yield(_) => unreachable!(),
+                    };
+                    let response = rec.now();
+                    local.push(TimedOp {
+                        op,
+                        invoke,
+                        response,
+                    });
+                }
+                events.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut drain = queue.register();
+    let mut drained = Vec::new();
+    while let Some(v) = drain.dequeue() {
+        drained.push(v);
+    }
+    (events.into_inner().unwrap(), drained)
+}
+
+/// Linear-time conservation pass over a queue history + final drain: no
+/// value invented, lost, or dequeued twice (the queue analogue of
+/// `check_conservation`, for schedules too large for Wing–Gong).
+fn check_queue_conservation(
+    history: &[TimedOp<QueueOp<u64>>],
+    drained: &[u64],
+) -> Result<(), String> {
+    let mut enqueued: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut dequeued: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for e in history {
+        match &e.op {
+            QueueOp::Enqueue(v) => {
+                if !enqueued.insert(*v) {
+                    return Err(format!("value {v} enqueued twice (test bug)"));
+                }
+            }
+            QueueOp::Dequeue(Some(v)) => {
+                if !dequeued.insert(*v) {
+                    return Err(format!("value {v} dequeued twice"));
+                }
+            }
+            QueueOp::Dequeue(None) => {}
+        }
+    }
+    for v in drained {
+        if !dequeued.insert(*v) {
+            return Err(format!("value {v} dequeued twice (drain)"));
+        }
+    }
+    if let Some(v) = dequeued.difference(&enqueued).next() {
+        return Err(format!("value {v} dequeued but never enqueued"));
+    }
+    if dequeued.len() != enqueued.len() {
+        let lost: Vec<u64> = enqueued.difference(&dequeued).copied().collect();
+        return Err(format!(
+            "{} value(s) lost (enqueued, never dequeued): {lost:?}",
+            lost.len()
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn small_queue_schedules_are_linearizable() {
+    let mut saw_rendezvous_off = false;
+    let mut saw_rendezvous_on = false;
+    let seeds = sweep_seeds(24);
+    let full_sweep = coverage_asserts_apply(seeds.len());
+    for seed in seeds {
+        let schedule = QueueSchedule::derive(seed, true);
+        if schedule.rendezvous_spins == 0 {
+            saw_rendezvous_off = true;
+        } else {
+            saw_rendezvous_on = true;
+        }
+        let (history, drained) = run_queue_schedule(&schedule);
+        check_queue_conservation(&history, &drained).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} (rdv {}): queue conservation violated: {e}\n{}",
+                schedule.rendezvous_spins,
+                replay_hint(seed)
+            )
+        });
+        check_generic::<QueueSpec<u64>>(&history).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} (rdv {}): queue history not linearizable: {e}\n{}\n{history:#?}",
+                schedule.rendezvous_spins,
+                replay_hint(seed)
+            )
+        });
+    }
+    if full_sweep {
+        assert!(
+            saw_rendezvous_off && saw_rendezvous_on,
+            "sweep must cover both rendezvous settings"
+        );
+    }
+}
+
+#[test]
+fn large_queue_schedules_conserve_values() {
+    for seed in sweep_seeds(6) {
+        let schedule = QueueSchedule::derive(seed, false);
+        let (history, drained) = run_queue_schedule(&schedule);
+        check_queue_conservation(&history, &drained).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: queue conservation violated: {e}\n{}",
+                replay_hint(seed)
+            )
+        });
+    }
+}
+
+#[test]
+fn identical_seeds_derive_identical_queue_schedules() {
+    let a = QueueSchedule::derive(0xD15EA5E, true);
+    let b = QueueSchedule::derive(0xD15EA5E, true);
+    assert_eq!(a.rendezvous_spins, b.rendezvous_spins);
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(format!("{:?}", a.scripts), format!("{:?}", b.scripts));
 }
 
 #[test]
