@@ -7,12 +7,15 @@
 //! ```
 //!
 //! Prints one table per mix (series = algorithms, rows = thread counts,
-//! cells = Mops/s) and writes `results/fig2_upd{100,50,10}.csv`.
+//! cells = Mops/s) and writes `results/fig2_upd{100,50,10}.csv`. The
+//! SEC series additionally carries its node-recycling counter block
+//! (hit %, misses, overflows — DESIGN.md §10) as unplotted CSV columns,
+//! the same way the elastic figures carry the resize counters.
 
 use sec_bench::BenchOpts;
-use sec_workload::stats::Summary;
+use sec_workload::stats::{ReclaimTotals, Summary};
 use sec_workload::table::Figure;
-use sec_workload::{run_algo, Mix, RunConfig, ALL_COMPETITORS};
+use sec_workload::{run_algo, Algo, Mix, RunConfig, ALL_COMPETITORS};
 use std::time::Duration;
 
 fn main() {
@@ -31,19 +34,23 @@ fn main() {
         let mut fig = Figure::new(format!("Figure 2 — {mix}"), sweep.clone());
         for algo in ALL_COMPETITORS {
             let mut ys = Vec::with_capacity(sweep.len());
+            let mut recycle_cols: Vec<ReclaimTotals> = Vec::with_capacity(sweep.len());
             for &threads in &sweep {
                 let cfg = RunConfig {
                     duration: opts.duration,
                     prefill: opts.prefill,
                     ..RunConfig::new(threads, mix)
                 };
+                let mut recycle = ReclaimTotals::new();
                 let samples: Vec<f64> = (0..opts.runs)
                     .map(|r| {
                         let cfg = RunConfig {
                             seed: cfg.seed ^ (r as u64) << 32,
                             ..cfg
                         };
-                        run_algo(algo, &cfg).result.mops()
+                        let out = run_algo(algo, &cfg);
+                        recycle.add(out.reclaim.as_ref());
+                        out.result.mops()
                     })
                     .collect();
                 let s = Summary::of(&samples);
@@ -53,8 +60,25 @@ fn main() {
                     s.cv_pct()
                 );
                 ys.push(s.mean);
+                recycle_cols.push(recycle);
             }
             fig.add_series(algo.label(), ys);
+            // SEC is the only series with a collector: its recycle
+            // counter block rides along as unplotted CSV columns.
+            if matches!(algo, Algo::Sec { .. }) {
+                fig.add_extra(
+                    format!("{}_recycle_hit_pct", algo.label()),
+                    recycle_cols.iter().map(|r| r.hit_pct()).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_misses", algo.label()),
+                    recycle_cols.iter().map(|r| r.misses as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_overflows", algo.label()),
+                    recycle_cols.iter().map(|r| r.overflows as f64).collect(),
+                );
+            }
         }
         println!("{}", fig.render_table());
         println!("{}", fig.render_ascii_plot(12));

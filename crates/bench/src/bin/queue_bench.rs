@@ -12,13 +12,14 @@
 //! Prints one table + ASCII plot per mix and writes
 //! `results/queue_{upd100,enq_only,deq_only}.csv`. Each CSV carries,
 //! beyond the throughput series, SEC-Q's per-cell batching columns
-//! (batching degree, combiner CAS failures) and the grow/shrink resize
+//! (batching degree, combiner CAS failures), the grow/shrink resize
 //! counters every SEC report exports (structurally zero for the queue,
 //! which does not resize aggregators — the column is part of the
-//! standard SEC counter block).
+//! standard SEC counter block), and the node-recycling counter block
+//! (hit %, misses, overflows — DESIGN.md §10).
 
 use sec_bench::BenchOpts;
-use sec_workload::stats::{ResizeTotals, Summary};
+use sec_workload::stats::{ReclaimTotals, ResizeTotals, Summary};
 use sec_workload::table::Figure;
 use sec_workload::{run_algo, Algo, Mix, RunConfig, QUEUE_LINEUP};
 
@@ -41,6 +42,7 @@ fn main() {
             let mut degrees = Vec::with_capacity(sweep.len());
             let mut cas_fails = Vec::with_capacity(sweep.len());
             let mut resize_cols: Vec<ResizeTotals> = Vec::with_capacity(sweep.len());
+            let mut recycle_cols: Vec<ReclaimTotals> = Vec::with_capacity(sweep.len());
             for &threads in &sweep {
                 // Dequeue-only: scale the prefill with the measurement
                 // window so dequeues measure removal, not the EMPTY
@@ -56,6 +58,7 @@ fn main() {
                     ..RunConfig::new(threads, mix)
                 };
                 let mut resizes = ResizeTotals::new();
+                let mut recycle = ReclaimTotals::new();
                 let mut degree_sum = 0.0;
                 let mut cas_sum = 0u64;
                 let samples: Vec<f64> = (0..opts.runs)
@@ -70,6 +73,7 @@ fn main() {
                             cas_sum += rep.cas_failures;
                         }
                         resizes.add(out.sec_report.as_ref());
+                        recycle.add(out.reclaim.as_ref());
                         out.result.mops()
                     })
                     .collect();
@@ -84,6 +88,7 @@ fn main() {
                 degrees.push(degree_sum / opts.runs.max(1) as f64);
                 cas_fails.push(cas_sum as f64);
                 resize_cols.push(resizes);
+                recycle_cols.push(recycle);
             }
             fig.add_series(algo.label(), ys);
             // SEC-Q is the only queue with a batch layer: its counter
@@ -98,6 +103,18 @@ fn main() {
                 fig.add_extra(
                     format!("{}_shrinks", algo.label()),
                     resize_cols.iter().map(|r| r.shrinks as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_hit_pct", algo.label()),
+                    recycle_cols.iter().map(|r| r.hit_pct()).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_misses", algo.label()),
+                    recycle_cols.iter().map(|r| r.misses as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_overflows", algo.label()),
+                    recycle_cols.iter().map(|r| r.overflows as f64).collect(),
                 );
             }
         }

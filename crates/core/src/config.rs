@@ -7,6 +7,12 @@
 //!   all-round setting) or an elastic range `[min_k, max_k]` resized at
 //!   runtime by the contention monitor (DESIGN.md §8);
 //! * [`ShardPolicy`] — how thread ids map onto the active aggregators.
+//!
+//! A third, orthogonal knob — [`RecyclePolicy`] — governs whether
+//! retired nodes and batches are recycled through per-thread free lists
+//! instead of freed (DESIGN.md §10; on by default).
+
+pub use sec_reclaim::RecyclePolicy;
 
 /// How thread ids map to aggregators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +164,10 @@ pub struct SecConfig {
     pub shard_policy: ShardPolicy,
     /// Fixed or elastic active-aggregator count.
     pub policy: AggregatorPolicy,
+    /// Node/batch recycling through per-thread free lists (DESIGN.md
+    /// §10). On by default ([`RecyclePolicy::per_thread`]): steady-state
+    /// operations then perform zero heap allocations.
+    pub recycle: RecyclePolicy,
 }
 
 impl SecConfig {
@@ -178,6 +188,7 @@ impl SecConfig {
             freezer_yields: 1,
             shard_policy: ShardPolicy::Block,
             policy: AggregatorPolicy::Fixed(aggregators.max(1)),
+            recycle: RecyclePolicy::default(),
         }
     }
 
@@ -212,6 +223,12 @@ impl SecConfig {
     /// Sets the sharding policy (builder style).
     pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
         self.shard_policy = policy;
+        self
+    }
+
+    /// Sets the node-recycling policy (builder style).
+    pub fn recycle(mut self, recycle: RecyclePolicy) -> Self {
+        self.recycle = recycle;
         self
     }
 
@@ -345,6 +362,21 @@ mod tests {
             .shard_policy(ShardPolicy::RoundRobin);
         assert_eq!(c.freezer_backoff, 7);
         assert_eq!(c.shard_policy, ShardPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn recycling_defaults_on_and_builder_toggles() {
+        let c = SecConfig::new(2, 4);
+        assert!(c.recycle.is_on(), "recycling is on by default");
+        assert_eq!(
+            c.recycle.cache_cap(),
+            RecyclePolicy::DEFAULT_CACHE_CAP,
+            "default cache bound"
+        );
+        let c = c.recycle(RecyclePolicy::Off);
+        assert!(!c.recycle.is_on());
+        let c = c.recycle(RecyclePolicy::PerThread { cache_cap: 8 });
+        assert_eq!(c.recycle.cache_cap(), 8);
     }
 
     #[test]

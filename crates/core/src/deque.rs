@@ -26,7 +26,7 @@
 //! (announcement counters, freezing, slot elimination, combining), not
 //! a new lock-free deque.
 
-use crate::config::SecConfig;
+use crate::config::{RecyclePolicy, SecConfig};
 use crate::sec::batch::{Aggregator, Batch};
 use crate::sec::node::Node;
 use core::fmt;
@@ -86,10 +86,33 @@ impl<T: Send + 'static> SecDeque<T> {
             inner: TtasLock::new(VecDeque::new()),
             front: Aggregator::new(cap),
             back: Aggregator::new(cap),
-            collector: Collector::new(cap),
+            collector: Collector::with_recycle(cap, config.recycle),
             config,
             batch_capacity: cap,
         }
+    }
+
+    /// Sets the node-recycling policy (builder style; the default is
+    /// [`RecyclePolicy::per_thread`]). Must be applied before any
+    /// thread registers, which the consuming receiver guarantees.
+    pub fn recycle_policy(mut self, recycle: RecyclePolicy) -> Self {
+        self.config.recycle = recycle;
+        self.collector.set_recycle_policy(recycle);
+        self
+    }
+
+    /// Reclamation statistics (diagnostic). The recycle hit/miss/
+    /// overflow counters are exact once every handle has dropped.
+    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.collector.stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances); see [`SecStack::quiesce_reclamation`].
+    ///
+    /// [`SecStack::quiesce_reclamation`]: crate::SecStack::quiesce_reclamation
+    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.collector.quiesce(rounds)
     }
 
     /// Registers the calling thread.
@@ -134,9 +157,9 @@ impl<T: Send + 'static> SecDeque<T> {
             let pushes = batch.push_count.load(Ordering::Acquire);
             batch.pop_at_freeze.store(pops, Ordering::Relaxed);
             batch.push_at_freeze.store(pushes, Ordering::Relaxed);
-            let fresh = Batch::alloc(self.batch_capacity);
+            let fresh = Batch::alloc_with(guard.handle(), self.batch_capacity);
             agg.batch.store(fresh, Ordering::Release);
-            unsafe { guard.retire(batch_ptr) };
+            unsafe { Batch::retire_with(guard, batch_ptr) };
         } else {
             let mut backoff = Backoff::new();
             while ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr) {
@@ -162,9 +185,9 @@ impl<T: Send + 'static> SecDeque<T> {
             };
             // Safety: slots with i ≥ popCountAtFreeze have no
             // eliminating partner; the combiner is their unique
-            // consumer.
+            // consumer. Payload out, husk recycles.
             let value = unsafe { Node::take_value(node) };
-            unsafe { guard.retire(node) };
+            unsafe { guard.retire_recycle(node) };
             match end {
                 End::Front => deque.push_front(value),
                 End::Back => deque.push_back(value),
@@ -175,7 +198,7 @@ impl<T: Send + 'static> SecDeque<T> {
     /// Combiner for a pop-majority batch: remove one element per
     /// surviving pop and publish them as a result chain (the deque
     /// analogue of the substack from `PopFromStack`).
-    fn combine_pops(&self, batch: &Batch<T>, my_seq: usize, end: End) {
+    fn combine_pops(&self, batch: &Batch<T>, my_seq: usize, end: End, guard: &Guard<'_, '_>) {
         let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
         let wanted = pop_at_freeze - my_seq;
         let mut results: Vec<*mut Node<T>> = Vec::with_capacity(wanted);
@@ -186,7 +209,9 @@ impl<T: Send + 'static> SecDeque<T> {
                     End::Front => deque.pop_front(),
                     End::Back => deque.pop_back(),
                 } {
-                    Some(v) => results.push(Node::alloc(v)),
+                    // Result carriers come off the combiner's recycle
+                    // cache — the very husks earlier batches retired.
+                    Some(v) => results.push(Node::alloc_with(guard.handle(), v)),
                     None => break, // deque exhausted: the rest get EMPTY
                 }
             }
@@ -213,7 +238,7 @@ impl<T: Send + 'static> SecDeque<T> {
             return None;
         }
         let value = unsafe { Node::take_value(cur) };
-        unsafe { guard.retire(cur) };
+        unsafe { guard.retire_recycle(cur) };
         Some(value)
     }
 }
@@ -269,7 +294,7 @@ impl<T: Send + 'static> DequeHandle<'_, T> {
     fn push(&mut self, end: End, value: T) {
         let deque = self.deque;
         let agg = deque.aggregator(end);
-        let node = Node::alloc(value);
+        let node = Node::alloc_with(&self.reclaim, value);
         loop {
             let guard = self.reclaim.pin();
             let batch_ptr = agg.batch.load(Ordering::Acquire);
@@ -325,12 +350,14 @@ impl<T: Send + 'static> DequeHandle<'_, T> {
                         }
                         backoff.snooze();
                     };
+                    // Payload out, husk recycles (as in the stack's
+                    // elimination path).
                     let value = unsafe { Node::take_value(n) };
-                    unsafe { guard.retire(n) };
+                    unsafe { guard.retire_recycle(n) };
                     return Some(value);
                 }
                 if my_seq == push_at_freeze {
-                    deque.combine_pops(batch, my_seq, end);
+                    deque.combine_pops(batch, my_seq, end, &guard);
                     batch.applied.store(true, Ordering::Release);
                 } else {
                     let mut backoff = Backoff::new();

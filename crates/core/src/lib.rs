@@ -68,8 +68,9 @@ pub mod queue;
 pub mod sec;
 mod traits;
 
-pub use config::{topology_shard, AggregatorPolicy, SecConfig, ShardPolicy};
+pub use config::{topology_shard, AggregatorPolicy, RecyclePolicy, SecConfig, ShardPolicy};
 pub use queue::{SecQueue, SecQueueHandle};
 pub use sec::stats::{BatchReport, SecStats};
 pub use sec::{SecHandle, SecStack};
+pub use sec_reclaim::CollectorStats;
 pub use traits::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};

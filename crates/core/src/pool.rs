@@ -13,9 +13,10 @@
 //! is conservation (every put is got at most/exactly once), emptiness
 //! only when all shards are empty, and the usual pool liveness.
 
-use crate::config::SecConfig;
+use crate::config::{RecyclePolicy, SecConfig};
 use crate::sec::{SecHandle, SecStack};
 use core::fmt;
+use sec_reclaim::CollectorStats;
 
 /// A relaxed-semantics concurrent pool over sharded SEC stacks.
 ///
@@ -43,10 +44,19 @@ impl<T: Send + 'static> SecPool<T> {
     /// shard is one single-aggregator SEC stack — the sharding *is* the
     /// aggregator layer, lifted to pool level.
     pub fn new(shards: usize, max_threads: usize) -> Self {
+        Self::with_recycle(shards, max_threads, RecyclePolicy::default())
+    }
+
+    /// [`SecPool::new`] with an explicit node-recycling policy, applied
+    /// to every shard stack (the default is
+    /// [`RecyclePolicy::per_thread`]).
+    pub fn with_recycle(shards: usize, max_threads: usize, recycle: RecyclePolicy) -> Self {
         let shards = shards.max(1);
         Self {
             shards: (0..shards)
-                .map(|_| SecStack::with_config(SecConfig::new(1, max_threads.max(1))))
+                .map(|_| {
+                    SecStack::with_config(SecConfig::new(1, max_threads.max(1)).recycle(recycle))
+                })
                 .collect(),
         }
     }
@@ -68,6 +78,26 @@ impl<T: Send + 'static> SecPool<T> {
         PoolHandle { handles, home }
     }
 
+    /// Reclamation statistics summed over every shard's collector
+    /// (`epoch` reports the maximum across shards — the shards advance
+    /// independently).
+    pub fn reclaim_stats(&self) -> CollectorStats {
+        self.shards
+            .iter()
+            .map(|s| s.reclaim_stats())
+            .fold(CollectorStats::default(), sum_stats)
+    }
+
+    /// Drives every shard's reclamation to completion (up to `rounds`
+    /// advances each) and returns the summed stats; see
+    /// [`SecStack::quiesce_reclamation`].
+    pub fn quiesce_reclamation(&self, rounds: usize) -> CollectorStats {
+        self.shards
+            .iter()
+            .map(|s| s.quiesce_reclamation(rounds))
+            .fold(CollectorStats::default(), sum_stats)
+    }
+
     /// Aggregate elimination share across shards (diagnostic).
     pub fn pct_eliminated(&self) -> f64 {
         let (mut elim, mut ops) = (0u64, 0u64);
@@ -81,6 +111,19 @@ impl<T: Send + 'static> SecPool<T> {
         } else {
             100.0 * elim as f64 / ops as f64
         }
+    }
+}
+
+/// Per-shard collector stats folded into a pool-wide aggregate.
+fn sum_stats(acc: CollectorStats, s: CollectorStats) -> CollectorStats {
+    CollectorStats {
+        epoch: acc.epoch.max(s.epoch),
+        retired: acc.retired + s.retired,
+        freed: acc.freed + s.freed,
+        cached: acc.cached + s.cached,
+        recycle_hits: acc.recycle_hits + s.recycle_hits,
+        recycle_misses: acc.recycle_misses + s.recycle_misses,
+        recycle_overflows: acc.recycle_overflows + s.recycle_overflows,
     }
 }
 

@@ -37,7 +37,8 @@
 //! waiter retires the node it consumed (except the chain's last, which
 //! becomes the new dummy and is retired by a later combiner).
 
-use crate::config::SecConfig;
+use crate::config::{RecyclePolicy, SecConfig};
+use crate::sec::batch::{alloc_slots_with, retire_slots};
 use crate::sec::stats::SecStats;
 use crate::traits::{ConcurrentQueue, QueueHandle};
 use core::fmt;
@@ -65,12 +66,14 @@ struct QNode<T> {
 }
 
 impl<T> QNode<T> {
-    /// Heap-allocates a detached node carrying `value`.
-    fn alloc(value: T) -> *mut QNode<T> {
-        Box::into_raw(Box::new(QNode {
+    /// Allocates a detached node carrying `value`, reusing a recycled
+    /// node block from `reclaim`'s free lists when one is available
+    /// (DESIGN.md §10).
+    fn alloc_with(reclaim: &ReclaimHandle<'_>, value: T) -> *mut QNode<T> {
+        reclaim.alloc_boxed(QNode {
             value: MaybeUninit::new(value),
             next: AtomicPtr::new(ptr::null_mut()),
-        }))
+        })
     }
 
     /// Heap-allocates the valueless dummy node.
@@ -142,14 +145,14 @@ struct QBatch<T> {
 
 impl<T> QBatch<T> {
     fn alloc(capacity: usize, with_slots: bool) -> *mut QBatch<T> {
-        let slots = if with_slots {
-            (0..capacity)
-                .map(|_| AtomicPtr::new(ptr::null_mut()))
-                .collect()
-        } else {
-            Vec::new().into_boxed_slice()
-        };
-        Box::into_raw(Box::new(QBatch {
+        Box::into_raw(Box::new(Self::fresh(
+            Self::fresh_slots(capacity, with_slots, None),
+            capacity,
+        )))
+    }
+
+    fn fresh(slots: Box<[AtomicPtr<QNode<T>>]>, capacity: usize) -> QBatch<T> {
+        QBatch {
             count: CachePadded::new(AtomicU64::new(0)),
             at_freeze: AtomicU64::new(0),
             applied: AtomicBool::new(false),
@@ -157,7 +160,54 @@ impl<T> QBatch<T> {
             taken: AtomicU64::new(0),
             slots,
             capacity,
-        }))
+        }
+    }
+
+    /// Head-side batches carry no slots (dequeuers bring no nodes);
+    /// tail-side arrays go through the shared recycled-slot helper.
+    fn fresh_slots(
+        capacity: usize,
+        with_slots: bool,
+        reclaim: Option<&ReclaimHandle<'_>>,
+    ) -> Box<[AtomicPtr<QNode<T>>]> {
+        if with_slots {
+            alloc_slots_with(reclaim, capacity)
+        } else {
+            Vec::new().into_boxed_slice()
+        }
+    }
+
+    /// Allocates a fresh batch, reusing recycled blocks when available
+    /// — the freezer's hot-path replacement for [`QBatch::alloc`].
+    fn alloc_with(
+        reclaim: &ReclaimHandle<'_>,
+        capacity: usize,
+        with_slots: bool,
+    ) -> *mut QBatch<T> {
+        let slots = Self::fresh_slots(capacity, with_slots, Some(reclaim));
+        reclaim.alloc_boxed(Self::fresh(slots, capacity))
+    }
+
+    /// Retires a frozen batch for recycling: struct block plus (on the
+    /// tail side) the slot-array buffer, as two separately-recycled
+    /// blocks. The batch's destructor must not run afterwards.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Guard::retire`] for `batch`; every node
+    /// pointer still in the slot array must be owned elsewhere.
+    unsafe fn retire_with(guard: &Guard<'_, '_>, batch: *mut QBatch<T>)
+    where
+        T: Send,
+    {
+        // Safety: pinned; the batch is live until quiescence and
+        // `slots` is immutable after construction.
+        unsafe { retire_slots(guard, &(*batch).slots) };
+        // Safety: forwarded caller contract; the slots buffer's
+        // ownership moved to the collector above (empty boxes own no
+        // allocation), and the struct block is recycled raw, so the
+        // destructor never runs.
+        unsafe { guard.retire_recycle(batch) };
     }
 }
 
@@ -242,7 +292,7 @@ impl<T: Send + 'static> SecQueue<T> {
             tail: CachePadded::new(AtomicPtr::new(dummy)),
             head_agg: CachePadded::new(QAggregator::new(cap, false)),
             tail_agg: CachePadded::new(QAggregator::new(cap, true)),
-            collector: Collector::new(cap),
+            collector: Collector::with_recycle(cap, config.recycle),
             config,
             stats: SecStats::new(),
             rendezvous_spins: DEFAULT_RENDEZVOUS_SPINS,
@@ -255,6 +305,15 @@ impl<T: Send + 'static> SecQueue<T> {
     /// a dequeue batch that validates emptiness reports EMPTY at once.
     pub fn rendezvous_spins(mut self, spins: u32) -> Self {
         self.rendezvous_spins = spins;
+        self
+    }
+
+    /// Sets the node-recycling policy (builder style; the default is
+    /// [`RecyclePolicy::per_thread`]). Must be applied before any
+    /// thread registers, which the consuming receiver guarantees.
+    pub fn recycle_policy(mut self, recycle: RecyclePolicy) -> Self {
+        self.config.recycle = recycle;
+        self.collector.set_recycle_policy(recycle);
         self
     }
 
@@ -294,6 +353,20 @@ impl<T: Send + 'static> SecQueue<T> {
         self.rendezvous_hits.load(Ordering::Relaxed)
     }
 
+    /// Reclamation statistics (diagnostic). The recycle hit/miss/
+    /// overflow counters are exact once every handle has dropped.
+    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.collector.stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances); see [`SecStack::quiesce_reclamation`].
+    ///
+    /// [`SecStack::quiesce_reclamation`]: crate::SecStack::quiesce_reclamation
+    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.collector.quiesce(rounds)
+    }
+
     // ------------------------------------------------------------------
     // Freezing (one counter, unique freezer)
     // ------------------------------------------------------------------
@@ -320,10 +393,12 @@ impl<T: Send + 'static> SecQueue<T> {
             self.stats.record_batch(0, n);
         }
         // Installing the fresh batch publishes `at_freeze` (Release)
-        // and redirects new announcers, exactly as in the stack.
-        let fresh = QBatch::alloc(batch.capacity, agg.with_slots);
+        // and redirects new announcers, exactly as in the stack. Both
+        // the outgoing and the fresh batch go through the recycle free
+        // lists (DESIGN.md §10).
+        let fresh = QBatch::alloc_with(guard.handle(), batch.capacity, agg.with_slots);
         agg.batch.store(fresh, Ordering::Release);
-        unsafe { guard.retire(batch_ptr) };
+        unsafe { QBatch::retire_with(guard, batch_ptr) };
     }
 
     /// Announce-and-freeze prologue shared by both ends: the sequence-0
@@ -485,8 +560,8 @@ impl<T: Send + 'static> SecQueue<T> {
                 batch.taken.store(taken as u64, Ordering::Release);
                 // Safety: the CAS made us the unique retirer of the
                 // outgoing dummy; its value (if it ever had one) was
-                // consumed when it became the dummy.
-                unsafe { _guard.retire(h) };
+                // consumed when it became the dummy — the husk recycles.
+                unsafe { _guard.retire_recycle(h) };
                 return;
             }
             // Another head combiner won; re-traverse from the new head.
@@ -515,8 +590,9 @@ impl<T: Send + 'static> SecQueue<T> {
         let value = unsafe { QNode::take_value(cur) };
         if offset + 1 < taken {
             // Safety: fully unlinked (the chain's non-last nodes are
-            // unreachable from `head` once the combiner's CAS landed).
-            unsafe { guard.retire(cur) };
+            // unreachable from `head` once the combiner's CAS landed);
+            // the payload is out, so the husk recycles.
+            unsafe { guard.retire_recycle(cur) };
         }
         // The last taken node is the live dummy: a later dequeue
         // combiner retires it when `head` moves past it.
@@ -585,8 +661,9 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
     pub fn enqueue(&mut self, value: T) {
         let queue = self.queue;
         let agg = &*queue.tail_agg;
-        // One allocation per enqueue, reused across batch retries.
-        let node = QNode::alloc(value);
+        // One node per enqueue, reused across batch retries — popped
+        // off this thread's recycle cache before touching the heap.
+        let node = QNode::alloc_with(&self.reclaim, value);
         loop {
             let guard = self.reclaim.pin();
             let batch_ptr = agg.batch.load(Ordering::Acquire);

@@ -2,8 +2,10 @@
 //! `struct Aggregator`).
 
 use super::node::Node;
+use core::alloc::Layout;
 use core::ptr;
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64};
+use sec_reclaim::{Guard, Handle as ReclaimHandle};
 use sec_sync::CachePadded;
 
 /// A batch: the unit of freezing, elimination and combining.
@@ -49,14 +51,70 @@ pub(crate) struct Batch<T> {
     pub(crate) elim: Box<[AtomicPtr<Node<T>>]>,
 }
 
+/// The exact layout of a `capacity`-slot `AtomicPtr<N>` array's buffer
+/// — its recycle size class.
+fn slots_layout<N>(capacity: usize) -> Layout {
+    Layout::array::<AtomicPtr<N>>(capacity).expect("slot-array layout overflow")
+}
+
+/// Builds a `capacity`-length boxed slice of null `AtomicPtr`s, reusing
+/// a recycled buffer from `reclaim` when one is available (`None` —
+/// construction time — always heap-allocates). Shared by the stack/
+/// deque batches and the queue's per-end batches.
+pub(crate) fn alloc_slots_with<N>(
+    reclaim: Option<&ReclaimHandle<'_>>,
+    capacity: usize,
+) -> Box<[AtomicPtr<N>]> {
+    if capacity == 0 {
+        return Vec::new().into_boxed_slice();
+    }
+    if let Some(block) = reclaim.and_then(|r| r.alloc_raw(slots_layout::<N>(capacity))) {
+        let p = block.as_ptr().cast::<AtomicPtr<N>>();
+        // Safety: the block has exactly the array's layout
+        // (exact-layout size classes) and is unaliased; it originated
+        // from a `Box<[AtomicPtr<_>]>` of the same length, so
+        // rebuilding the box is sound.
+        unsafe {
+            for i in 0..capacity {
+                p.add(i).write(AtomicPtr::new(ptr::null_mut()));
+            }
+            return Box::from_raw(ptr::slice_from_raw_parts_mut(p, capacity));
+        }
+    }
+    (0..capacity)
+        .map(|_| AtomicPtr::new(ptr::null_mut()))
+        .collect()
+}
+
+/// Retires a batch's slot-array buffer for recycling (a no-op for the
+/// empty slice, which owns no allocation).
+///
+/// # Safety
+///
+/// `slots` must be a batch's own boxed-slice array; the owning batch
+/// must be retired via raw recycling in the same epoch so its
+/// destructor never runs (the free list owns the buffer from here);
+/// and every node pointer still in the array must be owned elsewhere.
+pub(crate) unsafe fn retire_slots<N>(guard: &Guard<'_, '_>, slots: &[AtomicPtr<N>]) {
+    if slots.is_empty() {
+        return;
+    }
+    let buf = slots.as_ptr() as *mut u8;
+    // Safety: unique live buffer of exactly `slots_layout(len)` per
+    // the caller contract, consumed exactly once.
+    unsafe { guard.retire_recycle_raw(buf, slots_layout::<N>(slots.len())) };
+}
+
 impl<T> Batch<T> {
     /// Heap-allocates a fresh batch with `capacity` elimination slots
-    /// (the per-aggregator thread bound `P`).
+    /// (the per-aggregator thread bound `P`). Construction-time path;
+    /// freezers go through [`Batch::alloc_with`].
     pub(crate) fn alloc(capacity: usize) -> *mut Batch<T> {
-        let elim = (0..capacity)
-            .map(|_| AtomicPtr::new(ptr::null_mut()))
-            .collect();
-        Box::into_raw(Box::new(Batch {
+        Box::into_raw(Box::new(Self::fresh(alloc_slots_with(None, capacity))))
+    }
+
+    fn fresh(elim: Box<[AtomicPtr<Node<T>>]>) -> Batch<T> {
+        Batch {
             push_count: CachePadded::new(AtomicU64::new(0)),
             pop_count: CachePadded::new(AtomicU64::new(0)),
             push_at_freeze: AtomicU64::new(0),
@@ -65,7 +123,40 @@ impl<T> Batch<T> {
             applied: AtomicBool::new(false),
             substack_top: AtomicPtr::new(ptr::null_mut()),
             elim,
-        }))
+        }
+    }
+
+    /// Allocates a fresh batch, reusing recycled batch-struct and
+    /// slot-array blocks from `reclaim`'s free lists when available
+    /// (DESIGN.md §10) — the freezer's hot-path replacement for
+    /// [`Batch::alloc`].
+    pub(crate) fn alloc_with(reclaim: &ReclaimHandle<'_>, capacity: usize) -> *mut Batch<T> {
+        reclaim.alloc_boxed(Self::fresh(alloc_slots_with(Some(reclaim), capacity)))
+    }
+
+    /// Retires a frozen batch for recycling: the struct block and the
+    /// elimination array's buffer return to the retiring thread's free
+    /// lists once quiesced. Replaces `guard.retire(batch)` — the
+    /// batch's destructor must *not* run (it would free the array the
+    /// free list now owns), so the two blocks are retired separately.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Guard::retire`] for `batch` (unique,
+    /// unreachable for new pins, currently-pinned readers may still
+    /// use it); additionally every node pointer still in the array
+    /// must be owned elsewhere (elimination/combining consumed them).
+    pub(crate) unsafe fn retire_with(guard: &Guard<'_, '_>, batch: *mut Batch<T>)
+    where
+        T: Send,
+    {
+        // Reading the field is safe: we are pinned and the batch is
+        // live until quiescence; `elim` is immutable after construction.
+        unsafe { retire_slots(guard, &(*batch).elim) };
+        // Safety: forwarded caller contract; the `elim` buffer's
+        // ownership moved to the collector above, and the struct block
+        // is recycled raw, so the destructor never runs.
+        unsafe { guard.retire_recycle(batch) };
     }
 }
 

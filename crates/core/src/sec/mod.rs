@@ -126,7 +126,7 @@ impl<T: Send + 'static> SecStack<T> {
             active: CachePadded::new(AtomicUsize::new(config.policy.initial_active())),
             monitor: ContentionMonitor::new(),
             batch_capacity: cap,
-            collector: Collector::new(config.max_threads),
+            collector: Collector::with_recycle(config.max_threads, config.recycle),
             stats: SecStats::new(),
         }
     }
@@ -161,9 +161,18 @@ impl<T: Send + 'static> SecStack<T> {
         &self.stats
     }
 
-    /// Reclamation statistics (diagnostic).
+    /// Reclamation statistics (diagnostic). The recycle hit/miss/
+    /// overflow counters are exact once every handle has dropped.
     pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
         self.collector.stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances) and returns the resulting stats. With every handle
+    /// dropped, a successful quiesce leaves `retired == freed +
+    /// cached` — the leak identity the test battery asserts.
+    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.collector.quiesce(rounds)
     }
 
     /// Number of currently active aggregators.
@@ -279,15 +288,18 @@ impl<T: Send + 'static> SecStack<T> {
         // Line 31: installing the new batch is the freeze's linearization
         // aid — it simultaneously (a) signals spinning announcers that
         // the `*_at_freeze` fields are valid (Release) and (b) directs
-        // new announcers to the fresh batch.
-        let fresh = Batch::alloc(self.batch_capacity);
+        // new announcers to the fresh batch. The fresh batch reuses
+        // recycled batch/array blocks when the free lists have them.
+        let fresh = Batch::alloc_with(guard.handle(), self.batch_capacity);
         agg.batch.store(fresh, Ordering::Release);
 
         // The frozen batch is now unreachable for *new* pins; threads
         // already inside it are pinned and keep it alive (§4 of the
         // paper: "a batch is retired … "; we centralize retirement in
         // the freezer, which is unique per batch — Observation B.1).
-        unsafe { guard.retire(batch_ptr) };
+        // Retired for recycling: once quiesced, its blocks feed the
+        // freezer's future `alloc_with` calls instead of the heap.
+        unsafe { Batch::retire_with(guard, batch_ptr) };
 
         // The freezer that filled the decision window runs the resize
         // decision — *after* publishing the fresh batch, so the
@@ -435,8 +447,9 @@ impl<T: Send + 'static> SecStack<T> {
         // Safety: the combiner unlinked exactly `wanted` nodes and each
         // offset is claimed by exactly one pop of this batch, so we are
         // the unique consumer; every reader of this chain is pinned.
+        // The payload is out, so the husk recycles.
         let value = unsafe { Node::take_value(cur) };
-        unsafe { guard.retire(cur) };
+        unsafe { guard.retire_recycle(cur) };
         Some(value)
     }
 }
@@ -530,8 +543,10 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
 
     /// Algorithm 1. Returns when the push is linearized.
     pub fn push(&mut self, value: T) {
-        // Line 3: one allocation per push, reused across batch retries.
-        let node = Node::alloc(value);
+        // Line 3: one node per push, reused across batch retries —
+        // popped off this thread's recycle cache before touching the
+        // heap (DESIGN.md §10).
+        let node = Node::alloc_with(&self.reclaim, value);
 
         // Lines 4–26.
         loop {
@@ -630,9 +645,10 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
                         backoff.snooze();
                     };
                     // Safety: pushes and pops pair off by sequence
-                    // number, so we are this node's unique consumer.
+                    // number, so we are this node's unique consumer;
+                    // payload out, husk recycles.
                     let value = unsafe { Node::take_value(n) };
-                    unsafe { guard.retire(n) };
+                    unsafe { guard.retire_recycle(n) };
                     return Some(value);
                 }
                 // Line 69: combiner test.

@@ -18,12 +18,28 @@ pub(crate) struct Node<T> {
 }
 
 impl<T> Node<T> {
-    /// Heap-allocates a detached node carrying `value`.
+    /// Heap-allocates a detached node carrying `value` (unit-test
+    /// path; the data structures allocate through [`Node::alloc_with`]
+    /// so recycled blocks are reused).
+    #[cfg(test)]
     pub(crate) fn alloc(value: T) -> *mut Node<T> {
         Box::into_raw(Box::new(Node {
             value: ManuallyDrop::new(value),
             next: AtomicPtr::new(ptr::null_mut()),
         }))
+    }
+
+    /// Allocates a detached node carrying `value`, reusing a recycled
+    /// node block from `reclaim`'s free lists when one is available
+    /// (DESIGN.md §10) — the hot-path replacement for [`Node::alloc`].
+    pub(crate) fn alloc_with(reclaim: &sec_reclaim::Handle<'_>, value: T) -> *mut Node<T>
+    where
+        T: Send,
+    {
+        reclaim.alloc_boxed(Node {
+            value: ManuallyDrop::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })
     }
 
     /// Moves the payload out of `node` without freeing the node.

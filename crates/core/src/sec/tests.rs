@@ -1,7 +1,7 @@
 //! Unit tests for the SEC stack: sequential semantics, concurrent
 //! conservation, elimination accounting, memory hygiene.
 
-use crate::{ConcurrentStack, SecConfig, SecStack, ShardPolicy, StackHandle};
+use crate::{ConcurrentStack, RecyclePolicy, SecConfig, SecStack, ShardPolicy, StackHandle};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -540,9 +540,32 @@ fn reclaim_stats_show_reclamation_progress() {
     });
     let st = s.reclaim_stats();
     assert!(st.retired > 0, "nodes and batches must have been retired");
-    // The amortized advances should have freed the bulk of it.
+    // The amortized advances should have reclaimed the bulk of it —
+    // with recycling on (the default), quiesced blocks are *cached*
+    // for reuse rather than freed.
     assert!(
-        st.freed > 0,
+        st.freed + st.cached > 0,
         "reclamation should make progress during the run: {st:?}"
     );
+    assert!(
+        st.recycle_hits > 0,
+        "steady push/pop traffic must reuse recycled blocks: {st:?}"
+    );
+}
+
+#[test]
+fn recycling_off_reverts_to_freeing() {
+    let s: SecStack<u64> = SecStack::with_config(SecConfig::new(2, 2).recycle(RecyclePolicy::Off));
+    let mut h = s.register();
+    for i in 0..5_000 {
+        h.push(i);
+        h.pop();
+    }
+    drop(h);
+    let st = s.quiesce_reclamation(64);
+    assert_eq!(st.cached, 0, "Off must never cache: {st:?}");
+    assert_eq!(st.recycle_hits, 0, "Off must never hit: {st:?}");
+    assert_eq!(st.recycle_misses, 0, "Off must not count misses: {st:?}");
+    assert_eq!(st.pending(), 0, "quiesce drains everything: {st:?}");
+    assert_eq!(st.retired, st.freed, "Off: every retiree is freed");
 }

@@ -1,12 +1,32 @@
 //! Type-erased deferred destruction and per-epoch limbo bags.
 
-/// A type-erased "drop this allocation later" closure.
+use core::alloc::Layout;
+
+/// A type-erased "deal with this allocation later" item.
 ///
-/// Built from a `Box<T>`-derived raw pointer plus a monomorphized drop
-/// shim; two words, no allocation of its own.
-pub(crate) struct Deferred {
-    ptr: *mut (),
-    call: unsafe fn(*mut ()),
+/// Two shapes, both a few words with no allocation of their own:
+///
+/// * [`Deferred::Drop`] — a `Box<T>`-derived raw pointer plus a
+///   monomorphized drop shim: the classic "free at a safe time";
+/// * [`Deferred::Recycle`] — a raw block plus its exact [`Layout`]:
+///   once quiesced, the *memory* goes back to a free list (or, when
+///   recycling is off or the lists are full, to the allocator). No
+///   destructor runs — the retirer has already moved the payload out.
+pub(crate) enum Deferred {
+    /// Run `T`'s drop glue (and free) after quiescence.
+    Drop {
+        /// The allocation, type-erased.
+        ptr: *mut (),
+        /// Monomorphized `Box::from_raw` drop shim.
+        call: unsafe fn(*mut ()),
+    },
+    /// Return the block's memory to a free list after quiescence.
+    Recycle {
+        /// The block.
+        ptr: *mut u8,
+        /// Its exact allocation layout (the size class).
+        layout: Layout,
+    },
 }
 
 // Safety: a `Deferred` is only constructed from pointers to `Send` data
@@ -29,17 +49,38 @@ impl Deferred {
             // Safety: `p` was produced by `Box::into_raw::<T>` in `new`.
             drop(unsafe { Box::from_raw(p.cast::<T>()) });
         }
-        Self {
+        Deferred::Drop {
             ptr: ptr.cast(),
             call: drop_box::<T>,
         }
     }
 
-    /// Executes the deferred drop, consuming `self`.
+    /// Wraps a raw block for deferred *recycling*.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a unique, valid allocation of exactly `layout`
+    /// (e.g. from `Box::into_raw` of a type with that layout), owned by
+    /// the caller, with `layout.size() > 0`; the caller must not touch
+    /// it afterwards, and no destructor is ever run for its contents.
+    pub(crate) unsafe fn recycle(ptr: *mut u8, layout: Layout) -> Self {
+        debug_assert!(layout.size() > 0);
+        Deferred::Recycle { ptr, layout }
+    }
+
+    /// Executes the fallback disposal, consuming `self`: run the drop
+    /// shim, or return the block to the allocator. Used by every path
+    /// with no thread cache at hand (orphans, bag/collector teardown,
+    /// recycling off).
     pub(crate) fn execute(self) {
-        // Safety: by construction, `ptr`/`call` form a valid pair and
-        // `execute` consumes the `Deferred`, so the drop runs once.
-        unsafe { (self.call)(self.ptr) }
+        match self {
+            // Safety: by construction, `ptr`/`call` form a valid pair
+            // and `execute` consumes the `Deferred`: the drop runs once.
+            Deferred::Drop { ptr, call } => unsafe { (call)(ptr) },
+            // Safety: `ptr` is a unique live allocation of `layout`
+            // (the `recycle` contract) and is consumed here.
+            Deferred::Recycle { ptr, layout } => unsafe { std::alloc::dealloc(ptr, layout) },
+        }
     }
 }
 
@@ -82,6 +123,13 @@ impl Bag {
             d.execute();
         }
         n
+    }
+
+    /// Drains the items in place (capacity is kept, so the steady-state
+    /// zero-allocation property survives the bag's own bookkeeping);
+    /// the caller disposes of each item.
+    pub(crate) fn drain_iter(&mut self) -> std::vec::Drain<'_, Deferred> {
+        self.items.drain(..)
     }
 
     /// Moves all items out (for orphaning on thread exit).

@@ -3,6 +3,7 @@
 
 use crate::bag::Deferred;
 use crate::handle::Handle;
+use crate::recycle::{GlobalPool, RecyclePolicy};
 use core::fmt;
 use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use sec_sync::{CachePadded, TtasLock};
@@ -37,12 +38,35 @@ pub struct Collector {
     freed: AtomicUsize,
     /// Diagnostics: total items retired so far.
     retired: AtomicUsize,
+    /// Retired blocks whose memory entered a free list after
+    /// quiescence instead of being freed (DESIGN.md §10).
+    cached: AtomicUsize,
+    /// Node-recycling policy (fixed before the first registration).
+    recycle: RecyclePolicy,
+    /// Shared overflow/refill pool behind the per-thread caches.
+    pool: GlobalPool,
+    /// Allocations served from a free list (flushed from thread-local
+    /// counters when handles drop).
+    rec_hits: AtomicU64,
+    /// Allocations that fell through to the heap (flushed likewise).
+    rec_misses: AtomicU64,
+    /// Quiesced blocks that overflowed their thread cache (flushed
+    /// likewise).
+    rec_overflows: AtomicU64,
 }
 
 impl Collector {
     /// Creates a collector supporting up to `max_threads` concurrent
-    /// handles (clamped to at least 1).
+    /// handles (clamped to at least 1), with recycling **off** — the
+    /// historical behavior for direct users. The SEC structures pass
+    /// their configured policy through
+    /// [`Collector::with_recycle`] instead.
     pub fn new(max_threads: usize) -> Self {
+        Self::with_recycle(max_threads, RecyclePolicy::Off)
+    }
+
+    /// Creates a collector with an explicit [`RecyclePolicy`].
+    pub fn with_recycle(max_threads: usize, recycle: RecyclePolicy) -> Self {
         let n = max_threads.max(1);
         Self {
             epoch: CachePadded::new(AtomicU64::new(1)),
@@ -57,7 +81,34 @@ impl Collector {
             orphans: TtasLock::new(Vec::new()),
             freed: AtomicUsize::new(0),
             retired: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            recycle,
+            pool: GlobalPool::new(recycle.cache_cap().saturating_mul(n)),
+            rec_hits: AtomicU64::new(0),
+            rec_misses: AtomicU64::new(0),
+            rec_overflows: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the recycling policy. Must be called before any handle
+    /// registers (the `&mut` receiver enforces exclusive access); used
+    /// by the data structures' builder-style toggles.
+    pub fn set_recycle_policy(&mut self, recycle: RecyclePolicy) {
+        self.recycle = recycle;
+        self.pool = GlobalPool::new(recycle.cache_cap().saturating_mul(self.slots.len()));
+    }
+
+    /// The recycling policy in force.
+    pub fn recycle_policy(&self) -> RecyclePolicy {
+        self.recycle
+    }
+
+    pub(crate) fn recycle_on(&self) -> bool {
+        self.recycle.is_on()
+    }
+
+    pub(crate) fn pool(&self) -> &GlobalPool {
+        &self.pool
     }
 
     /// Registers the calling thread, returning its handle, or `None` if
@@ -82,11 +133,21 @@ impl Collector {
     }
 
     /// Reclamation statistics (diagnostic; relaxed counters).
+    ///
+    /// The recycle hit/miss/overflow counters are accumulated
+    /// thread-locally and flushed when each [`Handle`] drops, so they
+    /// are exact only once every handle has been dropped; `retired`,
+    /// `freed` and `cached` are maintained inline (amortized per bag
+    /// drain) and always current.
     pub fn stats(&self) -> CollectorStats {
         CollectorStats {
             epoch: self.global_epoch(),
             retired: self.retired.load(Ordering::Relaxed),
             freed: self.freed.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            recycle_hits: self.rec_hits.load(Ordering::Relaxed),
+            recycle_misses: self.rec_misses.load(Ordering::Relaxed),
+            recycle_overflows: self.rec_overflows.load(Ordering::Relaxed),
         }
     }
 
@@ -96,6 +157,18 @@ impl Collector {
 
     pub(crate) fn note_freed(&self, n: usize) {
         self.freed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_cached(&self, n: usize) {
+        self.cached.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds a dropping handle's thread-local recycle counters into the
+    /// collector-wide totals.
+    pub(crate) fn flush_recycle_counters(&self, hits: u64, misses: u64, overflows: u64) {
+        self.rec_hits.fetch_add(hits, Ordering::Relaxed);
+        self.rec_misses.fetch_add(misses, Ordering::Relaxed);
+        self.rec_overflows.fetch_add(overflows, Ordering::Relaxed);
     }
 
     pub(crate) fn load_epoch_relaxed(&self) -> u64 {
@@ -132,6 +205,29 @@ impl Collector {
             return;
         }
         self.orphans.lock().extend(items);
+    }
+
+    /// Drives reclamation to completion from *outside* any handle: up
+    /// to `rounds` epoch advances, each followed by an orphan sweep.
+    /// Intended for post-run leak accounting — once every handle has
+    /// been dropped (their bags orphan on drop), a successful quiesce
+    /// leaves `retired == freed + cached`, i.e.
+    /// [`CollectorStats::pending`] `== 0`. A thread still pinned
+    /// blocks the advance, in which case the returned stats show what
+    /// is left.
+    pub fn quiesce(&self, rounds: usize) -> CollectorStats {
+        for _ in 0..rounds {
+            if self.stats().pending() == 0 {
+                break;
+            }
+            let e = self.global_epoch();
+            let now = self.try_advance(e);
+            self.collect_orphans(now);
+            if now == e {
+                break; // blocked by a pinned straggler
+            }
+        }
+        self.stats()
     }
 
     /// Frees orphaned garbage that is old enough w.r.t. `epoch_now`.
@@ -179,20 +275,52 @@ impl fmt::Debug for Collector {
 }
 
 /// Snapshot of collector counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Retirement accounting: every retired object ends its limbo life in
+/// exactly one of two ways — `freed` (its memory went back to the
+/// allocator, running the drop shim if it had one) or `cached` (its
+/// memory entered a recycle free list). The leak identity the test
+/// battery asserts is therefore `retired == freed + cached` once
+/// everything has drained ([`pending`](Self::pending) `== 0`). A cached
+/// block's *later* fate — reuse by an allocation, or deallocation at
+/// teardown — is not re-counted.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CollectorStats {
     /// Current global epoch.
     pub epoch: u64,
     /// Objects handed to the collector so far.
     pub retired: usize,
-    /// Objects whose deferred drop has run so far.
+    /// Objects whose memory was returned to the allocator so far.
     pub freed: usize,
+    /// Objects whose memory entered a recycle free list so far.
+    pub cached: usize,
+    /// Allocations served from a free list (exact once all handles
+    /// have dropped; see [`Collector::stats`]).
+    pub recycle_hits: u64,
+    /// Allocations that fell through to the heap (same caveat).
+    pub recycle_misses: u64,
+    /// Quiesced blocks that overflowed their thread cache into the
+    /// global pool or the allocator (same caveat).
+    pub recycle_overflows: u64,
 }
 
 impl CollectorStats {
-    /// Objects still in limbo.
+    /// Objects still in limbo (retired, not yet freed or cached).
     pub fn pending(&self) -> usize {
-        self.retired.saturating_sub(self.freed)
+        self.retired
+            .saturating_sub(self.freed)
+            .saturating_sub(self.cached)
+    }
+
+    /// Recycle hit rate in percent (hits / (hits + misses)); 0 when no
+    /// allocations were attempted.
+    pub fn hit_pct(&self) -> f64 {
+        let total = self.recycle_hits + self.recycle_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.recycle_hits as f64 / total as f64
+        }
     }
 }
 

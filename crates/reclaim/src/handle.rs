@@ -3,15 +3,22 @@
 
 use crate::bag::{Bag, Deferred};
 use crate::collector::{Collector, PINNED};
+use crate::recycle::ThreadCache;
 use crate::{ADVANCE_PERIOD, BAG_PRESSURE};
+use core::alloc::Layout;
 use core::cell::UnsafeCell;
 use core::fmt;
+use core::ptr::NonNull;
 use core::sync::atomic::{fence, Ordering};
 
 /// Thread-private state behind the handle's `UnsafeCell`.
 struct Local {
     /// Limbo bags, indexed by `epoch mod 3`.
     bags: [Bag; 3],
+    /// Per-thread recycle free lists (DESIGN.md §10). Present even when
+    /// the policy is off (with a zero bound) so the hot paths stay
+    /// branch-light; the off check happens once per alloc/dispose.
+    cache: ThreadCache,
     /// Re-entrant pin depth (only the outermost pin announces).
     pin_depth: u32,
     /// Epoch announced by the current outermost pin.
@@ -42,6 +49,7 @@ impl<'c> Handle<'c> {
             slot_idx,
             local: UnsafeCell::new(Local {
                 bags: [Bag::new(), Bag::new(), Bag::new()],
+                cache: ThreadCache::new(collector.recycle_policy().cache_cap()),
                 pin_depth: 0,
                 pin_epoch: 0,
                 pins: 0,
@@ -156,13 +164,14 @@ impl<'c> Handle<'c> {
         // reference before the unlink, and the `tag + 2` free threshold
         // must account for it.
         let tag = self.collector.global_epoch();
-        let local = self.local();
-        let bag = &mut local.bags[(tag % 3) as usize];
+        let Local { bags, cache, .. } = self.local();
+        let bag = &mut bags[(tag % 3) as usize];
         if bag.epoch != tag {
             // Reusing the slot for a newer epoch: the old contents are
-            // ≥ 3 epochs stale — free them first.
-            let n = bag.drain();
-            self.collector.note_freed(n);
+            // ≥ 3 epochs stale — dispose of them first.
+            let (freed, cached) = dispose_drained(self.collector, cache, bag);
+            self.collector.note_freed(freed);
+            self.collector.note_cached(cached);
             bag.epoch = tag;
         }
         bag.push(d);
@@ -182,22 +191,116 @@ impl<'c> Handle<'c> {
         }
     }
 
-    /// Frees every local bag whose epoch is ≥ 2 behind `epoch_now`.
+    /// Disposes of every local bag whose epoch is ≥ 2 behind
+    /// `epoch_now`: recyclable blocks enter the free lists, the rest
+    /// are dropped.
     fn collect(&self, epoch_now: u64) {
-        let local = self.local();
-        for bag in &mut local.bags {
+        let Local { bags, cache, .. } = self.local();
+        for bag in bags {
             if !bag.is_empty() && epoch_now >= bag.epoch + 2 {
-                let n = bag.drain();
-                self.collector.note_freed(n);
+                let (freed, cached) = dispose_drained(self.collector, cache, bag);
+                self.collector.note_freed(freed);
+                self.collector.note_cached(cached);
             }
         }
     }
+
+    /// Pops a recycled block of exactly `layout` from this thread's
+    /// free list, refilling from the collector's global pool when the
+    /// local bin runs dry. `None` — the caller heap-allocates — when
+    /// recycling is off, the layout is zero-sized, or no block of the
+    /// class is available. Counts a hit or a miss accordingly.
+    pub fn alloc_raw(&self, layout: Layout) -> Option<NonNull<u8>> {
+        if layout.size() == 0 || !self.collector.recycle_on() {
+            return None;
+        }
+        let cache = &mut self.local().cache;
+        let got = cache
+            .pop(layout)
+            .or_else(|| cache.refill_from(self.collector.pool(), layout));
+        match got {
+            Some(p) => {
+                cache.hits += 1;
+                // Safety: free lists only ever hold non-null blocks.
+                Some(unsafe { NonNull::new_unchecked(p) })
+            }
+            None => {
+                cache.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Allocates a heap slot for `value`, reusing a recycled block of
+    /// `T`'s layout when one is available. The returned pointer is
+    /// always valid for `Box::from_raw::<T>` — recycled blocks
+    /// originate from allocations of the same layout.
+    pub fn alloc_boxed<T>(&self, value: T) -> *mut T {
+        match self.alloc_raw(Layout::new::<T>()) {
+            Some(p) => {
+                let p = p.as_ptr().cast::<T>();
+                // Safety: the block is unaliased, sized and aligned for
+                // `T` (exact-layout size classes); old bytes are dead.
+                unsafe { p.write(value) };
+                p
+            }
+            None => Box::into_raw(Box::new(value)),
+        }
+    }
+}
+
+/// Disposes one drained bag: recyclable blocks go to the thread cache,
+/// overflowing into the collector's global pool (and, past that, the
+/// allocator); droppable items run their shim. Returns
+/// `(freed, cached)` for the collector's accounting.
+fn dispose_drained(
+    collector: &Collector,
+    cache: &mut ThreadCache,
+    bag: &mut Bag,
+) -> (usize, usize) {
+    let recycle_on = collector.recycle_on();
+    let mut freed = 0usize;
+    let mut cached = 0usize;
+    for d in bag.drain_iter() {
+        match d {
+            d @ Deferred::Drop { .. } => {
+                d.execute();
+                freed += 1;
+            }
+            Deferred::Recycle { ptr, layout } => {
+                if !recycle_on {
+                    // Safety: unique live block of exactly `layout`
+                    // (the retire_recycle contract), consumed here.
+                    unsafe { std::alloc::dealloc(ptr, layout) };
+                    freed += 1;
+                    continue;
+                }
+                match cache.push(ptr, layout) {
+                    Ok(()) => cached += 1,
+                    Err(p) => {
+                        cache.overflows += 1;
+                        match collector.pool().push(p, layout) {
+                            Ok(()) => cached += 1,
+                            Err(p) => {
+                                // Safety: as above.
+                                unsafe { std::alloc::dealloc(p, layout) };
+                                freed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (freed, cached)
 }
 
 impl Drop for Handle<'_> {
     fn drop(&mut self) {
         debug_assert_eq!(self.local().pin_depth, 0, "handle dropped while pinned");
-        // Hand unfreed garbage to the collector, then release the slot.
+        // Hand unfreed garbage to the collector, spill the recycle
+        // cache into the shared pool (other threads keep the blocks
+        // warm), flush the recycle counters, then release the slot.
         let local = self.local();
         let mut orphaned = Vec::new();
         for bag in &mut local.bags {
@@ -206,6 +309,12 @@ impl Drop for Handle<'_> {
                 orphaned.push((epoch, d));
             }
         }
+        local.cache.spill_all(self.collector.pool());
+        self.collector.flush_recycle_counters(
+            local.cache.hits,
+            local.cache.misses,
+            local.cache.overflows,
+        );
         self.collector.adopt_orphans(orphaned);
         let slot = &self.collector.slots[self.slot_idx];
         slot.state.store(0, Ordering::Release);
@@ -234,6 +343,14 @@ impl<'h, 'c> Guard<'h, 'c> {
         self.handle.local().pin_epoch
     }
 
+    /// The handle this guard pins — gives retire-time code paths (e.g.
+    /// a freezer installing a replacement batch) access to the
+    /// recycle-aware allocation API without threading a second
+    /// reference around.
+    pub fn handle(&self) -> &'h Handle<'c> {
+        self.handle
+    }
+
     /// Hands an allocation to the collector for deferred dropping.
     ///
     /// # Safety
@@ -247,6 +364,44 @@ impl<'h, 'c> Guard<'h, 'c> {
         debug_assert!(!ptr.is_null());
         // Safety: forwarded caller contract.
         let d = unsafe { Deferred::new(ptr) };
+        self.handle.defer(d);
+    }
+
+    /// Hands an allocation to the collector for deferred *recycling*:
+    /// after quiescence its memory enters a free list (or is freed,
+    /// when recycling is off or the lists are full) and a later
+    /// [`Handle::alloc_raw`]/[`Handle::alloc_boxed`] of the same layout
+    /// may reuse it. `T`'s destructor is **never** run.
+    ///
+    /// # Safety
+    ///
+    /// Everything [`Guard::retire`] requires, plus: the caller must
+    /// have already moved `T`'s payload out (or `T` must need no drop)
+    /// — the block's bytes are dead the moment it quiesces.
+    pub unsafe fn retire_recycle<T: Send>(&self, ptr: *mut T) {
+        // Safety: forwarded caller contract; `Layout::new::<T>` is the
+        // exact layout `Box::into_raw::<T>` allocated with.
+        unsafe { self.retire_recycle_raw(ptr.cast(), Layout::new::<T>()) }
+    }
+
+    /// Raw-layout variant of [`Guard::retire_recycle`], for compound
+    /// objects whose parts recycle separately (e.g. a batch struct and
+    /// its boxed slot array).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a unique, valid allocation of exactly `layout`
+    /// (with `layout.size() > 0`), already unreachable from every
+    /// shared location, owned by the caller and never touched again;
+    /// no destructor is run for its contents.
+    pub unsafe fn retire_recycle_raw(&self, ptr: *mut u8, layout: Layout) {
+        debug_assert!(!ptr.is_null());
+        assert!(
+            layout.size() > 0,
+            "zero-size blocks cannot be recycled (nothing was allocated)"
+        );
+        // Safety: forwarded caller contract.
+        let d = unsafe { Deferred::recycle(ptr, layout) };
         self.handle.defer(d);
     }
 }

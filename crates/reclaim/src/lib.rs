@@ -15,7 +15,12 @@
 //!   thread can still hold a reference to it;
 //! * epoch-advance attempts are **amortized**: a thread only scans the
 //!   announcement array every `ADVANCE_PERIOD` pins (DEBRA's key cost
-//!   saving over scan-per-operation EBR).
+//!   saving over scan-per-operation EBR);
+//! * quiesced blocks can be **recycled** instead of freed: under
+//!   [`RecyclePolicy::PerThread`] they enter per-thread, size-classed
+//!   free lists (bounded, overflowing to a shared pool) and
+//!   [`Handle::alloc_boxed`] pops them back out before touching the
+//!   heap — see the [`recycle`] module and DESIGN.md §10.
 //!
 //! ## Usage
 //!
@@ -49,10 +54,12 @@ mod bag;
 mod collector;
 mod handle;
 pub mod hp;
+pub mod recycle;
 
 pub use collector::{Collector, CollectorStats};
 pub use handle::{Guard, Handle};
 pub use hp::{HpDomain, HpHandle};
+pub use recycle::RecyclePolicy;
 
 /// A thread scans for an epoch advance every this many pins.
 pub(crate) const ADVANCE_PERIOD: u64 = 64;

@@ -1,0 +1,357 @@
+//! Node recycling: per-thread, size-classed free lists that take the
+//! heap allocator off the hot paths (DESIGN.md §10).
+//!
+//! Every SEC operation used to pay a heap round-trip: one
+//! `Box::into_raw(Box::new(..))` per push/enqueue and one deferred
+//! `Box::from_raw` drop per retired node or batch. Under heavy traffic
+//! the allocator — not the combining protocol — bounds throughput. This
+//! module closes the loop the epochs already imply: a block that has
+//! *quiesced* (its retire epoch is ≥ 2 behind the global epoch, so no
+//! pinned thread can still reference it) is exactly as safe to **reuse**
+//! as it is to free. Instead of returning it to the allocator, the
+//! retiring thread keeps it in a bounded per-thread free list and the
+//! next allocation of the same size class pops it back out.
+//!
+//! ## Size classes
+//!
+//! Blocks originate from `Box`, so they carry the exact [`Layout`] of
+//! their type, and the global allocator requires deallocation (and
+//! therefore reuse-as-`Box`) with that same layout. A *size class* is
+//! hence an exact `(size, align)` pair — no rounding. A data structure
+//! allocates a handful of distinct node/batch/slot-array layouts, so a
+//! cache holds a handful of bins and lookup is a short linear scan.
+//!
+//! ## Topology
+//!
+//! * each [`Handle`](crate::Handle) owns a **thread cache**: one bounded
+//!   bin (`cache_cap` blocks) per size class, touched without
+//!   synchronization;
+//! * the [`Collector`](crate::Collector) owns a shared **global pool**:
+//!   the overflow target when a thread cache is full and the refill
+//!   source when one runs dry (consumer threads retire what producer
+//!   threads allocate — without the pool, producers would miss forever
+//!   while consumers overflow);
+//! * blocks that fit nowhere are deallocated, exactly as before.
+//!
+//! ## ABA safety
+//!
+//! Reuse re-exposes the classic ABA hazard *only if* a block can be
+//! handed out while some thread still holds a pre-retirement pointer to
+//! it. That cannot happen here: a recyclable block travels through the
+//! same per-epoch limbo bags as a droppable one and enters a free list
+//! only once the epoch fence has passed — the exact moment it would
+//! otherwise have been freed (and potentially re-handed-out by the
+//! allocator itself, which is the same hazard epochs already defuse).
+//! The regression battery in `tests/recycling.rs` pins a reader and
+//! asserts the block is *not* reusable until the reader unpins.
+
+use core::alloc::Layout;
+use sec_sync::TtasLock;
+
+/// Whether (and how) a [`Collector`](crate::Collector) recycles
+/// retired memory blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecyclePolicy {
+    /// No recycling: quiesced blocks are returned to the heap (the
+    /// pre-recycling behavior).
+    Off,
+    /// Per-thread bounded free lists with overflow to the collector's
+    /// shared global pool. This is the default.
+    PerThread {
+        /// Maximum blocks a thread cache holds *per size class*. The
+        /// global pool is bounded at `cache_cap × max_threads` per
+        /// class.
+        cache_cap: usize,
+    },
+}
+
+impl RecyclePolicy {
+    /// Default per-class thread-cache bound: large enough to cover the
+    /// blocks in flight through the limbo-bag pipeline between two
+    /// amortized epoch advances (≈ `ADVANCE_PERIOD` retirements per
+    /// class per advance, times the three bags), small enough that an
+    /// idle thread parks at most a few pages per class.
+    pub const DEFAULT_CACHE_CAP: usize = 512;
+
+    /// The default policy: [`RecyclePolicy::PerThread`] with
+    /// [`DEFAULT_CACHE_CAP`](Self::DEFAULT_CACHE_CAP).
+    pub const fn per_thread() -> Self {
+        RecyclePolicy::PerThread {
+            cache_cap: Self::DEFAULT_CACHE_CAP,
+        }
+    }
+
+    /// `true` unless the policy is [`RecyclePolicy::Off`].
+    pub fn is_on(&self) -> bool {
+        !matches!(self, RecyclePolicy::Off)
+    }
+
+    /// The per-class thread-cache bound (0 when off).
+    pub fn cache_cap(&self) -> usize {
+        match *self {
+            RecyclePolicy::Off => 0,
+            RecyclePolicy::PerThread { cache_cap } => cache_cap,
+        }
+    }
+}
+
+impl Default for RecyclePolicy {
+    fn default() -> Self {
+        Self::per_thread()
+    }
+}
+
+/// One size class's free list: quiesced blocks of exactly `layout`.
+struct Bin {
+    layout: Layout,
+    slots: Vec<*mut u8>,
+}
+
+impl Bin {
+    /// Pre-size to `cap` so pushes under the bound never reallocate —
+    /// the zero-alloc steady state must not be broken by the cache's
+    /// own bookkeeping growing mid-run.
+    fn with_capacity(layout: Layout, cap: usize) -> Self {
+        Self {
+            layout,
+            slots: Vec::with_capacity(cap),
+        }
+    }
+}
+
+/// Finds the bin for `layout`, creating it (pre-sized to `cap`, so
+/// pushes under the bound never reallocate) when absent. The single
+/// lookup/insert point for thread caches and the global pool alike.
+fn bin_for(bins: &mut Vec<Bin>, layout: Layout, cap: usize) -> &mut Bin {
+    match bins.iter().position(|b| b.layout == layout) {
+        Some(i) => &mut bins[i],
+        None => {
+            bins.push(Bin::with_capacity(layout, cap));
+            bins.last_mut().expect("just pushed")
+        }
+    }
+}
+
+impl Drop for Bin {
+    fn drop(&mut self) {
+        // Blocks parked here were counted `cached` when they quiesced;
+        // teardown releases the memory without re-counting (`freed` and
+        // `cached` are disjoint retirement outcomes — see the counter
+        // contract on CollectorStats).
+        for &p in &self.slots {
+            // Safety: every slot is a live allocation of exactly
+            // `self.layout`, owned by the bin.
+            unsafe { std::alloc::dealloc(p, self.layout) };
+        }
+    }
+}
+
+/// Per-thread free lists (owned by a [`Handle`](crate::Handle), touched
+/// without synchronization) plus the thread's recycle counters, flushed
+/// into the collector's totals when the handle drops.
+pub(crate) struct ThreadCache {
+    cap: usize,
+    bins: Vec<Bin>,
+    /// Allocations served from a free list (thread cache or pool).
+    pub(crate) hits: u64,
+    /// Allocations that fell through to the heap.
+    pub(crate) misses: u64,
+    /// Quiesced blocks that did not fit this thread's cache (spilled to
+    /// the global pool, or freed when that was full too).
+    pub(crate) overflows: u64,
+}
+
+impl ThreadCache {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            bins: Vec::new(),
+            hits: 0,
+            misses: 0,
+            overflows: 0,
+        }
+    }
+
+    fn bin_mut(&mut self, layout: Layout) -> Option<&mut Bin> {
+        self.bins.iter_mut().find(|b| b.layout == layout)
+    }
+
+    /// Pops a block of `layout`, if one is cached.
+    pub(crate) fn pop(&mut self, layout: Layout) -> Option<*mut u8> {
+        self.bin_mut(layout).and_then(|b| b.slots.pop())
+    }
+
+    /// Accepts a quiesced block; `Err` (block unconsumed) when the
+    /// class bin is full.
+    pub(crate) fn push(&mut self, ptr: *mut u8, layout: Layout) -> Result<(), *mut u8> {
+        let bin = bin_for(&mut self.bins, layout, self.cap);
+        if bin.slots.len() >= self.cap {
+            return Err(ptr);
+        }
+        bin.slots.push(ptr);
+        Ok(())
+    }
+
+    /// Refills this cache's bin for `layout` from the global pool (up
+    /// to half the bound, so one grab amortizes several allocations)
+    /// and pops one block if any arrived.
+    pub(crate) fn refill_from(&mut self, pool: &GlobalPool, layout: Layout) -> Option<*mut u8> {
+        let want = (self.cap / 2).max(1);
+        let bin = bin_for(&mut self.bins, layout, self.cap);
+        pool.grab(layout, want, &mut bin.slots);
+        bin.slots.pop()
+    }
+
+    /// Moves every cached block into the global pool (handle
+    /// teardown). Blocks the pool cannot hold are deallocated; neither
+    /// path re-counts (the blocks were already `cached`).
+    pub(crate) fn spill_all(&mut self, pool: &GlobalPool) {
+        for bin in &mut self.bins {
+            pool.absorb(bin.layout, &mut bin.slots);
+        }
+        self.bins.clear(); // Bin::drop deallocs whatever the pool refused
+    }
+}
+
+/// The collector-wide overflow pool: one locked bin per size class,
+/// bounded at `cap_per_class` blocks.
+pub(crate) struct GlobalPool {
+    cap_per_class: usize,
+    bins: TtasLock<Vec<Bin>>,
+}
+
+// Safety: the raw block pointers are plain memory owned by the pool;
+// they carry no thread affinity.
+unsafe impl Send for GlobalPool {}
+unsafe impl Sync for GlobalPool {}
+// Safety: `ThreadCache` lives inside a `Handle`, which is `Send + !Sync`;
+// its raw pointers are unaliased owned blocks.
+unsafe impl Send for ThreadCache {}
+
+impl GlobalPool {
+    pub(crate) fn new(cap_per_class: usize) -> Self {
+        Self {
+            cap_per_class,
+            bins: TtasLock::new(Vec::new()),
+        }
+    }
+
+    /// Accepts one quiesced block; `Err` (block unconsumed) when the
+    /// class is full.
+    pub(crate) fn push(&self, ptr: *mut u8, layout: Layout) -> Result<(), *mut u8> {
+        let mut bins = self.bins.lock();
+        let bin = bin_for(&mut bins, layout, self.cap_per_class);
+        if bin.slots.len() >= self.cap_per_class {
+            return Err(ptr);
+        }
+        bin.slots.push(ptr);
+        Ok(())
+    }
+
+    /// Moves up to `want` blocks of `layout` into `out`.
+    pub(crate) fn grab(&self, layout: Layout, want: usize, out: &mut Vec<*mut u8>) {
+        let mut bins = self.bins.lock();
+        if let Some(bin) = bins.iter_mut().find(|b| b.layout == layout) {
+            let take = want.min(bin.slots.len()).min(out.capacity() - out.len());
+            let from = bin.slots.len() - take;
+            out.extend(bin.slots.drain(from..));
+        }
+    }
+
+    /// Bulk-absorbs a dying thread cache's bin; blocks past the class
+    /// bound stay in `slots` for the caller to free.
+    pub(crate) fn absorb(&self, layout: Layout, slots: &mut Vec<*mut u8>) {
+        let mut bins = self.bins.lock();
+        let bin = bin_for(&mut bins, layout, self.cap_per_class);
+        while bin.slots.len() < self.cap_per_class {
+            match slots.pop() {
+                Some(p) => bin.slots.push(p),
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(layout: Layout) -> *mut u8 {
+        // Safety: layout has non-zero size in every test below.
+        unsafe { std::alloc::alloc(layout) }
+    }
+
+    #[test]
+    fn policy_defaults_to_per_thread() {
+        let p = RecyclePolicy::default();
+        assert!(p.is_on());
+        assert_eq!(p.cache_cap(), RecyclePolicy::DEFAULT_CACHE_CAP);
+        assert!(!RecyclePolicy::Off.is_on());
+        assert_eq!(RecyclePolicy::Off.cache_cap(), 0);
+    }
+
+    #[test]
+    fn thread_cache_round_trips_by_layout() {
+        let l8 = Layout::from_size_align(8, 8).unwrap();
+        let l16 = Layout::from_size_align(16, 8).unwrap();
+        let mut c = ThreadCache::new(4);
+        let a = block(l8);
+        let b = block(l16);
+        c.push(a, l8).unwrap();
+        c.push(b, l16).unwrap();
+        assert_eq!(c.pop(l16), Some(b), "classes do not mix");
+        assert_eq!(c.pop(l8), Some(a));
+        assert_eq!(c.pop(l8), None);
+        unsafe { std::alloc::dealloc(a, l8) };
+        unsafe { std::alloc::dealloc(b, l16) };
+    }
+
+    #[test]
+    fn thread_cache_bounds_each_class() {
+        let l = Layout::from_size_align(8, 8).unwrap();
+        let mut c = ThreadCache::new(2);
+        let p1 = block(l);
+        let p2 = block(l);
+        let p3 = block(l);
+        assert!(c.push(p1, l).is_ok());
+        assert!(c.push(p2, l).is_ok());
+        let rejected = c.push(p3, l).unwrap_err();
+        assert_eq!(rejected, p3, "overflow hands the block back");
+        unsafe { std::alloc::dealloc(p3, l) };
+        // p1/p2 freed by the cache's Bin drops.
+    }
+
+    #[test]
+    fn global_pool_bounds_absorb_and_grab() {
+        let l = Layout::from_size_align(32, 8).unwrap();
+        let pool = GlobalPool::new(2);
+        let mut spill: Vec<*mut u8> = (0..3).map(|_| block(l)).collect();
+        pool.absorb(l, &mut spill);
+        assert_eq!(spill.len(), 1, "pool keeps cap_per_class, returns rest");
+        for p in spill.drain(..) {
+            unsafe { std::alloc::dealloc(p, l) };
+        }
+        let mut out = Vec::with_capacity(4);
+        pool.grab(l, 10, &mut out);
+        assert_eq!(out.len(), 2);
+        for p in out {
+            unsafe { std::alloc::dealloc(p, l) };
+        }
+    }
+
+    #[test]
+    fn refill_pulls_from_pool() {
+        let l = Layout::from_size_align(24, 8).unwrap();
+        let pool = GlobalPool::new(8);
+        for _ in 0..4 {
+            pool.push(block(l), l).unwrap();
+        }
+        let mut c = ThreadCache::new(4);
+        assert_eq!(c.pop(l), None);
+        let p = c.refill_from(&pool, l).expect("pool had blocks");
+        unsafe { std::alloc::dealloc(p, l) };
+        // The refill pulled extra blocks beyond the returned one.
+        assert!(c.pop(l).is_some());
+        // Remaining cached blocks freed by Bin drops.
+    }
+}

@@ -7,7 +7,7 @@ use sec_baselines::{
     CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
     TsiStack,
 };
-use sec_core::{AggregatorPolicy, BatchReport, SecConfig, SecQueue, SecStack};
+use sec_core::{AggregatorPolicy, BatchReport, CollectorStats, SecConfig, SecQueue, SecStack};
 
 /// One of the evaluated stack algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +123,11 @@ pub struct AlgoRun {
     /// Active aggregator count at the end of the run (SEC only; equals
     /// the configured `K` for a fixed policy).
     pub sec_active: Option<usize>,
+    /// Reclamation/recycling counters (SEC family only): retired/
+    /// freed/cached plus the recycle hit/miss/overflow totals that
+    /// feed the `recycle` CSV columns (DESIGN.md §10). Read after the
+    /// workers join, so the per-thread counters have been flushed.
+    pub reclaim: Option<CollectorStats>,
 }
 
 /// Constructs a fresh instance of `algo` sized for the run and measures
@@ -135,12 +140,17 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             Some(policy) => sec_config.aggregator_policy(policy),
             None => sec_config,
         };
+        let sec_config = match cfg.recycle {
+            Some(recycle) => sec_config.recycle(recycle),
+            None => sec_config,
+        };
         let stack: SecStack<u64> = SecStack::with_config(sec_config);
         let result = run_throughput(&stack, cfg);
         AlgoRun {
             result,
             sec_report: Some(stack.stats().report()),
             sec_active: Some(stack.active_aggregators()),
+            reclaim: Some(stack.reclaim_stats()),
         }
     };
     match algo {
@@ -152,55 +162,68 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             result: run_throughput(&TreiberStack::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::Eb => AlgoRun {
             result: run_throughput(&EbStack::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::Fc => AlgoRun {
             result: run_throughput(&FcStack::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::Cc => AlgoRun {
             result: run_throughput(&CcStack::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::Tsi => AlgoRun {
             result: run_throughput(&TsiStack::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::TrbHp => AlgoRun {
             result: run_throughput(&TreiberHpStack::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::Lck => AlgoRun {
             result: run_throughput(&LockedStack::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::SecQueue => {
-            let queue: SecQueue<u64> = SecQueue::new(cap);
+            let queue: SecQueue<u64> = match cfg.recycle {
+                Some(recycle) => SecQueue::new(cap).recycle_policy(recycle),
+                None => SecQueue::new(cap),
+            };
             let result = run_queue_throughput(&queue, cfg);
             AlgoRun {
                 result,
                 sec_report: Some(queue.stats().report()),
                 sec_active: None,
+                reclaim: Some(queue.reclaim_stats()),
             }
         }
         Algo::MsQ => AlgoRun {
             result: run_queue_throughput(&MsQueue::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
         Algo::LckQ => AlgoRun {
             result: run_queue_throughput(&LockedQueue::<u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
+            reclaim: None,
         },
     }
 }
@@ -322,6 +345,37 @@ mod tests {
             assert!(labels.insert(a.label()), "{a} collides with a stack label");
             assert!(!a.label().is_empty());
         }
+    }
+
+    #[test]
+    fn sec_runs_report_reclaim_stats_and_honor_recycle_override() {
+        use sec_core::RecyclePolicy;
+        let cfg = RunConfig {
+            duration: Duration::from_millis(15),
+            prefill: 64,
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let out = run_algo(Algo::Sec { aggregators: 2 }, &cfg);
+        let rs = out.reclaim.expect("SEC reports reclaim stats");
+        assert!(
+            rs.recycle_hits > 0,
+            "the default policy must reuse blocks: {rs:?}"
+        );
+
+        let cfg_off = RunConfig {
+            recycle: Some(RecyclePolicy::Off),
+            ..cfg
+        };
+        for algo in [Algo::Sec { aggregators: 2 }, Algo::SecQueue] {
+            let out = run_algo(algo, &cfg_off);
+            let rs = out.reclaim.expect("reclaim stats present when off");
+            assert_eq!(rs.recycle_hits, 0, "{algo}: Off must not hit");
+            assert_eq!(rs.cached, 0, "{algo}: Off must not cache");
+        }
+        assert!(
+            run_algo(Algo::Trb, &cfg).reclaim.is_none(),
+            "non-SEC runs carry no collector snapshot"
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::spec::{Mix, OpKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sec_core::{AggregatorPolicy, ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
+use sec_core::{
+    AggregatorPolicy, ConcurrentQueue, ConcurrentStack, QueueHandle, RecyclePolicy, StackHandle,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -36,6 +38,13 @@ pub struct RunConfig {
     /// [`Algo::Sec`]: crate::Algo::Sec
     /// [`Algo::SecAdaptive`]: crate::Algo::SecAdaptive
     pub sec_policy: Option<AggregatorPolicy>,
+    /// Node-recycling policy override for the SEC family (`None` keeps
+    /// each structure's default, [`RecyclePolicy::per_thread`]).
+    /// Ignored by the non-SEC algorithms. Lets the benches sweep the
+    /// recycling ablation without a separate [`Algo`] variant.
+    ///
+    /// [`Algo`]: crate::Algo
+    pub recycle: Option<RecyclePolicy>,
 }
 
 impl RunConfig {
@@ -50,6 +59,7 @@ impl RunConfig {
             value_range: 100_000,
             seed: 0xC0FFEE,
             sec_policy: None,
+            recycle: None,
         }
     }
 }

@@ -1,9 +1,11 @@
 //! Summary statistics over repeated runs (the paper averages five),
 //! plus the aggregation of SEC's elastic-resize counters across runs
 //! (so the grow/shrink transitions PR 2 started collecting reach the
-//! tables and CSV instead of being dropped per run).
+//! tables and CSV instead of being dropped per run) and of the
+//! reclamation/recycling counters (retired/freed/cached and recycle
+//! hit/miss/overflow — DESIGN.md §10) the same way.
 
-use sec_core::BatchReport;
+use sec_core::{BatchReport, CollectorStats};
 
 /// Accumulated elastic-sharding resize counters over the repeated runs
 /// of one measurement cell.
@@ -59,6 +61,74 @@ impl ResizeTotals {
         } else {
             self.shrinks as f64 / self.runs as f64
         }
+    }
+}
+
+/// Accumulated reclamation/recycling counters over the repeated runs
+/// of one measurement cell — the [`ResizeTotals`] pattern applied to
+/// the collector's [`CollectorStats`].
+///
+/// [`run_algo`](crate::run_algo) returns a fresh snapshot per SEC run;
+/// feed each into [`add`](Self::add) and the figure binaries render
+/// the totals as `<series>_recycle_{hits,misses,overflows}` extra CSV
+/// columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimTotals {
+    /// Objects retired, summed over the accumulated runs.
+    pub retired: u64,
+    /// Objects freed to the allocator, summed likewise.
+    pub freed: u64,
+    /// Objects whose memory entered a recycle free list, summed
+    /// likewise.
+    pub cached: u64,
+    /// Allocations served from a free list.
+    pub hits: u64,
+    /// Allocations that fell through to the heap.
+    pub misses: u64,
+    /// Quiesced blocks that overflowed their thread cache.
+    pub overflows: u64,
+    /// Runs accumulated.
+    pub runs: usize,
+}
+
+impl ReclaimTotals {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run's collector snapshot in (a no-op for `None`, so
+    /// non-SEC lineups can share the call site).
+    pub fn add(&mut self, stats: Option<&CollectorStats>) {
+        if let Some(s) = stats {
+            self.retired += s.retired as u64;
+            self.freed += s.freed as u64;
+            self.cached += s.cached as u64;
+            self.hits += s.recycle_hits;
+            self.misses += s.recycle_misses;
+            self.overflows += s.recycle_overflows;
+            self.runs += 1;
+        }
+    }
+
+    /// Recycle hit rate in percent over the accumulated runs (0 when
+    /// no allocation was attempted).
+    pub fn hit_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+
+    /// Objects still in limbo across the accumulated runs
+    /// (`retired − freed − cached`); a leak shows up as a persistent
+    /// positive value here after drains.
+    pub fn pending(&self) -> u64 {
+        self.retired
+            .saturating_sub(self.freed)
+            .saturating_sub(self.cached)
     }
 }
 
@@ -192,6 +262,31 @@ mod tests {
         assert_eq!(t.resizes(), 6);
         assert!((t.grows_per_run() - 1.0).abs() < 1e-12);
         assert!((t.shrinks_per_run() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reclaim_totals_accumulate_and_derive() {
+        let snap = |retired, freed, cached, hits, misses| CollectorStats {
+            epoch: 1,
+            retired,
+            freed,
+            cached,
+            recycle_hits: hits,
+            recycle_misses: misses,
+            recycle_overflows: 1,
+        };
+        let mut t = ReclaimTotals::new();
+        t.add(Some(&snap(10, 4, 6, 30, 10)));
+        t.add(Some(&snap(5, 5, 0, 0, 0)));
+        t.add(None); // non-SEC run: ignored
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.retired, 15);
+        assert_eq!(t.freed, 9);
+        assert_eq!(t.cached, 6);
+        assert_eq!(t.overflows, 2);
+        assert_eq!(t.pending(), 0);
+        assert!((t.hit_pct() - 75.0).abs() < 1e-12);
+        assert_eq!(ReclaimTotals::new().hit_pct(), 0.0);
     }
 
     #[test]

@@ -54,12 +54,15 @@ fn main() {
         report.pct_combined()
     );
 
-    // Reclamation health.
+    // Reclamation health: with recycling on (the default), most
+    // quiesced blocks are cached for reuse rather than freed.
     let rs = stack.reclaim_stats();
     println!(
-        "reclamation: {} retired, {} freed, {} still in limbo",
+        "reclamation: {} retired, {} freed, {} recycled (hit rate {:.1}%), {} still in limbo",
         rs.retired,
         rs.freed,
+        rs.cached,
+        rs.hit_pct(),
         rs.pending()
     );
 

@@ -45,8 +45,9 @@
 #![warn(missing_docs)]
 
 pub use sec_core::{
-    topology_shard, AggregatorPolicy, BatchReport, ConcurrentQueue, ConcurrentStack, QueueHandle,
-    SecConfig, SecHandle, SecStack, SecStats, ShardPolicy, StackHandle,
+    topology_shard, AggregatorPolicy, BatchReport, CollectorStats, ConcurrentQueue,
+    ConcurrentStack, QueueHandle, RecyclePolicy, SecConfig, SecHandle, SecStack, SecStats,
+    ShardPolicy, StackHandle,
 };
 
 /// The elastic-sharding contention monitor (DESIGN.md §8): pure
@@ -75,9 +76,12 @@ pub mod baselines {
     };
 }
 
-/// Epoch-based memory reclamation (DEBRA-style).
+/// Epoch-based memory reclamation (DEBRA-style) with node recycling
+/// (DESIGN.md §10).
 pub mod reclaim {
-    pub use sec_reclaim::{Collector, CollectorStats, Guard, Handle, HpDomain, HpHandle};
+    pub use sec_reclaim::{
+        Collector, CollectorStats, Guard, Handle, HpDomain, HpHandle, RecyclePolicy,
+    };
 }
 
 /// Concurrency primitives substrate.

@@ -137,8 +137,10 @@ fn reclamation_makes_progress_despite_sleepy_pinners() {
     });
     let st = stack.reclaim_stats();
     assert!(st.retired > 0);
+    // With recycling on (the default), quiesced blocks are cached for
+    // reuse rather than freed — both count as reclamation progress.
     assert!(
-        st.freed * 2 >= st.retired,
+        (st.freed + st.cached) * 2 >= st.retired,
         "most garbage must be reclaimed despite stragglers: {st:?}"
     );
 }
