@@ -13,7 +13,7 @@ use sec_baselines::{
     TsiStack,
 };
 use sec_bench::BenchOpts;
-use sec_core::{SecConfig, SecQueue, SecStack};
+use sec_core::{SecConfig, SecQueue, SecStack, WaitPolicy};
 use sec_workload::{
     measure_latency, measure_queue_latency, Algo, LatencyReport, Mix, ALL_COMPETITORS, QUEUE_LINEUP,
 };
@@ -88,6 +88,54 @@ fn main() {
         }
         println!();
     }
+
+    // Oversubscribed lineup (DESIGN.md §11): at 4× the hardware
+    // threads, throughput alone hides what the wait policy does to the
+    // *tail* — a spinning waiter's p99 is a scheduling quantum, a
+    // parked waiter's is a wakeup. One row per policy for the SEC
+    // stack and queue; the `@4x` mix label keeps the CSV rows distinct
+    // from the core lineup above.
+    let hw = sec_sync::topology::hardware_threads().max(1);
+    let over = 4 * hw;
+    println!(
+        "## oversubscribed {} @ {over} threads (4x {hw} hw threads)",
+        Mix::UPDATE_100
+    );
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>12}",
+        "algo[policy]", "p50", "p90", "p99", "max"
+    );
+    for policy in [
+        WaitPolicy::Spin,
+        WaitPolicy::SpinThenYield,
+        WaitPolicy::spin_then_park(),
+    ] {
+        let stack: SecStack<u64> =
+            SecStack::with_config(SecConfig::new(2, over + 1).wait_policy(policy));
+        let rs = measure_latency(&stack, over, ops_per_thread, Mix::UPDATE_100);
+        let queue: SecQueue<u64> = SecQueue::new(over + 1).wait_policy(policy);
+        let rq = measure_queue_latency(&queue, over, ops_per_thread, Mix::UPDATE_100);
+        for (label, r) in [("SEC", rs), ("SEC-Q", rq)] {
+            println!(
+                "{:>14} {:>10} {:>10} {:>10} {:>12}",
+                format!("{label}[{}]", policy.label()),
+                r.p50,
+                r.p90,
+                r.p99,
+                r.max
+            );
+            csv.push_str(&format!(
+                "upd100@4x,{label}[{}],{},{},{},{}\n",
+                policy.label(),
+                r.p50,
+                r.p90,
+                r.p99,
+                r.max
+            ));
+        }
+    }
+    println!();
+
     if std::fs::create_dir_all(&opts.csv_dir).is_ok() {
         let _ = std::fs::write(opts.csv_dir.join("latency.csv"), csv);
     }

@@ -11,8 +11,14 @@
 //! A third, orthogonal knob — [`RecyclePolicy`] — governs whether
 //! retired nodes and batches are recycled through per-thread free lists
 //! instead of freed (DESIGN.md §10; on by default).
+//!
+//! A fourth — [`WaitPolicy`] — governs how blocking waits behave once
+//! their optimistic check fails: pure spinning, spin-then-yield, or
+//! spin-then-park through the registered-waiter event subsystem
+//! (DESIGN.md §11; parking is the default).
 
 pub use sec_reclaim::RecyclePolicy;
+pub use sec_sync::event::WaitPolicy;
 
 /// How thread ids map to aggregators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +174,12 @@ pub struct SecConfig {
     /// §10). On by default ([`RecyclePolicy::per_thread`]): steady-state
     /// operations then perform zero heap allocations.
     pub recycle: RecyclePolicy,
+    /// How blocking waits (freezer/combiner waits, batch-pointer
+    /// swaps) behave after their spin phase (DESIGN.md §11). Parking
+    /// by default ([`WaitPolicy::spin_then_park`]): waiters leave the
+    /// run queue, so throughput survives thread counts far beyond the
+    /// core count.
+    pub wait: WaitPolicy,
 }
 
 impl SecConfig {
@@ -189,6 +201,7 @@ impl SecConfig {
             shard_policy: ShardPolicy::Block,
             policy: AggregatorPolicy::Fixed(aggregators.max(1)),
             recycle: RecyclePolicy::default(),
+            wait: WaitPolicy::default(),
         }
     }
 
@@ -229,6 +242,12 @@ impl SecConfig {
     /// Sets the node-recycling policy (builder style).
     pub fn recycle(mut self, recycle: RecyclePolicy) -> Self {
         self.recycle = recycle;
+        self
+    }
+
+    /// Sets the blocking-wait policy (builder style).
+    pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
+        self.wait = wait;
         self
     }
 
@@ -377,6 +396,17 @@ mod tests {
         assert!(!c.recycle.is_on());
         let c = c.recycle(RecyclePolicy::PerThread { cache_cap: 8 });
         assert_eq!(c.recycle.cache_cap(), 8);
+    }
+
+    #[test]
+    fn wait_policy_defaults_to_park_and_builder_toggles() {
+        let c = SecConfig::new(2, 4);
+        assert!(c.wait.parks(), "parking is the default wait policy");
+        assert_eq!(c.wait, WaitPolicy::spin_then_park());
+        let c = c.wait_policy(WaitPolicy::SpinThenYield);
+        assert_eq!(c.wait, WaitPolicy::SpinThenYield);
+        let c = c.wait_policy(WaitPolicy::SpinThenPark { spin_rounds: 3 });
+        assert_eq!(c.wait, WaitPolicy::SpinThenPark { spin_rounds: 3 });
     }
 
     #[test]

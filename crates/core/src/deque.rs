@@ -26,14 +26,15 @@
 //! (announcement counters, freezing, slot elimination, combining), not
 //! a new lock-free deque.
 
-use crate::config::{RecyclePolicy, SecConfig};
-use crate::sec::batch::{Aggregator, Batch};
+use crate::config::{RecyclePolicy, SecConfig, WaitPolicy};
+use crate::sec::batch::{mark_applied, wait_applied, wait_ptr, Aggregator, Batch};
 use crate::sec::node::Node;
+use crate::sec::stats::SecStats;
 use core::fmt;
 use core::ptr;
 use core::sync::atomic::Ordering;
 use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
-use sec_sync::{Backoff, TtasLock};
+use sec_sync::TtasLock;
 use std::collections::VecDeque;
 
 /// Which end an operation targets.
@@ -70,6 +71,9 @@ pub struct SecDeque<T: Send + 'static> {
     /// Elimination-array size for every batch, cached at construction
     /// (freezers allocate one batch each; mirrors `SecStack`).
     batch_capacity: usize,
+    /// Batching + park/wake instrumentation (front and back batches
+    /// record alike; both ends share the counters).
+    stats: SecStats,
 }
 
 unsafe impl<T: Send> Send for SecDeque<T> {}
@@ -89,6 +93,7 @@ impl<T: Send + 'static> SecDeque<T> {
             collector: Collector::with_recycle(cap, config.recycle),
             config,
             batch_capacity: cap,
+            stats: SecStats::new(),
         }
     }
 
@@ -99,6 +104,18 @@ impl<T: Send + 'static> SecDeque<T> {
         self.config.recycle = recycle;
         self.collector.set_recycle_policy(recycle);
         self
+    }
+
+    /// Sets the blocking-wait policy (builder style; the default is
+    /// [`WaitPolicy::spin_then_park`] — DESIGN.md §11).
+    pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
+        self.config.wait = wait;
+        self
+    }
+
+    /// Batching and park/wake instrumentation (both ends combined).
+    pub fn stats(&self) -> &SecStats {
+        &self.stats
     }
 
     /// Reclamation statistics (diagnostic). The recycle hit/miss/
@@ -157,14 +174,20 @@ impl<T: Send + 'static> SecDeque<T> {
             let pushes = batch.push_count.load(Ordering::Acquire);
             batch.pop_at_freeze.store(pops, Ordering::Relaxed);
             batch.push_at_freeze.store(pushes, Ordering::Relaxed);
+            self.stats.record_batch(pushes, pops);
             let fresh = Batch::alloc_with(guard.handle(), self.batch_capacity);
             agg.batch.store(fresh, Ordering::Release);
+            // Wake the frozen batch's registered swap-waiters (the
+            // Release store above published the cut — DESIGN.md §11).
+            agg.event.notify_key(batch_ptr as usize, self.stats.wait());
             unsafe { Batch::retire_with(guard, batch_ptr) };
         } else {
-            let mut backoff = Backoff::new();
-            while ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr) {
-                backoff.snooze();
-            }
+            agg.event.wait_until(
+                batch_ptr as usize,
+                self.config.wait,
+                self.stats.wait(),
+                || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
+            );
         }
     }
 
@@ -175,14 +198,7 @@ impl<T: Send + 'static> SecDeque<T> {
         let mut deque = self.inner.lock();
         for i in my_seq..push_at_freeze {
             // Waiting for a slot mirrors PushToStack line 38.
-            let mut backoff = Backoff::new();
-            let node = loop {
-                let n = batch.elim[i].load(Ordering::Acquire);
-                if !n.is_null() {
-                    break n;
-                }
-                backoff.snooze();
-            };
+            let node = wait_ptr(&batch.elim[i], self.config.wait);
             // Safety: slots with i ≥ popCountAtFreeze have no
             // eliminating partner; the combiner is their unique
             // consumer. Payload out, husk recycles.
@@ -311,12 +327,9 @@ impl<T: Send + 'static> DequeHandle<'_, T> {
                 if my_seq >= pop_at_freeze {
                     if my_seq == pop_at_freeze {
                         deque.combine_pushes(batch, my_seq, end, &guard);
-                        batch.applied.store(true, Ordering::Release);
+                        mark_applied(agg, batch, batch_ptr, deque.stats.wait());
                     } else {
-                        let mut backoff = Backoff::new();
-                        while !batch.applied.load(Ordering::Acquire) {
-                            backoff.snooze();
-                        }
+                        wait_applied(agg, batch, batch_ptr, deque.config.wait, deque.stats.wait());
                     }
                 }
                 return;
@@ -342,14 +355,7 @@ impl<T: Send + 'static> DequeHandle<'_, T> {
                 let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
                 if my_seq < push_at_freeze {
                     // Eliminate with the same-end push of equal seq.
-                    let mut backoff = Backoff::new();
-                    let n = loop {
-                        let n = batch.elim[my_seq].load(Ordering::Acquire);
-                        if !n.is_null() {
-                            break n;
-                        }
-                        backoff.snooze();
-                    };
+                    let n = wait_ptr(&batch.elim[my_seq], deque.config.wait);
                     // Payload out, husk recycles (as in the stack's
                     // elimination path).
                     let value = unsafe { Node::take_value(n) };
@@ -358,12 +364,9 @@ impl<T: Send + 'static> DequeHandle<'_, T> {
                 }
                 if my_seq == push_at_freeze {
                     deque.combine_pops(batch, my_seq, end, &guard);
-                    batch.applied.store(true, Ordering::Release);
+                    mark_applied(agg, batch, batch_ptr, deque.stats.wait());
                 } else {
-                    let mut backoff = Backoff::new();
-                    while !batch.applied.load(Ordering::Acquire) {
-                        backoff.snooze();
-                    }
+                    wait_applied(agg, batch, batch_ptr, deque.config.wait, deque.stats.wait());
                 }
                 return deque.get_value(batch, my_seq - push_at_freeze, &guard);
             }

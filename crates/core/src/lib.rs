@@ -68,7 +68,9 @@ pub mod queue;
 pub mod sec;
 mod traits;
 
-pub use config::{topology_shard, AggregatorPolicy, RecyclePolicy, SecConfig, ShardPolicy};
+pub use config::{
+    topology_shard, AggregatorPolicy, RecyclePolicy, SecConfig, ShardPolicy, WaitPolicy,
+};
 pub use queue::{SecQueue, SecQueueHandle};
 pub use sec::stats::{BatchReport, SecStats};
 pub use sec::{SecHandle, SecStack};

@@ -13,7 +13,7 @@
 //! is conservation (every put is got at most/exactly once), emptiness
 //! only when all shards are empty, and the usual pool liveness.
 
-use crate::config::{RecyclePolicy, SecConfig};
+use crate::config::{AggregatorPolicy, RecyclePolicy, SecConfig, WaitPolicy};
 use crate::sec::{SecHandle, SecStack};
 use core::fmt;
 use sec_reclaim::CollectorStats;
@@ -51,12 +51,32 @@ impl<T: Send + 'static> SecPool<T> {
     /// to every shard stack (the default is
     /// [`RecyclePolicy::per_thread`]).
     pub fn with_recycle(shards: usize, max_threads: usize, recycle: RecyclePolicy) -> Self {
+        Self::with_config(shards, SecConfig::new(1, max_threads).recycle(recycle))
+    }
+
+    /// [`SecPool::new`] with an explicit blocking-wait policy, applied
+    /// to every shard stack (the default is
+    /// [`WaitPolicy::spin_then_park`] — DESIGN.md §11).
+    pub fn with_wait(shards: usize, max_threads: usize, wait: WaitPolicy) -> Self {
+        Self::with_config(shards, SecConfig::new(1, max_threads).wait_policy(wait))
+    }
+
+    /// The general constructor: every shard is built from `config`
+    /// with the aggregator layer forced to a single fixed aggregator —
+    /// pool-level sharding *is* the aggregator layer, lifted. All
+    /// other knobs (recycling, wait policy, freezer backoff) pass
+    /// through to the shard stacks.
+    pub fn with_config(shards: usize, config: SecConfig) -> Self {
         let shards = shards.max(1);
+        let shard_config = SecConfig {
+            aggregators: 1,
+            policy: AggregatorPolicy::Fixed(1),
+            max_threads: config.max_threads.max(1),
+            ..config
+        };
         Self {
             shards: (0..shards)
-                .map(|_| {
-                    SecStack::with_config(SecConfig::new(1, max_threads.max(1)).recycle(recycle))
-                })
+                .map(|_| SecStack::with_config(shard_config))
                 .collect(),
         }
     }
@@ -96,6 +116,19 @@ impl<T: Send + 'static> SecPool<T> {
             .iter()
             .map(|s| s.quiesce_reclamation(rounds))
             .fold(CollectorStats::default(), sum_stats)
+    }
+
+    /// Aggregate park/wake/spurious-wake counters summed over every
+    /// shard stack (DESIGN.md §11): `(parks, wakes, spurious_wakes)`.
+    pub fn wait_counters(&self) -> (u64, u64, u64) {
+        let (mut parks, mut wakes, mut spurious) = (0u64, 0u64, 0u64);
+        for s in self.shards.iter() {
+            let r = s.stats().report();
+            parks += r.parks;
+            wakes += r.wakes;
+            spurious += r.spurious_wakes;
+        }
+        (parks, wakes, spurious)
     }
 
     /// Aggregate elimination share across shards (diagnostic).

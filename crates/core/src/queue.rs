@@ -37,8 +37,8 @@
 //! waiter retires the node it consumed (except the chain's last, which
 //! becomes the new dummy and is retired by a later combiner).
 
-use crate::config::{RecyclePolicy, SecConfig};
-use crate::sec::batch::{alloc_slots_with, retire_slots};
+use crate::config::{RecyclePolicy, SecConfig, WaitPolicy};
+use crate::sec::batch::{alloc_slots_with, retire_slots, wait_ptr};
 use crate::sec::stats::SecStats;
 use crate::traits::{ConcurrentQueue, QueueHandle};
 use core::fmt;
@@ -46,6 +46,7 @@ use core::mem::MaybeUninit;
 use core::ptr;
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
+use sec_sync::event::{spin_wait, WaitQueue};
 use sec_sync::{Backoff, CachePadded};
 
 /// Default length (in spin iterations) of the empty-queue rendezvous
@@ -217,9 +218,12 @@ impl<T> QBatch<T> {
 unsafe impl<T: Send> Send for QBatch<T> {}
 unsafe impl<T: Send> Sync for QBatch<T> {}
 
-/// One end's aggregator: a pointer to its currently active batch.
+/// One end's aggregator: a pointer to its currently active batch, plus
+/// the park queue its batches' waiters register on (keyed by batch
+/// address, exactly as in the stack — DESIGN.md §11).
 struct QAggregator<T> {
     batch: AtomicPtr<QBatch<T>>,
+    event: WaitQueue,
     /// Whether this end's batches carry announcement slots.
     with_slots: bool,
 }
@@ -228,6 +232,7 @@ impl<T> QAggregator<T> {
     fn new(capacity: usize, with_slots: bool) -> Self {
         Self {
             batch: AtomicPtr::new(QBatch::alloc(capacity, with_slots)),
+            event: WaitQueue::new(),
             with_slots,
         }
     }
@@ -317,6 +322,15 @@ impl<T: Send + 'static> SecQueue<T> {
         self
     }
 
+    /// Sets the blocking-wait policy (builder style; the default is
+    /// [`WaitPolicy::spin_then_park`] — DESIGN.md §11). Governs both
+    /// ends' combiner waits and batch-pointer swaps, and whether the
+    /// empty-queue rendezvous window yields inside its budget.
+    pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
+        self.config.wait = wait;
+        self
+    }
+
     /// Registers the calling thread.
     ///
     /// # Panics
@@ -398,11 +412,15 @@ impl<T: Send + 'static> SecQueue<T> {
         // lists (DESIGN.md §10).
         let fresh = QBatch::alloc_with(guard.handle(), batch.capacity, agg.with_slots);
         agg.batch.store(fresh, Ordering::Release);
+        // Wake the frozen batch's registered swap-waiters (the Release
+        // store above published the cut first — DESIGN.md §11).
+        agg.event.notify_key(batch_ptr as usize, self.stats.wait());
         unsafe { QBatch::retire_with(guard, batch_ptr) };
     }
 
     /// Announce-and-freeze prologue shared by both ends: the sequence-0
-    /// announcer freezes; everyone else waits for the batch swap.
+    /// announcer freezes; everyone else waits (parked, per the
+    /// configured policy) for the batch swap.
     fn freeze_or_wait(
         &self,
         agg: &QAggregator<T>,
@@ -413,11 +431,29 @@ impl<T: Send + 'static> SecQueue<T> {
         if my_seq == 0 {
             self.freeze(agg, batch_ptr, guard);
         } else {
-            let mut backoff = Backoff::new();
-            while ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr) {
-                backoff.snooze();
-            }
+            agg.event.wait_until(
+                batch_ptr as usize,
+                self.config.wait,
+                self.stats.wait(),
+                || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
+            );
         }
+    }
+
+    /// The queue's instance of the shared `applied` wait (see
+    /// `sec::batch::wait_applied` — the queue has its own batch type,
+    /// but the seam is the same `WaitQueue::wait_until` call).
+    fn wait_applied(&self, agg: &QAggregator<T>, batch: &QBatch<T>, key: *mut QBatch<T>) {
+        agg.event
+            .wait_until(key as usize, self.config.wait, self.stats.wait(), || {
+                batch.applied.load(Ordering::Acquire)
+            });
+    }
+
+    /// The waking half: publish `applied`, wake the batch's waiters.
+    fn mark_applied(&self, agg: &QAggregator<T>, batch: &QBatch<T>, key: *mut QBatch<T>) {
+        batch.applied.store(true, Ordering::Release);
+        agg.event.notify_key(key as usize, self.stats.wait());
     }
 
     // ------------------------------------------------------------------
@@ -431,20 +467,10 @@ impl<T: Send + 'static> SecQueue<T> {
         // Wait for each announced node (the announcer published its
         // slot right after the fetch&increment; it may just not have
         // gotten there yet — the stack's line-38 wait).
-        let wait_slot = |i: usize| {
-            let mut backoff = Backoff::new();
-            loop {
-                let n = batch.slots[i].load(Ordering::Acquire);
-                if !n.is_null() {
-                    return n;
-                }
-                backoff.snooze();
-            }
-        };
-        let first = wait_slot(0);
+        let first = wait_ptr(&batch.slots[0], self.config.wait);
         let mut prev = first;
         for i in 1..count {
-            let n = wait_slot(i);
+            let n = wait_ptr(&batch.slots[i], self.config.wait);
             // Relaxed suffices: the chain is published wholesale by the
             // Release store of the old tail's `next` below.
             unsafe { (*prev).next.store(n, Ordering::Relaxed) };
@@ -519,16 +545,28 @@ impl<T: Send + 'static> SecQueue<T> {
                         if taken == 0 && window > 0 {
                             window -= 1;
                             waited_empty = true;
-                            core::hint::spin_loop();
+                            // Policy-aware pause: under the yielding
+                            // and parking policies, periodically give
+                            // the slice away inside the window — on an
+                            // oversubscribed host that is what lets a
+                            // producer actually reach its splice (the
+                            // wait is anonymous, so parking proper
+                            // cannot apply — no waker would know us).
+                            if self.config.wait == WaitPolicy::Spin || !window.is_multiple_of(32) {
+                                core::hint::spin_loop();
+                            } else {
+                                std::thread::yield_now();
+                            }
                             continue;
                         }
                         break;
                     }
-                    // Swing done, link in flight: wait for it.
-                    let mut backoff = Backoff::new();
-                    while unsafe { (*cur).next.load(Ordering::Acquire) }.is_null() {
-                        backoff.snooze();
-                    }
+                    // Swing done, link in flight: wait for it (bounded
+                    // by the enqueue combiner's next store — anonymous,
+                    // so never parked).
+                    spin_wait(self.config.wait, || {
+                        !unsafe { (*cur).next.load(Ordering::Acquire) }.is_null()
+                    });
                     continue;
                 }
                 if taken == 0 {
@@ -688,12 +726,9 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
             if my_seq < cut {
                 if my_seq == 0 {
                     queue.enqueue_to_queue(batch, cut);
-                    batch.applied.store(true, Ordering::Release);
+                    queue.mark_applied(agg, batch, batch_ptr);
                 } else {
-                    let mut backoff = Backoff::new();
-                    while !batch.applied.load(Ordering::Acquire) {
-                        backoff.snooze();
-                    }
+                    queue.wait_applied(agg, batch, batch_ptr);
                 }
                 return;
             }
@@ -723,12 +758,9 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
             if my_seq < cut {
                 if my_seq == 0 {
                     queue.dequeue_from_queue(batch, cut, &guard);
-                    batch.applied.store(true, Ordering::Release);
+                    queue.mark_applied(agg, batch, batch_ptr);
                 } else {
-                    let mut backoff = Backoff::new();
-                    while !batch.applied.load(Ordering::Acquire) {
-                        backoff.snooze();
-                    }
+                    queue.wait_applied(agg, batch, batch_ptr);
                 }
                 // Our offset within the taken chain is our sequence
                 // number: the batch's dequeues drain in announcement

@@ -4,8 +4,9 @@
 use super::node::Node;
 use core::alloc::Layout;
 use core::ptr;
-use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64};
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use sec_reclaim::{Guard, Handle as ReclaimHandle};
+use sec_sync::event::{spin_wait, WaitPolicy, WaitQueue, WaitStats};
 use sec_sync::CachePadded;
 
 /// A batch: the unit of freezing, elimination and combining.
@@ -166,9 +167,15 @@ impl<T> Batch<T> {
 unsafe impl<T: Send> Send for Batch<T> {}
 unsafe impl<T: Send> Sync for Batch<T> {}
 
-/// An aggregator: one pointer to its currently active batch.
+/// An aggregator: one pointer to its currently active batch, plus the
+/// park queue its batches' waiters register on.
 pub(crate) struct Aggregator<T> {
     pub(crate) batch: AtomicPtr<Batch<T>>,
+    /// Parked-waiter registry for every batch generation that passes
+    /// through this aggregator, keyed by batch address (DESIGN.md §11).
+    /// Living here — not in the batch — keeps it out of the
+    /// destructor-less recycled batch blocks.
+    pub(crate) event: WaitQueue,
 }
 
 impl<T> Aggregator<T> {
@@ -176,8 +183,60 @@ impl<T> Aggregator<T> {
     pub(crate) fn new(capacity: usize) -> Self {
         Self {
             batch: AtomicPtr::new(Batch::alloc(capacity)),
+            event: WaitQueue::new(),
         }
     }
+}
+
+/// The shared `applied`-flag wait: parks (per `policy`) on the
+/// aggregator's event queue, keyed by the batch's address, until the
+/// batch's combiner flips `applied`. This is the single seam the four
+/// families' former copy-pasted `while !batch.applied { snooze }`
+/// loops collapsed into; the waking half is [`mark_applied`].
+#[inline]
+pub(crate) fn wait_applied<T>(
+    agg: &Aggregator<T>,
+    batch: &Batch<T>,
+    key: *mut Batch<T>,
+    policy: WaitPolicy,
+    stats: &WaitStats,
+) {
+    agg.event.wait_until(key as usize, policy, stats, || {
+        batch.applied.load(Ordering::Acquire)
+    });
+}
+
+/// The waking half of [`wait_applied`]: publishes `applied` (Release —
+/// the handshake requires the condition to be visible before the
+/// notify) and wakes exactly the batch's registered waiters.
+#[inline]
+pub(crate) fn mark_applied<T>(
+    agg: &Aggregator<T>,
+    batch: &Batch<T>,
+    key: *mut Batch<T>,
+    stats: &WaitStats,
+) {
+    batch.applied.store(true, Ordering::Release);
+    agg.event.notify_key(key as usize, stats);
+}
+
+/// Waits (policy-aware, never parking) for a slot another announcer is
+/// about to publish — the "line 38" wait shared by the push combiner,
+/// the eliminating pop, the deque combiners and the queue's enqueue
+/// combiner. The publisher is between its `fetch&increment` and its
+/// slot store — a few instructions — so there is no waker to register
+/// with and nothing worth parking for; see [`spin_wait`].
+#[inline]
+pub(crate) fn wait_ptr<N>(slot: &AtomicPtr<N>, policy: WaitPolicy) -> *mut N {
+    let mut p = slot.load(Ordering::Acquire);
+    if !p.is_null() {
+        return p;
+    }
+    spin_wait(policy, || {
+        p = slot.load(Ordering::Acquire);
+        !p.is_null()
+    });
+    p
 }
 
 #[cfg(test)]

@@ -30,13 +30,14 @@ pub mod stats;
 
 use crate::config::{AggregatorPolicy, SecConfig};
 use crate::traits::{ConcurrentStack, StackHandle};
-use batch::{Aggregator, Batch};
+use batch::{mark_applied, wait_applied, wait_ptr, Aggregator, Batch};
 use core::fmt;
 use core::ptr;
 use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use elastic::{ContentionMonitor, Direction};
 use node::Node;
 use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
+use sec_sync::event::spin_wait;
 use sec_sync::{Backoff, CachePadded};
 use stats::SecStats;
 
@@ -192,10 +193,10 @@ impl<T: Send + 'static> SecStack<T> {
     /// in the [`SecStats`] resize counters.
     pub fn set_active_aggregators(&self, k: usize) -> usize {
         let k = k.clamp(self.config.policy.min_k(), self.config.policy.max_k());
-        let mut backoff = Backoff::new();
-        while !self.monitor.begin_decision() {
-            backoff.snooze();
-        }
+        // A blocking wait on the concurrent decider's `end_decision`:
+        // policy-aware, but never parked (decisions are a few loads —
+        // there is no waker registration on the monitor).
+        spin_wait(self.config.wait, || self.monitor.begin_decision());
         let prev = self.active.swap(k, Ordering::AcqRel);
         for _ in k..prev {
             self.stats.record_shrink();
@@ -292,6 +293,10 @@ impl<T: Send + 'static> SecStack<T> {
         // recycled batch/array blocks when the free lists have them.
         let fresh = Batch::alloc_with(guard.handle(), self.batch_capacity);
         agg.batch.store(fresh, Ordering::Release);
+        // Wake the frozen batch's registered swap-waiters: the Release
+        // store above published the cut, so the handshake's
+        // condition-before-notify contract holds (DESIGN.md §11).
+        agg.event.notify_key(batch_ptr as usize, self.stats.wait());
 
         // The frozen batch is now unreachable for *new* pins; threads
         // already inside it are pinned and keep it alive (§4 of the
@@ -326,11 +331,15 @@ impl<T: Send + 'static> SecStack<T> {
             // announcers: play the freezer 𝑓_B.
             self.freeze_batch(agg, batch_ptr, guard);
         } else {
-            // Line 11/60: wait for the freezer to swap the batch pointer.
-            let mut backoff = Backoff::new();
-            while ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr) {
-                backoff.snooze();
-            }
+            // Line 11/60: wait for the freezer to swap the batch
+            // pointer — parked (per the configured policy) on the
+            // aggregator's event queue; the freezer wakes us.
+            agg.event.wait_until(
+                batch_ptr as usize,
+                self.config.wait,
+                self.stats.wait(),
+                || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
+            );
         }
     }
 
@@ -360,14 +369,7 @@ impl<T: Send + 'static> SecStack<T> {
             // Line 38: the push with sequence number `i` belongs to the
             // batch (i < pushCountAtFreeze), so it *will* publish its
             // node; it may just not have gotten to line 7 yet.
-            let mut backoff = Backoff::new();
-            let n = loop {
-                let n = batch.elim[i].load(Ordering::Acquire);
-                if !n.is_null() {
-                    break n;
-                }
-                backoff.snooze();
-            };
+            let n = wait_ptr(&batch.elim[i], self.config.wait);
             // Lines 41–42: link below the running top. Relaxed is
             // enough: the successful CAS below releases the whole chain.
             unsafe { (*n).next.store(top, Ordering::Relaxed) };
@@ -589,14 +591,17 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
                     // Line 16: combiner test.
                     if my_seq == pop_at_freeze {
                         self.stack.push_to_stack(batch, my_seq);
-                        // Line 18.
-                        batch.applied.store(true, Ordering::Release);
+                        // Line 18 — and wake the batch's waiters.
+                        mark_applied(agg, batch, batch_ptr, self.stack.stats.wait());
                     } else {
-                        // Line 20.
-                        let mut backoff = Backoff::new();
-                        while !batch.applied.load(Ordering::Acquire) {
-                            backoff.snooze();
-                        }
+                        // Line 20: parked wait for the combiner.
+                        wait_applied(
+                            agg,
+                            batch,
+                            batch_ptr,
+                            self.stack.config.wait,
+                            self.stack.stats.wait(),
+                        );
                     }
                 }
                 // Line 24.
@@ -636,14 +641,7 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
                 if my_seq < push_at_freeze {
                     // Lines 65–67: the partner publishes its node right
                     // after announcing; wait for the slot.
-                    let mut backoff = Backoff::new();
-                    let n = loop {
-                        let n = batch.elim[my_seq].load(Ordering::Acquire);
-                        if !n.is_null() {
-                            break n;
-                        }
-                        backoff.snooze();
-                    };
+                    let n = wait_ptr(&batch.elim[my_seq], self.stack.config.wait);
                     // Safety: pushes and pops pair off by sequence
                     // number, so we are this node's unique consumer;
                     // payload out, husk recycles.
@@ -654,14 +652,17 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
                 // Line 69: combiner test.
                 if my_seq == push_at_freeze {
                     self.stack.pop_from_stack(batch, my_seq);
-                    // Line 71.
-                    batch.applied.store(true, Ordering::Release);
+                    // Line 71 — and wake the batch's waiters.
+                    mark_applied(agg, batch, batch_ptr, self.stack.stats.wait());
                 } else {
-                    // Line 73.
-                    let mut backoff = Backoff::new();
-                    while !batch.applied.load(Ordering::Acquire) {
-                        backoff.snooze();
-                    }
+                    // Line 73: parked wait for the combiner.
+                    wait_applied(
+                        agg,
+                        batch,
+                        batch_ptr,
+                        self.stack.config.wait,
+                        self.stack.stats.wait(),
+                    );
                 }
                 // Line 76.
                 return self.stack.get_value(batch, my_seq - push_at_freeze, &guard);

@@ -11,6 +11,7 @@
 //! %combining.
 
 use core::sync::atomic::{AtomicU64, Ordering};
+use sec_sync::event::WaitStats;
 
 /// Relaxed counters aggregated over the lifetime of one [`SecStack`].
 ///
@@ -31,6 +32,10 @@ pub struct SecStats {
     cas_failures: AtomicU64,
     grows: AtomicU64,
     shrinks: AtomicU64,
+    /// Park/wake/spurious-wake counters fed by the wait subsystem
+    /// (DESIGN.md §11): every `WaitQueue::wait_until`/`notify_key`
+    /// call site passes this block through.
+    wait: WaitStats,
 }
 
 impl SecStats {
@@ -77,6 +82,12 @@ impl SecStats {
         self.shrinks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The park/wake counter block the wait subsystem records into.
+    #[inline]
+    pub(crate) fn wait(&self) -> &WaitStats {
+        &self.wait
+    }
+
     /// Snapshot of the aggregate measures.
     pub fn report(&self) -> BatchReport {
         BatchReport {
@@ -87,6 +98,9 @@ impl SecStats {
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
             grows: self.grows.load(Ordering::Relaxed),
             shrinks: self.shrinks.load(Ordering::Relaxed),
+            parks: self.wait.parks(),
+            wakes: self.wait.unparks(),
+            spurious_wakes: self.wait.spurious(),
         }
     }
 
@@ -99,6 +113,7 @@ impl SecStats {
         self.cas_failures.store(0, Ordering::Relaxed);
         self.grows.store(0, Ordering::Relaxed);
         self.shrinks.store(0, Ordering::Relaxed);
+        self.wait.reset();
     }
 }
 
@@ -120,6 +135,13 @@ pub struct BatchReport {
     pub grows: u64,
     /// Elastic-sharding shrink transitions (active aggregator count −1).
     pub shrinks: u64,
+    /// Times a waiter parked (`WaitPolicy::SpinThenPark` only).
+    pub parks: u64,
+    /// Unparks freezers/combiners issued to registered waiters.
+    pub wakes: u64,
+    /// Wakeups whose awaited condition was still false (the waiter
+    /// re-parked): stray park tokens and cross-generation wakes.
+    pub spurious_wakes: u64,
 }
 
 impl BatchReport {

@@ -15,8 +15,15 @@ use core::hint;
 /// 2. **Blocking waits** (a SEC thread waiting for the freezer or the
 ///    combiner of its batch): the awaited thread may be *descheduled* —
 ///    on an oversubscribed machine it almost certainly is — so after a
-///    few spin rounds the waiter must yield its time slice back to the
-///    OS scheduler or the wait turns into a livelock ([`Self::snooze`]).
+///    few spin rounds the waiter must get out of the scheduler's way
+///    ([`Self::snooze`] yields; the [`crate::event`] subsystem goes
+///    further and *parks*). Blocking waits in the SEC families do not
+///    call `snooze` in raw loops anymore: they run through
+///    [`crate::event::WaitQueue::wait_until`] or
+///    [`crate::event::spin_wait`], which use `Backoff` as the spin
+///    engine of their policy-selected spin phase and, under
+///    `WaitPolicy::SpinThenPark`, hand over to `thread::park` once the
+///    backoff completes.
 ///
 /// The implementation follows the shape used throughout the concurrency
 /// literature (and by `crossbeam_utils::Backoff`, reimplemented here to
@@ -93,11 +100,15 @@ impl Backoff {
         }
     }
 
-    /// `true` once `snooze` has switched from spinning to yielding.
+    /// `true` once the exponential spin segment is exhausted — from
+    /// here on, `snooze` yields (and `spin` stays at its cap).
     ///
-    /// Callers that can fall back to a different strategy (e.g. parking)
-    /// use this to bound their spin phase; the stacks in this repo only
-    /// use it in assertions and tests.
+    /// Callers that can fall back to a different strategy use this to
+    /// bound their spin phase. The parking subsystem is the production
+    /// consumer: [`crate::event::WaitQueue::wait_until`] under
+    /// `WaitPolicy::SpinThenPark` spins until the backoff completes
+    /// (plus the policy's configured extra rounds) and only then parks
+    /// the thread.
     pub fn is_completed(&self) -> bool {
         self.step > Self::SPIN_LIMIT
     }

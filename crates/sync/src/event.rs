@@ -1,0 +1,565 @@
+//! Spin-then-park waiting: the event subsystem behind every blocking
+//! wait in the SEC families (DESIGN.md §11).
+//!
+//! SEC is a *blocking* protocol: a thread that announced into a batch
+//! waits on its batch's freezer (for the batch-pointer swap) or on its
+//! batch's combiner (for the `applied` flag). Pure spin loops on those
+//! flags are fine while threads ≤ cores, but once the host is
+//! oversubscribed the awaited thread is probably *descheduled*, and a
+//! spinning waiter burns the very CPU time the waker needs —
+//! `yield_now` storms merely move the problem into the scheduler. The
+//! cure is the classic three-stage discipline: spin briefly (the wait
+//! is usually nanoseconds), then get out of the way entirely with
+//! [`std::thread::park`], and have the waker wake exactly the
+//! registered waiters. Dependency-free and `std`-only — a futex in
+//! spirit, built from `park`/`unpark` tokens.
+//!
+//! Three pieces:
+//!
+//! * [`WaitPolicy`] — the knob: [`Spin`](WaitPolicy::Spin),
+//!   [`SpinThenYield`](WaitPolicy::SpinThenYield) (the pre-parking
+//!   behaviour of this code base), or
+//!   [`SpinThenPark`](WaitPolicy::SpinThenPark) (the default);
+//! * [`WaitCell`] — the single-waiter primitive: one event, one
+//!   parked thread, a strict no-lost-wakeup handshake;
+//! * [`WaitQueue`] — the multi-waiter, *keyed* generalization the SEC
+//!   aggregators embed: waiters register under a key (the batch
+//!   address), wakers wake exactly the registrations of their key.
+//!
+//! # The no-lost-wakeup handshake
+//!
+//! A wakeup is lost when the waiter parks *after* the waker looked for
+//! waiters, having checked the condition *before* the waker set it.
+//! Both primitives close that window the same way:
+//!
+//! * the **waiter** registers itself first, then re-checks the
+//!   condition, and only then parks;
+//! * the **waker** makes the condition true first (with at least
+//!   `Release` ordering), then looks for registered waiters.
+//!
+//! With a `SeqCst` fence between each side's store and load (the
+//! Dekker store→load pattern), one of the two must observe the other:
+//! either the waker sees the registration and unparks, or the waiter's
+//! re-check sees the condition and never parks. Park tokens make the
+//! residual races benign: an `unpark` delivered before the `park`
+//! makes the park return immediately, and a stray token at most causes
+//! one spurious wakeup later — every park loop re-checks its condition
+//! and [`WaitStats`] counts those events.
+
+use crate::{Backoff, TtasLock};
+use core::fmt;
+use core::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::thread::{self, Thread};
+
+/// How a blocking wait behaves after its initial optimistic check.
+///
+/// This is the `SecConfig::wait` knob (park is the default): it governs
+/// the stack/queue/deque/pool waits on batch freezing and combining.
+/// Anonymous waits with no registerable waker (an elimination partner
+/// publishing its slot, the queue's empty-rendezvous window) degrade
+/// parking to yielding — see [`spin_wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitPolicy {
+    /// Busy-spin with exponential backoff, never giving the slice back
+    /// to the OS. Optimal when threads ≤ cores and waits are short;
+    /// pathological when oversubscribed (the `oversub` bench
+    /// quantifies by how much).
+    Spin,
+    /// Spin briefly, then `yield_now` each round — the pre-parking
+    /// behaviour of this code base ([`Backoff::snooze`] forever).
+    /// Better than spinning when oversubscribed, but every waiter
+    /// stays runnable, so the scheduler round-robins through threads
+    /// that have nothing to do.
+    SpinThenYield,
+    /// Spin through the backoff's bounded segment (whose final step
+    /// donates the slice once — on a saturated host that donation is
+    /// usually the waker's schedule-in), then park the thread until
+    /// the freezer/combiner wakes it. Parked waiters leave the run
+    /// queue entirely; the waker pays one `unpark` per registered
+    /// waiter of its batch.
+    SpinThenPark {
+        /// Extra backoff rounds before parking, on top of the
+        /// backoff's own bounded segment: the spin phase ends once
+        /// the backoff is exhausted ([`Backoff::is_completed`])
+        /// **and** at least this many extra rounds have run. `0`
+        /// parks as soon as the backoff completes; the no-lost-wakeup
+        /// test battery forces it to maximize park traffic.
+        spin_rounds: u32,
+    },
+}
+
+impl WaitPolicy {
+    /// Default pre-park rounds for [`WaitPolicy::spin_then_park`],
+    /// counted *after* the [`Backoff`]'s own bounded segment (which
+    /// [`WaitQueue::wait_until`] always runs to exhaustion first):
+    /// zero — a waiter parks as soon as the backoff completes (~63
+    /// pause iterations and one slice donation). Raising this buys
+    /// more pre-park slice donations, which keeps short waits off the
+    /// park/unpark syscall path but also hides exactly the waits the
+    /// parking counters exist to expose; the `oversub` ablation showed
+    /// the throughput difference on a saturated host to be within
+    /// noise either way, so the default prefers the observable
+    /// behaviour.
+    pub const DEFAULT_SPIN_ROUNDS: u32 = 0;
+
+    /// The default parking policy ([`SpinThenPark`](Self::SpinThenPark)
+    /// with [`DEFAULT_SPIN_ROUNDS`](Self::DEFAULT_SPIN_ROUNDS)).
+    pub const fn spin_then_park() -> Self {
+        WaitPolicy::SpinThenPark {
+            spin_rounds: Self::DEFAULT_SPIN_ROUNDS,
+        }
+    }
+
+    /// `true` for [`WaitPolicy::SpinThenPark`].
+    pub fn parks(&self) -> bool {
+        matches!(self, WaitPolicy::SpinThenPark { .. })
+    }
+
+    /// Short label for CSV/series naming (`spin`, `yield`, `park`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WaitPolicy::Spin => "spin",
+            WaitPolicy::SpinThenYield => "yield",
+            WaitPolicy::SpinThenPark { .. } => "park",
+        }
+    }
+}
+
+impl Default for WaitPolicy {
+    /// Parking is the default: it is never worse than yielding by more
+    /// than the spin phase, and oversubscribed it is the only policy
+    /// whose waiters cost nothing.
+    fn default() -> Self {
+        Self::spin_then_park()
+    }
+}
+
+impl fmt::Display for WaitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Relaxed park/wake counters, embeddable wherever waits happen (the
+/// SEC structures surface them through `SecStats` → `BatchReport` →
+/// the bench CSV columns).
+#[derive(Debug, Default)]
+pub struct WaitStats {
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    spurious: AtomicU64,
+}
+
+impl WaitStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a thread parked ([`std::thread::park`] calls).
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Unparks issued by wakers to registered waiters.
+    pub fn unparks(&self) -> u64 {
+        self.unparks.load(Ordering::Relaxed)
+    }
+
+    /// Wakeups after which the awaited condition was still false
+    /// (stray park tokens, cross-batch wakes); the waiter re-parked.
+    pub fn spurious(&self) -> u64 {
+        self.spurious.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters (between measurement phases).
+    pub fn reset(&self) {
+        self.parks.store(0, Ordering::Relaxed);
+        self.unparks.store(0, Ordering::Relaxed);
+        self.spurious.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Policy-aware wait for conditions with **no registerable waker**: the
+/// publisher doesn't know a wait queue to notify (an announcer storing
+/// its elimination slot, an enqueue combiner closing the queue's
+/// swing-then-link gap). Such waits are bounded by another thread's
+/// few-instruction progress, so [`WaitPolicy::SpinThenPark`] degrades
+/// to yielding here — parking without a waker would hang, and taxing
+/// every publish with a notify would put a fence on the hot path.
+pub fn spin_wait<F: FnMut() -> bool>(policy: WaitPolicy, mut ready: F) {
+    let mut backoff = Backoff::new();
+    loop {
+        if ready() {
+            return;
+        }
+        match policy {
+            WaitPolicy::Spin => backoff.spin(),
+            WaitPolicy::SpinThenYield | WaitPolicy::SpinThenPark { .. } => backoff.snooze(),
+        }
+    }
+}
+
+/// A single-waiter event cell: at most one thread waits at a time; any
+/// thread may notify. The minimal no-lost-wakeup building block — the
+/// parking test battery proves the handshake on this primitive, and
+/// [`WaitQueue`] is its keyed multi-waiter generalization.
+///
+/// # Examples
+///
+/// ```
+/// use sec_sync::event::WaitCell;
+/// use std::sync::Arc;
+///
+/// let cell = Arc::new(WaitCell::new());
+/// let c = Arc::clone(&cell);
+/// let waiter = std::thread::spawn(move || c.wait());
+/// cell.notify();
+/// waiter.join().unwrap();
+/// ```
+pub struct WaitCell {
+    /// The event flag; consumed (reset) by the waiter that observes it.
+    notified: AtomicBool,
+    /// The registered waiter. A spin lock keeps the slot handoff
+    /// race-free without allocating; it is never held across a park.
+    waiter: TtasLock<Option<Thread>>,
+}
+
+impl WaitCell {
+    /// Creates an un-notified cell.
+    pub fn new() -> Self {
+        Self {
+            notified: AtomicBool::new(false),
+            waiter: TtasLock::new(None),
+        }
+    }
+
+    /// Blocks until [`notify`](Self::notify), consuming the
+    /// notification. Returns the number of times the thread parked —
+    /// `0` when the notification had already arrived (the
+    /// wake-before-park interleaving); a plain park-then-genuine-wake
+    /// returns `1`; anything higher means spurious wakeups were
+    /// absorbed along the way.
+    pub fn wait(&self) -> u64 {
+        // Fast path: the event already fired.
+        if self.notified.swap(false, Ordering::Acquire) {
+            return 0;
+        }
+        // Register, then re-check — the waiter half of the handshake.
+        *self.waiter.lock() = Some(thread::current());
+        fence(Ordering::SeqCst);
+        let mut parks = 0;
+        loop {
+            if self.notified.swap(false, Ordering::Acquire) {
+                self.waiter.lock().take();
+                return parks;
+            }
+            thread::park();
+            parks += 1;
+        }
+    }
+
+    /// Fires the event: sets the flag, then unparks the registered
+    /// waiter if there is one — the waker half of the handshake (flag
+    /// first, *then* look for the waiter).
+    pub fn notify(&self) {
+        self.notified.store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        if let Some(t) = self.waiter.lock().take() {
+            t.unpark();
+        }
+    }
+
+    /// `true` if a notification is pending (diagnostic).
+    pub fn is_notified(&self) -> bool {
+        self.notified.load(Ordering::Acquire)
+    }
+}
+
+impl Default for WaitCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for WaitCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitCell")
+            .field("notified", &self.is_notified())
+            .finish()
+    }
+}
+
+/// A keyed multi-waiter park queue — one per SEC aggregator, shared by
+/// the generations of batches that pass through it.
+///
+/// Waiters register under a `key` (the batch address) and park;
+/// [`notify_key`](Self::notify_key) wakes exactly the registrations of
+/// that key. Keying by address makes wake filtering precise without
+/// tying the queue's lifetime to the (recycled, destructor-less) batch
+/// blocks: the queue lives in the long-lived aggregator, so nothing
+/// here is ever reclaimed while referenced. Address reuse across batch
+/// generations can at worst deliver a wake to a same-address waiter of
+/// another generation — a spurious wakeup, absorbed by the re-check
+/// loop and counted in [`WaitStats`].
+///
+/// The registration list is a `Vec` behind a spin lock: registration
+/// is strictly slow-path (a waiter has already spun through its
+/// policy's spin phase), the list is bounded by the structure's thread
+/// capacity, and the `Vec` keeps its allocation across generations —
+/// steady-state parking allocates nothing.
+pub struct WaitQueue {
+    waiters: TtasLock<Vec<(usize, Thread)>>,
+    /// Mirror of `waiters.len()`: lets `notify_key` skip the lock when
+    /// nobody is registered (the common case — wakers outnumber parks
+    /// by orders of magnitude under light load).
+    registered: AtomicUsize,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            waiters: TtasLock::new(Vec::new()),
+            registered: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of currently registered waiters (diagnostic).
+    pub fn registered(&self) -> usize {
+        self.registered.load(Ordering::Relaxed)
+    }
+
+    fn register(&self, key: usize) {
+        let mut ws = self.waiters.lock();
+        ws.push((key, thread::current()));
+        self.registered.store(ws.len(), Ordering::Relaxed);
+    }
+
+    /// Removes this thread's registration under `key`, if a waker has
+    /// not already consumed it.
+    fn deregister(&self, key: usize) {
+        let me = thread::current().id();
+        let mut ws = self.waiters.lock();
+        if let Some(i) = ws.iter().position(|(k, t)| *k == key && t.id() == me) {
+            ws.swap_remove(i);
+            self.registered.store(ws.len(), Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks until `ready()` returns true, following `policy`.
+    ///
+    /// The contract with the waker: whoever makes `ready()` true must
+    /// publish that write (at least `Release`) **before** calling
+    /// [`notify_key`](Self::notify_key) with the same `key`. Under that
+    /// contract no wakeup is lost (see the module docs); `ready` must
+    /// be safe to call repeatedly and from spurious wakeups.
+    pub fn wait_until<F: FnMut() -> bool>(
+        &self,
+        key: usize,
+        policy: WaitPolicy,
+        stats: &WaitStats,
+        mut ready: F,
+    ) {
+        // Spin phase (all policies; Spin/SpinThenYield never leave it).
+        let mut backoff = Backoff::new();
+        let mut extra = 0u32;
+        loop {
+            if ready() {
+                return;
+            }
+            match policy {
+                WaitPolicy::Spin => backoff.spin(),
+                WaitPolicy::SpinThenYield => backoff.snooze(),
+                WaitPolicy::SpinThenPark { spin_rounds } => {
+                    // `is_completed` bounds the spin phase: the
+                    // backoff spins through its exponential segment
+                    // and hands the slice over once (its first yield
+                    // often *is* the waker's schedule-in on a saturated
+                    // host — measurably cheaper than an immediate
+                    // park/unpark round trip); after that, plus the
+                    // configured extra rounds, the waiter parks.
+                    if !backoff.is_completed() || extra < spin_rounds {
+                        backoff.snooze();
+                        extra = extra.saturating_add(u32::from(backoff.is_completed()));
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Park phase (SpinThenPark only): register → fence → re-check
+        // → park, re-registering after every spurious wakeup.
+        loop {
+            self.register(key);
+            fence(Ordering::SeqCst);
+            if ready() {
+                self.deregister(key);
+                return;
+            }
+            stats.parks.fetch_add(1, Ordering::Relaxed);
+            thread::park();
+            self.deregister(key);
+            if ready() {
+                return;
+            }
+            stats.spurious.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Wakes every waiter registered under `key`. Call only *after*
+    /// publishing the write that makes the waiters' condition true.
+    ///
+    /// Unparks happen while the registration lock is held: `unpark`
+    /// never blocks, the critical section is bounded by the batch's
+    /// waiter count, and the only threads that can contend for the
+    /// lock are already on their slow path — the alternative (drain
+    /// into a buffer, unpark outside) would put an allocation on the
+    /// waker's critical path, which this code base keeps
+    /// allocation-free (DESIGN.md §10).
+    pub fn notify_key(&self, key: usize, stats: &WaitStats) {
+        // Dekker pairing with the waiter's register→fence→re-check: if
+        // the waiter's registration is not visible here, our
+        // condition write is visible to its re-check.
+        fence(Ordering::SeqCst);
+        if self.registered.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut woken = 0u64;
+        {
+            let mut ws = self.waiters.lock();
+            let mut i = 0;
+            while i < ws.len() {
+                if ws[i].0 == key {
+                    ws.swap_remove(i).1.unpark();
+                    woken += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            self.registered.store(ws.len(), Ordering::Relaxed);
+        }
+        if woken > 0 {
+            stats.unparks.fetch_add(woken, Ordering::Relaxed);
+        }
+    }
+
+    /// Wakes **all** registered waiters regardless of key (teardown /
+    /// tests).
+    pub fn notify_all(&self, stats: &WaitStats) {
+        fence(Ordering::SeqCst);
+        if self.registered.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut woken = 0u64;
+        {
+            let mut ws = self.waiters.lock();
+            for (_, t) in ws.drain(..) {
+                t.unpark();
+                woken += 1;
+            }
+            self.registered.store(0, Ordering::Relaxed);
+        }
+        stats.unparks.fetch_add(woken, Ordering::Relaxed);
+    }
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for WaitQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitQueue")
+            .field("registered", &self.registered())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn policy_default_is_park() {
+        assert!(WaitPolicy::default().parks());
+        assert_eq!(WaitPolicy::default().label(), "park");
+        assert_eq!(WaitPolicy::Spin.label(), "spin");
+        assert_eq!(WaitPolicy::SpinThenYield.label(), "yield");
+        assert_eq!(format!("{}", WaitPolicy::Spin), "spin");
+    }
+
+    #[test]
+    fn cell_wake_before_park_returns_immediately() {
+        let cell = WaitCell::new();
+        cell.notify();
+        assert!(cell.is_notified());
+        assert_eq!(cell.wait(), 0, "pre-delivered event: no park");
+        assert!(!cell.is_notified(), "wait consumed the notification");
+    }
+
+    #[test]
+    fn cell_park_before_wake() {
+        let cell = Arc::new(WaitCell::new());
+        let c = Arc::clone(&cell);
+        let waiter = thread::spawn(move || c.wait());
+        thread::yield_now();
+        cell.notify();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn queue_wakes_only_matching_key() {
+        let q = WaitQueue::new();
+        let stats = WaitStats::new();
+        let flag = AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                q.wait_until(
+                    7,
+                    WaitPolicy::SpinThenPark { spin_rounds: 0 },
+                    &stats,
+                    || flag.load(Ordering::Acquire),
+                );
+            });
+            // A non-matching notify must not satisfy the waiter: its
+            // condition stays false, so at worst it re-parks.
+            q.notify_key(99, &stats);
+            flag.store(true, Ordering::Release);
+            q.notify_key(7, &stats);
+        });
+        assert_eq!(q.registered(), 0, "waiter deregistered on exit");
+    }
+
+    #[test]
+    fn spin_wait_terminates_under_all_policies() {
+        for policy in [
+            WaitPolicy::Spin,
+            WaitPolicy::SpinThenYield,
+            WaitPolicy::spin_then_park(),
+        ] {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f = Arc::clone(&flag);
+            let setter = thread::spawn(move || {
+                thread::yield_now();
+                f.store(true, Ordering::Release);
+            });
+            spin_wait(policy, || flag.load(Ordering::Acquire));
+            setter.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_reset_zeroes() {
+        let s = WaitStats::new();
+        s.parks.fetch_add(3, Ordering::Relaxed);
+        s.unparks.fetch_add(2, Ordering::Relaxed);
+        s.spurious.fetch_add(1, Ordering::Relaxed);
+        s.reset();
+        assert_eq!((s.parks(), s.unparks(), s.spurious()), (0, 0, 0));
+    }
+}

@@ -7,8 +7,12 @@
 //! * [`CachePadded`] — false-sharing avoidance for per-thread and
 //!   per-shard hot state,
 //! * [`Backoff`] — bounded exponential spin backoff that degrades to
-//!   [`std::thread::yield_now`], required for the blocking waits of SEC
-//!   on oversubscribed machines,
+//!   [`std::thread::yield_now`], the spin engine of every retry loop
+//!   and of the spin phase of every blocking wait,
+//! * [`event`] — spin-then-park waiting ([`event::WaitPolicy`],
+//!   [`event::WaitCell`], [`event::WaitQueue`]): the no-lost-wakeup
+//!   park/unpark subsystem behind SEC's freezer/combiner waits on
+//!   oversubscribed machines (DESIGN.md §11),
 //! * [`TtasLock`] — a test-and-test-and-set spin lock (the combiner lock
 //!   of the flat-combining baseline),
 //! * [`McsLock`] / [`ClhLock`] — the two classic queue locks; CC-Synch
@@ -34,6 +38,7 @@ mod lock;
 mod mcs;
 mod pad;
 
+pub mod event;
 pub mod funnel;
 pub mod topology;
 

@@ -144,6 +144,10 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             Some(recycle) => sec_config.recycle(recycle),
             None => sec_config,
         };
+        let sec_config = match cfg.wait {
+            Some(wait) => sec_config.wait_policy(wait),
+            None => sec_config,
+        };
         let stack: SecStack<u64> = SecStack::with_config(sec_config);
         let result = run_throughput(&stack, cfg);
         AlgoRun {
@@ -201,10 +205,13 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             reclaim: None,
         },
         Algo::SecQueue => {
-            let queue: SecQueue<u64> = match cfg.recycle {
-                Some(recycle) => SecQueue::new(cap).recycle_policy(recycle),
-                None => SecQueue::new(cap),
-            };
+            let mut queue: SecQueue<u64> = SecQueue::new(cap);
+            if let Some(recycle) = cfg.recycle {
+                queue = queue.recycle_policy(recycle);
+            }
+            if let Some(wait) = cfg.wait {
+                queue = queue.wait_policy(wait);
+            }
             let result = run_queue_throughput(&queue, cfg);
             AlgoRun {
                 result,
@@ -376,6 +383,32 @@ mod tests {
             run_algo(Algo::Trb, &cfg).reclaim.is_none(),
             "non-SEC runs carry no collector snapshot"
         );
+    }
+
+    #[test]
+    fn wait_policy_override_reaches_both_sec_families() {
+        use sec_core::WaitPolicy;
+        // With the spin phase cut to its minimum, a short contended run
+        // parks some waiter with near-certainty; retry a few rounds so
+        // the assertion never hinges on one scheduling outcome.
+        for algo in [Algo::Sec { aggregators: 2 }, Algo::SecQueue] {
+            let mut parked = 0;
+            for round in 0..10 {
+                let cfg = RunConfig {
+                    duration: Duration::from_millis(20),
+                    prefill: 64,
+                    wait: Some(WaitPolicy::SpinThenPark { spin_rounds: 0 }),
+                    seed: 0xBEEF ^ round,
+                    ..RunConfig::new(3, Mix::UPDATE_100)
+                };
+                let rep = run_algo(algo, &cfg).sec_report.expect("SEC reports");
+                parked += rep.parks;
+                if parked > 0 {
+                    break;
+                }
+            }
+            assert!(parked > 0, "{algo}: no park recorded in 10 rounds");
+        }
     }
 
     #[test]

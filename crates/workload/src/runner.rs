@@ -5,6 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sec_core::{
     AggregatorPolicy, ConcurrentQueue, ConcurrentStack, QueueHandle, RecyclePolicy, StackHandle,
+    WaitPolicy,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -45,6 +46,13 @@ pub struct RunConfig {
     ///
     /// [`Algo`]: crate::Algo
     pub recycle: Option<RecyclePolicy>,
+    /// Blocking-wait policy override for the SEC family (`None` keeps
+    /// each structure's default, [`WaitPolicy::spin_then_park`]).
+    /// Ignored by the non-SEC algorithms. Lets the `oversub` bench
+    /// sweep spin/yield/park without a separate [`Algo`] variant.
+    ///
+    /// [`Algo`]: crate::Algo
+    pub wait: Option<WaitPolicy>,
 }
 
 impl RunConfig {
@@ -60,6 +68,7 @@ impl RunConfig {
             seed: 0xC0FFEE,
             sec_policy: None,
             recycle: None,
+            wait: None,
         }
     }
 }

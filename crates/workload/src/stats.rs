@@ -64,6 +64,62 @@ impl ResizeTotals {
     }
 }
 
+/// Accumulated park/wake counters over the repeated runs of one
+/// measurement cell — the [`ResizeTotals`] pattern applied to the
+/// wait-subsystem counters every SEC [`BatchReport`] now carries
+/// (DESIGN.md §11).
+///
+/// The `oversub` bench renders the totals as the
+/// `<series>_{parks,wakes,spurious}` extra CSV columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitTotals {
+    /// Times a waiter parked, summed over the accumulated runs.
+    pub parks: u64,
+    /// Unparks issued by freezers/combiners, summed likewise.
+    pub wakes: u64,
+    /// Wakeups whose condition was still false, summed likewise.
+    pub spurious: u64,
+    /// Runs accumulated.
+    pub runs: usize,
+}
+
+impl WaitTotals {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run's report in (a no-op for `None`, so non-SEC
+    /// lineups can share the call site).
+    pub fn add(&mut self, report: Option<&BatchReport>) {
+        if let Some(r) = report {
+            self.parks += r.parks;
+            self.wakes += r.wakes;
+            self.spurious += r.spurious_wakes;
+            self.runs += 1;
+        }
+    }
+
+    /// Mean parks per accumulated run (0 when empty).
+    pub fn parks_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.parks as f64 / self.runs as f64
+        }
+    }
+
+    /// Spurious wakeups as a percentage of all parks (0 when no parks
+    /// happened): the precision of the keyed wake filtering.
+    pub fn spurious_pct(&self) -> f64 {
+        if self.parks == 0 {
+            0.0
+        } else {
+            100.0 * self.spurious as f64 / self.parks as f64
+        }
+    }
+}
+
 /// Accumulated reclamation/recycling counters over the repeated runs
 /// of one measurement cell — the [`ResizeTotals`] pattern applied to
 /// the collector's [`CollectorStats`].
@@ -247,6 +303,9 @@ mod tests {
             cas_failures: 0,
             grows,
             shrinks,
+            parks: 4,
+            wakes: 3,
+            spurious_wakes: 1,
         }
     }
 
@@ -262,6 +321,22 @@ mod tests {
         assert_eq!(t.resizes(), 6);
         assert!((t.grows_per_run() - 1.0).abs() < 1e-12);
         assert!((t.shrinks_per_run() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_totals_accumulate_and_derive() {
+        let mut t = WaitTotals::new();
+        t.add(Some(&report(0, 0))); // 4 parks, 3 wakes, 1 spurious
+        t.add(Some(&report(0, 0)));
+        t.add(None); // non-SEC run: ignored
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.parks, 8);
+        assert_eq!(t.wakes, 6);
+        assert_eq!(t.spurious, 2);
+        assert!((t.parks_per_run() - 4.0).abs() < 1e-12);
+        assert!((t.spurious_pct() - 25.0).abs() < 1e-12);
+        assert_eq!(WaitTotals::new().spurious_pct(), 0.0);
+        assert_eq!(WaitTotals::new().parks_per_run(), 0.0);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //!   timestamped-interval) plus the queue baselines (Michael–Scott,
 //!   locked `VecDeque`),
 //! * [`reclaim`] — the DEBRA-style epoch-based reclamation substrate,
-//! * [`sync`] — concurrency primitives (backoff, cache padding, TTAS
-//!   lock, TSC clock, aggregating funnels),
+//! * [`sync`] — concurrency primitives (backoff, spin-then-park
+//!   waiting, cache padding, TTAS lock, TSC clock, aggregating
+//!   funnels),
 //! * [`linearize`] — history recording + linearizability checking,
 //! * [`workload`] — the benchmark harness behind the paper's figures.
 //!
@@ -47,7 +48,7 @@
 pub use sec_core::{
     topology_shard, AggregatorPolicy, BatchReport, CollectorStats, ConcurrentQueue,
     ConcurrentStack, QueueHandle, RecyclePolicy, SecConfig, SecHandle, SecStack, SecStats,
-    ShardPolicy, StackHandle,
+    ShardPolicy, StackHandle, WaitPolicy,
 };
 
 /// The elastic-sharding contention monitor (DESIGN.md §8): pure
@@ -86,6 +87,7 @@ pub mod reclaim {
 
 /// Concurrency primitives substrate.
 pub mod sync {
+    pub use sec_sync::event::{spin_wait, WaitCell, WaitPolicy, WaitQueue, WaitStats};
     pub use sec_sync::funnel::AggregatingFunnel;
     pub use sec_sync::{
         topology, Backoff, CachePadded, ClhLock, McsLock, Timestamp, TscClock, TtasLock,
