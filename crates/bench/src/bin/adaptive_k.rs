@@ -72,11 +72,9 @@ fn main() {
         // Static lineup.
         let mut static_rows: Vec<Vec<f64>> = Vec::new();
         for k in MIN_K..=MAX_K {
-            let ys: Vec<f64> = sweep
-                .iter()
-                .map(|&n| cell(Algo::Sec { aggregators: k }, n, &opts, mix).0)
-                .collect();
-            fig.add_series(format!("SEC_Agg{k}"), ys.clone());
+            let algo = Algo::Sec { aggregators: k };
+            let ys: Vec<f64> = sweep.iter().map(|&n| cell(algo, n, &opts, mix).0).collect();
+            fig.add_series(algo.ablation_label(), ys.clone());
             static_rows.push(ys);
         }
         // Elastic series.

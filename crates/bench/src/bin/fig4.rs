@@ -39,6 +39,7 @@ fn main() {
             .chain([Algo::SecAdaptive { min_k: 1, max_k: 5 }])
             .collect();
         for algo in lineup {
+            let series = algo.ablation_label();
             let mut ys = Vec::with_capacity(sweep.len());
             let mut resize_cols: Vec<ResizeTotals> = Vec::with_capacity(sweep.len());
             for &threads in &sweep {
@@ -70,23 +71,22 @@ fn main() {
                 resize_cols.push(resizes);
                 let s = Summary::of(&samples);
                 eprintln!(
-                    "  {mix} | {} | {threads:>3} threads: {:.3} Mops/s",
-                    algo.label(),
+                    "  {mix} | {series} | {threads:>3} threads: {:.3} Mops/s",
                     s.mean
                 );
                 ys.push(s.mean);
             }
-            fig.add_series(algo.label(), ys);
+            fig.add_series(series.clone(), ys);
             // The elastic series carries its grow/shrink totals as
             // unplotted CSV columns (zero for the static lineup, so
             // only the adaptive variant emits them).
             if matches!(algo, Algo::SecAdaptive { .. }) {
                 fig.add_extra(
-                    format!("{}_grows", algo.label()),
+                    format!("{series}_grows"),
                     resize_cols.iter().map(|r| r.grows as f64).collect(),
                 );
                 fig.add_extra(
-                    format!("{}_shrinks", algo.label()),
+                    format!("{series}_shrinks"),
                     resize_cols.iter().map(|r| r.shrinks as f64).collect(),
                 );
             }

@@ -331,6 +331,17 @@ impl<T: Send + 'static> SecQueue<T> {
         self
     }
 
+    /// Sets the freezer's aggregation backoff in `yield_now` calls
+    /// (builder style) — the queue twin of
+    /// [`SecConfig::freezer_yields`]. Widening the window lets more
+    /// announcers join each batch before it freezes, which matters
+    /// most when threads outnumber cores (see the `freezer_backoff`
+    /// ablation). Apply before any thread registers.
+    pub fn freezer_yields(mut self, yields: u32) -> Self {
+        self.config.freezer_yields = yields;
+        self
+    }
+
     /// Registers the calling thread.
     ///
     /// # Panics

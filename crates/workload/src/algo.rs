@@ -97,6 +97,19 @@ impl Algo {
         }
     }
 
+    /// The label for the aggregator-count ablations (`fig4`,
+    /// `adaptive_k`): like [`label`](Self::label), except a static
+    /// SEC series always carries its K — `SEC_Agg2`, not the
+    /// fig2-legend `SEC` — so the ablation columns stay comparable
+    /// across K. Single owner of that naming rule; the bench binaries
+    /// must not re-encode it.
+    pub fn ablation_label(&self) -> String {
+        match self {
+            Algo::Sec { aggregators } => format!("SEC_Agg{aggregators}"),
+            _ => self.label(),
+        }
+    }
+
     /// `true` for the queue-family variants (dispatched through
     /// [`run_queue_throughput`]; the rest are stacks).
     pub fn is_queue(&self) -> bool {
@@ -146,6 +159,10 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
         };
         let sec_config = match cfg.wait {
             Some(wait) => sec_config.wait_policy(wait),
+            None => sec_config,
+        };
+        let sec_config = match cfg.freezer_yields {
+            Some(yields) => sec_config.freezer_yields(yields),
             None => sec_config,
         };
         let stack: SecStack<u64> = SecStack::with_config(sec_config);
@@ -212,6 +229,9 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             if let Some(wait) = cfg.wait {
                 queue = queue.wait_policy(wait);
             }
+            if let Some(yields) = cfg.freezer_yields {
+                queue = queue.freezer_yields(yields);
+            }
             let result = run_queue_throughput(&queue, cfg);
             AlgoRun {
                 result,
@@ -245,6 +265,8 @@ mod tests {
     fn labels_match_paper_legend() {
         assert_eq!(Algo::Sec { aggregators: 2 }.label(), "SEC");
         assert_eq!(Algo::Sec { aggregators: 4 }.label(), "SEC_Agg4");
+        assert_eq!(Algo::Sec { aggregators: 2 }.ablation_label(), "SEC_Agg2");
+        assert_eq!(Algo::SecQueue.ablation_label(), "SEC-Q");
         assert_eq!(
             Algo::SecAdaptive { min_k: 1, max_k: 5 }.label(),
             "SEC_Ada1to5"
@@ -388,18 +410,25 @@ mod tests {
     #[test]
     fn wait_policy_override_reaches_both_sec_families() {
         use sec_core::WaitPolicy;
-        // With the spin phase cut to its minimum, a short contended run
-        // parks some waiter with near-certainty; retry a few rounds so
-        // the assertion never hinges on one scheduling outcome.
-        for algo in [Algo::Sec { aggregators: 2 }, Algo::SecQueue] {
+        // Contention is manufactured, not hoped for: a single
+        // aggregator plus a widened freezer yield window (both plumbed
+        // through `RunConfig`, like the wait policy under test) makes
+        // the seq-0 announcer donate its quantum mid-protocol, so even
+        // a 1-core host — whose scheduler otherwise runs short rounds
+        // near-sequentially, parking nothing — gets waiters announcing
+        // into the open batch and parking on it (spin phase cut to
+        // zero). The retry loop stays as a backstop so no single
+        // scheduling outcome decides the assertion.
+        for algo in [Algo::Sec { aggregators: 1 }, Algo::SecQueue] {
             let mut parked = 0;
             for round in 0..10 {
                 let cfg = RunConfig {
                     duration: Duration::from_millis(20),
                     prefill: 64,
                     wait: Some(WaitPolicy::SpinThenPark { spin_rounds: 0 }),
+                    freezer_yields: Some(4),
                     seed: 0xBEEF ^ round,
-                    ..RunConfig::new(3, Mix::UPDATE_100)
+                    ..RunConfig::new(4, Mix::UPDATE_100)
                 };
                 let rep = run_algo(algo, &cfg).sec_report.expect("SEC reports");
                 parked += rep.parks;

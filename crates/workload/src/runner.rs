@@ -53,6 +53,15 @@ pub struct RunConfig {
     ///
     /// [`Algo`]: crate::Algo
     pub wait: Option<WaitPolicy>,
+    /// Freezer aggregation-backoff override for the SEC family, in
+    /// `yield_now` calls (`None` keeps each structure's default —
+    /// `SecConfig::freezer_yields`). Ignored by the non-SEC
+    /// algorithms. Widening the window grows batches when threads
+    /// outnumber cores (the `freezer_backoff` ablation); tests also
+    /// use it to manufacture deterministic waiter/combiner overlap on
+    /// hosts whose scheduler would otherwise run short workloads
+    /// near-sequentially.
+    pub freezer_yields: Option<u32>,
 }
 
 impl RunConfig {
@@ -69,6 +78,7 @@ impl RunConfig {
             sec_policy: None,
             recycle: None,
             wait: None,
+            freezer_yields: None,
         }
     }
 }

@@ -22,28 +22,54 @@
 use sec_repro::ext::SecQueue;
 use sec_repro::{RecyclePolicy, SecConfig, SecStack};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// `System`, with every allocation event counted.
+/// `System`, with every allocation event on the *measured thread*
+/// counted. The gate must be per-thread: the process-global counter
+/// would otherwise pick up stray allocations from the libtest harness
+/// thread that happens to share the process (observed as rare 1–2
+/// allocation blips inside an otherwise deterministic, allocation-free
+/// measurement window).
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-initialized: reading it never allocates, so it is safe to
+    // consult from inside the global allocator.
+    static COUNT_THIS_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here() {
+    COUNT_THIS_THREAD.with(|c| c.set(true));
+}
+
+fn counting_enabled() -> bool {
+    COUNT_THIS_THREAD.try_with(|c| c.get()).unwrap_or(false)
+}
 
 // Safety: defers every operation to `System`; the counter has no
 // effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting_enabled() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting_enabled() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting_enabled() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -79,6 +105,9 @@ fn queue_burst(h: &mut sec_repro::ext::SecQueueHandle<'_, u64>) {
 
 #[test]
 fn steady_state_ops_perform_zero_heap_allocations() {
+    // Gate the allocator's counter to this thread only.
+    count_here();
+
     // The cache must cover the blocks in flight through the limbo-bag
     // pipeline between amortized epoch advances; the default bound
     // does, comfortably. Freezer yields off: determinism (and speed)

@@ -535,17 +535,25 @@ fn small_histories_linearizable_under_forced_park() {
 #[test]
 fn park_and_wake_counters_reach_reports() {
     // Stack and queue: under forced parking with real contention, the
-    // park/wake counters must populate (retry across rounds so the
-    // assertion never hinges on one scheduling outcome), and wakes
-    // can never exceed what was ever registered (parks + the waits
-    // that deregistered themselves — conservatively, parks plus one
-    // registration per wait).
+    // park/wake counters must populate, and wakes can never exceed
+    // what was ever registered (parks + the waits that deregistered
+    // themselves — conservatively, parks plus one registration per
+    // wait). Contention is manufactured, not hoped for: a single
+    // aggregator plus a widened freezer yield window means the seq-0
+    // announcer donates its quantum mid-protocol, so on any host —
+    // including a 1-core one, where short rounds otherwise run each
+    // thread to completion with zero overlap — other threads announce
+    // into the open batch and park on it. The retry loop stays as a
+    // backstop so no single scheduling outcome decides the assertion.
     let threads = oversub_threads();
     let mut stack_parks = 0;
     let mut stack_wakes = 0;
     for _ in 0..20 {
-        let stack: SecStack<u64> =
-            SecStack::with_config(SecConfig::new(2, threads).wait_policy(PARK_NOW));
+        let stack: SecStack<u64> = SecStack::with_config(
+            SecConfig::new(1, threads)
+                .wait_policy(PARK_NOW)
+                .freezer_yields(4),
+        );
         thread::scope(|s| {
             for t in 0..threads {
                 let stack = &stack;
@@ -574,7 +582,9 @@ fn park_and_wake_counters_reach_reports() {
     let mut queue_parks = 0;
     let mut queue_wakes = 0;
     for _ in 0..20 {
-        let queue: SecQueue<u64> = SecQueue::new(threads).wait_policy(PARK_NOW);
+        let queue: SecQueue<u64> = SecQueue::new(threads)
+            .wait_policy(PARK_NOW)
+            .freezer_yields(4);
         thread::scope(|s| {
             for t in 0..threads {
                 let queue = &queue;
