@@ -1,0 +1,653 @@
+//! The generic SEC combining engine (DESIGN.md §12).
+//!
+//! The paper's core contribution is one mechanism — announcement
+//! batching, batch freezing, counter-based elimination, and combining —
+//! yet it is useful for many structures. This module owns that
+//! mechanism *once*:
+//!
+//! * announcement slots and sequence numbers ([`CombineBatch`]),
+//! * seq-0 freezer election and the freeze/publish state machine
+//!   ([`CombineEngine::freeze_batch`]),
+//! * the `wait_applied`/`mark_applied` waiter seam (batch.rs),
+//! * elastic-K re-mapping — the contention monitor, the epoch fence,
+//!   and the lazy per-handle `seen_k` re-map ([`OpState`]),
+//! * recycle-aware batch/slot allocation (DESIGN.md §10),
+//! * per-batch stats recording ([`SecStats`]).
+//!
+//! A data structure instantiates the engine by implementing
+//! [`CombineOp`]: a sequential "apply this frozen batch to the shared
+//! structure" for each lane, plus hooks for elimination and result
+//! consumption. `SecStack`, `SecQueue`, `SecDeque` and `SecCounter`
+//! are all such instantiations (`SecPool` composes single-aggregator
+//! stacks and therefore instantiates it transitively); see DESIGN.md
+//! §12 for the state machine and the `CombineOp` contract.
+//!
+//! ## One driver for mixed and homogeneous batches
+//!
+//! The engine's driver ([`CombineEngine::run`]) implements the paper's
+//! Algorithms 1 and 2 over the two lanes of a [`CombineBatch`]. The
+//! key observation that lets the queue's per-end (homogeneous) batches
+//! ride the same driver: a homogeneous batch is a mixed batch whose
+//! other lane's counter is pinned at zero. The inclusion test, the
+//! elimination test (`my_seq < other_cut` — never true), the combiner
+//! election (`my_seq == other_cut` — true exactly for seq 0) and the
+//! freezer test&set (a single seq-0 announcer always wins) all
+//! degenerate to the homogeneous protocol without a single branch of
+//! family-specific driver code.
+
+pub(crate) mod batch;
+
+use crate::config::{AggregatorPolicy, SecConfig};
+use crate::sec::elastic::{self, ContentionMonitor, Direction};
+use crate::sec::stats::SecStats;
+pub(crate) use batch::{
+    mark_applied, wait_applied, wait_ptr, CombineAggregator, CombineBatch, Role,
+};
+use core::ptr;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
+use sec_sync::event::spin_wait;
+use sec_sync::CachePadded;
+
+impl Role {
+    /// The opposite lane (elimination partners and combiner election
+    /// look across).
+    #[inline]
+    pub(crate) fn other(self) -> Role {
+        match self {
+            Role::Add => Role::Remove,
+            Role::Remove => Role::Add,
+        }
+    }
+}
+
+/// A family's sequential apply logic — everything the engine does
+/// *not* own. Implementors hold the shared structure itself (the
+/// stack's top pointer, the queue's head/tail, the deque's locked
+/// `VecDeque`, the counter's accumulator) and apply frozen batches to
+/// it; the engine guarantees each hook's calling discipline:
+///
+/// * [`combine_add`]/[`combine_remove`] run on exactly one thread per
+///   frozen batch and lane (the surviving operation with the lowest
+///   sequence number), strictly after the batch's cuts are published
+///   and before `applied` is flipped;
+/// * [`eliminate`] runs only for mixed batches, on the remove with a
+///   same-sequence add partner in the batch;
+/// * [`take_result`] runs once per surviving remove, strictly after
+///   `applied` (publication order makes the combiner's writes
+///   visible).
+///
+/// [`combine_add`]: CombineOp::combine_add
+/// [`combine_remove`]: CombineOp::combine_remove
+/// [`eliminate`]: CombineOp::eliminate
+/// [`take_result`]: CombineOp::take_result
+pub(crate) trait CombineOp: Sized + Send + Sync {
+    /// The node type flowing through announcement slots and result
+    /// chains.
+    type Node: Send;
+    /// What a remove-lane operation returns.
+    type Value;
+
+    /// Apply the batch's surviving adds (sequence numbers
+    /// `my_seq..add_at_freeze`) to the shared structure. `my_seq ==
+    /// remove_at_freeze` — the combiner is the lowest-sequence add
+    /// that did not eliminate. Families without an add lane never see
+    /// this called.
+    fn combine_add(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Self::Node>,
+        my_seq: usize,
+        agg_idx: usize,
+        guard: &Guard<'_, '_>,
+    ) {
+        let _ = (eng, batch, my_seq, agg_idx, guard);
+        unreachable!("this family has no add-lane combiner");
+    }
+
+    /// Apply the batch's surviving removes: take `remove_at_freeze -
+    /// my_seq` values out of the shared structure and publish them
+    /// (typically as a chain through `batch.result_head`) for
+    /// [`CombineOp::take_result`].
+    fn combine_remove(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Self::Node>,
+        my_seq: usize,
+        agg_idx: usize,
+        guard: &Guard<'_, '_>,
+    );
+
+    /// A remove whose sequence number pairs with an add of the batch:
+    /// consume the partner's announced node. Only mixed-batch families
+    /// (stack, deque) pair operations; homogeneous families keep the
+    /// default.
+    fn eliminate(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Self::Node>,
+        my_seq: usize,
+        guard: &Guard<'_, '_>,
+    ) -> Self::Value {
+        let _ = (eng, batch, my_seq, guard);
+        unreachable!("homogeneous batches never eliminate");
+    }
+
+    /// Consume the result at `offset` of the published chain (`offset`
+    /// = the remove's rank among the batch's non-eliminated removes).
+    /// Runs after `applied`; `None` reports EMPTY.
+    fn take_result(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Self::Node>,
+        offset: usize,
+        guard: &Guard<'_, '_>,
+    ) -> Option<Self::Value>;
+}
+
+/// Per-thread announcement-mapping state: which aggregator this thread
+/// announces to, and the active-K it was computed against (a mismatch
+/// triggers the lazy elastic re-map). Families embed this in their
+/// handles; fixed-aggregator families ignore it by announcing through
+/// [`Lane::At`].
+#[derive(Debug, Clone)]
+pub(crate) struct OpState {
+    tid: usize,
+    seen_k: usize,
+    agg_idx: usize,
+}
+
+impl OpState {
+    /// This thread's dense id (== its reclamation slot).
+    pub(crate) fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The aggregator this thread last announced to.
+    pub(crate) fn aggregator(&self) -> usize {
+        self.agg_idx
+    }
+}
+
+/// How an operation picks its aggregator.
+pub(crate) enum Lane<'s> {
+    /// Policy-mapped (and elastically re-mapped) by thread id — the
+    /// stack's and counter's announcement path.
+    Mapped(&'s mut OpState),
+    /// A fixed aggregator index — the queue's and deque's per-end
+    /// path.
+    At(usize),
+}
+
+/// How the engine lays out its aggregators at construction.
+pub(crate) enum AggLayout<'a> {
+    /// One aggregator per policy slot, addressed through
+    /// [`Lane::Mapped`]; elastic policies resize the active prefix.
+    Mapped {
+        /// Whether announcers bring nodes (and batches therefore carry
+        /// slot arrays).
+        with_slots: bool,
+    },
+    /// One aggregator per listed end, addressed through [`Lane::At`];
+    /// each entry says whether that end's batches carry slots.
+    Fixed(&'a [bool]),
+}
+
+/// The batched-combining engine: aggregators, batches, freezing,
+/// elimination pairing, combiner election, waiter parking, elastic
+/// sharding, recycling and stats — everything of the SEC protocol
+/// that is not a family's sequential apply logic.
+pub(crate) struct CombineEngine<O: CombineOp> {
+    /// Family name for diagnostics (overflow asserts, registration).
+    name: &'static str,
+    /// The family's apply logic + shared structure. Declared before
+    /// `collector` so structure teardown (op's `Drop`) runs before the
+    /// collector frees retired husks.
+    op: O,
+    config: SecConfig,
+    /// All aggregator slots the layout can ever activate. Under
+    /// [`AggregatorPolicy::Adaptive`] only the prefix `aggs[..active]`
+    /// receives new [`Lane::Mapped`] announcements; retired slots keep
+    /// their current batch (in-flight batches drain themselves) and
+    /// are reused when the active set grows back.
+    aggs: Box<[CachePadded<CombineAggregator<O::Node>>]>,
+    /// Number of currently active aggregators, in
+    /// `[policy.min_k(), policy.max_k()]`. Constant for
+    /// [`AggregatorPolicy::Fixed`]; irrelevant to [`Lane::At`]
+    /// announcements.
+    active: CachePadded<AtomicUsize>,
+    /// Elastic-sharding window accumulator + epoch fence (inert under
+    /// a fixed policy).
+    monitor: ContentionMonitor,
+    /// Slot-array size for every batch (cached off the config:
+    /// `per_aggregator_capacity` iterates the thread map for some
+    /// policies and freezers allocate one batch each).
+    batch_capacity: usize,
+    collector: Collector,
+    stats: SecStats,
+}
+
+// Safety: all engine-shared state is atomics; node/batch ownership
+// transfer follows the protocol's exactly-once consumption discipline,
+// and the op is itself Send + Sync.
+unsafe impl<O: CombineOp> Send for CombineEngine<O> {}
+unsafe impl<O: CombineOp> Sync for CombineEngine<O> {}
+
+impl<O: CombineOp> CombineEngine<O> {
+    /// Builds an engine from a family's apply logic and configuration.
+    ///
+    /// Normalizes the two aggregator knobs first: `aggregators`
+    /// (allocated slots) and `policy` are kept in sync by the config
+    /// builders, but the fields are public — make the
+    /// direct-assignment path behave like the documented one.
+    pub(crate) fn new(name: &'static str, op: O, config: SecConfig, layout: AggLayout<'_>) -> Self {
+        let mut config = config;
+        match config.policy {
+            AggregatorPolicy::Fixed(k) if k != config.aggregators => {
+                config.policy = AggregatorPolicy::Fixed(config.aggregators);
+            }
+            AggregatorPolicy::Fixed(_) => {}
+            AggregatorPolicy::Adaptive { .. } => config.aggregators = config.policy.slots(),
+        }
+        let cap = config.per_aggregator_capacity();
+        let slotting: Vec<bool> = match layout {
+            AggLayout::Mapped { with_slots } => vec![with_slots; config.aggregators],
+            AggLayout::Fixed(ends) => ends.to_vec(),
+        };
+        Self {
+            name,
+            op,
+            aggs: slotting
+                .iter()
+                .map(|&ws| CachePadded::new(CombineAggregator::new(cap, ws)))
+                .collect(),
+            active: CachePadded::new(AtomicUsize::new(config.policy.initial_active())),
+            monitor: ContentionMonitor::new(),
+            batch_capacity: cap,
+            collector: Collector::with_recycle(config.max_threads, config.recycle),
+            stats: SecStats::new(),
+            config,
+        }
+    }
+
+    /// Registers the calling thread: a reclamation handle plus the
+    /// announcement-mapping state families embed in their handles.
+    pub(crate) fn register(&self) -> (ReclaimHandle<'_>, OpState) {
+        let reclaim = self.collector.register().unwrap_or_else(|| {
+            panic!(
+                "{}: more threads registered than the configured max_threads",
+                self.name
+            )
+        });
+        let tid = reclaim.slot();
+        let seen_k = self.active.load(Ordering::Acquire);
+        let agg_idx = self.config.aggregator_for(tid, seen_k);
+        (
+            reclaim,
+            OpState {
+                tid,
+                seen_k,
+                agg_idx,
+            },
+        )
+    }
+
+    /// The configuration the engine was built with.
+    pub(crate) fn config(&self) -> &SecConfig {
+        &self.config
+    }
+
+    /// Pre-registration configuration access for family builders
+    /// (consuming-receiver builders guarantee exclusivity).
+    pub(crate) fn config_mut(&mut self) -> &mut SecConfig {
+        &mut self.config
+    }
+
+    /// Re-points the collector's recycle policy (builder path; must
+    /// run before any thread registers, which `&mut` guarantees).
+    pub(crate) fn set_recycle_policy(&mut self, recycle: crate::config::RecyclePolicy) {
+        self.config.recycle = recycle;
+        self.collector.set_recycle_policy(recycle);
+    }
+
+    /// The family's apply logic / shared structure.
+    pub(crate) fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// Mutable op access for family builders (pre-registration).
+    pub(crate) fn op_mut(&mut self) -> &mut O {
+        &mut self.op
+    }
+
+    /// The batching/elimination/combining instrumentation.
+    pub(crate) fn stats(&self) -> &SecStats {
+        &self.stats
+    }
+
+    /// Reclamation statistics (diagnostic).
+    pub(crate) fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.collector.stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances) and returns the resulting stats.
+    pub(crate) fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.collector.quiesce(rounds)
+    }
+
+    /// Number of currently active aggregators.
+    pub(crate) fn active_aggregators(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Forces the active aggregator count to `k` (clamped into the
+    /// policy's `[min_k, max_k]`). Serializes with monitor decisions
+    /// through the same election and arms the same epoch fence; each
+    /// step is recorded in the resize counters.
+    pub(crate) fn set_active_aggregators(&self, k: usize) -> usize {
+        let k = k.clamp(self.config.policy.min_k(), self.config.policy.max_k());
+        // A blocking wait on the concurrent decider's `end_decision`:
+        // policy-aware, but never parked (decisions are a few loads —
+        // there is no waker registration on the monitor).
+        spin_wait(self.config.wait, || self.monitor.begin_decision());
+        let prev = self.active.swap(k, Ordering::AcqRel);
+        for _ in k..prev {
+            self.stats.record_shrink();
+        }
+        for _ in prev..k {
+            self.stats.record_grow();
+        }
+        if k != prev {
+            self.monitor.arm_fence(self.collector.global_epoch());
+        }
+        self.monitor.end_decision();
+        k
+    }
+
+    /// One elastic-resize attempt: called by the freezer whose batch
+    /// filled the decision window (DESIGN.md §8). Loses gracefully to
+    /// a concurrent decider, and holds while the epoch fence of the
+    /// previous transition is still up.
+    fn try_elastic_resize(&self) {
+        if !self.monitor.begin_decision() {
+            return;
+        }
+        let epoch = self.collector.global_epoch();
+        if self.monitor.fence_passed(epoch) {
+            let sample = self.monitor.take_window(self.stats.cas_failures_now());
+            let active = self.active.load(Ordering::Relaxed);
+            let (min_k, max_k) = (self.config.policy.min_k(), self.config.policy.max_k());
+            match elastic::decide(&sample, active, min_k, max_k, self.config.max_threads) {
+                // Hysteresis: act only when two consecutive windows
+                // vote the same way.
+                Some(dir) if self.monitor.confirm(dir) => {
+                    match dir {
+                        Direction::Grow => {
+                            self.active.store(active + 1, Ordering::Release);
+                            self.stats.record_grow();
+                        }
+                        Direction::Shrink => {
+                            self.active.store(active - 1, Ordering::Release);
+                            self.stats.record_shrink();
+                        }
+                    }
+                    self.monitor.clear_pending();
+                    self.monitor.arm_fence(epoch);
+                }
+                Some(_) => {}
+                None => self.monitor.clear_pending(),
+            }
+        }
+        self.monitor.end_decision();
+    }
+
+    /// The aggregator for `st`'s thread under the *current* active
+    /// count, re-mapping lazily when the count changed since the last
+    /// look. One shared (rarely-written, cache-padded) load per call;
+    /// the re-map itself is a pure index computation.
+    #[inline]
+    fn remap(&self, st: &mut OpState) -> usize {
+        let k = self.active.load(Ordering::Acquire);
+        if k != st.seen_k {
+            st.seen_k = k;
+            st.agg_idx = self.config.aggregator_for(st.tid, k);
+        }
+        st.agg_idx
+    }
+
+    // ------------------------------------------------------------------
+    // Freezing (paper lines 28–32)
+    // ------------------------------------------------------------------
+
+    /// `FreezeBatch`: aggregation backoff, snapshot both lane
+    /// counters, install a fresh batch, retire the frozen one —
+    /// identical for every family (a homogeneous batch simply
+    /// snapshots a zero on its unused lane).
+    fn freeze_batch(
+        &self,
+        agg: &CombineAggregator<O::Node>,
+        batch_ptr: *mut CombineBatch<O::Node>,
+        guard: &Guard<'_, '_>,
+    ) {
+        let batch = unsafe { &*batch_ptr };
+
+        // §3.1: the freezer backs off briefly so more operations join
+        // the batch, raising the elimination and combining degrees.
+        // The yields matter on oversubscribed hosts, where the joining
+        // threads need CPU time before the cut (see SecConfig).
+        for _ in 0..self.config.freezer_backoff {
+            core::hint::spin_loop();
+        }
+        for _ in 0..self.config.freezer_yields {
+            std::thread::yield_now();
+        }
+
+        // Lines 29–30: the snapshot order (remove lane first) matches
+        // the paper; any interleaved announcements simply land on one
+        // side of the cut or the other. The values are published to
+        // every waiter by the Release store of the batch pointer below.
+        let removes = batch.remove_count.load(Ordering::Acquire);
+        let adds = batch.add_count.load(Ordering::Acquire);
+        batch.remove_at_freeze.store(removes, Ordering::Relaxed);
+        batch.add_at_freeze.store(adds, Ordering::Relaxed);
+
+        self.stats.record_batch(adds, removes);
+        // Elastic sharding: the same frozen snapshot feeds the
+        // contention monitor (§8 — measurement free-rides on the
+        // freeze). Inert for fixed-policy families.
+        let window_full = self.config.policy.is_adaptive()
+            && self
+                .monitor
+                .on_batch(adds, removes, self.config.policy.window());
+
+        // Line 31: installing the new batch is the freeze's
+        // linearization aid — it simultaneously (a) signals spinning
+        // announcers that the `*_at_freeze` fields are valid (Release)
+        // and (b) directs new announcers to the fresh batch. The fresh
+        // batch reuses recycled batch/array blocks when the free lists
+        // have them.
+        let fresh = CombineBatch::alloc_with(guard.handle(), self.batch_capacity, agg.with_slots);
+        agg.batch.store(fresh, Ordering::Release);
+        // Wake the frozen batch's registered swap-waiters: the Release
+        // store above published the cut, so the handshake's
+        // condition-before-notify contract holds (DESIGN.md §11).
+        agg.event.notify_key(batch_ptr as usize, self.stats.wait());
+
+        // The frozen batch is now unreachable for *new* pins; threads
+        // already inside it are pinned and keep it alive. Retirement is
+        // centralized in the freezer, which is unique per batch
+        // (Observation B.1); once quiesced, its blocks feed future
+        // `alloc_with` calls instead of the heap.
+        unsafe { CombineBatch::retire_with(guard, batch_ptr) };
+
+        // The freezer that filled the decision window runs the resize
+        // decision — *after* publishing the fresh batch, so the
+        // announcers spinning on the batch pointer never wait through
+        // the decision work.
+        if window_full {
+            self.try_elastic_resize();
+        }
+    }
+
+    /// Announce-and-freeze prologue (lines 8–13 / 57–62): the seq-0
+    /// announcer that wins the test&set freezes; everyone else waits
+    /// (parked, per the configured policy) for the batch swap.
+    #[inline]
+    fn freeze_or_wait(
+        &self,
+        agg: &CombineAggregator<O::Node>,
+        batch_ptr: *mut CombineBatch<O::Node>,
+        my_seq: usize,
+        guard: &Guard<'_, '_>,
+    ) {
+        let batch = unsafe { &*batch_ptr };
+        if my_seq == 0 && !batch.freezer_decided.swap(true, Ordering::AcqRel) {
+            // We won the test&set among the (at most two) first
+            // announcers: play the freezer 𝑓_B.
+            self.freeze_batch(agg, batch_ptr, guard);
+        } else {
+            // Line 11/60: wait for the freezer to swap the batch
+            // pointer — parked (per the configured policy) on the
+            // aggregator's event queue; the freezer wakes us.
+            agg.event.wait_until(
+                batch_ptr as usize,
+                self.config.wait,
+                self.stats.wait(),
+                || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The driver (paper Algorithms 1 and 2, one implementation)
+    // ------------------------------------------------------------------
+
+    /// Drives one operation through the full
+    /// announce → freeze → (eliminate | combine | wait) → publish
+    /// cycle and returns its result.
+    ///
+    /// `node` is the operation's announced node (null for operations
+    /// that bring none — the slot store is skipped); excluded
+    /// announcements (after the freeze) retry in a newer batch with
+    /// the node still exclusively theirs.
+    pub(crate) fn run(
+        &self,
+        mut lane: Lane<'_>,
+        role: Role,
+        node: *mut O::Node,
+        reclaim: &ReclaimHandle<'_>,
+    ) -> Option<O::Value> {
+        loop {
+            // Re-resolve the mapping each attempt: an excluded retry
+            // after an elastic re-mapping must land on the thread's
+            // *new* aggregator, or a retired one would keep receiving
+            // work.
+            let agg_idx = match &mut lane {
+                Lane::Mapped(st) => self.remap(st),
+                Lane::At(i) => *i,
+            };
+            let agg = &*self.aggs[agg_idx];
+            let guard = reclaim.pin();
+            // Line 5/55.
+            let batch_ptr = agg.batch.load(Ordering::Acquire);
+            let batch = unsafe { &*batch_ptr };
+            // Line 6/56: announce. AcqRel: the freezer's counter read
+            // and our increment are ordered; the value is our sequence
+            // number.
+            let my_seq = batch.count(role).fetch_add(1, Ordering::AcqRel) as usize;
+            assert!(
+                my_seq < batch.capacity,
+                "{}: more announcements ({}) than the aggregator capacity ({}) — was \
+                 the structure shared by more threads than its configured max_threads?",
+                self.name,
+                my_seq + 1,
+                batch.capacity
+            );
+            // Line 7: publish the node *before* anything else, so
+            // neither an eliminating partner nor the combiner waits on
+            // us longer than necessary (§3.1).
+            if !node.is_null() {
+                batch.slots[my_seq].store(node, Ordering::Release);
+            }
+
+            // Lines 8–13 / 57–62.
+            self.freeze_or_wait(agg, batch_ptr, my_seq, &guard);
+
+            // Line 14/63: inclusion test.
+            let my_cut = batch.cut(role).load(Ordering::Acquire) as usize;
+            if my_seq >= my_cut {
+                // Excluded (announced after the freeze): retry in a
+                // newer batch.
+                continue;
+            }
+            let other_cut = batch.cut(role.other()).load(Ordering::Acquire) as usize;
+            match role {
+                Role::Add => {
+                    // Line 15: elimination test — if a remove with our
+                    // sequence number belongs to the batch, it consumes
+                    // our node and we are done the moment the batch
+                    // froze.
+                    if my_seq >= other_cut {
+                        // Line 16: combiner test.
+                        if my_seq == other_cut {
+                            self.op.combine_add(self, batch, my_seq, agg_idx, &guard);
+                            // Line 18 — and wake the batch's waiters.
+                            mark_applied(agg, batch, batch_ptr, self.stats.wait());
+                        } else {
+                            // Line 20: parked wait for the combiner.
+                            wait_applied(
+                                agg,
+                                batch,
+                                batch_ptr,
+                                self.config.wait,
+                                self.stats.wait(),
+                            );
+                        }
+                    }
+                    // Line 24: adds return no value.
+                    return None;
+                }
+                Role::Remove => {
+                    // Line 64: elimination test — the add with our
+                    // sequence number belongs to the batch; take its
+                    // value.
+                    if my_seq < other_cut {
+                        return Some(self.op.eliminate(self, batch, my_seq, &guard));
+                    }
+                    // Line 69: combiner test.
+                    if my_seq == other_cut {
+                        self.op.combine_remove(self, batch, my_seq, agg_idx, &guard);
+                        // Line 71 — and wake the batch's waiters.
+                        mark_applied(agg, batch, batch_ptr, self.stats.wait());
+                    } else {
+                        // Line 73: parked wait for the combiner.
+                        wait_applied(agg, batch, batch_ptr, self.config.wait, self.stats.wait());
+                    }
+                    // Line 76: consume our offset of the result chain.
+                    return self.op.take_result(self, batch, my_seq - other_cut, &guard);
+                }
+            }
+        }
+    }
+}
+
+impl<O: CombineOp> Drop for CombineEngine<O> {
+    fn drop(&mut self) {
+        // No handles exist (they borrow the engine), so everything is
+        // quiescent and each aggregator's current batch is virgin (any
+        // announcement freezes its batch before returning, installing
+        // a newer one). Retired batches are freed by the collector's
+        // own drop. After this, field drop order tears down the op
+        // (the family's shared structure) and then the collector.
+        for agg in self.aggs.iter() {
+            let b = agg.batch.load(Ordering::Relaxed);
+            if !b.is_null() {
+                drop(unsafe { Box::from_raw(b) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,401 @@
+//! A combining fetch-and-add counter — the smallest full
+//! instantiation of the SEC combining engine, and the classic software
+//! combining demonstration (Goodman et al.'s combining tree, flat
+//! combining's `fetch&add` example).
+//!
+//! Every `fetch_add` announces into the calling thread's aggregator
+//! batch exactly like a stack pop does; the batch freezes, the seq-0
+//! announcer combines: it sums the batch's operands, performs **one**
+//! atomic `fetch_add` of the total on the central counter, then hands
+//! each participant its private pre-sum (`base + Σ operands before
+//! it`) back through its announcement slot. `n` concurrent increments
+//! cost one shared-memory RMW instead of `n` — the combining degree
+//! shows up in [`SecStats`] as `combined / batches`, identically to
+//! the stack's Table 3 instrumentation.
+//!
+//! The whole family is this file: no freezing, parking, elastic
+//! re-mapping or recycling code appears here — all of it is inherited
+//! from `crate::combine` (DESIGN.md §12). Operations ride the
+//! **remove** lane (the result-bearing lane); the add lane stays
+//! permanently at zero, which makes the engine's elimination test
+//! (`my_seq < add_at_freeze`) vacuously false and its combiner
+//! election (`my_seq == add_at_freeze`) pick exactly sequence number
+//! zero. A homogeneous family degenerates out of the mixed protocol
+//! for free.
+
+use crate::combine::{AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, OpState, Role};
+use crate::config::SecConfig;
+use crate::sec::node::Node;
+use crate::sec::stats::SecStats;
+use core::fmt;
+use core::mem::ManuallyDrop;
+use core::sync::atomic::{AtomicU64, Ordering};
+use sec_reclaim::{Guard, Handle as ReclaimHandle};
+use sec_sync::CachePadded;
+
+/// The counter's apply logic: one central word, one combiner.
+struct CounterOp {
+    /// The linearization point of every `fetch_add` and `load`: all
+    /// operations of a frozen batch linearize consecutively, in slot
+    /// order, at the combiner's single `fetch_add` on this word.
+    total: CachePadded<AtomicU64>,
+}
+
+impl CombineOp for CounterOp {
+    type Node = Node<u64>;
+    type Value = u64;
+
+    // `combine_add` and `eliminate` keep their defaults: the add lane
+    // of a counter batch is always empty, so the engine never calls
+    // them.
+
+    /// Sum the frozen batch's operands, add the total to the central
+    /// counter with one RMW, and write each participant's pre-sum back
+    /// into its announcement slot. Allocation-free: two passes over
+    /// the slot array, no scratch buffer.
+    fn combine_remove(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<u64>>,
+        my_seq: usize,
+        _agg_idx: usize,
+        _guard: &Guard<'_, '_>,
+    ) {
+        let cut = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+
+        // Pass 1: every included operation published its operand node
+        // (slot stores happen right after announcing; freezing only
+        // bounds *which* slots, not *when* they land — so spin on the
+        // ones still in flight).
+        let mut sum = 0u64;
+        for slot in &batch.slots[my_seq..cut] {
+            let n = crate::combine::wait_ptr(slot, _eng.config().wait);
+            sum = sum.wrapping_add(unsafe { *(*n).value });
+        }
+
+        // The batch's single shared-memory RMW.
+        let mut base = self.total.fetch_add(sum, Ordering::AcqRel);
+
+        // Pass 2: hand each participant `base + Σ operands before it`
+        // by overwriting its operand in place. Exclusive access: the
+        // owners only read their slots back after observing `applied`
+        // (Release-published by the engine right after this returns),
+        // and slot `i` belongs to exactly one operation.
+        for slot in &batch.slots[my_seq..cut] {
+            let n = slot.load(Ordering::Acquire);
+            let operand = unsafe { *(*n).value };
+            unsafe { (*n).value = ManuallyDrop::new(base) };
+            base = base.wrapping_add(operand);
+        }
+    }
+
+    /// Each participant (combiner included) collects its pre-sum from
+    /// its own slot. The add lane is empty, so the engine's `offset`
+    /// is the operation's own sequence number.
+    fn take_result(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<u64>>,
+        offset: usize,
+        guard: &Guard<'_, '_>,
+    ) -> Option<u64> {
+        let n = batch.slots[offset].load(Ordering::Acquire);
+        debug_assert!(
+            !n.is_null(),
+            "operand published before announcing completed"
+        );
+        // Safety: unique consumer of our own slot; payload out, husk
+        // recycles into this thread's node cache.
+        let value = unsafe { Node::take_value(n) };
+        unsafe { guard.retire_recycle(n) };
+        Some(value)
+    }
+}
+
+/// A linearizable combining fetch-and-add counter.
+///
+/// `n` threads incrementing concurrently induce *one* atomic RMW per
+/// frozen batch instead of one per increment; everything else is
+/// cache-local slot traffic inside the thread's aggregator.
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::SecCounter;
+///
+/// let counter = SecCounter::new(4); // up to 4 threads
+/// let mut h = counter.register();
+/// assert_eq!(h.fetch_add(5), 0);
+/// assert_eq!(h.fetch_add(1), 5);
+/// assert_eq!(counter.load(), 6);
+/// ```
+pub struct SecCounter {
+    engine: CombineEngine<CounterOp>,
+}
+
+impl SecCounter {
+    /// Creates a counter with the paper's default configuration (two
+    /// aggregators) for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_config(SecConfig::new(2, max_threads))
+    }
+
+    /// Creates a counter from an explicit [`SecConfig`] — aggregator
+    /// count, elastic policy, freezer backoff, recycle and wait
+    /// policies all apply exactly as they do to the stack.
+    pub fn with_config(config: SecConfig) -> Self {
+        Self {
+            engine: CombineEngine::new(
+                "SecCounter",
+                CounterOp {
+                    total: CachePadded::new(AtomicU64::new(0)),
+                },
+                config,
+                AggLayout::Mapped { with_slots: true },
+            ),
+        }
+    }
+
+    /// Registers the calling thread and returns its operation handle.
+    pub fn register(&self) -> SecCounterHandle<'_> {
+        let (reclaim, state) = self.engine.register();
+        SecCounterHandle {
+            counter: self,
+            state,
+            reclaim,
+        }
+    }
+
+    /// Reads the counter. Linearizes at the load of the central word:
+    /// increments whose batch has not combined yet are not visible,
+    /// exactly as a `fetch_add(0)` arriving now would not see them.
+    pub fn load(&self) -> u64 {
+        self.engine.op().total.load(Ordering::Acquire)
+    }
+
+    /// The configuration this counter was built with.
+    pub fn config(&self) -> &SecConfig {
+        self.engine.config()
+    }
+
+    /// The batching/combining instrumentation. `eliminated` is always
+    /// zero for a homogeneous family; `combined / batches` is the
+    /// counter's combining degree.
+    pub fn stats(&self) -> &SecStats {
+        self.engine.stats()
+    }
+
+    /// Reclamation statistics (diagnostic).
+    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.engine.reclaim_stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances) and returns the resulting stats.
+    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.engine.quiesce_reclamation(rounds)
+    }
+
+    /// Number of currently active aggregators.
+    pub fn active_aggregators(&self) -> usize {
+        self.engine.active_aggregators()
+    }
+
+    /// Forces the active aggregator count (see
+    /// [`SecStack::set_active_aggregators`](crate::SecStack::set_active_aggregators)).
+    pub fn set_active_aggregators(&self, k: usize) -> usize {
+        self.engine.set_active_aggregators(k)
+    }
+}
+
+impl fmt::Debug for SecCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecCounter")
+            .field("value", &self.load())
+            .field("config", self.config())
+            .field("active_aggregators", &self.active_aggregators())
+            .finish()
+    }
+}
+
+/// A thread's handle to a [`SecCounter`].
+pub struct SecCounterHandle<'a> {
+    counter: &'a SecCounter,
+    state: OpState,
+    reclaim: ReclaimHandle<'a>,
+}
+
+impl SecCounterHandle<'_> {
+    /// This thread's id (dense, `0..max_threads`).
+    pub fn tid(&self) -> usize {
+        self.state.tid()
+    }
+
+    /// The aggregator this thread last announced to.
+    pub fn aggregator(&self) -> usize {
+        self.state.aggregator()
+    }
+
+    /// Atomically adds `n` and returns the counter's value immediately
+    /// before this operation — the same contract as
+    /// [`AtomicU64::fetch_add`], delivered through one combined RMW
+    /// per batch.
+    pub fn fetch_add(&mut self, n: u64) -> u64 {
+        let node = Node::alloc_with(&self.reclaim, n);
+        self.counter
+            .engine
+            .run(
+                Lane::Mapped(&mut self.state),
+                Role::Remove,
+                node,
+                &self.reclaim,
+            )
+            .expect("counter combiner always produces a result")
+    }
+
+    /// Convenience for `fetch_add(1)`.
+    pub fn increment(&mut self) -> u64 {
+        self.fetch_add(1)
+    }
+
+    /// Reads the counter (see [`SecCounter::load`]).
+    pub fn load(&self) -> u64 {
+        self.counter.load()
+    }
+}
+
+impl fmt::Debug for SecCounterHandle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecCounterHandle")
+            .field("tid", &self.tid())
+            .field("aggregator", &self.aggregator())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AggregatorPolicy, RecyclePolicy, WaitPolicy};
+    use std::thread;
+
+    #[test]
+    fn sequential_fetch_add_matches_atomic_contract() {
+        let c = SecCounter::new(1);
+        let mut h = c.register();
+        assert_eq!(h.fetch_add(3), 0);
+        assert_eq!(h.fetch_add(0), 3);
+        assert_eq!(h.increment(), 3);
+        assert_eq!(h.fetch_add(10), 4);
+        assert_eq!(c.load(), 14);
+    }
+
+    #[test]
+    fn concurrent_increments_return_a_permutation_of_previous_values() {
+        const THREADS: usize = 6;
+        const PER: usize = 500;
+        let c = SecCounter::new(THREADS);
+        let mut seen: Vec<u64> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|_| {
+                    let c = &c;
+                    scope.spawn(move || {
+                        let mut h = c.register();
+                        (0..PER).map(|_| h.increment()).collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|j| j.join().unwrap())
+                .collect()
+        });
+        // Each increment observed a distinct previous value: the
+        // returns are exactly {0, 1, …, N·M−1}. This is the full
+        // fetch_add contract, not just conservation.
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..(THREADS * PER) as u64).collect();
+        assert_eq!(seen, expect);
+        assert_eq!(c.load(), (THREADS * PER) as u64);
+        let r = c.stats().report();
+        assert_eq!(r.ops, (THREADS * PER) as u64);
+        assert_eq!(r.eliminated, 0, "homogeneous family never eliminates");
+        assert_eq!(r.combined, r.ops);
+    }
+
+    #[test]
+    fn mixed_operands_sum_exactly() {
+        const THREADS: usize = 4;
+        const PER: usize = 300;
+        let c = SecCounter::new(THREADS);
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = &c;
+                scope.spawn(move || {
+                    let mut h = c.register();
+                    for i in 0..PER {
+                        let n = ((t * PER + i) % 7) as u64;
+                        h.fetch_add(n);
+                    }
+                });
+            }
+        });
+        let expect: u64 = (0..THREADS)
+            .flat_map(|t| (0..PER).map(move |i| ((t * PER + i) % 7) as u64))
+            .sum();
+        assert_eq!(c.load(), expect);
+    }
+
+    #[test]
+    fn elastic_policy_resizes_under_load() {
+        let c = SecCounter::with_config(
+            SecConfig::new(1, 8)
+                .aggregator_policy(AggregatorPolicy::Adaptive {
+                    min_k: 1,
+                    max_k: 4,
+                    window: 8,
+                })
+                .wait_policy(WaitPolicy::SpinThenPark { spin_rounds: 64 }),
+        );
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = &c;
+                scope.spawn(move || {
+                    let mut h = c.register();
+                    for _ in 0..2_000 {
+                        h.increment();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(), 16_000);
+        // Forced resize keeps working after the run, too.
+        assert_eq!(c.set_active_aggregators(4), 4);
+        let mut h = c.register();
+        assert_eq!(h.fetch_add(1), 16_000);
+    }
+
+    #[test]
+    fn recycling_reaches_steady_state() {
+        let c = SecCounter::with_config(
+            SecConfig::new(1, 2).recycle(RecyclePolicy::PerThread { cache_cap: 64 }),
+        );
+        thread::scope(|scope| {
+            for _ in 0..2 {
+                let c = &c;
+                scope.spawn(move || {
+                    let mut h = c.register();
+                    for _ in 0..5_000 {
+                        h.increment();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(), 10_000);
+        let stats = c.quiesce_reclamation(64);
+        assert_eq!(
+            stats.retired,
+            stats.freed + stats.cached,
+            "quiesced counter leaks nothing: {stats:?}"
+        );
+    }
+}

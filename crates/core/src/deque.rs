@@ -5,12 +5,12 @@
 //! such as deques".
 //!
 //! Construction: a sequential `VecDeque` behind a combiner lock, plus
-//! one SEC batch layer *per end*. An operation on an end announces
-//! itself with a fetch&increment in that end's current batch, exactly
-//! as in the stack:
+//! one SEC batch layer *per end* — two fixed aggregators of the
+//! combining engine (`crate::combine`, DESIGN.md §12), addressed by
+//! end rather than by thread id:
 //!
 //! * the first announcement freezes the batch (after the aggregation
-//!   backoff) and installs a fresh one;
+//!   backoff) and installs a fresh one — the engine's freezer election;
 //! * a `push_front` and a `pop_front` with the same sequence number
 //!   **eliminate** through the batch's slot array (adjacent
 //!   `push_front`/`pop_front` pairs cancel on a deque just as
@@ -24,16 +24,18 @@
 //! Compared to the stack, the shared structure is lock-based rather
 //! than CAS-based — the point here is the *mechanism transfer*
 //! (announcement counters, freezing, slot elimination, combining), not
-//! a new lock-free deque.
+//! a new lock-free deque. Everything protocol-shaped lives in the
+//! engine; this file is the apply logic: push/pop under the lock and
+//! the result chain.
 
+use crate::combine::{wait_ptr, AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, Role};
 use crate::config::{RecyclePolicy, SecConfig, WaitPolicy};
-use crate::sec::batch::{mark_applied, wait_applied, wait_ptr, Aggregator, Batch};
 use crate::sec::node::Node;
 use crate::sec::stats::SecStats;
 use core::fmt;
 use core::ptr;
 use core::sync::atomic::Ordering;
-use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
+use sec_reclaim::{Guard, Handle as ReclaimHandle};
 use sec_sync::TtasLock;
 use std::collections::VecDeque;
 
@@ -46,159 +48,51 @@ pub enum End {
     Back,
 }
 
-/// A blocking linearizable deque with per-end sharded elimination and
-/// combining.
-///
-/// # Examples
-///
-/// ```
-/// use sec_core::deque::SecDeque;
-///
-/// let d: SecDeque<u32> = SecDeque::new(2);
-/// let mut h = d.register();
-/// h.push_front(1);
-/// h.push_back(2);
-/// assert_eq!(h.pop_front(), Some(1));
-/// assert_eq!(h.pop_back(), Some(2));
-/// assert_eq!(h.pop_front(), None);
-/// ```
-pub struct SecDeque<T: Send + 'static> {
-    inner: TtasLock<VecDeque<T>>,
-    front: Aggregator<T>,
-    back: Aggregator<T>,
-    collector: Collector,
-    config: SecConfig,
-    /// Elimination-array size for every batch, cached at construction
-    /// (freezers allocate one batch each; mirrors `SecStack`).
-    batch_capacity: usize,
-    /// Batching + park/wake instrumentation (front and back batches
-    /// record alike; both ends share the counters).
-    stats: SecStats,
+impl End {
+    /// The engine aggregator this end announces to (0 = front,
+    /// 1 = back — the order of the engine's fixed layout below).
+    fn agg_idx(self) -> usize {
+        match self {
+            End::Front => 0,
+            End::Back => 1,
+        }
+    }
+
+    fn from_agg_idx(agg_idx: usize) -> Self {
+        match agg_idx {
+            0 => End::Front,
+            _ => End::Back,
+        }
+    }
 }
 
-unsafe impl<T: Send> Send for SecDeque<T> {}
-unsafe impl<T: Send> Sync for SecDeque<T> {}
+/// The deque's apply logic: a locked `VecDeque`, applied per end in
+/// sequence-number order. The aggregator index tells the combiner
+/// which end's batch it is applying.
+struct DequeOp<T: Send + 'static> {
+    inner: TtasLock<VecDeque<T>>,
+}
 
-impl<T: Send + 'static> SecDeque<T> {
-    /// Creates a deque for up to `max_threads` threads.
-    pub fn new(max_threads: usize) -> Self {
-        // One "aggregator" per end; capacity must admit every thread
-        // (any thread may operate on either end).
-        let config = SecConfig::new(1, max_threads);
-        let cap = config.max_threads;
-        Self {
-            inner: TtasLock::new(VecDeque::new()),
-            front: Aggregator::new(cap),
-            back: Aggregator::new(cap),
-            collector: Collector::with_recycle(cap, config.recycle),
-            config,
-            batch_capacity: cap,
-            stats: SecStats::new(),
-        }
-    }
-
-    /// Sets the node-recycling policy (builder style; the default is
-    /// [`RecyclePolicy::per_thread`]). Must be applied before any
-    /// thread registers, which the consuming receiver guarantees.
-    pub fn recycle_policy(mut self, recycle: RecyclePolicy) -> Self {
-        self.config.recycle = recycle;
-        self.collector.set_recycle_policy(recycle);
-        self
-    }
-
-    /// Sets the blocking-wait policy (builder style; the default is
-    /// [`WaitPolicy::spin_then_park`] — DESIGN.md §11).
-    pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
-        self.config.wait = wait;
-        self
-    }
-
-    /// Batching and park/wake instrumentation (both ends combined).
-    pub fn stats(&self) -> &SecStats {
-        &self.stats
-    }
-
-    /// Reclamation statistics (diagnostic). The recycle hit/miss/
-    /// overflow counters are exact once every handle has dropped.
-    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
-        self.collector.stats()
-    }
-
-    /// Drives reclamation to completion (up to `rounds` epoch
-    /// advances); see [`SecStack::quiesce_reclamation`].
-    ///
-    /// [`SecStack::quiesce_reclamation`]: crate::SecStack::quiesce_reclamation
-    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
-        self.collector.quiesce(rounds)
-    }
-
-    /// Registers the calling thread.
-    ///
-    /// # Panics
-    ///
-    /// If more threads register than the deque was constructed for.
-    pub fn register(&self) -> DequeHandle<'_, T> {
-        DequeHandle {
-            deque: self,
-            reclaim: self
-                .collector
-                .register()
-                .expect("SecDeque: more threads registered than max_threads"),
-        }
-    }
-
-    fn aggregator(&self, end: End) -> &Aggregator<T> {
-        match end {
-            End::Front => &self.front,
-            End::Back => &self.back,
-        }
-    }
-
-    /// The freeze protocol, shared verbatim with the stack.
-    fn freeze_or_wait(
-        &self,
-        agg: &Aggregator<T>,
-        batch_ptr: *mut Batch<T>,
-        my_seq: u64,
-        guard: &Guard<'_, '_>,
-    ) {
-        let batch = unsafe { &*batch_ptr };
-        if my_seq == 0 && !batch.freezer_decided.swap(true, Ordering::AcqRel) {
-            for _ in 0..self.config.freezer_backoff {
-                core::hint::spin_loop();
-            }
-            for _ in 0..self.config.freezer_yields {
-                std::thread::yield_now();
-            }
-            let pops = batch.pop_count.load(Ordering::Acquire);
-            let pushes = batch.push_count.load(Ordering::Acquire);
-            batch.pop_at_freeze.store(pops, Ordering::Relaxed);
-            batch.push_at_freeze.store(pushes, Ordering::Relaxed);
-            self.stats.record_batch(pushes, pops);
-            let fresh = Batch::alloc_with(guard.handle(), self.batch_capacity);
-            agg.batch.store(fresh, Ordering::Release);
-            // Wake the frozen batch's registered swap-waiters (the
-            // Release store above published the cut — DESIGN.md §11).
-            agg.event.notify_key(batch_ptr as usize, self.stats.wait());
-            unsafe { Batch::retire_with(guard, batch_ptr) };
-        } else {
-            agg.event.wait_until(
-                batch_ptr as usize,
-                self.config.wait,
-                self.stats.wait(),
-                || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
-            );
-        }
-    }
+impl<T: Send + 'static> CombineOp for DequeOp<T> {
+    type Node = Node<T>;
+    type Value = T;
 
     /// Combiner for a push-majority batch: apply the surviving pushes
     /// to the locked deque in sequence order.
-    fn combine_pushes(&self, batch: &Batch<T>, my_seq: usize, end: End, guard: &Guard<'_, '_>) {
-        let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
+    fn combine_add(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        my_seq: usize,
+        agg_idx: usize,
+        guard: &Guard<'_, '_>,
+    ) {
+        let end = End::from_agg_idx(agg_idx);
+        let add_at_freeze = batch.add_at_freeze.load(Ordering::Acquire) as usize;
         let mut deque = self.inner.lock();
-        for i in my_seq..push_at_freeze {
+        for i in my_seq..add_at_freeze {
             // Waiting for a slot mirrors PushToStack line 38.
-            let node = wait_ptr(&batch.elim[i], self.config.wait);
+            let node = wait_ptr(&batch.slots[i], eng.config().wait);
             // Safety: slots with i ≥ popCountAtFreeze have no
             // eliminating partner; the combiner is their unique
             // consumer. Payload out, husk recycles.
@@ -214,9 +108,17 @@ impl<T: Send + 'static> SecDeque<T> {
     /// Combiner for a pop-majority batch: remove one element per
     /// surviving pop and publish them as a result chain (the deque
     /// analogue of the substack from `PopFromStack`).
-    fn combine_pops(&self, batch: &Batch<T>, my_seq: usize, end: End, guard: &Guard<'_, '_>) {
-        let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
-        let wanted = pop_at_freeze - my_seq;
+    fn combine_remove(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        my_seq: usize,
+        agg_idx: usize,
+        guard: &Guard<'_, '_>,
+    ) {
+        let end = End::from_agg_idx(agg_idx);
+        let remove_at_freeze = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        let wanted = remove_at_freeze - my_seq;
         let mut results: Vec<*mut Node<T>> = Vec::with_capacity(wanted);
         {
             let mut deque = self.inner.lock();
@@ -238,12 +140,34 @@ impl<T: Send + 'static> SecDeque<T> {
             unsafe { (*node).next.store(head, Ordering::Relaxed) };
             head = node;
         }
-        batch.substack_top.store(head, Ordering::Release);
+        batch.result_head.store(head, Ordering::Release);
     }
 
-    /// `GetValue` over the result chain.
-    fn get_value(&self, batch: &Batch<T>, offset: usize, guard: &Guard<'_, '_>) -> Option<T> {
-        let mut cur = batch.substack_top.load(Ordering::Acquire);
+    /// Eliminate with the same-end push of equal sequence number.
+    fn eliminate(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        my_seq: usize,
+        guard: &Guard<'_, '_>,
+    ) -> T {
+        let n = wait_ptr(&batch.slots[my_seq], eng.config().wait);
+        // Payload out, husk recycles (as in the stack's elimination
+        // path).
+        let value = unsafe { Node::take_value(n) };
+        unsafe { guard.retire_recycle(n) };
+        value
+    }
+
+    /// `GetValue` over the (null-terminated) result chain.
+    fn take_result(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        offset: usize,
+        guard: &Guard<'_, '_>,
+    ) -> Option<T> {
+        let mut cur = batch.result_head.load(Ordering::Acquire);
         for _ in 0..offset {
             if cur.is_null() {
                 return None;
@@ -259,22 +183,96 @@ impl<T: Send + 'static> SecDeque<T> {
     }
 }
 
-impl<T: Send + 'static> Drop for SecDeque<T> {
-    fn drop(&mut self) {
-        for agg in [&self.front, &self.back] {
-            let b = agg.batch.load(Ordering::Relaxed);
-            if !b.is_null() {
-                drop(unsafe { Box::from_raw(b) });
-            }
+/// A blocking linearizable deque with per-end sharded elimination and
+/// combining.
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::deque::SecDeque;
+///
+/// let d: SecDeque<u32> = SecDeque::new(2);
+/// let mut h = d.register();
+/// h.push_front(1);
+/// h.push_back(2);
+/// assert_eq!(h.pop_front(), Some(1));
+/// assert_eq!(h.pop_back(), Some(2));
+/// assert_eq!(h.pop_front(), None);
+/// ```
+pub struct SecDeque<T: Send + 'static> {
+    engine: CombineEngine<DequeOp<T>>,
+}
+
+impl<T: Send + 'static> SecDeque<T> {
+    /// Creates a deque for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        // One engine aggregator per end; batch capacity must admit
+        // every thread (any thread may operate on either end), which
+        // the k = 1 configuration guarantees.
+        Self {
+            engine: CombineEngine::new(
+                "SecDeque",
+                DequeOp {
+                    inner: TtasLock::new(VecDeque::new()),
+                },
+                SecConfig::new(1, max_threads),
+                AggLayout::Fixed(&[true, true]),
+            ),
         }
-        // `inner` drops its values itself.
+    }
+
+    /// Sets the node-recycling policy (builder style; the default is
+    /// [`RecyclePolicy::per_thread`]). Must be applied before any
+    /// thread registers, which the consuming receiver guarantees.
+    pub fn recycle_policy(mut self, recycle: RecyclePolicy) -> Self {
+        self.engine.set_recycle_policy(recycle);
+        self
+    }
+
+    /// Sets the blocking-wait policy (builder style; the default is
+    /// [`WaitPolicy::spin_then_park`] — DESIGN.md §11).
+    pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
+        self.engine.config_mut().wait = wait;
+        self
+    }
+
+    /// Batching and park/wake instrumentation (both ends combined).
+    pub fn stats(&self) -> &SecStats {
+        self.engine.stats()
+    }
+
+    /// Reclamation statistics (diagnostic). The recycle hit/miss/
+    /// overflow counters are exact once every handle has dropped.
+    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.engine.reclaim_stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances); see [`SecStack::quiesce_reclamation`].
+    ///
+    /// [`SecStack::quiesce_reclamation`]: crate::SecStack::quiesce_reclamation
+    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.engine.quiesce_reclamation(rounds)
+    }
+
+    /// Registers the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// If more threads register than the deque was constructed for.
+    pub fn register(&self) -> DequeHandle<'_, T> {
+        let (reclaim, _state) = self.engine.register();
+        DequeHandle {
+            deque: self,
+            reclaim,
+        }
     }
 }
 
 impl<T: Send + 'static> fmt::Debug for SecDeque<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecDeque")
-            .field("max_threads", &self.config.max_threads)
+            .field("max_threads", &self.engine.config().max_threads)
             .finish()
     }
 }
@@ -308,69 +306,20 @@ impl<T: Send + 'static> DequeHandle<'_, T> {
 
     /// SEC push, retargeted at one deque end.
     fn push(&mut self, end: End, value: T) {
-        let deque = self.deque;
-        let agg = deque.aggregator(end);
         let node = Node::alloc_with(&self.reclaim, value);
-        loop {
-            let guard = self.reclaim.pin();
-            let batch_ptr = agg.batch.load(Ordering::Acquire);
-            let batch = unsafe { &*batch_ptr };
-            let my_seq = batch.push_count.fetch_add(1, Ordering::AcqRel) as usize;
-            assert!(my_seq < batch.elim.len(), "SecDeque: capacity exceeded");
-            batch.elim[my_seq].store(node, Ordering::Release);
-
-            deque.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
-
-            let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
-            if my_seq < push_at_freeze {
-                let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
-                if my_seq >= pop_at_freeze {
-                    if my_seq == pop_at_freeze {
-                        deque.combine_pushes(batch, my_seq, end, &guard);
-                        mark_applied(agg, batch, batch_ptr, deque.stats.wait());
-                    } else {
-                        wait_applied(agg, batch, batch_ptr, deque.config.wait, deque.stats.wait());
-                    }
-                }
-                return;
-            }
-        }
+        self.deque
+            .engine
+            .run(Lane::At(end.agg_idx()), Role::Add, node, &self.reclaim);
     }
 
     /// SEC pop, retargeted at one deque end.
     fn pop(&mut self, end: End) -> Option<T> {
-        let deque = self.deque;
-        let agg = deque.aggregator(end);
-        loop {
-            let guard = self.reclaim.pin();
-            let batch_ptr = agg.batch.load(Ordering::Acquire);
-            let batch = unsafe { &*batch_ptr };
-            let my_seq = batch.pop_count.fetch_add(1, Ordering::AcqRel) as usize;
-            assert!(my_seq < batch.elim.len(), "SecDeque: capacity exceeded");
-
-            deque.freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
-
-            let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
-            if my_seq < pop_at_freeze {
-                let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
-                if my_seq < push_at_freeze {
-                    // Eliminate with the same-end push of equal seq.
-                    let n = wait_ptr(&batch.elim[my_seq], deque.config.wait);
-                    // Payload out, husk recycles (as in the stack's
-                    // elimination path).
-                    let value = unsafe { Node::take_value(n) };
-                    unsafe { guard.retire_recycle(n) };
-                    return Some(value);
-                }
-                if my_seq == push_at_freeze {
-                    deque.combine_pops(batch, my_seq, end, &guard);
-                    mark_applied(agg, batch, batch_ptr, deque.stats.wait());
-                } else {
-                    wait_applied(agg, batch, batch_ptr, deque.config.wait, deque.stats.wait());
-                }
-                return deque.get_value(batch, my_seq - push_at_freeze, &guard);
-            }
-        }
+        self.deque.engine.run(
+            Lane::At(end.agg_idx()),
+            Role::Remove,
+            ptr::null_mut(),
+            &self.reclaim,
+        )
     }
 }
 

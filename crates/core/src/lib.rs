@@ -38,7 +38,12 @@
 //! * [`SecQueue`] / [`ConcurrentQueue`] / [`QueueHandle`] — the FIFO
 //!   queue built from the same mechanisms (per-end batches, single-CAS
 //!   splice/unlink, empty-only elimination; DESIGN.md §9) and the
-//!   queue-family interface its baselines share.
+//!   queue-family interface its baselines share,
+//! * [`SecCounter`] — a combining fetch-and-add counter, the smallest
+//!   full instantiation of the engine (~120 lines of apply logic),
+//! * `combine` (crate-private) — the generic
+//!   announce → freeze → combine → publish engine all of the above
+//!   instantiate through its `CombineOp` trait (DESIGN.md §12).
 //!
 //! ## Quick start
 //!
@@ -61,7 +66,9 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub(crate) mod combine;
 mod config;
+pub mod counter;
 pub mod deque;
 pub mod pool;
 pub mod queue;
@@ -71,6 +78,7 @@ mod traits;
 pub use config::{
     topology_shard, AggregatorPolicy, RecyclePolicy, SecConfig, ShardPolicy, WaitPolicy,
 };
+pub use counter::{SecCounter, SecCounterHandle};
 pub use queue::{SecQueue, SecQueueHandle};
 pub use sec::stats::{BatchReport, SecStats};
 pub use sec::{SecHandle, SecStack};

@@ -5,7 +5,9 @@
 //! The paper's introduction grounds itself in the FIFO-queue literature
 //! (LCRQ, aggregating funnels); this module closes the loop by building
 //! the queue those mechanisms imply. Construction: a Michael–Scott-style
-//! linked list with a dummy node, plus one SEC batch layer *per end*:
+//! linked list with a dummy node, plus one SEC batch layer *per end* —
+//! two fixed aggregators of the combining engine (`crate::combine`,
+//! DESIGN.md §12):
 //!
 //! * **enqueuers** announce into the tail aggregator's current batch
 //!   with one fetch&increment and publish their node in the batch's
@@ -29,24 +31,27 @@
 //!   hand-off through it is what keeps emptiness and transfer atomic
 //!   (DESIGN.md §9 discusses why a detached slot array cannot).
 //!
-//! Batches are homogeneous per end, so unlike the stack the sequence-0
-//! announcer is *always* both the batch's freezer and its combiner, and
-//! no freezer test&set is needed. Memory is reclaimed through the same
-//! `sec-reclaim` epochs as the stack: the freezer retires its frozen
-//! batch, the dequeue combiner retires the outgoing dummy, and each
-//! waiter retires the node it consumed (except the chain's last, which
-//! becomes the new dummy and is retired by a later combiner).
+//! Batches are homogeneous per end: each end uses one lane of the
+//! engine's `CombineBatch` while the other lane's counter stays
+//! pinned at zero, which makes the engine's combiner election pick
+//! exactly the sequence-0 announcer and its cross-lane elimination
+//! test vacuous (see `crate::combine`'s module docs). Memory is
+//! reclaimed through the same `sec-reclaim` epochs as the stack: the
+//! freezer retires its frozen batch, the dequeue combiner retires the
+//! outgoing dummy, and each waiter retires the node it consumed
+//! (except the chain's last, which becomes the new dummy and is
+//! retired by a later combiner).
 
+use crate::combine::{wait_ptr, AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, Role};
 use crate::config::{RecyclePolicy, SecConfig, WaitPolicy};
-use crate::sec::batch::{alloc_slots_with, retire_slots, wait_ptr};
 use crate::sec::stats::SecStats;
 use crate::traits::{ConcurrentQueue, QueueHandle};
 use core::fmt;
 use core::mem::MaybeUninit;
 use core::ptr;
-use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
-use sec_sync::event::{spin_wait, WaitQueue};
+use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use sec_reclaim::{Guard, Handle as ReclaimHandle};
+use sec_sync::event::spin_wait;
 use sec_sync::{Backoff, CachePadded};
 
 /// Default length (in spin iterations) of the empty-queue rendezvous
@@ -55,6 +60,11 @@ use sec_sync::{Backoff, CachePadded};
 /// enough that `dequeue` on a genuinely empty queue still returns
 /// promptly (the liveness suite depends on this bound).
 const DEFAULT_RENDEZVOUS_SPINS: u32 = 128;
+
+/// The head-side engine aggregator (dequeues; no announcement slots)
+/// and the tail-side one (enqueues; slots carry the announced nodes).
+const HEAD: usize = 0;
+const TAIL: usize = 1;
 
 /// A queue node. `value` is `MaybeUninit` (not `ManuallyDrop` as in the
 /// stack) because the MS-queue representation needs nodes with *no*
@@ -113,163 +123,13 @@ impl<T> QNode<T> {
     }
 }
 
-/// A per-end batch. Homogeneous (one operation type per end), so a
-/// single announcement counter suffices and the sequence-0 announcer is
-/// both freezer and combiner — the stack's freezer test&set and the
-/// elimination-pairing fields disappear.
-struct QBatch<T> {
-    /// Announcement counter (sequence-number source), cache-padded like
-    /// the stack's: it is the only field hammered by fetch&increment.
-    count: CachePadded<AtomicU64>,
-    /// `count` as snapshotted by the freezer; published by the
-    /// aggregator's batch-pointer swap.
-    at_freeze: AtomicU64,
-    /// Set by the combiner once the batch has been applied.
-    applied: AtomicBool,
-    /// Head-side batches: first node of the chain the combiner unlinked
-    /// (waiter `i` consumes the `i`-th node).
-    result_head: AtomicPtr<QNode<T>>,
-    /// Head-side batches: how many values the combiner actually took
-    /// (waiters at offsets beyond this report EMPTY). Published before
-    /// `applied`; needed because the chain's last node is the live
-    /// dummy whose `next` keeps evolving — null-termination cannot
-    /// delimit the chain as it does in the stack.
-    taken: AtomicU64,
-    /// Tail-side batches: slot `i` carries the node announced by the
-    /// enqueue with sequence number `i` (head-side batches allocate
-    /// this empty — dequeuers bring no nodes).
-    slots: Box<[AtomicPtr<QNode<T>>]>,
-    /// Announcement bound for the assert (== `slots.len()` on the tail
-    /// side, where `slots` is allocated).
-    capacity: usize,
-}
-
-impl<T> QBatch<T> {
-    fn alloc(capacity: usize, with_slots: bool) -> *mut QBatch<T> {
-        Box::into_raw(Box::new(Self::fresh(
-            Self::fresh_slots(capacity, with_slots, None),
-            capacity,
-        )))
-    }
-
-    fn fresh(slots: Box<[AtomicPtr<QNode<T>>]>, capacity: usize) -> QBatch<T> {
-        QBatch {
-            count: CachePadded::new(AtomicU64::new(0)),
-            at_freeze: AtomicU64::new(0),
-            applied: AtomicBool::new(false),
-            result_head: AtomicPtr::new(ptr::null_mut()),
-            taken: AtomicU64::new(0),
-            slots,
-            capacity,
-        }
-    }
-
-    /// Head-side batches carry no slots (dequeuers bring no nodes);
-    /// tail-side arrays go through the shared recycled-slot helper.
-    fn fresh_slots(
-        capacity: usize,
-        with_slots: bool,
-        reclaim: Option<&ReclaimHandle<'_>>,
-    ) -> Box<[AtomicPtr<QNode<T>>]> {
-        if with_slots {
-            alloc_slots_with(reclaim, capacity)
-        } else {
-            Vec::new().into_boxed_slice()
-        }
-    }
-
-    /// Allocates a fresh batch, reusing recycled blocks when available
-    /// — the freezer's hot-path replacement for [`QBatch::alloc`].
-    fn alloc_with(
-        reclaim: &ReclaimHandle<'_>,
-        capacity: usize,
-        with_slots: bool,
-    ) -> *mut QBatch<T> {
-        let slots = Self::fresh_slots(capacity, with_slots, Some(reclaim));
-        reclaim.alloc_boxed(Self::fresh(slots, capacity))
-    }
-
-    /// Retires a frozen batch for recycling: struct block plus (on the
-    /// tail side) the slot-array buffer, as two separately-recycled
-    /// blocks. The batch's destructor must not run afterwards.
-    ///
-    /// # Safety
-    ///
-    /// Same contract as [`Guard::retire`] for `batch`; every node
-    /// pointer still in the slot array must be owned elsewhere.
-    unsafe fn retire_with(guard: &Guard<'_, '_>, batch: *mut QBatch<T>)
-    where
-        T: Send,
-    {
-        // Safety: pinned; the batch is live until quiescence and
-        // `slots` is immutable after construction.
-        unsafe { retire_slots(guard, &(*batch).slots) };
-        // Safety: forwarded caller contract; the slots buffer's
-        // ownership moved to the collector above (empty boxes own no
-        // allocation), and the struct block is recycled raw, so the
-        // destructor never runs.
-        unsafe { guard.retire_recycle(batch) };
-    }
-}
-
-// Safety: a batch contains only atomics plus the boxed slot array; raw
-// `QNode<T>` pointers are managed by the algorithm, which transfers
-// node ownership only between threads that may own `T`.
-unsafe impl<T: Send> Send for QBatch<T> {}
-unsafe impl<T: Send> Sync for QBatch<T> {}
-
-/// One end's aggregator: a pointer to its currently active batch, plus
-/// the park queue its batches' waiters register on (keyed by batch
-/// address, exactly as in the stack — DESIGN.md §11).
-struct QAggregator<T> {
-    batch: AtomicPtr<QBatch<T>>,
-    event: WaitQueue,
-    /// Whether this end's batches carry announcement slots.
-    with_slots: bool,
-}
-
-impl<T> QAggregator<T> {
-    fn new(capacity: usize, with_slots: bool) -> Self {
-        Self {
-            batch: AtomicPtr::new(QBatch::alloc(capacity, with_slots)),
-            event: WaitQueue::new(),
-            with_slots,
-        }
-    }
-}
-
-/// The SEC-derived FIFO queue (blocking, linearizable).
-///
-/// Construct with [`SecQueue::new`]; each thread obtains a
-/// [`SecQueueHandle`] via [`SecQueue::register`] (or the
-/// [`ConcurrentQueue`] trait) and performs `enqueue`/`dequeue` through
-/// it.
-///
-/// # Examples
-///
-/// ```
-/// use sec_core::queue::SecQueue;
-///
-/// let q: SecQueue<u32> = SecQueue::new(2);
-/// let mut h = q.register();
-/// h.enqueue(1);
-/// h.enqueue(2);
-/// assert_eq!(h.dequeue(), Some(1));
-/// assert_eq!(h.dequeue(), Some(2));
-/// assert_eq!(h.dequeue(), None);
-/// ```
-pub struct SecQueue<T: Send + 'static> {
+/// The queue's apply logic: the MS-style list (head/tail), the two
+/// single-CAS combiners, and the empty-queue rendezvous window.
+struct QueueOp<T: Send + 'static> {
     /// Points at the dummy; the queue's front value is `head.next`.
     head: CachePadded<AtomicPtr<QNode<T>>>,
     /// Points at the last spliced node (== the dummy when empty).
     tail: CachePadded<AtomicPtr<QNode<T>>>,
-    /// Dequeue-side aggregator.
-    head_agg: CachePadded<QAggregator<T>>,
-    /// Enqueue-side aggregator.
-    tail_agg: CachePadded<QAggregator<T>>,
-    collector: Collector,
-    config: SecConfig,
-    stats: SecStats,
     /// Spin budget of the empty-queue rendezvous window.
     rendezvous_spins: u32,
     /// Dequeue batches that observed the queue empty and then received
@@ -278,210 +138,33 @@ pub struct SecQueue<T: Send + 'static> {
     rendezvous_hits: AtomicU64,
 }
 
-// Safety: all shared state is atomics; node/batch ownership transfer
-// follows the algorithm's exactly-once consumption discipline, so `T`
-// values cross threads only as `Send` payloads.
-unsafe impl<T: Send> Send for SecQueue<T> {}
-unsafe impl<T: Send> Sync for SecQueue<T> {}
-
-impl<T: Send + 'static> SecQueue<T> {
-    /// Creates a queue for up to `max_threads` threads.
-    pub fn new(max_threads: usize) -> Self {
-        // One aggregator per end; every thread may operate on either
-        // end, so both batch layers admit all of them.
-        let config = SecConfig::new(1, max_threads);
-        let cap = config.max_threads;
-        let dummy = QNode::alloc_dummy();
-        Self {
-            head: CachePadded::new(AtomicPtr::new(dummy)),
-            tail: CachePadded::new(AtomicPtr::new(dummy)),
-            head_agg: CachePadded::new(QAggregator::new(cap, false)),
-            tail_agg: CachePadded::new(QAggregator::new(cap, true)),
-            collector: Collector::with_recycle(cap, config.recycle),
-            config,
-            stats: SecStats::new(),
-            rendezvous_spins: DEFAULT_RENDEZVOUS_SPINS,
-            rendezvous_hits: AtomicU64::new(0),
-        }
-    }
-
-    /// Sets the empty-queue rendezvous window in spin iterations
-    /// (builder style). `0` disables empty-only elimination entirely:
-    /// a dequeue batch that validates emptiness reports EMPTY at once.
-    pub fn rendezvous_spins(mut self, spins: u32) -> Self {
-        self.rendezvous_spins = spins;
-        self
-    }
-
-    /// Sets the node-recycling policy (builder style; the default is
-    /// [`RecyclePolicy::per_thread`]). Must be applied before any
-    /// thread registers, which the consuming receiver guarantees.
-    pub fn recycle_policy(mut self, recycle: RecyclePolicy) -> Self {
-        self.config.recycle = recycle;
-        self.collector.set_recycle_policy(recycle);
-        self
-    }
-
-    /// Sets the blocking-wait policy (builder style; the default is
-    /// [`WaitPolicy::spin_then_park`] — DESIGN.md §11). Governs both
-    /// ends' combiner waits and batch-pointer swaps, and whether the
-    /// empty-queue rendezvous window yields inside its budget.
-    pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
-        self.config.wait = wait;
-        self
-    }
-
-    /// Sets the freezer's aggregation backoff in `yield_now` calls
-    /// (builder style) — the queue twin of
-    /// [`SecConfig::freezer_yields`]. Widening the window lets more
-    /// announcers join each batch before it freezes, which matters
-    /// most when threads outnumber cores (see the `freezer_backoff`
-    /// ablation). Apply before any thread registers.
-    pub fn freezer_yields(mut self, yields: u32) -> Self {
-        self.config.freezer_yields = yields;
-        self
-    }
-
-    /// Registers the calling thread.
-    ///
-    /// # Panics
-    ///
-    /// If more threads register than the queue was constructed for.
-    pub fn register(&self) -> SecQueueHandle<'_, T> {
-        SecQueueHandle {
-            queue: self,
-            reclaim: self
-                .collector
-                .register()
-                .expect("SecQueue: more threads registered than max_threads"),
-        }
-    }
-
-    /// The configuration this queue was built with.
-    pub fn config(&self) -> &SecConfig {
-        &self.config
-    }
-
-    /// Batching instrumentation: tail batches record as pushes, head
-    /// batches as pops, so `batching_degree` reports the combined
-    /// splice/unlink amortization. The stack's elimination share is
-    /// structurally zero here — see [`SecQueue::rendezvous_hits`] for
-    /// the queue's own pairing counter.
-    pub fn stats(&self) -> &SecStats {
-        &self.stats
-    }
-
-    /// Number of dequeue batches that validated the queue empty and
-    /// then consumed an enqueue batch through the rendezvous window —
-    /// the queue's "empty-only elimination" events.
-    pub fn rendezvous_hits(&self) -> u64 {
-        self.rendezvous_hits.load(Ordering::Relaxed)
-    }
-
-    /// Reclamation statistics (diagnostic). The recycle hit/miss/
-    /// overflow counters are exact once every handle has dropped.
-    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
-        self.collector.stats()
-    }
-
-    /// Drives reclamation to completion (up to `rounds` epoch
-    /// advances); see [`SecStack::quiesce_reclamation`].
-    ///
-    /// [`SecStack::quiesce_reclamation`]: crate::SecStack::quiesce_reclamation
-    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
-        self.collector.quiesce(rounds)
-    }
+impl<T: Send + 'static> CombineOp for QueueOp<T> {
+    type Node = QNode<T>;
+    type Value = T;
 
     // ------------------------------------------------------------------
-    // Freezing (one counter, unique freezer)
+    // Enqueue combining (the tail aggregator's add lane)
     // ------------------------------------------------------------------
 
-    /// Freeze the batch: aggregation backoff, snapshot the counter,
-    /// install a fresh batch, retire the frozen one. Called only by the
-    /// sequence-0 announcer (unique — homogeneous batches have a single
-    /// counter).
-    fn freeze(&self, agg: &QAggregator<T>, batch_ptr: *mut QBatch<T>, guard: &Guard<'_, '_>) {
-        let batch = unsafe { &*batch_ptr };
-        // §3.1 aggregation backoff, shared with the stack: let more
-        // operations join the batch before the cut.
-        for _ in 0..self.config.freezer_backoff {
-            core::hint::spin_loop();
-        }
-        for _ in 0..self.config.freezer_yields {
-            std::thread::yield_now();
-        }
-        let n = batch.count.load(Ordering::Acquire);
-        batch.at_freeze.store(n, Ordering::Relaxed);
-        if agg.with_slots {
-            self.stats.record_batch(n, 0);
-        } else {
-            self.stats.record_batch(0, n);
-        }
-        // Installing the fresh batch publishes `at_freeze` (Release)
-        // and redirects new announcers, exactly as in the stack. Both
-        // the outgoing and the fresh batch go through the recycle free
-        // lists (DESIGN.md §10).
-        let fresh = QBatch::alloc_with(guard.handle(), batch.capacity, agg.with_slots);
-        agg.batch.store(fresh, Ordering::Release);
-        // Wake the frozen batch's registered swap-waiters (the Release
-        // store above published the cut first — DESIGN.md §11).
-        agg.event.notify_key(batch_ptr as usize, self.stats.wait());
-        unsafe { QBatch::retire_with(guard, batch_ptr) };
-    }
-
-    /// Announce-and-freeze prologue shared by both ends: the sequence-0
-    /// announcer freezes; everyone else waits (parked, per the
-    /// configured policy) for the batch swap.
-    fn freeze_or_wait(
+    /// Pre-link the batch's announced nodes in sequence order and
+    /// splice the chain with a single CAS on `tail`.
+    fn combine_add(
         &self,
-        agg: &QAggregator<T>,
-        batch_ptr: *mut QBatch<T>,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<QNode<T>>,
         my_seq: usize,
-        guard: &Guard<'_, '_>,
+        _agg_idx: usize,
+        _guard: &Guard<'_, '_>,
     ) {
-        if my_seq == 0 {
-            self.freeze(agg, batch_ptr, guard);
-        } else {
-            agg.event.wait_until(
-                batch_ptr as usize,
-                self.config.wait,
-                self.stats.wait(),
-                || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
-            );
-        }
-    }
-
-    /// The queue's instance of the shared `applied` wait (see
-    /// `sec::batch::wait_applied` — the queue has its own batch type,
-    /// but the seam is the same `WaitQueue::wait_until` call).
-    fn wait_applied(&self, agg: &QAggregator<T>, batch: &QBatch<T>, key: *mut QBatch<T>) {
-        agg.event
-            .wait_until(key as usize, self.config.wait, self.stats.wait(), || {
-                batch.applied.load(Ordering::Acquire)
-            });
-    }
-
-    /// The waking half: publish `applied`, wake the batch's waiters.
-    fn mark_applied(&self, agg: &QAggregator<T>, batch: &QBatch<T>, key: *mut QBatch<T>) {
-        batch.applied.store(true, Ordering::Release);
-        agg.event.notify_key(key as usize, self.stats.wait());
-    }
-
-    // ------------------------------------------------------------------
-    // Enqueue combining
-    // ------------------------------------------------------------------
-
-    /// Pre-link the batch's `count` announced nodes in sequence order
-    /// and splice the chain with a single CAS on `tail`.
-    fn enqueue_to_queue(&self, batch: &QBatch<T>, count: usize) {
-        debug_assert!(count >= 1);
+        let cut = batch.add_at_freeze.load(Ordering::Acquire) as usize;
+        debug_assert!(cut > my_seq);
         // Wait for each announced node (the announcer published its
         // slot right after the fetch&increment; it may just not have
         // gotten there yet — the stack's line-38 wait).
-        let first = wait_ptr(&batch.slots[0], self.config.wait);
+        let first = wait_ptr(&batch.slots[my_seq], eng.config().wait);
         let mut prev = first;
-        for i in 1..count {
-            let n = wait_ptr(&batch.slots[i], self.config.wait);
+        for i in my_seq + 1..cut {
+            let n = wait_ptr(&batch.slots[i], eng.config().wait);
             // Relaxed suffices: the chain is published wholesale by the
             // Release store of the old tail's `next` below.
             unsafe { (*prev).next.store(n, Ordering::Relaxed) };
@@ -509,13 +192,13 @@ impl<T: Send + 'static> SecQueue<T> {
                 unsafe { (*t).next.store(first, Ordering::Release) };
                 return;
             }
-            self.stats.record_cas_failure();
+            eng.stats().record_cas_failure();
             backoff.spin();
         }
     }
 
     // ------------------------------------------------------------------
-    // Dequeue combining
+    // Dequeue combining (the head aggregator's remove lane)
     // ------------------------------------------------------------------
 
     /// Walk up to `wanted` nodes from `head`, unlink them with a single
@@ -528,8 +211,17 @@ impl<T: Send + 'static> SecQueue<T> {
     /// the link is coming, so the traversal waits for it — the same
     /// class of bounded-by-another-thread's-progress wait as every
     /// other SEC spin.
-    fn dequeue_from_queue(&self, batch: &QBatch<T>, wanted: usize, _guard: &Guard<'_, '_>) {
+    fn combine_remove(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<QNode<T>>,
+        my_seq: usize,
+        _agg_idx: usize,
+        guard: &Guard<'_, '_>,
+    ) {
+        let wanted = batch.remove_at_freeze.load(Ordering::Acquire) as usize - my_seq;
         debug_assert!(wanted >= 1);
+        let wait = eng.config().wait;
         // The rendezvous budget spans CAS retries so a contended empty
         // queue cannot pin the combiner in the window forever.
         let mut window = self.rendezvous_spins;
@@ -563,7 +255,7 @@ impl<T: Send + 'static> SecQueue<T> {
                             // producer actually reach its splice (the
                             // wait is anonymous, so parking proper
                             // cannot apply — no waker would know us).
-                            if self.config.wait == WaitPolicy::Spin || !window.is_multiple_of(32) {
+                            if wait == WaitPolicy::Spin || !window.is_multiple_of(32) {
                                 core::hint::spin_loop();
                             } else {
                                 std::thread::yield_now();
@@ -575,7 +267,7 @@ impl<T: Send + 'static> SecQueue<T> {
                     // Swing done, link in flight: wait for it (bounded
                     // by the enqueue combiner's next store — anonymous,
                     // so never parked).
-                    spin_wait(self.config.wait, || {
+                    spin_wait(wait, || {
                         !unsafe { (*cur).next.load(Ordering::Acquire) }.is_null()
                     });
                     continue;
@@ -610,19 +302,31 @@ impl<T: Send + 'static> SecQueue<T> {
                 // Safety: the CAS made us the unique retirer of the
                 // outgoing dummy; its value (if it ever had one) was
                 // consumed when it became the dummy — the husk recycles.
-                unsafe { _guard.retire_recycle(h) };
+                unsafe { guard.retire_recycle(h) };
                 return;
             }
             // Another head combiner won; re-traverse from the new head.
-            self.stats.record_cas_failure();
+            eng.stats().record_cas_failure();
             cas_backoff.spin();
             continue 'retry;
         }
     }
 
+    // `eliminate` keeps its default: the engine's cross-lane pairing
+    // never fires on homogeneous batches — the queue's *empty-only*
+    // elimination lives inside `combine_remove`'s rendezvous window.
+
     /// The dequeue at `offset` consumes the `offset`-th unlinked node,
-    /// or reports EMPTY if the batch drained the queue first.
-    fn get_value(&self, batch: &QBatch<T>, offset: usize, guard: &Guard<'_, '_>) -> Option<T> {
+    /// or reports EMPTY if the batch drained the queue first. The
+    /// chain is *not* null-terminated (its last node is the live dummy
+    /// whose `next` keeps evolving), hence the published `taken` bound.
+    fn take_result(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<QNode<T>>,
+        offset: usize,
+        guard: &Guard<'_, '_>,
+    ) -> Option<T> {
         let taken = batch.taken.load(Ordering::Acquire) as usize;
         if offset >= taken {
             return None;
@@ -649,12 +353,10 @@ impl<T: Send + 'static> SecQueue<T> {
     }
 }
 
-impl<T: Send + 'static> Drop for SecQueue<T> {
+impl<T: Send + 'static> Drop for QueueOp<T> {
     fn drop(&mut self) {
-        // No handles exist (they borrow `self`), so everything is
-        // quiescent: current batches are virgin (any announcement
-        // freezes its batch before returning, installing a newer one),
-        // and the list is dummy → remaining values.
+        // Runs during engine teardown (no handles exist, everything is
+        // quiescent): the list is dummy → remaining values.
         let dummy = self.head.load(Ordering::Relaxed);
         let mut cur = unsafe { (*dummy).next.load(Ordering::Relaxed) };
         // The dummy's value was consumed (or never existed): free the
@@ -665,20 +367,147 @@ impl<T: Send + 'static> Drop for SecQueue<T> {
             unsafe { QNode::drop_with_value(cur) };
             cur = next;
         }
-        for agg in [&*self.head_agg, &*self.tail_agg] {
-            let b = agg.batch.load(Ordering::Relaxed);
-            if !b.is_null() {
-                drop(unsafe { Box::from_raw(b) });
-            }
+    }
+}
+
+/// The SEC-derived FIFO queue (blocking, linearizable).
+///
+/// Construct with [`SecQueue::new`]; each thread obtains a
+/// [`SecQueueHandle`] via [`SecQueue::register`] (or the
+/// [`ConcurrentQueue`] trait) and performs `enqueue`/`dequeue` through
+/// it.
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::queue::SecQueue;
+///
+/// let q: SecQueue<u32> = SecQueue::new(2);
+/// let mut h = q.register();
+/// h.enqueue(1);
+/// h.enqueue(2);
+/// assert_eq!(h.dequeue(), Some(1));
+/// assert_eq!(h.dequeue(), Some(2));
+/// assert_eq!(h.dequeue(), None);
+/// ```
+pub struct SecQueue<T: Send + 'static> {
+    engine: CombineEngine<QueueOp<T>>,
+}
+
+impl<T: Send + 'static> SecQueue<T> {
+    /// Creates a queue for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        // One engine aggregator per end; every thread may operate on
+        // either end, so both batch layers admit all of them (the
+        // k = 1 configuration pins the per-aggregator capacity at
+        // max_threads). Head batches carry no slots — dequeuers bring
+        // no nodes.
+        let dummy = QNode::alloc_dummy();
+        Self {
+            engine: CombineEngine::new(
+                "SecQueue",
+                QueueOp {
+                    head: CachePadded::new(AtomicPtr::new(dummy)),
+                    tail: CachePadded::new(AtomicPtr::new(dummy)),
+                    rendezvous_spins: DEFAULT_RENDEZVOUS_SPINS,
+                    rendezvous_hits: AtomicU64::new(0),
+                },
+                SecConfig::new(1, max_threads),
+                AggLayout::Fixed(&[false, true]),
+            ),
         }
+    }
+
+    /// Sets the empty-queue rendezvous window in spin iterations
+    /// (builder style). `0` disables empty-only elimination entirely:
+    /// a dequeue batch that validates emptiness reports EMPTY at once.
+    pub fn rendezvous_spins(mut self, spins: u32) -> Self {
+        self.engine.op_mut().rendezvous_spins = spins;
+        self
+    }
+
+    /// Sets the node-recycling policy (builder style; the default is
+    /// [`RecyclePolicy::per_thread`]). Must be applied before any
+    /// thread registers, which the consuming receiver guarantees.
+    pub fn recycle_policy(mut self, recycle: RecyclePolicy) -> Self {
+        self.engine.set_recycle_policy(recycle);
+        self
+    }
+
+    /// Sets the blocking-wait policy (builder style; the default is
+    /// [`WaitPolicy::spin_then_park`] — DESIGN.md §11). Governs both
+    /// ends' combiner waits and batch-pointer swaps, and whether the
+    /// empty-queue rendezvous window yields inside its budget.
+    pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
+        self.engine.config_mut().wait = wait;
+        self
+    }
+
+    /// Sets the freezer's aggregation backoff in `yield_now` calls
+    /// (builder style) — the queue twin of
+    /// [`SecConfig::freezer_yields`]. Widening the window lets more
+    /// announcers join each batch before it freezes, which matters
+    /// most when threads outnumber cores (see the `freezer_backoff`
+    /// ablation). Apply before any thread registers.
+    pub fn freezer_yields(mut self, yields: u32) -> Self {
+        self.engine.config_mut().freezer_yields = yields;
+        self
+    }
+
+    /// Registers the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// If more threads register than the queue was constructed for.
+    pub fn register(&self) -> SecQueueHandle<'_, T> {
+        let (reclaim, _state) = self.engine.register();
+        SecQueueHandle {
+            queue: self,
+            reclaim,
+        }
+    }
+
+    /// The configuration this queue was built with.
+    pub fn config(&self) -> &SecConfig {
+        self.engine.config()
+    }
+
+    /// Batching instrumentation: tail batches record as pushes, head
+    /// batches as pops, so `batching_degree` reports the combined
+    /// splice/unlink amortization. The stack's elimination share is
+    /// structurally zero here — see [`SecQueue::rendezvous_hits`] for
+    /// the queue's own pairing counter.
+    pub fn stats(&self) -> &SecStats {
+        self.engine.stats()
+    }
+
+    /// Number of dequeue batches that validated the queue empty and
+    /// then consumed an enqueue batch through the rendezvous window —
+    /// the queue's "empty-only elimination" events.
+    pub fn rendezvous_hits(&self) -> u64 {
+        self.engine.op().rendezvous_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reclamation statistics (diagnostic). The recycle hit/miss/
+    /// overflow counters are exact once every handle has dropped.
+    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.engine.reclaim_stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances); see [`SecStack::quiesce_reclamation`].
+    ///
+    /// [`SecStack::quiesce_reclamation`]: crate::SecStack::quiesce_reclamation
+    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.engine.quiesce_reclamation(rounds)
     }
 }
 
 impl<T: Send + 'static> fmt::Debug for SecQueue<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecQueue")
-            .field("max_threads", &self.config.max_threads)
-            .field("rendezvous_spins", &self.rendezvous_spins)
+            .field("max_threads", &self.engine.config().max_threads)
+            .field("rendezvous_spins", &self.engine.op().rendezvous_spins)
             .finish()
     }
 }
@@ -708,78 +537,22 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
     /// Appends `value` at the tail. Returns when the enqueue is
     /// linearized (its batch's splice CAS has landed).
     pub fn enqueue(&mut self, value: T) {
-        let queue = self.queue;
-        let agg = &*queue.tail_agg;
         // One node per enqueue, reused across batch retries — popped
         // off this thread's recycle cache before touching the heap.
         let node = QNode::alloc_with(&self.reclaim, value);
-        loop {
-            let guard = self.reclaim.pin();
-            let batch_ptr = agg.batch.load(Ordering::Acquire);
-            let batch = unsafe { &*batch_ptr };
-            // Announce; the returned value is our sequence number.
-            let my_seq = batch.count.fetch_add(1, Ordering::AcqRel) as usize;
-            assert!(
-                my_seq < batch.capacity,
-                "SecQueue invariant violated: more announcements ({}) than \
-                 the configured capacity ({}) — was the queue shared by more \
-                 threads than max_threads?",
-                my_seq + 1,
-                batch.capacity
-            );
-            // Publish the node before anything else so the combiner
-            // never waits on us longer than necessary.
-            batch.slots[my_seq].store(node, Ordering::Release);
-
-            queue.freeze_or_wait(agg, batch_ptr, my_seq, &guard);
-
-            let cut = batch.at_freeze.load(Ordering::Acquire) as usize;
-            if my_seq < cut {
-                if my_seq == 0 {
-                    queue.enqueue_to_queue(batch, cut);
-                    queue.mark_applied(agg, batch, batch_ptr);
-                } else {
-                    queue.wait_applied(agg, batch, batch_ptr);
-                }
-                return;
-            }
-            // Excluded (announced after the freeze): retry in a newer
-            // batch; the node is still exclusively ours.
-        }
+        self.queue
+            .engine
+            .run(Lane::At(TAIL), Role::Add, node, &self.reclaim);
     }
 
     /// Removes the queue's oldest value, or `None` when the queue is
-    /// (linearizably) empty.
+    /// (linearizably) empty. A dequeue's offset within its batch's
+    /// taken chain is its sequence number: the batch's dequeues drain
+    /// in announcement order, which is what makes the block FIFO.
     pub fn dequeue(&mut self) -> Option<T> {
-        let queue = self.queue;
-        let agg = &*queue.head_agg;
-        loop {
-            let guard = self.reclaim.pin();
-            let batch_ptr = agg.batch.load(Ordering::Acquire);
-            let batch = unsafe { &*batch_ptr };
-            let my_seq = batch.count.fetch_add(1, Ordering::AcqRel) as usize;
-            assert!(
-                my_seq < batch.capacity,
-                "SecQueue invariant violated: more announcements than capacity"
-            );
-
-            queue.freeze_or_wait(agg, batch_ptr, my_seq, &guard);
-
-            let cut = batch.at_freeze.load(Ordering::Acquire) as usize;
-            if my_seq < cut {
-                if my_seq == 0 {
-                    queue.dequeue_from_queue(batch, cut, &guard);
-                    queue.mark_applied(agg, batch, batch_ptr);
-                } else {
-                    queue.wait_applied(agg, batch, batch_ptr);
-                }
-                // Our offset within the taken chain is our sequence
-                // number: the batch's dequeues drain in announcement
-                // order, which is what makes the block FIFO.
-                return queue.get_value(batch, my_seq, &guard);
-            }
-            // Excluded: retry in a newer batch.
-        }
+        self.queue
+            .engine
+            .run(Lane::At(HEAD), Role::Remove, ptr::null_mut(), &self.reclaim)
     }
 }
 

@@ -1,45 +1,235 @@
-//! The SEC stack: Algorithms 1 and 2 of the paper.
+//! The SEC stack: Algorithms 1 and 2 of the paper, instantiated from
+//! the generic combining engine.
 //!
 //! Module layout:
 //!
 //! * `node` — shared-stack nodes (paper Figure 1, `Node`),
-//! * `batch` — batches and aggregators (Figure 1, `Batch`,
-//!   `Aggregator`),
 //! * [`elastic`] — the contention monitor behind
-//!   [`AggregatorPolicy::Adaptive`] (DESIGN.md §8),
+//!   [`AggregatorPolicy::Adaptive`](crate::AggregatorPolicy::Adaptive)
+//!   (DESIGN.md §8),
 //! * [`stats`] — the Table 1–3 instrumentation,
 //! * [`model`] — the closed-form binomial prediction of the
 //!   elimination/combining degrees the instrumentation measures,
-//! * this file — [`SecStack`], [`SecHandle`], and the push/pop/peek
-//!   algorithms with the freezing, elimination and combining phases.
+//! * this file — [`SecStack`], [`SecHandle`], and the stack's
+//!   `CombineOp` instantiation: the single-CAS substack splice
+//!   (push combining), the single-CAS chain unlink (pop combining)
+//!   and elimination through the slot array.
 //!
-//! Comments reference the paper's pseudocode line numbers
-//! (Algorithm 1 = push, lines 1–51; Algorithm 2 = pop, lines 52–103).
-//! Two pseudocode errata are corrected here, both documented in
-//! DESIGN.md §2: the push combiner's substack chain starts at its own
-//! node (`top = bot`, not `⊥`), and the pop combiner advances its
-//! cursor once per non-eliminated pop (the paper's loop advances one
-//! time too few, which would pop `k−1` nodes for `k` pops while handing
-//! out `k` values).
+//! The protocol itself — announcement, freezing, freezer election,
+//! elimination pairing, combiner election, waiter parking, elastic
+//! re-mapping — lives in `crate::combine` (DESIGN.md §12); this file
+//! contains only what is specific to a *stack*. Comments reference the
+//! paper's pseudocode line numbers (Algorithm 1 = push, lines 1–51;
+//! Algorithm 2 = pop, lines 52–103). Two pseudocode errata are
+//! corrected here, both documented in DESIGN.md §2: the push
+//! combiner's substack chain starts at its own node (`top = bot`, not
+//! `⊥`), and the pop combiner advances its cursor once per
+//! non-eliminated pop (the paper's loop advances one time too few,
+//! which would pop `k−1` nodes for `k` pops while handing out `k`
+//! values).
 
-pub(crate) mod batch;
 pub mod elastic;
 pub mod model;
 pub(crate) mod node;
 pub mod stats;
 
-use crate::config::{AggregatorPolicy, SecConfig};
+use crate::combine::{
+    wait_ptr, AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, OpState, Role,
+};
+use crate::config::SecConfig;
 use crate::traits::{ConcurrentStack, StackHandle};
-use batch::{mark_applied, wait_applied, wait_ptr, Aggregator, Batch};
 use core::fmt;
 use core::ptr;
-use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use elastic::{ContentionMonitor, Direction};
+use core::sync::atomic::{AtomicPtr, Ordering};
 use node::Node;
-use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
-use sec_sync::event::spin_wait;
+use sec_reclaim::{Guard, Handle as ReclaimHandle};
 use sec_sync::{Backoff, CachePadded};
 use stats::SecStats;
+
+/// The stack's apply logic: a Treiber-style top pointer plus the
+/// paper's two single-CAS combiners. Everything else — batching,
+/// freezing, elimination pairing, parking, elastic sharding — is the
+/// engine's.
+struct StackOp<T: Send + 'static> {
+    /// `stackTop` (paper line 2): the *only* cross-aggregator
+    /// contention point, touched once per batch by each combiner.
+    top: CachePadded<AtomicPtr<Node<T>>>,
+}
+
+impl<T: Send + 'static> CombineOp for StackOp<T> {
+    type Node = Node<T>;
+    type Value = T;
+
+    // ------------------------------------------------------------------
+    // Push combining (paper lines 33–51)
+    // ------------------------------------------------------------------
+
+    /// `PushToStack`: build the substack of all non-eliminated pushes
+    /// and splice it onto the shared stack with one CAS.
+    fn combine_add(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        my_seq: usize,
+        _agg_idx: usize,
+        _guard: &Guard<'_, '_>,
+    ) {
+        let add_at_freeze = batch.add_at_freeze.load(Ordering::Acquire) as usize;
+
+        // Line 36: our own node is the bottom of the substack (we are
+        // the surviving push with the smallest sequence number, hence
+        // LIFO-first, hence deepest).
+        let bot = batch.slots[my_seq].load(Ordering::Acquire);
+        debug_assert!(
+            !bot.is_null(),
+            "combiner published its node before freezing"
+        );
+
+        // Erratum fix (DESIGN.md §2.1): the chain grows from `bot`, not
+        // from null — otherwise single-push batches would install null
+        // and multi-push batches would orphan `bot`.
+        let mut top = bot;
+        for i in my_seq + 1..add_at_freeze {
+            // Line 38: the push with sequence number `i` belongs to the
+            // batch (i < pushCountAtFreeze), so it *will* publish its
+            // node; it may just not have gotten to line 7 yet.
+            let n = wait_ptr(&batch.slots[i], eng.config().wait);
+            // Lines 41–42: link below the running top. Relaxed is
+            // enough: the successful CAS below releases the whole chain.
+            unsafe { (*n).next.store(top, Ordering::Relaxed) };
+            top = n;
+        }
+
+        // Lines 44–50: splice the substack in with a single CAS.
+        let mut backoff = Backoff::new();
+        loop {
+            let cur = self.top.load(Ordering::Acquire);
+            unsafe { (*bot).next.store(cur, Ordering::Relaxed) };
+            if self
+                .top
+                .compare_exchange(cur, top, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            // Contention is only with other combiners (≤ one per live
+            // batch), so plain spinning suffices. The failure count is
+            // the contention monitor's cross-aggregator signal.
+            eng.stats().record_cas_failure();
+            backoff.spin();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pop combining (paper lines 80–94)
+    // ------------------------------------------------------------------
+
+    /// `PopFromStack`: unlink one node per non-eliminated pop (up to
+    /// the stack's depth) with a single CAS, and publish the removed
+    /// chain.
+    fn combine_remove(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        my_seq: usize,
+        _agg_idx: usize,
+        _guard: &Guard<'_, '_>,
+    ) {
+        let remove_at_freeze = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        // One node per non-eliminated pop. (Erratum fix, DESIGN.md
+        // §2.2: the paper's `while ++i < popCountAtFreeze` advances
+        // k−1 times.)
+        let wanted = remove_at_freeze - my_seq;
+
+        let mut backoff = Backoff::new();
+        loop {
+            let top = self.top.load(Ordering::Acquire);
+            let mut bot = top;
+            for _ in 0..wanted {
+                if bot.is_null() {
+                    break; // stack shallower than the batch: take it all
+                }
+                bot = unsafe { (*bot).next.load(Ordering::Acquire) };
+            }
+            if self
+                .top
+                .compare_exchange(top, bot, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Line 93: publish the unlinked chain; the Release
+                // store of `applied` (by the engine) orders it for
+                // waiters.
+                batch.result_head.store(top, Ordering::Release);
+                return;
+            }
+            eng.stats().record_cas_failure();
+            backoff.spin();
+        }
+    }
+
+    /// Lines 65–67: the pop's push partner publishes its node right
+    /// after announcing; wait for the slot and take the value.
+    fn eliminate(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        my_seq: usize,
+        guard: &Guard<'_, '_>,
+    ) -> T {
+        let n = wait_ptr(&batch.slots[my_seq], eng.config().wait);
+        // Safety: pushes and pops pair off by sequence number, so we
+        // are this node's unique consumer; payload out, husk recycles.
+        let value = unsafe { Node::take_value(n) };
+        unsafe { guard.retire_recycle(n) };
+        value
+    }
+
+    /// `GetValue` (lines 95–103): the pop at `offset` consumes the
+    /// `offset`-th unlinked node, or reports EMPTY if the stack ran
+    /// out. The chain is *not* null-terminated (its deepest link runs
+    /// into the remaining stack) — the walk is bounded by `offset`,
+    /// which the combiner's unlink count covers.
+    fn take_result(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        offset: usize,
+        guard: &Guard<'_, '_>,
+    ) -> Option<T> {
+        let mut cur = batch.result_head.load(Ordering::Acquire);
+        for _ in 0..offset {
+            if cur.is_null() {
+                return None;
+            }
+            cur = unsafe { (*cur).next.load(Ordering::Acquire) };
+        }
+        if cur.is_null() {
+            return None;
+        }
+        // Safety: the combiner unlinked exactly `wanted` nodes and each
+        // offset is claimed by exactly one pop of this batch, so we are
+        // the unique consumer; every reader of this chain is pinned.
+        // The payload is out, so the husk recycles.
+        let value = unsafe { Node::take_value(cur) };
+        unsafe { guard.retire_recycle(cur) };
+        Some(value)
+    }
+}
+
+impl<T: Send + 'static> Drop for StackOp<T> {
+    fn drop(&mut self) {
+        // Runs during engine teardown, after the engine freed the
+        // current batches and before the collector frees retired
+        // husks: free the remaining shared-stack nodes together with
+        // their payloads.
+        let mut cur = self.top.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
+            unsafe { Node::drop_in_place_with_value(cur) };
+            cur = next;
+        }
+    }
+}
 
 /// The Sharded Elimination and Combining stack (blocking, linearizable).
 ///
@@ -63,31 +253,7 @@ use stats::SecStats;
 /// assert_eq!(h.pop(), None);
 /// ```
 pub struct SecStack<T: Send + 'static> {
-    config: SecConfig,
-    /// `stackTop` (paper line 2): the shared Treiber-style top pointer —
-    /// the *only* cross-aggregator contention point, touched once per
-    /// batch by each combiner.
-    top: CachePadded<AtomicPtr<Node<T>>>,
-    /// `agg[K]` (paper line 7) — all slots the policy can ever
-    /// activate. Under [`AggregatorPolicy::Adaptive`] only the prefix
-    /// `aggs[..active]` receives new announcements; retired slots keep
-    /// their current batch (in-flight batches drain themselves, every
-    /// batch is completed by its own announcers) and are reused when
-    /// the active set grows back.
-    aggs: Box<[CachePadded<Aggregator<T>>]>,
-    /// Number of currently active aggregators, in
-    /// `[policy.min_k(), policy.max_k()]`. Constant for
-    /// [`AggregatorPolicy::Fixed`].
-    active: CachePadded<AtomicUsize>,
-    /// Elastic-sharding window accumulator + epoch fence (inert under a
-    /// fixed policy).
-    monitor: ContentionMonitor,
-    /// Elimination-array size for every batch (cached off the config;
-    /// `per_aggregator_capacity` iterates the thread map for some
-    /// policies and freezers allocate one batch each).
-    batch_capacity: usize,
-    collector: Collector,
-    stats: SecStats,
+    engine: CombineEngine<StackOp<T>>,
 }
 
 // Safety: all shared state is atomics; node/batch ownership transfer
@@ -105,30 +271,15 @@ impl<T: Send + 'static> SecStack<T> {
 
     /// Creates a stack from an explicit [`SecConfig`].
     pub fn with_config(config: SecConfig) -> Self {
-        // Normalize the two aggregator knobs: `aggregators` (allocated
-        // slots) and `policy` are kept in sync by the builders, but the
-        // fields are public — make the direct-assignment path behave
-        // like the documented one.
-        let mut config = config;
-        match config.policy {
-            AggregatorPolicy::Fixed(k) if k != config.aggregators => {
-                config.policy = AggregatorPolicy::Fixed(config.aggregators);
-            }
-            AggregatorPolicy::Fixed(_) => {}
-            AggregatorPolicy::Adaptive { .. } => config.aggregators = config.policy.slots(),
-        }
-        let cap = config.per_aggregator_capacity();
         Self {
-            config,
-            top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
-            aggs: (0..config.aggregators)
-                .map(|_| CachePadded::new(Aggregator::new(cap)))
-                .collect(),
-            active: CachePadded::new(AtomicUsize::new(config.policy.initial_active())),
-            monitor: ContentionMonitor::new(),
-            batch_capacity: cap,
-            collector: Collector::with_recycle(config.max_threads, config.recycle),
-            stats: SecStats::new(),
+            engine: CombineEngine::new(
+                "SecStack",
+                StackOp {
+                    top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+                },
+                config,
+                AggLayout::Mapped { with_slots: true },
+            ),
         }
     }
 
@@ -136,36 +287,28 @@ impl<T: Send + 'static> SecStack<T> {
     /// [`ConcurrentStack::register`]; this inherent version exists so
     /// callers don't need the trait in scope.
     pub fn register(&self) -> SecHandle<'_, T> {
-        let reclaim = self
-            .collector
-            .register()
-            .expect("SecStack: more threads registered than SecConfig::max_threads");
-        let tid = reclaim.slot();
-        let seen_k = self.active.load(Ordering::Acquire);
-        let agg_idx = self.config.aggregator_for(tid, seen_k);
+        let (reclaim, state) = self.engine.register();
         SecHandle {
             stack: self,
-            tid,
-            agg_idx,
-            seen_k,
+            state,
             reclaim,
         }
     }
 
     /// The configuration this stack was built with.
     pub fn config(&self) -> &SecConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// The batching/elimination/combining instrumentation (Tables 1–3).
     pub fn stats(&self) -> &SecStats {
-        &self.stats
+        self.engine.stats()
     }
 
     /// Reclamation statistics (diagnostic). The recycle hit/miss/
     /// overflow counters are exact once every handle has dropped.
     pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
-        self.collector.stats()
+        self.engine.reclaim_stats()
     }
 
     /// Drives reclamation to completion (up to `rounds` epoch
@@ -173,16 +316,17 @@ impl<T: Send + 'static> SecStack<T> {
     /// dropped, a successful quiesce leaves `retired == freed +
     /// cached` — the leak identity the test battery asserts.
     pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
-        self.collector.quiesce(rounds)
+        self.engine.quiesce_reclamation(rounds)
     }
 
     /// Number of currently active aggregators.
     pub fn active_aggregators(&self) -> usize {
-        self.active.load(Ordering::Acquire)
+        self.engine.active_aggregators()
     }
 
     /// Forces the active aggregator count to `k` (clamped into the
-    /// policy's `[min_k, max_k]`; a no-op for [`AggregatorPolicy::Fixed`],
+    /// policy's `[min_k, max_k]`; a no-op for
+    /// [`AggregatorPolicy::Fixed`](crate::AggregatorPolicy::Fixed),
     /// whose bounds coincide). Returns the count now in force.
     ///
     /// This is the manual override behind the stress and
@@ -192,298 +336,16 @@ impl<T: Send + 'static> SecStack<T> {
     /// arms the same epoch fence. Each step of the change is recorded
     /// in the [`SecStats`] resize counters.
     pub fn set_active_aggregators(&self, k: usize) -> usize {
-        let k = k.clamp(self.config.policy.min_k(), self.config.policy.max_k());
-        // A blocking wait on the concurrent decider's `end_decision`:
-        // policy-aware, but never parked (decisions are a few loads —
-        // there is no waker registration on the monitor).
-        spin_wait(self.config.wait, || self.monitor.begin_decision());
-        let prev = self.active.swap(k, Ordering::AcqRel);
-        for _ in k..prev {
-            self.stats.record_shrink();
-        }
-        for _ in prev..k {
-            self.stats.record_grow();
-        }
-        if k != prev {
-            self.monitor.arm_fence(self.collector.global_epoch());
-        }
-        self.monitor.end_decision();
-        k
-    }
-
-    /// One elastic-resize attempt: called by the freezer whose batch
-    /// filled the decision window (DESIGN.md §8). Loses gracefully to a
-    /// concurrent decider, and holds while the epoch fence of the
-    /// previous transition is still up.
-    fn try_elastic_resize(&self) {
-        if !self.monitor.begin_decision() {
-            return;
-        }
-        let epoch = self.collector.global_epoch();
-        if self.monitor.fence_passed(epoch) {
-            let sample = self.monitor.take_window(self.stats.cas_failures_now());
-            let active = self.active.load(Ordering::Relaxed);
-            let (min_k, max_k) = (self.config.policy.min_k(), self.config.policy.max_k());
-            match elastic::decide(&sample, active, min_k, max_k, self.config.max_threads) {
-                // Hysteresis: act only when two consecutive windows
-                // vote the same way.
-                Some(dir) if self.monitor.confirm(dir) => {
-                    match dir {
-                        Direction::Grow => {
-                            self.active.store(active + 1, Ordering::Release);
-                            self.stats.record_grow();
-                        }
-                        Direction::Shrink => {
-                            self.active.store(active - 1, Ordering::Release);
-                            self.stats.record_shrink();
-                        }
-                    }
-                    self.monitor.clear_pending();
-                    self.monitor.arm_fence(epoch);
-                }
-                Some(_) => {}
-                None => self.monitor.clear_pending(),
-            }
-        }
-        self.monitor.end_decision();
-    }
-
-    // ------------------------------------------------------------------
-    // Freezing (paper lines 28–32)
-    // ------------------------------------------------------------------
-
-    /// `FreezeBatch`: snapshot both counters, install a fresh batch,
-    /// retire the frozen one.
-    fn freeze_batch(&self, agg: &Aggregator<T>, batch_ptr: *mut Batch<T>, guard: &Guard<'_, '_>) {
-        let batch = unsafe { &*batch_ptr };
-
-        // §3.1: the freezer backs off briefly so more operations join
-        // the batch, raising the elimination and combining degrees. The
-        // yields matter on oversubscribed hosts, where the joining
-        // threads need CPU time before the cut (see SecConfig).
-        for _ in 0..self.config.freezer_backoff {
-            core::hint::spin_loop();
-        }
-        for _ in 0..self.config.freezer_yields {
-            std::thread::yield_now();
-        }
-
-        // Lines 29–30: the snapshot order (pop first) matches the paper;
-        // any interleaved announcements simply land on one side of the
-        // cut or the other. The values are published to every waiter by
-        // the Release store of the batch pointer below.
-        let pops = batch.pop_count.load(Ordering::Acquire);
-        let pushes = batch.push_count.load(Ordering::Acquire);
-        batch.pop_at_freeze.store(pops, Ordering::Relaxed);
-        batch.push_at_freeze.store(pushes, Ordering::Relaxed);
-
-        self.stats.record_batch(pushes, pops);
-        // Elastic sharding: the same frozen snapshot feeds the
-        // contention monitor (§8 — measurement free-rides on the
-        // freeze).
-        let window_full = self.config.policy.is_adaptive()
-            && self
-                .monitor
-                .on_batch(pushes, pops, self.config.policy.window());
-
-        // Line 31: installing the new batch is the freeze's linearization
-        // aid — it simultaneously (a) signals spinning announcers that
-        // the `*_at_freeze` fields are valid (Release) and (b) directs
-        // new announcers to the fresh batch. The fresh batch reuses
-        // recycled batch/array blocks when the free lists have them.
-        let fresh = Batch::alloc_with(guard.handle(), self.batch_capacity);
-        agg.batch.store(fresh, Ordering::Release);
-        // Wake the frozen batch's registered swap-waiters: the Release
-        // store above published the cut, so the handshake's
-        // condition-before-notify contract holds (DESIGN.md §11).
-        agg.event.notify_key(batch_ptr as usize, self.stats.wait());
-
-        // The frozen batch is now unreachable for *new* pins; threads
-        // already inside it are pinned and keep it alive (§4 of the
-        // paper: "a batch is retired … "; we centralize retirement in
-        // the freezer, which is unique per batch — Observation B.1).
-        // Retired for recycling: once quiesced, its blocks feed the
-        // freezer's future `alloc_with` calls instead of the heap.
-        unsafe { Batch::retire_with(guard, batch_ptr) };
-
-        // The freezer that filled the decision window runs the resize
-        // decision — *after* publishing the fresh batch, so the
-        // announcers spinning on the batch pointer never wait through
-        // the decision work.
-        if window_full {
-            self.try_elastic_resize();
-        }
-    }
-
-    /// Announce-and-freeze prologue shared by push and pop
-    /// (lines 8–13 / 57–62). Returns once the batch is frozen.
-    #[inline]
-    fn freeze_or_wait(
-        &self,
-        agg: &Aggregator<T>,
-        batch_ptr: *mut Batch<T>,
-        my_seq: u64,
-        guard: &Guard<'_, '_>,
-    ) {
-        let batch = unsafe { &*batch_ptr };
-        if my_seq == 0 && !batch.freezer_decided.swap(true, Ordering::AcqRel) {
-            // We won the test&set among the (at most two) first
-            // announcers: play the freezer 𝑓_B.
-            self.freeze_batch(agg, batch_ptr, guard);
-        } else {
-            // Line 11/60: wait for the freezer to swap the batch
-            // pointer — parked (per the configured policy) on the
-            // aggregator's event queue; the freezer wakes us.
-            agg.event.wait_until(
-                batch_ptr as usize,
-                self.config.wait,
-                self.stats.wait(),
-                || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
-            );
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Push combining (paper lines 33–51)
-    // ------------------------------------------------------------------
-
-    /// `PushToStack`: build the substack of all non-eliminated pushes
-    /// and splice it onto the shared stack with one CAS.
-    fn push_to_stack(&self, batch: &Batch<T>, my_seq: usize) {
-        let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
-
-        // Line 36: our own node is the bottom of the substack (we are
-        // the surviving push with the smallest sequence number, hence
-        // LIFO-first, hence deepest).
-        let bot = batch.elim[my_seq].load(Ordering::Acquire);
-        debug_assert!(
-            !bot.is_null(),
-            "combiner published its node before freezing"
-        );
-
-        // Erratum fix (DESIGN.md §2.1): the chain grows from `bot`, not
-        // from null — otherwise single-push batches would install null
-        // and multi-push batches would orphan `bot`.
-        let mut top = bot;
-        for i in my_seq + 1..push_at_freeze {
-            // Line 38: the push with sequence number `i` belongs to the
-            // batch (i < pushCountAtFreeze), so it *will* publish its
-            // node; it may just not have gotten to line 7 yet.
-            let n = wait_ptr(&batch.elim[i], self.config.wait);
-            // Lines 41–42: link below the running top. Relaxed is
-            // enough: the successful CAS below releases the whole chain.
-            unsafe { (*n).next.store(top, Ordering::Relaxed) };
-            top = n;
-        }
-
-        // Lines 44–50: splice the substack in with a single CAS.
-        let mut backoff = Backoff::new();
-        loop {
-            let cur = self.top.load(Ordering::Acquire);
-            unsafe { (*bot).next.store(cur, Ordering::Relaxed) };
-            if self
-                .top
-                .compare_exchange(cur, top, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                return;
-            }
-            // Contention is only with other combiners (≤ one per live
-            // batch), so plain spinning suffices. The failure count is
-            // the contention monitor's cross-aggregator signal.
-            self.stats.record_cas_failure();
-            backoff.spin();
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Pop combining (paper lines 80–94)
-    // ------------------------------------------------------------------
-
-    /// `PopFromStack`: unlink one node per non-eliminated pop (up to the
-    /// stack's depth) with a single CAS, and publish the removed chain.
-    fn pop_from_stack(&self, batch: &Batch<T>, my_seq: usize) {
-        let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
-        // One node per non-eliminated pop. (Erratum fix, DESIGN.md §2.2:
-        // the paper's `while ++i < popCountAtFreeze` advances k−1 times.)
-        let wanted = pop_at_freeze - my_seq;
-
-        let mut backoff = Backoff::new();
-        loop {
-            let top = self.top.load(Ordering::Acquire);
-            let mut bot = top;
-            for _ in 0..wanted {
-                if bot.is_null() {
-                    break; // stack shallower than the batch: take it all
-                }
-                bot = unsafe { (*bot).next.load(Ordering::Acquire) };
-            }
-            if self
-                .top
-                .compare_exchange(top, bot, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                // Line 93: publish the unlinked chain; the Release store
-                // of `applied` (by our caller) orders it for waiters.
-                batch.substack_top.store(top, Ordering::Release);
-                return;
-            }
-            self.stats.record_cas_failure();
-            backoff.spin();
-        }
-    }
-
-    /// `GetValue` (lines 95–103): the pop at `offset` consumes the
-    /// `offset`-th unlinked node, or reports EMPTY if the stack ran out.
-    fn get_value(&self, batch: &Batch<T>, offset: usize, guard: &Guard<'_, '_>) -> Option<T> {
-        let mut cur = batch.substack_top.load(Ordering::Acquire);
-        for _ in 0..offset {
-            if cur.is_null() {
-                return None;
-            }
-            cur = unsafe { (*cur).next.load(Ordering::Acquire) };
-        }
-        if cur.is_null() {
-            return None;
-        }
-        // Safety: the combiner unlinked exactly `wanted` nodes and each
-        // offset is claimed by exactly one pop of this batch, so we are
-        // the unique consumer; every reader of this chain is pinned.
-        // The payload is out, so the husk recycles.
-        let value = unsafe { Node::take_value(cur) };
-        unsafe { guard.retire_recycle(cur) };
-        Some(value)
-    }
-}
-
-impl<T: Send + 'static> Drop for SecStack<T> {
-    fn drop(&mut self) {
-        // No handles exist (they borrow `self`), so everything is
-        // quiescent. Free (a) the remaining shared-stack nodes together
-        // with their payloads and (b) each aggregator's current (virgin)
-        // batch. Retired nodes/batches are freed by the collector's own
-        // drop, with payload-less drops — their values were consumed.
-        let mut cur = self.top.load(Ordering::Relaxed);
-        while !cur.is_null() {
-            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
-            unsafe { Node::drop_in_place_with_value(cur) };
-            cur = next;
-        }
-        for agg in self.aggs.iter() {
-            let b = agg.batch.load(Ordering::Relaxed);
-            if !b.is_null() {
-                drop(unsafe { Box::from_raw(b) });
-            }
-        }
+        self.engine.set_active_aggregators(k)
     }
 }
 
 impl<T: Send + 'static> fmt::Debug for SecStack<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecStack")
-            .field("config", &self.config)
+            .field("config", self.config())
             .field("active_aggregators", &self.active_aggregators())
-            .field("stats", &self.stats.report())
+            .field("stats", &self.stats().report())
             .finish()
     }
 }
@@ -506,169 +368,49 @@ impl<T: Send + 'static> ConcurrentStack<T> for SecStack<T> {
 /// A thread's handle to a [`SecStack`].
 pub struct SecHandle<'a, T: Send + 'static> {
     stack: &'a SecStack<T>,
-    /// Dense thread id (== the reclamation slot, cached for the
-    /// re-mapping check on every operation).
-    tid: usize,
-    agg_idx: usize,
-    /// Active aggregator count `agg_idx` was computed against; a
-    /// mismatch against the stack's current count triggers a re-map.
-    seen_k: usize,
+    /// Announcement-mapping state (dense tid, `seen_k`, aggregator
+    /// index) — the engine re-maps it lazily on elastic resizes.
+    state: OpState,
     reclaim: ReclaimHandle<'a>,
 }
 
 impl<'a, T: Send + 'static> SecHandle<'a, T> {
     /// This thread's id (dense, `0..max_threads`).
     pub fn tid(&self) -> usize {
-        self.tid
+        self.state.tid()
     }
 
     /// The aggregator this thread last announced to (under an adaptive
     /// policy the assignment moves with the active count).
     pub fn aggregator(&self) -> usize {
-        self.agg_idx
-    }
-
-    /// The aggregator for this thread under the *current* active count,
-    /// re-mapping lazily when the count changed since the last look.
-    /// One shared (rarely-written, cache-padded) load per call; the
-    /// re-map itself is a pure index computation.
-    #[inline]
-    fn current_agg(&mut self) -> &'a Aggregator<T> {
-        let stack = self.stack;
-        let k = stack.active.load(Ordering::Acquire);
-        if k != self.seen_k {
-            self.seen_k = k;
-            self.agg_idx = stack.config.aggregator_for(self.tid, k);
-        }
-        &stack.aggs[self.agg_idx]
+        self.state.aggregator()
     }
 
     /// Algorithm 1. Returns when the push is linearized.
     pub fn push(&mut self, value: T) {
         // Line 3: one node per push, reused across batch retries —
         // popped off this thread's recycle cache before touching the
-        // heap (DESIGN.md §10).
+        // heap (DESIGN.md §10). Lines 4–26 are the engine's driver.
         let node = Node::alloc_with(&self.reclaim, value);
-
-        // Lines 4–26.
-        loop {
-            // Re-read the mapping each attempt: an excluded retry after
-            // an elastic re-mapping must land on the thread's *new*
-            // aggregator, or a retired one would keep receiving work.
-            let agg: &Aggregator<T> = self.current_agg();
-            let guard = self.reclaim.pin();
-            // Line 5.
-            let batch_ptr = agg.batch.load(Ordering::Acquire);
-            let batch = unsafe { &*batch_ptr };
-            // Line 6: announce. AcqRel: the freezer's counter read and
-            // our increment are ordered; the value is our sequence num.
-            let my_seq = batch.push_count.fetch_add(1, Ordering::AcqRel) as usize;
-            assert!(
-                my_seq < batch.elim.len(),
-                "SEC invariant violated: more announcements ({}) than the \
-                 aggregator capacity ({}) — was the stack shared by more \
-                 threads than SecConfig::max_threads?",
-                my_seq + 1,
-                batch.elim.len()
-            );
-            // Line 7: publish the node *before* anything else, so
-            // neither an eliminating pop nor the combiner waits on us
-            // longer than necessary (§3.1).
-            batch.elim[my_seq].store(node, Ordering::Release);
-
-            // Lines 8–13.
-            self.stack
-                .freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
-
-            // Line 14: inclusion test.
-            let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
-            if my_seq < push_at_freeze {
-                let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
-                // Line 15: elimination test — if a pop with our sequence
-                // number belongs to the batch, it consumes our node and
-                // we are done the moment the batch froze.
-                if my_seq >= pop_at_freeze {
-                    // Line 16: combiner test.
-                    if my_seq == pop_at_freeze {
-                        self.stack.push_to_stack(batch, my_seq);
-                        // Line 18 — and wake the batch's waiters.
-                        mark_applied(agg, batch, batch_ptr, self.stack.stats.wait());
-                    } else {
-                        // Line 20: parked wait for the combiner.
-                        wait_applied(
-                            agg,
-                            batch,
-                            batch_ptr,
-                            self.stack.config.wait,
-                            self.stack.stats.wait(),
-                        );
-                    }
-                }
-                // Line 24.
-                return;
-            }
-            // Excluded (announced after the freeze): retry in a newer
-            // batch; our node is still exclusively ours.
-        }
+        self.stack.engine.run(
+            Lane::Mapped(&mut self.state),
+            Role::Add,
+            node,
+            &self.reclaim,
+        );
     }
 
     /// Algorithm 2. Returns the popped value, or `None` for EMPTY.
     pub fn pop(&mut self) -> Option<T> {
-        // Lines 54–78.
-        loop {
-            let agg: &Aggregator<T> = self.current_agg();
-            let guard = self.reclaim.pin();
-            // Line 55.
-            let batch_ptr = agg.batch.load(Ordering::Acquire);
-            let batch = unsafe { &*batch_ptr };
-            // Line 56: announce.
-            let my_seq = batch.pop_count.fetch_add(1, Ordering::AcqRel) as usize;
-            assert!(
-                my_seq < batch.elim.len(),
-                "SEC invariant violated: more announcements than capacity"
-            );
-
-            // Lines 57–62.
-            self.stack
-                .freeze_or_wait(agg, batch_ptr, my_seq as u64, &guard);
-
-            // Line 63: inclusion test.
-            let pop_at_freeze = batch.pop_at_freeze.load(Ordering::Acquire) as usize;
-            if my_seq < pop_at_freeze {
-                let push_at_freeze = batch.push_at_freeze.load(Ordering::Acquire) as usize;
-                // Line 64: elimination test — the push with our sequence
-                // number belongs to the batch; take its value.
-                if my_seq < push_at_freeze {
-                    // Lines 65–67: the partner publishes its node right
-                    // after announcing; wait for the slot.
-                    let n = wait_ptr(&batch.elim[my_seq], self.stack.config.wait);
-                    // Safety: pushes and pops pair off by sequence
-                    // number, so we are this node's unique consumer;
-                    // payload out, husk recycles.
-                    let value = unsafe { Node::take_value(n) };
-                    unsafe { guard.retire_recycle(n) };
-                    return Some(value);
-                }
-                // Line 69: combiner test.
-                if my_seq == push_at_freeze {
-                    self.stack.pop_from_stack(batch, my_seq);
-                    // Line 71 — and wake the batch's waiters.
-                    mark_applied(agg, batch, batch_ptr, self.stack.stats.wait());
-                } else {
-                    // Line 73: parked wait for the combiner.
-                    wait_applied(
-                        agg,
-                        batch,
-                        batch_ptr,
-                        self.stack.config.wait,
-                        self.stack.stats.wait(),
-                    );
-                }
-                // Line 76.
-                return self.stack.get_value(batch, my_seq - push_at_freeze, &guard);
-            }
-            // Excluded: retry in a newer batch.
-        }
+        // Lines 54–78 are the engine's driver; elimination, the
+        // combiner's unlink and `GetValue` come back through the
+        // stack's `CombineOp` hooks.
+        self.stack.engine.run(
+            Lane::Mapped(&mut self.state),
+            Role::Remove,
+            ptr::null_mut(),
+            &self.reclaim,
+        )
     }
 
     /// Peek (§3.2: "simply a read of stackTop, similar to the Treiber
@@ -678,7 +420,7 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
         T: Clone,
     {
         let _guard = self.reclaim.pin();
-        let top = self.stack.top.load(Ordering::Acquire);
+        let top = self.stack.engine.op().top.load(Ordering::Acquire);
         if top.is_null() {
             None
         } else {
@@ -713,7 +455,7 @@ impl<T: Send + 'static> fmt::Debug for SecHandle<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecHandle")
             .field("tid", &self.tid())
-            .field("aggregator", &self.agg_idx)
+            .field("aggregator", &self.aggregator())
             .finish()
     }
 }

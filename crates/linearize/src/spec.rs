@@ -224,6 +224,44 @@ pub mod queue {
     }
 }
 
+/// The fetch-and-add counter sequential specification (for
+/// `SecCounter`-style tests): `fetch_add(n)` must observe exactly the
+/// sum of the operands linearized before it.
+pub mod counter {
+    use super::SeqSpec;
+
+    /// A counter operation with its observed result.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub enum CounterOp {
+        /// `fetch_add(operand)` and the pre-add value it observed.
+        FetchAdd {
+            /// The amount added.
+            operand: u64,
+            /// The counter value returned (value *before* the add).
+            observed: u64,
+        },
+        /// `load()` and its result.
+        Load(u64),
+    }
+
+    /// Marker type implementing [`SeqSpec`] for a `u64` counter.
+    pub struct CounterSpec;
+
+    impl SeqSpec for CounterSpec {
+        type Op = CounterOp;
+        type State = u64;
+
+        fn apply(state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+            match op {
+                CounterOp::FetchAdd { operand, observed } => {
+                    (observed == state).then(|| state.wrapping_add(*operand))
+                }
+                CounterOp::Load(observed) => (observed == state).then_some(*state),
+            }
+        }
+    }
+}
+
 /// The pool (unordered bag) sequential specification — the weakest
 /// correctness contract `SecPool` must satisfy: `get` returns *some*
 /// previously-put value (each value exactly once), or `None` only when
@@ -277,6 +315,7 @@ pub mod pool {
 
 #[cfg(test)]
 mod tests {
+    use super::counter::{CounterOp, CounterSpec};
     use super::deque::{DequeOp, DequeSpec};
     use super::pool::{PoolOp, PoolSpec};
     use super::queue::{QueueOp, QueueSpec};
@@ -450,6 +489,45 @@ mod tests {
             t(PoolOp::Get(None), 8, 9),
         ];
         assert!(check_generic::<PoolSpec<u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn counter_observes_prefix_sums() {
+        let fa = |operand, observed, i, r| t(CounterOp::FetchAdd { operand, observed }, i, r);
+        let ok = vec![
+            fa(3, 0, 0, 1),
+            fa(5, 3, 2, 3),
+            t(CounterOp::Load(8), 4, 5),
+            fa(1, 8, 6, 7),
+        ];
+        assert!(check_generic::<CounterSpec>(&ok).is_ok());
+
+        // A completed fetch_add must be visible to a later one.
+        let stale = vec![fa(3, 0, 0, 1), fa(5, 0, 2, 3)];
+        assert_eq!(
+            check_generic::<CounterSpec>(&stale),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn concurrent_fetch_adds_may_order_either_way() {
+        let fa = |operand, observed, i, r| t(CounterOp::FetchAdd { operand, observed }, i, r);
+        // Overlapping adds: either could have gone first, but their
+        // observed values must form a chain.
+        let h = vec![
+            fa(2, 5, 0, 10),
+            fa(5, 0, 0, 10),
+            t(CounterOp::Load(7), 11, 12),
+        ];
+        assert!(check_generic::<CounterSpec>(&h).is_ok());
+
+        // Both observing 0 is impossible.
+        let clash = vec![fa(2, 0, 0, 10), fa(5, 0, 0, 10)];
+        assert_eq!(
+            check_generic::<CounterSpec>(&clash),
+            Err(Violation::NotLinearizable)
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`ext::SecQueue`] — the FIFO queue built from the same mechanisms
 //!   (per-end batches, single-CAS splice/unlink, empty-only
 //!   elimination; DESIGN.md §9),
+//! * [`ext::SecCounter`] — the combining fetch-add counter, the
+//!   minimal instantiation of the generic combining engine every
+//!   SEC-family structure runs on (DESIGN.md §12),
 //! * [`baselines`] — the five competitor stacks from the evaluation
 //!   (Treiber, elimination-backoff, flat-combining, CC-Synch,
 //!   timestamped-interval) plus the queue baselines (Michael–Scott,
@@ -58,10 +61,12 @@ pub mod elastic {
     pub use sec_core::sec::elastic::{decide, ContentionMonitor, Direction, WindowSample};
 }
 
-/// Extensions built from the paper's mechanisms (DESIGN.md §7 and §9):
-/// a sharded pool, a deque with per-end elimination + combining, and
-/// the batched-combining FIFO queue.
+/// Extensions built from the paper's mechanisms (DESIGN.md §7, §9 and
+/// §12): a sharded pool, a deque with per-end elimination + combining,
+/// the batched-combining FIFO queue, and the combining fetch-add
+/// counter that exercises the generic engine seam.
 pub mod ext {
+    pub use sec_core::counter::{SecCounter, SecCounterHandle};
     pub use sec_core::deque::{DequeHandle, End, SecDeque};
     pub use sec_core::pool::{PoolHandle, SecPool};
     pub use sec_core::queue::{SecQueue, SecQueueHandle};

@@ -1,7 +1,8 @@
 //! Integration: value conservation under concurrency — for all six
 //! stacks (every pushed value is popped exactly once, run + drain, none
-//! invented, none lost) and for the queue family (the same contract
-//! over enqueue/dequeue).
+//! invented, none lost), for the queue family (the same contract over
+//! enqueue/dequeue), and for the combining counter (observed pre-values
+//! must form the exact prefix-sum chain of the operands).
 
 mod common;
 
@@ -215,6 +216,76 @@ fn all_queues_agree_on_emptiness_and_fifo() {
         assert_eq!(h.dequeue(), Some(2), "[{name}] FIFO order");
         assert_eq!(h.dequeue(), None, "[{name}] drained queue dequeues EMPTY");
     });
+}
+
+/// Counter conservation, exact form: with every operand ≥ 1 the
+/// pre-values observed by `fetch_add` are unique, and sorting them
+/// must reproduce the full prefix-sum chain of the operands — nothing
+/// double-counted, nothing dropped, one linearization order for all.
+fn counter_conservation(counter: &sec_repro::ext::SecCounter, threads: usize, per: usize) {
+    let observed: Vec<Vec<(u64, u64)>> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let counter = &counter;
+                scope.spawn(move || {
+                    let mut h = counter.register();
+                    (0..per)
+                        .map(|i| {
+                            let operand = 1 + ((t * per + i) % 9) as u64;
+                            (h.fetch_add(operand), operand)
+                        })
+                        .collect()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+
+    let mut pairs: Vec<(u64, u64)> = observed.into_iter().flatten().collect();
+    pairs.sort_unstable();
+    let mut expect = 0u64;
+    for (observed, operand) in pairs {
+        assert_eq!(
+            observed, expect,
+            "observed pre-value breaks the prefix-sum chain"
+        );
+        expect += operand;
+    }
+    assert_eq!(
+        counter.load(),
+        expect,
+        "final value must equal the chain sum"
+    );
+    assert_eq!(
+        counter.stats().report().eliminated,
+        0,
+        "homogeneous family never eliminates"
+    );
+}
+
+#[test]
+fn counter_conserves_the_prefix_sum_chain_4_threads() {
+    let counter = sec_repro::ext::SecCounter::new(4);
+    counter_conservation(&counter, 4, 1_500);
+}
+
+#[test]
+fn counter_conserves_the_prefix_sum_chain_oversubscribed() {
+    // More threads than this host has cores, under the elastic policy:
+    // the engine's parking and re-mapping paths both run hot.
+    use sec_repro::{AggregatorPolicy, SecConfig, WaitPolicy};
+    let counter = sec_repro::ext::SecCounter::with_config(
+        SecConfig::new(1, 12)
+            .aggregator_policy(AggregatorPolicy::Adaptive {
+                min_k: 1,
+                max_k: 4,
+                window: 64,
+            })
+            .wait_policy(WaitPolicy::spin_then_park()),
+    );
+    counter_conservation(&counter, 12, 400);
 }
 
 #[test]

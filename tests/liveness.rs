@@ -184,6 +184,47 @@ fn extensions_share_the_liveness_properties() {
 }
 
 #[test]
+fn lone_thread_counter_completes_unaided() {
+    use sec_repro::ext::SecCounter;
+    // The homogeneous engine instantiation: one thread must become
+    // freezer and combiner of every batch it opens, with the add lane
+    // permanently empty — the pure-engine liveness path.
+    within_secs(30, "lone counter thread", || {
+        let counter = SecCounter::new(8);
+        let mut h = counter.register();
+        for i in 0..20_000 {
+            assert_eq!(h.increment(), i);
+        }
+        assert_eq!(counter.load(), 20_000);
+    });
+}
+
+#[test]
+fn counter_completes_fixed_work_oversubscribed() {
+    // 4× the host's hardware threads through one counter: the engine's
+    // freeze wait and publish wait must degrade to yields/parking for
+    // this to finish, with no family-specific code to help.
+    let threads = 4 * std::thread::available_parallelism().map_or(1, |n| n.get());
+    let counter = sec_repro::ext::SecCounter::with_config(
+        SecConfig::new(2, threads).wait_policy(sec_repro::WaitPolicy::spin_then_park()),
+    );
+    within_secs(60, "oversubscribed counter", || {
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = &counter;
+                scope.spawn(move || {
+                    let mut h = counter.register();
+                    for _ in 0..300 {
+                        h.increment();
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(counter.load(), (threads * 300) as u64);
+}
+
+#[test]
 fn lone_thread_queue_completes_unaided() {
     use sec_repro::ext::SecQueue;
     // One thread is freezer and combiner of every batch it opens, on

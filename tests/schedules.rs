@@ -22,20 +22,21 @@
 //! preemption (yield points) and where the aggregator set is resized,
 //! which is exactly the surface elastic sharding added.
 //!
-//! All four families are derived here — stack, queue, deque and pool
-//! schedules, each checked against its sequential spec — and every
-//! schedule additionally draws a **recycling policy** (off, tiny
+//! All five families are derived here — stack, queue, deque, pool and
+//! counter schedules, each checked against its sequential spec — and
+//! every schedule additionally draws a **recycling policy** (off, tiny
 //! overflowing cache, default), so node reuse across epochs
 //! (DESIGN.md §10) is exercised under the same permuted interleavings
 //! as everything else.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sec_linearize::spec::counter::{CounterOp, CounterSpec};
 use sec_linearize::spec::deque::{DequeOp, DequeSpec};
 use sec_linearize::spec::pool::{PoolOp, PoolSpec};
 use sec_linearize::spec::queue::{QueueOp, QueueSpec};
 use sec_linearize::spec::{check_generic, TimedOp};
-use sec_repro::ext::{SecDeque, SecPool, SecQueue};
+use sec_repro::ext::{SecCounter, SecDeque, SecPool, SecQueue};
 use sec_repro::linearize::{check_conservation, check_history, Event, Op, Recorder};
 use sec_repro::{RecyclePolicy, SecConfig, SecStack};
 use std::sync::Mutex;
@@ -1043,6 +1044,289 @@ fn identical_seeds_derive_identical_pool_schedules() {
     let b = PoolSchedule::derive(0xD15EA5E, true);
     assert_eq!(a.recycle, b.recycle);
     assert_eq!(a.shards, b.shards);
+    assert_eq!(format!("{:?}", a.scripts), format!("{:?}", b.scripts));
+}
+
+// ----------------------------------------------------------------------
+// Counter schedules: the same seed-derived harness over `SecCounter`,
+// the homogeneous engine instantiation (DESIGN.md §12). The protocol
+// surface under permutation is pure engine — announcement, freezer
+// election, combining, publish, elastic re-mapping — with zero
+// family-specific structure, so a counter failure localizes a bug to
+// `crates/core/src/combine` directly.
+// ----------------------------------------------------------------------
+
+/// One step of a counter thread's script.
+#[derive(Debug, Clone, Copy)]
+enum CounterAction {
+    /// `fetch_add(operand)`; operands stay ≥ 1 so observed pre-values
+    /// are unique and the chain check below is exact.
+    FetchAdd(u64),
+    Load,
+    /// Offer preemption `n` times before the next step.
+    Yield(u8),
+    /// Force the active aggregator count to `k` (no-op under Fixed).
+    Resize(usize),
+}
+
+/// A seed-derived counter schedule.
+#[derive(Debug)]
+struct CounterSchedule {
+    mode: Mode,
+    recycle: RecyclePolicy,
+    scripts: Vec<Vec<CounterAction>>,
+}
+
+impl CounterSchedule {
+    fn derive(seed: u64, small: bool) -> Self {
+        // Distinct stream from the other families' schedules.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0000_C047_5EC0_0ADD);
+        let threads = if small {
+            2 + rng.gen_range(0..2) as usize
+        } else {
+            4 + rng.gen_range(0..4) as usize
+        };
+        let ops_per_thread = if small {
+            5 + rng.gen_range(0..4) as usize
+        } else {
+            150 + rng.gen_range(0..250) as usize
+        };
+        let mode = match rng.gen_range(0..4) {
+            0 => Mode::Fixed(1 + rng.gen_range(0..3) as usize),
+            _ => {
+                let min_k = 1 + rng.gen_range(0..2) as usize;
+                let max_k = min_k + 1 + rng.gen_range(0..3) as usize;
+                Mode::Adaptive { min_k, max_k }
+            }
+        };
+        let recycle = derive_recycle(&mut rng);
+        let (min_k, max_k) = match mode {
+            Mode::Fixed(k) => (k, k),
+            Mode::Adaptive { min_k, max_k } => (min_k, max_k),
+        };
+        let scripts = (0..threads)
+            .map(|t| {
+                let mut script = Vec::new();
+                for i in 0..ops_per_thread {
+                    if rng.gen_range(0..3) == 0 {
+                        script.push(CounterAction::Yield(1 + rng.gen_range(0..3) as u8));
+                    }
+                    if max_k > min_k {
+                        if rng.gen_range(0..8) == 0 {
+                            let span = (max_k - min_k + 1) as u32;
+                            script.push(CounterAction::Resize(
+                                min_k + rng.gen_range(0..span) as usize,
+                            ));
+                        }
+                        if t == 0 && i == ops_per_thread / 2 {
+                            script.push(CounterAction::Resize(max_k));
+                            script.push(CounterAction::Resize(min_k));
+                        }
+                    }
+                    script.push(match rng.gen_range(0..4) {
+                        0..=2 => CounterAction::FetchAdd(1 + rng.gen_range(0..7u64)),
+                        _ => CounterAction::Load,
+                    });
+                }
+                script
+            })
+            .collect();
+        CounterSchedule {
+            mode,
+            recycle,
+            scripts,
+        }
+    }
+
+    fn config(&self) -> SecConfig {
+        let max_threads = self.scripts.len();
+        let base = match self.mode {
+            Mode::Fixed(k) => SecConfig::new(k, max_threads),
+            Mode::Adaptive { min_k, max_k } => {
+                SecConfig::adaptive_windowed(min_k, max_k, 32, max_threads)
+            }
+        };
+        base.recycle(self.recycle)
+    }
+}
+
+/// Runs a counter schedule, returning the history and the final value.
+fn run_counter_schedule(s: &CounterSchedule) -> (Vec<TimedOp<CounterOp>>, u64) {
+    let counter = SecCounter::with_config(s.config());
+    let rec = Recorder::new();
+    let events: Mutex<Vec<TimedOp<CounterOp>>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for script in &s.scripts {
+            let counter = &counter;
+            let rec = &rec;
+            let events = &events;
+            scope.spawn(move || {
+                let mut h = counter.register();
+                let mut local = Vec::new();
+                for action in script {
+                    match *action {
+                        CounterAction::Yield(n) => {
+                            for _ in 0..n {
+                                thread::yield_now();
+                            }
+                            continue;
+                        }
+                        CounterAction::Resize(k) => {
+                            counter.set_active_aggregators(k);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    let invoke = rec.now();
+                    let op = match *action {
+                        CounterAction::FetchAdd(n) => CounterOp::FetchAdd {
+                            operand: n,
+                            observed: h.fetch_add(n),
+                        },
+                        CounterAction::Load => CounterOp::Load(h.load()),
+                        _ => unreachable!(),
+                    };
+                    let response = rec.now();
+                    local.push(TimedOp {
+                        op,
+                        invoke,
+                        response,
+                    });
+                }
+                events.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let active = counter.active_aggregators();
+    let (min_k, max_k) = match s.mode {
+        Mode::Fixed(k) => (k, k),
+        Mode::Adaptive { min_k, max_k } => (min_k, max_k),
+    };
+    assert!(
+        (min_k..=max_k).contains(&active),
+        "final active {active} escaped [{min_k}, {max_k}]"
+    );
+    assert_eq!(
+        counter.stats().report().eliminated,
+        0,
+        "homogeneous family never eliminates"
+    );
+    (events.into_inner().unwrap(), counter.load())
+}
+
+/// Linear-time exactness pass over a counter history: with all
+/// operands ≥ 1 the observed pre-values are unique, and sorting the
+/// fetch_adds by observed value must reproduce the *entire* prefix-sum
+/// chain — `0, o₀, o₀+o₁, …` up to the final total. Every load must
+/// have seen a value on that chain. This is the complete fetch_add
+/// value contract (only real-time order is left to Wing–Gong).
+fn check_counter_chain(history: &[TimedOp<CounterOp>], total: u64) -> Result<(), String> {
+    let mut adds: Vec<(u64, u64)> = Vec::new(); // (observed, operand)
+    let mut loads: Vec<u64> = Vec::new();
+    for e in history {
+        match e.op {
+            CounterOp::FetchAdd { operand, observed } => adds.push((observed, operand)),
+            CounterOp::Load(v) => loads.push(v),
+        }
+    }
+    adds.sort_unstable();
+    let mut expect = 0u64;
+    let mut chain: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    chain.insert(0);
+    for &(observed, operand) in &adds {
+        if observed != expect {
+            return Err(format!(
+                "observed pre-value {observed} breaks the chain (expected {expect})"
+            ));
+        }
+        expect += operand;
+        chain.insert(expect);
+    }
+    if expect != total {
+        return Err(format!(
+            "chain sums to {expect} but the counter reads {total}"
+        ));
+    }
+    for v in loads {
+        if !chain.contains(&v) {
+            return Err(format!(
+                "load observed {v}, which is on no prefix of the chain"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn small_counter_schedules_are_linearizable() {
+    let mut saw_fixed = false;
+    let mut saw_adaptive = false;
+    let mut saw_recycle_on = false;
+    let mut saw_recycle_off = false;
+    let seeds = sweep_seeds(24);
+    let full_sweep = coverage_asserts_apply(seeds.len());
+    for seed in seeds {
+        let schedule = CounterSchedule::derive(seed, true);
+        match schedule.mode {
+            Mode::Fixed(_) => saw_fixed = true,
+            Mode::Adaptive { .. } => saw_adaptive = true,
+        }
+        if schedule.recycle.is_on() {
+            saw_recycle_on = true;
+        } else {
+            saw_recycle_off = true;
+        }
+        let (history, total) = run_counter_schedule(&schedule);
+        check_counter_chain(&history, total).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} ({:?}): counter chain violated: {e}\n{}",
+                schedule.mode,
+                replay_hint(seed)
+            )
+        });
+        check_generic::<CounterSpec>(&history).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} ({:?}): counter history not linearizable: {e}\n{}\n{history:#?}",
+                schedule.mode,
+                replay_hint(seed)
+            )
+        });
+    }
+    if full_sweep {
+        assert!(saw_fixed, "counter sweep never generated a Fixed schedule");
+        assert!(
+            saw_adaptive,
+            "counter sweep never generated an Adaptive schedule"
+        );
+        assert!(
+            saw_recycle_on && saw_recycle_off,
+            "counter sweep must cover recycling both on and off"
+        );
+    }
+}
+
+#[test]
+fn large_counter_schedules_keep_the_exact_chain() {
+    for seed in sweep_seeds(6) {
+        let schedule = CounterSchedule::derive(seed, false);
+        let (history, total) = run_counter_schedule(&schedule);
+        check_counter_chain(&history, total).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: counter chain violated: {e}\n{}",
+                replay_hint(seed)
+            )
+        });
+    }
+}
+
+#[test]
+fn identical_seeds_derive_identical_counter_schedules() {
+    let a = CounterSchedule::derive(0xD15EA5E, true);
+    let b = CounterSchedule::derive(0xD15EA5E, true);
+    assert_eq!(a.mode, b.mode);
+    assert_eq!(a.recycle, b.recycle);
     assert_eq!(format!("{:?}", a.scripts), format!("{:?}", b.scripts));
 }
 
