@@ -28,10 +28,19 @@
 //! | [`MsQueue`] (**MS**) | lock-free dummy-node linked list | Michael & Scott PODC '96 |
 //! | [`LockedQueue`] (**LCK-Q**) | `Mutex<VecDeque<T>>` | the sanity floor |
 //!
+//! The map family (`SecMap`'s competitor, sharing the
+//! [`ConcurrentMap`]/[`MapHandle`] interface):
+//!
+//! | name | type | source |
+//! |------|------|--------|
+//! | [`LockedHashMap`] (**LCK-M**) | `Mutex<HashMap<K, V>>` | the sanity floor |
+//!
 //! [`ConcurrentStack`]: sec_core::ConcurrentStack
 //! [`StackHandle`]: sec_core::StackHandle
 //! [`ConcurrentQueue`]: sec_core::ConcurrentQueue
 //! [`QueueHandle`]: sec_core::QueueHandle
+//! [`ConcurrentMap`]: sec_core::ConcurrentMap
+//! [`MapHandle`]: sec_core::MapHandle
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -49,7 +58,9 @@ pub mod tsi;
 pub use ccsynch::{CcHandle, CcStack};
 pub use eb::{EbHandle, EbStack};
 pub use fc::{FcHandle, FcStack};
-pub use locked::{LockedHandle, LockedQueue, LockedQueueHandle, LockedStack};
+pub use locked::{
+    LockedHandle, LockedHashMap, LockedHashMapHandle, LockedQueue, LockedQueueHandle, LockedStack,
+};
 pub use ms::{MsHandle, MsQueue};
 pub use seq::SeqStack;
 pub use treiber::{TreiberHandle, TreiberStack};

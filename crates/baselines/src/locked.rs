@@ -208,10 +208,117 @@ impl<T> sec_core::QueueHandle<T> for LockedQueueHandle<'_, T> {
     }
 }
 
+/// A `Mutex<HashMap<K, V>>` keyed map (**LCK-M**): the map family's
+/// sanity floor — the obvious thing a downstream user would write,
+/// against which SecMap's per-shard batching must justify itself. One
+/// global lock means every operation serializes, whatever the key
+/// distribution; SecMap's claim is precisely that hot-key traffic
+/// batches instead.
+///
+/// # Examples
+///
+/// ```
+/// use sec_baselines::LockedHashMap;
+/// use sec_core::{ConcurrentMap, MapHandle};
+///
+/// let m: LockedHashMap<u32, u32> = LockedHashMap::new(2);
+/// let mut h = m.register();
+/// assert_eq!(h.insert(1, 10), None);
+/// assert_eq!(h.get(&1), Some(10));
+/// assert_eq!(h.remove(&1), Some(10));
+/// ```
+pub struct LockedHashMap<K, V> {
+    items: Mutex<std::collections::HashMap<K, V>>,
+}
+
+impl<K: std::hash::Hash + Eq, V> LockedHashMap<K, V> {
+    /// Creates a map. `max_threads` is accepted for interface symmetry
+    /// with [`SecMap`](sec_core::SecMap); a lock needs no per-thread
+    /// state.
+    pub fn new(max_threads: usize) -> Self {
+        let _ = max_threads;
+        Self {
+            items: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> LockedHashMapHandle<'_, K, V> {
+        LockedHashMapHandle { map: self }
+    }
+
+    /// Current number of key-value pairs (takes the lock).
+    pub fn len(&self) -> usize {
+        self.items.lock().unwrap().len()
+    }
+
+    /// `true` when the map holds no pairs (takes the lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: std::hash::Hash + Eq, V> fmt::Debug for LockedHashMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedHashMap")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<K: std::hash::Hash + Eq, V> Default for LockedHashMap<K, V> {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl<K, V> sec_core::ConcurrentMap<K, V> for LockedHashMap<K, V>
+where
+    K: std::hash::Hash + Eq + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    type Handle<'a>
+        = LockedHashMapHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn register(&self) -> LockedHashMapHandle<'_, K, V> {
+        LockedHashMap::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "LCK-M"
+    }
+}
+
+/// Per-thread handle to a [`LockedHashMap`] (stateless; exists to
+/// satisfy the shared interface).
+pub struct LockedHashMapHandle<'a, K, V> {
+    map: &'a LockedHashMap<K, V>,
+}
+
+impl<K, V> sec_core::MapHandle<K, V> for LockedHashMapHandle<'_, K, V>
+where
+    K: std::hash::Hash + Eq,
+    V: Clone,
+{
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.map.items.lock().unwrap().get(key).cloned()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.map.items.lock().unwrap().insert(key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.items.lock().unwrap().remove(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sec_core::{ConcurrentQueue as _, QueueHandle as _};
+    use sec_core::{ConcurrentMap as _, ConcurrentQueue as _, MapHandle as _, QueueHandle as _};
     use std::collections::HashSet;
     use std::thread;
 
@@ -268,6 +375,44 @@ mod tests {
             assert!(seen.insert(v));
         }
         assert_eq!(seen.len(), THREADS * PER);
+    }
+
+    #[test]
+    fn locked_map_sequential_contract() {
+        let m: LockedHashMap<u32, String> = LockedHashMap::new(1);
+        let mut h = m.register();
+        assert_eq!(h.get(&1), None);
+        assert_eq!(h.insert(1, "a".into()), None);
+        assert_eq!(h.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(h.get(&1), Some("b".into()));
+        assert_eq!(h.remove(&1), Some("b".into()));
+        assert_eq!(h.remove(&1), None);
+        assert!(m.is_empty());
+        assert_eq!(m.name(), "LCK-M");
+    }
+
+    #[test]
+    fn locked_map_concurrent_accounting() {
+        const THREADS: usize = 4;
+        const PER: usize = 1_000;
+        let m: LockedHashMap<usize, usize> = LockedHashMap::new(THREADS);
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut h = m.register();
+                    for i in 0..PER {
+                        let k = t * PER + i;
+                        assert_eq!(h.insert(k, k + 1), None);
+                    }
+                    for i in 0..PER {
+                        let k = t * PER + i;
+                        assert_eq!(h.remove(&k), Some(k + 1));
+                    }
+                });
+            }
+        });
+        assert!(m.is_empty());
     }
 
     #[test]

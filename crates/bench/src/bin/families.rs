@@ -1,0 +1,81 @@
+//! The whole SEC family on one axis: the stack (fixed and adaptive K),
+//! the queue, the fetch-add counter and the hash map, all running on
+//! the same generic combining engine (DESIGN.md §12), swept across the
+//! standard thread counts under their update-heavy workloads.
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin families
+//! cargo run -p sec-bench --release --bin families -- --duration-ms 5000 --runs 5
+//! ```
+//!
+//! Absolute throughputs are not comparable across rows — a counter op
+//! is a dozen instructions, a map op hashes and walks a bucket — but
+//! the *scaling shape* is: every family inherits the same batching,
+//! waiting and recycling machinery, so they should degrade the same
+//! way as threads exceed cores. Each family's batching degree rides
+//! along as an unplotted CSV column, the accounting view of the same
+//! claim. Writes `results/families.csv`.
+
+use sec_bench::BenchOpts;
+use sec_workload::stats::Summary;
+use sec_workload::table::Figure;
+use sec_workload::{run_algo, Mix, RunConfig, SEC_FAMILIES};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!(
+        "{}",
+        opts.banner("SEC families: stack, adaptive stack, queue, counter, map")
+    );
+    let sweep = opts.sweep();
+
+    let mut fig = Figure::new(
+        "SEC family throughput — update-heavy workloads".to_string(),
+        sweep.clone(),
+    );
+    for algo in SEC_FAMILIES {
+        let mut ys = Vec::with_capacity(sweep.len());
+        let mut degrees = Vec::with_capacity(sweep.len());
+        for &threads in &sweep {
+            let cfg = RunConfig {
+                duration: opts.duration,
+                prefill: opts.prefill,
+                // The map family reads its own mix/distribution fields;
+                // the stack, queue and counter read `mix`. Update-heavy
+                // everywhere so every op enters a batch.
+                map_mix: sec_workload::MapMix::WRITE_HEAVY,
+                ..RunConfig::new(threads, Mix::UPDATE_100)
+            };
+            let mut degree_sum = 0.0;
+            let samples: Vec<f64> = (0..opts.runs)
+                .map(|r| {
+                    let cfg = RunConfig {
+                        seed: cfg.seed ^ (r as u64) << 32,
+                        ..cfg
+                    };
+                    let out = run_algo(algo, &cfg);
+                    if let Some(rep) = &out.sec_report {
+                        degree_sum += rep.batching_degree();
+                    }
+                    out.result.mops()
+                })
+                .collect();
+            let s = Summary::of(&samples);
+            eprintln!(
+                "  {:>7} | {threads:>3} threads: {:.3} Mops/s (cv {:.1}%)",
+                algo.label(),
+                s.mean,
+                s.cv_pct()
+            );
+            ys.push(s.mean);
+            degrees.push(degree_sum / opts.runs.max(1) as f64);
+        }
+        fig.add_series(algo.label(), ys);
+        fig.add_extra(format!("{}_batch_degree", algo.label()), degrees);
+    }
+    println!("{}", fig.render_table());
+    println!("{}", fig.render_ascii_plot(12));
+    if let Err(e) = fig.write_csv(&opts.csv_dir, "families") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+}

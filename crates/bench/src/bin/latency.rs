@@ -9,13 +9,15 @@
 //! ```
 
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
-    TsiStack,
+    CcStack, EbStack, FcStack, LockedHashMap, LockedQueue, LockedStack, MsQueue, TreiberHpStack,
+    TreiberStack, TsiStack,
 };
 use sec_bench::BenchOpts;
-use sec_core::{SecConfig, SecQueue, SecStack, WaitPolicy};
+use sec_core::counter::SecCounter;
+use sec_core::{SecConfig, SecMap, SecQueue, SecStack, WaitPolicy};
 use sec_workload::{
-    measure_latency, measure_queue_latency, Algo, LatencyReport, Mix, ALL_COMPETITORS, QUEUE_LINEUP,
+    measure_counter_latency, measure_latency, measure_map_latency, measure_queue_latency, Algo,
+    KeyDist, LatencyReport, MapMix, Mix, ALL_COMPETITORS, MAP_LINEUP, QUEUE_LINEUP,
 };
 
 fn measure(algo: Algo, threads: usize, ops: u64, mix: Mix) -> LatencyReport {
@@ -43,6 +45,28 @@ fn measure(algo: Algo, threads: usize, ops: u64, mix: Mix) -> LatencyReport {
         Algo::SecQueue => measure_queue_latency(&SecQueue::<u64>::new(cap), threads, ops, mix),
         Algo::MsQ => measure_queue_latency(&MsQueue::<u64>::new(cap), threads, ops, mix),
         Algo::LckQ => measure_queue_latency(&LockedQueue::<u64>::new(cap), threads, ops, mix),
+        Algo::SecCounter => measure_counter_latency(
+            &SecCounter::with_config(SecConfig::new(2, cap)),
+            threads,
+            ops,
+            mix,
+        ),
+        // The map family reads the Mix as its keyed counterpart:
+        // peek→get, push→insert, pop→remove, keys uniform over 1024.
+        Algo::SecMap => measure_map_latency(
+            &SecMap::<u64, u64>::with_config(SecConfig::new(2, cap)),
+            threads,
+            ops,
+            MapMix::new(mix.peek, mix.push, mix.pop),
+            KeyDist::Uniform { keys: 1024 },
+        ),
+        Algo::LckMap => measure_map_latency(
+            &LockedHashMap::<u64, u64>::new(cap),
+            threads,
+            ops,
+            MapMix::new(mix.peek, mix.push, mix.pop),
+            KeyDist::Uniform { keys: 1024 },
+        ),
     }
 }
 
@@ -60,6 +84,12 @@ fn main() {
         // The queue lineup has no read-only operation; measure it on
         // the update-heavy mix only.
         (Mix::UPDATE_100, &QUEUE_LINEUP[..]),
+        // Counter: fetch_add under the update-heavy mix.
+        (Mix::UPDATE_100, &[Algo::SecCounter][..]),
+        // Map: insert/remove under update-heavy, get-dominated under
+        // the 10%-updates mix (the keyed analogue of read-heavy).
+        (Mix::UPDATE_100, &MAP_LINEUP[..]),
+        (Mix::UPDATE_10, &MAP_LINEUP[..]),
     ] {
         println!("## {mix} @ {threads} threads ({ops_per_thread} timed ops/thread)");
         println!(

@@ -1,0 +1,158 @@
+//! The map family's evaluation: SEC-M (the batched-combining hash map
+//! of DESIGN.md §13) against the locked-`HashMap` floor, across the
+//! standard thread sweep and the uniform-vs-zipfian × read-heavy /
+//! write-heavy grid (the YCSB-style axes for keyed workloads).
+//!
+//! ```text
+//! cargo run -p sec-bench --release --bin map_bench
+//! cargo run -p sec-bench --release --bin map_bench -- --duration-ms 5000 --runs 5
+//! ```
+//!
+//! Prints one table + ASCII plot per cell of the grid and writes
+//! `results/map_{uniform,zipf}_{read,write}.csv`. Each CSV carries,
+//! beyond the throughput series, SEC-M's per-cell batching columns
+//! (batching degree, combiner CAS failures — structurally zero for the
+//! map, whose combiners mutate under bucket locks) plus the grow/shrink
+//! resize counters and the node-recycling counter block (hit %, misses,
+//! overflows — DESIGN.md §10).
+//!
+//! The resize columns are the interesting ones: SEC-M runs under an
+//! elastic policy here, and the zipfian workload concentrates its key
+//! mass on one shard — whose crowded batches vote the active count up —
+//! while the uniform workload spreads announcements too thin for any
+//! shard to reach the grow threshold.
+
+use sec_bench::BenchOpts;
+use sec_core::AggregatorPolicy;
+use sec_workload::stats::{ReclaimTotals, ResizeTotals, Summary};
+use sec_workload::table::Figure;
+use sec_workload::{run_algo, Algo, KeyDist, MapMix, Mix, RunConfig, MAP_LINEUP};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!(
+        "{}",
+        opts.banner("Map bench: SEC-M vs LCK-M, {uniform,zipfian} x {read,write}-heavy")
+    );
+    let sweep = opts.sweep();
+
+    let uniform = KeyDist::Uniform { keys: 1024 };
+    let zipf = KeyDist::Zipfian {
+        keys: 1024,
+        theta: 3.0,
+    };
+    for (dist, map_mix, stem) in [
+        (uniform, MapMix::READ_HEAVY, "map_uniform_read"),
+        (uniform, MapMix::WRITE_HEAVY, "map_uniform_write"),
+        (zipf, MapMix::READ_HEAVY, "map_zipf_read"),
+        (zipf, MapMix::WRITE_HEAVY, "map_zipf_write"),
+    ] {
+        let mut fig = Figure::new(format!("Map throughput — {dist}, {map_mix}"), sweep.clone());
+        for algo in MAP_LINEUP {
+            let mut ys = Vec::with_capacity(sweep.len());
+            let mut degrees = Vec::with_capacity(sweep.len());
+            let mut cas_fails = Vec::with_capacity(sweep.len());
+            let mut resize_cols: Vec<ResizeTotals> = Vec::with_capacity(sweep.len());
+            let mut recycle_cols: Vec<ReclaimTotals> = Vec::with_capacity(sweep.len());
+            for &threads in &sweep {
+                let cfg = RunConfig {
+                    duration: opts.duration,
+                    prefill: opts.prefill,
+                    map_mix,
+                    key_dist: dist,
+                    // Elastic across the shard range: the key
+                    // distribution, not the construction-time K, decides
+                    // how many shards stay active (DESIGN.md §8, §13).
+                    // min_k = 3, not 2: a two-way split is too coarse to
+                    // tell the distributions apart on a small host (both
+                    // halves stay crowded), while from three shards up
+                    // evenly spread announcements dilute per shard but
+                    // the zipfian hot keys' shard keeps its whole mass.
+                    sec_policy: Some(AggregatorPolicy::Adaptive {
+                        min_k: 3,
+                        max_k: 6,
+                        window: 2048,
+                    }),
+                    // Provision registration capacity for peak load
+                    // (~2.3x the worker count plus a spare pool), as a
+                    // deployment sized for a worst-case fan-in would.
+                    // The monitor's per-shard share is capacity / active
+                    // (DESIGN.md §8), and this curve puts the grow
+                    // threshold (half the share) between the two
+                    // workloads' min_k batching degrees: evenly spread
+                    // announcements stay under it, while the crowded
+                    // shard serving the zipfian hot keys clears it and
+                    // votes the active count up. Below 4 threads keep
+                    // the tight default — there the share guard
+                    // disables resizing for any input.
+                    sec_capacity: (threads >= 4).then_some(7 * threads / 3 + 6),
+                    ..RunConfig::new(threads, Mix::UPDATE_100)
+                };
+                let mut resizes = ResizeTotals::new();
+                let mut recycle = ReclaimTotals::new();
+                let mut degree_sum = 0.0;
+                let mut cas_sum = 0u64;
+                let samples: Vec<f64> = (0..opts.runs)
+                    .map(|r| {
+                        let cfg = RunConfig {
+                            seed: cfg.seed ^ (r as u64) << 32,
+                            ..cfg
+                        };
+                        let out = run_algo(algo, &cfg);
+                        if let Some(rep) = &out.sec_report {
+                            degree_sum += rep.batching_degree();
+                            cas_sum += rep.cas_failures;
+                        }
+                        resizes.add(out.sec_report.as_ref());
+                        recycle.add(out.reclaim.as_ref());
+                        out.result.mops()
+                    })
+                    .collect();
+                let s = Summary::of(&samples);
+                eprintln!(
+                    "  {dist} {map_mix} | {:>6} | {threads:>3} threads: {:.3} Mops/s (cv {:.1}%)",
+                    algo.label(),
+                    s.mean,
+                    s.cv_pct()
+                );
+                ys.push(s.mean);
+                degrees.push(degree_sum / opts.runs.max(1) as f64);
+                cas_fails.push(cas_sum as f64);
+                resize_cols.push(resizes);
+                recycle_cols.push(recycle);
+            }
+            fig.add_series(algo.label(), ys);
+            // SEC-M is the only map with a batch layer: its counter
+            // block rides along as unplotted CSV columns.
+            if algo == Algo::SecMap {
+                fig.add_extra(format!("{}_batch_degree", algo.label()), degrees);
+                fig.add_extra(format!("{}_cas_failures", algo.label()), cas_fails);
+                fig.add_extra(
+                    format!("{}_grows", algo.label()),
+                    resize_cols.iter().map(|r| r.grows as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_shrinks", algo.label()),
+                    resize_cols.iter().map(|r| r.shrinks as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_hit_pct", algo.label()),
+                    recycle_cols.iter().map(|r| r.hit_pct()).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_misses", algo.label()),
+                    recycle_cols.iter().map(|r| r.misses as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_recycle_overflows", algo.label()),
+                    recycle_cols.iter().map(|r| r.overflows as f64).collect(),
+                );
+            }
+        }
+        println!("{}", fig.render_table());
+        println!("{}", fig.render_ascii_plot(12));
+        if let Err(e) = fig.write_csv(&opts.csv_dir, stem) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+}

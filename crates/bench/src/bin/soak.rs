@@ -18,7 +18,7 @@
 
 use sec_bench::BenchOpts;
 use sec_core::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
-use sec_workload::{EXTENDED_LINEUP, QUEUE_LINEUP};
+use sec_workload::{EXTENDED_LINEUP, MAP_LINEUP, QUEUE_LINEUP};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
@@ -222,6 +222,194 @@ fn soak_queue_one<Q: ConcurrentQueue<u64>>(
     Ok(())
 }
 
+/// The counter-family soak: every worker tallies the deltas it added;
+/// at the end the counter's value must equal the grand total (no lost
+/// or duplicated batch slots).
+fn soak_counter_one(
+    counter: &sec_core::counter::SecCounter,
+    threads: usize,
+    opts: &BenchOpts,
+) -> Result<(), String> {
+    let barrier = Barrier::new(threads + 1);
+    let stop = AtomicBool::new(false);
+
+    let sums: Vec<u128> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let counter = &counter;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = counter.register();
+                    let mut added = 0u128;
+                    let mut x = (t as u64 + 1) | 1;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            if x % 100 < 80 {
+                                let delta = x % 1_000;
+                                let _ = h.fetch_add(delta);
+                                added += delta as u128;
+                            } else {
+                                let _ = h.load();
+                            }
+                        }
+                    }
+                    added
+                })
+            })
+            .collect();
+        barrier.wait();
+        let deadline = Instant::now() + opts.duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(opts.duration.min(std::time::Duration::from_millis(200)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak worker panicked"))
+            .collect()
+    });
+
+    let expected: u128 = sums.iter().sum();
+    let got = counter.load() as u128;
+    if got != expected {
+        return Err(format!(
+            "sum conservation violated: workers added {expected}, counter reads {got}"
+        ));
+    }
+    println!("    {:>9} summed into the counter, conserved", expected);
+    Ok(())
+}
+
+/// The map-family soak: every worker tallies what it inserted and what
+/// each operation *returned* (displaced previous values, removed
+/// values); draining the map at the end must balance the books —
+/// inserts = displacements + removals + drained remainder, by count and
+/// by value sum, and every drained value decodes to a valid worker.
+fn soak_map_one<M: sec_core::ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: usize,
+    opts: &BenchOpts,
+) -> Result<(), String> {
+    use sec_core::MapHandle;
+
+    const KEYS: u64 = 512;
+    let barrier = Barrier::new(threads + 1);
+    let stop = AtomicBool::new(false);
+
+    /// Per-worker map tally.
+    #[derive(Default, Clone, Copy)]
+    struct MapTally {
+        inserted: u64,
+        inserted_sum: u128,
+        displaced: u64,
+        displaced_sum: u128,
+        removed: u64,
+        removed_sum: u128,
+    }
+
+    let tallies: Vec<MapTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = &map;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = map.register();
+                    let mut tally = MapTally::default();
+                    let mut x = (t as u64 + 1) | 1;
+                    let mut counter = 0u64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let key = x % KEYS;
+                            if x % 100 < 40 {
+                                let v = ((t as u64) << 40) | counter;
+                                counter += 1;
+                                tally.inserted += 1;
+                                tally.inserted_sum += v as u128;
+                                if let Some(prev) = h.insert(key, v) {
+                                    tally.displaced += 1;
+                                    tally.displaced_sum += prev as u128;
+                                }
+                            } else if x % 100 < 80 {
+                                if let Some(v) = h.remove(&key) {
+                                    tally.removed += 1;
+                                    tally.removed_sum += v as u128;
+                                }
+                            } else {
+                                let _ = h.get(&key);
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        barrier.wait();
+        let deadline = Instant::now() + opts.duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(opts.duration.min(std::time::Duration::from_millis(200)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak worker panicked"))
+            .collect()
+    });
+
+    let mut total = MapTally::default();
+    for t in &tallies {
+        total.inserted += t.inserted;
+        total.inserted_sum += t.inserted_sum;
+        total.displaced += t.displaced;
+        total.displaced_sum += t.displaced_sum;
+        total.removed += t.removed;
+        total.removed_sum += t.removed_sum;
+    }
+
+    // Drain the survivors key by key and fold them into the out side.
+    let mut h = map.register();
+    let mut drained = 0u64;
+    let mut drained_sum = 0u128;
+    for key in 0..KEYS {
+        if let Some(v) = h.remove(&key) {
+            drained += 1;
+            drained_sum += v as u128;
+            let tid = (v >> 40) as usize;
+            if tid >= threads {
+                return Err(format!("phantom value {v:#x}: no worker {tid}"));
+            }
+        }
+    }
+
+    if total.inserted != total.displaced + total.removed + drained {
+        return Err(format!(
+            "count conservation violated: {} inserted vs {} displaced + {} removed + {} drained",
+            total.inserted, total.displaced, total.removed, drained
+        ));
+    }
+    if total.inserted_sum != total.displaced_sum + total.removed_sum + drained_sum {
+        return Err(format!(
+            "sum conservation violated: inserted {} vs displaced {} + removed {} + drained {}",
+            total.inserted_sum, total.displaced_sum, total.removed_sum, drained_sum
+        ));
+    }
+    println!(
+        "    {:>9} ops conserved ({} drained at shutdown)",
+        total.inserted + total.removed,
+        drained
+    );
+    Ok(())
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     let threads = *opts.sweep().last().unwrap_or(&4);
@@ -232,7 +420,12 @@ fn main() {
     println!("# {threads} threads, {:?} per algorithm\n", opts.duration);
 
     let mut failures = 0u32;
-    for algo in EXTENDED_LINEUP.into_iter().chain(QUEUE_LINEUP) {
+    for algo in EXTENDED_LINEUP
+        .into_iter()
+        .chain(QUEUE_LINEUP)
+        .chain([sec_workload::Algo::SecCounter])
+        .chain(MAP_LINEUP)
+    {
         println!("  soaking {algo} ...");
         let result = run(algo, threads, &opts);
         if let Err(e) = result {
@@ -253,10 +446,11 @@ fn main() {
 /// to drain through the same handle type.)
 fn run(algo: sec_workload::Algo, threads: usize, opts: &BenchOpts) -> Result<(), String> {
     use sec_baselines::{
-        CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
-        TsiStack,
+        CcStack, EbStack, FcStack, LockedHashMap, LockedQueue, LockedStack, MsQueue,
+        TreiberHpStack, TreiberStack, TsiStack,
     };
-    use sec_core::{SecConfig, SecQueue, SecStack};
+    use sec_core::counter::SecCounter;
+    use sec_core::{SecConfig, SecMap, SecQueue, SecStack};
     use sec_workload::Algo;
 
     let cap = threads + 1;
@@ -281,5 +475,16 @@ fn run(algo: sec_workload::Algo, threads: usize, opts: &BenchOpts) -> Result<(),
         Algo::SecQueue => soak_queue_one(&SecQueue::<u64>::new(cap), threads, opts),
         Algo::MsQ => soak_queue_one(&MsQueue::<u64>::new(cap), threads, opts),
         Algo::LckQ => soak_queue_one(&LockedQueue::<u64>::new(cap), threads, opts),
+        Algo::SecCounter => soak_counter_one(
+            &SecCounter::with_config(SecConfig::new(2, cap)),
+            threads,
+            opts,
+        ),
+        Algo::SecMap => soak_map_one(
+            &SecMap::<u64, u64>::with_config(SecConfig::new(2, cap)),
+            threads,
+            opts,
+        ),
+        Algo::LckMap => soak_map_one(&LockedHashMap::<u64, u64>::new(cap), threads, opts),
     }
 }

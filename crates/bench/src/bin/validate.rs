@@ -1,17 +1,20 @@
 //! Artifact-style validation entry point: quick correctness checks for
-//! every stack and queue implementation, printed as a PASS/FAIL report.
-//! Runs in seconds; the full evidence is `cargo test --workspace`.
+//! every stack, queue, counter and map implementation, printed as a
+//! PASS/FAIL report. Runs in seconds; the full evidence is
+//! `cargo test --workspace`.
 //!
 //! ```text
 //! cargo run -p sec-bench --release --bin validate
 //! ```
 
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
-    TsiStack,
+    CcStack, EbStack, FcStack, LockedHashMap, LockedQueue, LockedStack, MsQueue, TreiberHpStack,
+    TreiberStack, TsiStack,
 };
+use sec_core::counter::SecCounter;
 use sec_core::{
-    ConcurrentQueue, ConcurrentStack, QueueHandle, SecConfig, SecQueue, SecStack, StackHandle,
+    ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle, SecConfig, SecMap,
+    SecQueue, SecStack, StackHandle,
 };
 use std::collections::HashSet;
 use std::thread;
@@ -151,6 +154,143 @@ fn check_queue_conservation<Q: ConcurrentQueue<u64>>(
     Ok(())
 }
 
+/// Counter check, single thread: fetch_add returns running prefix sums.
+fn check_counter_sequential(counter: &SecCounter) -> Result<(), String> {
+    let mut h = counter.register();
+    let mut expected = 0u64;
+    for i in 0..1_000u64 {
+        let prev = h.fetch_add(i);
+        if prev != expected {
+            return Err(format!("expected prefix {expected}, got {prev}"));
+        }
+        expected += i;
+    }
+    if h.load() != expected {
+        return Err(format!("expected total {expected}, got {}", h.load()));
+    }
+    Ok(())
+}
+
+/// Counter conservation check, concurrent: every fetch_add return value
+/// is a distinct batch offset, and the final value is the total added.
+fn check_counter_conservation(counter: &SecCounter, threads: usize) -> Result<(), String> {
+    const PER: u64 = 2_000;
+    let sums: Vec<u64> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let counter = &counter;
+                scope.spawn(move || {
+                    let mut h = counter.register();
+                    let mut added = 0u64;
+                    for i in 0..PER {
+                        let delta = (t as u64) + i % 7 + 1;
+                        let _ = h.fetch_add(delta);
+                        added += delta;
+                    }
+                    added
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+    let expected: u64 = sums.iter().sum();
+    if counter.load() != expected {
+        return Err(format!(
+            "lost adds: workers added {expected}, counter reads {}",
+            counter.load()
+        ));
+    }
+    Ok(())
+}
+
+/// Map check, single thread: insert/get/remove round-trip on every key.
+fn check_map_sequential<M: ConcurrentMap<u64, u64>>(map: &M) -> Result<(), String> {
+    let mut h = map.register();
+    for k in 0..1_000 {
+        if let Some(v) = h.insert(k, k * 10) {
+            return Err(format!("fresh insert of {k} displaced {v}"));
+        }
+    }
+    for k in 0..1_000 {
+        if h.get(&k) != Some(k * 10) {
+            return Err(format!("get({k}) lost the inserted value"));
+        }
+    }
+    for k in 0..1_000 {
+        if h.remove(&k) != Some(k * 10) {
+            return Err(format!("remove({k}) lost the inserted value"));
+        }
+        if h.get(&k).is_some() {
+            return Err(format!("get({k}) observed a removed key"));
+        }
+    }
+    Ok(())
+}
+
+/// Map conservation check, concurrent: workers insert tagged values on
+/// a shared key range; inserts must balance displacements + removals +
+/// the drained remainder, with no value seen twice.
+fn check_map_conservation<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: usize,
+) -> Result<(), String> {
+    const PER: usize = 2_000;
+    const KEYS: u64 = 256;
+    let outs: Vec<Vec<u64>> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let map = &map;
+                scope.spawn(move || {
+                    let mut h = map.register();
+                    // Values a worker saw *leave* the map (displaced or
+                    // removed); each inserted value must exit exactly once.
+                    let mut out = Vec::new();
+                    for i in 0..PER {
+                        let key = ((t * PER + i) as u64 * 0x9E37_79B9) % KEYS;
+                        let v = ((t as u64) << 40) | i as u64;
+                        if let Some(prev) = h.insert(key, v) {
+                            out.push(prev);
+                        }
+                        if i % 2 == 0 {
+                            if let Some(removed) = h.remove(&((key + 1) % KEYS)) {
+                                out.push(removed);
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+    let mut seen = HashSet::new();
+    for v in outs.into_iter().flatten() {
+        if !seen.insert(v) {
+            return Err(format!("value {v:#x} left the map twice"));
+        }
+    }
+    let mut h = map.register();
+    for key in 0..KEYS {
+        if let Some(v) = h.remove(&key) {
+            if !seen.insert(v) {
+                return Err(format!("value {v:#x} left the map twice in drain"));
+            }
+        }
+    }
+    if seen.len() != threads * PER {
+        return Err(format!(
+            "lost values: {} of {} accounted",
+            seen.len(),
+            threads * PER
+        ));
+    }
+    Ok(())
+}
+
 fn report(name: &str, what: &str, r: Result<(), String>, failures: &mut u32) {
     match r {
         Ok(()) => println!("  PASS  {name:<6} {what}"),
@@ -216,6 +356,51 @@ fn main() {
     validate_queue!("MS", MsQueue::<u64>::new(THREADS + 1));
     validate_queue!("LCK-Q", LockedQueue::<u64>::new(THREADS + 1));
 
+    println!("validating the counter implementation ({THREADS} threads)...");
+    {
+        let c = SecCounter::with_config(SecConfig::new(2, THREADS + 1));
+        report(
+            "SEC-C",
+            "sequential prefix sums",
+            check_counter_sequential(&c),
+            &mut failures,
+        );
+        let c = SecCounter::with_config(SecConfig::new(2, THREADS + 1));
+        report(
+            "SEC-C",
+            "concurrent conservation",
+            check_counter_conservation(&c, THREADS),
+            &mut failures,
+        );
+    }
+
+    println!("validating all map implementations ({THREADS} threads)...");
+
+    macro_rules! validate_map {
+        ($name:expr, $make:expr) => {{
+            let m = $make;
+            report(
+                $name,
+                "sequential round-trip",
+                check_map_sequential(&m),
+                &mut failures,
+            );
+            let m = $make;
+            report(
+                $name,
+                "concurrent conservation",
+                check_map_conservation(&m, THREADS),
+                &mut failures,
+            );
+        }};
+    }
+
+    validate_map!(
+        "SEC-M",
+        SecMap::<u64, u64>::with_config(SecConfig::new(2, THREADS + 1))
+    );
+    validate_map!("LCK-M", LockedHashMap::<u64, u64>::new(THREADS + 1));
+
     // SEC accounting identity under load.
     {
         let s: SecStack<u64> = SecStack::with_config(SecConfig::new(2, THREADS + 1));
@@ -225,6 +410,24 @@ fn main() {
             "SEC",
             "batch accounting identity",
             if r.eliminated + r.combined == r.ops {
+                Ok(())
+            } else {
+                Err(format!("{r:?}"))
+            },
+            &mut failures,
+        );
+    }
+
+    // SEC-M accounting identity under load: a map op can never
+    // eliminate, so every operation must be combined.
+    {
+        let m: SecMap<u64, u64> = SecMap::with_config(SecConfig::new(2, THREADS + 1));
+        let _ = check_map_conservation(&m, THREADS);
+        let r = m.stats().report();
+        report(
+            "SEC-M",
+            "batch accounting identity",
+            if r.eliminated == 0 && r.combined == r.ops {
                 Ok(())
             } else {
                 Err(format!("{r:?}"))

@@ -30,13 +30,15 @@
 #![warn(missing_docs)]
 
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
-    TsiStack,
+    CcStack, EbStack, FcStack, LockedHashMap, LockedQueue, LockedStack, MsQueue, TreiberHpStack,
+    TreiberStack, TsiStack,
 };
+use sec_core::counter::SecCounter;
 use sec_core::{
-    ConcurrentQueue, ConcurrentStack, QueueHandle, SecConfig, SecQueue, SecStack, StackHandle,
+    ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle, SecConfig, SecMap,
+    SecQueue, SecStack, StackHandle,
 };
-use sec_workload::{Algo, Mix};
+use sec_workload::{Algo, KeyDist, Mix};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -245,6 +247,103 @@ pub fn timed_queue_fixed_work<Q: ConcurrentQueue<u64>>(
     })
 }
 
+/// Fixed-work measurement for the counter family. A [`Mix`] draw that
+/// would `push` or `pop` performs a `fetch_add`; a `peek` draw performs
+/// a `load` (the counter's read-only operation).
+pub fn timed_counter_fixed_work(
+    counter: &SecCounter,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+) -> Duration {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sec_workload::OpKind;
+
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let counter = &counter;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = counter.register();
+                    let mut rng = SmallRng::seed_from_u64(0xFEED ^ (t as u64) << 7);
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        match mix.classify(rng.gen_range(0..100)) {
+                            OpKind::Push | OpKind::Pop => {
+                                let _ = h.fetch_add(rng.gen_range(0..100_000));
+                            }
+                            OpKind::Peek => {
+                                let _ = h.load();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        barrier.wait();
+        for h in handles {
+            h.join().expect("bench worker panicked");
+        }
+        start.elapsed()
+    })
+}
+
+/// Fixed-work measurement for the map family. A [`Mix`] draw that would
+/// `push` performs an `insert`, a `pop` draw a `remove`, and a `peek`
+/// draw a `get`; keys come from `dist`.
+pub fn timed_map_fixed_work<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+    dist: KeyDist,
+) -> Duration {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sec_workload::OpKind;
+
+    let sampler = dist.sampler();
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = &map;
+                let barrier = &barrier;
+                let sampler = &sampler;
+                scope.spawn(move || {
+                    let mut h = map.register();
+                    let mut rng = SmallRng::seed_from_u64(0xFEED ^ (t as u64) << 7);
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        let key = sampler.sample(&mut rng);
+                        match mix.classify(rng.gen_range(0..100)) {
+                            OpKind::Push => {
+                                let _ = h.insert(key, rng.gen_range(0..100_000));
+                            }
+                            OpKind::Pop => {
+                                let _ = h.remove(&key);
+                            }
+                            OpKind::Peek => {
+                                let _ = h.get(&key);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        barrier.wait();
+        for h in handles {
+            h.join().expect("bench worker panicked");
+        }
+        start.elapsed()
+    })
+}
+
 /// Prefills `stack` with `prefill` pseudo-random values.
 fn prefill_stack<S: ConcurrentStack<u64>>(stack: &S, prefill: usize) {
     use rand::rngs::SmallRng;
@@ -264,6 +363,20 @@ fn prefill_queue<Q: ConcurrentQueue<u64>>(queue: &Q, prefill: usize) {
     let mut rng = SmallRng::seed_from_u64(0x5EED);
     for _ in 0..prefill {
         h.enqueue(rng.gen_range(0..100_000));
+    }
+}
+
+/// Prefills `map` with `prefill` uniformly drawn key/value pairs
+/// (duplicate keys overwrite — the map ends up warm, not full).
+fn prefill_map<M: ConcurrentMap<u64, u64>>(map: &M, prefill: usize, dist: KeyDist) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let sampler = dist.sampler();
+    let mut h = map.register();
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..prefill {
+        let key = sampler.sample(&mut rng);
+        h.insert(key, rng.gen_range(0..100_000));
     }
 }
 
@@ -338,6 +451,22 @@ pub fn timed_algo(
             let q: LockedQueue<u64> = LockedQueue::new(cap);
             prefill_queue(&q, prefill);
             timed_queue_fixed_work(&q, threads, ops_per_thread, mix)
+        }
+        Algo::SecCounter => {
+            let c = SecCounter::with_config(SecConfig::new(2, cap));
+            timed_counter_fixed_work(&c, threads, ops_per_thread, mix)
+        }
+        Algo::SecMap => {
+            let dist = KeyDist::Uniform { keys: 1024 };
+            let m: SecMap<u64, u64> = SecMap::with_config(SecConfig::new(2, cap));
+            prefill_map(&m, prefill, dist);
+            timed_map_fixed_work(&m, threads, ops_per_thread, mix, dist)
+        }
+        Algo::LckMap => {
+            let dist = KeyDist::Uniform { keys: 1024 };
+            let m: LockedHashMap<u64, u64> = LockedHashMap::new(cap);
+            prefill_map(&m, prefill, dist);
+            timed_map_fixed_work(&m, threads, ops_per_thread, mix, dist)
         }
     }
 }

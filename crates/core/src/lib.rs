@@ -41,6 +41,10 @@
 //!   queue-family interface its baselines share,
 //! * [`SecCounter`] — a combining fetch-and-add counter, the smallest
 //!   full instantiation of the engine (~120 lines of apply logic),
+//! * [`SecMap`] / [`ConcurrentMap`] / [`MapHandle`] — a batched-combining
+//!   keyed hash map (buckets block-partitioned into shards, one
+//!   aggregator per shard, results through announcement slots;
+//!   DESIGN.md §13) and the map-family interface its baseline shares,
 //! * `combine` (crate-private) — the generic
 //!   announce → freeze → combine → publish engine all of the above
 //!   instantiate through its `CombineOp` trait (DESIGN.md §12).
@@ -70,6 +74,7 @@ pub(crate) mod combine;
 mod config;
 pub mod counter;
 pub mod deque;
+pub mod map;
 pub mod pool;
 pub mod queue;
 pub mod sec;
@@ -79,8 +84,11 @@ pub use config::{
     topology_shard, AggregatorPolicy, RecyclePolicy, SecConfig, ShardPolicy, WaitPolicy,
 };
 pub use counter::{SecCounter, SecCounterHandle};
+pub use map::{SecMap, SecMapHandle};
 pub use queue::{SecQueue, SecQueueHandle};
 pub use sec::stats::{BatchReport, SecStats};
 pub use sec::{SecHandle, SecStack};
 pub use sec_reclaim::CollectorStats;
-pub use traits::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
+pub use traits::{
+    ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle, StackHandle,
+};

@@ -1,0 +1,695 @@
+//! A batched-combining hash map — the SEC engine applied to the keyed
+//! workloads that million-user services actually hammer (YCSB-style
+//! get/insert/remove over a skewed key space).
+//!
+//! Layout (DESIGN.md §13): a fixed array of **buckets** (each a small
+//! mutex-protected association list) is block-partitioned into
+//! **shards**, one engine aggregator per shard. An operation hashes its
+//! key to a bucket, routes to the bucket's shard under the *current*
+//! active shard count, and announces into that shard's batch exactly
+//! like a stack pop does (`Lane::At`, the queue's fixed-index path).
+//! The batch freezes; the seq-0 announcer combines: it walks the slot
+//! array in announcement order and, for each operation, locks the
+//! target bucket, applies the command, and writes the result back into
+//! the announcement node. `get` therefore returns the value snapshot at
+//! its own application under the bucket lock — the batch's operations
+//! linearize consecutively, in slot order, at those bucket-lock
+//! applications.
+//!
+//! All three operations are result-bearing, so the whole family rides
+//! the **remove** lane: the add lane stays pinned at zero, elimination
+//! is vacuously absent and the combiner election picks exactly sequence
+//! number zero, the same degeneration the counter uses. No freezing,
+//! parking, elastic re-mapping or recycling code appears here — all of
+//! it is inherited from `crate::combine` (DESIGN.md §12).
+//!
+//! Two map-specific wrinkles, both outside the protocol:
+//!
+//! * **Batches are always sized `max_threads`.** Thread-mapped families
+//!   bound a batch by the threads sharded onto its aggregator; a keyed
+//!   map cannot — a hot key legally routes *every* thread into one
+//!   shard. [`SecMap::with_config`] therefore normalizes a fixed-`K`
+//!   policy into the degenerate adaptive range `[K, K]` (same active
+//!   count forever, `max_threads`-sized batches).
+//! * **Buckets are individually locked.** Successive batches of the
+//!   same shard may combine concurrently (the freezer installs the
+//!   fresh batch before the previous combiner finishes), and during an
+//!   elastic re-shard two shards can transiently route operations for
+//!   the same bucket. The per-bucket mutex serializes exactly those
+//!   overlaps; in steady state each bucket belongs to one shard whose
+//!   combiners run one batch at a time, so the lock is uncontended.
+
+use crate::combine::{AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, OpState, Role};
+use crate::config::{AggregatorPolicy, SecConfig};
+use crate::sec::stats::SecStats;
+use crate::traits::{ConcurrentMap, MapHandle};
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::mem::ManuallyDrop;
+use core::sync::atomic::Ordering;
+use sec_reclaim::{Guard, Handle as ReclaimHandle};
+use std::collections::hash_map::DefaultHasher;
+use std::sync::Mutex;
+
+/// Default bucket-array size (see [`SecMap::bucket_count`]).
+const DEFAULT_BUCKETS: usize = 512;
+
+/// One announced map operation, owned by its node until the combiner
+/// consumes it.
+enum MapCmd<K, V> {
+    /// `get(key)`.
+    Get(K),
+    /// `insert(key, value)`.
+    Insert(K, V),
+    /// `remove(key)`.
+    Remove(K),
+}
+
+/// A map announcement node: the command in, the result out, through the
+/// same slot. `cmd` and `result` are `ManuallyDrop` because ownership
+/// moves through raw pointers (combiner consumes `cmd`, the announcer
+/// consumes `result`) before the node husk is recycled without running
+/// a destructor.
+struct MapNode<K, V> {
+    /// The target bucket, computed once by the announcing thread so the
+    /// combiner never re-hashes.
+    bucket: usize,
+    cmd: ManuallyDrop<MapCmd<K, V>>,
+    result: ManuallyDrop<Option<V>>,
+}
+
+impl<K: Send, V: Send> MapNode<K, V> {
+    /// Allocates a detached node carrying `cmd`, reusing a recycled
+    /// block from `reclaim`'s free lists when one is available.
+    fn alloc_with(reclaim: &ReclaimHandle<'_>, bucket: usize, cmd: MapCmd<K, V>) -> *mut Self {
+        reclaim.alloc_boxed(MapNode {
+            bucket,
+            cmd: ManuallyDrop::new(cmd),
+            result: ManuallyDrop::new(None),
+        })
+    }
+}
+
+/// The map's apply logic: the bucket array, one combiner per frozen
+/// batch.
+struct MapOp<K, V> {
+    /// `buckets[i]` holds the live `(key, value)` pairs whose key
+    /// hashes to `i`. Individually locked — see the module docs for why
+    /// a shard cannot simply own its buckets unlocked.
+    buckets: Box<[Bucket<K, V>]>,
+}
+
+/// One association-list bucket: the live `(key, value)` pairs under
+/// their per-bucket lock.
+type Bucket<K, V> = Mutex<Vec<(K, V)>>;
+
+impl<K: Hash + Eq, V> MapOp<K, V> {
+    fn with_buckets(n: usize) -> Self {
+        Self {
+            buckets: (0..n.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// The bucket `key` hashes to. [`DefaultHasher::new`] is
+    /// deterministic, so every handle of every instance agrees.
+    fn bucket_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.buckets.len()
+    }
+
+    /// Applies one command under its bucket's lock — the operation's
+    /// linearization point.
+    fn apply(&self, bucket: usize, cmd: MapCmd<K, V>) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut pairs = self.buckets[bucket].lock().unwrap();
+        match cmd {
+            MapCmd::Get(key) => pairs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone()),
+            MapCmd::Insert(key, value) => match pairs.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => Some(core::mem::replace(v, value)),
+                None => {
+                    pairs.push((key, value));
+                    None
+                }
+            },
+            MapCmd::Remove(key) => pairs
+                .iter()
+                .position(|(k, _)| *k == key)
+                .map(|i| pairs.swap_remove(i).1),
+        }
+    }
+}
+
+impl<K, V> CombineOp for MapOp<K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Node = MapNode<K, V>;
+    type Value = Option<V>;
+
+    // `combine_add` and `eliminate` keep their defaults: every map
+    // operation is result-bearing, so the add lane of a map batch is
+    // always empty and the engine never calls them.
+
+    /// Apply the frozen batch in announcement order: for each slot,
+    /// consume the command, apply it under its bucket's lock, and write
+    /// the result back into the node in place. Exclusive node access is
+    /// the counter's argument: the owners only read their slots back
+    /// after observing `applied` (Release-published by the engine right
+    /// after this returns), and slot `i` belongs to exactly one
+    /// operation.
+    fn combine_remove(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<MapNode<K, V>>,
+        my_seq: usize,
+        _agg_idx: usize,
+        _guard: &Guard<'_, '_>,
+    ) {
+        let cut = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        for slot in &batch.slots[my_seq..cut] {
+            let n = crate::combine::wait_ptr(slot, _eng.config().wait);
+            // Safety: the combiner is the unique consumer of each
+            // included slot's command; the node stays allocated (owner
+            // is pinned, waiting on `applied`).
+            let cmd = unsafe { ManuallyDrop::take(&mut (*n).cmd) };
+            let result = self.apply(unsafe { (*n).bucket }, cmd);
+            // Safety: same exclusive access; the old `result` is the
+            // construction-time `None`, which owns nothing.
+            unsafe { (*n).result = ManuallyDrop::new(result) };
+        }
+    }
+
+    /// Each participant (combiner included) collects its result from
+    /// its own slot. The add lane is empty, so the engine's `offset` is
+    /// the operation's own sequence number.
+    fn take_result(
+        &self,
+        _eng: &CombineEngine<Self>,
+        batch: &CombineBatch<MapNode<K, V>>,
+        offset: usize,
+        guard: &Guard<'_, '_>,
+    ) -> Option<Option<V>> {
+        let n = batch.slots[offset].load(Ordering::Acquire);
+        debug_assert!(
+            !n.is_null(),
+            "command published before announcing completed"
+        );
+        // Safety: unique consumer of our own slot; result out, husk
+        // recycles into this thread's node cache. The command was
+        // consumed by the combiner, so the husk owns nothing.
+        let result = unsafe { ManuallyDrop::take(&mut (*n).result) };
+        unsafe { guard.retire_recycle(n) };
+        Some(result)
+    }
+}
+
+/// A linearizable batched-combining hash map.
+///
+/// `n` threads hammering a hot key induce one bucket-lock acquisition
+/// *per frozen batch* on that key's shard instead of a contended lock
+/// or CAS per operation; everything else is cache-local slot traffic
+/// inside the shard's aggregator. Under an adaptive policy the
+/// contention monitor re-shards the bucket space at runtime, exactly as
+/// it re-shards the stack's thread space (DESIGN.md §8).
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::SecMap;
+///
+/// let map: SecMap<u64, u64> = SecMap::new(4); // up to 4 threads
+/// let mut h = map.register();
+/// assert_eq!(h.insert(7, 70), None);
+/// assert_eq!(h.get(&7), Some(70));
+/// assert_eq!(h.remove(&7), Some(70));
+/// assert_eq!(h.get(&7), None);
+/// ```
+pub struct SecMap<K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    engine: CombineEngine<MapOp<K, V>>,
+}
+
+impl<K, V> SecMap<K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Creates a map with the paper's default configuration (two
+    /// shards) for up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_config(SecConfig::new(2, max_threads))
+    }
+
+    /// Creates a map from an explicit [`SecConfig`] — shard count,
+    /// elastic policy, freezer backoff, recycle and wait policies all
+    /// apply exactly as they do to the stack, with one normalization: a
+    /// [`AggregatorPolicy::Fixed`]`(K)` policy becomes the degenerate
+    /// adaptive range `[K, K]`. Keyed routing lets a hot key send every
+    /// thread into one shard, so map batches must always be sized
+    /// `max_threads` — which is the adaptive capacity rule; the
+    /// degenerate range can never actually resize.
+    pub fn with_config(config: SecConfig) -> Self {
+        let config = match config.policy {
+            AggregatorPolicy::Fixed(_) => {
+                let k = config.aggregators.max(1);
+                config.aggregator_policy(AggregatorPolicy::Adaptive {
+                    min_k: k,
+                    max_k: k,
+                    window: AggregatorPolicy::DEFAULT_WINDOW,
+                })
+            }
+            AggregatorPolicy::Adaptive { .. } => config,
+        };
+        Self {
+            engine: CombineEngine::new(
+                "SecMap",
+                MapOp::with_buckets(DEFAULT_BUCKETS),
+                config,
+                AggLayout::Mapped { with_slots: true },
+            ),
+        }
+    }
+
+    /// Sets the bucket-array size (builder style; apply before any
+    /// thread registers, which the receiver guarantees). More buckets
+    /// mean shorter association lists and finer re-sharding granularity;
+    /// the default is 512.
+    pub fn bucket_count(mut self, n: usize) -> Self {
+        *self.engine.op_mut() = MapOp::with_buckets(n);
+        self
+    }
+
+    /// Registers the calling thread and returns its operation handle.
+    pub fn register(&self) -> SecMapHandle<'_, K, V> {
+        let (reclaim, state) = self.engine.register();
+        SecMapHandle {
+            map: self,
+            state,
+            reclaim,
+        }
+    }
+
+    /// Number of live key-value pairs (takes every bucket lock in
+    /// turn; a diagnostic, not a linearizable operation).
+    pub fn len(&self) -> usize {
+        self.engine
+            .op()
+            .buckets
+            .iter()
+            .map(|b| b.lock().unwrap().len())
+            .sum()
+    }
+
+    /// `true` when the map holds no pairs (see [`SecMap::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The number of buckets the key space hashes onto.
+    pub fn buckets(&self) -> usize {
+        self.engine.op().buckets.len()
+    }
+
+    /// The configuration this map was built with (after the fixed-`K`
+    /// normalization documented on [`SecMap::with_config`]).
+    pub fn config(&self) -> &SecConfig {
+        self.engine.config()
+    }
+
+    /// The batching/combining instrumentation. `eliminated` is always
+    /// zero for a homogeneous family; `combined / batches` is the map's
+    /// batching degree.
+    pub fn stats(&self) -> &SecStats {
+        self.engine.stats()
+    }
+
+    /// Reclamation statistics (diagnostic).
+    pub fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
+        self.engine.reclaim_stats()
+    }
+
+    /// Drives reclamation to completion (up to `rounds` epoch
+    /// advances) and returns the resulting stats.
+    pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
+        self.engine.quiesce_reclamation(rounds)
+    }
+
+    /// Number of currently active shards.
+    pub fn active_aggregators(&self) -> usize {
+        self.engine.active_aggregators()
+    }
+
+    /// Forces the active shard count (see
+    /// [`SecStack::set_active_aggregators`](crate::SecStack::set_active_aggregators)).
+    /// Operations already announced drain on their old shard; the
+    /// bucket locks make the overlap safe.
+    pub fn set_active_aggregators(&self, k: usize) -> usize {
+        self.engine.set_active_aggregators(k)
+    }
+
+    /// The shard currently serving `bucket`: the bucket range is
+    /// block-partitioned over the active shards.
+    fn shard_of(&self, bucket: usize) -> usize {
+        let k = self.engine.active_aggregators().max(1);
+        let buckets = self.engine.op().buckets.len();
+        (bucket * k / buckets).min(k - 1)
+    }
+}
+
+impl<K, V> fmt::Debug for SecMap<K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecMap")
+            .field("len", &self.len())
+            .field("buckets", &self.buckets())
+            .field("config", self.config())
+            .field("active_shards", &self.active_aggregators())
+            .finish()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for SecMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type Handle<'a>
+        = SecMapHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn register(&self) -> SecMapHandle<'_, K, V> {
+        SecMap::register(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "SEC-M"
+    }
+}
+
+/// A thread's handle to a [`SecMap`].
+pub struct SecMapHandle<'a, K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    map: &'a SecMap<K, V>,
+    state: OpState,
+    reclaim: ReclaimHandle<'a>,
+}
+
+impl<K, V> SecMapHandle<'_, K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// This thread's id (dense, `0..max_threads`).
+    pub fn tid(&self) -> usize {
+        self.state.tid()
+    }
+
+    /// Announces `cmd` on its key's shard and rides the engine to the
+    /// result. The shard is resolved against the active count at
+    /// announce time; an operation excluded by a freeze retries on the
+    /// same shard, which is safe even across a re-shard (a shard past
+    /// the active prefix still freezes and combines its own batches —
+    /// only *routing* of fresh operations moves).
+    fn run_op(&mut self, bucket: usize, cmd: MapCmd<K, V>) -> Option<V> {
+        let shard = self.map.shard_of(bucket);
+        let node = MapNode::alloc_with(&self.reclaim, bucket, cmd);
+        self.map
+            .engine
+            .run(Lane::At(shard), Role::Remove, node, &self.reclaim)
+            .expect("map combiner always produces a result")
+    }
+
+    /// Returns the value mapped to `key` at the linearization point
+    /// (its application under the bucket lock, in batch slot order), or
+    /// `None` when absent.
+    pub fn get(&mut self, key: &K) -> Option<V>
+    where
+        K: Clone,
+    {
+        let bucket = self.map.engine.op().bucket_of(key);
+        self.run_op(bucket, MapCmd::Get(key.clone()))
+    }
+
+    /// Maps `key` to `value`, returning the previously mapped value (or
+    /// `None` when the key was absent).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let bucket = self.map.engine.op().bucket_of(&key);
+        self.run_op(bucket, MapCmd::Insert(key, value))
+    }
+
+    /// Removes `key`'s mapping, returning the removed value (or `None`
+    /// when the key was absent).
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        K: Clone,
+    {
+        let bucket = self.map.engine.op().bucket_of(key);
+        self.run_op(bucket, MapCmd::Remove(key.clone()))
+    }
+}
+
+impl<K, V> MapHandle<K, V> for SecMapHandle<'_, K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&mut self, key: &K) -> Option<V> {
+        SecMapHandle::get(self, key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        SecMapHandle::insert(self, key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        SecMapHandle::remove(self, key)
+    }
+}
+
+impl<K, V> fmt::Debug for SecMapHandle<'_, K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecMapHandle")
+            .field("tid", &self.tid())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RecyclePolicy, WaitPolicy};
+    use std::thread;
+
+    #[test]
+    fn sequential_contract_matches_hash_map() {
+        let m: SecMap<u64, String> = SecMap::new(1);
+        let mut h = m.register();
+        assert_eq!(h.get(&1), None);
+        assert_eq!(h.insert(1, "a".into()), None);
+        assert_eq!(h.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(h.get(&1), Some("b".into()));
+        assert_eq!(h.insert(2, "c".into()), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(h.remove(&1), Some("b".into()));
+        assert_eq!(h.remove(&1), None);
+        assert_eq!(h.get(&1), None);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        assert_eq!(h.remove(&2), Some("c".into()));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn disjoint_keys_account_exactly() {
+        const THREADS: usize = 4;
+        const PER: usize = 400;
+        let m: SecMap<u64, u64> = SecMap::new(THREADS);
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut h = m.register();
+                    for i in 0..PER {
+                        let k = (t * PER + i) as u64;
+                        assert_eq!(h.insert(k, k * 10), None, "key {k} inserted twice");
+                    }
+                    for i in 0..PER {
+                        let k = (t * PER + i) as u64;
+                        assert_eq!(h.get(&k), Some(k * 10));
+                        assert_eq!(h.remove(&k), Some(k * 10), "key {k} lost");
+                    }
+                });
+            }
+        });
+        assert!(m.is_empty());
+        let r = m.stats().report();
+        assert_eq!(r.ops, (THREADS * PER * 3) as u64);
+        assert_eq!(r.eliminated, 0, "homogeneous family never eliminates");
+        assert_eq!(r.combined, r.ops);
+    }
+
+    #[test]
+    fn hot_key_sees_exactly_one_first_insert() {
+        const THREADS: usize = 6;
+        let m: SecMap<u64, usize> = SecMap::new(THREADS);
+        let prevs: Vec<Option<usize>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|t| {
+                    let m = &m;
+                    scope.spawn(move || m.register().insert(42, t))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        // Exactly one insert observed the absent key; every other saw
+        // some thread's value (the previous mapping at its
+        // linearization point).
+        assert_eq!(prevs.iter().filter(|p| p.is_none()).count(), 1);
+        assert_eq!(m.len(), 1);
+        let last = m.register().get(&42).expect("key present");
+        assert!(last < THREADS);
+    }
+
+    #[test]
+    fn hot_key_on_a_multi_shard_fixed_map_never_overflows_a_batch() {
+        // Keyed routing can send every thread into one shard; the
+        // fixed-K normalization must size batches for that.
+        const THREADS: usize = 8;
+        let m: SecMap<u64, u64> = SecMap::with_config(SecConfig::new(4, THREADS));
+        assert_eq!(m.active_aggregators(), 4);
+        thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut h = m.register();
+                    for i in 0..1_000 {
+                        h.insert(7, i);
+                        let _ = h.get(&7);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 1);
+        // The degenerate range never resizes.
+        let r = m.stats().report();
+        assert_eq!(r.resizes(), 0);
+    }
+
+    #[test]
+    fn elastic_policy_resizes_under_load() {
+        let m: SecMap<u64, u64> = SecMap::with_config(
+            SecConfig::adaptive_windowed(1, 4, 8, 8)
+                .wait_policy(WaitPolicy::SpinThenPark { spin_rounds: 64 }),
+        );
+        thread::scope(|scope| {
+            for t in 0..8u64 {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut h = m.register();
+                    for i in 0..2_000u64 {
+                        h.insert(i % 64, t);
+                        let _ = h.get(&(i % 64));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 64);
+        // Forced re-sharding keeps working after the run, too.
+        assert_eq!(m.set_active_aggregators(4), 4);
+        let mut h = m.register();
+        assert_eq!(h.insert(1_000_000, 1), None);
+        assert_eq!(h.remove(&1_000_000), Some(1));
+    }
+
+    #[test]
+    fn recycling_reaches_steady_state() {
+        let m: SecMap<u64, u64> = SecMap::with_config(
+            SecConfig::new(1, 2).recycle(RecyclePolicy::PerThread { cache_cap: 64 }),
+        );
+        thread::scope(|scope| {
+            for t in 0..2u64 {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut h = m.register();
+                    for i in 0..5_000u64 {
+                        h.insert(i % 32, t);
+                        let _ = h.remove(&(i % 32));
+                    }
+                });
+            }
+        });
+        let stats = m.quiesce_reclamation(64);
+        assert_eq!(
+            stats.retired,
+            stats.freed + stats.cached,
+            "quiesced map leaks nothing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn bucket_count_builder_applies() {
+        let m: SecMap<u64, u64> = SecMap::new(1).bucket_count(8);
+        assert_eq!(m.buckets(), 8);
+        let mut h = m.register();
+        for k in 0..100u64 {
+            assert_eq!(h.insert(k, k), None);
+        }
+        assert_eq!(m.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(h.get(&k), Some(k));
+        }
+    }
+
+    #[test]
+    fn values_drop_with_the_map() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+        use std::sync::Arc;
+
+        #[derive(Clone)]
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AOrd::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let m: SecMap<u64, Counted> = SecMap::new(1);
+            let mut h = m.register();
+            for k in 0..10 {
+                assert!(h.insert(k, Counted(Arc::clone(&drops))).is_none());
+            }
+            // Two values displaced by overwrites drop before teardown.
+            for k in 0..2 {
+                let prev = h.insert(k, Counted(Arc::clone(&drops)));
+                drop(prev);
+            }
+        }
+        // 10 live at teardown (8 originals + 2 overwrites), 2
+        // displaced along the way = all 12 created.
+        assert_eq!(drops.load(AOrd::Relaxed), 12);
+    }
+}

@@ -313,10 +313,80 @@ pub mod pool {
     }
 }
 
+/// The keyed map sequential specification (for `SecMap`-style tests):
+/// `get` must observe exactly the mapping produced by the
+/// inserts/removes linearized before it, and `insert`/`remove` must
+/// observe the displaced/removed value the same way.
+pub mod map {
+    use super::SeqSpec;
+    use std::collections::BTreeMap;
+
+    /// A map operation with its observed result.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub enum MapOp<K, V> {
+        /// `get(key)` and the value it observed (`None` = absent).
+        Get {
+            /// The key looked up.
+            key: K,
+            /// The value snapshot at the linearization point.
+            observed: Option<V>,
+        },
+        /// `insert(key, value)` and the previous mapping it displaced.
+        Insert {
+            /// The key written.
+            key: K,
+            /// The value written.
+            value: V,
+            /// The previous mapping (`None` = key was absent).
+            prev: Option<V>,
+        },
+        /// `remove(key)` and the mapping it removed.
+        Remove {
+            /// The key removed.
+            key: K,
+            /// The removed value (`None` = key was absent).
+            removed: Option<V>,
+        },
+    }
+
+    /// Marker type implementing [`SeqSpec`] for maps from `K` to `V`.
+    ///
+    /// State is the key-value association; `BTreeMap` rather than
+    /// `HashMap` because the checker hashes states.
+    pub struct MapSpec<K, V>(core::marker::PhantomData<(K, V)>);
+
+    impl<K, V> SeqSpec for MapSpec<K, V>
+    where
+        K: Clone + Ord + core::hash::Hash,
+        V: Clone + Eq + core::hash::Hash,
+    {
+        type Op = MapOp<K, V>;
+        type State = BTreeMap<K, V>;
+
+        fn apply(state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+            let mut next = state.clone();
+            match op {
+                MapOp::Get { key, observed } => {
+                    (next.get(key) == observed.as_ref()).then_some(next)
+                }
+                MapOp::Insert { key, value, prev } => {
+                    let got = next.insert(key.clone(), value.clone());
+                    (&got == prev).then_some(next)
+                }
+                MapOp::Remove { key, removed } => {
+                    let got = next.remove(key);
+                    (&got == removed).then_some(next)
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::counter::{CounterOp, CounterSpec};
     use super::deque::{DequeOp, DequeSpec};
+    use super::map::{MapOp, MapSpec};
     use super::pool::{PoolOp, PoolSpec};
     use super::queue::{QueueOp, QueueSpec};
     use super::*;
@@ -528,6 +598,176 @@ mod tests {
             check_generic::<CounterSpec>(&clash),
             Err(Violation::NotLinearizable)
         );
+    }
+
+    #[test]
+    fn map_observes_the_association() {
+        let h = vec![
+            t(
+                MapOp::Insert {
+                    key: 1u32,
+                    value: 10u32,
+                    prev: None,
+                },
+                0,
+                1,
+            ),
+            t(
+                MapOp::Get {
+                    key: 1,
+                    observed: Some(10),
+                },
+                2,
+                3,
+            ),
+            t(
+                MapOp::Insert {
+                    key: 1,
+                    value: 11,
+                    prev: Some(10),
+                },
+                4,
+                5,
+            ),
+            t(
+                MapOp::Remove {
+                    key: 1,
+                    removed: Some(11),
+                },
+                6,
+                7,
+            ),
+            t(
+                MapOp::Get {
+                    key: 1,
+                    observed: None,
+                },
+                8,
+                9,
+            ),
+            t(
+                MapOp::Remove {
+                    key: 1,
+                    removed: None,
+                },
+                10,
+                11,
+            ),
+        ];
+        assert!(check_generic::<MapSpec<u32, u32>>(&h).is_ok());
+    }
+
+    #[test]
+    fn map_rejects_stale_get() {
+        // A get completed strictly after a completed insert must see it.
+        let h = vec![
+            t(
+                MapOp::Insert {
+                    key: 1u32,
+                    value: 10u32,
+                    prev: None,
+                },
+                0,
+                1,
+            ),
+            t(
+                MapOp::Get {
+                    key: 1,
+                    observed: None,
+                },
+                2,
+                3,
+            ),
+        ];
+        assert_eq!(
+            check_generic::<MapSpec<u32, u32>>(&h),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn map_rejects_double_displacement() {
+        // Two overlapping first-inserts cannot both observe an absent
+        // key: whichever linearizes second displaces the first.
+        let clash = vec![
+            t(
+                MapOp::Insert {
+                    key: 1u32,
+                    value: 10u32,
+                    prev: None,
+                },
+                0,
+                10,
+            ),
+            t(
+                MapOp::Insert {
+                    key: 1,
+                    value: 20,
+                    prev: None,
+                },
+                0,
+                10,
+            ),
+        ];
+        assert_eq!(
+            check_generic::<MapSpec<u32, u32>>(&clash),
+            Err(Violation::NotLinearizable)
+        );
+
+        // …but observing each other's value in either order is fine.
+        let chain = vec![
+            t(
+                MapOp::Insert {
+                    key: 1u32,
+                    value: 10u32,
+                    prev: None,
+                },
+                0,
+                10,
+            ),
+            t(
+                MapOp::Insert {
+                    key: 1,
+                    value: 20,
+                    prev: Some(10),
+                },
+                0,
+                10,
+            ),
+        ];
+        assert!(check_generic::<MapSpec<u32, u32>>(&chain).is_ok());
+    }
+
+    #[test]
+    fn concurrent_map_gets_may_order_around_an_insert() {
+        let h = vec![
+            t(
+                MapOp::Insert {
+                    key: 7u32,
+                    value: 70u32,
+                    prev: None,
+                },
+                0,
+                10,
+            ),
+            t(
+                MapOp::Get {
+                    key: 7,
+                    observed: None,
+                },
+                0,
+                10,
+            ),
+            t(
+                MapOp::Get {
+                    key: 7,
+                    observed: Some(70),
+                },
+                0,
+                10,
+            ),
+        ];
+        assert!(check_generic::<MapSpec<u32, u32>>(&h).is_ok());
     }
 
     #[test]

@@ -1,13 +1,19 @@
-//! Algorithm dispatch: construct any of the evaluated stacks or queues
-//! and run a measurement against it.
+//! Algorithm dispatch: construct any of the evaluated stacks, queues,
+//! counters or maps and run a measurement against it.
 
-use crate::runner::{run_queue_throughput, run_throughput, RunConfig, RunResult};
+use crate::runner::{
+    run_counter_throughput, run_map_throughput, run_queue_throughput, run_throughput, RunConfig,
+    RunResult,
+};
 use core::fmt;
 use sec_baselines::{
-    CcStack, EbStack, FcStack, LockedQueue, LockedStack, MsQueue, TreiberHpStack, TreiberStack,
-    TsiStack,
+    CcStack, EbStack, FcStack, LockedHashMap, LockedQueue, LockedStack, MsQueue, TreiberHpStack,
+    TreiberStack, TsiStack,
 };
-use sec_core::{AggregatorPolicy, BatchReport, CollectorStats, SecConfig, SecQueue, SecStack};
+use sec_core::{
+    AggregatorPolicy, BatchReport, CollectorStats, SecConfig, SecCounter, SecMap, SecQueue,
+    SecStack,
+};
 
 /// One of the evaluated stack algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +52,16 @@ pub enum Algo {
     MsQ,
     /// Mutex-protected `VecDeque` (the queue family's sanity floor).
     LckQ,
+    /// The combining fetch-and-add counter (DESIGN.md §12); measured
+    /// through [`run_counter_throughput`] (update draws → `fetch_add`,
+    /// peek draws → `load`).
+    SecCounter,
+    /// The SEC-derived batched-combining hash map (DESIGN.md §13);
+    /// measured through [`run_map_throughput`] under
+    /// [`RunConfig::map_mix`] / [`RunConfig::key_dist`].
+    SecMap,
+    /// Mutex-protected `HashMap` (the map family's sanity floor).
+    LckMap,
 }
 
 /// The lineup of Figure 2/3: SEC (2 aggregators) plus the five
@@ -77,6 +93,21 @@ pub const EXTENDED_LINEUP: [Algo; 8] = [
 /// against the Michael–Scott reference and the locked floor.
 pub const QUEUE_LINEUP: [Algo; 3] = [Algo::SecQueue, Algo::MsQ, Algo::LckQ];
 
+/// The map lineup of the `map_bench` binary: the SEC-derived map
+/// against the locked floor.
+pub const MAP_LINEUP: [Algo; 2] = [Algo::SecMap, Algo::LckMap];
+
+/// One SEC family per structure kind — the validation/soak sweep that
+/// proves every family is reachable from the harness (stack, elastic
+/// stack, queue, counter, map).
+pub const SEC_FAMILIES: [Algo; 5] = [
+    Algo::Sec { aggregators: 2 },
+    Algo::SecAdaptive { min_k: 1, max_k: 4 },
+    Algo::SecQueue,
+    Algo::SecCounter,
+    Algo::SecMap,
+];
+
 impl Algo {
     /// The paper's legend label.
     pub fn label(&self) -> String {
@@ -94,6 +125,9 @@ impl Algo {
             Algo::SecQueue => "SEC-Q".into(),
             Algo::MsQ => "MS".into(),
             Algo::LckQ => "LCK-Q".into(),
+            Algo::SecCounter => "SecCounter".into(),
+            Algo::SecMap => "SecMap".into(),
+            Algo::LckMap => "LCK-M".into(),
         }
     }
 
@@ -111,9 +145,22 @@ impl Algo {
     }
 
     /// `true` for the queue-family variants (dispatched through
-    /// [`run_queue_throughput`]; the rest are stacks).
+    /// [`run_queue_throughput`]).
     pub fn is_queue(&self) -> bool {
         matches!(self, Algo::SecQueue | Algo::MsQ | Algo::LckQ)
+    }
+
+    /// `true` for the map-family variants (dispatched through
+    /// [`run_map_throughput`], driven by [`RunConfig::map_mix`] and
+    /// [`RunConfig::key_dist`]).
+    pub fn is_map(&self) -> bool {
+        matches!(self, Algo::SecMap | Algo::LckMap)
+    }
+
+    /// `true` for the counter family (dispatched through
+    /// [`run_counter_throughput`]).
+    pub fn is_counter(&self) -> bool {
+        matches!(self, Algo::SecCounter)
     }
 }
 
@@ -124,9 +171,10 @@ impl fmt::Display for Algo {
 }
 
 /// Measurement outcome plus SEC's per-run batch instrumentation (only
-/// populated for [`Algo::Sec`] / [`Algo::SecAdaptive`] /
-/// [`Algo::SecQueue`]; feeds Tables 1–3, the elastic-sharding ablation
-/// and the queue bench's batching columns).
+/// populated for the SEC families — [`Algo::Sec`] /
+/// [`Algo::SecAdaptive`] / [`Algo::SecQueue`] / [`Algo::SecCounter`] /
+/// [`Algo::SecMap`]; feeds Tables 1–3, the elastic-sharding ablation
+/// and the queue/map benches' batching columns).
 #[derive(Debug, Clone, Copy)]
 pub struct AlgoRun {
     /// Throughput measurement.
@@ -146,9 +194,13 @@ pub struct AlgoRun {
 /// Constructs a fresh instance of `algo` sized for the run and measures
 /// it under `cfg`.
 pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
-    // One extra registration slot for the prefill handle.
-    let cap = cfg.threads + 1;
-    let run_sec = |sec_config: SecConfig| {
+    // One extra registration slot for the prefill handle; an explicit
+    // capacity override models provisioned headroom (never less).
+    let cap = cfg.sec_capacity.unwrap_or(0).max(cfg.threads + 1);
+    // The RunConfig overrides, applied uniformly to every SEC family
+    // that takes a whole `SecConfig` (stack, counter, map; the queue
+    // applies the same overrides through its builders below).
+    let overridden = |sec_config: SecConfig| {
         let sec_config = match cfg.sec_policy {
             Some(policy) => sec_config.aggregator_policy(policy),
             None => sec_config,
@@ -161,11 +213,13 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             Some(wait) => sec_config.wait_policy(wait),
             None => sec_config,
         };
-        let sec_config = match cfg.freezer_yields {
+        match cfg.freezer_yields {
             Some(yields) => sec_config.freezer_yields(yields),
             None => sec_config,
-        };
-        let stack: SecStack<u64> = SecStack::with_config(sec_config);
+        }
+    };
+    let run_sec = |sec_config: SecConfig| {
+        let stack: SecStack<u64> = SecStack::with_config(overridden(sec_config));
         let result = run_throughput(&stack, cfg);
         AlgoRun {
             result,
@@ -248,6 +302,32 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
         },
         Algo::LckQ => AlgoRun {
             result: run_queue_throughput(&LockedQueue::<u64>::new(cap), cfg),
+            sec_report: None,
+            sec_active: None,
+            reclaim: None,
+        },
+        Algo::SecCounter => {
+            let counter = SecCounter::with_config(overridden(SecConfig::new(2, cap)));
+            let result = run_counter_throughput(&counter, cfg);
+            AlgoRun {
+                result,
+                sec_report: Some(counter.stats().report()),
+                sec_active: Some(counter.active_aggregators()),
+                reclaim: Some(counter.reclaim_stats()),
+            }
+        }
+        Algo::SecMap => {
+            let map: SecMap<u64, u64> = SecMap::with_config(overridden(SecConfig::new(2, cap)));
+            let result = run_map_throughput(&map, cfg);
+            AlgoRun {
+                result,
+                sec_report: Some(map.stats().report()),
+                sec_active: Some(map.active_aggregators()),
+                reclaim: Some(map.reclaim_stats()),
+            }
+        }
+        Algo::LckMap => AlgoRun {
+            result: run_map_throughput(&LockedHashMap::<u64, u64>::new(cap), cfg),
             sec_report: None,
             sec_active: None,
             reclaim: None,
@@ -437,6 +517,81 @@ mod tests {
                 }
             }
             assert!(parked > 0, "{algo}: no park recorded in 10 rounds");
+        }
+    }
+
+    #[test]
+    fn counter_algo_runs_and_reports_batch_stats() {
+        let cfg = RunConfig {
+            duration: Duration::from_millis(15),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let out = run_algo(Algo::SecCounter, &cfg);
+        assert!(out.result.ops > 0);
+        let report = out.sec_report.expect("SecCounter must report batch stats");
+        assert!(report.batches > 0);
+        assert_eq!(report.eliminated, 0, "counter batches are homogeneous");
+        assert_eq!(report.combined, report.ops);
+        assert!(out.sec_active.is_some());
+        assert!(out.reclaim.is_some());
+    }
+
+    #[test]
+    fn map_lineup_runs_and_sec_map_reports_batch_stats() {
+        use crate::spec::{KeyDist, MapMix};
+        for algo in MAP_LINEUP {
+            assert!(algo.is_map());
+            let cfg = RunConfig {
+                duration: Duration::from_millis(15),
+                prefill: 64,
+                map_mix: MapMix::WRITE_HEAVY,
+                key_dist: KeyDist::Zipfian {
+                    keys: 128,
+                    theta: 0.99,
+                },
+                ..RunConfig::new(2, Mix::UPDATE_100)
+            };
+            let out = run_algo(algo, &cfg);
+            assert!(out.result.ops > 0, "{algo} made no progress");
+            if algo == Algo::SecMap {
+                let report = out.sec_report.expect("SecMap must report batch stats");
+                assert!(report.batches > 0);
+                assert_eq!(report.eliminated, 0, "map batches are homogeneous");
+                assert_eq!(report.combined, report.ops);
+            } else {
+                assert!(out.sec_report.is_none(), "{algo} has no batch stats");
+            }
+        }
+    }
+
+    #[test]
+    fn sec_families_cover_all_five_kinds_with_distinct_labels() {
+        let labels: std::collections::HashSet<String> =
+            SEC_FAMILIES.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), SEC_FAMILIES.len());
+        assert!(labels.contains("SecCounter"));
+        assert!(labels.contains("SecMap"));
+        assert!(SEC_FAMILIES.iter().any(|a| a.is_queue()));
+        assert!(SEC_FAMILIES.iter().any(|a| a.is_counter()));
+        assert!(SEC_FAMILIES.iter().any(|a| a.is_map()));
+    }
+
+    #[test]
+    fn sec_policy_override_reaches_counter_and_map() {
+        use sec_core::AggregatorPolicy;
+        let cfg = RunConfig {
+            duration: Duration::from_millis(10),
+            prefill: 16,
+            sec_policy: Some(AggregatorPolicy::Adaptive {
+                min_k: 3,
+                max_k: 3,
+                window: 64,
+            }),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        for algo in [Algo::SecCounter, Algo::SecMap] {
+            let out = run_algo(algo, &cfg);
+            assert_eq!(out.sec_active, Some(3), "{algo}: override wins");
         }
     }
 

@@ -9,10 +9,13 @@
 //! runner; the `latency` bench binary prints p50/p90/p99/max per
 //! algorithm.
 
-use crate::spec::{Mix, OpKind};
+use crate::spec::{KeyDist, MapMix, MapOpKind, Mix, OpKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sec_core::{ConcurrentQueue, ConcurrentStack, QueueHandle, StackHandle};
+use sec_core::counter::SecCounter;
+use sec_core::{
+    ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle, StackHandle,
+};
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -207,6 +210,118 @@ pub fn measure_queue_latency<Q: ConcurrentQueue<u64>>(
     }
 }
 
+/// The map-family twin of [`measure_latency`]: operations draw a key
+/// from `dist` and a get/insert/remove kind from `map_mix`.
+pub fn measure_map_latency<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: usize,
+    ops_per_thread: u64,
+    map_mix: MapMix,
+    dist: KeyDist,
+) -> LatencyReport {
+    let sampler = dist.sampler();
+    let barrier = Barrier::new(threads);
+    let merged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = &map;
+                let barrier = &barrier;
+                let sampler = &sampler;
+                scope.spawn(move || {
+                    let mut h = map.register();
+                    let mut rng = SmallRng::seed_from_u64(0xA11CE ^ (t as u64) << 8);
+                    let mut hist = LatencyHistogram::new();
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        let key = sampler.sample(&mut rng);
+                        let kind = map_mix.classify(rng.gen_range(0..100));
+                        let value = rng.gen_range(0..100_000);
+                        let start = Instant::now();
+                        match kind {
+                            MapOpKind::Get => {
+                                let _ = h.get(&key);
+                            }
+                            MapOpKind::Insert => {
+                                let _ = h.insert(key, value);
+                            }
+                            MapOpKind::Remove => {
+                                let _ = h.remove(&key);
+                            }
+                        }
+                        hist.record(start.elapsed().as_nanos() as u64);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        let mut merged = LatencyHistogram::new();
+        for h in handles {
+            merged.merge(&h.join().expect("latency worker panicked"));
+        }
+        merged
+    });
+    LatencyReport {
+        p50: merged.percentile(50.0),
+        p90: merged.percentile(90.0),
+        p99: merged.percentile(99.0),
+        max: merged.max_ns(),
+        samples: merged.count(),
+    }
+}
+
+/// The counter-family twin of [`measure_latency`]: a [`Mix`] draw that
+/// would `push` or `pop` performs a `fetch_add`; a `peek` draw performs
+/// a `load`.
+pub fn measure_counter_latency(
+    counter: &SecCounter,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+) -> LatencyReport {
+    let barrier = Barrier::new(threads);
+    let merged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let counter = &counter;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut h = counter.register();
+                    let mut rng = SmallRng::seed_from_u64(0xA11CE ^ (t as u64) << 8);
+                    let mut hist = LatencyHistogram::new();
+                    barrier.wait();
+                    for _ in 0..ops_per_thread {
+                        let kind = mix.classify(rng.gen_range(0..100));
+                        let delta = rng.gen_range(0..100_000);
+                        let start = Instant::now();
+                        match kind {
+                            OpKind::Push | OpKind::Pop => {
+                                let _ = h.fetch_add(delta);
+                            }
+                            OpKind::Peek => {
+                                let _ = h.load();
+                            }
+                        }
+                        hist.record(start.elapsed().as_nanos() as u64);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        let mut merged = LatencyHistogram::new();
+        for h in handles {
+            merged.merge(&h.join().expect("latency worker panicked"));
+        }
+        merged
+    });
+    LatencyReport {
+        p50: merged.percentile(50.0),
+        p90: merged.percentile(90.0),
+        p99: merged.percentile(99.0),
+        max: merged.max_ns(),
+        samples: merged.count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +392,33 @@ mod tests {
         use sec_core::SecQueue;
         let queue: SecQueue<u64> = SecQueue::new(2);
         let r = measure_queue_latency(&queue, 2, 500, Mix::UPDATE_100);
+        assert_eq!(r.samples, 1_000);
+        assert!(r.p50 > 0);
+        assert!(r.p50 <= r.p99);
+        assert!(r.p99 <= r.max);
+    }
+
+    #[test]
+    fn end_to_end_map_latency_measurement() {
+        use sec_core::SecMap;
+        let map: SecMap<u64, u64> = SecMap::new(3);
+        let r = measure_map_latency(
+            &map,
+            2,
+            500,
+            MapMix::WRITE_HEAVY,
+            KeyDist::Uniform { keys: 64 },
+        );
+        assert_eq!(r.samples, 1_000);
+        assert!(r.p50 > 0);
+        assert!(r.p50 <= r.p99);
+        assert!(r.p99 <= r.max);
+    }
+
+    #[test]
+    fn end_to_end_counter_latency_measurement() {
+        let counter = SecCounter::new(3);
+        let r = measure_counter_latency(&counter, 2, 500, Mix::UPDATE_100);
         assert_eq!(r.samples, 1_000);
         assert!(r.p50 > 0);
         assert!(r.p50 <= r.p99);

@@ -11,8 +11,15 @@
 //!   throughput (Mops/s),
 //! * [`run_queue_throughput`] — the same loop for the FIFO-queue family
 //!   ([`Algo::SecQueue`], [`Algo::MsQ`], [`Algo::LckQ`]),
-//! * [`Algo`] / [`run_algo`] — dispatch over the stack and queue
-//!   implementations, so the figure binaries can sweep algorithms,
+//! * [`run_map_throughput`] / [`MapMix`] / [`KeyDist`] — the keyed
+//!   workload for the map family ([`Algo::SecMap`], [`Algo::LckMap`]):
+//!   YCSB-style get/insert/remove shares over uniform or zipfian key
+//!   draws,
+//! * [`run_counter_throughput`] — the counter family
+//!   ([`Algo::SecCounter`]),
+//! * [`Algo`] / [`run_algo`] — dispatch over the stack, queue, counter
+//!   and map implementations, so the figure binaries can sweep
+//!   algorithms,
 //! * [`stats`] — mean/σ across repeated runs, plus the elastic-resize
 //!   counter aggregation ([`stats::ResizeTotals`]),
 //! * [`table`] — the paper-style table and CSV output (plotted series
@@ -32,8 +39,16 @@ pub mod stats;
 pub mod table;
 pub mod trace;
 
-pub use algo::{run_algo, Algo, ALL_COMPETITORS, EXTENDED_LINEUP, QUEUE_LINEUP};
-pub use latency::{measure_latency, measure_queue_latency, LatencyHistogram, LatencyReport};
-pub use runner::{run_queue_throughput, run_throughput, RunConfig, RunResult};
-pub use spec::{Mix, OpKind};
+pub use algo::{
+    run_algo, Algo, ALL_COMPETITORS, EXTENDED_LINEUP, MAP_LINEUP, QUEUE_LINEUP, SEC_FAMILIES,
+};
+pub use latency::{
+    measure_counter_latency, measure_latency, measure_map_latency, measure_queue_latency,
+    LatencyHistogram, LatencyReport,
+};
+pub use runner::{
+    run_counter_throughput, run_map_throughput, run_queue_throughput, run_throughput, RunConfig,
+    RunResult,
+};
+pub use spec::{KeyDist, KeySampler, MapMix, MapOpKind, Mix, OpKind};
 pub use trace::{replay, ReplayResult, Trace, TraceOp};

@@ -1,11 +1,12 @@
 //! The throughput measurement loop (§6 "Methodology").
 
-use crate::spec::{Mix, OpKind};
+use crate::spec::{KeyDist, MapMix, MapOpKind, Mix, OpKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sec_core::counter::SecCounter;
 use sec_core::{
-    AggregatorPolicy, ConcurrentQueue, ConcurrentStack, QueueHandle, RecyclePolicy, StackHandle,
-    WaitPolicy,
+    AggregatorPolicy, ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle,
+    RecyclePolicy, StackHandle, WaitPolicy,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -62,6 +63,21 @@ pub struct RunConfig {
     /// hosts whose scheduler would otherwise run short workloads
     /// near-sequentially.
     pub freezer_yields: Option<u32>,
+    /// Operation mix for the map family (used instead of `mix` by
+    /// [`run_map_throughput`]; ignored by the stack/queue runners).
+    pub map_mix: MapMix,
+    /// Key distribution for the map family. Uniform spreads the
+    /// announcements over the shards; zipfian concentrates them on the
+    /// hot keys' shards — the regime that exercises the elastic
+    /// monitor.
+    pub key_dist: KeyDist,
+    /// Registration-capacity override (`None` → `threads + 1`, the
+    /// tight default). A deployment normally provisions a structure for
+    /// its peak thread count, not its current one; benches set this to
+    /// model that headroom, which also feeds the elastic monitor's
+    /// per-shard share (capacity / active shards — DESIGN.md §8).
+    /// Values below `threads + 1` are clamped up to it.
+    pub sec_capacity: Option<usize>,
 }
 
 impl RunConfig {
@@ -79,6 +95,9 @@ impl RunConfig {
             recycle: None,
             wait: None,
             freezer_yields: None,
+            map_mix: MapMix::READ_HEAVY,
+            key_dist: KeyDist::Uniform { keys: 1024 },
+            sec_capacity: None,
         }
     }
 }
@@ -240,6 +259,147 @@ pub fn run_queue_throughput<Q: ConcurrentQueue<u64>>(queue: &Q, cfg: &RunConfig)
     }
 }
 
+/// Runs one throughput measurement against `map` — the map-family twin
+/// of [`run_throughput`], driven by [`RunConfig::map_mix`] (read/write
+/// shares) and [`RunConfig::key_dist`] (uniform or zipfian key draws)
+/// instead of the stack's `mix`.
+///
+/// The prefill inserts `cfg.prefill` keys drawn from the key
+/// distribution (duplicates overwrite, so a zipfian prefill populates
+/// the hot head densely and the tail sparsely, like a warmed cache).
+///
+/// The map must have been constructed for at least `cfg.threads + 1`
+/// threads (one extra registration slot is used for the prefill).
+pub fn run_map_throughput<M: ConcurrentMap<u64, u64>>(map: &M, cfg: &RunConfig) -> RunResult {
+    let sampler = cfg.key_dist.sampler();
+    {
+        let mut h = map.register();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED);
+        for _ in 0..cfg.prefill {
+            let k = sampler.sample(&mut rng);
+            let _ = h.insert(k, rng.gen_range(0..cfg.value_range.max(1)));
+        }
+    }
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let stop = AtomicBool::new(false);
+    let mut per_thread_ops = vec![0u64; cfg.threads];
+
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let map = &map;
+                let sampler = &sampler;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = map.register();
+                    let mut rng = SmallRng::seed_from_u64(
+                        cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    const CHUNK: u32 = 64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..CHUNK {
+                            let key = sampler.sample(&mut rng);
+                            match cfg.map_mix.classify(rng.gen_range(0..100)) {
+                                MapOpKind::Get => {
+                                    let _ = h.get(&key);
+                                }
+                                MapOpKind::Insert => {
+                                    let _ = h.insert(key, rng.gen_range(0..cfg.value_range.max(1)));
+                                }
+                                MapOpKind::Remove => {
+                                    let _ = h.remove(&key);
+                                }
+                            }
+                        }
+                        ops += CHUNK as u64;
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for (t, h) in handles.into_iter().enumerate() {
+            per_thread_ops[t] = h.join().expect("map worker panicked");
+        }
+        start.elapsed()
+    });
+
+    RunResult {
+        ops: per_thread_ops.iter().sum(),
+        elapsed,
+    }
+}
+
+/// Runs one throughput measurement against `counter` — the
+/// counter-family twin of [`run_throughput`], sharing [`RunConfig`].
+///
+/// The counter has two operations, not three; a [`Mix`] draw that
+/// would push or pop performs a `fetch_add` (operand from
+/// `value_range`), and a peek draw performs a `load`, so
+/// [`Mix::UPDATE_10`] measures a read-heavy counter and
+/// [`Mix::UPDATE_100`] a pure-RMW one. No prefill: a counter has no
+/// contents to warm.
+pub fn run_counter_throughput(counter: &SecCounter, cfg: &RunConfig) -> RunResult {
+    let barrier = Barrier::new(cfg.threads + 1);
+    let stop = AtomicBool::new(false);
+    let mut per_thread_ops = vec![0u64; cfg.threads];
+
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let counter = &counter;
+                let barrier = &barrier;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut h = counter.register();
+                    let mut rng = SmallRng::seed_from_u64(
+                        cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    const CHUNK: u32 = 64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..CHUNK {
+                            match cfg.mix.classify(rng.gen_range(0..100)) {
+                                OpKind::Push | OpKind::Pop => {
+                                    let _ = h.fetch_add(rng.gen_range(0..cfg.value_range.max(1)));
+                                }
+                                OpKind::Peek => {
+                                    let _ = h.load();
+                                }
+                            }
+                        }
+                        ops += CHUNK as u64;
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for (t, h) in handles.into_iter().enumerate() {
+            per_thread_ops[t] = h.join().expect("counter worker panicked");
+        }
+        start.elapsed()
+    });
+
+    RunResult {
+        ops: per_thread_ops.iter().sum(),
+        elapsed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +468,62 @@ mod tests {
         };
         let queue: SecQueue<u64> = SecQueue::new(cfg.threads + 1);
         assert!(run_queue_throughput(&queue, &cfg).ops > 0);
+    }
+
+    #[test]
+    fn map_runner_measures_positive_throughput() {
+        use sec_core::SecMap;
+        let cfg = RunConfig {
+            duration: Duration::from_millis(30),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let map: SecMap<u64, u64> = SecMap::new(cfg.threads + 1);
+        let r = run_map_throughput(&map, &cfg);
+        assert!(r.ops > 0);
+        assert!(r.mops() > 0.0);
+        assert!(r.elapsed >= cfg.duration);
+        // The prefill populated the map from the key distribution.
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn map_runner_handles_zipfian_and_write_heavy() {
+        use sec_core::SecMap;
+        let cfg = RunConfig {
+            duration: Duration::from_millis(10),
+            prefill: 100,
+            map_mix: MapMix::WRITE_HEAVY,
+            key_dist: KeyDist::Zipfian {
+                keys: 64,
+                theta: 0.99,
+            },
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let map: SecMap<u64, u64> = SecMap::new(cfg.threads + 1);
+        assert!(run_map_throughput(&map, &cfg).ops > 0);
+    }
+
+    #[test]
+    fn counter_runner_measures_positive_throughput() {
+        let cfg = RunConfig {
+            duration: Duration::from_millis(30),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let counter = SecCounter::new(cfg.threads);
+        let r = run_counter_throughput(&counter, &cfg);
+        assert!(r.ops > 0);
+        assert!(counter.load() > 0, "update draws reached fetch_add");
+    }
+
+    #[test]
+    fn counter_runner_maps_peek_draws_to_load() {
+        // Peek-only: loads never advance the counter.
+        let cfg = RunConfig {
+            duration: Duration::from_millis(10),
+            ..RunConfig::new(2, Mix::new(0, 0, 100))
+        };
+        let counter = SecCounter::new(cfg.threads);
+        assert!(run_counter_throughput(&counter, &cfg).ops > 0);
+        assert_eq!(counter.load(), 0);
     }
 }

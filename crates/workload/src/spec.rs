@@ -1,6 +1,9 @@
-//! Operation mixes (the paper's workload types).
+//! Operation mixes (the paper's workload types) and the keyed-workload
+//! generator for the map family (YCSB-style read/write mixes over
+//! uniform or zipfian key draws).
 
 use core::fmt;
+use rand::Rng;
 
 /// An operation mix in percent. `push + pop + peek` must equal 100.
 ///
@@ -87,9 +90,197 @@ pub enum OpKind {
     Peek,
 }
 
+/// A keyed-map operation mix in percent. `get + insert + remove` must
+/// equal 100 — the map family's counterpart of [`Mix`], with YCSB's
+/// read-heavy/write-heavy presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapMix {
+    /// Percent of operations that `get`.
+    pub get: u32,
+    /// Percent of operations that `insert`.
+    pub insert: u32,
+    /// Percent of operations that `remove`.
+    pub remove: u32,
+}
+
+impl MapMix {
+    /// 90% get / 5% insert / 5% remove — YCSB-B territory, the regime
+    /// services run caches in.
+    pub const READ_HEAVY: MapMix = MapMix::new(90, 5, 5);
+    /// 10% get / 45% insert / 45% remove — the update-dominated regime
+    /// where batching must carry the structure.
+    pub const WRITE_HEAVY: MapMix = MapMix::new(10, 45, 45);
+    /// 50% insert / 50% remove — no reads at all (the map twin of
+    /// [`Mix::UPDATE_100`]).
+    pub const UPDATE_ONLY: MapMix = MapMix::new(0, 50, 50);
+
+    /// Creates a mix; panics (at compile time for const use) unless the
+    /// percentages sum to 100.
+    pub const fn new(get: u32, insert: u32, remove: u32) -> Self {
+        assert!(get + insert + remove == 100, "map mix must sum to 100%");
+        Self {
+            get,
+            insert,
+            remove,
+        }
+    }
+
+    /// Update percentage (insert + remove).
+    pub const fn update_pct(&self) -> u32 {
+        self.insert + self.remove
+    }
+
+    /// Chooses an operation from a uniform draw in `0..100`.
+    #[inline]
+    pub fn classify(&self, draw: u32) -> MapOpKind {
+        debug_assert!(draw < 100);
+        if draw < self.get {
+            MapOpKind::Get
+        } else if draw < self.get + self.insert {
+            MapOpKind::Insert
+        } else {
+            MapOpKind::Remove
+        }
+    }
+
+    /// The label used in figure/table output.
+    pub fn label(&self) -> String {
+        match *self {
+            MapMix::READ_HEAVY => "read-heavy".into(),
+            MapMix::WRITE_HEAVY => "write-heavy".into(),
+            MapMix::UPDATE_ONLY => "update-only".into(),
+            MapMix {
+                get,
+                insert,
+                remove,
+            } => format!("{get}/{insert}/{remove} get/insert/remove"),
+        }
+    }
+}
+
+impl fmt::Display for MapMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A single drawn map operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOpKind {
+    /// Look a key up.
+    Get,
+    /// Insert/overwrite a key.
+    Insert,
+    /// Remove a key.
+    Remove,
+}
+
+/// How the keyed workload draws its keys.
+///
+/// The distinction this repo cares about: a **uniform** draw spreads
+/// announcements evenly over the shards, while a **zipfian** draw
+/// concentrates them on the hot keys' shards — the workload regime
+/// that genuinely exercises the elastic monitor (big batches on hot
+/// shards vote *grow*).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Keys uniform in `0..keys`.
+    Uniform {
+        /// Key-space size (≥ 1).
+        keys: u64,
+    },
+    /// Keys zipfian over `0..keys` with skew `theta` (YCSB's default
+    /// is `0.99`; higher is more skewed). Key 0 is the hottest.
+    Zipfian {
+        /// Key-space size (≥ 1).
+        keys: u64,
+        /// Skew exponent (`0.0` degenerates to uniform).
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Builds the per-run sampler (for zipfian: the `O(keys)`
+    /// cumulative-weight table, built once and shared by reference
+    /// across the worker threads).
+    pub fn sampler(&self) -> KeySampler {
+        match *self {
+            KeyDist::Uniform { keys } => KeySampler {
+                keys: keys.max(1),
+                cum: None,
+            },
+            KeyDist::Zipfian { keys, theta } => {
+                let keys = keys.max(1);
+                let mut cum = Vec::with_capacity(keys as usize);
+                let mut total = 0.0f64;
+                for i in 0..keys {
+                    total += 1.0 / ((i + 1) as f64).powf(theta);
+                    cum.push(total);
+                }
+                for c in &mut cum {
+                    *c /= total;
+                }
+                KeySampler {
+                    keys,
+                    cum: Some(cum.into_boxed_slice()),
+                }
+            }
+        }
+    }
+
+    /// Key-space size.
+    pub fn keys(&self) -> u64 {
+        match *self {
+            KeyDist::Uniform { keys } | KeyDist::Zipfian { keys, .. } => keys.max(1),
+        }
+    }
+
+    /// The label used in figure/table output (`uniform(1024)`,
+    /// `zipf(1024,0.99)`).
+    pub fn label(&self) -> String {
+        match *self {
+            KeyDist::Uniform { keys } => format!("uniform({keys})"),
+            KeyDist::Zipfian { keys, theta } => format!("zipf({keys},{theta})"),
+        }
+    }
+}
+
+impl fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A prepared key sampler (see [`KeyDist::sampler`]). Read-only after
+/// construction, so worker threads share one by reference.
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    keys: u64,
+    /// Normalized cumulative zipf weights; `None` = uniform.
+    cum: Option<Box<[f64]>>,
+}
+
+impl KeySampler {
+    /// Draws one key.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match &self.cum {
+            None => rng.gen_range(0..self.keys),
+            Some(cum) => {
+                // A uniform draw in [0, 1) with 53 bits of precision,
+                // inverted through the cumulative table.
+                let u = rng.gen_range(0..(1u64 << 53)) as f64 / (1u64 << 53) as f64;
+                cum.partition_point(|&c| c <= u) as u64
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     #[test]
     fn presets_sum_to_100() {
@@ -143,5 +334,121 @@ mod tests {
     #[should_panic(expected = "sum to 100")]
     fn bad_mix_panics() {
         let _ = Mix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn map_presets_sum_to_100() {
+        for m in [MapMix::READ_HEAVY, MapMix::WRITE_HEAVY, MapMix::UPDATE_ONLY] {
+            assert_eq!(m.get + m.insert + m.remove, 100);
+        }
+        assert_eq!(MapMix::READ_HEAVY.update_pct(), 10);
+        assert_eq!(MapMix::WRITE_HEAVY.update_pct(), 90);
+    }
+
+    #[test]
+    fn map_classify_covers_the_whole_range() {
+        let m = MapMix::READ_HEAVY;
+        let mut counts = [0u32; 3];
+        for d in 0..100 {
+            match m.classify(d) {
+                MapOpKind::Get => counts[0] += 1,
+                MapOpKind::Insert => counts[1] += 1,
+                MapOpKind::Remove => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts, [90, 5, 5]);
+    }
+
+    #[test]
+    fn map_labels() {
+        assert_eq!(MapMix::READ_HEAVY.label(), "read-heavy");
+        assert_eq!(MapMix::WRITE_HEAVY.label(), "write-heavy");
+        assert_eq!(
+            MapMix::new(20, 30, 50).label(),
+            "20/30/50 get/insert/remove"
+        );
+        assert_eq!(KeyDist::Uniform { keys: 64 }.label(), "uniform(64)");
+        assert_eq!(
+            KeyDist::Zipfian {
+                keys: 64,
+                theta: 0.99
+            }
+            .label(),
+            "zipf(64,0.99)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_map_mix_panics() {
+        let _ = MapMix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn uniform_sampler_stays_in_range_and_spreads() {
+        let s = KeyDist::Uniform { keys: 16 }.sampler();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 16];
+        for _ in 0..2_000 {
+            let k = s.sample(&mut rng);
+            assert!(k < 16);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all keys drawn: {seen:?}");
+    }
+
+    #[test]
+    fn zipfian_sampler_skews_toward_low_keys() {
+        let s = KeyDist::Zipfian {
+            keys: 1024,
+            theta: 0.99,
+        }
+        .sampler();
+        let mut rng = SmallRng::seed_from_u64(42);
+        const N: usize = 20_000;
+        let mut head = 0usize; // draws landing in the 8 hottest keys
+        for _ in 0..N {
+            let k = s.sample(&mut rng);
+            assert!(k < 1024);
+            if k < 8 {
+                head += 1;
+            }
+        }
+        // With theta = 0.99 over 1024 keys the 8 hottest carry ~35% of
+        // the mass; a uniform draw would put ~0.8% there.
+        assert!(
+            head > N / 5,
+            "zipf mass not concentrated: {head}/{N} in the head"
+        );
+    }
+
+    #[test]
+    fn zipfian_theta_zero_degenerates_to_uniform() {
+        let s = KeyDist::Zipfian {
+            keys: 64,
+            theta: 0.0,
+        }
+        .sampler();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 64];
+        for _ in 0..64_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(min * 2 > *max, "theta=0 should be near-uniform: {counts:?}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let d = KeyDist::Zipfian {
+            keys: 128,
+            theta: 0.99,
+        };
+        let (s1, s2) = (d.sampler(), d.sampler());
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(s1.sample(&mut a), s2.sample(&mut b));
+        }
     }
 }

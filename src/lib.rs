@@ -13,10 +13,13 @@
 //! * [`ext::SecCounter`] — the combining fetch-add counter, the
 //!   minimal instantiation of the generic combining engine every
 //!   SEC-family structure runs on (DESIGN.md §12),
+//! * [`ext::SecMap`] — the batched-combining keyed hash map (buckets
+//!   block-partitioned into shards, one aggregator per shard, results
+//!   through announcement slots; DESIGN.md §13),
 //! * [`baselines`] — the five competitor stacks from the evaluation
 //!   (Treiber, elimination-backoff, flat-combining, CC-Synch,
 //!   timestamped-interval) plus the queue baselines (Michael–Scott,
-//!   locked `VecDeque`),
+//!   locked `VecDeque`) and the map baseline (locked `HashMap`),
 //! * [`reclaim`] — the DEBRA-style epoch-based reclamation substrate,
 //! * [`sync`] — concurrency primitives (backoff, spin-then-park
 //!   waiting, cache padding, TTAS lock, TSC clock, aggregating
@@ -49,9 +52,9 @@
 #![warn(missing_docs)]
 
 pub use sec_core::{
-    topology_shard, AggregatorPolicy, BatchReport, CollectorStats, ConcurrentQueue,
-    ConcurrentStack, QueueHandle, RecyclePolicy, SecConfig, SecHandle, SecStack, SecStats,
-    ShardPolicy, StackHandle, WaitPolicy,
+    topology_shard, AggregatorPolicy, BatchReport, CollectorStats, ConcurrentMap, ConcurrentQueue,
+    ConcurrentStack, MapHandle, QueueHandle, RecyclePolicy, SecConfig, SecHandle, SecStack,
+    SecStats, ShardPolicy, StackHandle, WaitPolicy,
 };
 
 /// The elastic-sharding contention monitor (DESIGN.md §8): pure
@@ -61,24 +64,28 @@ pub mod elastic {
     pub use sec_core::sec::elastic::{decide, ContentionMonitor, Direction, WindowSample};
 }
 
-/// Extensions built from the paper's mechanisms (DESIGN.md §7, §9 and
-/// §12): a sharded pool, a deque with per-end elimination + combining,
-/// the batched-combining FIFO queue, and the combining fetch-add
-/// counter that exercises the generic engine seam.
+/// Extensions built from the paper's mechanisms (DESIGN.md §7, §9,
+/// §12 and §13): a sharded pool, a deque with per-end elimination +
+/// combining, the batched-combining FIFO queue, the combining
+/// fetch-add counter that exercises the generic engine seam, and the
+/// batched-combining keyed hash map.
 pub mod ext {
     pub use sec_core::counter::{SecCounter, SecCounterHandle};
     pub use sec_core::deque::{DequeHandle, End, SecDeque};
+    pub use sec_core::map::{SecMap, SecMapHandle};
     pub use sec_core::pool::{PoolHandle, SecPool};
     pub use sec_core::queue::{SecQueue, SecQueueHandle};
 }
 
 /// The five competitor stacks of the paper's evaluation, plus the
-/// queue-family baselines (Michael–Scott, locked `VecDeque`).
+/// queue-family baselines (Michael–Scott, locked `VecDeque`) and the
+/// map-family baseline (locked `HashMap`).
 pub mod baselines {
     pub use sec_baselines::{
-        CcHandle, CcStack, EbHandle, EbStack, FcHandle, FcStack, LockedHandle, LockedQueue,
-        LockedQueueHandle, LockedStack, MsHandle, MsQueue, SeqStack, TreiberHandle,
-        TreiberHpHandle, TreiberHpStack, TreiberStack, TsiHandle, TsiStack,
+        CcHandle, CcStack, EbHandle, EbStack, FcHandle, FcStack, LockedHandle, LockedHashMap,
+        LockedHashMapHandle, LockedQueue, LockedQueueHandle, LockedStack, MsHandle, MsQueue,
+        SeqStack, TreiberHandle, TreiberHpHandle, TreiberHpStack, TreiberStack, TsiHandle,
+        TsiStack,
     };
 }
 
@@ -107,8 +114,9 @@ pub mod linearize {
 /// Workload generation and throughput measurement.
 pub mod workload {
     pub use sec_workload::{
-        replay, run_algo, run_queue_throughput, run_throughput, stats, table, trace, Algo, Mix,
+        replay, run_algo, run_counter_throughput, run_map_throughput, run_queue_throughput,
+        run_throughput, stats, table, trace, Algo, KeyDist, KeySampler, MapMix, MapOpKind, Mix,
         OpKind, ReplayResult, RunConfig, RunResult, Trace, TraceOp, ALL_COMPETITORS,
-        EXTENDED_LINEUP, QUEUE_LINEUP,
+        EXTENDED_LINEUP, MAP_LINEUP, QUEUE_LINEUP, SEC_FAMILIES,
     };
 }

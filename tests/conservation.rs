@@ -1,8 +1,10 @@
 //! Integration: value conservation under concurrency — for all six
 //! stacks (every pushed value is popped exactly once, run + drain, none
 //! invented, none lost), for the queue family (the same contract over
-//! enqueue/dequeue), and for the combining counter (observed pre-values
-//! must form the exact prefix-sum chain of the operands).
+//! enqueue/dequeue), for the combining counter (observed pre-values
+//! must form the exact prefix-sum chain of the operands), and for the
+//! combining map (every inserted value exits exactly once — displaced,
+//! removed, or drained).
 
 mod common;
 
@@ -301,4 +303,116 @@ fn all_stacks_agree_on_emptiness() {
         assert_eq!(h.pop(), Some(1), "[{name}]");
         assert_eq!(h.pop(), None, "[{name}] drained stack pops EMPTY");
     });
+}
+
+/// Map conservation, exact form: values are globally unique
+/// (`tid << 40 | seq`), so every value ever inserted must leave the
+/// map by exactly one exit — displaced by a later insert on its key,
+/// removed by a `remove`, or still present in the end-of-run drain.
+/// Counting the exits and checking the sets balance is the keyed
+/// analogue of the stack's multiset identity.
+fn map_conservation(map: &sec_repro::ext::SecMap<u64, u64>, threads: usize, per: usize) {
+    const KEYS: u64 = 128;
+    struct Tally {
+        inserted: Vec<u64>,
+        displaced: Vec<u64>,
+        removed: Vec<u64>,
+    }
+    let tallies: Vec<Tally> = thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let map = &map;
+                scope.spawn(move || {
+                    let mut h = map.register();
+                    let mut tally = Tally {
+                        inserted: Vec::new(),
+                        displaced: Vec::new(),
+                        removed: Vec::new(),
+                    };
+                    for i in 0..per {
+                        // Multiplicative scramble so neighbouring
+                        // iterations hit distant keys (and shards).
+                        let key = ((t * per + i) as u64).wrapping_mul(0x9E37_79B9) % KEYS;
+                        match i % 5 {
+                            0..=2 => {
+                                let value = (t as u64) << 40 | i as u64;
+                                tally.inserted.push(value);
+                                if let Some(prev) = h.insert(key, value) {
+                                    tally.displaced.push(prev);
+                                }
+                            }
+                            3 => {
+                                if let Some(v) = h.remove(&key) {
+                                    tally.removed.push(v);
+                                }
+                            }
+                            _ => {
+                                let _ = h.get(&key);
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+
+    let mut inserted: HashSet<u64> = HashSet::new();
+    for t in &tallies {
+        for &v in &t.inserted {
+            assert!(inserted.insert(v), "value {v:#x} inserted twice");
+        }
+    }
+    let mut exited: HashSet<u64> = HashSet::new();
+    for t in &tallies {
+        for &v in t.displaced.iter().chain(&t.removed) {
+            assert!(inserted.contains(&v), "phantom value {v:#x} left the map");
+            assert!(exited.insert(v), "value {v:#x} left the map twice");
+        }
+    }
+    let mut h = map.register();
+    for key in 0..KEYS {
+        if let Some(v) = h.remove(&key) {
+            assert!(inserted.contains(&v), "phantom value {v:#x} in drain");
+            assert!(exited.insert(v), "value {v:#x} left the map twice (drain)");
+        }
+    }
+    assert!(map.is_empty(), "drain over the whole key space must empty");
+    assert_eq!(
+        exited.len(),
+        inserted.len(),
+        "every inserted value must be displaced, removed or drained"
+    );
+    assert_eq!(
+        map.stats().report().eliminated,
+        0,
+        "keyed family never eliminates"
+    );
+}
+
+#[test]
+fn map_conserves_every_value_4_threads() {
+    let map = sec_repro::ext::SecMap::new(5);
+    map_conservation(&map, 4, 1_500);
+}
+
+#[test]
+fn map_conserves_every_value_oversubscribed() {
+    // More threads than this host has cores, under the elastic policy
+    // with parking waits: re-mapping the bucket → shard routing while
+    // threads are forcibly descheduled must not break the identity.
+    use sec_repro::{AggregatorPolicy, SecConfig, WaitPolicy};
+    let map = sec_repro::ext::SecMap::with_config(
+        SecConfig::new(1, 13)
+            .aggregator_policy(AggregatorPolicy::Adaptive {
+                min_k: 1,
+                max_k: 4,
+                window: 64,
+            })
+            .wait_policy(WaitPolicy::spin_then_park()),
+    );
+    map_conservation(&map, 12, 400);
 }

@@ -151,4 +151,33 @@ fn facade_re_exports_are_live() {
         "queue throughput run must complete ops"
     );
     assert_eq!(sec_repro::workload::QUEUE_LINEUP.len(), 3);
+
+    // ext: the homogeneous counter and the keyed map.
+    let counter = sec_repro::ext::SecCounter::new(1);
+    let mut ch = counter.register();
+    assert_eq!(ch.fetch_add(5), 0);
+    assert_eq!(ch.load(), 5);
+    let map: sec_repro::ext::SecMap<u64, u64> = sec_repro::ext::SecMap::new(1);
+    let mut mh = map.register();
+    assert_eq!(mh.insert(9, 90), None);
+    assert_eq!(mh.get(&9), Some(90));
+    assert_eq!(mh.remove(&9), Some(90));
+
+    // The map trait surface + baseline + workload path.
+    fn map_name<M: sec_repro::ConcurrentMap<u64, u64>>(m: &M) -> &'static str {
+        m.name()
+    }
+    assert_eq!(map_name(&map), "SEC-M");
+    let lckm: sec_repro::baselines::LockedHashMap<u64, u64> =
+        sec_repro::baselines::LockedHashMap::new(1);
+    assert_eq!(map_name(&lckm), "LCK-M");
+    let mrun = sec_repro::workload::run_algo(sec_repro::workload::Algo::SecMap, &cfg);
+    assert!(mrun.result.ops > 0, "map throughput run must complete ops");
+    let crun = sec_repro::workload::run_algo(sec_repro::workload::Algo::SecCounter, &cfg);
+    assert!(
+        crun.result.ops > 0,
+        "counter throughput run must complete ops"
+    );
+    assert_eq!(sec_repro::workload::MAP_LINEUP.len(), 2);
+    assert_eq!(sec_repro::workload::SEC_FAMILIES.len(), 5);
 }

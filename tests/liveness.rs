@@ -238,3 +238,50 @@ fn lone_thread_queue_completes_unaided() {
         }
     });
 }
+
+#[test]
+fn lone_thread_map_completes_unaided() {
+    use sec_repro::ext::SecMap;
+    // The keyed instantiation: one thread is freezer and combiner of
+    // every batch it opens, across whatever shard its keys route to.
+    within_secs(30, "lone map thread", || {
+        let map: SecMap<u64, u64> = SecMap::new(8);
+        let mut h = map.register();
+        for i in 0..20_000u64 {
+            let key = i % 512;
+            assert_eq!(h.get(&key), None);
+            assert_eq!(h.insert(key, i), None);
+            assert_eq!(h.remove(&key), Some(i));
+        }
+        assert!(map.is_empty());
+    });
+}
+
+#[test]
+fn map_completes_fixed_work_oversubscribed() {
+    // 4× the host's hardware threads through one map: the freeze wait
+    // and publish wait must degrade to yields/parking, and the final
+    // contents must still balance.
+    let threads = 4 * std::thread::available_parallelism().map_or(1, |n| n.get());
+    let map = sec_repro::ext::SecMap::with_config(
+        SecConfig::new(2, threads + 1).wait_policy(sec_repro::WaitPolicy::spin_then_park()),
+    );
+    within_secs(60, "oversubscribed map", || {
+        thread::scope(|scope| {
+            for t in 0..threads {
+                let map = &map;
+                scope.spawn(move || {
+                    let mut h = map.register();
+                    for i in 0..300u64 {
+                        let key = (t as u64) << 16 | i; // thread-private keys
+                        h.insert(key, i);
+                        if i % 2 == 0 {
+                            assert_eq!(h.remove(&key), Some(i));
+                        }
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(map.len(), threads * 150, "each thread leaves 150 keys");
+}

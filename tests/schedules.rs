@@ -22,8 +22,9 @@
 //! preemption (yield points) and where the aggregator set is resized,
 //! which is exactly the surface elastic sharding added.
 //!
-//! All five families are derived here — stack, queue, deque, pool and
-//! counter schedules, each checked against its sequential spec — and
+//! All six families are derived here — stack, queue, deque, pool,
+//! counter and map schedules, each checked against its sequential
+//! spec — and
 //! every schedule additionally draws a **recycling policy** (off, tiny
 //! overflowing cache, default), so node reuse across epochs
 //! (DESIGN.md §10) is exercised under the same permuted interleavings
@@ -33,10 +34,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sec_linearize::spec::counter::{CounterOp, CounterSpec};
 use sec_linearize::spec::deque::{DequeOp, DequeSpec};
+use sec_linearize::spec::map::{MapOp, MapSpec};
 use sec_linearize::spec::pool::{PoolOp, PoolSpec};
 use sec_linearize::spec::queue::{QueueOp, QueueSpec};
 use sec_linearize::spec::{check_generic, TimedOp};
-use sec_repro::ext::{SecCounter, SecDeque, SecPool, SecQueue};
+use sec_repro::ext::{SecCounter, SecDeque, SecMap, SecPool, SecQueue};
 use sec_repro::linearize::{check_conservation, check_history, Event, Op, Recorder};
 use sec_repro::{RecyclePolicy, SecConfig, SecStack};
 use std::sync::Mutex;
@@ -1351,4 +1353,356 @@ fn forced_resize_points_reach_both_bounds() {
             );
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// Map schedules: the seed-derived harness over `SecMap`, the keyed
+// engine instantiation (DESIGN.md §13). Like the counter, every map op
+// rides the Remove lane — but here the batch is *partitioned by shard
+// of the key's bucket*, so the permuted interleavings exercise the
+// bucket → shard routing and the re-route after every elastic resize.
+// Values are globally unique (`tid << 40 | seq`), which upgrades the
+// large-schedule pass to an exact conservation identity: every value
+// ever inserted is displaced by a later insert, removed, or still in
+// the map at the end — each exactly once.
+// ----------------------------------------------------------------------
+
+/// One step of a map thread's script.
+#[derive(Debug, Clone, Copy)]
+enum MapAction {
+    /// `get(key)`.
+    Get(u64),
+    /// `insert(key, v)` where `v` is the thread's next unique value.
+    Insert(u64),
+    /// `remove(key)`.
+    Remove(u64),
+    /// Offer preemption `n` times before the next step.
+    Yield(u8),
+    /// Force the active aggregator count to `k` (no-op under Fixed).
+    Resize(usize),
+}
+
+/// A seed-derived map schedule.
+#[derive(Debug)]
+struct MapSchedule {
+    mode: Mode,
+    recycle: RecyclePolicy,
+    /// Keys are drawn from `0..key_space`; small schedules keep it
+    /// tiny so operations actually contend on keys (and the Wing–Gong
+    /// state space stays reachable).
+    key_space: u64,
+    scripts: Vec<Vec<MapAction>>,
+}
+
+impl MapSchedule {
+    fn derive(seed: u64, small: bool) -> Self {
+        // Distinct stream from the other families' schedules.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0000_AB1E_5EC0_06E7);
+        let threads = if small {
+            2 + rng.gen_range(0..2) as usize
+        } else {
+            4 + rng.gen_range(0..4) as usize
+        };
+        let ops_per_thread = if small {
+            5 + rng.gen_range(0..4) as usize
+        } else {
+            150 + rng.gen_range(0..250) as usize
+        };
+        let key_space = if small {
+            2 + rng.gen_range(0..3) as u64
+        } else {
+            16 + rng.gen_range(0..48) as u64
+        };
+        let mode = match rng.gen_range(0..4) {
+            0 => Mode::Fixed(1 + rng.gen_range(0..3) as usize),
+            _ => {
+                let min_k = 1 + rng.gen_range(0..2) as usize;
+                let max_k = min_k + 1 + rng.gen_range(0..3) as usize;
+                Mode::Adaptive { min_k, max_k }
+            }
+        };
+        let recycle = derive_recycle(&mut rng);
+        let (min_k, max_k) = match mode {
+            Mode::Fixed(k) => (k, k),
+            Mode::Adaptive { min_k, max_k } => (min_k, max_k),
+        };
+        let scripts = (0..threads)
+            .map(|t| {
+                let mut script = Vec::new();
+                for i in 0..ops_per_thread {
+                    if rng.gen_range(0..3) == 0 {
+                        script.push(MapAction::Yield(1 + rng.gen_range(0..3) as u8));
+                    }
+                    if max_k > min_k {
+                        if rng.gen_range(0..8) == 0 {
+                            let span = (max_k - min_k + 1) as u32;
+                            script.push(MapAction::Resize(min_k + rng.gen_range(0..span) as usize));
+                        }
+                        if t == 0 && i == ops_per_thread / 2 {
+                            script.push(MapAction::Resize(max_k));
+                            script.push(MapAction::Resize(min_k));
+                        }
+                    }
+                    let key = rng.gen_range(0..key_space);
+                    script.push(match rng.gen_range(0..5) {
+                        0 | 1 => MapAction::Insert(key),
+                        2 | 3 => MapAction::Remove(key),
+                        _ => MapAction::Get(key),
+                    });
+                }
+                script
+            })
+            .collect();
+        MapSchedule {
+            mode,
+            recycle,
+            key_space,
+            scripts,
+        }
+    }
+
+    fn config(&self) -> SecConfig {
+        let max_threads = self.scripts.len() + 1; // + the drain handle
+        let base = match self.mode {
+            Mode::Fixed(k) => SecConfig::new(k, max_threads),
+            Mode::Adaptive { min_k, max_k } => {
+                SecConfig::adaptive_windowed(min_k, max_k, 32, max_threads)
+            }
+        };
+        base.recycle(self.recycle)
+    }
+}
+
+/// A recorded map history (timed get/insert/remove operations).
+type MapHistory = Vec<TimedOp<MapOp<u64, u64>>>;
+
+/// Runs a map schedule, returning the history and the drained final
+/// contents (key → value, removed one key-order pass at the end).
+fn run_map_schedule(s: &MapSchedule) -> (MapHistory, Vec<(u64, u64)>) {
+    let map: SecMap<u64, u64> = SecMap::with_config(s.config());
+    let rec = Recorder::new();
+    let events: Mutex<Vec<TimedOp<MapOp<u64, u64>>>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for (t, script) in s.scripts.iter().enumerate() {
+            let map = &map;
+            let rec = &rec;
+            let events = &events;
+            scope.spawn(move || {
+                let mut h = map.register();
+                let mut local = Vec::new();
+                let mut seq = 0u64;
+                for action in script {
+                    match *action {
+                        MapAction::Yield(n) => {
+                            for _ in 0..n {
+                                thread::yield_now();
+                            }
+                            continue;
+                        }
+                        MapAction::Resize(k) => {
+                            map.set_active_aggregators(k);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    let invoke = rec.now();
+                    let op = match *action {
+                        MapAction::Get(key) => MapOp::Get {
+                            key,
+                            observed: h.get(&key),
+                        },
+                        MapAction::Insert(key) => {
+                            let value = (t as u64) << 40 | seq;
+                            seq += 1;
+                            MapOp::Insert {
+                                key,
+                                value,
+                                prev: h.insert(key, value),
+                            }
+                        }
+                        MapAction::Remove(key) => MapOp::Remove {
+                            key,
+                            removed: h.remove(&key),
+                        },
+                        _ => unreachable!(),
+                    };
+                    let response = rec.now();
+                    local.push(TimedOp {
+                        op,
+                        invoke,
+                        response,
+                    });
+                }
+                events.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let active = map.active_aggregators();
+    let (min_k, max_k) = match s.mode {
+        Mode::Fixed(k) => (k, k),
+        Mode::Adaptive { min_k, max_k } => (min_k, max_k),
+    };
+    assert!(
+        (min_k..=max_k).contains(&active),
+        "final active {active} escaped [{min_k}, {max_k}]"
+    );
+    assert_eq!(
+        map.stats().report().eliminated,
+        0,
+        "keyed family never eliminates"
+    );
+
+    let mut drained = Vec::new();
+    let mut h = map.register();
+    for key in 0..s.key_space {
+        if let Some(v) = h.remove(&key) {
+            drained.push((key, v));
+        }
+    }
+    assert!(map.is_empty(), "drain over the whole key space must empty");
+    (events.into_inner().unwrap(), drained)
+}
+
+/// Linear-time exactness pass over a map history: with globally unique
+/// values, every inserted value must leave the map by exactly one exit
+/// (displaced by a later insert on its key, removed, or drained at the
+/// end), every non-`None` observation must name a value some insert
+/// put there, and the per-key sets must balance. Real-time order is
+/// left to Wing–Gong on the small schedules.
+fn check_map_conservation(
+    history: &[TimedOp<MapOp<u64, u64>>],
+    drained: &[(u64, u64)],
+) -> Result<(), String> {
+    use std::collections::HashSet;
+    let mut inserted: HashSet<u64> = HashSet::new();
+    let mut exited: HashSet<u64> = HashSet::new();
+    let mut inserted_key: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for e in history {
+        if let MapOp::Insert { key, value, .. } = e.op {
+            if !inserted.insert(value) {
+                return Err(format!("value {value:#x} inserted twice"));
+            }
+            inserted_key.insert(value, key);
+        }
+    }
+    let exit = |what: &str, key: u64, value: u64, exited: &mut HashSet<u64>| {
+        if !inserted.contains(&value) {
+            return Err(format!("{what} yielded {value:#x}, which no insert put in"));
+        }
+        if inserted_key[&value] != key {
+            return Err(format!(
+                "{what} on key {key} yielded {value:#x}, inserted under key {}",
+                inserted_key[&value]
+            ));
+        }
+        if !exited.insert(value) {
+            return Err(format!("value {value:#x} left the map twice ({what})"));
+        }
+        Ok(())
+    };
+    for e in history {
+        match e.op {
+            MapOp::Insert {
+                key, prev: Some(v), ..
+            } => exit("insert displacement", key, v, &mut exited)?,
+            MapOp::Remove {
+                key,
+                removed: Some(v),
+            } => exit("remove", key, v, &mut exited)?,
+            // Observations don't consume the value — just check
+            // provenance.
+            MapOp::Get {
+                key,
+                observed: Some(v),
+            } if !inserted.contains(&v) || inserted_key[&v] != key => {
+                return Err(format!("get({key}) observed phantom value {v:#x}"));
+            }
+            _ => {}
+        }
+    }
+    for &(key, v) in drained {
+        exit("drain", key, v, &mut exited)?;
+    }
+    if exited.len() != inserted.len() {
+        return Err(format!(
+            "{} values inserted but only {} accounted for",
+            inserted.len(),
+            exited.len()
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn small_map_schedules_are_linearizable() {
+    let mut saw_fixed = false;
+    let mut saw_adaptive = false;
+    let mut saw_recycle_on = false;
+    let mut saw_recycle_off = false;
+    let seeds = sweep_seeds(24);
+    let full_sweep = coverage_asserts_apply(seeds.len());
+    for seed in seeds {
+        let schedule = MapSchedule::derive(seed, true);
+        match schedule.mode {
+            Mode::Fixed(_) => saw_fixed = true,
+            Mode::Adaptive { .. } => saw_adaptive = true,
+        }
+        if schedule.recycle.is_on() {
+            saw_recycle_on = true;
+        } else {
+            saw_recycle_off = true;
+        }
+        let (history, drained) = run_map_schedule(&schedule);
+        check_map_conservation(&history, &drained).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} ({:?}): map conservation violated: {e}\n{}",
+                schedule.mode,
+                replay_hint(seed)
+            )
+        });
+        check_generic::<MapSpec<u64, u64>>(&history).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed} ({:?}): map history not linearizable: {e}\n{}\n{history:#?}",
+                schedule.mode,
+                replay_hint(seed)
+            )
+        });
+    }
+    if full_sweep {
+        assert!(saw_fixed, "map sweep never generated a Fixed schedule");
+        assert!(
+            saw_adaptive,
+            "map sweep never generated an Adaptive schedule"
+        );
+        assert!(
+            saw_recycle_on && saw_recycle_off,
+            "map sweep must cover recycling both on and off"
+        );
+    }
+}
+
+#[test]
+fn large_map_schedules_conserve_every_value() {
+    for seed in sweep_seeds(6) {
+        let schedule = MapSchedule::derive(seed, false);
+        let (history, drained) = run_map_schedule(&schedule);
+        check_map_conservation(&history, &drained).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: map conservation violated: {e}\n{}",
+                replay_hint(seed)
+            )
+        });
+    }
+}
+
+#[test]
+fn identical_seeds_derive_identical_map_schedules() {
+    let a = MapSchedule::derive(0xD15EA5E, true);
+    let b = MapSchedule::derive(0xD15EA5E, true);
+    assert_eq!(a.mode, b.mode);
+    assert_eq!(a.recycle, b.recycle);
+    assert_eq!(a.key_space, b.key_space);
+    assert_eq!(format!("{:?}", a.scripts), format!("{:?}", b.scripts));
 }
