@@ -76,7 +76,7 @@ fn main() {
     let threads = *opts.sweep().last().unwrap_or(&2);
     let ops_per_thread = 5_000u64;
 
-    let mut csv = String::from("mix,algo,p50_ns,p90_ns,p99_ns,max_ns\n");
+    let mut csv = String::from("mix,algo,p50_ns,p90_ns,p99_ns,p999_ns,max_ns\n");
     for (mix, lineup) in [
         (Mix::UPDATE_100, &ALL_COMPETITORS[..]),
         (Mix::UPDATE_50, &ALL_COMPETITORS[..]),
@@ -93,26 +93,28 @@ fn main() {
     ] {
         println!("## {mix} @ {threads} threads ({ops_per_thread} timed ops/thread)");
         println!(
-            "{:>8} {:>10} {:>10} {:>10} {:>12}",
-            "algo", "p50", "p90", "p99", "max"
+            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "algo", "p50", "p90", "p99", "p999", "max"
         );
         for &algo in lineup {
             let r = measure(algo, threads, ops_per_thread, mix);
             println!(
-                "{:>8} {:>10} {:>10} {:>10} {:>12}",
+                "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
                 algo.label(),
                 r.p50,
                 r.p90,
                 r.p99,
+                r.p999,
                 r.max
             );
             csv.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{}\n",
                 mix.label(),
                 algo.label(),
                 r.p50,
                 r.p90,
                 r.p99,
+                r.p999,
                 r.max
             ));
         }
@@ -132,8 +134,8 @@ fn main() {
         Mix::UPDATE_100
     );
     println!(
-        "{:>14} {:>10} {:>10} {:>10} {:>12}",
-        "algo[policy]", "p50", "p90", "p99", "max"
+        "{:>14} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "algo[policy]", "p50", "p90", "p99", "p999", "max"
     );
     for policy in [
         WaitPolicy::Spin,
@@ -147,19 +149,21 @@ fn main() {
         let rq = measure_queue_latency(&queue, over, ops_per_thread, Mix::UPDATE_100);
         for (label, r) in [("SEC", rs), ("SEC-Q", rq)] {
             println!(
-                "{:>14} {:>10} {:>10} {:>10} {:>12}",
+                "{:>14} {:>10} {:>10} {:>10} {:>10} {:>12}",
                 format!("{label}[{}]", policy.label()),
                 r.p50,
                 r.p90,
                 r.p99,
+                r.p999,
                 r.max
             );
             csv.push_str(&format!(
-                "upd100@4x,{label}[{}],{},{},{},{}\n",
+                "upd100@4x,{label}[{}],{},{},{},{},{}\n",
                 policy.label(),
                 r.p50,
                 r.p90,
                 r.p99,
+                r.p999,
                 r.max
             ));
         }

@@ -21,14 +21,36 @@
 //! (`<series>_{parks,wakes,spurious}`), mirroring the resize- and
 //! recycle-counter exports of `fig4`/`queue_bench` — like those, the
 //! counter columns are **totals summed over the cell's `--runs`**
-//! (the per-run means are printed on the progress lines).
+//! (the per-run means are printed on the progress lines). Each policy
+//! series also carries per-cell latency percentile columns
+//! (`<series>_{p50,p99,p999}_ns`, from one fixed-work latency pass per
+//! cell): the throughput rows say how much work got done, the tail
+//! columns say what each wait policy cost the ops that had to wait.
 
 use sec_bench::BenchOpts;
-use sec_core::WaitPolicy;
+use sec_core::{SecConfig, SecQueue, SecStack, WaitPolicy};
 use sec_sync::topology;
 use sec_workload::stats::{Summary, WaitTotals};
 use sec_workload::table::Figure;
-use sec_workload::{run_algo, Algo, Mix, RunConfig};
+use sec_workload::{
+    measure_latency, measure_queue_latency, run_algo, Algo, LatencyReport, Mix, RunConfig,
+};
+
+/// One fixed-work latency pass for a (family, policy, threads) cell.
+fn cell_latency(algo: Algo, policy: WaitPolicy, threads: usize, ops: u64) -> LatencyReport {
+    let cap = threads + 1;
+    match algo {
+        Algo::SecQueue => {
+            let queue: SecQueue<u64> = SecQueue::new(cap).wait_policy(policy);
+            measure_queue_latency(&queue, threads, ops, Mix::UPDATE_100)
+        }
+        _ => {
+            let stack: SecStack<u64> =
+                SecStack::with_config(SecConfig::new(2, cap).wait_policy(policy));
+            measure_latency(&stack, threads, ops, Mix::UPDATE_100)
+        }
+    }
+}
 
 /// The swept wait policies, with the series labels used in the CSVs.
 const POLICIES: [WaitPolicy; 3] = [
@@ -108,6 +130,20 @@ fn main() {
                 ys.push(s.mean);
             }
             fig.add_series(label.clone(), ys);
+            // The tail view: one latency pass per cell, after the
+            // throughput runs so it cannot perturb them.
+            let mut p50s = Vec::with_capacity(sweep.len());
+            let mut p99s = Vec::with_capacity(sweep.len());
+            let mut p999s = Vec::with_capacity(sweep.len());
+            for &threads in &sweep {
+                let r = cell_latency(algo, policy, threads, 2_000);
+                p50s.push(r.p50 as f64);
+                p99s.push(r.p99 as f64);
+                p999s.push(r.p999 as f64);
+            }
+            extras.push((format!("{label}_p50_ns"), p50s));
+            extras.push((format!("{label}_p99_ns"), p99s));
+            extras.push((format!("{label}_p999_ns"), p999s));
             extras.push((
                 format!("{label}_parks"),
                 waits[pi].iter().map(|w| w.parks as f64).collect(),

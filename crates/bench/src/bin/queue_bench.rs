@@ -19,7 +19,7 @@
 //! (hit %, misses, overflows — DESIGN.md §10).
 
 use sec_bench::BenchOpts;
-use sec_workload::stats::{ReclaimTotals, ResizeTotals, Summary};
+use sec_workload::stats::{DegreeTotals, ReclaimTotals, ResizeTotals, Summary};
 use sec_workload::table::Figure;
 use sec_workload::{run_algo, Algo, Mix, RunConfig, QUEUE_LINEUP};
 
@@ -43,6 +43,7 @@ fn main() {
             let mut cas_fails = Vec::with_capacity(sweep.len());
             let mut resize_cols: Vec<ResizeTotals> = Vec::with_capacity(sweep.len());
             let mut recycle_cols: Vec<ReclaimTotals> = Vec::with_capacity(sweep.len());
+            let mut degree_cols: Vec<DegreeTotals> = Vec::with_capacity(sweep.len());
             for &threads in &sweep {
                 // Dequeue-only: scale the prefill with the measurement
                 // window so dequeues measure removal, not the EMPTY
@@ -59,6 +60,7 @@ fn main() {
                 };
                 let mut resizes = ResizeTotals::new();
                 let mut recycle = ReclaimTotals::new();
+                let mut degree_dist = DegreeTotals::new();
                 let mut degree_sum = 0.0;
                 let mut cas_sum = 0u64;
                 let samples: Vec<f64> = (0..opts.runs)
@@ -74,6 +76,7 @@ fn main() {
                         }
                         resizes.add(out.sec_report.as_ref());
                         recycle.add(out.reclaim.as_ref());
+                        degree_dist.add(out.sec_report.as_ref());
                         out.result.mops()
                     })
                     .collect();
@@ -89,12 +92,32 @@ fn main() {
                 cas_fails.push(cas_sum as f64);
                 resize_cols.push(resizes);
                 recycle_cols.push(recycle);
+                degree_cols.push(degree_dist);
             }
             fig.add_series(algo.label(), ys);
             // SEC-Q is the only queue with a batch layer: its counter
             // block rides along as unplotted CSV columns.
             if algo == Algo::SecQueue {
                 fig.add_extra(format!("{}_batch_degree", algo.label()), degrees);
+                // The degree *distribution* (sec-trace's per-batch
+                // histogram): the mean above says how much combining
+                // happened, min/p50/p99/max say how it was shaped.
+                fig.add_extra(
+                    format!("{}_degree_min", algo.label()),
+                    degree_cols.iter().map(|d| d.min as f64).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_degree_p50", algo.label()),
+                    degree_cols.iter().map(|d| d.p50_mean()).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_degree_p99", algo.label()),
+                    degree_cols.iter().map(|d| d.p99_mean()).collect(),
+                );
+                fig.add_extra(
+                    format!("{}_degree_max", algo.label()),
+                    degree_cols.iter().map(|d| d.max as f64).collect(),
+                );
                 fig.add_extra(format!("{}_cas_failures", algo.label()), cas_fails);
                 fig.add_extra(
                     format!("{}_grows", algo.label()),

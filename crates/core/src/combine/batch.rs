@@ -79,6 +79,11 @@ pub(crate) struct CombineBatch<N> {
     /// families whose result chain is not null-terminated (the queue —
     /// see the module docs). Published before `applied`.
     pub(crate) taken: AtomicU64,
+    /// Clock ticks at the freeze, stamped by a tracing freezer
+    /// (DESIGN.md §14) so the combiner can report the freeze→publish
+    /// batch residency. Stays zero when tracing is off; eight dead
+    /// bytes per batch is cheaper than a second cfg'd batch layout.
+    pub(crate) frozen_at: AtomicU64,
     /// The announcement slot array: slot `i` carries the node brought
     /// by the announcer with sequence number `i` on the slot-publishing
     /// lane. Empty for aggregators whose announcers bring no nodes.
@@ -127,6 +132,7 @@ impl<N> CombineBatch<N> {
             applied: AtomicBool::new(false),
             result_head: AtomicPtr::new(ptr::null_mut()),
             taken: AtomicU64::new(0),
+            frozen_at: AtomicU64::new(0),
             slots,
             capacity,
         }

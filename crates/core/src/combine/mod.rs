@@ -40,6 +40,7 @@ pub(crate) mod batch;
 use crate::config::{AggregatorPolicy, SecConfig};
 use crate::sec::elastic::{self, ContentionMonitor, Direction};
 use crate::sec::stats::SecStats;
+use crate::trace::{TraceConfig, TraceEventKind, TraceLane, TraceRecorder, TraceSnapshot};
 pub(crate) use batch::{
     mark_applied, wait_applied, wait_ptr, CombineAggregator, CombineBatch, Role,
 };
@@ -48,6 +49,7 @@ use core::sync::atomic::{AtomicUsize, Ordering};
 use sec_reclaim::{Collector, Guard, Handle as ReclaimHandle};
 use sec_sync::event::spin_wait;
 use sec_sync::CachePadded;
+use std::time::Instant;
 
 impl Role {
     /// The opposite lane (elimination partners and combiner election
@@ -57,6 +59,15 @@ impl Role {
         match self {
             Role::Add => Role::Remove,
             Role::Remove => Role::Add,
+        }
+    }
+
+    /// The lane tag trace events carry.
+    #[inline]
+    fn trace_lane(self) -> TraceLane {
+        match self {
+            Role::Add => TraceLane::Add,
+            Role::Remove => TraceLane::Remove,
         }
     }
 }
@@ -225,6 +236,16 @@ pub(crate) struct CombineEngine<O: CombineOp> {
     batch_capacity: usize,
     collector: Collector,
     stats: SecStats,
+    /// Construction instant, anchoring [`TraceSnapshot::at_ns`].
+    born: Instant,
+    /// The sec-trace recording substrate (DESIGN.md §14), built only
+    /// when [`TraceConfig::enabled`] is set. The field itself exists
+    /// only under the `trace` cargo feature; every hook goes through
+    /// [`CombineEngine::tracer`], which degenerates to a constant
+    /// `None` without it — the optimizer then erases the hooks
+    /// entirely, so default builds pay nothing.
+    #[cfg(feature = "trace")]
+    tracer: Option<Box<TraceRecorder>>,
 }
 
 // Safety: all engine-shared state is atomics; node/batch ownership
@@ -266,6 +287,12 @@ impl<O: CombineOp> CombineEngine<O> {
             batch_capacity: cap,
             collector: Collector::with_recycle(config.max_threads, config.recycle),
             stats: SecStats::new(),
+            born: Instant::now(),
+            #[cfg(feature = "trace")]
+            tracer: config
+                .trace
+                .enabled
+                .then(|| Box::new(TraceRecorder::new(&config.trace, config.max_threads))),
             config,
         }
     }
@@ -325,6 +352,56 @@ impl<O: CombineOp> CombineEngine<O> {
         &self.stats
     }
 
+    /// The trace recorder, when one was configured *and* the `trace`
+    /// cargo feature is compiled in. This accessor is the hooks' single
+    /// seam: without the feature it is a constant `None`, so every
+    /// `if let Some(t) = self.tracer()` hook folds away and the hot
+    /// path is byte-identical to an untraced build.
+    #[inline]
+    pub(crate) fn tracer(&self) -> Option<&TraceRecorder> {
+        #[cfg(feature = "trace")]
+        {
+            self.tracer.as_deref()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            None
+        }
+    }
+
+    /// Re-points the tracing configuration (builder path; `&mut`
+    /// guarantees no thread has registered yet). Rebuilds the recorder
+    /// to match under the `trace` feature; without it only the stored
+    /// config changes.
+    pub(crate) fn set_trace_config(&mut self, trace: TraceConfig) {
+        self.config.trace = trace;
+        #[cfg(feature = "trace")]
+        {
+            self.tracer = trace
+                .enabled
+                .then(|| Box::new(TraceRecorder::new(&trace, self.config.max_threads)));
+        }
+    }
+
+    /// A point-in-time poll of the protocol counters (works with or
+    /// without the `trace` cargo feature — it reads the always-on
+    /// [`SecStats`]).
+    pub(crate) fn trace_snapshot(&self) -> TraceSnapshot {
+        let r = self.stats.report();
+        TraceSnapshot {
+            at_ns: self.born.elapsed().as_nanos() as u64,
+            ops: r.ops,
+            batches: r.batches,
+            eliminated: r.eliminated,
+            combined: r.combined,
+            parks: r.parks,
+            wakes: r.wakes,
+            grows: r.grows,
+            shrinks: r.shrinks,
+            active_aggregators: self.active_aggregators(),
+        }
+    }
+
     /// Reclamation statistics (diagnostic).
     pub(crate) fn reclaim_stats(&self) -> sec_reclaim::CollectorStats {
         self.collector.stats()
@@ -360,6 +437,13 @@ impl<O: CombineOp> CombineEngine<O> {
         }
         if k != prev {
             self.monitor.arm_fence(self.collector.global_epoch());
+            if let Some(t) = self.tracer() {
+                t.record_control(if k > prev {
+                    TraceEventKind::Grow { k: k as u32 }
+                } else {
+                    TraceEventKind::Shrink { k: k as u32 }
+                });
+            }
         }
         self.monitor.end_decision();
         k
@@ -386,10 +470,20 @@ impl<O: CombineOp> CombineEngine<O> {
                         Direction::Grow => {
                             self.active.store(active + 1, Ordering::Release);
                             self.stats.record_grow();
+                            if let Some(t) = self.tracer() {
+                                t.record_control(TraceEventKind::Grow {
+                                    k: (active + 1) as u32,
+                                });
+                            }
                         }
                         Direction::Shrink => {
                             self.active.store(active - 1, Ordering::Release);
                             self.stats.record_shrink();
+                            if let Some(t) = self.tracer() {
+                                t.record_control(TraceEventKind::Shrink {
+                                    k: (active - 1) as u32,
+                                });
+                            }
                         }
                     }
                     self.monitor.clear_pending();
@@ -429,6 +523,8 @@ impl<O: CombineOp> CombineEngine<O> {
         agg: &CombineAggregator<O::Node>,
         batch_ptr: *mut CombineBatch<O::Node>,
         guard: &Guard<'_, '_>,
+        tid: usize,
+        agg_idx: usize,
     ) {
         let batch = unsafe { &*batch_ptr };
 
@@ -453,6 +549,22 @@ impl<O: CombineOp> CombineEngine<O> {
         batch.add_at_freeze.store(adds, Ordering::Relaxed);
 
         self.stats.record_batch(adds, removes);
+        // sec-trace per-batch hooks (never sampled — batches are ~P×
+        // rarer than ops): stamp the freeze instant for the combiner's
+        // residency measurement and log the frozen degree. The stamp
+        // precedes the batch-pointer swap below, whose Release/Acquire
+        // edge publishes it to every included waiter.
+        if let Some(t) = self.tracer() {
+            batch.frozen_at.store(t.now(), Ordering::Relaxed);
+            t.record(
+                tid,
+                agg_idx as u32,
+                TraceEventKind::BatchFrozen {
+                    adds: adds as u32,
+                    removes: removes as u32,
+                },
+            );
+        }
         // Elastic sharding: the same frozen snapshot feeds the
         // contention monitor (§8 — measurement free-rides on the
         // freeze). Inert for fixed-policy families.
@@ -481,6 +593,20 @@ impl<O: CombineOp> CombineEngine<O> {
         // `alloc_with` calls instead of the heap.
         unsafe { CombineBatch::retire_with(guard, batch_ptr) };
 
+        // Recycle pressure: if this thread's free-list cache spilled
+        // blocks to the global pool since the last freeze we traced,
+        // log the delta (a watermark diff — cheap, and only here, off
+        // the announce path).
+        if let Some(t) = self.tracer() {
+            if let Some(count) = t.overflow_delta(tid, guard.handle().recycle_overflows()) {
+                t.record(
+                    tid,
+                    agg_idx as u32,
+                    TraceEventKind::RecycleOverflow { count },
+                );
+            }
+        }
+
         // The freezer that filled the decision window runs the resize
         // decision — *after* publishing the fresh batch, so the
         // announcers spinning on the batch pointer never wait through
@@ -494,28 +620,124 @@ impl<O: CombineOp> CombineEngine<O> {
     /// announcer that wins the test&set freezes; everyone else waits
     /// (parked, per the configured policy) for the batch swap.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn freeze_or_wait(
         &self,
         agg: &CombineAggregator<O::Node>,
         batch_ptr: *mut CombineBatch<O::Node>,
         my_seq: usize,
         guard: &Guard<'_, '_>,
+        tid: usize,
+        agg_idx: usize,
+        sampled: Option<&TraceRecorder>,
     ) {
         let batch = unsafe { &*batch_ptr };
         if my_seq == 0 && !batch.freezer_decided.swap(true, Ordering::AcqRel) {
             // We won the test&set among the (at most two) first
             // announcers: play the freezer 𝑓_B.
-            self.freeze_batch(agg, batch_ptr, guard);
+            if let Some(t) = self.tracer() {
+                t.record(tid, agg_idx as u32, TraceEventKind::FreezerElected);
+            }
+            self.freeze_batch(agg, batch_ptr, guard, tid, agg_idx);
         } else {
             // Line 11/60: wait for the freezer to swap the batch
             // pointer — parked (per the configured policy) on the
             // aggregator's event queue; the freezer wakes us.
+            if let Some(t) = sampled {
+                t.record(tid, agg_idx as u32, TraceEventKind::Park);
+            }
             agg.event.wait_until(
                 batch_ptr as usize,
                 self.config.wait,
                 self.stats.wait(),
                 || !ptr::eq(agg.batch.load(Ordering::Acquire), batch_ptr),
             );
+            if let Some(t) = sampled {
+                t.record(tid, agg_idx as u32, TraceEventKind::Unpark);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // sec-trace hook helpers (each folds to its bare operation when
+    // `trace` is None — always the case in untraced builds)
+    // ------------------------------------------------------------------
+
+    /// Runs a combiner's apply closure with the sampled-op combine
+    /// hooks around it: `combine_start` event, timed apply, duration
+    /// histogram, `combine` span event.
+    #[inline]
+    fn traced_combine(
+        &self,
+        trace: Option<&TraceRecorder>,
+        tid: usize,
+        agg_idx: usize,
+        role: Role,
+        apply: impl FnOnce(),
+    ) {
+        if let Some(t) = trace {
+            t.record(
+                tid,
+                agg_idx as u32,
+                TraceEventKind::CombineStart {
+                    lane: role.trace_lane(),
+                },
+            );
+            let t0 = t.now();
+            apply();
+            let dur_ns = t.delta_ns(t0);
+            t.combine_duration().record(dur_ns);
+            t.record(tid, agg_idx as u32, TraceEventKind::CombineEnd { dur_ns });
+        } else {
+            apply();
+        }
+    }
+
+    /// Publish hook, run by the combiner right after `mark_applied`:
+    /// freeze→publish batch residency, read off the freezer's
+    /// `frozen_at` stamp (zero when the freezer was not traced —
+    /// nothing is recorded then).
+    #[inline]
+    fn trace_publish(
+        &self,
+        trace: Option<&TraceRecorder>,
+        tid: usize,
+        agg_idx: usize,
+        batch: &CombineBatch<O::Node>,
+    ) {
+        if let Some(t) = trace {
+            let frozen = batch.frozen_at.load(Ordering::Relaxed);
+            if frozen != 0 {
+                let residency_ns = t.delta_ns(frozen);
+                t.batch_residency().record(residency_ns);
+                t.record(
+                    tid,
+                    agg_idx as u32,
+                    TraceEventKind::Publish { residency_ns },
+                );
+            }
+        }
+    }
+
+    /// The applied-flag wait with park/unpark events around it for
+    /// sampled ops.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn traced_wait_applied(
+        &self,
+        trace: Option<&TraceRecorder>,
+        tid: usize,
+        agg_idx: usize,
+        agg: &CombineAggregator<O::Node>,
+        batch: &CombineBatch<O::Node>,
+        batch_ptr: *mut CombineBatch<O::Node>,
+    ) {
+        if let Some(t) = trace {
+            t.record(tid, agg_idx as u32, TraceEventKind::Park);
+        }
+        wait_applied(agg, batch, batch_ptr, self.config.wait, self.stats.wait());
+        if let Some(t) = trace {
+            t.record(tid, agg_idx as u32, TraceEventKind::Unpark);
         }
     }
 
@@ -533,10 +755,36 @@ impl<O: CombineOp> CombineEngine<O> {
     /// the node still exclusively theirs.
     pub(crate) fn run(
         &self,
+        lane: Lane<'_>,
+        role: Role,
+        node: *mut O::Node,
+        reclaim: &ReclaimHandle<'_>,
+    ) -> Option<O::Value> {
+        // sec-trace sampling decision, hoisted out of the protocol:
+        // unsampled ops (and untraced builds, where `tracer()` is a
+        // constant `None`) take exactly one predictable branch here and
+        // pass `None` down — every hook inside the driver then folds to
+        // nothing.
+        let tid = reclaim.slot();
+        let trace = self.tracer().filter(|t| t.sample(tid));
+        let t_op = trace.map(|t| t.now());
+        let out = self.run_inner(lane, role, node, reclaim, tid, trace);
+        if let (Some(t), Some(t0)) = (trace, t_op) {
+            t.op_latency().record(t.delta_ns(t0));
+        }
+        out
+    }
+
+    /// The driver proper; `trace` is `Some` only for sampled ops of a
+    /// traced structure (see [`CombineEngine::run`]).
+    fn run_inner(
+        &self,
         mut lane: Lane<'_>,
         role: Role,
         node: *mut O::Node,
         reclaim: &ReclaimHandle<'_>,
+        tid: usize,
+        trace: Option<&TraceRecorder>,
     ) -> Option<O::Value> {
         loop {
             // Re-resolve the mapping each attempt: an excluded retry
@@ -570,9 +818,23 @@ impl<O: CombineOp> CombineEngine<O> {
             if !node.is_null() {
                 batch.slots[my_seq].store(node, Ordering::Release);
             }
+            if let Some(t) = trace {
+                t.record(
+                    tid,
+                    agg_idx as u32,
+                    TraceEventKind::Announce {
+                        lane: role.trace_lane(),
+                        seq: my_seq as u32,
+                    },
+                );
+            }
+            let t_announce = trace.map(|t| t.now());
 
             // Lines 8–13 / 57–62.
-            self.freeze_or_wait(agg, batch_ptr, my_seq, &guard);
+            self.freeze_or_wait(agg, batch_ptr, my_seq, &guard, tid, agg_idx, trace);
+            if let (Some(t), Some(t0)) = (trace, t_announce) {
+                t.announce_to_freeze().record(t.delta_ns(t0));
+            }
 
             // Line 14/63: inclusion test.
             let my_cut = batch.cut(role).load(Ordering::Acquire) as usize;
@@ -591,18 +853,15 @@ impl<O: CombineOp> CombineEngine<O> {
                     if my_seq >= other_cut {
                         // Line 16: combiner test.
                         if my_seq == other_cut {
-                            self.op.combine_add(self, batch, my_seq, agg_idx, &guard);
+                            self.traced_combine(trace, tid, agg_idx, role, || {
+                                self.op.combine_add(self, batch, my_seq, agg_idx, &guard);
+                            });
                             // Line 18 — and wake the batch's waiters.
                             mark_applied(agg, batch, batch_ptr, self.stats.wait());
+                            self.trace_publish(trace, tid, agg_idx, batch);
                         } else {
                             // Line 20: parked wait for the combiner.
-                            wait_applied(
-                                agg,
-                                batch,
-                                batch_ptr,
-                                self.config.wait,
-                                self.stats.wait(),
-                            );
+                            self.traced_wait_applied(trace, tid, agg_idx, agg, batch, batch_ptr);
                         }
                     }
                     // Line 24: adds return no value.
@@ -617,12 +876,15 @@ impl<O: CombineOp> CombineEngine<O> {
                     }
                     // Line 69: combiner test.
                     if my_seq == other_cut {
-                        self.op.combine_remove(self, batch, my_seq, agg_idx, &guard);
+                        self.traced_combine(trace, tid, agg_idx, role, || {
+                            self.op.combine_remove(self, batch, my_seq, agg_idx, &guard);
+                        });
                         // Line 71 — and wake the batch's waiters.
                         mark_applied(agg, batch, batch_ptr, self.stats.wait());
+                        self.trace_publish(trace, tid, agg_idx, batch);
                     } else {
                         // Line 73: parked wait for the combiner.
-                        wait_applied(agg, batch, batch_ptr, self.config.wait, self.stats.wait());
+                        self.traced_wait_applied(trace, tid, agg_idx, agg, batch, batch_ptr);
                     }
                     // Line 76: consume our offset of the result chain.
                     return self.op.take_result(self, batch, my_seq - other_cut, &guard);

@@ -186,7 +186,7 @@ fn freeze_publishes_cut_swaps_batch_and_publish_wakes() {
 
     // Freeze: cuts published, fresh batch installed, frozen one
     // retired (still readable: we are pinned).
-    eng.freeze_batch(agg, b0, &guard);
+    eng.freeze_batch(agg, b0, &guard, 0, 0);
     assert_eq!(batch.add_at_freeze.load(Ordering::Acquire), 1);
     assert_eq!(batch.remove_at_freeze.load(Ordering::Acquire), 0);
     assert!(

@@ -20,6 +20,8 @@
 pub use sec_reclaim::RecyclePolicy;
 pub use sec_sync::event::WaitPolicy;
 
+use crate::trace::TraceConfig;
+
 /// How thread ids map to aggregators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardPolicy {
@@ -180,6 +182,12 @@ pub struct SecConfig {
     /// run queue, so throughput survives thread counts far beyond the
     /// core count.
     pub wait: WaitPolicy,
+    /// sec-trace observability knobs (DESIGN.md §14). Off by default;
+    /// inert unless the crate was built with the `trace` cargo
+    /// feature, in which case an enabled config makes the structure
+    /// build a [`TraceRecorder`](crate::trace::TraceRecorder) and feed
+    /// its event rings and phase histograms.
+    pub trace: TraceConfig,
 }
 
 impl SecConfig {
@@ -202,6 +210,7 @@ impl SecConfig {
             policy: AggregatorPolicy::Fixed(aggregators.max(1)),
             recycle: RecyclePolicy::default(),
             wait: WaitPolicy::default(),
+            trace: TraceConfig::off(),
         }
     }
 
@@ -248,6 +257,12 @@ impl SecConfig {
     /// Sets the blocking-wait policy (builder style).
     pub fn wait_policy(mut self, wait: WaitPolicy) -> Self {
         self.wait = wait;
+        self
+    }
+
+    /// Sets the tracing config (builder style).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -407,6 +422,16 @@ mod tests {
         assert_eq!(c.wait, WaitPolicy::SpinThenYield);
         let c = c.wait_policy(WaitPolicy::SpinThenPark { spin_rounds: 3 });
         assert_eq!(c.wait, WaitPolicy::SpinThenPark { spin_rounds: 3 });
+    }
+
+    #[test]
+    fn trace_defaults_off_and_builder_toggles() {
+        let c = SecConfig::new(2, 4);
+        assert!(!c.trace.enabled, "tracing is off by default");
+        let c = c.trace(TraceConfig::on().sample_shift(0).ring_capacity(128));
+        assert!(c.trace.enabled);
+        assert_eq!(c.trace.sample_shift, 0);
+        assert_eq!(c.trace.ring_capacity, 128);
     }
 
     #[test]

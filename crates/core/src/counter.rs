@@ -206,6 +206,18 @@ impl SecCounter {
     pub fn set_active_aggregators(&self, k: usize) -> usize {
         self.engine.set_active_aggregators(k)
     }
+
+    /// A point-in-time poll of the counter's protocol counters (see
+    /// [`SecStack::trace_snapshot`](crate::SecStack::trace_snapshot)).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.engine.trace_snapshot()
+    }
+
+    /// The sec-trace recorder, when configured under the `trace` cargo
+    /// feature (see [`SecStack::tracer`](crate::SecStack::tracer)).
+    pub fn tracer(&self) -> Option<&crate::TraceRecorder> {
+        self.engine.tracer()
+    }
 }
 
 impl fmt::Debug for SecCounter {
@@ -234,6 +246,12 @@ impl SecCounterHandle<'_> {
     /// The aggregator this thread last announced to.
     pub fn aggregator(&self) -> usize {
         self.state.aggregator()
+    }
+
+    /// A point-in-time poll of the counter's protocol counters (see
+    /// [`SecCounter::trace_snapshot`]).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.counter.trace_snapshot()
     }
 
     /// Atomically adds `n` and returns the counter's value immediately

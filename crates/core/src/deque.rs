@@ -255,6 +255,18 @@ impl<T: Send + 'static> SecDeque<T> {
         self.engine.quiesce_reclamation(rounds)
     }
 
+    /// A point-in-time poll of the deque's protocol counters (see
+    /// [`SecStack::trace_snapshot`](crate::SecStack::trace_snapshot)).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.engine.trace_snapshot()
+    }
+
+    /// The sec-trace recorder, when configured under the `trace` cargo
+    /// feature (see [`SecStack::tracer`](crate::SecStack::tracer)).
+    pub fn tracer(&self) -> Option<&crate::TraceRecorder> {
+        self.engine.tracer()
+    }
+
     /// Registers the calling thread.
     ///
     /// # Panics
@@ -284,6 +296,12 @@ pub struct DequeHandle<'a, T: Send + 'static> {
 }
 
 impl<T: Send + 'static> DequeHandle<'_, T> {
+    /// A point-in-time poll of the deque's protocol counters (see
+    /// [`SecDeque::trace_snapshot`]).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.deque.trace_snapshot()
+    }
+
     /// Pushes at the front.
     pub fn push_front(&mut self, value: T) {
         self.push(End::Front, value);

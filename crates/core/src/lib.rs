@@ -78,6 +78,7 @@ pub mod map;
 pub mod pool;
 pub mod queue;
 pub mod sec;
+pub mod trace;
 mod traits;
 
 pub use config::{
@@ -89,6 +90,7 @@ pub use queue::{SecQueue, SecQueueHandle};
 pub use sec::stats::{BatchReport, SecStats};
 pub use sec::{SecHandle, SecStack};
 pub use sec_reclaim::CollectorStats;
+pub use trace::{DegreeDist, TraceConfig, TraceRates, TraceRecorder, TraceSnapshot};
 pub use traits::{
     ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle, StackHandle,
 };

@@ -357,6 +357,18 @@ where
         self.engine.set_active_aggregators(k)
     }
 
+    /// A point-in-time poll of the map's protocol counters (see
+    /// [`SecStack::trace_snapshot`](crate::SecStack::trace_snapshot)).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.engine.trace_snapshot()
+    }
+
+    /// The sec-trace recorder, when configured under the `trace` cargo
+    /// feature (see [`SecStack::tracer`](crate::SecStack::tracer)).
+    pub fn tracer(&self) -> Option<&crate::TraceRecorder> {
+        self.engine.tracer()
+    }
+
     /// The shard currently serving `bucket`: the bucket range is
     /// block-partitioned over the active shards.
     fn shard_of(&self, bucket: usize) -> usize {
@@ -419,6 +431,12 @@ where
     /// This thread's id (dense, `0..max_threads`).
     pub fn tid(&self) -> usize {
         self.state.tid()
+    }
+
+    /// A point-in-time poll of the map's protocol counters (see
+    /// [`SecMap::trace_snapshot`]).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.map.trace_snapshot()
     }
 
     /// Announces `cmd` on its key's shard and rides the engine to the

@@ -131,6 +131,36 @@ impl<T: Send + 'static> SecPool<T> {
         (parks, wakes, spurious)
     }
 
+    /// A point-in-time poll of the pool's protocol counters, folded
+    /// over every shard (counters sum; `at_ns` and
+    /// `active_aggregators` take the shard maxima). See
+    /// [`SecStack::trace_snapshot`].
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.shards.iter().map(|s| s.trace_snapshot()).fold(
+            crate::TraceSnapshot::default(),
+            |acc, s| crate::TraceSnapshot {
+                at_ns: acc.at_ns.max(s.at_ns),
+                ops: acc.ops + s.ops,
+                batches: acc.batches + s.batches,
+                eliminated: acc.eliminated + s.eliminated,
+                combined: acc.combined + s.combined,
+                parks: acc.parks + s.parks,
+                wakes: acc.wakes + s.wakes,
+                grows: acc.grows + s.grows,
+                shrinks: acc.shrinks + s.shrinks,
+                active_aggregators: acc.active_aggregators.max(s.active_aggregators),
+            },
+        )
+    }
+
+    /// Shard `idx`'s sec-trace recorder, when configured under the
+    /// `trace` cargo feature (see
+    /// [`SecStack::tracer`](crate::SecStack::tracer)); the pool has one
+    /// recorder per shard stack.
+    pub fn tracer(&self, idx: usize) -> Option<&crate::TraceRecorder> {
+        self.shards.get(idx).and_then(|s| s.tracer())
+    }
+
     /// Aggregate elimination share across shards (diagnostic).
     pub fn pct_eliminated(&self) -> f64 {
         let (mut elim, mut ops) = (0u64, 0u64);
@@ -178,6 +208,26 @@ impl<T: Send + 'static> PoolHandle<'_, T> {
     /// This thread's home shard index.
     pub fn home(&self) -> usize {
         self.home
+    }
+
+    /// A pool-wide protocol-counter poll through this handle (see
+    /// [`SecPool::trace_snapshot`]).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.handles.iter().map(|h| h.trace_snapshot()).fold(
+            crate::TraceSnapshot::default(),
+            |acc, s| crate::TraceSnapshot {
+                at_ns: acc.at_ns.max(s.at_ns),
+                ops: acc.ops + s.ops,
+                batches: acc.batches + s.batches,
+                eliminated: acc.eliminated + s.eliminated,
+                combined: acc.combined + s.combined,
+                parks: acc.parks + s.parks,
+                wakes: acc.wakes + s.wakes,
+                grows: acc.grows + s.grows,
+                shrinks: acc.shrinks + s.shrinks,
+                active_aggregators: acc.active_aggregators.max(s.active_aggregators),
+            },
+        )
     }
 
     /// Adds `value` to the pool (home shard: keeps producer/consumer

@@ -454,6 +454,15 @@ impl<T: Send + 'static> SecQueue<T> {
         self
     }
 
+    /// Sets the sec-trace configuration (builder style; DESIGN.md
+    /// §14). Rebuilds the recorder when the crate was built with the
+    /// `trace` cargo feature; inert otherwise. Apply before any thread
+    /// registers, which the consuming receiver guarantees.
+    pub fn trace_config(mut self, trace: crate::TraceConfig) -> Self {
+        self.engine.set_trace_config(trace);
+        self
+    }
+
     /// Registers the calling thread.
     ///
     /// # Panics
@@ -501,6 +510,18 @@ impl<T: Send + 'static> SecQueue<T> {
     pub fn quiesce_reclamation(&self, rounds: usize) -> sec_reclaim::CollectorStats {
         self.engine.quiesce_reclamation(rounds)
     }
+
+    /// A point-in-time poll of the queue's protocol counters (see
+    /// [`SecStack::trace_snapshot`](crate::SecStack::trace_snapshot)).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.engine.trace_snapshot()
+    }
+
+    /// The sec-trace recorder: `Some` only when configured via
+    /// [`SecQueue::trace_config`] under the `trace` cargo feature.
+    pub fn tracer(&self) -> Option<&crate::TraceRecorder> {
+        self.engine.tracer()
+    }
 }
 
 impl<T: Send + 'static> fmt::Debug for SecQueue<T> {
@@ -534,6 +555,12 @@ pub struct SecQueueHandle<'a, T: Send + 'static> {
 }
 
 impl<T: Send + 'static> SecQueueHandle<'_, T> {
+    /// A point-in-time poll of the queue's protocol counters (see
+    /// [`SecQueue::trace_snapshot`]).
+    pub fn trace_snapshot(&self) -> crate::TraceSnapshot {
+        self.queue.trace_snapshot()
+    }
+
     /// Appends `value` at the tail. Returns when the enqueue is
     /// linearized (its batch's splice CAS has landed).
     pub fn enqueue(&mut self, value: T) {

@@ -37,6 +37,7 @@ use crate::combine::{
     wait_ptr, AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, OpState, Role,
 };
 use crate::config::SecConfig;
+use crate::trace::{TraceRecorder, TraceSnapshot};
 use crate::traits::{ConcurrentStack, StackHandle};
 use core::fmt;
 use core::ptr;
@@ -338,6 +339,22 @@ impl<T: Send + 'static> SecStack<T> {
     pub fn set_active_aggregators(&self, k: usize) -> usize {
         self.engine.set_active_aggregators(k)
     }
+
+    /// A point-in-time poll of the protocol counters; two snapshots
+    /// differentiate into time-windowed rates via
+    /// [`TraceSnapshot::rates_since`]. Always available — it reads the
+    /// same counters as [`SecStack::stats`].
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.engine.trace_snapshot()
+    }
+
+    /// The sec-trace recorder (event rings + phase histograms,
+    /// DESIGN.md §14): `Some` only when the stack was configured with
+    /// [`TraceConfig::enabled`](crate::TraceConfig) *and* the crate was
+    /// built with the `trace` cargo feature.
+    pub fn tracer(&self) -> Option<&TraceRecorder> {
+        self.engine.tracer()
+    }
 }
 
 impl<T: Send + 'static> fmt::Debug for SecStack<T> {
@@ -384,6 +401,13 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
     /// policy the assignment moves with the active count).
     pub fn aggregator(&self) -> usize {
         self.state.aggregator()
+    }
+
+    /// A point-in-time poll of the stack's protocol counters (see
+    /// [`SecStack::trace_snapshot`]) — handle-level so monitoring code
+    /// holding only a handle can poll live rates.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.stack.trace_snapshot()
     }
 
     /// Algorithm 1. Returns when the push is linearized.

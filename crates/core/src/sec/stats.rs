@@ -10,6 +10,7 @@
 //! print the paper's Table 1 rows: batching degree, %elimination,
 //! %combining.
 
+use crate::trace::{DegreeDist, Histogram};
 use core::sync::atomic::{AtomicU64, Ordering};
 use sec_sync::event::WaitStats;
 
@@ -36,6 +37,10 @@ pub struct SecStats {
     /// (DESIGN.md §11): every `WaitQueue::wait_until`/`notify_key`
     /// call site passes this block through.
     wait: WaitStats,
+    /// Distribution of frozen batch degrees (DESIGN.md §14): one
+    /// wait-free histogram record per *batch*, so the CSVs can report
+    /// min/p50/p99/max instead of only the run-wide mean.
+    degree: Histogram,
 }
 
 impl SecStats {
@@ -56,6 +61,7 @@ impl SecStats {
         self.ops.fetch_add(size, Ordering::Relaxed);
         self.eliminated.fetch_add(elim, Ordering::Relaxed);
         self.combined.fetch_add(size - elim, Ordering::Relaxed);
+        self.degree.record(size);
     }
 
     /// Called by a combiner whose splice/unlink CAS on `stackTop` lost
@@ -101,7 +107,14 @@ impl SecStats {
             parks: self.wait.parks(),
             wakes: self.wait.unparks(),
             spurious_wakes: self.wait.spurious(),
+            degree: DegreeDist::from_histogram(&self.degree),
         }
+    }
+
+    /// The full batch-degree distribution (the report's
+    /// [`BatchReport::degree`] is its four-number summary).
+    pub fn degree_histogram(&self) -> &Histogram {
+        &self.degree
     }
 
     /// Resets all counters (between measurement phases).
@@ -114,6 +127,7 @@ impl SecStats {
         self.grows.store(0, Ordering::Relaxed);
         self.shrinks.store(0, Ordering::Relaxed);
         self.wait.reset();
+        self.degree.reset();
     }
 }
 
@@ -142,6 +156,9 @@ pub struct BatchReport {
     /// Wakeups whose awaited condition was still false (the waiter
     /// re-parked): stray park tokens and cross-generation wakes.
     pub spurious_wakes: u64,
+    /// Batch-degree distribution summary (min/p50/p99/max), from the
+    /// per-batch histogram.
+    pub degree: DegreeDist,
 }
 
 impl BatchReport {
@@ -233,6 +250,22 @@ mod tests {
         assert_eq!(r.ops, 0);
         assert_eq!(r.cas_failures, 0);
         assert_eq!(r.resizes(), 0);
+    }
+
+    #[test]
+    fn degree_distribution_tracks_batches() {
+        let s = SecStats::new();
+        s.record_batch(1, 0); // degree 1
+        s.record_batch(2, 2); // degree 4
+        s.record_batch(10, 6); // degree 16
+        let r = s.report();
+        assert_eq!(r.degree.min, 1);
+        assert_eq!(r.degree.max, 16);
+        assert!(r.degree.p50 >= 4 && r.degree.p50 <= 16);
+        assert!(r.degree.p99 >= r.degree.p50);
+        assert_eq!(s.degree_histogram().count(), 3);
+        s.reset();
+        assert_eq!(s.report().degree, DegreeDist::default());
     }
 
     #[test]

@@ -121,6 +121,13 @@ impl<'c> Handle<'c> {
         self.local().bags.iter().map(Bag::len).sum()
     }
 
+    /// How many recycled blocks this thread's cache has spilled to the
+    /// global pool over its lifetime (monotonic; a tracing consumer
+    /// diffs successive reads).
+    pub fn recycle_overflows(&self) -> u64 {
+        self.local().cache.overflows
+    }
+
     /// Tries to advance the epoch and free everything this thread has
     /// retired. Must be called *unpinned*; makes at most `rounds`
     /// advance attempts (other threads' stale pins can block progress).

@@ -102,6 +102,61 @@ impl TscClock {
     }
 }
 
+impl TscClock {
+    /// Measures how long one clock tick is in wall-clock nanoseconds.
+    ///
+    /// Spins for roughly a millisecond bracketing the tick counter with
+    /// two `Instant` reads — long enough to average out the measurement
+    /// jitter of the bracket itself, short enough to be paid once at
+    /// trace-recorder construction. On the software fallback (ticks
+    /// *are* nanoseconds) the result comes out as ≈ 1.0 naturally.
+    pub fn calibrate(&self) -> Calibration {
+        let wall = Instant::now();
+        let t0 = self.now();
+        while wall.elapsed() < std::time::Duration::from_millis(1) {
+            core::hint::spin_loop();
+        }
+        let ticks = self.now().saturating_sub(t0);
+        let ns = wall.elapsed().as_nanos() as u64;
+        let ns_per_tick = if ticks == 0 {
+            1.0 // degenerate clock (or time travel); treat ticks as ns
+        } else {
+            ns as f64 / ticks as f64
+        };
+        Calibration { ns_per_tick }
+    }
+}
+
+/// The tick→nanosecond conversion for one [`TscClock`], measured by
+/// [`TscClock::calibrate`]. Timestamps are meaningful only relative to
+/// the clock that produced them; a `Calibration` is likewise tied to
+/// its clock (TSC frequency differs across hosts).
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    ns_per_tick: f64,
+}
+
+impl Calibration {
+    /// Nanoseconds per clock tick (≈ 1.0 on the software fallback,
+    /// ≈ 1/GHz on an invariant-TSC x86).
+    pub fn ns_per_tick(&self) -> f64 {
+        self.ns_per_tick
+    }
+
+    /// Converts a tick *delta* to nanoseconds.
+    #[inline]
+    pub fn ticks_to_ns(&self, ticks: u64) -> u64 {
+        (ticks as f64 * self.ns_per_tick) as u64
+    }
+
+    /// Converts a tick *delta* to fractional microseconds (the unit of
+    /// Chrome-trace `ts`/`dur` fields).
+    #[inline]
+    pub fn ticks_to_us(&self, ticks: u64) -> f64 {
+        ticks as f64 * self.ns_per_tick / 1_000.0
+    }
+}
+
 impl Default for TscClock {
     fn default() -> Self {
         Self::new()
@@ -156,6 +211,21 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn calibration_is_sane() {
+        let c = TscClock::new();
+        let cal = c.calibrate();
+        // A tick is somewhere between a tenth of a nanosecond (10 GHz
+        // TSC) and a microsecond (pathologically coarse fallback).
+        assert!(cal.ns_per_tick() > 0.0);
+        assert!(cal.ns_per_tick() < 1_000.0);
+        assert_eq!(cal.ticks_to_ns(0), 0);
+        let ns = cal.ticks_to_ns(1_000_000);
+        assert!(ns > 0);
+        let us = cal.ticks_to_us(1_000_000);
+        assert!((us - ns as f64 / 1_000.0).abs() < 1.0);
     }
 
     #[test]

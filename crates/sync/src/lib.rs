@@ -44,7 +44,7 @@ pub mod topology;
 
 pub use backoff::Backoff;
 pub use clh::{ClhGuard, ClhLock};
-pub use clock::{Timestamp, TscClock};
+pub use clock::{Calibration, Timestamp, TscClock};
 pub use lock::{TtasGuard, TtasLock};
 pub use mcs::{McsGuard, McsLock};
 pub use pad::CachePadded;

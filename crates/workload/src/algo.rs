@@ -213,8 +213,12 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             Some(wait) => sec_config.wait_policy(wait),
             None => sec_config,
         };
-        match cfg.freezer_yields {
+        let sec_config = match cfg.freezer_yields {
             Some(yields) => sec_config.freezer_yields(yields),
+            None => sec_config,
+        };
+        match cfg.trace {
+            Some(trace) => sec_config.trace(trace),
             None => sec_config,
         }
     };
@@ -285,6 +289,9 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             }
             if let Some(yields) = cfg.freezer_yields {
                 queue = queue.freezer_yields(yields);
+            }
+            if let Some(trace) = cfg.trace {
+                queue = queue.trace_config(trace);
             }
             let result = run_queue_throughput(&queue, cfg);
             AlgoRun {

@@ -5,91 +5,63 @@
 //! and combiner, so its latency distribution has structure that
 //! Mops/s can't show (the paper touches this when discussing TSI's
 //! interval delays "increasing latency"). This module provides a
-//! dependency-free log-bucketed histogram and a fixed-work latency
-//! runner; the `latency` bench binary prints p50/p90/p99/max per
-//! algorithm.
+//! latency histogram and a fixed-work latency runner; the `latency`
+//! bench binary prints p50/p90/p99/p999/max per algorithm.
 
 use crate::spec::{KeyDist, MapMix, MapOpKind, Mix, OpKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sec_core::counter::SecCounter;
+use sec_core::trace::Histogram;
 use sec_core::{
     ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle, StackHandle,
 };
 use std::sync::Barrier;
 use std::time::Instant;
 
-/// A histogram with 2-logarithmic buckets over nanoseconds.
-///
-/// Bucket `i` covers `[2^i, 2^(i+1))` ns; percentile queries return the
-/// upper bound of the bucket containing the requested rank (≤ 2×
-/// relative error, plenty for cross-algorithm comparison).
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// A latency histogram over nanoseconds: a thin wrapper around the
+/// sec-trace HDR-style [`Histogram`] (16 linear sub-buckets per power
+/// of two, ≤ 6.25% relative error — the same layout the engine's phase
+/// histograms use, so the bench CSVs report comparable numbers).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram(Histogram);
 
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self {
-            buckets: [0; 64],
-            count: 0,
-            max_ns: 0,
-        }
+        Self::default()
     }
 
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, ns: u64) {
-        let bucket = 63 - ns.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.max_ns = self.max_ns.max(ns);
+        self.0.record(ns);
     }
 
     /// Number of samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.0.count()
     }
 
     /// Exact maximum recorded value.
     pub fn max_ns(&self) -> u64 {
-        self.max_ns
+        self.0.max()
     }
 
     /// Approximate `p`-th percentile (`0.0 < p <= 100.0`) in ns.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Upper bound of bucket i, clamped by the true max.
-                return (1u64 << (i + 1)).min(self.max_ns.max(1));
-            }
-        }
-        self.max_ns
+        self.0.percentile(p)
     }
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max_ns = self.max_ns.max(other.max_ns);
+        self.0.merge(&other.0);
+    }
+
+    /// The wrapped sec-trace histogram (for callers that want the full
+    /// distribution, e.g. to merge with engine-phase histograms).
+    pub fn inner(&self) -> &Histogram {
+        &self.0
     }
 }
 
@@ -102,10 +74,26 @@ pub struct LatencyReport {
     pub p90: u64,
     /// 99th percentile, ns.
     pub p99: u64,
+    /// 99.9th percentile, ns.
+    pub p999: u64,
     /// Maximum, ns.
     pub max: u64,
     /// Samples.
     pub samples: u64,
+}
+
+impl LatencyReport {
+    /// Summarizes a merged histogram.
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        Self {
+            p50: h.percentile(50.0),
+            p90: h.percentile(90.0),
+            p99: h.percentile(99.0),
+            p999: h.percentile(99.9),
+            max: h.max_ns(),
+            samples: h.count(),
+        }
+    }
 }
 
 /// Runs `ops_per_thread` timed operations of `mix` on each of `threads`
@@ -151,13 +139,7 @@ pub fn measure_latency<S: ConcurrentStack<u64>>(
         }
         merged
     });
-    LatencyReport {
-        p50: merged.percentile(50.0),
-        p90: merged.percentile(90.0),
-        p99: merged.percentile(99.0),
-        max: merged.max_ns(),
-        samples: merged.count(),
-    }
+    LatencyReport::from_histogram(&merged)
 }
 
 /// The queue-family twin of [`measure_latency`]: a [`Mix`] draw that
@@ -201,13 +183,7 @@ pub fn measure_queue_latency<Q: ConcurrentQueue<u64>>(
         }
         merged
     });
-    LatencyReport {
-        p50: merged.percentile(50.0),
-        p90: merged.percentile(90.0),
-        p99: merged.percentile(99.0),
-        max: merged.max_ns(),
-        samples: merged.count(),
-    }
+    LatencyReport::from_histogram(&merged)
 }
 
 /// The map-family twin of [`measure_latency`]: operations draw a key
@@ -260,13 +236,7 @@ pub fn measure_map_latency<M: ConcurrentMap<u64, u64>>(
         }
         merged
     });
-    LatencyReport {
-        p50: merged.percentile(50.0),
-        p90: merged.percentile(90.0),
-        p99: merged.percentile(99.0),
-        max: merged.max_ns(),
-        samples: merged.count(),
-    }
+    LatencyReport::from_histogram(&merged)
 }
 
 /// The counter-family twin of [`measure_latency`]: a [`Mix`] draw that
@@ -313,13 +283,7 @@ pub fn measure_counter_latency(
         }
         merged
     });
-    LatencyReport {
-        p50: merged.percentile(50.0),
-        p90: merged.percentile(90.0),
-        p99: merged.percentile(99.0),
-        max: merged.max_ns(),
-        samples: merged.count(),
-    }
+    LatencyReport::from_histogram(&merged)
 }
 
 #[cfg(test)]
@@ -372,9 +336,21 @@ mod tests {
     #[test]
     fn zero_nanosecond_sample_is_accepted() {
         let mut h = LatencyHistogram::new();
-        h.record(0); // clamped to bucket 0
+        h.record(0); // small values are exact in the HDR layout
         assert_eq!(h.count(), 1);
-        assert!(h.percentile(100.0) >= 1);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn report_carries_p999() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let r = LatencyReport::from_histogram(&h);
+        assert!(r.p50 < r.p999, "p50 {} p999 {}", r.p50, r.p999);
+        assert!(r.p999 <= r.max);
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub struct RunConfig {
     /// per-shard share (capacity / active shards — DESIGN.md §8).
     /// Values below `threads + 1` are clamped up to it.
     pub sec_capacity: Option<usize>,
+    /// sec-trace configuration for the SEC family (`None` keeps
+    /// tracing off, the zero-overhead default). Only takes effect when
+    /// the workspace is built with the `trace` cargo feature; without
+    /// it the config is carried but no recorder is constructed.
+    /// Ignored by the non-SEC algorithms.
+    pub trace: Option<sec_core::TraceConfig>,
 }
 
 impl RunConfig {
@@ -98,6 +104,7 @@ impl RunConfig {
             map_mix: MapMix::READ_HEAVY,
             key_dist: KeyDist::Uniform { keys: 1024 },
             sec_capacity: None,
+            trace: None,
         }
     }
 }

@@ -7,6 +7,73 @@
 
 use sec_core::{BatchReport, CollectorStats};
 
+/// Accumulated batch-degree distribution over the repeated runs of one
+/// measurement cell — the [`ResizeTotals`] pattern applied to the
+/// [`DegreeDist`](sec_core::DegreeDist) every SEC [`BatchReport`] now
+/// carries (sourced from the engine's per-batch degree histogram).
+///
+/// The `map_bench`/`queue_bench` binaries render the fold as the
+/// `<series>_degree_{min,p50,p99,max}` extra CSV columns: min/max are
+/// the extrema across runs, p50/p99 the mean of the per-run
+/// percentiles (percentiles don't sum; averaging them over the
+/// repeated runs of one cell is the standard cell-level estimate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegreeTotals {
+    /// Smallest batch degree seen in any accumulated run.
+    pub min: u64,
+    /// Sum of the per-run median degrees (divide by `runs` for the
+    /// mean; use [`p50_mean`](Self::p50_mean)).
+    pub p50_sum: u64,
+    /// Sum of the per-run 99th-percentile degrees.
+    pub p99_sum: u64,
+    /// Largest batch degree seen in any accumulated run.
+    pub max: u64,
+    /// Runs accumulated.
+    pub runs: usize,
+}
+
+impl DegreeTotals {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run's report in (a no-op for `None`, so non-SEC
+    /// lineups can share the call site).
+    pub fn add(&mut self, report: Option<&BatchReport>) {
+        if let Some(r) = report {
+            let d = r.degree;
+            self.min = if self.runs == 0 {
+                d.min
+            } else {
+                self.min.min(d.min)
+            };
+            self.p50_sum += d.p50;
+            self.p99_sum += d.p99;
+            self.max = self.max.max(d.max);
+            self.runs += 1;
+        }
+    }
+
+    /// Mean per-run median degree (0 when empty).
+    pub fn p50_mean(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.p50_sum as f64 / self.runs as f64
+        }
+    }
+
+    /// Mean per-run 99th-percentile degree (0 when empty).
+    pub fn p99_mean(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.p99_sum as f64 / self.runs as f64
+        }
+    }
+}
+
 /// Accumulated elastic-sharding resize counters over the repeated runs
 /// of one measurement cell.
 ///
@@ -306,6 +373,12 @@ mod tests {
             parks: 4,
             wakes: 3,
             spurious_wakes: 1,
+            degree: sec_core::DegreeDist {
+                min: 2,
+                p50: 2,
+                p99: 2,
+                max: 2,
+            },
         }
     }
 
@@ -362,6 +435,26 @@ mod tests {
         assert_eq!(t.pending(), 0);
         assert!((t.hit_pct() - 75.0).abs() < 1e-12);
         assert_eq!(ReclaimTotals::new().hit_pct(), 0.0);
+    }
+
+    #[test]
+    fn degree_totals_accumulate_and_derive() {
+        let with_degree = |min, p50, p99, max| {
+            let mut r = report(0, 0);
+            r.degree = sec_core::DegreeDist { min, p50, p99, max };
+            r
+        };
+        let mut t = DegreeTotals::new();
+        t.add(Some(&with_degree(1, 3, 7, 9)));
+        t.add(Some(&with_degree(2, 5, 9, 12)));
+        t.add(None); // non-SEC run: ignored
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.min, 1, "min of mins");
+        assert_eq!(t.max, 12, "max of maxes");
+        assert!((t.p50_mean() - 4.0).abs() < 1e-12);
+        assert!((t.p99_mean() - 8.0).abs() < 1e-12);
+        assert_eq!(DegreeTotals::new().p50_mean(), 0.0);
+        assert_eq!(DegreeTotals::new().p99_mean(), 0.0);
     }
 
     #[test]

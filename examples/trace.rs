@@ -1,0 +1,85 @@
+//! sec-trace in three acts (DESIGN.md §14): configure tracing on a
+//! structure, poll live rates with `TraceSnapshot` while it runs, then
+//! drain the event rings into a Chrome-trace JSON you can open in
+//! Perfetto.
+//!
+//! ```text
+//! cargo run --release --features trace --example trace
+//! ```
+//!
+//! Built without `--features trace` the example still runs — the
+//! snapshot polling path compiles unconditionally — but no recorder
+//! exists, so it prints the rebuild hint instead of a dump.
+
+use sec_repro::trace::chrome_trace_json;
+use sec_repro::{SecConfig, SecStack, TraceConfig};
+
+fn main() {
+    const THREADS: usize = 4;
+    const OPS_PER_THREAD: usize = 200_000;
+
+    // Act 1: opt in at construction. Tracing is per-structure, not
+    // global; sample 1 in 4 ops so per-op events stay cheap while the
+    // per-batch events (freeze, publish, resize) are always recorded.
+    let config = SecConfig::new(2, THREADS).trace(TraceConfig::on().sample_shift(2));
+    let stack: SecStack<u64> = SecStack::with_config(config);
+
+    let before = stack.trace_snapshot();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let stack = &stack;
+            scope.spawn(move || {
+                let mut h = stack.register();
+                for i in 0..OPS_PER_THREAD {
+                    if (t + i) % 2 == 0 {
+                        h.push((t * OPS_PER_THREAD + i) as u64);
+                    } else {
+                        let _ = h.pop();
+                    }
+                }
+            });
+        }
+    });
+
+    // Act 2: the polling view. Counter deltas between two snapshots —
+    // no ring access, no feature flag needed.
+    let after = stack.trace_snapshot();
+    let rates = after.rates_since(&before);
+    println!(
+        "{} ops in {:.3} s: {:.0} ops/s, {:.0} batches/s, batching degree {:.1}",
+        after.ops - before.ops,
+        rates.interval_s,
+        rates.ops_per_sec,
+        rates.batches_per_sec,
+        rates.batching_degree,
+    );
+
+    // Act 3: the event view. Only present when the `trace` feature
+    // compiled the recorder in.
+    let Some(tracer) = stack.tracer() else {
+        println!(
+            "no trace recorder: rebuild with \
+             `cargo run --release --features trace --example trace`"
+        );
+        return;
+    };
+    let lat = tracer.op_latency();
+    println!(
+        "sampled op latency: p50={} ns, p99={} ns, p999={} ns (n={})",
+        lat.percentile(50.0),
+        lat.percentile(99.0),
+        lat.percentile(99.9),
+        lat.count(),
+    );
+    let events = tracer.events();
+    let json = chrome_trace_json(&events);
+    let path = std::env::temp_dir().join("sec_trace_example.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!(
+            "dumped {} events to {} — open in https://ui.perfetto.dev",
+            events.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("could not write dump: {e}"),
+    }
+}

@@ -53,9 +53,21 @@
 
 pub use sec_core::{
     topology_shard, AggregatorPolicy, BatchReport, CollectorStats, ConcurrentMap, ConcurrentQueue,
-    ConcurrentStack, MapHandle, QueueHandle, RecyclePolicy, SecConfig, SecHandle, SecStack,
-    SecStats, ShardPolicy, StackHandle, WaitPolicy,
+    ConcurrentStack, DegreeDist, MapHandle, QueueHandle, RecyclePolicy, SecConfig, SecHandle,
+    SecStack, SecStats, ShardPolicy, StackHandle, TraceConfig, TraceRates, TraceSnapshot,
+    WaitPolicy,
 };
+
+/// The sec-trace observability layer (DESIGN.md §14): per-thread event
+/// rings, mergeable HDR-style histograms, Chrome-trace export and the
+/// `TraceSnapshot` polling API. The types compile unconditionally; the
+/// engine only records into them when built with `--features trace`.
+pub mod trace {
+    pub use sec_core::trace::{
+        chrome_trace_json, DegreeDist, Histogram, TraceConfig, TraceEvent, TraceEventKind,
+        TraceLane, TraceRates, TraceRecorder, TraceSnapshot,
+    };
+}
 
 /// The elastic-sharding contention monitor (DESIGN.md §8): pure
 /// decision function + window accumulator, exposed for the property

@@ -147,6 +147,42 @@ fn steady_state_ops_perform_zero_heap_allocations() {
     );
     drop(h);
 
+    // --- Stack, recycling on AND tracing enabled (DESIGN.md §14). ----
+    // The sec-trace hot path must never allocate: rings and histograms
+    // are fully provisioned at construction, and recording is
+    // fetch_add into preallocated atomics. Sample every op
+    // (sample_shift 0) so the assertion covers the densest recording
+    // the layer can do, not just the sampled-out fast path.
+    let traced: SecStack<u64> = SecStack::with_config(
+        SecConfig::new(2, 1)
+            .freezer_yields(0)
+            .recycle(RecyclePolicy::per_thread())
+            .trace(sec_repro::TraceConfig::on().sample_shift(0)),
+    );
+    let mut h = traced.register();
+    stack_burst(&mut h); // warm-up: caches + (if compiled) recorder paths
+    let before = allocs_now();
+    stack_burst(&mut h);
+    let traced_allocs = allocs_now() - before;
+    drop(h);
+    assert_eq!(
+        traced_allocs, 0,
+        "steady state with tracing enabled must not touch the heap \
+         ({traced_allocs} allocations in {OPS} push/pop pairs)"
+    );
+    #[cfg(feature = "trace")]
+    {
+        let tracer = traced.tracer().expect("trace feature builds a recorder");
+        assert!(
+            tracer.events_recorded() > 0,
+            "the traced run must actually have recorded events"
+        );
+        assert!(
+            tracer.op_latency().count() > 0,
+            "sample_shift 0 must sample every op's latency"
+        );
+    }
+
     // --- Control: recycling off must allocate per op. ----------------
     let off: SecStack<u64> = SecStack::with_config(
         SecConfig::new(2, 1)
