@@ -191,13 +191,17 @@ fn main() {
         eprintln!("warning: could not write CSV: {e}");
     }
     let json = families_json(&opts, &sweep, &json_families);
-    if std::fs::create_dir_all(&opts.csv_dir).is_ok() {
-        match std::fs::write(opts.csv_dir.join("BENCH_families.json"), json) {
-            Ok(()) => eprintln!(
-                "wrote {}",
-                opts.csv_dir.join("BENCH_families.json").display()
-            ),
-            Err(e) => eprintln!("warning: could not write JSON: {e}"),
+    let _ = std::fs::create_dir_all(&opts.csv_dir);
+    // Both drops carry the same payload: results/ for the artifact
+    // bundle, the repo root so trend tooling finds every BENCH_* file
+    // in one place without knowing each binary's --csv dir.
+    for path in [
+        opts.csv_dir.join("BENCH_families.json"),
+        std::path::PathBuf::from("BENCH_families.json"),
+    ] {
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
 }

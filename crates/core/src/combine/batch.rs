@@ -35,6 +35,45 @@ use sec_reclaim::{Guard, Handle as ReclaimHandle};
 use sec_sync::event::{spin_wait, WaitPolicy, WaitQueue, WaitStats};
 use sec_sync::CachePadded;
 
+/// Low half of a packed lane counter: the announcement count.
+const COUNT_MASK: u64 = 0xFFFF_FFFF;
+
+/// Largest op weight a single announcement may carry. Bulk APIs chunk
+/// above this; the bound keeps the high half of a packed lane counter
+/// from overflowing even when every slot of a max-capacity batch
+/// carries a maximal bulk announcement: with announcements per batch
+/// bounded by the aggregator capacity (≤ max_threads ≪ 2^16), the op
+/// half's worst-case sum (2^16 − 1) × 2^16 fits its 32 bits.
+pub(crate) const MAX_BULK_OPS: usize = 1 << 16;
+
+/// The packed-counter increment for an announcement carrying `ops`
+/// operations (1 for a plain announcement, N for a bulk one).
+///
+/// Lane counters pack two fields into one `AtomicU64`: the low 32 bits
+/// count *announcements* (the sequence-number source — one per node,
+/// bulk or not), the high 32 bits count *operations*. Both halves move
+/// in the same `fetch_add`, so any prefix of the counter's modification
+/// order carries a consistent (announcements, ops) pair — the freezer's
+/// single snapshot load therefore yields the announcement cut *and* the
+/// exact operation weight below it, which is what keeps `SecStats` op
+/// accounting exact when announcements stop being unit-weight.
+#[inline]
+pub(crate) const fn pack_announce(ops: u32) -> u64 {
+    1 | ((ops as u64) << 32)
+}
+
+/// The announcement count of a packed lane-counter value.
+#[inline]
+pub(crate) const fn unpack_count(v: u64) -> usize {
+    (v & COUNT_MASK) as usize
+}
+
+/// The operation count of a packed lane-counter value.
+#[inline]
+pub(crate) const fn unpack_ops(v: u64) -> u64 {
+    v >> 32
+}
+
 /// Which announcement lane an operation uses. Adds bring a node into
 /// the batch's slot array; removes take results out of the published
 /// chain. Same-sequence add/remove pairs eliminate in mixed batches.
@@ -111,6 +150,15 @@ impl<N> CombineBatch<N> {
             Role::Add => &self.add_at_freeze,
             Role::Remove => &self.remove_at_freeze,
         }
+    }
+
+    /// The lane's frozen *announcement* cut — the sequence-number bound
+    /// of the inclusion test and the combiners' slot walks. The cut
+    /// fields store the freezer's packed snapshot (see
+    /// [`pack_announce`]); this unpacks the low half.
+    #[inline]
+    pub(crate) fn frozen_cut(&self, role: Role) -> usize {
+        unpack_count(self.cut(role).load(Ordering::Acquire))
     }
 
     /// Heap-allocates a fresh batch (construction-time path; freezers
@@ -264,6 +312,11 @@ pub(crate) struct CombineAggregator<N> {
     pub(crate) event: WaitQueue,
     /// Whether this aggregator's batches carry announcement slots.
     pub(crate) with_slots: bool,
+    /// Slot-array size of every batch this aggregator installs. Mapped
+    /// aggregators share the policy-derived per-aggregator capacity;
+    /// dedicated bulk aggregators are sized for every thread (any
+    /// thread may issue a bulk call).
+    pub(crate) capacity: usize,
 }
 
 impl<N> CombineAggregator<N> {
@@ -273,6 +326,7 @@ impl<N> CombineAggregator<N> {
             batch: AtomicPtr::new(CombineBatch::alloc(capacity, with_slots)),
             event: WaitQueue::new(),
             with_slots,
+            capacity,
         }
     }
 }
@@ -377,6 +431,43 @@ mod tests {
         assert_eq!(r.remove_count.load(Ordering::Relaxed), 5);
         assert_eq!(r.add_at_freeze.load(Ordering::Relaxed), 7);
         assert_eq!(r.remove_at_freeze.load(Ordering::Relaxed), 9);
+        drop(unsafe { Box::from_raw(b) });
+    }
+
+    #[test]
+    fn packed_counters_round_trip() {
+        // A sum of packed announcements unpacks to (count, Σops) —
+        // the invariant the freezer's single-snapshot accounting
+        // rests on.
+        let mut v = 0u64;
+        let weights = [1u32, 1, 64, MAX_BULK_OPS as u32, 1];
+        for &w in &weights {
+            v += pack_announce(w);
+        }
+        assert_eq!(unpack_count(v), weights.len());
+        assert_eq!(
+            unpack_ops(v),
+            weights.iter().map(|&w| w as u64).sum::<u64>()
+        );
+        // The worst case — a batch maxed out at 2^16 − 1 announcements
+        // (the capacity assert bounds announcements by max_threads,
+        // which is far below that) of maximal weight each — stays
+        // clear of the halves' boundary.
+        let n = MAX_BULK_OPS - 1;
+        let full = pack_announce(MAX_BULK_OPS as u32) * (n as u64);
+        assert_eq!(unpack_count(full), n);
+        assert_eq!(unpack_ops(full), (n * MAX_BULK_OPS) as u64);
+    }
+
+    #[test]
+    fn frozen_cut_unpacks_the_snapshot() {
+        let b = CombineBatch::<u32>::alloc(2, true);
+        let r = unsafe { &*b };
+        r.cut(Role::Add).store(pack_announce(5), Ordering::Relaxed);
+        r.cut(Role::Remove)
+            .store(pack_announce(1) + pack_announce(3), Ordering::Relaxed);
+        assert_eq!(r.frozen_cut(Role::Add), 1);
+        assert_eq!(r.frozen_cut(Role::Remove), 2);
         drop(unsafe { Box::from_raw(b) });
     }
 }

@@ -42,7 +42,7 @@ use crate::sec::elastic::{self, ContentionMonitor, Direction};
 use crate::sec::stats::SecStats;
 use crate::trace::{TraceConfig, TraceEventKind, TraceLane, TraceRecorder, TraceSnapshot};
 pub(crate) use batch::{
-    mark_applied, wait_applied, wait_ptr, CombineAggregator, CombineBatch, Role,
+    mark_applied, wait_applied, wait_ptr, CombineAggregator, CombineBatch, Role, MAX_BULK_OPS,
 };
 use core::ptr;
 use core::sync::atomic::{AtomicUsize, Ordering};
@@ -146,12 +146,15 @@ pub(crate) trait CombineOp: Sized + Send + Sync {
 
     /// Consume the result at `offset` of the published chain (`offset`
     /// = the remove's rank among the batch's non-eliminated removes).
-    /// Runs after `applied`; `None` reports EMPTY.
+    /// Runs after `applied`; `None` reports EMPTY. Bulk aggregators
+    /// (addressed by `agg_idx`) deliver results through the announced
+    /// request instead and return `None` here.
     fn take_result(
         &self,
         eng: &CombineEngine<Self>,
         batch: &CombineBatch<Self::Node>,
         offset: usize,
+        agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) -> Option<Self::Value>;
 }
@@ -198,6 +201,12 @@ pub(crate) enum AggLayout<'a> {
         /// Whether announcers bring nodes (and batches therefore carry
         /// slot arrays).
         with_slots: bool,
+        /// Dedicated bulk aggregators appended after the mapped prefix
+        /// (always slotted, sized for every thread), addressed through
+        /// `Lane::At(engine.bulk_agg(i))`. Elastic re-mapping never
+        /// reaches them: the active count is bounded by the policy's
+        /// slots, which the bulk suffix sits beyond.
+        bulk: usize,
     },
     /// One aggregator per listed end, addressed through [`Lane::At`];
     /// each entry says whether that end's batches carry slots.
@@ -230,10 +239,10 @@ pub(crate) struct CombineEngine<O: CombineOp> {
     /// Elastic-sharding window accumulator + epoch fence (inert under
     /// a fixed policy).
     monitor: ContentionMonitor,
-    /// Slot-array size for every batch (cached off the config:
-    /// `per_aggregator_capacity` iterates the thread map for some
-    /// policies and freezers allocate one batch each).
-    batch_capacity: usize,
+    /// Index of the first dedicated bulk aggregator (== the mapped
+    /// prefix length for [`AggLayout::Mapped`]; past the end when the
+    /// layout carries none).
+    bulk_base: usize,
     collector: Collector,
     stats: SecStats,
     /// Construction instant, anchoring [`TraceSnapshot::at_ns`].
@@ -271,20 +280,32 @@ impl<O: CombineOp> CombineEngine<O> {
             AggregatorPolicy::Adaptive { .. } => config.aggregators = config.policy.slots(),
         }
         let cap = config.per_aggregator_capacity();
-        let slotting: Vec<bool> = match layout {
-            AggLayout::Mapped { with_slots } => vec![with_slots; config.aggregators],
-            AggLayout::Fixed(ends) => ends.to_vec(),
+        // (with_slots, capacity) per aggregator: the mapped prefix and
+        // fixed ends use the policy-derived capacity; dedicated bulk
+        // aggregators must admit every thread (any thread may issue a
+        // bulk call regardless of its mapped aggregator).
+        let (slotting, bulk_base): (Vec<(bool, usize)>, usize) = match layout {
+            AggLayout::Mapped { with_slots, bulk } => {
+                let mut v = vec![(with_slots, cap); config.aggregators];
+                v.extend((0..bulk).map(|_| (true, config.max_threads)));
+                (v, config.aggregators)
+            }
+            AggLayout::Fixed(ends) => {
+                let v: Vec<_> = ends.iter().map(|&ws| (ws, cap)).collect();
+                let base = v.len();
+                (v, base)
+            }
         };
         Self {
             name,
             op,
             aggs: slotting
                 .iter()
-                .map(|&ws| CachePadded::new(CombineAggregator::new(cap, ws)))
+                .map(|&(ws, c)| CachePadded::new(CombineAggregator::new(c, ws)))
                 .collect(),
             active: CachePadded::new(AtomicUsize::new(config.policy.initial_active())),
             monitor: ContentionMonitor::new(),
-            batch_capacity: cap,
+            bulk_base,
             collector: Collector::with_recycle(config.max_threads, config.recycle),
             stats: SecStats::new(),
             born: Instant::now(),
@@ -418,6 +439,13 @@ impl<O: CombineOp> CombineEngine<O> {
         self.active.load(Ordering::Acquire)
     }
 
+    /// The aggregator index of the layout's `i`-th dedicated bulk
+    /// aggregator (see [`AggLayout::Mapped`]).
+    #[inline]
+    pub(crate) fn bulk_agg(&self, i: usize) -> usize {
+        self.bulk_base + i
+    }
+
     /// Forces the active aggregator count to `k` (clamped into the
     /// policy's `[min_k, max_k]`). Serializes with monitor decisions
     /// through the same election and arms the same epoch fence; each
@@ -543,12 +571,18 @@ impl<O: CombineOp> CombineEngine<O> {
         // the paper; any interleaved announcements simply land on one
         // side of the cut or the other. The values are published to
         // every waiter by the Release store of the batch pointer below.
+        // Each snapshot is a packed (announcements, ops) pair — one
+        // load is a consistent prefix of the lane's fetch_add order —
+        // so op-weighted accounting stays exact under bulk
+        // announcements (see `batch::pack_announce`).
         let removes = batch.remove_count.load(Ordering::Acquire);
         let adds = batch.add_count.load(Ordering::Acquire);
         batch.remove_at_freeze.store(removes, Ordering::Relaxed);
         batch.add_at_freeze.store(adds, Ordering::Relaxed);
+        let add_ops = batch::unpack_ops(adds);
+        let remove_ops = batch::unpack_ops(removes);
 
-        self.stats.record_batch(adds, removes);
+        self.stats.record_batch(add_ops, remove_ops);
         // sec-trace per-batch hooks (never sampled — batches are ~P×
         // rarer than ops): stamp the freeze instant for the combiner's
         // residency measurement and log the frozen degree. The stamp
@@ -560,18 +594,19 @@ impl<O: CombineOp> CombineEngine<O> {
                 tid,
                 agg_idx as u32,
                 TraceEventKind::BatchFrozen {
-                    adds: adds as u32,
-                    removes: removes as u32,
+                    adds: add_ops as u32,
+                    removes: remove_ops as u32,
                 },
             );
         }
         // Elastic sharding: the same frozen snapshot feeds the
         // contention monitor (§8 — measurement free-rides on the
-        // freeze). Inert for fixed-policy families.
+        // freeze), in operations so bulk announcements register their
+        // full weight. Inert for fixed-policy families.
         let window_full = self.config.policy.is_adaptive()
             && self
                 .monitor
-                .on_batch(adds, removes, self.config.policy.window());
+                .on_batch(add_ops, remove_ops, self.config.policy.window());
 
         // Line 31: installing the new batch is the freeze's
         // linearization aid — it simultaneously (a) signals spinning
@@ -579,7 +614,7 @@ impl<O: CombineOp> CombineEngine<O> {
         // and (b) directs new announcers to the fresh batch. The fresh
         // batch reuses recycled batch/array blocks when the free lists
         // have them.
-        let fresh = CombineBatch::alloc_with(guard.handle(), self.batch_capacity, agg.with_slots);
+        let fresh = CombineBatch::alloc_with(guard.handle(), agg.capacity, agg.with_slots);
         agg.batch.store(fresh, Ordering::Release);
         // Wake the frozen batch's registered swap-waiters: the Release
         // store above published the cut, so the handshake's
@@ -760,6 +795,29 @@ impl<O: CombineOp> CombineEngine<O> {
         node: *mut O::Node,
         reclaim: &ReclaimHandle<'_>,
     ) -> Option<O::Value> {
+        self.run_weighted(lane, role, node, 1, reclaim)
+    }
+
+    /// [`CombineEngine::run`] for an announcement carrying `ops`
+    /// operations — the bulk entry point. The node is announced once
+    /// (one sequence number, one slot), but the lane counter advances
+    /// by `ops` on its operation half, so freezing, stats and the
+    /// contention monitor account the batch's true degree.
+    pub(crate) fn run_weighted(
+        &self,
+        lane: Lane<'_>,
+        role: Role,
+        node: *mut O::Node,
+        ops: u32,
+        reclaim: &ReclaimHandle<'_>,
+    ) -> Option<O::Value> {
+        debug_assert!(
+            (1..=MAX_BULK_OPS as u32).contains(&ops),
+            "{}: bulk weight {} outside 1..={} (families chunk above the bound)",
+            self.name,
+            ops,
+            MAX_BULK_OPS
+        );
         // sec-trace sampling decision, hoisted out of the protocol:
         // unsampled ops (and untraced builds, where `tracer()` is a
         // constant `None`) take exactly one predictable branch here and
@@ -768,7 +826,7 @@ impl<O: CombineOp> CombineEngine<O> {
         let tid = reclaim.slot();
         let trace = self.tracer().filter(|t| t.sample(tid));
         let t_op = trace.map(|t| t.now());
-        let out = self.run_inner(lane, role, node, reclaim, tid, trace);
+        let out = self.run_inner(lane, role, node, ops, reclaim, tid, trace);
         if let (Some(t), Some(t0)) = (trace, t_op) {
             t.op_latency().record(t.delta_ns(t0));
         }
@@ -777,11 +835,13 @@ impl<O: CombineOp> CombineEngine<O> {
 
     /// The driver proper; `trace` is `Some` only for sampled ops of a
     /// traced structure (see [`CombineEngine::run`]).
+    #[allow(clippy::too_many_arguments)]
     fn run_inner(
         &self,
         mut lane: Lane<'_>,
         role: Role,
         node: *mut O::Node,
+        ops: u32,
         reclaim: &ReclaimHandle<'_>,
         tid: usize,
         trace: Option<&TraceRecorder>,
@@ -801,9 +861,14 @@ impl<O: CombineOp> CombineEngine<O> {
             let batch_ptr = agg.batch.load(Ordering::Acquire);
             let batch = unsafe { &*batch_ptr };
             // Line 6/56: announce. AcqRel: the freezer's counter read
-            // and our increment are ordered; the value is our sequence
-            // number.
-            let my_seq = batch.count(role).fetch_add(1, Ordering::AcqRel) as usize;
+            // and our increment are ordered; the low half of the packed
+            // prior value is our sequence number (the high half tallies
+            // op weight for the freezer's accounting).
+            let my_seq = batch::unpack_count(
+                batch
+                    .count(role)
+                    .fetch_add(batch::pack_announce(ops), Ordering::AcqRel),
+            );
             assert!(
                 my_seq < batch.capacity,
                 "{}: more announcements ({}) than the aggregator capacity ({}) — was \
@@ -837,13 +902,13 @@ impl<O: CombineOp> CombineEngine<O> {
             }
 
             // Line 14/63: inclusion test.
-            let my_cut = batch.cut(role).load(Ordering::Acquire) as usize;
+            let my_cut = batch.frozen_cut(role);
             if my_seq >= my_cut {
                 // Excluded (announced after the freeze): retry in a
                 // newer batch.
                 continue;
             }
-            let other_cut = batch.cut(role.other()).load(Ordering::Acquire) as usize;
+            let other_cut = batch.frozen_cut(role.other());
             match role {
                 Role::Add => {
                     // Line 15: elimination test — if a remove with our
@@ -887,7 +952,9 @@ impl<O: CombineOp> CombineEngine<O> {
                         self.traced_wait_applied(trace, tid, agg_idx, agg, batch, batch_ptr);
                     }
                     // Line 76: consume our offset of the result chain.
-                    return self.op.take_result(self, batch, my_seq - other_cut, &guard);
+                    return self
+                        .op
+                        .take_result(self, batch, my_seq - other_cut, agg_idx, &guard);
                 }
             }
         }

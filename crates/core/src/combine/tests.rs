@@ -48,7 +48,7 @@ impl CombineOp for TallyOp {
         agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) {
-        let cut = batch.add_at_freeze.load(Ordering::Acquire) as usize;
+        let cut = batch.frozen_cut(Role::Add);
         for i in my_seq..cut {
             let n = wait_ptr(&batch.slots[i], eng.config().wait);
             let v = unsafe { Node::take_value(n) };
@@ -70,7 +70,7 @@ impl CombineOp for TallyOp {
         agg_idx: usize,
         _guard: &Guard<'_, '_>,
     ) {
-        let cut = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        let cut = batch.frozen_cut(Role::Remove);
         batch
             .result_head
             .store(core::ptr::null_mut(), Ordering::Release);
@@ -99,6 +99,7 @@ impl CombineOp for TallyOp {
         _eng: &CombineEngine<Self>,
         _batch: &CombineBatch<Self::Node>,
         _offset: usize,
+        _agg_idx: usize,
         _guard: &Guard<'_, '_>,
     ) -> Option<u64> {
         None
@@ -110,7 +111,10 @@ fn engine(config: SecConfig) -> CombineEngine<TallyOp> {
         "tally",
         TallyOp::new(),
         config,
-        AggLayout::Mapped { with_slots: true },
+        AggLayout::Mapped {
+            with_slots: true,
+            bulk: 0,
+        },
     )
 }
 
@@ -168,8 +172,14 @@ fn freeze_publishes_cut_swaps_batch_and_publish_wakes() {
     let b0 = agg.batch.load(Ordering::Acquire);
     let batch = unsafe { &*b0 };
 
-    // Announce: one add, sequence number 0.
-    assert_eq!(batch.count(Role::Add).fetch_add(1, Ordering::AcqRel), 0);
+    // Announce: one add (weight 1), sequence number 0 — the packed
+    // prior value is zero on a virgin batch.
+    assert_eq!(
+        batch
+            .count(Role::Add)
+            .fetch_add(batch::pack_announce(1), Ordering::AcqRel),
+        0
+    );
     let n = Node::alloc_with(&reclaim, 41u64);
     batch.slots[0].store(n, Ordering::Release);
 
@@ -187,8 +197,14 @@ fn freeze_publishes_cut_swaps_batch_and_publish_wakes() {
     // Freeze: cuts published, fresh batch installed, frozen one
     // retired (still readable: we are pinned).
     eng.freeze_batch(agg, b0, &guard, 0, 0);
-    assert_eq!(batch.add_at_freeze.load(Ordering::Acquire), 1);
+    // The snapshots are packed (count | ops<<32): one add of weight 1.
+    assert_eq!(
+        batch.add_at_freeze.load(Ordering::Acquire),
+        batch::pack_announce(1)
+    );
     assert_eq!(batch.remove_at_freeze.load(Ordering::Acquire), 0);
+    assert_eq!(batch.frozen_cut(Role::Add), 1);
+    assert_eq!(batch.frozen_cut(Role::Remove), 0);
     assert!(
         !ptr::eq(agg.batch.load(Ordering::Acquire), b0),
         "batch swapped"

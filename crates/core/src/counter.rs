@@ -41,6 +41,20 @@ struct CounterOp {
     total: CachePadded<AtomicU64>,
 }
 
+/// A bulk `add_many` announcement: the node flowing through the
+/// counter's dedicated bulk aggregator. Lives on the announcer's stack
+/// frame (the announcer blocks until `applied`, so the frame outlives
+/// every combiner access); the engine only stores and forwards the
+/// pointer, type-erased as `*mut Node<u64>`.
+struct AddManyReq {
+    /// The caller's delta slice.
+    deltas: *const u64,
+    len: usize,
+    /// Written by the combiner: the counter's value immediately before
+    /// this request's first delta (the request's `fetch_add` base).
+    base: u64,
+}
+
 impl CombineOp for CounterOp {
     type Node = Node<u64>;
     type Value = u64;
@@ -55,13 +69,16 @@ impl CombineOp for CounterOp {
     /// the slot array, no scratch buffer.
     fn combine_remove(
         &self,
-        _eng: &CombineEngine<Self>,
+        eng: &CombineEngine<Self>,
         batch: &CombineBatch<Node<u64>>,
         my_seq: usize,
-        _agg_idx: usize,
+        agg_idx: usize,
         _guard: &Guard<'_, '_>,
     ) {
-        let cut = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        if agg_idx == eng.bulk_agg(0) {
+            return self.combine_add_many(eng, batch, my_seq);
+        }
+        let cut = batch.frozen_cut(Role::Remove);
 
         // Pass 1: every included operation published its operand node
         // (slot stores happen right after announcing; freezing only
@@ -69,7 +86,7 @@ impl CombineOp for CounterOp {
         // ones still in flight).
         let mut sum = 0u64;
         for slot in &batch.slots[my_seq..cut] {
-            let n = crate::combine::wait_ptr(slot, _eng.config().wait);
+            let n = crate::combine::wait_ptr(slot, eng.config().wait);
             sum = sum.wrapping_add(unsafe { *(*n).value });
         }
 
@@ -91,14 +108,20 @@ impl CombineOp for CounterOp {
 
     /// Each participant (combiner included) collects its pre-sum from
     /// its own slot. The add lane is empty, so the engine's `offset`
-    /// is the operation's own sequence number.
+    /// is the operation's own sequence number. Bulk requests received
+    /// their base in place (the request struct), so the bulk aggregator
+    /// has nothing to take here.
     fn take_result(
         &self,
-        _eng: &CombineEngine<Self>,
+        eng: &CombineEngine<Self>,
         batch: &CombineBatch<Node<u64>>,
         offset: usize,
+        agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) -> Option<u64> {
+        if agg_idx == eng.bulk_agg(0) {
+            return None;
+        }
         let n = batch.slots[offset].load(Ordering::Acquire);
         debug_assert!(
             !n.is_null(),
@@ -109,6 +132,48 @@ impl CombineOp for CounterOp {
         let value = unsafe { Node::take_value(n) };
         unsafe { guard.retire_recycle(n) };
         Some(value)
+    }
+}
+
+impl CounterOp {
+    /// The bulk-aggregator combiner: the slot walk of `combine_remove`
+    /// with announcement nodes reinterpreted as [`AddManyReq`]s. Still
+    /// two passes and still exactly one shared RMW — now covering
+    /// `Σ lenᵢ` operations instead of one per slot — and each request's
+    /// base lands in its own struct rather than a result chain.
+    fn combine_add_many(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<u64>>,
+        my_seq: usize,
+    ) {
+        let cut = batch.frozen_cut(Role::Remove);
+        let mut sum = 0u64;
+        for slot in &batch.slots[my_seq..cut] {
+            let req = crate::combine::wait_ptr(slot, eng.config().wait) as *mut AddManyReq;
+            // Safety: the announcer published the request before
+            // announcing (wait_ptr's Acquire pairs with its Release
+            // slot store) and blocks until `applied`, so the struct and
+            // the delta slice behind it are live and unaliased-for-read.
+            unsafe {
+                for i in 0..(*req).len {
+                    sum = sum.wrapping_add(*(*req).deltas.add(i));
+                }
+            }
+        }
+        let mut base = self.total.fetch_add(sum, Ordering::AcqRel);
+        for slot in &batch.slots[my_seq..cut] {
+            let req = slot.load(Ordering::Acquire) as *mut AddManyReq;
+            // Safety: as above; `base` is ours to write — the owner
+            // reads it only after observing `applied` (Release-
+            // published right after this returns).
+            unsafe {
+                (*req).base = base;
+                for i in 0..(*req).len {
+                    base = base.wrapping_add(*(*req).deltas.add(i));
+                }
+            }
+        }
     }
 }
 
@@ -151,7 +216,12 @@ impl SecCounter {
                     total: CachePadded::new(AtomicU64::new(0)),
                 },
                 config,
-                AggLayout::Mapped { with_slots: true },
+                // One dedicated bulk aggregator after the mapped
+                // prefix, carrying `add_many` request batches.
+                AggLayout::Mapped {
+                    with_slots: true,
+                    bulk: 1,
+                },
             ),
         }
     }
@@ -276,6 +346,45 @@ impl SecCounterHandle<'_> {
         self.fetch_add(1)
     }
 
+    /// Bulk `fetch_add`: applies every delta as consecutive atomic
+    /// additions and returns the counter's value immediately before
+    /// the first one. The whole slice rides **one** announcement (one
+    /// sequence number, one slot) on the counter's dedicated bulk
+    /// aggregator, so the protocol cost amortizes over `deltas.len()`
+    /// operations; per-delta pre-values are the prefix sums off the
+    /// returned base.
+    ///
+    /// Slices longer than the engine's per-announcement weight bound
+    /// are chunked; the chunks are then individually atomic (other
+    /// threads' batches may interleave between them), matching the
+    /// guarantee of a plain `fetch_add` loop. An empty slice just
+    /// reads the counter.
+    pub fn add_many(&mut self, deltas: &[u64]) -> u64 {
+        if deltas.is_empty() {
+            return self.load();
+        }
+        let mut first_base = None;
+        for chunk in deltas.chunks(crate::combine::MAX_BULK_OPS) {
+            let mut req = AddManyReq {
+                deltas: chunk.as_ptr(),
+                len: chunk.len(),
+                base: 0,
+            };
+            let node = (&mut req as *mut AddManyReq).cast::<Node<u64>>();
+            self.counter.engine.run_weighted(
+                Lane::At(self.counter.engine.bulk_agg(0)),
+                Role::Remove,
+                node,
+                chunk.len() as u32,
+                &self.reclaim,
+            );
+            // `run_weighted` returned, so `applied` was observed: the
+            // combiner's `base` write happens-before this read.
+            first_base.get_or_insert(req.base);
+        }
+        first_base.expect("non-empty slice produced at least one chunk")
+    }
+
     /// Reads the counter (see [`SecCounter::load`]).
     pub fn load(&self) -> u64 {
         self.counter.load()
@@ -390,6 +499,70 @@ mod tests {
         assert_eq!(c.set_active_aggregators(4), 4);
         let mut h = c.register();
         assert_eq!(h.fetch_add(1), 16_000);
+    }
+
+    #[test]
+    fn add_many_returns_the_base_of_its_prefix_sums() {
+        let c = SecCounter::new(1);
+        let mut h = c.register();
+        assert_eq!(h.fetch_add(5), 0);
+        assert_eq!(h.add_many(&[1, 2, 3]), 5, "base = value before the bulk");
+        assert_eq!(c.load(), 11);
+        assert_eq!(h.add_many(&[]), 11, "empty bulk reads the counter");
+        assert_eq!(c.load(), 11);
+        assert_eq!(h.fetch_add(0), 11, "singles still see every bulk delta");
+    }
+
+    #[test]
+    fn bulk_ops_are_counted_in_ops_not_announcements() {
+        const CALLS: u64 = 50;
+        const LEN: u64 = 8;
+        let c = SecCounter::new(1);
+        let mut h = c.register();
+        for _ in 0..CALLS {
+            h.add_many(&[1; LEN as usize]);
+        }
+        let r = c.stats().report();
+        assert_eq!(r.ops, CALLS * LEN, "degree counts ops, not announcements");
+        assert_eq!(r.batches, CALLS, "one announcement (one batch) per call");
+        assert_eq!(c.load(), CALLS * LEN);
+    }
+
+    #[test]
+    fn concurrent_bulk_and_single_adds_sum_exactly() {
+        const THREADS: usize = 6;
+        const PER: usize = 200;
+        let c = SecCounter::new(THREADS);
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = &c;
+                scope.spawn(move || {
+                    let mut h = c.register();
+                    let deltas: Vec<u64> = (0..4).map(|i| (t + i) as u64 % 5).collect();
+                    let per_call: u64 = deltas.iter().sum();
+                    for i in 0..PER {
+                        if i % 3 == 0 {
+                            let base = h.add_many(&deltas);
+                            // The bulk is one atomic step: a re-read
+                            // directly after it can never be below
+                            // base + Σ deltas.
+                            assert!(h.load() >= base + per_call);
+                        } else {
+                            h.fetch_add(1);
+                        }
+                    }
+                });
+            }
+        });
+        let expect: u64 = (0..THREADS)
+            .map(|t| {
+                let per_call: u64 = (0..4).map(|i| (t + i) as u64 % 5).sum();
+                (0..PER)
+                    .map(|i| if i % 3 == 0 { per_call } else { 1 })
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(c.load(), expect);
     }
 
     #[test]

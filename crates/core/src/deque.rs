@@ -88,7 +88,7 @@ impl<T: Send + 'static> CombineOp for DequeOp<T> {
         guard: &Guard<'_, '_>,
     ) {
         let end = End::from_agg_idx(agg_idx);
-        let add_at_freeze = batch.add_at_freeze.load(Ordering::Acquire) as usize;
+        let add_at_freeze = batch.frozen_cut(Role::Add);
         let mut deque = self.inner.lock();
         for i in my_seq..add_at_freeze {
             // Waiting for a slot mirrors PushToStack line 38.
@@ -117,7 +117,7 @@ impl<T: Send + 'static> CombineOp for DequeOp<T> {
         guard: &Guard<'_, '_>,
     ) {
         let end = End::from_agg_idx(agg_idx);
-        let remove_at_freeze = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        let remove_at_freeze = batch.frozen_cut(Role::Remove);
         let wanted = remove_at_freeze - my_seq;
         let mut results: Vec<*mut Node<T>> = Vec::with_capacity(wanted);
         {
@@ -165,6 +165,7 @@ impl<T: Send + 'static> CombineOp for DequeOp<T> {
         _eng: &CombineEngine<Self>,
         batch: &CombineBatch<Node<T>>,
         offset: usize,
+        _agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) -> Option<T> {
         let mut cur = batch.result_head.load(Ordering::Acquire);

@@ -56,6 +56,12 @@ const DEFAULT_BUCKETS: usize = 512;
 
 /// One announced map operation, owned by its node until the combiner
 /// consumes it.
+///
+/// The bulk variants carry raw pointers into the announcing thread's
+/// frame instead of owned payloads: the announcer blocks until
+/// `applied`, so the slices are live for the combiner's whole walk, and
+/// one announcement (one sequence number, one slot) then covers the
+/// entire slice of operations.
 enum MapCmd<K, V> {
     /// `get(key)`.
     Get(K),
@@ -63,6 +69,25 @@ enum MapCmd<K, V> {
     Insert(K, V),
     /// `remove(key)`.
     Remove(K),
+    /// `get_many(keys)`: one lookup per key, results written through
+    /// `results` (same length).
+    GetMany {
+        /// The caller's key slice.
+        keys: *const K,
+        /// The caller's result slice (old contents dropped in place).
+        results: *mut Option<V>,
+        len: usize,
+    },
+    /// `insert_many(entries)`: entries are *moved* out of the caller's
+    /// buffer (the caller forgets them afterwards), previous mappings
+    /// written through `prevs` (same length).
+    InsertMany {
+        /// The caller's entry buffer; each element is `ptr::read` once.
+        entries: *const (K, V),
+        /// The caller's previous-mapping slice.
+        prevs: *mut Option<V>,
+        len: usize,
+    },
 }
 
 /// A map announcement node: the command in, the result out, through the
@@ -89,6 +114,13 @@ impl<K: Send, V: Send> MapNode<K, V> {
         })
     }
 }
+
+// Safety: the raw pointers of the bulk `MapCmd` variants point into the
+// announcing thread's frame, which outlives the batch (the announcer
+// blocks until `applied`); the combiner is their unique accessor while
+// the batch is live, per the engine's exactly-once discipline. The
+// owned variants are Send whenever K and V are.
+unsafe impl<K: Send, V: Send> Send for MapNode<K, V> {}
 
 /// The map's apply logic: the bucket array, one combiner per frozen
 /// batch.
@@ -141,6 +173,12 @@ impl<K: Hash + Eq, V> MapOp<K, V> {
                 .iter()
                 .position(|(k, _)| *k == key)
                 .map(|i| pairs.swap_remove(i).1),
+            // Bulk commands are decomposed by the combiner before
+            // `apply` is reached (each constituent lookup/insert takes
+            // its own bucket's lock).
+            MapCmd::GetMany { .. } | MapCmd::InsertMany { .. } => {
+                unreachable!("bulk commands never reach apply")
+            }
         }
     }
 }
@@ -166,23 +204,60 @@ where
     /// operation.
     fn combine_remove(
         &self,
-        _eng: &CombineEngine<Self>,
+        eng: &CombineEngine<Self>,
         batch: &CombineBatch<MapNode<K, V>>,
         my_seq: usize,
         _agg_idx: usize,
         _guard: &Guard<'_, '_>,
     ) {
-        let cut = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        let cut = batch.frozen_cut(Role::Remove);
         for slot in &batch.slots[my_seq..cut] {
-            let n = crate::combine::wait_ptr(slot, _eng.config().wait);
+            let n = crate::combine::wait_ptr(slot, eng.config().wait);
             // Safety: the combiner is the unique consumer of each
             // included slot's command; the node stays allocated (owner
             // is pinned, waiting on `applied`).
             let cmd = unsafe { ManuallyDrop::take(&mut (*n).cmd) };
-            let result = self.apply(unsafe { (*n).bucket }, cmd);
-            // Safety: same exclusive access; the old `result` is the
-            // construction-time `None`, which owns nothing.
-            unsafe { (*n).result = ManuallyDrop::new(result) };
+            match cmd {
+                MapCmd::GetMany { keys, results, len } => {
+                    // Safety (both bulk arms): the slices live in the
+                    // announcer's frame, which blocks until `applied`;
+                    // result assignment (not `write`) drops whatever
+                    // the caller's slice previously held.
+                    for i in 0..len {
+                        let key = unsafe { &*keys.add(i) };
+                        let r = {
+                            let pairs = self.buckets[self.bucket_of(key)].lock().unwrap();
+                            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+                        };
+                        unsafe { *results.add(i) = r };
+                    }
+                }
+                MapCmd::InsertMany {
+                    entries,
+                    prevs,
+                    len,
+                } => {
+                    for i in 0..len {
+                        // Safety: each entry is moved out exactly once;
+                        // the caller truncates its buffer afterwards
+                        // without dropping the moved-from elements.
+                        let (key, value) = unsafe { entries.add(i).read() };
+                        let bucket = self.bucket_of(&key);
+                        let r = self.apply(bucket, MapCmd::Insert(key, value));
+                        unsafe { *prevs.add(i) = r };
+                    }
+                }
+                cmd => {
+                    let result = self.apply(unsafe { (*n).bucket }, cmd);
+                    // Safety: same exclusive access; the old `result`
+                    // is the construction-time `None`, which owns
+                    // nothing.
+                    unsafe { (*n).result = ManuallyDrop::new(result) };
+                    continue;
+                }
+            }
+            // Bulk results went through the request's slices; the node
+            // keeps its construction-time `None` for `take_result`.
         }
     }
 
@@ -194,6 +269,7 @@ where
         _eng: &CombineEngine<Self>,
         batch: &CombineBatch<MapNode<K, V>>,
         offset: usize,
+        _agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) -> Option<Option<V>> {
         let n = batch.slots[offset].load(Ordering::Acquire);
@@ -275,7 +351,10 @@ where
                 "SecMap",
                 MapOp::with_buckets(DEFAULT_BUCKETS),
                 config,
-                AggLayout::Mapped { with_slots: true },
+                AggLayout::Mapped {
+                    with_slots: true,
+                    bulk: 0,
+                },
             ),
         }
     }
@@ -480,6 +559,98 @@ where
     {
         let bucket = self.map.engine.op().bucket_of(key);
         self.run_op(bucket, MapCmd::Remove(key.clone()))
+    }
+
+    /// Bulk `get`: looks up every key of `keys`, writing `results[i]`
+    /// = the mapping of `keys[i]` (old contents of `results` are
+    /// dropped). The whole slice rides **one** announcement on the
+    /// first key's shard, so the protocol cost amortizes over
+    /// `keys.len()` lookups; the lookups linearize consecutively at
+    /// their bucket-lock applications, in slice order.
+    ///
+    /// Slices longer than the engine's per-announcement weight bound
+    /// are chunked (each chunk is then individually atomic). Keys may
+    /// hash anywhere — the combiner locks each key's own bucket, which
+    /// is exactly what makes cross-shard application safe.
+    ///
+    /// # Panics
+    ///
+    /// If `keys` and `results` differ in length.
+    pub fn get_many(&mut self, keys: &[K], results: &mut [Option<V>]) {
+        assert_eq!(
+            keys.len(),
+            results.len(),
+            "get_many: keys and results must pair up"
+        );
+        if keys.is_empty() {
+            return;
+        }
+        let chunk_size = crate::combine::MAX_BULK_OPS;
+        for (kc, rc) in keys.chunks(chunk_size).zip(results.chunks_mut(chunk_size)) {
+            let bucket = self.map.engine.op().bucket_of(&kc[0]);
+            let cmd = MapCmd::GetMany {
+                keys: kc.as_ptr(),
+                results: rc.as_mut_ptr(),
+                len: kc.len(),
+            };
+            self.run_bulk(bucket, cmd, kc.len());
+        }
+    }
+
+    /// Bulk `insert`: applies every `(key, value)` entry as consecutive
+    /// inserts, writing `prevs[i]` = the previous mapping of entry `i`
+    /// (old contents of `prevs` are dropped). The entries are **moved**
+    /// out of the vector — on return it is empty with its capacity
+    /// retained, ready for allocation-free reuse. One announcement per
+    /// weight-bound chunk, same amortization and linearization as
+    /// [`SecMapHandle::get_many`].
+    ///
+    /// # Panics
+    ///
+    /// If `entries` and `prevs` differ in length.
+    pub fn insert_many(&mut self, entries: &mut Vec<(K, V)>, prevs: &mut [Option<V>]) {
+        assert_eq!(
+            entries.len(),
+            prevs.len(),
+            "insert_many: entries and prevs must pair up"
+        );
+        if entries.is_empty() {
+            return;
+        }
+        let chunk_size = crate::combine::MAX_BULK_OPS;
+        for (ec, pc) in entries.chunks(chunk_size).zip(prevs.chunks_mut(chunk_size)) {
+            let bucket = self.map.engine.op().bucket_of(&ec[0].0);
+            let cmd = MapCmd::InsertMany {
+                entries: ec.as_ptr(),
+                prevs: pc.as_mut_ptr(),
+                len: ec.len(),
+            };
+            self.run_bulk(bucket, cmd, ec.len());
+        }
+        // Every entry was moved into the map by a combiner; forget them
+        // without dropping (capacity stays for reuse).
+        // Safety: 0 ≤ current length, and elements `..len` are
+        // moved-from (reading them again would be unsound — set_len
+        // prevents exactly that).
+        unsafe { entries.set_len(0) };
+    }
+
+    /// Announces one bulk command (weight = `ops`) on `bucket`'s shard
+    /// and blocks until it is applied. The result channel is the
+    /// request's own slices; the node's in-band result stays `None`.
+    fn run_bulk(&mut self, bucket: usize, cmd: MapCmd<K, V>, ops: usize) {
+        let shard = self.map.shard_of(bucket);
+        let node = MapNode::alloc_with(&self.reclaim, bucket, cmd);
+        self.map
+            .engine
+            .run_weighted(
+                Lane::At(shard),
+                Role::Remove,
+                node,
+                ops as u32,
+                &self.reclaim,
+            )
+            .expect("map combiner always produces a result");
     }
 }
 
@@ -709,5 +880,84 @@ mod tests {
         // 10 live at teardown (8 originals + 2 overwrites), 2
         // displaced along the way = all 12 created.
         assert_eq!(drops.load(AOrd::Relaxed), 12);
+    }
+
+    #[test]
+    fn bulk_insert_and_get_match_singles() {
+        let m: SecMap<u64, u64> = SecMap::new(1);
+        let mut h = m.register();
+        let mut entries: Vec<(u64, u64)> = (0..200).map(|k| (k, k * 10)).collect();
+        let mut prevs = vec![None; 200];
+        h.insert_many(&mut entries, &mut prevs);
+        assert!(entries.is_empty(), "entries are drained");
+        assert!(entries.capacity() >= 200, "capacity retained for reuse");
+        assert!(prevs.iter().all(Option::is_none), "all keys were fresh");
+        assert_eq!(m.len(), 200);
+
+        let keys: Vec<u64> = (0..250).collect();
+        let mut results = vec![None; 250];
+        h.get_many(&keys, &mut results);
+        for (k, r) in keys.iter().zip(&results) {
+            assert_eq!(*r, if *k < 200 { Some(k * 10) } else { None });
+        }
+
+        // Overwrites report the displaced values, in slice order.
+        let mut entries: Vec<(u64, u64)> = (0..5).map(|k| (k, k + 1000)).collect();
+        let mut prevs = vec![None; 5];
+        h.insert_many(&mut entries, &mut prevs);
+        for (k, p) in prevs.iter().enumerate() {
+            assert_eq!(*p, Some(k as u64 * 10));
+        }
+        assert_eq!(h.get(&3), Some(1003));
+    }
+
+    #[test]
+    fn bulk_ops_are_counted_in_ops_not_announcements() {
+        const CALLS: u64 = 40;
+        const LEN: usize = 16;
+        let m: SecMap<u64, u64> = SecMap::new(1);
+        let mut h = m.register();
+        for c in 0..CALLS {
+            let mut entries: Vec<(u64, u64)> =
+                (0..LEN as u64).map(|i| (c * LEN as u64 + i, i)).collect();
+            let mut prevs = vec![None; LEN];
+            h.insert_many(&mut entries, &mut prevs);
+        }
+        let r = m.stats().report();
+        assert_eq!(r.ops, CALLS * LEN as u64, "the freezer counts ops");
+        assert_eq!(r.batches, CALLS, "one announcement (batch) per call");
+        assert_eq!(m.len(), CALLS as usize * LEN);
+    }
+
+    #[test]
+    fn concurrent_bulk_and_single_ops_agree() {
+        const THREADS: usize = 4;
+        const PER: usize = 200;
+        let m: SecMap<u64, u64> = SecMap::new(THREADS);
+        thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut h = m.register();
+                    // Disjoint key ranges per thread; alternate bulk
+                    // and single inserts.
+                    let base = t * (PER as u64);
+                    let mut entries: Vec<(u64, u64)> =
+                        (0..PER as u64 / 2).map(|i| (base + i, base + i)).collect();
+                    let mut prevs = vec![None; entries.len()];
+                    h.insert_many(&mut entries, &mut prevs);
+                    for i in PER as u64 / 2..PER as u64 {
+                        assert_eq!(h.insert(base + i, base + i), None);
+                    }
+                    let keys: Vec<u64> = (0..PER as u64).map(|i| base + i).collect();
+                    let mut results = vec![None; keys.len()];
+                    h.get_many(&keys, &mut results);
+                    for (k, r) in keys.iter().zip(&results) {
+                        assert_eq!(*r, Some(*k), "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), THREADS * PER);
     }
 }

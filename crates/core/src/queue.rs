@@ -61,10 +61,13 @@ use sec_sync::{Backoff, CachePadded};
 /// promptly (the liveness suite depends on this bound).
 const DEFAULT_RENDEZVOUS_SPINS: u32 = 128;
 
-/// The head-side engine aggregator (dequeues; no announcement slots)
-/// and the tail-side one (enqueues; slots carry the announced nodes).
+/// The head-side engine aggregator (dequeues; no announcement slots),
+/// the tail-side one (enqueues; slots carry the announced nodes — for
+/// `enqueue_many`, forward chains of them), and the bulk dequeue
+/// aggregator (slots carry `DequeueManyReq`s).
 const HEAD: usize = 0;
 const TAIL: usize = 1;
+const HEAD_BULK: usize = 2;
 
 /// A queue node. `value` is `MaybeUninit` (not `ManuallyDrop` as in the
 /// stack) because the MS-queue representation needs nodes with *no*
@@ -123,6 +126,49 @@ impl<T> QNode<T> {
     }
 }
 
+/// A bulk-dequeue announcement: `dequeue_many` announces one of these
+/// (cast to the node type — the engine never dereferences announcement
+/// pointers, only the family hooks do, and they branch on the
+/// aggregator index first) instead of `want` separate dequeues.
+///
+/// The pointers reference the announcing thread's frame, which blocks
+/// until the batch is `applied`, so they are live for the combiner's
+/// whole walk; the combiner's plain writes to `out`/`taken` are
+/// published by the engine's Release store of `applied`.
+struct DequeueManyReq<T> {
+    /// How many values this request asks for.
+    want: usize,
+    /// Spare capacity in the caller's buffer; the combiner writes
+    /// `taken` initialized values starting here.
+    out: *mut T,
+    /// How many values the combiner delivered (≤ `want`; short when
+    /// the queue ran dry).
+    taken: usize,
+}
+
+/// Walks a published enqueue chain from its announced first node to
+/// its null-terminated last. A plain enqueue is a one-node chain
+/// (nodes allocate with a null `next`), so the tail combiner handles
+/// both without distinguishing them.
+///
+/// # Safety
+///
+/// `first` must be a published announcement node; the chain's links
+/// were written by the announcing thread before the Release
+/// publication the caller's Acquire slot load paired with.
+unsafe fn chain_last<T>(first: *mut QNode<T>) -> *mut QNode<T> {
+    let mut cur = first;
+    loop {
+        // Safety: per the function contract, every link reached from
+        // `first` is a live published node.
+        let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
+        if next.is_null() {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
 /// The queue's apply logic: the MS-style list (head/tail), the two
 /// single-CAS combiners, and the empty-queue rendezvous window.
 struct QueueOp<T: Send + 'static> {
@@ -136,6 +182,120 @@ struct QueueOp<T: Send + 'static> {
     /// an enqueue batch through the rendezvous window (the queue's
     /// elimination counter).
     rendezvous_hits: AtomicU64,
+}
+
+impl<T: Send + 'static> QueueOp<T> {
+    /// The bulk-dequeue combiner: tally the batch's total demand, take
+    /// that many nodes from `head` with one CAS, then deal the block
+    /// out to the requests in announcement order — a `dequeue_many(n)`
+    /// therefore receives `n` consecutive queue fronts (FIFO, as if by
+    /// `n` sequential dequeues).
+    ///
+    /// Differences from the mapped head combiner: no rendezvous window
+    /// (a bulk dequeue on an empty queue reports 0 at once — the
+    /// window's purpose is pairing *single* hand-offs, and holding it
+    /// per request would stall whole blocks), and the combiner
+    /// distributes values itself instead of publishing a chain —
+    /// there is one waiter per *request*, not per value.
+    fn combine_dequeue_many(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<QNode<T>>,
+        my_seq: usize,
+        guard: &Guard<'_, '_>,
+    ) {
+        let cut = batch.frozen_cut(Role::Remove);
+        let wait = eng.config().wait;
+        let mut total = 0usize;
+        for slot in &batch.slots[my_seq..cut] {
+            let req = wait_ptr(slot, wait) as *mut DequeueManyReq<T>;
+            // Safety: the request outlives the batch (announcer blocks
+            // on `applied`); the combiner is its unique accessor.
+            total += unsafe { (*req).want };
+        }
+
+        // MS-validated traversal + single CAS on `head`, exactly the
+        // shape of the mapped combiner's unlink. Races with the other
+        // head combiners (mapped and successive bulk batches), hence
+        // the retry loop.
+        let mut cas_backoff = Backoff::new();
+        let (first, taken) = loop {
+            let h = self.head.load(Ordering::Acquire);
+            let mut cur = h;
+            let mut first = ptr::null_mut();
+            let mut taken = 0usize;
+            while taken < total {
+                let nxt = unsafe { (*cur).next.load(Ordering::Acquire) };
+                if nxt.is_null() {
+                    if ptr::eq(self.tail.load(Ordering::Acquire), cur) {
+                        break; // validated: the queue ends at `cur`
+                    }
+                    // Swing done, link in flight: wait for it.
+                    spin_wait(wait, || {
+                        !unsafe { (*cur).next.load(Ordering::Acquire) }.is_null()
+                    });
+                    continue;
+                }
+                if taken == 0 {
+                    first = nxt;
+                }
+                cur = nxt;
+                taken += 1;
+            }
+            if taken == 0 {
+                break (ptr::null_mut(), 0);
+            }
+            if self
+                .head
+                .compare_exchange(h, cur, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Safety: the CAS made us the unique retirer of the
+                // outgoing dummy; its value (if any) was consumed when
+                // it became the dummy.
+                unsafe { guard.retire_recycle(h) };
+                break (first, taken);
+            }
+            eng.stats().record_cas_failure();
+            cas_backoff.spin();
+        };
+
+        // Deal the block out in slot order. The chain's last node is
+        // the live dummy — its value is consumed here but its husk
+        // stays linked (a later head combiner retires it), and its
+        // `next` keeps evolving, so the walk never reads past
+        // `taken - 1` links. A drained queue leaves later requests
+        // (and the tail of a partly-served one) at `taken < want`.
+        let mut cur = first;
+        let mut idx = 0usize;
+        for slot in &batch.slots[my_seq..cut] {
+            let req = slot.load(Ordering::Acquire) as *mut DequeueManyReq<T>;
+            let want = unsafe { (*req).want };
+            let out = unsafe { (*req).out };
+            let mut got = 0usize;
+            while got < want && idx < taken {
+                let nxt = if idx + 1 < taken {
+                    unsafe { (*cur).next.load(Ordering::Acquire) }
+                } else {
+                    ptr::null_mut()
+                };
+                // Safety: each taken node's value has exactly one
+                // consumer (this walk visits each node once); the
+                // destination is uninitialized spare capacity —
+                // `write`, not assignment.
+                unsafe { out.add(got).write(QNode::take_value(cur)) };
+                if idx + 1 < taken {
+                    // Safety: fully unlinked non-dummy node, payload
+                    // out; the husk recycles.
+                    unsafe { guard.retire_recycle(cur) };
+                }
+                cur = nxt;
+                got += 1;
+                idx += 1;
+            }
+            unsafe { (*req).taken = got };
+        }
+    }
 }
 
 impl<T: Send + 'static> CombineOp for QueueOp<T> {
@@ -156,22 +316,26 @@ impl<T: Send + 'static> CombineOp for QueueOp<T> {
         _agg_idx: usize,
         _guard: &Guard<'_, '_>,
     ) {
-        let cut = batch.add_at_freeze.load(Ordering::Acquire) as usize;
+        let cut = batch.frozen_cut(Role::Add);
         debug_assert!(cut > my_seq);
         // Wait for each announced node (the announcer published its
         // slot right after the fetch&increment; it may just not have
-        // gotten there yet — the stack's line-38 wait).
+        // gotten there yet — the stack's line-38 wait). An
+        // `enqueue_many` publishes a whole forward chain under one
+        // announcement, so each slot holds a chain — length one for
+        // plain enqueues — and pre-linking joins each chain's *last*
+        // node to the next slot's first.
         let first = wait_ptr(&batch.slots[my_seq], eng.config().wait);
-        let mut prev = first;
+        // Safety: published chains, links written before publication.
+        let mut prev = unsafe { chain_last(first) };
         for i in my_seq + 1..cut {
             let n = wait_ptr(&batch.slots[i], eng.config().wait);
             // Relaxed suffices: the chain is published wholesale by the
             // Release store of the old tail's `next` below.
             unsafe { (*prev).next.store(n, Ordering::Relaxed) };
-            prev = n;
+            prev = unsafe { chain_last(n) };
         }
         let last = prev;
-        debug_assert!(unsafe { (*last).next.load(Ordering::Relaxed) }.is_null());
 
         // Swing-then-link: one CAS on `tail` claims the splice point;
         // the `next` link makes the chain reachable. A traverser that
@@ -216,10 +380,15 @@ impl<T: Send + 'static> CombineOp for QueueOp<T> {
         eng: &CombineEngine<Self>,
         batch: &CombineBatch<QNode<T>>,
         my_seq: usize,
-        _agg_idx: usize,
+        agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) {
-        let wanted = batch.remove_at_freeze.load(Ordering::Acquire) as usize - my_seq;
+        // The bulk aggregator's slots hold `DequeueManyReq`s, not
+        // nodes — its batches take whole blocks per request.
+        if agg_idx == HEAD_BULK {
+            return self.combine_dequeue_many(eng, batch, my_seq, guard);
+        }
+        let wanted = batch.frozen_cut(Role::Remove) - my_seq;
         debug_assert!(wanted >= 1);
         let wait = eng.config().wait;
         // The rendezvous budget spans CAS retries so a contended empty
@@ -325,8 +494,14 @@ impl<T: Send + 'static> CombineOp for QueueOp<T> {
         _eng: &CombineEngine<Self>,
         batch: &CombineBatch<QNode<T>>,
         offset: usize,
+        agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) -> Option<T> {
+        if agg_idx == HEAD_BULK {
+            // Bulk dequeues received their values through their
+            // request's buffer; there is no result chain to consume.
+            return None;
+        }
         let taken = batch.taken.load(Ordering::Acquire) as usize;
         if offset >= taken {
             return None;
@@ -397,11 +572,14 @@ pub struct SecQueue<T: Send + 'static> {
 impl<T: Send + 'static> SecQueue<T> {
     /// Creates a queue for up to `max_threads` threads.
     pub fn new(max_threads: usize) -> Self {
-        // One engine aggregator per end; every thread may operate on
-        // either end, so both batch layers admit all of them (the
-        // k = 1 configuration pins the per-aggregator capacity at
-        // max_threads). Head batches carry no slots — dequeuers bring
-        // no nodes.
+        // One engine aggregator per end plus the bulk dequeue
+        // aggregator; every thread may operate on either end, so all
+        // batch layers admit all of them (the k = 1 configuration pins
+        // the per-aggregator capacity at max_threads). Head batches
+        // carry no slots — single dequeuers bring no nodes; the bulk
+        // aggregator's slots carry requests. Bulk *enqueues* need no
+        // aggregator of their own: they announce chains on TAIL, whose
+        // combiner is chain-aware.
         let dummy = QNode::alloc_dummy();
         Self {
             engine: CombineEngine::new(
@@ -413,7 +591,7 @@ impl<T: Send + 'static> SecQueue<T> {
                     rendezvous_hits: AtomicU64::new(0),
                 },
                 SecConfig::new(1, max_threads),
-                AggLayout::Fixed(&[false, true]),
+                AggLayout::Fixed(&[false, true, true]),
             ),
         }
     }
@@ -580,6 +758,88 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
         self.queue
             .engine
             .run(Lane::At(HEAD), Role::Remove, ptr::null_mut(), &self.reclaim)
+    }
+
+    /// Bulk enqueue: appends every value of `values`, in slice order,
+    /// as one announcement (per `MAX_BULK_OPS`-sized chunk) on the
+    /// tail aggregator — the chain is pre-linked by the caller, so the
+    /// whole slice costs one slot of the batch and one share of the
+    /// splice CAS. The enqueues linearize consecutively at the splice:
+    /// afterwards the values sit in the queue back-to-back, in slice
+    /// order, with no foreign value interleaved.
+    ///
+    pub fn enqueue_many(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        for chunk in values.chunks(crate::combine::MAX_BULK_OPS) {
+            // Build the forward chain the tail combiner expects: the
+            // announced node is the chunk's *first* value (FIFO), the
+            // last value's node keeps its null `next`.
+            let mut head: *mut QNode<T> = ptr::null_mut();
+            let mut tail: *mut QNode<T> = ptr::null_mut();
+            for v in chunk {
+                let n = QNode::alloc_with(&self.reclaim, v.clone());
+                if head.is_null() {
+                    head = n;
+                } else {
+                    // Relaxed: published wholesale by the announce
+                    // (slot Release store) and again by the splice.
+                    unsafe { (*tail).next.store(n, Ordering::Relaxed) };
+                }
+                tail = n;
+            }
+            self.queue.engine.run_weighted(
+                Lane::At(TAIL),
+                Role::Add,
+                head,
+                chunk.len() as u32,
+                &self.reclaim,
+            );
+        }
+    }
+
+    /// Bulk dequeue: removes up to `max` values into `out` (appended
+    /// in queue order — oldest first), returning how many were taken.
+    /// One announcement per `MAX_BULK_OPS`-sized chunk covers the
+    /// whole request; the dequeues linearize consecutively at the bulk
+    /// combiner's unlink CAS, so a `dequeue_many(n)` receives `n`
+    /// consecutive queue fronts. Returns short (possibly 0) when the
+    /// queue runs dry.
+    ///
+    pub fn dequeue_many(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut total = 0usize;
+        while total < max {
+            let want = (max - total).min(crate::combine::MAX_BULK_OPS);
+            out.reserve(want);
+            let mut req = DequeueManyReq {
+                want,
+                // Safety: `reserve` guaranteed `want` spare slots past
+                // the initialized prefix.
+                out: unsafe { out.as_mut_ptr().add(out.len()) },
+                taken: 0,
+            };
+            // Type erasure as in the stack's bulk pop: the engine
+            // treats announcement pointers as opaque, and the bulk
+            // aggregator's combiner knows its slots hold requests.
+            let node = (&mut req as *mut DequeueManyReq<T>).cast::<QNode<T>>();
+            self.queue.engine.run_weighted(
+                Lane::At(HEAD_BULK),
+                Role::Remove,
+                node,
+                want as u32,
+                &self.reclaim,
+            );
+            // Safety: the combiner initialized exactly `taken` values
+            // at the spare-capacity cursor before `applied` was
+            // published.
+            unsafe { out.set_len(out.len() + req.taken) };
+            total += req.taken;
+            if req.taken < want {
+                break; // drained
+            }
+        }
+        total
     }
 }
 
@@ -861,5 +1121,102 @@ mod tests {
         });
         assert_eq!(consumed, ROUNDS as u64);
         assert!(q.rendezvous_hits() <= q.stats().report().batches);
+    }
+
+    #[test]
+    fn enqueue_many_dequeue_many_sequential_fifo() {
+        let q: SecQueue<u64> = SecQueue::new(1);
+        let mut h = q.register();
+        h.enqueue_many(&[1, 2, 3, 4, 5]);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_many(&mut out, 3), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        // Short return on a drained queue.
+        assert_eq!(h.dequeue_many(&mut out, 10), 2);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(h.dequeue_many(&mut out, 4), 0);
+        assert_eq!(h.dequeue(), None);
+        // Bulk and single operations interleave on the same list.
+        h.enqueue_many(&[6, 7]);
+        h.enqueue(8);
+        assert_eq!(h.dequeue(), Some(6));
+        let mut rest = Vec::new();
+        assert_eq!(h.dequeue_many(&mut rest, 8), 2);
+        assert_eq!(rest, vec![7, 8]);
+        h.enqueue_many(&[]);
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn bulk_ops_are_counted_in_ops_not_announcements() {
+        const CALLS: u64 = 50;
+        const LEN: usize = 8;
+        let q: SecQueue<u64> = SecQueue::new(1);
+        let mut h = q.register();
+        let mut out = Vec::new();
+        for _ in 0..CALLS {
+            h.enqueue_many(&[7; LEN]);
+            assert_eq!(h.dequeue_many(&mut out, LEN), LEN);
+            out.clear();
+        }
+        let r = q.stats().report();
+        assert_eq!(r.ops, 2 * CALLS * LEN as u64, "the freezer counts ops");
+        assert_eq!(r.batches, 2 * CALLS, "one announcement (batch) per call");
+    }
+
+    #[test]
+    fn bulk_blocks_stay_contiguous_under_concurrency() {
+        // Each enqueue_many linearizes as one splice, so a producer's
+        // block sits in the queue back-to-back: the consumer must see
+        // each block's values consecutively, with no foreign value in
+        // between.
+        const PRODUCERS: usize = 3;
+        const BLOCKS: usize = 80;
+        const LEN: usize = 7;
+        let q: SecQueue<u64> = SecQueue::new(PRODUCERS + 1);
+        let got: Vec<u64> = thread::scope(|scope| {
+            for p in 0..PRODUCERS as u64 {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut h = q.register();
+                    for b in 0..BLOCKS as u64 {
+                        let base = (p << 32) | (b * LEN as u64);
+                        let vals: Vec<u64> = (0..LEN as u64).map(|i| base + i).collect();
+                        h.enqueue_many(&vals);
+                    }
+                });
+            }
+            let q = &q;
+            scope
+                .spawn(move || {
+                    let mut h = q.register();
+                    let mut got = Vec::new();
+                    let total = PRODUCERS * BLOCKS * LEN;
+                    while got.len() < total {
+                        h.dequeue_many(&mut got, 16);
+                    }
+                    got
+                })
+                .join()
+                .unwrap()
+        });
+        assert_eq!(got.len(), PRODUCERS * BLOCKS * LEN);
+        // Walk the consumed sequence block by block: every run of LEN
+        // values starting at a block base must be that block, intact.
+        let mut i = 0;
+        while i < got.len() {
+            let base = got[i];
+            // The low half is the in-producer index; block starts are
+            // multiples of LEN.
+            assert_eq!(
+                (base & 0xFFFF_FFFF) % LEN as u64,
+                0,
+                "block-aligned at {i}: {base}"
+            );
+            for j in 0..LEN as u64 {
+                assert_eq!(got[i + j as usize], base + j, "block torn at {i}");
+            }
+            i += LEN;
+        }
     }
 }

@@ -57,6 +57,122 @@ struct StackOp<T: Send + 'static> {
     top: CachePadded<AtomicPtr<Node<T>>>,
 }
 
+/// A bulk-pop announcement: `pop_many` announces one of these (cast to
+/// the node type — the engine never dereferences announcement
+/// pointers, only the family hooks do, and they branch on the
+/// aggregator index first) instead of `want` separate pops.
+///
+/// The pointers reference the announcing thread's frame, which blocks
+/// until the batch is `applied` — so they are live for the combiner's
+/// whole walk. The combiner's plain writes to `out`/`taken` are
+/// published to the announcer by the engine's Release store of
+/// `applied` (paired with the waiter's Acquire).
+struct PopManyReq<T> {
+    /// How many values this request asks for.
+    want: usize,
+    /// Spare capacity in the caller's buffer; the combiner writes
+    /// `taken` initialized values starting here.
+    out: *mut T,
+    /// How many values the combiner actually delivered (≤ `want`;
+    /// short when the stack ran dry).
+    taken: usize,
+}
+
+/// Walks a published push chain from its announced top to its
+/// null-terminated bottom. A single push is a one-node chain (nodes
+/// allocate with a null `next`), so the mapped and bulk aggregators
+/// share one combiner.
+///
+/// # Safety
+///
+/// `top` must be a published announcement node; the chain's links were
+/// written by the announcing thread before the Release publication the
+/// caller's Acquire slot load paired with.
+unsafe fn chain_bottom<T: Send>(top: *mut Node<T>) -> *mut Node<T> {
+    let mut cur = top;
+    loop {
+        // Safety: per the function contract, every link reached from
+        // `top` is a live published node.
+        let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
+        if next.is_null() {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+impl<T: Send + 'static> StackOp<T> {
+    /// The bulk-pop combiner: tally the batch's total demand, unlink
+    /// that many nodes with one CAS (exactly the shape of the mapped
+    /// lanes' `combine_remove`), then deal the chain out to the
+    /// requests in announcement order — the earliest announcement
+    /// takes the shallowest nodes, so a `pop_many(n)` observes `n`
+    /// consecutive stack tops (LIFO, as if by `n` sequential pops).
+    fn combine_pop_many(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<T>>,
+        my_seq: usize,
+        guard: &Guard<'_, '_>,
+    ) {
+        let cut = batch.frozen_cut(Role::Remove);
+        let mut total = 0usize;
+        for slot in &batch.slots[my_seq..cut] {
+            let req = wait_ptr(slot, eng.config().wait) as *mut PopManyReq<T>;
+            // Safety: the request outlives the batch (announcer blocks
+            // on `applied`); the combiner is its unique accessor.
+            total += unsafe { (*req).want };
+        }
+
+        // Unlink up to `total` nodes with a single CAS. Successive
+        // batches' combiners (and the mapped aggregators') race here,
+        // hence the retry loop.
+        let mut backoff = Backoff::new();
+        let chain = loop {
+            let top = self.top.load(Ordering::Acquire);
+            let mut bot = top;
+            let mut avail = 0usize;
+            while avail < total && !bot.is_null() {
+                bot = unsafe { (*bot).next.load(Ordering::Acquire) };
+                avail += 1;
+            }
+            if self
+                .top
+                .compare_exchange(top, bot, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break top;
+            }
+            eng.stats().record_cas_failure();
+            backoff.spin();
+        };
+
+        // Deal the unlinked chain out in slot order. A drained stack
+        // leaves `cur` null early; the remaining requests report
+        // `taken == 0` (EMPTY), exactly like a sequence of pops that
+        // arrived after the stack emptied.
+        let mut cur = chain;
+        for slot in &batch.slots[my_seq..cut] {
+            let req = slot.load(Ordering::Acquire) as *mut PopManyReq<T>;
+            let want = unsafe { (*req).want };
+            let out = unsafe { (*req).out };
+            let mut taken = 0usize;
+            while taken < want && !cur.is_null() {
+                let next = unsafe { (*cur).next.load(Ordering::Acquire) };
+                // Safety: the combiner is each unlinked node's unique
+                // consumer; payload moves into the caller's spare
+                // capacity (uninitialized — `write`, not assignment),
+                // husk recycles.
+                unsafe { out.add(taken).write(Node::take_value(cur)) };
+                unsafe { guard.retire_recycle(cur) };
+                taken += 1;
+                cur = next;
+            }
+            unsafe { (*req).taken = taken };
+        }
+    }
+}
+
 impl<T: Send + 'static> CombineOp for StackOp<T> {
     type Node = Node<T>;
     type Value = T;
@@ -75,29 +191,36 @@ impl<T: Send + 'static> CombineOp for StackOp<T> {
         _agg_idx: usize,
         _guard: &Guard<'_, '_>,
     ) {
-        let add_at_freeze = batch.add_at_freeze.load(Ordering::Acquire) as usize;
+        let add_at_freeze = batch.frozen_cut(Role::Add);
 
         // Line 36: our own node is the bottom of the substack (we are
         // the surviving push with the smallest sequence number, hence
-        // LIFO-first, hence deepest).
-        let bot = batch.slots[my_seq].load(Ordering::Acquire);
+        // LIFO-first, hence deepest). A `push_many` publishes a whole
+        // downward chain under one announcement, so every slot holds a
+        // chain — length one for plain pushes — and splicing links each
+        // chain's *bottom* under the running top.
+        let first = batch.slots[my_seq].load(Ordering::Acquire);
         debug_assert!(
-            !bot.is_null(),
+            !first.is_null(),
             "combiner published its node before freezing"
         );
+        // Safety: published chain, links written before publication.
+        let bot = unsafe { chain_bottom(first) };
 
-        // Erratum fix (DESIGN.md §2.1): the chain grows from `bot`, not
-        // from null — otherwise single-push batches would install null
-        // and multi-push batches would orphan `bot`.
-        let mut top = bot;
+        // Erratum fix (DESIGN.md §2.1): the chain grows from our own
+        // node, not from null — otherwise single-push batches would
+        // install null and multi-push batches would orphan `bot`.
+        let mut top = first;
         for i in my_seq + 1..add_at_freeze {
             // Line 38: the push with sequence number `i` belongs to the
             // batch (i < pushCountAtFreeze), so it *will* publish its
             // node; it may just not have gotten to line 7 yet.
             let n = wait_ptr(&batch.slots[i], eng.config().wait);
-            // Lines 41–42: link below the running top. Relaxed is
-            // enough: the successful CAS below releases the whole chain.
-            unsafe { (*n).next.store(top, Ordering::Relaxed) };
+            // Lines 41–42: link this announcement's chain below the
+            // running top. Relaxed is enough: the successful CAS below
+            // releases the whole chain.
+            let b = unsafe { chain_bottom(n) };
+            unsafe { (*b).next.store(top, Ordering::Relaxed) };
             top = n;
         }
 
@@ -133,10 +256,15 @@ impl<T: Send + 'static> CombineOp for StackOp<T> {
         eng: &CombineEngine<Self>,
         batch: &CombineBatch<Node<T>>,
         my_seq: usize,
-        _agg_idx: usize,
-        _guard: &Guard<'_, '_>,
+        agg_idx: usize,
+        guard: &Guard<'_, '_>,
     ) {
-        let remove_at_freeze = batch.remove_at_freeze.load(Ordering::Acquire) as usize;
+        // The bulk aggregator's slots hold `PopManyReq`s, not nodes —
+        // its batches are combined request-by-request.
+        if agg_idx == eng.bulk_agg(1) {
+            return self.combine_pop_many(eng, batch, my_seq, guard);
+        }
+        let remove_at_freeze = batch.frozen_cut(Role::Remove);
         // One node per non-eliminated pop. (Erratum fix, DESIGN.md
         // §2.2: the paper's `while ++i < popCountAtFreeze` advances
         // k−1 times.)
@@ -192,11 +320,17 @@ impl<T: Send + 'static> CombineOp for StackOp<T> {
     /// which the combiner's unlink count covers.
     fn take_result(
         &self,
-        _eng: &CombineEngine<Self>,
+        eng: &CombineEngine<Self>,
         batch: &CombineBatch<Node<T>>,
         offset: usize,
+        agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) -> Option<T> {
+        if agg_idx == eng.bulk_agg(1) {
+            // Bulk pops received their values through their request's
+            // buffer; there is no result chain to consume.
+            return None;
+        }
         let mut cur = batch.result_head.load(Ordering::Acquire);
         for _ in 0..offset {
             if cur.is_null() {
@@ -279,7 +413,16 @@ impl<T: Send + 'static> SecStack<T> {
                     top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
                 },
                 config,
-                AggLayout::Mapped { with_slots: true },
+                // Two bulk aggregators past the mapped prefix:
+                // `bulk_agg(0)` carries `push_many` chains (add lane),
+                // `bulk_agg(1)` carries `pop_many` requests (remove
+                // lane). Each is single-lane, so its batches degenerate
+                // to pure combining — elimination never applies to a
+                // bulk announcement.
+                AggLayout::Mapped {
+                    with_slots: true,
+                    bulk: 2,
+                },
             ),
         }
     }
@@ -435,6 +578,84 @@ impl<'a, T: Send + 'static> SecHandle<'a, T> {
             ptr::null_mut(),
             &self.reclaim,
         )
+    }
+
+    /// Bulk push: pushes every value of `values`, in slice order, as
+    /// one announcement (per `MAX_BULK_OPS`-sized chunk) on the
+    /// stack's dedicated bulk aggregator — the protocol cost
+    /// (announce, freeze, combiner election, one splice CAS share)
+    /// amortizes over the whole slice. The pushes linearize
+    /// consecutively at the combiner's splice, so afterwards the last
+    /// element of `values` is nearest the top, exactly as if pushed
+    /// one at a time with no interleaving.
+    ///
+    pub fn push_many(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        for chunk in values.chunks(crate::combine::MAX_BULK_OPS) {
+            // Build the downward chain the combiner expects: the
+            // announced node is the chain's top (the chunk's *last*
+            // value — LIFO), the first value's node its null-next
+            // bottom.
+            let mut top = ptr::null_mut();
+            for v in chunk {
+                let n = Node::alloc_with(&self.reclaim, v.clone());
+                unsafe { (*n).next.store(top, Ordering::Relaxed) };
+                top = n;
+            }
+            self.stack.engine.run_weighted(
+                Lane::At(self.stack.engine.bulk_agg(0)),
+                Role::Add,
+                top,
+                chunk.len() as u32,
+                &self.reclaim,
+            );
+        }
+    }
+
+    /// Bulk pop: pops up to `max` values into `out` (appended in pop
+    /// order — shallowest first), returning how many were taken. One
+    /// announcement per `MAX_BULK_OPS`-sized chunk covers the whole
+    /// request; the pops linearize consecutively at the combiner's
+    /// unlink CAS, so a `pop_many(n)` observes `n` consecutive stack
+    /// tops. Returns short (possibly 0) when the stack runs dry —
+    /// EMPTY for the remainder, exactly like sequential pops.
+    ///
+    pub fn pop_many(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut total = 0usize;
+        while total < max {
+            let want = (max - total).min(crate::combine::MAX_BULK_OPS);
+            out.reserve(want);
+            let mut req = PopManyReq {
+                want,
+                // Safety: `reserve` guaranteed `want` spare slots past
+                // the initialized prefix.
+                out: unsafe { out.as_mut_ptr().add(out.len()) },
+                taken: 0,
+            };
+            // The cast is the type-erasure trick the counter's bulk
+            // path uses: the engine treats announcement pointers as
+            // opaque; only `combine_pop_many` looks inside, and it
+            // knows the bulk aggregator's slots hold requests.
+            let node = (&mut req as *mut PopManyReq<T>).cast::<Node<T>>();
+            self.stack.engine.run_weighted(
+                Lane::At(self.stack.engine.bulk_agg(1)),
+                Role::Remove,
+                node,
+                want as u32,
+                &self.reclaim,
+            );
+            // Safety: the combiner initialized exactly `taken` values
+            // at the spare-capacity cursor before `applied` was
+            // published (Acquire-paired in `wait_applied`).
+            unsafe { out.set_len(out.len() + req.taken) };
+            total += req.taken;
+            if req.taken < want {
+                break; // drained
+            }
+        }
+        total
     }
 
     /// Peek (§3.2: "simply a read of stackTop, similar to the Treiber

@@ -569,3 +569,138 @@ fn recycling_off_reverts_to_freeing() {
     assert_eq!(st.pending(), 0, "quiesce drains everything: {st:?}");
     assert_eq!(st.retired, st.freed, "Off: every retiree is freed");
 }
+
+#[test]
+fn push_many_pop_many_sequential_lifo() {
+    let s: SecStack<u64> = SecStack::new(1);
+    let mut h = s.register();
+    h.push_many(&[1, 2, 3, 4, 5]);
+    // The slice's last element is nearest the top, as if pushed one at
+    // a time.
+    assert_eq!(h.peek(), Some(5));
+    let mut out = Vec::new();
+    assert_eq!(h.pop_many(&mut out, 3), 3);
+    assert_eq!(out, vec![5, 4, 3]);
+    // Short return on a drained stack.
+    assert_eq!(h.pop_many(&mut out, 10), 2);
+    assert_eq!(out, vec![5, 4, 3, 2, 1]);
+    assert_eq!(h.pop_many(&mut out, 4), 0);
+    assert_eq!(h.pop(), None);
+    // Empty slices are no-ops.
+    h.push_many(&[]);
+    assert_eq!(h.pop(), None);
+}
+
+#[test]
+fn bulk_ops_are_counted_in_ops_not_announcements() {
+    const CALLS: u64 = 50;
+    const LEN: usize = 8;
+    let s: SecStack<u64> = SecStack::new(1);
+    let mut h = s.register();
+    let mut out = Vec::new();
+    for _ in 0..CALLS {
+        h.push_many(&[7; LEN]);
+        assert_eq!(h.pop_many(&mut out, LEN), LEN);
+        out.clear();
+    }
+    let r = s.stats().report();
+    assert_eq!(r.ops, 2 * CALLS * LEN as u64, "the freezer counts ops");
+    assert_eq!(r.batches, 2 * CALLS, "one announcement (batch) per call");
+}
+
+#[test]
+fn concurrent_bulk_and_single_ops_conserve_values() {
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 120;
+    const LEN: usize = 9;
+    let s: SecStack<u64> = SecStack::new(THREADS);
+    let popped: Vec<u64> = thread::scope(|scope| {
+        (0..THREADS as u64)
+            .map(|t| {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut h = s.register();
+                    let mut got = Vec::new();
+                    for r in 0..ROUNDS as u64 {
+                        let base = (t << 32) | (r * LEN as u64);
+                        let vals: Vec<u64> = (0..LEN as u64).map(|i| base + i).collect();
+                        match (t + r) % 4 {
+                            0 => h.push_many(&vals),
+                            1 => {
+                                for v in vals {
+                                    h.push(v);
+                                }
+                            }
+                            2 => {
+                                h.pop_many(&mut got, LEN);
+                            }
+                            _ => {
+                                for _ in 0..LEN {
+                                    got.extend(h.pop());
+                                }
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect()
+    });
+    // Drain the remainder; every pushed value must surface exactly once.
+    let mut h = s.register();
+    let mut rest = Vec::new();
+    while h.pop_many(&mut rest, 64) > 0 {}
+    let mut seen: HashSet<u64> = HashSet::new();
+    for v in popped.into_iter().chain(rest) {
+        assert!(seen.insert(v), "duplicate {v}");
+    }
+    let pushed: usize = (0..THREADS)
+        .map(|t| (0..ROUNDS).filter(|r| (t + r) % 4 < 2).count() * LEN)
+        .sum();
+    assert_eq!(seen.len(), pushed, "values lost");
+}
+
+#[test]
+fn pop_many_sees_consecutive_tops_under_concurrency() {
+    // Each bulk pop must receive a *descending run* of one producer's
+    // consecutive values whenever it pops from a stack built of bulk
+    // pushes: blocks are spliced contiguously, so a pop_many block that
+    // lands inside one push_many block observes strictly consecutive
+    // descending values.
+    const BLOCKS: usize = 60;
+    const LEN: usize = 8;
+    let s: SecStack<u64> = SecStack::new(2);
+    thread::scope(|scope| {
+        let s1 = &s;
+        scope.spawn(move || {
+            let mut h = s1.register();
+            for b in 0..BLOCKS as u64 {
+                let vals: Vec<u64> = (0..LEN as u64).map(|i| b * LEN as u64 + i).collect();
+                h.push_many(&vals);
+            }
+        });
+        let s2 = &s;
+        scope.spawn(move || {
+            let mut h = s2.register();
+            let mut taken = 0usize;
+            let mut tries = 0usize;
+            while taken < BLOCKS * LEN && tries < 1_000_000 {
+                let mut out = Vec::new();
+                let n = h.pop_many(&mut out, LEN);
+                taken += n;
+                tries += 1;
+                // Every popped run is strictly descending by 1 within a
+                // producer block (aligned blocks of one producer).
+                for w in out.windows(2) {
+                    if w[0] % (LEN as u64) != 0 {
+                        assert_eq!(w[1], w[0] - 1, "non-consecutive run: {out:?}");
+                    }
+                }
+            }
+            assert_eq!(taken, BLOCKS * LEN, "consumer drained everything");
+        });
+    });
+}

@@ -20,17 +20,34 @@
 //! [ui.perfetto.dev]: https://ui.perfetto.dev
 
 use super::ring::{TraceEvent, TraceEventKind};
+use std::collections::BTreeSet;
 use std::fmt::Write;
 
-/// Tid shown for control-plane events (`u32::MAX` is unfriendly to
-/// trace viewers' lane sorting).
-const CONTROL_TID: u32 = 999_999;
+/// Lane shown for control-plane events (`u32::MAX` is unfriendly to
+/// trace viewers' lane sorting). Lane 0 so it sorts first, with every
+/// real tid shifted up by one — an earlier version mapped the control
+/// ring to lane 999 999, which silently merged a genuine thread with
+/// tid 999 999 into the control lane. The shift is total (real tids
+/// are `< u32::MAX` by the recorder's contract), so no real tid can
+/// collide with any other lane.
+const CONTROL_LANE: u32 = 0;
 
 fn lane_tid(tid: u32) -> u32 {
     if tid == u32::MAX {
-        CONTROL_TID
+        CONTROL_LANE
     } else {
-        tid
+        tid + 1
+    }
+}
+
+/// Label of a lane: `control` for the control plane, otherwise the
+/// *raw* recorder tid (undoing the +1 lane shift) so labels match what
+/// the rest of the tooling prints.
+fn lane_label(lane: u32) -> String {
+    if lane == CONTROL_LANE {
+        "control".to_string()
+    } else {
+        format!("thread {}", lane - 1)
     }
 }
 
@@ -107,22 +124,17 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         r#"{"name":"process_name","ph":"M","pid":1,"args":{"name":"sec combining engine"}}"#,
     );
     out.push_str(",\n");
-    // Name the lanes that appear, once each.
-    let mut named: Vec<u32> = Vec::new();
-    for e in events {
-        let tid = lane_tid(e.tid);
-        if !named.contains(&tid) {
-            named.push(tid);
-            let label = if tid == CONTROL_TID {
-                "control".to_string()
-            } else {
-                format!("thread {tid}")
-            };
-            let _ = writeln!(
-                out,
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{label}\"}}}},",
-            );
-        }
+    // Name the lanes that appear, once each, in ascending lane order
+    // (control first, then threads by tid — deterministic regardless
+    // of event interleaving). The set also replaces the previous
+    // per-event `Vec::contains` scan, which was O(events × lanes).
+    let lanes: BTreeSet<u32> = events.iter().map(|e| lane_tid(e.tid)).collect();
+    for lane in lanes {
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"args\":{{\"name\":\"{}\"}}}},",
+            lane_label(lane),
+        );
     }
     for e in events {
         let agg = e.agg as u64;
@@ -250,6 +262,72 @@ mod tests {
         assert!(json.contains(r#""name":"control"#));
         // No dangling comma before the array close.
         assert!(!json.contains(",\n]"));
+    }
+
+    /// Regression: the control lane used to be a fixed tid 999 999,
+    /// which silently merged a genuine thread with that tid into the
+    /// control lane. The +1 lane shift keeps them apart.
+    #[test]
+    fn tid_999999_does_not_collide_with_control() {
+        let events = [
+            TraceEvent {
+                ts_ns: 1_000,
+                tid: 999_999,
+                agg: 0,
+                kind: TraceEventKind::Announce {
+                    lane: TraceLane::Add,
+                    seq: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 2_000,
+                tid: u32::MAX,
+                agg: 0,
+                kind: TraceEventKind::Grow { k: 2 },
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        // Two distinct lanes, each with its own metadata entry.
+        assert!(json.contains(r#""tid":1000000,"args":{"name":"thread 999999"}"#));
+        assert!(json.contains(&format!(
+            r#""tid":{CONTROL_LANE},"args":{{"name":"control"}}"#
+        )));
+        // The thread's event is on its own lane, not the control lane.
+        assert!(
+            json.contains(r#""name":"announce","ph":"i","s":"t","ts":1.000,"pid":1,"tid":1000000"#)
+        );
+        assert!(json.contains(&format!(
+            r#""name":"grow","ph":"i","s":"t","ts":2.000,"pid":1,"tid":{CONTROL_LANE}"#
+        )));
+    }
+
+    /// Lane metadata comes out in ascending lane order (control first,
+    /// then threads by tid) no matter how the events interleave.
+    #[test]
+    fn lane_metadata_is_sorted_and_unique() {
+        let mut events = sample_events();
+        events.reverse(); // control event first, threads out of order
+        let json = chrome_trace_json(&events);
+        let tids: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("thread_name"))
+            .map(|l| {
+                let start = l.find("\"tid\":").unwrap() + 6;
+                let end = l[start..].find(',').unwrap() + start;
+                &l[start..end]
+            })
+            .collect();
+        assert_eq!(
+            tids,
+            ["0", "1", "2"],
+            "control lane 0, then tids 0,1 shifted"
+        );
+        let labels: Vec<bool> = json
+            .lines()
+            .filter(|l| l.contains("thread_name"))
+            .map(|l| l.contains("control"))
+            .collect();
+        assert_eq!(labels, [true, false, false]);
     }
 
     #[test]

@@ -55,6 +55,17 @@ fn bucket_high(idx: usize) -> u64 {
 /// array and are meant for end-of-run or periodic reporting, not the
 /// hot path.
 ///
+/// Every query ([`count`](Self::count), [`mean`](Self::mean),
+/// [`percentile`](Self::percentile)) copies the bucket array into a
+/// local snapshot first and derives everything — count, rank, walk —
+/// from that one snapshot, so a query racing concurrent `record`
+/// calls is internally consistent (a percentile can never chase a
+/// count that grew under its feet). Residual raciness: `min`/`max`
+/// are separate atomics, so a percentile's clamp into `[min, max]`
+/// may see a min/max from a sample whose bucket increment the
+/// snapshot missed (or vice versa) — off by in-flight samples only,
+/// never torn.
+///
 /// # Examples
 ///
 /// ```
@@ -69,7 +80,6 @@ fn bucket_high(idx: usize) -> u64 {
 /// ```
 pub struct Histogram {
     buckets: Box<[AtomicU64; BUCKETS]>,
-    total: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
 }
@@ -83,7 +93,6 @@ impl Histogram {
         let buckets = v.into_boxed_slice().try_into().ok().unwrap();
         Self {
             buckets,
-            total: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
@@ -94,14 +103,25 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Copies the bucket array into a local snapshot (one relaxed load
+    /// per bucket, ~8 KiB of stack). Every statistic of one query is
+    /// derived from the same snapshot — see the type-level note on
+    /// query consistency.
+    fn snapshot(&self) -> [u64; BUCKETS] {
+        let mut snap = [0u64; BUCKETS];
+        for (dst, b) in snap.iter_mut().zip(self.buckets.iter()) {
+            *dst = b.load(Ordering::Relaxed);
+        }
+        snap
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        self.snapshot().iter().sum()
     }
 
     /// `true` when nothing has been recorded.
@@ -124,29 +144,46 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
-    /// Mean of the recorded samples (exact — the running total is kept
-    /// alongside the buckets; 0.0 when empty).
+    /// Mean of the recorded samples at bucket resolution (each sample
+    /// counts as its bucket's upper edge, so the mean carries the same
+    /// ≤ 6.25% relative error as `percentile`; 0.0 when empty).
+    ///
+    /// Count and sum come from one bucket snapshot, so the mean is
+    /// consistent under concurrent recording — the previous exact
+    /// running total was read separately from the bucket walk and
+    /// could pair a stale sum with a fresh count (or vice versa).
     pub fn mean(&self) -> f64 {
-        let n = self.count();
+        let snap = self.snapshot();
+        let n: u64 = snap.iter().sum();
         if n == 0 {
-            0.0
-        } else {
-            self.total.load(Ordering::Relaxed) as f64 / n as f64
+            return 0.0;
         }
+        let sum: f64 = snap
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * bucket_high(i) as f64)
+            .sum();
+        sum / n as f64
     }
 
     /// Value at or below which `p` percent of the samples fall, within
     /// the bucket resolution (≤ 6.25% relative error), clamped into
     /// the recorded `[min, max]`. Returns 0 when empty.
+    ///
+    /// The count that fixes the rank and the walk that finds it use
+    /// one bucket snapshot: a racing `record` can no longer bump a
+    /// later bucket between the two passes and shift the reported
+    /// percentile off its own rank.
     pub fn percentile(&self, p: f64) -> u64 {
-        let n = self.count();
+        let snap = self.snapshot();
+        let n: u64 = snap.iter().sum();
         if n == 0 {
             return 0;
         }
         let rank = ((p / 100.0 * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+        for (i, &c) in snap.iter().enumerate() {
+            seen += c;
             if seen >= rank {
                 return bucket_high(i).clamp(self.min(), self.max());
             }
@@ -154,7 +191,7 @@ impl Histogram {
         self.max()
     }
 
-    /// Adds every sample of `other` into `self`. Min/max/total merge
+    /// Adds every sample of `other` into `self`. Min/max merge
     /// exactly; buckets add pairwise (identical layouts).
     pub fn merge(&self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
@@ -163,8 +200,6 @@ impl Histogram {
                 mine.fetch_add(t, Ordering::Relaxed);
             }
         }
-        self.total
-            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
         self.min
             .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max
@@ -177,7 +212,6 @@ impl Histogram {
         for b in self.buckets.iter() {
             b.store(0, Ordering::Relaxed);
         }
-        self.total.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
     }
@@ -273,6 +307,62 @@ mod tests {
         h.reset();
         assert!(h.is_empty());
         assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn mean_is_exact_low_and_bucket_bounded_high() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        // Values below SUB sit in exact buckets, so the bucket-derived
+        // mean is the true mean.
+        assert_eq!(h.mean(), 2.5);
+
+        let g = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            g.record(v);
+        }
+        let exact = (1_000.0 + 2_000.0 + 4_000.0) / 3.0;
+        let m = g.mean();
+        // Upper-edge convention: never below the true mean, above it by
+        // at most one sub-bucket width (1/16 relative) plus one.
+        assert!(m >= exact, "mean {m} below exact {exact}");
+        assert!(m <= exact * (1.0 + 1.0 / 16.0) + 1.0, "mean {m} too high");
+    }
+
+    /// Regression for the query/record race: rank and walk now come
+    /// from one snapshot, so percentiles stay ordered and counts stay
+    /// monotone while another thread is recording.
+    #[test]
+    fn queries_stay_consistent_under_concurrent_recording() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let rec = {
+            let h = Arc::clone(&h);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.record(v % 100_000);
+                    v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                }
+            })
+        };
+        let mut last_count = 0u64;
+        for _ in 0..2_000 {
+            let c = h.count();
+            assert!(c >= last_count, "count went backwards: {last_count} -> {c}");
+            last_count = c;
+            let (p50, p99) = (h.percentile(50.0), h.percentile(99.0));
+            assert!(p50 <= p99, "p50 {p50} above p99 {p99}");
+            let m = h.mean();
+            assert!(m >= 0.0 && m.is_finite());
+        }
+        stop.store(true, Ordering::Relaxed);
+        rec.join().unwrap();
     }
 
     #[test]

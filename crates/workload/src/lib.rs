@@ -26,13 +26,19 @@
 //!   plus unplotted counter columns),
 //! * [`trace`] — deterministic record/replay workloads (fixed op
 //!   sequences replayed against every algorithm for op-for-op
-//!   comparability and reproducible stress failures).
+//!   comparability and reproducible stress failures),
+//! * [`openloop`] — open-loop traffic replay: timestamped arrival
+//!   traces (steady / bursty / diurnal / multi-tenant, plus a
+//!   committed text format) replayed against a
+//!   `SecQueue`+`SecMap` service with latency charged from scheduled
+//!   arrival, so overload shows up instead of being coordinated away.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod algo;
 pub mod latency;
+pub mod openloop;
 mod runner;
 mod spec;
 pub mod stats;
@@ -46,6 +52,7 @@ pub use latency::{
     measure_counter_latency, measure_latency, measure_map_latency, measure_queue_latency,
     LatencyHistogram, LatencyReport,
 };
+pub use openloop::{replay_open_loop, Arrival, ArrivalTrace, ReplayReport, ServiceConfig};
 pub use runner::{
     run_counter_throughput, run_map_throughput, run_queue_throughput, run_throughput, RunConfig,
     RunResult,

@@ -103,6 +103,36 @@ fn queue_burst(h: &mut sec_repro::ext::SecQueueHandle<'_, u64>) {
     }
 }
 
+/// Bulk batch size and call count for the bulk-announcement section.
+const BULK_LEN: usize = 16;
+const BULK_CALLS: u64 = 200;
+
+/// A push_many/pop_many burst. The scratch buffers live with the
+/// caller so the measured burst's only possible allocations are the
+/// structure's own.
+fn bulk_stack_burst(h: &mut sec_repro::SecHandle<'_, u64>, vals: &[u64], out: &mut Vec<u64>) {
+    for _ in 0..BULK_CALLS {
+        h.push_many(vals);
+        let got = h.pop_many(out, BULK_LEN);
+        assert_eq!(got, BULK_LEN);
+        out.clear();
+    }
+}
+
+/// An enqueue_many/dequeue_many burst, same shape.
+fn bulk_queue_burst(
+    h: &mut sec_repro::ext::SecQueueHandle<'_, u64>,
+    vals: &[u64],
+    out: &mut Vec<u64>,
+) {
+    for _ in 0..BULK_CALLS {
+        h.enqueue_many(vals);
+        let got = h.dequeue_many(out, BULK_LEN);
+        assert_eq!(got, BULK_LEN);
+        out.clear();
+    }
+}
+
 #[test]
 fn steady_state_ops_perform_zero_heap_allocations() {
     // Gate the allocator's counter to this thread only.
@@ -144,6 +174,59 @@ fn steady_state_ops_perform_zero_heap_allocations() {
     assert_eq!(
         queue_allocs, 0,
         "queue steady state must not touch the heap ({queue_allocs} allocations in {OPS} enqueue/dequeue pairs)"
+    );
+    drop(h);
+
+    // --- Bulk operations: zero-alloc AND one announcement per call. --
+    // push_many/pop_many move whole slices through a single
+    // announcement each: value nodes come off the same recycling
+    // arena, results return through the caller's buffer. So a warmed
+    // bulk burst must stay off the heap exactly like the singles —
+    // while the engine's op-weighted freezer accounting shows
+    // strictly fewer announcements (batches) than operations.
+    let bulk: SecStack<u64> = SecStack::with_config(
+        SecConfig::new(2, 1)
+            .freezer_yields(0)
+            .recycle(RecyclePolicy::per_thread()),
+    );
+    let vals = [7u64; BULK_LEN];
+    let mut out: Vec<u64> = Vec::with_capacity(BULK_LEN);
+    let mut h = bulk.register();
+    bulk_stack_burst(&mut h, &vals, &mut out); // warm-up
+    let before = allocs_now();
+    bulk_stack_burst(&mut h, &vals, &mut out); // measurement
+    let bulk_allocs = allocs_now() - before;
+    assert_eq!(
+        bulk_allocs, 0,
+        "bulk steady state must not touch the heap \
+         ({bulk_allocs} allocations in {BULK_CALLS} push_many/pop_many({BULK_LEN}) pairs)"
+    );
+    drop(h);
+    let r = bulk.stats().report();
+    // Warm-up + measurement: 2 rounds of BULK_CALLS push_many and
+    // BULK_CALLS pop_many, each moving BULK_LEN values through ONE
+    // announcement (single-threaded, so the counts are exact).
+    assert_eq!(
+        r.ops,
+        2 * 2 * BULK_CALLS * BULK_LEN as u64,
+        "the freezer counts every bulk element as an op"
+    );
+    assert_eq!(
+        r.batches,
+        2 * 2 * BULK_CALLS,
+        "each bulk call must cost exactly one announcement"
+    );
+
+    let bulk_q: SecQueue<u64> = SecQueue::new(1);
+    let mut h = bulk_q.register();
+    bulk_queue_burst(&mut h, &vals, &mut out); // warm-up
+    let before = allocs_now();
+    bulk_queue_burst(&mut h, &vals, &mut out); // measurement
+    let bulk_q_allocs = allocs_now() - before;
+    assert_eq!(
+        bulk_q_allocs, 0,
+        "queue bulk steady state must not touch the heap \
+         ({bulk_q_allocs} allocations in {BULK_CALLS} enqueue_many/dequeue_many({BULK_LEN}) pairs)"
     );
     drop(h);
 

@@ -69,6 +69,12 @@ enum Action {
     Push,
     Pop,
     Peek,
+    /// Push the next `n` globally-unique values through one
+    /// `push_many` announcement (recorded as `n` push events sharing
+    /// the call's interval — the batch linearizes inside it).
+    PushMany(u8),
+    /// Pop up to `n` values through one `pop_many` announcement.
+    PopMany(u8),
     /// Offer preemption `n` times before the next step.
     Yield(u8),
     /// Force the active aggregator count to `k` (no-op under Fixed).
@@ -140,10 +146,16 @@ impl Schedule {
                             script.push(Action::Resize(min_k));
                         }
                     }
-                    script.push(match rng.gen_range(0..5) {
+                    // Bulk ops ride the same scripts: small schedules
+                    // keep slices tiny so the Wing–Gong history stays
+                    // checkable, large ones stretch them.
+                    let bulk_span = if small { 3u32 } else { 8 };
+                    script.push(match rng.gen_range(0..7) {
                         0 | 1 => Action::Push,
                         2 | 3 => Action::Pop,
-                        _ => Action::Peek,
+                        4 => Action::Peek,
+                        5 => Action::PushMany(1 + rng.gen_range(0..bulk_span) as u8),
+                        _ => Action::PopMany(1 + rng.gen_range(0..bulk_span) as u8),
                     });
                 }
                 script
@@ -202,6 +214,56 @@ fn run_schedule(s: &Schedule) -> (Vec<Event<u64>>, (u64, u64)) {
                         _ => {}
                     }
                     let invoke = rec.now();
+                    // Bulk actions expand into one event per element:
+                    // the whole slice linearizes somewhere inside the
+                    // single call's [invoke, response] interval, so
+                    // giving every element that interval is sound (any
+                    // order the checker finds within it is one the
+                    // batch could have taken).
+                    match *action {
+                        Action::PushMany(n) => {
+                            let vals: Vec<u64> = (0..n as usize)
+                                .map(|i| (t * 1_000_000 + pushed + i) as u64)
+                                .collect();
+                            pushed += n as usize;
+                            h.push_many(&vals);
+                            let response = rec.now();
+                            for v in vals {
+                                local.push(Event {
+                                    thread: t,
+                                    op: Op::Push(v),
+                                    invoke,
+                                    response,
+                                });
+                            }
+                            continue;
+                        }
+                        Action::PopMany(n) => {
+                            let mut out = Vec::with_capacity(n as usize);
+                            let got = h.pop_many(&mut out, n as usize);
+                            let response = rec.now();
+                            for v in out {
+                                local.push(Event {
+                                    thread: t,
+                                    op: Op::Pop(Some(v)),
+                                    invoke,
+                                    response,
+                                });
+                            }
+                            // Unserved requests saw an empty stack at
+                            // the batch's linearization point.
+                            for _ in got..n as usize {
+                                local.push(Event {
+                                    thread: t,
+                                    op: Op::Pop(None),
+                                    invoke,
+                                    response,
+                                });
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
                     let op = match *action {
                         Action::Push => {
                             let v = (t * 1_000_000 + pushed) as u64;
@@ -374,6 +436,12 @@ enum QueueAction {
     /// Enqueue the next globally-unique value.
     Enqueue,
     Dequeue,
+    /// Enqueue the next `n` values through one `enqueue_many`
+    /// announcement (the block stays contiguous in FIFO order).
+    EnqueueMany(u8),
+    /// Dequeue up to `n` values through one `dequeue_many`
+    /// announcement.
+    DequeueMany(u8),
     /// Offer preemption `n` times before the next step.
     Yield(u8),
 }
@@ -417,10 +485,12 @@ impl QueueSchedule {
                     if rng.gen_range(0..3) == 0 {
                         script.push(QueueAction::Yield(1 + rng.gen_range(0..3) as u8));
                     }
-                    script.push(if rng.gen_range(0..2) == 0 {
-                        QueueAction::Enqueue
-                    } else {
-                        QueueAction::Dequeue
+                    let bulk_span = if small { 3u32 } else { 8 };
+                    script.push(match rng.gen_range(0..6) {
+                        0 | 1 => QueueAction::Enqueue,
+                        2 | 3 => QueueAction::Dequeue,
+                        4 => QueueAction::EnqueueMany(1 + rng.gen_range(0..bulk_span) as u8),
+                        _ => QueueAction::DequeueMany(1 + rng.gen_range(0..bulk_span) as u8),
                     });
                 }
                 script
@@ -463,6 +533,49 @@ fn run_queue_schedule(s: &QueueSchedule) -> (Vec<TimedOp<QueueOp<u64>>>, Vec<u64
                         continue;
                     }
                     let invoke = rec.now();
+                    // Bulk calls expand into one event per element
+                    // sharing the call's interval (the batch
+                    // linearizes inside it) — same convention as the
+                    // stack schedules.
+                    match *action {
+                        QueueAction::EnqueueMany(n) => {
+                            let vals: Vec<u64> = (0..n as usize)
+                                .map(|i| (t * 1_000_000 + pushed + i) as u64)
+                                .collect();
+                            pushed += n as usize;
+                            h.enqueue_many(&vals);
+                            let response = rec.now();
+                            for v in vals {
+                                local.push(TimedOp {
+                                    op: QueueOp::Enqueue(v),
+                                    invoke,
+                                    response,
+                                });
+                            }
+                            continue;
+                        }
+                        QueueAction::DequeueMany(n) => {
+                            let mut out = Vec::with_capacity(n as usize);
+                            let got = h.dequeue_many(&mut out, n as usize);
+                            let response = rec.now();
+                            for v in out {
+                                local.push(TimedOp {
+                                    op: QueueOp::Dequeue(Some(v)),
+                                    invoke,
+                                    response,
+                                });
+                            }
+                            for _ in got..n as usize {
+                                local.push(TimedOp {
+                                    op: QueueOp::Dequeue(None),
+                                    invoke,
+                                    response,
+                                });
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
                     let op = match *action {
                         QueueAction::Enqueue => {
                             let v = (t * 1_000_000 + pushed) as u64;
@@ -471,7 +584,7 @@ fn run_queue_schedule(s: &QueueSchedule) -> (Vec<TimedOp<QueueOp<u64>>>, Vec<u64
                             QueueOp::Enqueue(v)
                         }
                         QueueAction::Dequeue => QueueOp::Dequeue(h.dequeue()),
-                        QueueAction::Yield(_) => unreachable!(),
+                        _ => unreachable!(),
                     };
                     let response = rec.now();
                     local.push(TimedOp {
