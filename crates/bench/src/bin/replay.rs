@@ -24,6 +24,11 @@
 //! exceeds 1%). Writes `results/replay.csv`,
 //! `results/BENCH_replay.json` and a repo-root `BENCH_replay.json`
 //! copy for trend tracking across commits.
+//!
+//! `--max-slo-violation F` turns the run into a CI gate: any
+//! measurement whose violated-window fraction exceeds `F` is marked
+//! `FAIL` in the table and the process exits non-zero after the
+//! sweep (all rows still run and all outputs are still written).
 
 use sec_workload::openloop::{replay_open_loop, ArrivalTrace, ReplayReport, ServiceConfig};
 
@@ -39,6 +44,11 @@ struct ReplayOpts {
     loads: Vec<f64>,
     /// Latency SLO, µs.
     slo_us: u64,
+    /// Gate: maximum tolerated violated-window fraction per
+    /// measurement (0.0–1.0). Any row above it is marked `FAIL` in
+    /// the table and the process exits non-zero — CI-able overload
+    /// regression detection.
+    max_slo_violation: Option<f64>,
     /// Optional committed trace file replayed instead of the
     /// generated scenarios.
     trace_file: Option<String>,
@@ -53,6 +63,7 @@ impl ReplayOpts {
             workers: 2,
             loads: vec![0.5, 1.0, 2.0, 4.0],
             slo_us: 1000,
+            max_slo_violation: None,
             trace_file: None,
             csv_dir: "results".into(),
         };
@@ -75,11 +86,22 @@ impl ReplayOpts {
                     assert!(!opts.loads.is_empty(), "--loads list must not be empty");
                 }
                 "--slo-us" => opts.slo_us = value("--slo-us").parse().expect("invalid slo"),
+                "--max-slo-violation" => {
+                    let frac: f64 = value("--max-slo-violation")
+                        .parse()
+                        .expect("invalid --max-slo-violation");
+                    assert!(
+                        (0.0..=1.0).contains(&frac),
+                        "--max-slo-violation must be a fraction in 0.0..=1.0"
+                    );
+                    opts.max_slo_violation = Some(frac);
+                }
                 "--trace" => opts.trace_file = Some(value("--trace")),
                 "--csv" => opts.csv_dir = value("--csv").into(),
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --duration-ms N  --workers N  --loads A,B,C  --slo-us N  --trace FILE  --csv DIR"
+                        "options: --duration-ms N  --workers N  --loads A,B,C  --slo-us N  \
+                         --max-slo-violation F  --trace FILE  --csv DIR"
                     );
                     std::process::exit(0);
                 }
@@ -200,6 +222,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
     for (name, base) in scenarios(&opts) {
         println!(
             "\n== {name}: {} arrivals over {:.0} ms (x1.0 = {:.0}/s) ==",
@@ -214,8 +237,11 @@ fn main() {
         for &load in &opts.loads {
             let trace = base.scaled(load);
             let rep = replay_open_loop(&trace, &cfg, 0x5EED ^ load.to_bits());
+            let over_gate = opts
+                .max_slo_violation
+                .is_some_and(|max| rep.violated_frac() > max);
             println!(
-                "{:>6.2} | {:>12.0} {:>12.0} | {:>9.1} {:>9.1} {:>9.1} | {:>8} {:>10}",
+                "{:>6.2} | {:>12.0} {:>12.0} | {:>9.1} {:>9.1} {:>9.1} | {:>8} {:>10}{}",
                 load,
                 rep.offered_per_s,
                 rep.achieved_per_s,
@@ -228,7 +254,15 @@ fn main() {
                     rep.violated_windows,
                     rep.violated_frac() * 100.0
                 ),
+                if over_gate { "  FAIL" } else { "" },
             );
+            if over_gate {
+                gate_failures.push(format!(
+                    "{name} x{load:.2}: {:.1}% violated windows > gate {:.1}%",
+                    rep.violated_frac() * 100.0,
+                    opts.max_slo_violation.unwrap() * 100.0
+                ));
+            }
             rows.push(Row {
                 scenario: name,
                 load,
@@ -253,5 +287,17 @@ fn main() {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
+    }
+
+    if !gate_failures.is_empty() {
+        eprintln!(
+            "\nSLO gate FAILED ({} measurement{}):",
+            gate_failures.len(),
+            if gate_failures.len() == 1 { "" } else { "s" }
+        );
+        for f in &gate_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
     }
 }

@@ -36,6 +36,7 @@
 //! family-specific driver code.
 
 pub(crate) mod batch;
+pub(crate) mod durable;
 
 use crate::config::{AggregatorPolicy, SecConfig};
 use crate::sec::elastic::{self, ContentionMonitor, Direction};
@@ -210,7 +211,13 @@ pub(crate) enum AggLayout<'a> {
     },
     /// One aggregator per listed end, addressed through [`Lane::At`];
     /// each entry says whether that end's batches carry slots.
-    Fixed(&'a [bool]),
+    Fixed {
+        /// Per-end slot flags.
+        ends: &'a [bool],
+        /// Dedicated bulk aggregators appended after the fixed ends,
+        /// with the same semantics as [`AggLayout::Mapped::bulk`].
+        bulk: usize,
+    },
 }
 
 /// The batched-combining engine: aggregators, batches, freezing,
@@ -290,9 +297,10 @@ impl<O: CombineOp> CombineEngine<O> {
                 v.extend((0..bulk).map(|_| (true, config.max_threads)));
                 (v, config.aggregators)
             }
-            AggLayout::Fixed(ends) => {
-                let v: Vec<_> = ends.iter().map(|&ws| (ws, cap)).collect();
+            AggLayout::Fixed { ends, bulk } => {
+                let mut v: Vec<_> = ends.iter().map(|&ws| (ws, cap)).collect();
                 let base = v.len();
+                v.extend((0..bulk).map(|_| (true, config.max_threads)));
                 (v, base)
             }
         };

@@ -311,7 +311,10 @@ fn excluded_announcements_retry_on_the_remapped_aggregator() {
         "tally-at",
         TallyOp::new(),
         SecConfig::new(2, 2),
-        AggLayout::Fixed(&[true, true]),
+        AggLayout::Fixed {
+            ends: &[true, true],
+            bulk: 0,
+        },
     );
     let (reclaim, _st) = eng.register();
     for _ in 0..3 {

@@ -23,6 +23,10 @@
 //! zero. A homogeneous family degenerates out of the mixed protocol
 //! for free.
 
+use crate::combine::durable::{
+    self, fault, fault::FaultPoint, opcode, DurableCore, DurableError, DurablePolicy, DurableReq,
+    DurableStats, Family, OpResult, RecoveryReport,
+};
 use crate::combine::{AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, OpState, Role};
 use crate::config::SecConfig;
 use crate::sec::node::Node;
@@ -39,7 +43,15 @@ struct CounterOp {
     /// operations of a frozen batch linearize consecutively, in slot
     /// order, at the combiner's single `fetch_add` on this word.
     total: CachePadded<AtomicU64>,
+    /// Redo log + intent cells when built durable (DESIGN.md §16).
+    /// When set, every `fetch_add` routes through the dedicated
+    /// durable aggregators at `bulk_agg(DUR_BASE..)`.
+    durable: Option<DurableCore>,
 }
+
+/// Bulk-aggregator index of the first durable shard (the `add_many`
+/// aggregator sits at `bulk_agg(0)`).
+const DUR_BASE: usize = 1;
 
 /// A bulk `add_many` announcement: the node flowing through the
 /// counter's dedicated bulk aggregator. Lives on the announcer's stack
@@ -77,6 +89,17 @@ impl CombineOp for CounterOp {
     ) {
         if agg_idx == eng.bulk_agg(0) {
             return self.combine_add_many(eng, batch, my_seq);
+        }
+        if let Some(d) = &self.durable {
+            if agg_idx >= eng.bulk_agg(DUR_BASE) {
+                return self.combine_durable(
+                    eng,
+                    batch,
+                    my_seq,
+                    agg_idx - eng.bulk_agg(DUR_BASE),
+                    d,
+                );
+            }
         }
         let cut = batch.frozen_cut(Role::Remove);
 
@@ -120,6 +143,14 @@ impl CombineOp for CounterOp {
         guard: &Guard<'_, '_>,
     ) -> Option<u64> {
         if agg_idx == eng.bulk_agg(0) {
+            return None;
+        }
+        if self.durable.is_some() && agg_idx >= eng.bulk_agg(DUR_BASE) {
+            // Durable requests carry their results in the request
+            // struct; nothing to take. The hook is the harness's
+            // mid-publish crash point: results are committed but some
+            // announcers may not have consumed them yet.
+            fault::hit(FaultPoint::MidPublish);
             return None;
         }
         let n = batch.slots[offset].load(Ordering::Acquire);
@@ -175,6 +206,30 @@ impl CounterOp {
             }
         }
     }
+
+    /// The durable combiner: applies each frozen `fetch_add` and logs
+    /// the batch under the core's apply lock; the record is committed
+    /// before this returns, so the engine's publish never exposes an
+    /// unlogged result.
+    fn combine_durable(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<Node<u64>>,
+        my_seq: usize,
+        shard: usize,
+        d: &DurableCore,
+    ) {
+        let cut = batch.frozen_cut(Role::Remove);
+        let reqs = durable::frozen_reqs(batch, my_seq, cut, eng.config().wait);
+        // Safety: every pointer was announced into this frozen batch
+        // and its owner blocks until `applied`.
+        unsafe {
+            d.combine_batch(shard, &reqs, |req| {
+                let prev = self.total.fetch_add(req.operand, Ordering::AcqRel);
+                req.set_result(OpResult::Value(prev));
+            });
+        }
+    }
 }
 
 /// A linearizable combining fetch-and-add counter.
@@ -209,30 +264,90 @@ impl SecCounter {
     /// count, elastic policy, freezer backoff, recycle and wait
     /// policies all apply exactly as they do to the stack.
     pub fn with_config(config: SecConfig) -> Self {
+        Self::build(config, None, 0)
+    }
+
+    fn build(config: SecConfig, durable: Option<DurableCore>, initial: u64) -> Self {
+        let shards = durable.as_ref().map_or(0, |d| d.shards());
         Self {
             engine: CombineEngine::new(
                 "SecCounter",
                 CounterOp {
-                    total: CachePadded::new(AtomicU64::new(0)),
+                    total: CachePadded::new(AtomicU64::new(initial)),
+                    durable,
                 },
                 config,
                 // One dedicated bulk aggregator after the mapped
-                // prefix, carrying `add_many` request batches.
+                // prefix, carrying `add_many` request batches; durable
+                // shards (if any) follow it.
                 AggLayout::Mapped {
                     with_slots: true,
-                    bulk: 1,
+                    bulk: 1 + shards,
                 },
             ),
         }
     }
 
+    /// Creates a crash-durable counter over `policy`'s persistent
+    /// heap: every `fetch_add` writes an intent cell before announcing
+    /// and is redo-logged (with its result) by its batch's combiner
+    /// before the result is published. See DESIGN.md §16.
+    pub fn durable(max_threads: usize, policy: DurablePolicy) -> Result<Self, DurableError> {
+        let core = DurableCore::create(&policy, Family::Counter, 0, max_threads)?;
+        Ok(Self::build(SecConfig::new(2, max_threads), Some(core), 0))
+    }
+
+    /// Recovers a durable counter from `policy.mode`'s existing heap:
+    /// replays the committed redo log in global order (verifying each
+    /// logged result against the replay) and reports, per handle,
+    /// whether its last announced op executed and with what result.
+    pub fn recover(policy: DurablePolicy) -> Result<(Self, RecoveryReport), DurableError> {
+        let (core, report) = DurableCore::open(&policy, Family::Counter)?;
+        let mut total = 0u64;
+        for op in &report.ops {
+            if op.opcode != opcode::ADD {
+                return Err(DurableError::Corrupt(format!(
+                    "counter log holds foreign opcode {}",
+                    op.opcode
+                )));
+            }
+            if op.result != OpResult::Value(total) {
+                return Err(DurableError::Corrupt(format!(
+                    "replay diverged: logged {:?}, replayed value {total}",
+                    op.result
+                )));
+            }
+            total = total.wrapping_add(op.operand);
+        }
+        let config = SecConfig::new(2, core.max_handles());
+        Ok((Self::build(config, Some(core), total), report))
+    }
+
+    /// The persistent heap backing this counter (durable counters
+    /// only) — hold it across a drop to recover a Volatile-mode heap.
+    pub fn durable_heap(&self) -> Option<std::sync::Arc<sec_reclaim::PersistentHeap>> {
+        self.engine.op().durable.as_ref().map(|d| d.heap())
+    }
+
+    /// Redo-log counters (durable counters only).
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.engine.op().durable.as_ref().map(|d| d.stats())
+    }
+
     /// Registers the calling thread and returns its operation handle.
     pub fn register(&self) -> SecCounterHandle<'_> {
         let (reclaim, state) = self.engine.register();
+        let dur_seq = self
+            .engine
+            .op()
+            .durable
+            .as_ref()
+            .map_or(1, |d| d.start_seq(state.tid()));
         SecCounterHandle {
             counter: self,
             state,
             reclaim,
+            dur_seq,
         }
     }
 
@@ -305,6 +420,9 @@ pub struct SecCounterHandle<'a> {
     counter: &'a SecCounter,
     state: OpState,
     reclaim: ReclaimHandle<'a>,
+    /// Next per-handle durable op sequence number (1-based; resumes
+    /// from the recovered log on durable counters, unused otherwise).
+    dur_seq: u64,
 }
 
 impl SecCounterHandle<'_> {
@@ -329,6 +447,9 @@ impl SecCounterHandle<'_> {
     /// [`AtomicU64::fetch_add`], delivered through one combined RMW
     /// per batch.
     pub fn fetch_add(&mut self, n: u64) -> u64 {
+        if self.counter.engine.op().durable.is_some() {
+            return self.durable_add(n);
+        }
         let node = Node::alloc_with(&self.reclaim, n);
         self.counter
             .engine
@@ -339,6 +460,32 @@ impl SecCounterHandle<'_> {
                 &self.reclaim,
             )
             .expect("counter combiner always produces a result")
+    }
+
+    /// The durable `fetch_add` path: persist the intent, announce a
+    /// request on this thread's durable shard, read the logged result
+    /// back out of the request after publish.
+    fn durable_add(&mut self, n: u64) -> u64 {
+        let eng = &self.counter.engine;
+        let d = eng.op().durable.as_ref().expect("durable route");
+        let tid = self.state.tid();
+        let seq = self.dur_seq;
+        d.write_intent(tid, seq, opcode::ADD, n, 0);
+        let mut req = DurableReq::new(tid, seq, opcode::ADD, n, 0);
+        let node = (&mut req as *mut DurableReq).cast::<Node<u64>>();
+        let shard = d.shard_of(tid);
+        eng.run_weighted(
+            Lane::At(eng.bulk_agg(DUR_BASE + shard)),
+            Role::Remove,
+            node,
+            1,
+            &self.reclaim,
+        );
+        self.dur_seq = seq + 1;
+        match req.take_result() {
+            OpResult::Value(v) => v,
+            other => unreachable!("durable add produced {other:?}"),
+        }
     }
 
     /// Convenience for `fetch_add(1)`.
@@ -362,6 +509,17 @@ impl SecCounterHandle<'_> {
     pub fn add_many(&mut self, deltas: &[u64]) -> u64 {
         if deltas.is_empty() {
             return self.load();
+        }
+        if self.counter.engine.op().durable.is_some() {
+            // Durable counters make every delta an individually
+            // detectable logged op; the bulk is a fold of singles
+            // (chunks of a non-durable bulk may interleave with other
+            // threads too, so the contract is unchanged).
+            let base = self.durable_add(deltas[0]);
+            for &d in &deltas[1..] {
+                self.durable_add(d);
+            }
+            return base;
         }
         let mut first_base = None;
         for chunk in deltas.chunks(crate::combine::MAX_BULK_OPS) {
@@ -404,6 +562,7 @@ impl fmt::Debug for SecCounterHandle<'_> {
 mod tests {
     use super::*;
     use crate::config::{AggregatorPolicy, RecyclePolicy, WaitPolicy};
+    use std::sync::Arc;
     use std::thread;
 
     #[test]
@@ -563,6 +722,105 @@ mod tests {
             })
             .sum();
         assert_eq!(c.load(), expect);
+    }
+
+    #[test]
+    fn durable_counter_recovers_value_and_classifies_handles() {
+        use crate::combine::durable::PendingOutcome;
+        const THREADS: usize = 4;
+        const PER: usize = 100;
+        let c = SecCounter::durable(THREADS, DurablePolicy::volatile().shards(2)).unwrap();
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = &c;
+                scope.spawn(move || {
+                    let mut h = c.register();
+                    for i in 0..PER {
+                        h.fetch_add((t + i) as u64 % 5);
+                    }
+                });
+            }
+        });
+        let expect: u64 = (0..THREADS)
+            .flat_map(|t| (0..PER).map(move |i| (t + i) as u64 % 5))
+            .sum();
+        assert_eq!(c.load(), expect);
+        let stats = c.durable_stats().unwrap();
+        assert_eq!(stats.entries, (THREADS * PER) as u64);
+        assert!(
+            stats.records <= stats.entries,
+            "batching can only reduce records"
+        );
+        let heap = c.durable_heap().unwrap();
+        drop(c);
+        let (r, report) = SecCounter::recover(DurablePolicy::heap(heap)).unwrap();
+        assert_eq!(r.load(), expect);
+        assert_eq!(report.replayed_ops(), THREADS * PER);
+        assert_eq!(report.torn_records, 0);
+        for h in &report.handles[..THREADS] {
+            assert_eq!(h.executed, PER as u64);
+            // A clean shutdown leaves the last op executed (its
+            // intent cell still holds it).
+            assert!(
+                matches!(h.pending, PendingOutcome::Executed { op_seq, .. } if op_seq == PER as u64)
+            );
+        }
+        // New handles resume their sequence numbers past the log.
+        let mut h = r.register();
+        assert_eq!(h.fetch_add(1), expect);
+        assert_eq!(r.load(), expect + 1);
+    }
+
+    #[test]
+    fn durable_recovery_is_idempotent() {
+        let c = SecCounter::durable(2, DurablePolicy::volatile()).unwrap();
+        {
+            let mut h = c.register();
+            for _ in 0..50 {
+                h.increment();
+            }
+        }
+        let heap = c.durable_heap().unwrap();
+        drop(c);
+        let (r1, rep1) = SecCounter::recover(DurablePolicy::heap(Arc::clone(&heap))).unwrap();
+        let (r2, rep2) = SecCounter::recover(DurablePolicy::heap(heap)).unwrap();
+        assert_eq!(r1.load(), 50);
+        assert_eq!(r2.load(), 50);
+        assert_eq!(rep1.replayed_ops(), rep2.replayed_ops());
+        assert_eq!(rep1.handles, rep2.handles);
+    }
+
+    #[test]
+    fn durable_per_op_granularity_matches_per_batch() {
+        use crate::combine::durable::LogGranularity;
+        for g in [LogGranularity::PerBatch, LogGranularity::PerOp] {
+            let c = SecCounter::durable(2, DurablePolicy::volatile().granularity(g)).unwrap();
+            thread::scope(|scope| {
+                for _ in 0..2 {
+                    let c = &c;
+                    scope.spawn(move || {
+                        let mut h = c.register();
+                        for _ in 0..200 {
+                            h.increment();
+                        }
+                    });
+                }
+            });
+            assert_eq!(c.load(), 400);
+            let heap = c.durable_heap().unwrap();
+            drop(c);
+            let (r, rep) = SecCounter::recover(DurablePolicy::heap(heap)).unwrap();
+            assert_eq!(r.load(), 400);
+            assert_eq!(rep.replayed_ops(), 400);
+        }
+    }
+
+    #[test]
+    fn recovering_a_volatile_policy_is_refused() {
+        assert!(matches!(
+            SecCounter::recover(DurablePolicy::volatile()),
+            Err(DurableError::NothingToRecover)
+        ));
     }
 
     #[test]

@@ -217,7 +217,10 @@ impl<T: Send + 'static> SecDeque<T> {
                     inner: TtasLock::new(VecDeque::new()),
                 },
                 SecConfig::new(1, max_threads),
-                AggLayout::Fixed(&[true, true]),
+                AggLayout::Fixed {
+                    ends: &[true, true],
+                    bulk: 0,
+                },
             ),
         }
     }

@@ -81,6 +81,10 @@ pub mod sec;
 pub mod trace;
 mod traits;
 
+pub use combine::durable::{
+    fault::FaultPoint, opcode, DurableError, DurableMode, DurablePolicy, DurableStats,
+    HandleRecovery, LogGranularity, LoggedOp, OpResult, PendingOutcome, RecoveryReport, SyncMode,
+};
 pub use config::{
     topology_shard, AggregatorPolicy, RecyclePolicy, SecConfig, ShardPolicy, WaitPolicy,
 };

@@ -39,6 +39,10 @@
 //!   overlaps; in steady state each bucket belongs to one shard whose
 //!   combiners run one batch at a time, so the lock is uncontended.
 
+use crate::combine::durable::{
+    self, fault, fault::FaultPoint, opcode, DurableCore, DurableError, DurablePolicy, DurableReq,
+    DurableStats, Family, OpResult, RecoveryReport,
+};
 use crate::combine::{AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, OpState, Role};
 use crate::config::{AggregatorPolicy, SecConfig};
 use crate::sec::stats::SecStats;
@@ -129,7 +133,16 @@ struct MapOp<K, V> {
     /// hashes to `i`. Individually locked — see the module docs for why
     /// a shard cannot simply own its buckets unlocked.
     buckets: Box<[Bucket<K, V>]>,
+    /// Redo log + intent cells when built durable (DESIGN.md §16);
+    /// when set, every operation routes through the dedicated durable
+    /// aggregators at `bulk_agg(DUR_BASE..)`.
+    durable: Option<DurableCore>,
 }
+
+/// Bulk-aggregator index of the first durable shard (the map has no
+/// other bulk aggregators — its bulk ops ride weighted announcements
+/// on the mapped shards).
+const DUR_BASE: usize = 0;
 
 /// One association-list bucket: the live `(key, value)` pairs under
 /// their per-bucket lock.
@@ -139,6 +152,7 @@ impl<K: Hash + Eq, V> MapOp<K, V> {
     fn with_buckets(n: usize) -> Self {
         Self {
             buckets: (0..n.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            durable: None,
         }
     }
 
@@ -183,10 +197,51 @@ impl<K: Hash + Eq, V> MapOp<K, V> {
     }
 }
 
+impl<K, V> MapOp<K, V>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// The durable combiner: applies each frozen get/insert/remove
+    /// under its bucket lock and redo-logs the batch under the core's
+    /// apply lock. On a durable map *every* operation routes here, so
+    /// the apply lock serializes all bucket mutations and log order
+    /// equals application order — the property replay relies on.
+    fn combine_durable(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<MapNode<K, V>>,
+        my_seq: usize,
+        shard: usize,
+        d: &DurableCore,
+    ) {
+        let cut = batch.frozen_cut(Role::Remove);
+        let reqs = durable::frozen_reqs(batch, my_seq, cut, eng.config().wait);
+        // Safety: every pointer was announced into this frozen batch
+        // and its owner blocks until `applied`.
+        unsafe {
+            d.combine_batch(shard, &reqs, |req| {
+                let key: K = durable::from_word(req.operand);
+                let bucket = self.bucket_of(&key);
+                let cmd = match req.opcode {
+                    opcode::MAP_GET => MapCmd::Get(key),
+                    opcode::MAP_INSERT => MapCmd::Insert(key, durable::from_word(req.operand2)),
+                    opcode::MAP_REMOVE => MapCmd::Remove(key),
+                    other => unreachable!("map durable opcode {other}"),
+                };
+                req.set_result(match self.apply(bucket, cmd) {
+                    None => OpResult::Empty,
+                    Some(v) => OpResult::Value(durable::to_word(v)),
+                });
+            });
+        }
+    }
+}
+
 impl<K, V> CombineOp for MapOp<K, V>
 where
-    K: Hash + Eq + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     type Node = MapNode<K, V>;
     type Value = Option<V>;
@@ -207,9 +262,15 @@ where
         eng: &CombineEngine<Self>,
         batch: &CombineBatch<MapNode<K, V>>,
         my_seq: usize,
-        _agg_idx: usize,
+        agg_idx: usize,
         _guard: &Guard<'_, '_>,
     ) {
+        if let Some(d) = &self.durable {
+            if agg_idx >= eng.bulk_agg(DUR_BASE) {
+                let shard = agg_idx - eng.bulk_agg(DUR_BASE);
+                return self.combine_durable(eng, batch, my_seq, shard, d);
+            }
+        }
         let cut = batch.frozen_cut(Role::Remove);
         for slot in &batch.slots[my_seq..cut] {
             let n = crate::combine::wait_ptr(slot, eng.config().wait);
@@ -266,12 +327,19 @@ where
     /// the operation's own sequence number.
     fn take_result(
         &self,
-        _eng: &CombineEngine<Self>,
+        eng: &CombineEngine<Self>,
         batch: &CombineBatch<MapNode<K, V>>,
         offset: usize,
-        _agg_idx: usize,
+        agg_idx: usize,
         guard: &Guard<'_, '_>,
     ) -> Option<Option<V>> {
+        if self.durable.is_some() && agg_idx >= eng.bulk_agg(DUR_BASE) {
+            // Durable requests carry their results in the request
+            // struct. The hook is the harness's mid-publish crash
+            // point (results committed, not all consumed yet).
+            fault::hit(FaultPoint::MidPublish);
+            return None;
+        }
         let n = batch.slots[offset].load(Ordering::Acquire);
         debug_assert!(
             !n.is_null(),
@@ -309,16 +377,16 @@ where
 /// ```
 pub struct SecMap<K, V>
 where
-    K: Hash + Eq + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     engine: CombineEngine<MapOp<K, V>>,
 }
 
 impl<K, V> SecMap<K, V>
 where
-    K: Hash + Eq + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     /// Creates a map with the paper's default configuration (two
     /// shards) for up to `max_threads` threads.
@@ -335,6 +403,10 @@ where
     /// `max_threads` — which is the adaptive capacity rule; the
     /// degenerate range can never actually resize.
     pub fn with_config(config: SecConfig) -> Self {
+        Self::build(config, DEFAULT_BUCKETS, None)
+    }
+
+    fn build(config: SecConfig, buckets: usize, durable: Option<DurableCore>) -> Self {
         let config = match config.policy {
             AggregatorPolicy::Fixed(_) => {
                 let k = config.aggregators.max(1);
@@ -346,14 +418,18 @@ where
             }
             AggregatorPolicy::Adaptive { .. } => config,
         };
+        let shards = durable.as_ref().map_or(0, |d| d.shards());
+        let mut op = MapOp::with_buckets(buckets);
+        op.durable = durable;
         Self {
             engine: CombineEngine::new(
                 "SecMap",
-                MapOp::with_buckets(DEFAULT_BUCKETS),
+                op,
                 config,
+                // Durable shards (if any) are the whole bulk suffix.
                 AggLayout::Mapped {
                     with_slots: true,
-                    bulk: 0,
+                    bulk: shards,
                 },
             ),
         }
@@ -363,18 +439,35 @@ where
     /// thread registers, which the receiver guarantees). More buckets
     /// mean shorter association lists and finer re-sharding granularity;
     /// the default is 512.
+    ///
+    /// On a durable map prefer passing the count to
+    /// [`SecMap::durable`]-time construction: this builder keeps the
+    /// log but the heap header retains the creation-time count, which
+    /// is what [`SecMap::recover`] rebuilds with (harmless for
+    /// correctness — bucket placement never affects results — but the
+    /// recovered map won't mirror a post-hoc resize).
     pub fn bucket_count(mut self, n: usize) -> Self {
-        *self.engine.op_mut() = MapOp::with_buckets(n);
+        let durable = self.engine.op_mut().durable.take();
+        let mut op = MapOp::with_buckets(n);
+        op.durable = durable;
+        *self.engine.op_mut() = op;
         self
     }
 
     /// Registers the calling thread and returns its operation handle.
     pub fn register(&self) -> SecMapHandle<'_, K, V> {
         let (reclaim, state) = self.engine.register();
+        let dur_seq = self
+            .engine
+            .op()
+            .durable
+            .as_ref()
+            .map_or(1, |d| d.start_seq(state.tid()));
         SecMapHandle {
             map: self,
             state,
             reclaim,
+            dur_seq,
         }
     }
 
@@ -457,10 +550,77 @@ where
     }
 }
 
+impl SecMap<u64, u64> {
+    /// Creates a crash-durable map over `policy`'s persistent heap:
+    /// every get/insert/remove writes an intent cell before announcing
+    /// and is redo-logged (with its result) by its batch's combiner
+    /// before the result is published (DESIGN.md §16). Durable
+    /// structures carry `u64` keys and values; the creation-time
+    /// bucket count is recorded in the heap header so
+    /// [`SecMap::recover`] rebuilds identically.
+    pub fn durable(max_threads: usize, policy: DurablePolicy) -> Result<Self, DurableError> {
+        let core = DurableCore::create(&policy, Family::Map, DEFAULT_BUCKETS as u64, max_threads)?;
+        Ok(Self::build(
+            SecConfig::new(2, max_threads),
+            DEFAULT_BUCKETS,
+            Some(core),
+        ))
+    }
+
+    /// Recovers a durable map from `policy.mode`'s existing heap:
+    /// rebuilds the creation-time bucket geometry, replays the
+    /// committed redo log in global order (verifying each logged
+    /// result against the replay) and reports, per handle, whether its
+    /// last announced op executed and with what result.
+    pub fn recover(policy: DurablePolicy) -> Result<(Self, RecoveryReport), DurableError> {
+        let (core, report) = DurableCore::open(&policy, Family::Map)?;
+        let config = SecConfig::new(2, core.max_handles());
+        let buckets = core.family_param() as usize;
+        let map = Self::build(config, buckets.max(1), Some(core));
+        let op = map.engine.op();
+        for logged in &report.ops {
+            let key: u64 = logged.operand;
+            let bucket = op.bucket_of(&key);
+            let cmd = match logged.opcode {
+                opcode::MAP_GET => MapCmd::Get(key),
+                opcode::MAP_INSERT => MapCmd::Insert(key, logged.operand2),
+                opcode::MAP_REMOVE => MapCmd::Remove(key),
+                other => {
+                    return Err(DurableError::Corrupt(format!(
+                        "map log holds foreign opcode {other}"
+                    )))
+                }
+            };
+            let replayed = match op.apply(bucket, cmd) {
+                None => OpResult::Empty,
+                Some(v) => OpResult::Value(v),
+            };
+            if replayed != logged.result {
+                return Err(DurableError::Corrupt(format!(
+                    "replay diverged: logged {:?}, replayed {:?}",
+                    logged.result, replayed
+                )));
+            }
+        }
+        Ok((map, report))
+    }
+
+    /// The persistent heap backing this map (durable maps only) —
+    /// hold it across a drop to recover a Volatile-mode heap.
+    pub fn durable_heap(&self) -> Option<std::sync::Arc<sec_reclaim::PersistentHeap>> {
+        self.engine.op().durable.as_ref().map(|d| d.heap())
+    }
+
+    /// Redo-log counters (durable maps only).
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.engine.op().durable.as_ref().map(|d| d.stats())
+    }
+}
+
 impl<K, V> fmt::Debug for SecMap<K, V>
 where
-    K: Hash + Eq + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecMap")
@@ -494,18 +654,21 @@ where
 /// A thread's handle to a [`SecMap`].
 pub struct SecMapHandle<'a, K, V>
 where
-    K: Hash + Eq + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     map: &'a SecMap<K, V>,
     state: OpState,
     reclaim: ReclaimHandle<'a>,
+    /// Next per-handle durable op sequence number (1-based; resumes
+    /// from the recovered log on durable maps, unused otherwise).
+    dur_seq: u64,
 }
 
 impl<K, V> SecMapHandle<'_, K, V>
 where
-    K: Hash + Eq + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     /// This thread's id (dense, `0..max_threads`).
     pub fn tid(&self) -> usize {
@@ -540,6 +703,9 @@ where
     where
         K: Clone,
     {
+        if self.map.engine.op().durable.is_some() {
+            return self.durable_op(opcode::MAP_GET, durable::word_of(key), 0);
+        }
         let bucket = self.map.engine.op().bucket_of(key);
         self.run_op(bucket, MapCmd::Get(key.clone()))
     }
@@ -547,6 +713,11 @@ where
     /// Maps `key` to `value`, returning the previously mapped value (or
     /// `None` when the key was absent).
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.map.engine.op().durable.is_some() {
+            let k = durable::to_word(key);
+            let v = durable::to_word(value);
+            return self.durable_op(opcode::MAP_INSERT, k, v);
+        }
         let bucket = self.map.engine.op().bucket_of(&key);
         self.run_op(bucket, MapCmd::Insert(key, value))
     }
@@ -557,8 +728,38 @@ where
     where
         K: Clone,
     {
+        if self.map.engine.op().durable.is_some() {
+            return self.durable_op(opcode::MAP_REMOVE, durable::word_of(key), 0);
+        }
         let bucket = self.map.engine.op().bucket_of(key);
         self.run_op(bucket, MapCmd::Remove(key.clone()))
+    }
+
+    /// The durable op path: persist the intent, announce a request on
+    /// this thread's durable shard, read the logged result back out of
+    /// the request after publish.
+    fn durable_op(&mut self, op: u8, operand: u64, operand2: u64) -> Option<V> {
+        let eng = &self.map.engine;
+        let d = eng.op().durable.as_ref().expect("durable route");
+        let tid = self.state.tid();
+        let seq = self.dur_seq;
+        d.write_intent(tid, seq, op, operand, operand2);
+        let mut req = DurableReq::new(tid, seq, op, operand, operand2);
+        let node = (&mut req as *mut DurableReq).cast::<MapNode<K, V>>();
+        let shard = d.shard_of(tid);
+        eng.run_weighted(
+            Lane::At(eng.bulk_agg(DUR_BASE + shard)),
+            Role::Remove,
+            node,
+            1,
+            &self.reclaim,
+        );
+        self.dur_seq = seq + 1;
+        match req.take_result() {
+            OpResult::Empty => None,
+            OpResult::Value(w) => Some(durable::from_word(w)),
+            OpResult::Unit => unreachable!("map ops always log a value-or-empty result"),
+        }
     }
 
     /// Bulk `get`: looks up every key of `keys`, writing `results[i]`
@@ -583,6 +784,14 @@ where
             "get_many: keys and results must pair up"
         );
         if keys.is_empty() {
+            return;
+        }
+        if self.map.engine.op().durable.is_some() {
+            // Durable maps make every lookup an individually
+            // detectable logged op.
+            for (k, r) in keys.iter().zip(results.iter_mut()) {
+                *r = self.durable_op(opcode::MAP_GET, durable::word_of(k), 0);
+            }
             return;
         }
         let chunk_size = crate::combine::MAX_BULK_OPS;
@@ -615,6 +824,15 @@ where
             "insert_many: entries and prevs must pair up"
         );
         if entries.is_empty() {
+            return;
+        }
+        if self.map.engine.op().durable.is_some() {
+            // Durable maps make every insert an individually
+            // detectable logged op.
+            for (i, (k, v)) in entries.drain(..).enumerate() {
+                prevs[i] =
+                    self.durable_op(opcode::MAP_INSERT, durable::to_word(k), durable::to_word(v));
+            }
             return;
         }
         let chunk_size = crate::combine::MAX_BULK_OPS;
@@ -674,8 +892,8 @@ where
 
 impl<K, V> fmt::Debug for SecMapHandle<'_, K, V>
 where
-    K: Hash + Eq + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecMapHandle")
@@ -959,5 +1177,105 @@ mod tests {
             }
         });
         assert_eq!(m.len(), THREADS * PER);
+    }
+
+    #[test]
+    fn durable_map_recovers_mappings_and_results() {
+        use crate::DurablePolicy;
+        let m = SecMap::<u64, u64>::durable(1, DurablePolicy::volatile()).unwrap();
+        {
+            let mut h = m.register();
+            assert_eq!(h.insert(7, 70), None);
+            assert_eq!(h.insert(7, 71), Some(70));
+            assert_eq!(h.insert(8, 80), None);
+            assert_eq!(h.remove(&8), Some(80));
+            assert_eq!(h.get(&7), Some(71));
+            assert_eq!(h.get(&9), None);
+        }
+        let heap = m.durable_heap().unwrap();
+        drop(m);
+        let (r, report) = SecMap::<u64, u64>::recover(DurablePolicy::heap(heap)).unwrap();
+        assert_eq!(report.replayed_ops(), 6);
+        assert_eq!(r.len(), 1);
+        let mut h = r.register();
+        assert_eq!(h.get(&7), Some(71));
+        assert_eq!(h.get(&8), None);
+    }
+
+    #[test]
+    fn durable_map_recovers_under_contention() {
+        use crate::{DurablePolicy, PendingOutcome};
+        const THREADS: usize = 4;
+        const PER: usize = 100;
+        let m = SecMap::<u64, u64>::durable(THREADS, DurablePolicy::volatile().shards(2)).unwrap();
+        thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut h = m.register();
+                    let base = t * PER as u64;
+                    for i in 0..PER as u64 {
+                        match i % 4 {
+                            0 | 1 => {
+                                h.insert(base + i, i);
+                            }
+                            2 => {
+                                h.get(&(base + i - 1));
+                            }
+                            _ => {
+                                h.remove(&(base + i - 3));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Snapshot the live mapping through a fresh handle.
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        {
+            let mut h = m.register();
+            for k in 0..(THREADS * PER) as u64 {
+                if let Some(v) = h.get(&k) {
+                    live.push((k, v));
+                }
+            }
+        }
+        let heap = m.durable_heap().unwrap();
+        drop(m);
+        let (r, report) = SecMap::<u64, u64>::recover(DurablePolicy::heap(heap)).unwrap();
+        for h in &report.handles[..THREADS] {
+            assert!(matches!(
+                h.pending,
+                PendingOutcome::Executed { .. } | PendingOutcome::None
+            ));
+        }
+        let mut h = r.register();
+        for (k, v) in live {
+            assert_eq!(h.get(&k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn durable_map_bulk_ops_route_through_the_log() {
+        use crate::DurablePolicy;
+        let m = SecMap::<u64, u64>::durable(2, DurablePolicy::volatile()).unwrap();
+        {
+            let mut h = m.register();
+            let mut entries: Vec<(u64, u64)> = vec![(1, 10), (2, 20), (3, 30)];
+            let mut prevs = vec![None; 3];
+            h.insert_many(&mut entries, &mut prevs);
+            assert!(entries.is_empty());
+            assert_eq!(prevs, vec![None, None, None]);
+            let keys = [1u64, 2, 4];
+            let mut results = vec![None; 3];
+            h.get_many(&keys, &mut results);
+            assert_eq!(results, vec![Some(10), Some(20), None]);
+        }
+        assert_eq!(m.durable_stats().unwrap().entries, 6);
+        let heap = m.durable_heap().unwrap();
+        drop(m);
+        let (r, _) = SecMap::<u64, u64>::recover(DurablePolicy::heap(heap)).unwrap();
+        let mut h = r.register();
+        assert_eq!(h.get(&3), Some(30));
     }
 }

@@ -42,6 +42,10 @@
 //! (except the chain's last, which becomes the new dummy and is
 //! retired by a later combiner).
 
+use crate::combine::durable::{
+    self, fault, fault::FaultPoint, opcode, DurableCore, DurableError, DurablePolicy, DurableReq,
+    DurableStats, Family, OpResult, RecoveryReport,
+};
 use crate::combine::{wait_ptr, AggLayout, CombineBatch, CombineEngine, CombineOp, Lane, Role};
 use crate::config::{RecyclePolicy, SecConfig, WaitPolicy};
 use crate::sec::stats::SecStats;
@@ -68,6 +72,11 @@ const DEFAULT_RENDEZVOUS_SPINS: u32 = 128;
 const HEAD: usize = 0;
 const TAIL: usize = 1;
 const HEAD_BULK: usize = 2;
+
+/// Bulk-aggregator index of the first durable shard. The queue's three
+/// fixed aggregators are the whole `Fixed` prefix, so the bulk suffix
+/// holds nothing *but* durable shards: shard `s` is `bulk_agg(s)`.
+const DUR_BASE: usize = 0;
 
 /// A queue node. `value` is `MaybeUninit` (not `ManuallyDrop` as in the
 /// stack) because the MS-queue representation needs nodes with *no*
@@ -182,6 +191,10 @@ struct QueueOp<T: Send + 'static> {
     /// an enqueue batch through the rendezvous window (the queue's
     /// elimination counter).
     rendezvous_hits: AtomicU64,
+    /// Redo log + intent cells when built durable (DESIGN.md §16);
+    /// when set, every mutating op routes through the dedicated
+    /// durable aggregators at `bulk_agg(DUR_BASE..)`.
+    durable: Option<DurableCore>,
 }
 
 impl<T: Send + 'static> QueueOp<T> {
@@ -296,6 +309,57 @@ impl<T: Send + 'static> QueueOp<T> {
             unsafe { (*req).taken = got };
         }
     }
+
+    /// The durable combiner: applies each frozen enqueue/dequeue to
+    /// the MS list and redo-logs the batch under the core's apply
+    /// lock. On a durable queue *every* mutating op routes here, so
+    /// the apply lock is the only `head`/`tail` writer and log order
+    /// equals application order — the property replay relies on.
+    fn combine_durable(
+        &self,
+        eng: &CombineEngine<Self>,
+        batch: &CombineBatch<QNode<T>>,
+        my_seq: usize,
+        shard: usize,
+        d: &DurableCore,
+        guard: &Guard<'_, '_>,
+    ) {
+        let cut = batch.frozen_cut(Role::Remove);
+        let reqs = durable::frozen_reqs(batch, my_seq, cut, eng.config().wait);
+        // Safety: every pointer was announced into this frozen batch
+        // and its owner blocks until `applied`; the apply lock makes
+        // this the list's unique mutator.
+        unsafe {
+            d.combine_batch(shard, &reqs, |req| match req.opcode {
+                opcode::ENQUEUE => {
+                    let value: T = durable::from_word(req.operand);
+                    let n = Box::into_raw(Box::new(QNode {
+                        value: MaybeUninit::new(value),
+                        next: AtomicPtr::new(ptr::null_mut()),
+                    }));
+                    let t = self.tail.load(Ordering::Relaxed);
+                    (*t).next.store(n, Ordering::Release);
+                    self.tail.store(n, Ordering::Release);
+                    req.set_result(OpResult::Unit);
+                }
+                opcode::DEQUEUE => {
+                    let h = self.head.load(Ordering::Relaxed);
+                    let n = (*h).next.load(Ordering::Relaxed);
+                    if n.is_null() {
+                        req.set_result(OpResult::Empty);
+                    } else {
+                        // MS discipline: `n` becomes the new dummy;
+                        // its value moves out, its husk stays linked.
+                        let value = QNode::take_value(n);
+                        self.head.store(n, Ordering::Release);
+                        guard.retire_recycle(h);
+                        req.set_result(OpResult::Value(durable::to_word(value)));
+                    }
+                }
+                other => unreachable!("queue durable opcode {other}"),
+            });
+        }
+    }
 }
 
 impl<T: Send + 'static> CombineOp for QueueOp<T> {
@@ -387,6 +451,12 @@ impl<T: Send + 'static> CombineOp for QueueOp<T> {
         // nodes — its batches take whole blocks per request.
         if agg_idx == HEAD_BULK {
             return self.combine_dequeue_many(eng, batch, my_seq, guard);
+        }
+        if let Some(d) = &self.durable {
+            if agg_idx >= eng.bulk_agg(DUR_BASE) {
+                let shard = agg_idx - eng.bulk_agg(DUR_BASE);
+                return self.combine_durable(eng, batch, my_seq, shard, d, guard);
+            }
         }
         let wanted = batch.frozen_cut(Role::Remove) - my_seq;
         debug_assert!(wanted >= 1);
@@ -491,7 +561,7 @@ impl<T: Send + 'static> CombineOp for QueueOp<T> {
     /// whose `next` keeps evolving), hence the published `taken` bound.
     fn take_result(
         &self,
-        _eng: &CombineEngine<Self>,
+        eng: &CombineEngine<Self>,
         batch: &CombineBatch<QNode<T>>,
         offset: usize,
         agg_idx: usize,
@@ -500,6 +570,13 @@ impl<T: Send + 'static> CombineOp for QueueOp<T> {
         if agg_idx == HEAD_BULK {
             // Bulk dequeues received their values through their
             // request's buffer; there is no result chain to consume.
+            return None;
+        }
+        if self.durable.is_some() && agg_idx >= eng.bulk_agg(DUR_BASE) {
+            // Durable requests carry their results in the request
+            // struct. The hook is the harness's mid-publish crash
+            // point (results committed, not all consumed yet).
+            fault::hit(FaultPoint::MidPublish);
             return None;
         }
         let taken = batch.taken.load(Ordering::Acquire) as usize;
@@ -572,6 +649,10 @@ pub struct SecQueue<T: Send + 'static> {
 impl<T: Send + 'static> SecQueue<T> {
     /// Creates a queue for up to `max_threads` threads.
     pub fn new(max_threads: usize) -> Self {
+        Self::build(max_threads, None)
+    }
+
+    fn build(max_threads: usize, durable: Option<DurableCore>) -> Self {
         // One engine aggregator per end plus the bulk dequeue
         // aggregator; every thread may operate on either end, so all
         // batch layers admit all of them (the k = 1 configuration pins
@@ -579,7 +660,9 @@ impl<T: Send + 'static> SecQueue<T> {
         // carry no slots — single dequeuers bring no nodes; the bulk
         // aggregator's slots carry requests. Bulk *enqueues* need no
         // aggregator of their own: they announce chains on TAIL, whose
-        // combiner is chain-aware.
+        // combiner is chain-aware. Durable shards (if any) follow as
+        // the bulk suffix.
+        let shards = durable.as_ref().map_or(0, |d| d.shards());
         let dummy = QNode::alloc_dummy();
         Self {
             engine: CombineEngine::new(
@@ -589,9 +672,13 @@ impl<T: Send + 'static> SecQueue<T> {
                     tail: CachePadded::new(AtomicPtr::new(dummy)),
                     rendezvous_spins: DEFAULT_RENDEZVOUS_SPINS,
                     rendezvous_hits: AtomicU64::new(0),
+                    durable,
                 },
                 SecConfig::new(1, max_threads),
-                AggLayout::Fixed(&[false, true, true]),
+                AggLayout::Fixed {
+                    ends: &[false, true, true],
+                    bulk: shards,
+                },
             ),
         }
     }
@@ -647,10 +734,19 @@ impl<T: Send + 'static> SecQueue<T> {
     ///
     /// If more threads register than the queue was constructed for.
     pub fn register(&self) -> SecQueueHandle<'_, T> {
-        let (reclaim, _state) = self.engine.register();
+        let (reclaim, state) = self.engine.register();
+        let tid = state.tid();
+        let dur_seq = self
+            .engine
+            .op()
+            .durable
+            .as_ref()
+            .map_or(1, |d| d.start_seq(tid));
         SecQueueHandle {
             queue: self,
             reclaim,
+            tid,
+            dur_seq,
         }
     }
 
@@ -702,6 +798,88 @@ impl<T: Send + 'static> SecQueue<T> {
     }
 }
 
+impl SecQueue<u64> {
+    /// Creates a crash-durable queue over `policy`'s persistent heap:
+    /// every enqueue/dequeue writes an intent cell before announcing
+    /// and is redo-logged (with its result) by its batch's combiner
+    /// before the result is published (DESIGN.md §16). Durable
+    /// structures carry `u64` payloads.
+    pub fn durable(max_threads: usize, policy: DurablePolicy) -> Result<Self, DurableError> {
+        let core = DurableCore::create(&policy, Family::Queue, 0, max_threads)?;
+        Ok(Self::build(max_threads, Some(core)))
+    }
+
+    /// Recovers a durable queue from `policy.mode`'s existing heap:
+    /// replays the committed redo log in global order (verifying each
+    /// logged result against the replay) and reports, per handle,
+    /// whether its last announced op executed and with what result.
+    pub fn recover(policy: DurablePolicy) -> Result<(Self, RecoveryReport), DurableError> {
+        let (core, report) = DurableCore::open(&policy, Family::Queue)?;
+        let queue = Self::build(core.max_handles(), Some(core));
+        let op = queue.engine.op();
+        for logged in &report.ops {
+            match logged.opcode {
+                opcode::ENQUEUE => {
+                    if logged.result != OpResult::Unit {
+                        return Err(DurableError::Corrupt(format!(
+                            "enqueue logged a non-unit result {:?}",
+                            logged.result
+                        )));
+                    }
+                    // Replay is single-threaded: plain link-then-swing.
+                    let n = Box::into_raw(Box::new(QNode {
+                        value: MaybeUninit::new(logged.operand),
+                        next: AtomicPtr::new(ptr::null_mut()),
+                    }));
+                    let t = op.tail.load(Ordering::Relaxed);
+                    // Safety: `t` is the replay list's live tail.
+                    unsafe { (*t).next.store(n, Ordering::Relaxed) };
+                    op.tail.store(n, Ordering::Relaxed);
+                }
+                opcode::DEQUEUE => {
+                    let h = op.head.load(Ordering::Relaxed);
+                    // Safety: `h` is the replay list's live dummy.
+                    let n = unsafe { (*h).next.load(Ordering::Relaxed) };
+                    let replayed = if n.is_null() {
+                        OpResult::Empty
+                    } else {
+                        // Safety: single-threaded replay; `n` becomes
+                        // the dummy, the old dummy's husk (value
+                        // already out or never present) frees here.
+                        let v = unsafe { QNode::take_value(n) };
+                        op.head.store(n, Ordering::Relaxed);
+                        drop(unsafe { Box::from_raw(h) });
+                        OpResult::Value(v)
+                    };
+                    if replayed != logged.result {
+                        return Err(DurableError::Corrupt(format!(
+                            "replay diverged: logged {:?}, replayed {:?}",
+                            logged.result, replayed
+                        )));
+                    }
+                }
+                other => {
+                    return Err(DurableError::Corrupt(format!(
+                        "queue log holds foreign opcode {other}"
+                    )))
+                }
+            }
+        }
+        Ok((queue, report))
+    }
+
+    /// The persistent heap backing this queue (durable queues only) —
+    /// hold it across a drop to recover a Volatile-mode heap.
+    pub fn durable_heap(&self) -> Option<std::sync::Arc<sec_reclaim::PersistentHeap>> {
+        self.engine.op().durable.as_ref().map(|d| d.heap())
+    }
+
+    /// Redo-log counters (durable queues only).
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.engine.op().durable.as_ref().map(|d| d.stats())
+    }
+}
+
 impl<T: Send + 'static> fmt::Debug for SecQueue<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecQueue")
@@ -730,6 +908,11 @@ impl<T: Send + 'static> ConcurrentQueue<T> for SecQueue<T> {
 pub struct SecQueueHandle<'a, T: Send + 'static> {
     queue: &'a SecQueue<T>,
     reclaim: ReclaimHandle<'a>,
+    /// This thread's dense id (the durable intent-cell index).
+    tid: usize,
+    /// Next per-handle durable op sequence number (1-based; resumes
+    /// from the recovered log on durable queues, unused otherwise).
+    dur_seq: u64,
 }
 
 impl<T: Send + 'static> SecQueueHandle<'_, T> {
@@ -742,6 +925,11 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
     /// Appends `value` at the tail. Returns when the enqueue is
     /// linearized (its batch's splice CAS has landed).
     pub fn enqueue(&mut self, value: T) {
+        if self.queue.engine.op().durable.is_some() {
+            let w = durable::to_word(value);
+            self.durable_op(opcode::ENQUEUE, w);
+            return;
+        }
         // One node per enqueue, reused across batch retries — popped
         // off this thread's recycle cache before touching the heap.
         let node = QNode::alloc_with(&self.reclaim, value);
@@ -755,9 +943,38 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
     /// taken chain is its sequence number: the batch's dequeues drain
     /// in announcement order, which is what makes the block FIFO.
     pub fn dequeue(&mut self) -> Option<T> {
+        if self.queue.engine.op().durable.is_some() {
+            return match self.durable_op(opcode::DEQUEUE, 0) {
+                OpResult::Empty => None,
+                OpResult::Value(w) => Some(durable::from_word(w)),
+                OpResult::Unit => unreachable!("dequeue produced a unit result"),
+            };
+        }
         self.queue
             .engine
             .run(Lane::At(HEAD), Role::Remove, ptr::null_mut(), &self.reclaim)
+    }
+
+    /// The durable op path: persist the intent, announce a request on
+    /// this thread's durable shard, read the logged result back out of
+    /// the request after publish.
+    fn durable_op(&mut self, op: u8, operand: u64) -> OpResult {
+        let eng = &self.queue.engine;
+        let d = eng.op().durable.as_ref().expect("durable route");
+        let seq = self.dur_seq;
+        d.write_intent(self.tid, seq, op, operand, 0);
+        let mut req = DurableReq::new(self.tid, seq, op, operand, 0);
+        let node = (&mut req as *mut DurableReq).cast::<QNode<T>>();
+        let shard = d.shard_of(self.tid);
+        eng.run_weighted(
+            Lane::At(eng.bulk_agg(DUR_BASE + shard)),
+            Role::Remove,
+            node,
+            1,
+            &self.reclaim,
+        );
+        self.dur_seq = seq + 1;
+        req.take_result()
     }
 
     /// Bulk enqueue: appends every value of `values`, in slice order,
@@ -772,6 +989,14 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
     where
         T: Clone,
     {
+        if self.queue.engine.op().durable.is_some() {
+            // Durable queues make every enqueue an individually
+            // detectable logged op.
+            for v in values {
+                self.enqueue(v.clone());
+            }
+            return;
+        }
         for chunk in values.chunks(crate::combine::MAX_BULK_OPS) {
             // Build the forward chain the tail combiner expects: the
             // announced node is the chunk's *first* value (FIFO), the
@@ -808,6 +1033,21 @@ impl<T: Send + 'static> SecQueueHandle<'_, T> {
     /// queue runs dry.
     ///
     pub fn dequeue_many(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if self.queue.engine.op().durable.is_some() {
+            // Durable queues make every dequeue an individually
+            // detectable logged op.
+            let mut total = 0usize;
+            while total < max {
+                match self.dequeue() {
+                    Some(v) => {
+                        out.push(v);
+                        total += 1;
+                    }
+                    None => break,
+                }
+            }
+            return total;
+        }
         let mut total = 0usize;
         while total < max {
             let want = (max - total).min(crate::combine::MAX_BULK_OPS);
@@ -1218,5 +1458,99 @@ mod tests {
             }
             i += LEN;
         }
+    }
+
+    #[test]
+    fn durable_queue_recovery_preserves_fifo_sequence() {
+        use crate::DurablePolicy;
+        let q = SecQueue::<u64>::durable(1, DurablePolicy::volatile()).unwrap();
+        {
+            let mut h = q.register();
+            for v in [10u64, 20, 30, 40] {
+                h.enqueue(v);
+            }
+            assert_eq!(h.dequeue(), Some(10));
+        }
+        let heap = q.durable_heap().unwrap();
+        drop(q);
+        let (r, report) = SecQueue::<u64>::recover(DurablePolicy::heap(heap)).unwrap();
+        assert_eq!(report.replayed_ops(), 5);
+        let mut h = r.register();
+        assert_eq!(h.dequeue(), Some(20));
+        assert_eq!(h.dequeue(), Some(30));
+        assert_eq!(h.dequeue(), Some(40));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn durable_queue_recovers_contents_under_contention() {
+        use crate::{DurablePolicy, PendingOutcome};
+        const THREADS: usize = 4;
+        const PER: usize = 120;
+        let q = SecQueue::<u64>::durable(THREADS, DurablePolicy::volatile().shards(2)).unwrap();
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut h = q.register();
+                    for i in 0..PER {
+                        let v = (t * PER + i) as u64;
+                        if i % 3 == 2 {
+                            h.dequeue();
+                        } else {
+                            h.enqueue(v);
+                        }
+                    }
+                });
+            }
+        });
+        // Drain the live structure into a sorted multiset, then put
+        // the values back (the drain itself was logged).
+        let mut live: Vec<u64> = Vec::new();
+        {
+            let mut h = q.register();
+            while let Some(v) = h.dequeue() {
+                live.push(v);
+            }
+            for &v in &live {
+                h.enqueue(v);
+            }
+        }
+        live.sort_unstable();
+        let heap = q.durable_heap().unwrap();
+        drop(q);
+        let (r, report) = SecQueue::<u64>::recover(DurablePolicy::heap(heap)).unwrap();
+        for h in &report.handles[..THREADS] {
+            assert!(matches!(
+                h.pending,
+                PendingOutcome::Executed { .. } | PendingOutcome::None
+            ));
+        }
+        let mut rec: Vec<u64> = Vec::new();
+        let mut h = r.register();
+        while let Some(v) = h.dequeue() {
+            rec.push(v);
+        }
+        rec.sort_unstable();
+        assert_eq!(rec, live);
+    }
+
+    #[test]
+    fn durable_queue_bulk_ops_route_through_the_log() {
+        use crate::DurablePolicy;
+        let q = SecQueue::<u64>::durable(2, DurablePolicy::volatile()).unwrap();
+        {
+            let mut h = q.register();
+            h.enqueue_many(&[1, 2, 3, 4, 5]);
+            let mut out = Vec::new();
+            assert_eq!(h.dequeue_many(&mut out, 2), 2);
+            assert_eq!(out, vec![1, 2]);
+        }
+        assert_eq!(q.durable_stats().unwrap().entries, 7);
+        let heap = q.durable_heap().unwrap();
+        drop(q);
+        let (r, _) = SecQueue::<u64>::recover(DurablePolicy::heap(heap)).unwrap();
+        let mut h = r.register();
+        assert_eq!(h.dequeue(), Some(3));
     }
 }

@@ -57,14 +57,18 @@ fn bucket_high(idx: usize) -> u64 {
 ///
 /// Every query ([`count`](Self::count), [`mean`](Self::mean),
 /// [`percentile`](Self::percentile)) copies the bucket array into a
-/// local snapshot first and derives everything — count, rank, walk —
-/// from that one snapshot, so a query racing concurrent `record`
-/// calls is internally consistent (a percentile can never chase a
-/// count that grew under its feet). Residual raciness: `min`/`max`
-/// are separate atomics, so a percentile's clamp into `[min, max]`
-/// may see a min/max from a sample whose bucket increment the
-/// snapshot missed (or vice versa) — off by in-flight samples only,
-/// never torn.
+/// local snapshot first and derives everything — count, rank, walk,
+/// reported value — from that one snapshot, so a query racing
+/// concurrent `record` calls is internally consistent (a percentile
+/// can never chase a count that grew under its feet, and never
+/// reflects a sample its own snapshot missed). The only best-effort
+/// queries are [`min`](Self::min)/[`max`](Self::max) themselves:
+/// they read separate atomics, so concurrently with recording they
+/// may include an in-flight sample whose bucket increment a
+/// simultaneous bucket query missed (or vice versa). They are exact
+/// — never torn, never lossy — once recording has quiesced, and a
+/// concurrent percentile still satisfies
+/// `p ≤ max() · 17/16 + 1` because `max` only grows.
 ///
 /// # Examples
 ///
@@ -129,7 +133,9 @@ impl Histogram {
         self.count() == 0
     }
 
-    /// Smallest recorded sample (0 when empty).
+    /// Smallest recorded sample (0 when empty). Best-effort while
+    /// recording is in flight (see the type-level note); exact once
+    /// recorders have quiesced.
     pub fn min(&self) -> u64 {
         let m = self.min.load(Ordering::Relaxed);
         if m == u64::MAX {
@@ -139,7 +145,11 @@ impl Histogram {
         }
     }
 
-    /// Largest recorded sample (0 when empty).
+    /// Largest recorded sample (0 when empty). Best-effort while
+    /// recording is in flight (see the type-level note); exact once
+    /// recorders have quiesced. Monotone non-decreasing between
+    /// resets, so a reading taken *after* a bucket snapshot is ≥
+    /// every sample that snapshot holds.
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
     }
@@ -167,13 +177,17 @@ impl Histogram {
     }
 
     /// Value at or below which `p` percent of the samples fall, within
-    /// the bucket resolution (≤ 6.25% relative error), clamped into
-    /// the recorded `[min, max]`. Returns 0 when empty.
+    /// the bucket resolution (≤ 6.25% relative error): the upper edge
+    /// of the bucket holding the rank. Returns 0 when empty.
     ///
-    /// The count that fixes the rank and the walk that finds it use
-    /// one bucket snapshot: a racing `record` can no longer bump a
-    /// later bucket between the two passes and shift the reported
-    /// percentile off its own rank.
+    /// The count that fixes the rank, the walk that finds it and the
+    /// reported value all come from one bucket snapshot: a racing
+    /// `record` can neither bump a later bucket between the two passes
+    /// and shift the reported percentile off its own rank, nor leak an
+    /// in-flight sample into the answer through the `min`/`max`
+    /// atomics (earlier versions clamped the edge into `[min, max]`
+    /// read *after* the snapshot, so a concurrent record could tug the
+    /// reported value toward a sample the snapshot never saw).
     pub fn percentile(&self, p: f64) -> u64 {
         let snap = self.snapshot();
         let n: u64 = snap.iter().sum();
@@ -185,10 +199,11 @@ impl Histogram {
         for (i, &c) in snap.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_high(i).clamp(self.min(), self.max());
+                return bucket_high(i);
             }
         }
-        self.max()
+        // Unreachable: rank ≤ n and the walk visits every bucket.
+        bucket_high(BUCKETS - 1)
     }
 
     /// Adds every sample of `other` into `self`. Min/max merge
@@ -358,11 +373,40 @@ mod tests {
             last_count = c;
             let (p50, p99) = (h.percentile(50.0), h.percentile(99.0));
             assert!(p50 <= p99, "p50 {p50} above p99 {p99}");
+            // The documented concurrent bound: `max` is monotone and
+            // read *after* the percentile's snapshot, so it dominates
+            // every sample the snapshot saw; the reported bucket edge
+            // can exceed it only by the bucket width (1/16) plus one.
+            let max = h.max();
+            assert!(
+                p99 <= max + max / 16 + 1,
+                "p99 {p99} above concurrent bound for max {max}"
+            );
             let m = h.mean();
             assert!(m >= 0.0 && m.is_finite());
         }
         stop.store(true, Ordering::Relaxed);
         rec.join().unwrap();
+    }
+
+    /// The percentile answer is a pure function of the bucket
+    /// snapshot: perturbing the best-effort `min`/`max` atomics (as an
+    /// in-flight recorder would between a query's snapshot and its
+    /// return) must not move it. Guards against reintroducing the old
+    /// post-snapshot clamp into `[min, max]`.
+    #[test]
+    fn percentile_ignores_in_flight_min_max() {
+        let h = Histogram::new();
+        h.record(1_000);
+        let before = h.percentile(50.0);
+        assert_eq!(before, bucket_high(index_of(1_000)));
+        // Simulate a racing `record(1)` / `record(1 << 40)` whose
+        // bucket increments a concurrent snapshot missed.
+        h.min.store(1, Ordering::Relaxed);
+        h.max.store(1 << 40, Ordering::Relaxed);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(h.percentile(p), before, "p{p} moved with min/max");
+        }
     }
 
     #[test]
@@ -385,6 +429,10 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(h.count(), THREADS as u64 * PER);
+        // Quiesced, min/max are exact — the best-effort caveat only
+        // covers readings taken while recorders are in flight.
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), (THREADS as u64 - 1) * 1_000 + 996);
     }
 
     proptest! {

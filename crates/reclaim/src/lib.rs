@@ -54,11 +54,13 @@ mod bag;
 mod collector;
 mod handle;
 pub mod hp;
+pub mod pheap;
 pub mod recycle;
 
 pub use collector::{Collector, CollectorStats};
 pub use handle::{Guard, Handle};
 pub use hp::{HpDomain, HpHandle};
+pub use pheap::PersistentHeap;
 pub use recycle::RecyclePolicy;
 
 /// A thread scans for an epoch advance every this many pins.

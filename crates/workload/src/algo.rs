@@ -222,15 +222,35 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             None => sec_config,
         }
     };
+    // Durable runs build through the family's `durable()` constructor
+    // (which owns its SecConfig — see `RunConfig::durable`); the temp
+    // heap file of a file-backed run is removed once the measurement
+    // is torn down.
+    let durable = cfg.durable.map(|setup| setup.policy());
+    let cleanup_heap = |path: &Option<std::path::PathBuf>| {
+        if let Some(p) = path {
+            let _ = std::fs::remove_file(p);
+        }
+    };
     let run_sec = |sec_config: SecConfig| {
-        let stack: SecStack<u64> = SecStack::with_config(overridden(sec_config));
+        let stack: SecStack<u64> = match &durable {
+            Some((policy, _)) => {
+                SecStack::durable(cap, policy.clone()).expect("create durable stack")
+            }
+            None => SecStack::with_config(overridden(sec_config)),
+        };
         let result = run_throughput(&stack, cfg);
-        AlgoRun {
+        let run = AlgoRun {
             result,
             sec_report: Some(stack.stats().report()),
             sec_active: Some(stack.active_aggregators()),
             reclaim: Some(stack.reclaim_stats()),
+        };
+        drop(stack);
+        if let Some((_, path)) = &durable {
+            cleanup_heap(path);
         }
+        run
     };
     match algo {
         Algo::Sec { aggregators } => run_sec(SecConfig::new(aggregators, cap)),
@@ -280,26 +300,39 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             reclaim: None,
         },
         Algo::SecQueue => {
-            let mut queue: SecQueue<u64> = SecQueue::new(cap);
-            if let Some(recycle) = cfg.recycle {
-                queue = queue.recycle_policy(recycle);
-            }
-            if let Some(wait) = cfg.wait {
-                queue = queue.wait_policy(wait);
-            }
-            if let Some(yields) = cfg.freezer_yields {
-                queue = queue.freezer_yields(yields);
-            }
-            if let Some(trace) = cfg.trace {
-                queue = queue.trace_config(trace);
-            }
+            let queue: SecQueue<u64> = match &durable {
+                Some((policy, _)) => {
+                    SecQueue::durable(cap, policy.clone()).expect("create durable queue")
+                }
+                None => {
+                    let mut queue: SecQueue<u64> = SecQueue::new(cap);
+                    if let Some(recycle) = cfg.recycle {
+                        queue = queue.recycle_policy(recycle);
+                    }
+                    if let Some(wait) = cfg.wait {
+                        queue = queue.wait_policy(wait);
+                    }
+                    if let Some(yields) = cfg.freezer_yields {
+                        queue = queue.freezer_yields(yields);
+                    }
+                    if let Some(trace) = cfg.trace {
+                        queue = queue.trace_config(trace);
+                    }
+                    queue
+                }
+            };
             let result = run_queue_throughput(&queue, cfg);
-            AlgoRun {
+            let run = AlgoRun {
                 result,
                 sec_report: Some(queue.stats().report()),
                 sec_active: None,
                 reclaim: Some(queue.reclaim_stats()),
+            };
+            drop(queue);
+            if let Some((_, path)) = &durable {
+                cleanup_heap(path);
             }
+            run
         }
         Algo::MsQ => AlgoRun {
             result: run_queue_throughput(&MsQueue::<u64>::new(cap), cfg),
@@ -314,24 +347,44 @@ pub fn run_algo(algo: Algo, cfg: &RunConfig) -> AlgoRun {
             reclaim: None,
         },
         Algo::SecCounter => {
-            let counter = SecCounter::with_config(overridden(SecConfig::new(2, cap)));
+            let counter = match &durable {
+                Some((policy, _)) => {
+                    SecCounter::durable(cap, policy.clone()).expect("create durable counter")
+                }
+                None => SecCounter::with_config(overridden(SecConfig::new(2, cap))),
+            };
             let result = run_counter_throughput(&counter, cfg);
-            AlgoRun {
+            let run = AlgoRun {
                 result,
                 sec_report: Some(counter.stats().report()),
                 sec_active: Some(counter.active_aggregators()),
                 reclaim: Some(counter.reclaim_stats()),
+            };
+            drop(counter);
+            if let Some((_, path)) = &durable {
+                cleanup_heap(path);
             }
+            run
         }
         Algo::SecMap => {
-            let map: SecMap<u64, u64> = SecMap::with_config(overridden(SecConfig::new(2, cap)));
+            let map: SecMap<u64, u64> = match &durable {
+                Some((policy, _)) => {
+                    SecMap::durable(cap, policy.clone()).expect("create durable map")
+                }
+                None => SecMap::with_config(overridden(SecConfig::new(2, cap))),
+            };
             let result = run_map_throughput(&map, cfg);
-            AlgoRun {
+            let run = AlgoRun {
                 result,
                 sec_report: Some(map.stats().report()),
                 sec_active: Some(map.active_aggregators()),
                 reclaim: Some(map.reclaim_stats()),
+            };
+            drop(map);
+            if let Some((_, path)) = &durable {
+                cleanup_heap(path);
             }
+            run
         }
         Algo::LckMap => AlgoRun {
             result: run_map_throughput(&LockedHashMap::<u64, u64>::new(cap), cfg),
@@ -388,6 +441,45 @@ mod tests {
         };
         let out = run_algo(Algo::Sec { aggregators: 1 }, &cfg);
         assert_eq!(out.sec_active, Some(3), "override wins over the variant");
+    }
+
+    #[test]
+    fn durable_setup_runs_every_sec_family() {
+        use crate::DurableSetup;
+        for algo in SEC_FAMILIES {
+            let cfg = RunConfig {
+                duration: Duration::from_millis(15),
+                prefill: 64,
+                durable: Some(DurableSetup::volatile()),
+                ..RunConfig::new(2, Mix::UPDATE_50)
+            };
+            let out = run_algo(algo, &cfg);
+            assert!(out.result.ops > 0, "{algo} made no durable progress");
+        }
+    }
+
+    #[test]
+    fn durable_file_backed_run_cleans_up_its_heap() {
+        use crate::DurableSetup;
+        let cfg = RunConfig {
+            duration: Duration::from_millis(15),
+            prefill: 64,
+            durable: Some(DurableSetup::file_backed()),
+            ..RunConfig::new(2, Mix::UPDATE_100)
+        };
+        let out = run_algo(Algo::SecCounter, &cfg);
+        assert!(out.result.ops > 0);
+        // The generated temp heap must be gone once the run returns.
+        let leftovers: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&format!("sec-durable-run-{}-", std::process::id())))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "heap files left behind: {leftovers:?}"
+        );
     }
 
     #[test]

@@ -308,7 +308,11 @@ mod tests {
         let p90 = h.percentile(90.0);
         let p99 = h.percentile(99.0);
         assert!(p50 <= p90 && p90 <= p99);
-        assert!(p99 <= h.max_ns());
+        // Percentiles report bucket upper edges (snapshot-pure, no
+        // min/max clamp), so p99 may exceed the exact max by at most
+        // one sub-bucket width (1/16 relative) plus one.
+        let max = h.max_ns();
+        assert!(p99 <= max + max / 16 + 1, "p99 {p99} vs max {max}");
         assert_eq!(h.max_ns(), 100_000);
     }
 
@@ -350,7 +354,7 @@ mod tests {
         h.record(1_000_000);
         let r = LatencyReport::from_histogram(&h);
         assert!(r.p50 < r.p999, "p50 {} p999 {}", r.p50, r.p999);
-        assert!(r.p999 <= r.max);
+        assert!(r.p999 <= r.max + r.max / 16 + 1);
     }
 
     #[test]
@@ -360,7 +364,7 @@ mod tests {
         assert_eq!(r.samples, 1_000);
         assert!(r.p50 > 0);
         assert!(r.p50 <= r.p99);
-        assert!(r.p99 <= r.max);
+        assert!(r.p99 <= r.max + r.max / 16 + 1);
     }
 
     #[test]
@@ -371,7 +375,7 @@ mod tests {
         assert_eq!(r.samples, 1_000);
         assert!(r.p50 > 0);
         assert!(r.p50 <= r.p99);
-        assert!(r.p99 <= r.max);
+        assert!(r.p99 <= r.max + r.max / 16 + 1);
     }
 
     #[test]
@@ -388,7 +392,7 @@ mod tests {
         assert_eq!(r.samples, 1_000);
         assert!(r.p50 > 0);
         assert!(r.p50 <= r.p99);
-        assert!(r.p99 <= r.max);
+        assert!(r.p99 <= r.max + r.max / 16 + 1);
     }
 
     #[test]
@@ -398,6 +402,6 @@ mod tests {
         assert_eq!(r.samples, 1_000);
         assert!(r.p50 > 0);
         assert!(r.p50 <= r.p99);
-        assert!(r.p99 <= r.max);
+        assert!(r.p99 <= r.max + r.max / 16 + 1);
     }
 }

@@ -54,8 +54,8 @@ pub use latency::{
 };
 pub use openloop::{replay_open_loop, Arrival, ArrivalTrace, ReplayReport, ServiceConfig};
 pub use runner::{
-    run_counter_throughput, run_map_throughput, run_queue_throughput, run_throughput, RunConfig,
-    RunResult,
+    run_counter_throughput, run_map_throughput, run_queue_throughput, run_throughput, DurableSetup,
+    RunConfig, RunResult,
 };
 pub use spec::{KeyDist, KeySampler, MapMix, MapOpKind, Mix, OpKind};
 pub use trace::{replay, ReplayResult, Trace, TraceOp};

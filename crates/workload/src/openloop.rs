@@ -612,7 +612,10 @@ mod tests {
         assert!(rep.windows > 0);
         assert!(rep.violated_windows <= rep.windows);
         assert!(rep.latency.p50 <= rep.latency.p99);
-        assert!(rep.latency.p99 <= rep.latency.max);
+        // Percentiles are bucket upper edges (see LatencyHistogram):
+        // bounded by max plus one sub-bucket width.
+        let max = rep.latency.max;
+        assert!(rep.latency.p99 <= max + max / 16 + 1);
         assert!((0.0..=1.0).contains(&rep.worst_window_frac));
     }
 }

@@ -5,8 +5,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sec_core::counter::SecCounter;
 use sec_core::{
-    AggregatorPolicy, ConcurrentMap, ConcurrentQueue, ConcurrentStack, MapHandle, QueueHandle,
-    RecyclePolicy, StackHandle, WaitPolicy,
+    AggregatorPolicy, ConcurrentMap, ConcurrentQueue, ConcurrentStack, DurablePolicy,
+    LogGranularity, MapHandle, QueueHandle, RecyclePolicy, StackHandle, SyncMode, WaitPolicy,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -84,6 +84,18 @@ pub struct RunConfig {
     /// it the config is carried but no recorder is constructed.
     /// Ignored by the non-SEC algorithms.
     pub trace: Option<sec_core::TraceConfig>,
+    /// Durable-logging setup for the SEC families (`None` keeps the
+    /// ordinary in-memory structures). When set, [`run_algo`] builds
+    /// the SEC structure with its `durable()` constructor instead, so
+    /// every operation flows through the persistent redo log
+    /// (DESIGN.md §16) — the knob `durable_bench` sweeps to price the
+    /// flush-per-batch discipline. Durable construction bypasses
+    /// `SecConfig`, so `sec_policy`/`recycle`/`wait`/`freezer_yields`
+    /// are ignored on durable runs; non-SEC algorithms ignore this
+    /// entirely.
+    ///
+    /// [`run_algo`]: crate::run_algo
+    pub durable: Option<DurableSetup>,
 }
 
 impl RunConfig {
@@ -105,7 +117,93 @@ impl RunConfig {
             key_dist: KeyDist::Uniform { keys: 1024 },
             sec_capacity: None,
             trace: None,
+            durable: None,
         }
+    }
+}
+
+/// Copyable description of a durable-logging run, lowered to a
+/// [`DurablePolicy`] by [`DurableSetup::policy`] at construction time.
+/// `RunConfig` is `Copy` (the figure binaries fan it out with struct
+/// update syntax in nested sweep loops), so it cannot hold a
+/// `DurablePolicy` directly — the policy's heap mode owns a path or an
+/// `Arc`. This subset covers what the benches sweep; anything fancier
+/// (recovering into an existing heap, a caller-chosen path) builds the
+/// structure itself instead of going through [`run_algo`].
+///
+/// [`run_algo`]: crate::run_algo
+#[derive(Debug, Clone, Copy)]
+pub struct DurableSetup {
+    /// Heap backing: `false` → anonymous volatile heap (full logging
+    /// code paths, no file I/O — the tier-1 default); `true` → a
+    /// file-backed mmap at a generated path under the OS temp dir,
+    /// removed after the run.
+    pub file_backed: bool,
+    /// Durable combining shards (dedicated log + aggregator pairs).
+    pub shards: usize,
+    /// Log records per shard. The log is not circular, so this bounds
+    /// the run's total batch count (per-op granularity: op count) —
+    /// size it from `duration × expected throughput` or the structure
+    /// panics mid-run with a "durable log full" message.
+    pub record_capacity: usize,
+    /// Operation entries per record.
+    pub batch_entries: usize,
+    /// Flush discipline.
+    pub sync: SyncMode,
+    /// One record per batch (the combining win) or per op (the
+    /// strawman `durable_bench` compares it against).
+    pub granularity: LogGranularity,
+}
+
+/// Distinguishes concurrently generated temp-file names (the pid alone
+/// is not enough: one bench process runs many durable measurements).
+static DURABLE_TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl DurableSetup {
+    /// Volatile-heap setup with geometry sized for short bench runs.
+    pub fn volatile() -> Self {
+        Self {
+            file_backed: false,
+            shards: 2,
+            record_capacity: 1 << 15,
+            batch_entries: 64,
+            sync: SyncMode::None,
+            granularity: LogGranularity::PerBatch,
+        }
+    }
+
+    /// File-backed (mmap) setup; the runner generates and cleans up
+    /// the temp path.
+    pub fn file_backed() -> Self {
+        Self {
+            file_backed: true,
+            ..Self::volatile()
+        }
+    }
+
+    /// Lowers the setup to a concrete [`DurablePolicy`], generating a
+    /// fresh temp path for file-backed runs. Returns the path so the
+    /// caller can remove the heap file once the run is done.
+    pub fn policy(&self) -> (DurablePolicy, Option<std::path::PathBuf>) {
+        let (policy, path) = if self.file_backed {
+            let path = std::env::temp_dir().join(format!(
+                "sec-durable-run-{}-{}.heap",
+                std::process::id(),
+                DURABLE_TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            (DurablePolicy::file(&path), Some(path))
+        } else {
+            (DurablePolicy::volatile(), None)
+        };
+        (
+            policy
+                .shards(self.shards)
+                .record_capacity(self.record_capacity)
+                .batch_entries(self.batch_entries)
+                .sync(self.sync)
+                .granularity(self.granularity),
+            path,
+        )
     }
 }
 

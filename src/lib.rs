@@ -101,11 +101,23 @@ pub mod baselines {
     };
 }
 
+/// Crash-durable SEC (DESIGN.md §16): the persistent-heap backend,
+/// the per-shard redo log's policy knobs, the recovery report types
+/// the `recover()` constructors return, and the fault-injection
+/// points the kill-9 harness arms via `SEC_CRASH_POINT`.
+pub mod durable {
+    pub use sec_core::{
+        opcode, DurableError, DurableMode, DurablePolicy, DurableStats, FaultPoint, HandleRecovery,
+        LogGranularity, LoggedOp, OpResult, PendingOutcome, RecoveryReport, SyncMode,
+    };
+    pub use sec_reclaim::PersistentHeap;
+}
+
 /// Epoch-based memory reclamation (DEBRA-style) with node recycling
 /// (DESIGN.md §10).
 pub mod reclaim {
     pub use sec_reclaim::{
-        Collector, CollectorStats, Guard, Handle, HpDomain, HpHandle, RecyclePolicy,
+        Collector, CollectorStats, Guard, Handle, HpDomain, HpHandle, PersistentHeap, RecyclePolicy,
     };
 }
 
@@ -127,8 +139,8 @@ pub mod linearize {
 pub mod workload {
     pub use sec_workload::{
         replay, run_algo, run_counter_throughput, run_map_throughput, run_queue_throughput,
-        run_throughput, stats, table, trace, Algo, KeyDist, KeySampler, MapMix, MapOpKind, Mix,
-        OpKind, ReplayResult, RunConfig, RunResult, Trace, TraceOp, ALL_COMPETITORS,
-        EXTENDED_LINEUP, MAP_LINEUP, QUEUE_LINEUP, SEC_FAMILIES,
+        run_throughput, stats, table, trace, Algo, DurableSetup, KeyDist, KeySampler, MapMix,
+        MapOpKind, Mix, OpKind, ReplayResult, RunConfig, RunResult, Trace, TraceOp,
+        ALL_COMPETITORS, EXTENDED_LINEUP, MAP_LINEUP, QUEUE_LINEUP, SEC_FAMILIES,
     };
 }
